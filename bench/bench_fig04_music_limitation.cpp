@@ -1,0 +1,87 @@
+// Figure 4: AoA spectrum change estimated by traditional MUSIC.
+//
+// Paper setup: three controlled paths; blocking the 50-degree path
+// perturbs OTHER peaks of the (normalized) MUSIC spectrum, and blocking
+// all three barely changes any peak. We reproduce both effects and print
+// the per-peak normalized amplitudes.
+#include <cstdio>
+
+#include "baseline/music_power_detector.hpp"
+#include "bench_util.hpp"
+#include "rf/array.hpp"
+#include "rf/snapshot.hpp"
+
+namespace {
+
+dwatch::rf::PropagationPath plane_path(double deg, double amp) {
+  dwatch::rf::PropagationPath p;
+  p.kind = dwatch::rf::PathKind::kDirect;
+  p.vertices = {{-10, 0, 1}, {0, 0, 1}};
+  p.length = 10.0;
+  p.aoa = dwatch::rf::deg2rad(deg);
+  p.gain = {amp, 0.0};
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dwatch;
+  bench::print_header("Fig. 4 — traditional MUSIC cannot track path power");
+
+  const std::vector<double> angles{50.0, 95.0, 140.0};
+  const std::vector<rf::PropagationPath> paths{plane_path(50, 0.02),
+                                               plane_path(95, 0.015),
+                                               plane_path(140, 0.012)};
+  const rf::UniformLinearArray ula({0, 0, 1}, {1, 0}, 8);
+  rf::SnapshotOptions opts;
+  opts.num_snapshots = 32;
+  opts.noise_sigma = rf::noise_sigma_for_snr(paths, 1.0, 30.0);
+
+  const baseline::MusicPowerDetector music(rf::kDefaultElementSpacing,
+                                           rf::kDefaultWavelength);
+
+  rf::Rng rng(bench::kRunSeed);
+  const auto base = rf::synthesize_snapshots(ula, paths, {}, opts, rng);
+  const std::vector<double> one_blocked{0.25, 1.0, 1.0};
+  const auto one =
+      rf::synthesize_snapshots(ula, paths, one_blocked, opts, rng);
+  const std::vector<double> all_blocked{0.25, 0.25, 0.25};
+  const auto all =
+      rf::synthesize_snapshots(ula, paths, all_blocked, opts, rng);
+
+  const auto s_base = music.spectrum(base);
+  const auto s_one = music.spectrum(one);
+  const auto s_all = music.spectrum(all);
+
+  std::printf(
+      "  normalized MUSIC peak amplitude per path angle\n"
+      "  angle | no block | 50deg blocked | ALL blocked\n");
+  for (const double a : angles) {
+    std::printf("  %5.0f | %8.3f | %13.3f | %11.3f\n", a,
+                s_base.value_at(rf::deg2rad(a)),
+                s_one.value_at(rf::deg2rad(a)),
+                s_all.value_at(rf::deg2rad(a)));
+  }
+
+  // Shape checks matching the paper's complaints:
+  const double unblocked_change_95 =
+      std::abs(s_one.value_at(rf::deg2rad(95)) -
+               s_base.value_at(rf::deg2rad(95)));
+  const double all_change_max = std::max(
+      {std::abs(s_all.value_at(rf::deg2rad(50)) -
+                s_base.value_at(rf::deg2rad(50))),
+       std::abs(s_all.value_at(rf::deg2rad(95)) -
+                s_base.value_at(rf::deg2rad(95))),
+       std::abs(s_all.value_at(rf::deg2rad(140)) -
+                s_base.value_at(rf::deg2rad(140)))});
+  std::printf(
+      "\n  complaint 1 (false positives): blocking 50deg ALSO moved the\n"
+      "  95deg peak by %.3f (true power there did not change).\n",
+      unblocked_change_95);
+  std::printf(
+      "  complaint 2 (misses): blocking ALL paths changed peaks by at\n"
+      "  most %.3f — the normalized spectrum barely notices.\n",
+      all_change_max);
+  return 0;
+}

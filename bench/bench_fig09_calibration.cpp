@@ -1,0 +1,74 @@
+// Figure 9: phase-calibration error vs number of tags — D-Watch's
+// subspace calibration against the Phaser-style baseline, with the wired
+// (ArrayTrack-style) truth supplied by the simulator.
+//
+// Paper shape: D-Watch error falls below 0.05 rad once >= 4 tags are
+// used; Phaser stays flat and clearly worse (its single-dominant-path
+// assumption is broken by multipath, which no amount of tags fixes).
+#include <cstdio>
+
+#include "baseline/phaser_calibration.hpp"
+#include "bench_util.hpp"
+#include "core/calibration.hpp"
+
+int main() {
+  using namespace dwatch;
+  bench::print_header("Fig. 9 — wireless phase calibration error vs #tags");
+
+  const sim::Scene scene =
+      bench::make_room_scene(sim::Environment::laboratory());
+  const auto& array = scene.deployment().arrays[0];
+  const std::vector<double> truth =
+      scene.reader(0).relative_phase_offsets();
+
+  std::printf("  tags | D-Watch [rad] | Phaser [rad]\n");
+  rf::Rng rng(bench::kRunSeed);
+  double dwatch_at_4 = 0.0;
+  double phaser_at_4 = 0.0;
+  for (const std::size_t k : {1u, 2u, 3u, 4u, 5u, 6u, 8u, 10u}) {
+    // Average over a few capture realizations to stabilize the trend.
+    double dwatch_sum = 0.0;
+    double phaser_sum = 0.0;
+    const int trials = 3;
+    for (int trial = 0; trial < trials; ++trial) {
+      std::vector<core::CalibrationMeasurement> meas;
+      for (const std::size_t t : harness::nearest_tags(scene, 0, k)) {
+        core::CalibrationMeasurement m;
+        // Two captures concatenated (24 snapshots), as the runner does.
+        const auto x1 = scene.capture(0, t, {}, rng);
+        const auto x2 = scene.capture(0, t, {}, rng);
+        linalg::CMatrix x(x1.rows(), x1.cols() + x2.cols());
+        for (std::size_t r = 0; r < x.rows(); ++r) {
+          for (std::size_t c = 0; c < x1.cols(); ++c) x(r, c) = x1(r, c);
+          for (std::size_t c = 0; c < x2.cols(); ++c) {
+            x(r, x1.cols() + c) = x2(r, c);
+          }
+        }
+        m.snapshots = std::move(x);
+        m.los_angle =
+            array.arrival_angle(scene.deployment().tags[t].position);
+        meas.push_back(std::move(m));
+      }
+      core::WirelessCalibrator calibrator(array.spacing(), array.lambda());
+      dwatch_sum += core::mean_phase_error(
+          calibrator.calibrate(meas, rng).offsets, truth);
+      phaser_sum += core::mean_phase_error(
+          baseline::phaser_calibrate(meas, array.spacing(), array.lambda()),
+          truth);
+    }
+    const double dwatch_err = dwatch_sum / trials;
+    const double phaser_err = phaser_sum / trials;
+    if (k == 4) {
+      dwatch_at_4 = dwatch_err;
+      phaser_at_4 = phaser_err;
+    }
+    std::printf("  %4zu | %13.4f | %12.4f\n", k, dwatch_err, phaser_err);
+  }
+
+  bench::print_row("D-Watch error at 4 tags", 0.05, dwatch_at_4, "rad");
+  bench::print_row("Phaser error (flat, coarse)", 0.15, phaser_at_4, "rad");
+  std::printf(
+      "  shape check: D-Watch improves with tags and beats Phaser; Phaser\n"
+      "  is limited by multipath bias, not tag count.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Figure 12: AoA spectrum changes estimated by P-MUSIC when one or
+// three paths are blocked (the hall + two metal reflectors setup of
+// Fig. 11).
+//
+// Paper shape: the blocked peak drops cleanly; unblocked peaks stay put —
+// the exact opposite of MUSIC's behaviour in Fig. 4.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/covariance.hpp"
+#include "core/pmusic.hpp"
+#include "rf/array.hpp"
+#include "rf/snapshot.hpp"
+#include "sim/propagate.hpp"
+#include "sim/target.hpp"
+
+int main() {
+  using namespace dwatch;
+  bench::print_header("Fig. 12 — P-MUSIC spectrum change under blocking");
+
+  // Fig. 11 geometry: hall, tag at distance, two metal reflectors.
+  sim::Environment env = sim::Environment::hall();
+  // "To minimize the influence of multipath, we conduct this experiment
+  // in the empty hall" — drop even the weak perimeter reflections so the
+  // controlled geometry is exactly direct + 2 reflectors (Fig. 11).
+  env.walls.clear();
+  // Large flat metal reflectors close to the array (dR1A = 2 m,
+  // dR2A = 2.6 m as in Fig. 11) reflect strongly.
+  env.scatterers.push_back(sim::PointScatterer{{2.0, 2.1}, 1.25, 8.0});
+  env.scatterers.push_back(sim::PointScatterer{{5.5, 2.4}, 1.25, 8.0});
+  const rf::UniformLinearArray array({3.6, 0.3, 1.25}, {1, 0}, 8);
+  const rf::Vec3 tag{2.9, 5.6, 1.25};
+
+  sim::TraceOptions trace;
+  const auto paths = sim::trace_paths(tag, array, env, trace);
+  std::printf("  traced %zu paths (angles:", paths.size());
+  for (const auto& p : paths) std::printf(" %.1f", rf::rad2deg(p.aoa));
+  std::printf(" deg)\n");
+
+  rf::SnapshotOptions snap;
+  snap.num_snapshots = 24;
+  snap.noise_sigma = rf::noise_sigma_for_snr(paths, 1.0, 30.0);
+  rf::Rng rng(bench::kRunSeed);
+
+  // Humans block (a) the direct path only, (b) all three dominant paths.
+  const std::vector<sim::CylinderTarget> one{
+      sim::CylinderTarget::human({3.2, 3.0})};  // on the direct path
+  const std::vector<sim::CylinderTarget> all{
+      sim::CylinderTarget::human({3.2, 3.0}),
+      sim::CylinderTarget::human({2.8, 1.2}),   // reflector 1 -> array leg
+      sim::CylinderTarget::human({4.9, 1.6})};  // reflector 2 -> array leg
+
+  const auto scale_one = sim::blocking_scales(paths, one);
+  const auto scale_all = sim::blocking_scales(paths, all);
+
+  const auto base = rf::synthesize_snapshots(array, paths, {}, snap, rng);
+  const auto x_one =
+      rf::synthesize_snapshots(array, paths, scale_one, snap, rng);
+  const auto x_all =
+      rf::synthesize_snapshots(array, paths, scale_all, snap, rng);
+
+  core::PMusicOptions pm_opts;
+  pm_opts.peaks.min_relative_height = 0.002;  // surface the weak paths
+  core::PMusicEstimator pm(array.spacing(), array.lambda(), pm_opts);
+  const auto result_base = pm.estimate(base);
+  // The pipeline's observable: baseline P-MUSIC peaks vs ONLINE
+  // beamforming power at those angles (same scale at a peak since
+  // Nor(B) == 1 there).
+  const auto pb_one = pm.power_spectrum(core::sample_correlation(x_one));
+  const auto pb_all = pm.power_spectrum(core::sample_correlation(x_all));
+
+  std::printf(
+      "\n  power at each baseline P-MUSIC peak, relative to baseline\n"
+      "  (the paper's Fig. 12 polar plots, flattened)\n"
+      "  angle | baseline | one blocked | all blocked | blocked in scene?\n");
+  core::PeakOptions po;
+  po.min_relative_height = 0.02;
+  for (const core::Peak& peak : core::find_peaks(result_base.omega, po)) {
+    const double a = peak.theta;
+    // Which traced path does this peak correspond to?
+    std::size_t path_idx = 0;
+    double best = 1e9;
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      const double d = std::abs(paths[i].aoa - a);
+      if (d < best) {
+        best = d;
+        path_idx = i;
+      }
+    }
+    std::printf("  %5.1f | %8.2f | %11.2f | %11.2f | one:%s all:%s\n",
+                rf::rad2deg(a), 1.0, pb_one.value_at(a) / peak.value,
+                pb_all.value_at(a) / peak.value,
+                scale_one[path_idx] < 1.0 ? "yes" : "no ",
+                scale_all[path_idx] < 1.0 ? "yes" : "no ");
+  }
+  std::printf(
+      "\n  shape check (paper Fig. 12): blocked peaks drop to a small\n"
+      "  fraction; unblocked peaks remain near 1.0 in the same scene.\n");
+  return 0;
+}

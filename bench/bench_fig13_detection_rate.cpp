@@ -1,0 +1,127 @@
+// Figure 13: target detection rate, P-MUSIC vs traditional MUSIC, as the
+// tag-array distance grows from 2 m to 8 m; (a) one path blocked,
+// (b) all paths blocked.
+//
+// Paper shape: P-MUSIC near 100% everywhere; MUSIC poor, and essentially
+// broken when every path is blocked at once.
+#include <cstdio>
+
+#include "baseline/music_power_detector.hpp"
+#include "bench_util.hpp"
+#include "core/change_detector.hpp"
+#include "core/covariance.hpp"
+#include "core/pmusic.hpp"
+#include "rf/array.hpp"
+#include "rf/snapshot.hpp"
+#include "sim/propagate.hpp"
+#include "sim/target.hpp"
+
+namespace {
+
+using namespace dwatch;
+
+struct Rates {
+  double pmusic = 0.0;
+  double music = 0.0;
+};
+
+/// Detection = EVERY truly blocked path has a reported drop within 4 deg
+/// (the paper's complaint about MUSIC is precisely that it "may only
+/// detect one path and miss the other blocked paths").
+bool hit(const std::vector<core::PathDrop>& drops,
+         const std::vector<rf::PropagationPath>& paths,
+         const std::vector<double>& scales) {
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    if (scales[i] >= 1.0) continue;
+    bool found = false;
+    for (const auto& d : drops) {
+      if (std::abs(d.theta - paths[i].aoa) < rf::deg2rad(4.0)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+Rates run_distance(double d_ta, bool block_all, rf::Rng& rng) {
+  sim::Environment env = sim::Environment::hall();
+  // Controlled geometry (paper Fig. 11): empty hall, exactly direct +
+  // two reflector paths.
+  env.walls.clear();
+  env.scatterers.push_back(sim::PointScatterer{{2.2, 2.0}, 1.2, 5.0});
+  env.scatterers.push_back(sim::PointScatterer{{5.2, 2.4}, 1.2, 5.0});
+  const rf::UniformLinearArray array({3.6, 0.3, 1.25}, {1, 0}, 8);
+  const rf::Vec3 tag{3.6, 0.3 + d_ta, 1.25};
+  sim::TraceOptions trace;
+  const auto paths = sim::trace_paths(tag, array, env, trace);
+
+  // Targets: one on the direct path, optionally on every reflector leg.
+  std::vector<sim::CylinderTarget> targets{
+      sim::CylinderTarget::human({3.6, 0.3 + d_ta / 2})};
+  if (block_all) {
+    targets.push_back(sim::CylinderTarget::human({2.6, 1.4}));
+    targets.push_back(sim::CylinderTarget::human({4.7, 1.6}));
+  }
+  const auto scales = sim::blocking_scales(paths, targets);
+
+  rf::SnapshotOptions snap;
+  snap.num_snapshots = 16;
+  snap.noise_sigma = rf::noise_sigma_for_snr(paths, 1.0, 30.0);
+
+  core::PMusicOptions pm_opts;
+  pm_opts.peaks.min_relative_height = 0.002;  // few-path controlled scene
+  core::PMusicEstimator pm(array.spacing(), array.lambda(), pm_opts);
+  core::SpectrumChangeDetector detector;
+  baseline::MusicPowerDetector music(array.spacing(), array.lambda());
+
+  const int trials = 20;
+  int hits_pm = 0;
+  int hits_mu = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    const auto base = rf::synthesize_snapshots(array, paths, {}, snap, rng);
+    const auto online =
+        rf::synthesize_snapshots(array, paths, scales, snap, rng);
+    // P-MUSIC pipeline scheme: baseline Omega peaks vs online PB power.
+    const auto omega_base = pm.estimate(base).omega;
+    const auto pb_online =
+        pm.power_spectrum(core::sample_correlation(online));
+    if (hit(detector.detect(omega_base, pb_online), paths, scales)) {
+      ++hits_pm;
+    }
+    if (hit(music.detect(base, online), paths, scales)) ++hits_mu;
+  }
+  return Rates{100.0 * hits_pm / trials, 100.0 * hits_mu / trials};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Fig. 13 — detection rate vs tag-array distance (P-MUSIC vs MUSIC)");
+
+  rf::Rng rng(bench::kRunSeed);
+  for (const bool block_all : {false, true}) {
+    std::printf("\n  (%s)\n  d_TA | P-MUSIC %% | MUSIC %%\n",
+                block_all ? "ALL paths blocked" : "one path blocked");
+    double pm_sum = 0.0;
+    double mu_sum = 0.0;
+    int n = 0;
+    for (const double d : {2.0, 4.0, 6.0, 8.0}) {
+      const Rates r = run_distance(d, block_all, rng);
+      std::printf("  %3.0fm | %9.0f | %7.0f\n", d, r.pmusic, r.music);
+      pm_sum += r.pmusic;
+      mu_sum += r.music;
+      ++n;
+    }
+    bench::print_row("mean P-MUSIC detection rate",
+                     block_all ? 95.0 : 98.0, pm_sum / n, "%");
+    bench::print_row("mean MUSIC detection rate",
+                     block_all ? 15.0 : 45.0, mu_sum / n, "%");
+  }
+  std::printf(
+      "\n  shape check: P-MUSIC ~100%% everywhere; MUSIC degraded, worst\n"
+      "  when all paths are blocked simultaneously (paper Fig. 13b).\n");
+  return 0;
+}

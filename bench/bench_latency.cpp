@@ -1,0 +1,157 @@
+// Section 8 latency microbenchmarks (google-benchmark).
+//
+// The paper reports ~57 ms average processing time per fix on a 2016
+// i7-4790 desktop, with an end-to-end latency well under 0.5 s at a
+// 0.1 s transmission interval. These benches time the individual stages
+// and the full fix, plus the hill-climbing vs exhaustive-search ablation
+// the DESIGN.md calls out.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "core/covariance.hpp"
+#include "core/pipeline.hpp"
+#include "core/pmusic.hpp"
+#include "rfid/gen2.hpp"
+#include "rfid/llrp.hpp"
+
+namespace {
+
+using namespace dwatch;
+
+const sim::Scene& shared_scene() {
+  static const sim::Scene scene =
+      bench::make_room_scene(sim::Environment::library());
+  return scene;
+}
+
+linalg::CMatrix shared_snapshots() {
+  rf::Rng rng(5);
+  return shared_scene().capture(0, 0, {}, rng);
+}
+
+void BM_SampleCorrelation(benchmark::State& state) {
+  const auto x = shared_snapshots();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::sample_correlation(x));
+  }
+}
+BENCHMARK(BM_SampleCorrelation);
+
+void BM_PMusicSpectrum(benchmark::State& state) {
+  const auto x = shared_snapshots();
+  const auto& array = shared_scene().deployment().arrays[0];
+  core::PMusicEstimator pm(array.spacing(), array.lambda());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pm.estimate(x));
+  }
+}
+BENCHMARK(BM_PMusicSpectrum);
+
+void BM_OnlinePowerSpectrum(benchmark::State& state) {
+  // The per-observation online cost (no eigendecomposition).
+  const auto x = shared_snapshots();
+  const auto& array = shared_scene().deployment().arrays[0];
+  core::PMusicEstimator pm(array.spacing(), array.lambda());
+  const auto r = core::sample_correlation(x);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pm.power_spectrum(r));
+  }
+}
+BENCHMARK(BM_OnlinePowerSpectrum);
+
+/// One full fix: observe every readable (array, tag) pair + localize.
+/// The paper's comparable number is ~57 ms processing per fix.
+void BM_FullFix(benchmark::State& state) {
+  const bool hill = state.range(0) != 0;
+  const sim::Scene& scene = shared_scene();
+  harness::RunnerOptions opts;
+  opts.calibrate = false;
+  opts.through_wire = false;
+  opts.pipeline.localizer.hill_climbing = hill;
+  harness::ExperimentRunner runner(scene, opts);
+  rf::Rng rng(9);
+  for (std::size_t a = 0; a < scene.num_arrays(); ++a) {
+    runner.pipeline().set_calibration(a, scene.reader(a).phase_offsets());
+  }
+  runner.collect_baselines(rng);
+  const sim::CylinderTarget target = sim::CylinderTarget::human({3.0, 4.0});
+  const std::vector<sim::CylinderTarget> targets{target};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.run_fix_best_effort(targets, rng));
+  }
+}
+BENCHMARK(BM_FullFix)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_LocalizeOnly(benchmark::State& state) {
+  const bool hill = state.range(0) != 0;
+  const sim::Scene& scene = shared_scene();
+  harness::RunnerOptions opts;
+  opts.calibrate = false;
+  opts.through_wire = false;
+  opts.pipeline.localizer.hill_climbing = hill;
+  harness::ExperimentRunner runner(scene, opts);
+  rf::Rng rng(9);
+  for (std::size_t a = 0; a < scene.num_arrays(); ++a) {
+    runner.pipeline().set_calibration(a, scene.reader(a).phase_offsets());
+  }
+  runner.collect_baselines(rng);
+  const sim::CylinderTarget target = sim::CylinderTarget::human({3.0, 4.0});
+  const std::vector<sim::CylinderTarget> targets{target};
+  runner.run_epoch(targets, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.pipeline().localize_best_effort());
+  }
+}
+BENCHMARK(BM_LocalizeOnly)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_CalibrationSolve(benchmark::State& state) {
+  const sim::Scene& scene = shared_scene();
+  const auto& array = scene.deployment().arrays[0];
+  rf::Rng rng(11);
+  std::vector<core::CalibrationMeasurement> meas;
+  for (const std::size_t t : harness::nearest_tags(scene, 0, 6)) {
+    core::CalibrationMeasurement m;
+    m.snapshots = scene.capture(0, t, {}, rng);
+    m.los_angle = array.arrival_angle(scene.deployment().tags[t].position);
+    meas.push_back(std::move(m));
+  }
+  core::WirelessCalibrator calibrator(array.spacing(), array.lambda());
+  for (auto _ : state) {
+    rf::Rng opt_rng(13);
+    benchmark::DoNotOptimize(calibrator.calibrate(meas, opt_rng));
+  }
+}
+BENCHMARK(BM_CalibrationSolve)->Unit(benchmark::kMillisecond);
+
+void BM_LlrpEncodeDecode(benchmark::State& state) {
+  const sim::Scene& scene = shared_scene();
+  rf::Rng rng(15);
+  rfid::RoAccessReport report;
+  report.message_id = 1;
+  for (std::size_t t = 0; t < scene.num_tags(); ++t) {
+    report.observations.push_back(
+        scene.capture_observation(0, t, {}, rng));
+  }
+  const auto bytes = encode(report);
+  std::size_t total = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rfid::decode_ro_access_report(bytes));
+    total += bytes.size();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(total));
+}
+BENCHMARK(BM_LlrpEncodeDecode);
+
+void BM_Gen2Inventory(benchmark::State& state) {
+  const auto tags = static_cast<std::size_t>(state.range(0));
+  rfid::Gen2Config cfg;
+  rf::Rng rng(17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rfid::run_inventory(tags, cfg, rng));
+  }
+}
+BENCHMARK(BM_Gen2Inventory)->Arg(21)->Arg(47);
+
+}  // namespace
+
+BENCHMARK_MAIN();

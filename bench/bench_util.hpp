@@ -1,0 +1,121 @@
+// Shared helpers for the figure-reproduction benches: standard scenes,
+// experiment loops and table printing. Every bench prints a
+// "paper vs measured" table for its figure; absolute centimetres are not
+// expected to match (synthetic rooms), the SHAPE is.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/stats.hpp"
+#include "sim/scene.hpp"
+
+namespace dwatch::bench {
+
+/// Default deterministic seeds so every bench run reproduces bit-exactly.
+inline constexpr std::uint64_t kDeploySeed = 42;
+inline constexpr std::uint64_t kHardwareSeed = 7;
+inline constexpr std::uint64_t kRunSeed = 1234;
+
+inline sim::Scene make_room_scene(sim::Environment env,
+                                  std::size_t num_tags = 21,
+                                  std::size_t antennas = 8,
+                                  std::uint64_t deploy_seed = kDeploySeed,
+                                  std::uint64_t hw_seed = kHardwareSeed) {
+  rf::Rng rng(deploy_seed);
+  rf::Rng hw(hw_seed);
+  sim::DeploymentOptions dopt;
+  dopt.num_tags = num_tags;
+  dopt.antennas_per_array = antennas;
+  auto dep = sim::make_room_deployment(std::move(env), dopt, rng);
+  return sim::Scene(std::move(dep), sim::CaptureOptions{}, hw);
+}
+
+/// Uniform grid of test locations with a margin, like the paper's 0.5 m
+/// spaced test points (counts scaled down for bench runtime).
+inline std::vector<rf::Vec2> test_locations(const sim::Environment& env,
+                                            std::size_t nx, std::size_t ny,
+                                            double margin = 1.0) {
+  std::vector<rf::Vec2> out;
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      out.push_back(
+          {margin + (env.width - 2 * margin) * static_cast<double>(ix) /
+                        static_cast<double>(nx - 1),
+           margin + (env.depth - 2 * margin) * static_cast<double>(iy) /
+                        static_cast<double>(ny - 1)});
+    }
+  }
+  return out;
+}
+
+/// Result of a localization sweep over test locations.
+struct SweepResult {
+  std::vector<double> errors;  ///< error per REPORTED fix [m]
+  std::vector<double> valid_errors;  ///< error per consensus fix [m]
+  std::size_t covered = 0;     ///< valid (consensus) fixes
+  std::size_t localizable = 0;  ///< trials with >= 2 arrays reporting drops
+                                ///< (the paper's Fig. 16/17 coverage notion)
+  std::size_t no_evidence = 0;  ///< trials with no fix at all (deadzone)
+  std::size_t trials = 0;
+
+  [[nodiscard]] double coverage_pct() const {
+    return trials == 0 ? 0.0
+                       : 100.0 * static_cast<double>(covered) /
+                             static_cast<double>(trials);
+  }
+  [[nodiscard]] double localizable_pct() const {
+    return trials == 0 ? 0.0
+                       : 100.0 * static_cast<double>(localizable) /
+                             static_cast<double>(trials);
+  }
+};
+
+/// Calibrate, baseline, then run `reps` best-effort fixes per location.
+inline SweepResult run_localization_sweep(
+    const sim::Scene& scene, const std::vector<rf::Vec2>& locations,
+    std::size_t reps, rf::Rng& rng,
+    harness::RunnerOptions opts = {}) {
+  harness::ExperimentRunner runner(scene, opts);
+  runner.calibrate(rng);
+  runner.collect_baselines(rng);
+  SweepResult result;
+  for (const rf::Vec2 p : locations) {
+    const sim::CylinderTarget target = sim::CylinderTarget::human(p);
+    const std::vector<sim::CylinderTarget> targets{target};
+    for (std::size_t r = 0; r < reps; ++r) {
+      ++result.trials;
+      const auto est = runner.run_fix_best_effort(targets, rng);
+      std::size_t arrays_reporting = 0;
+      for (const auto& e : runner.pipeline().evidence()) {
+        if (!e.drops.empty()) ++arrays_reporting;
+      }
+      if (arrays_reporting >= 2) ++result.localizable;
+      if (est.likelihood > 0.0) {
+        const double err = harness::human_error(est.position, p);
+        result.errors.push_back(err);
+        if (est.valid) {
+          ++result.covered;
+          result.valid_errors.push_back(err);
+        }
+      } else {
+        ++result.no_evidence;  // deadzone: no fix reported at all
+      }
+    }
+  }
+  return result;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline void print_row(const std::string& label, double paper,
+                      double measured, const std::string& unit) {
+  std::printf("  %-38s paper: %8.2f %-4s   measured: %8.2f %s\n",
+              label.c_str(), paper, unit.c_str(), measured, unit.c_str());
+}
+
+}  // namespace dwatch::bench

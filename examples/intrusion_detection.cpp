@@ -1,0 +1,74 @@
+// Intrusion detection: continuous monitoring of a room with a tracker.
+//
+// A person enters the laboratory, walks a diagonal path and leaves.
+// Every 0.1 s epoch the pipeline produces (or abstains from) a fix; the
+// alpha-beta tracker smooths fixes and coasts through deadzones. An
+// "alarm" is raised when a track is first established — the paper's
+// headline application (device-free: the intruder carries nothing).
+#include <cstdio>
+
+#include "core/tracker.hpp"
+#include "harness/experiment.hpp"
+#include "sim/scene.hpp"
+
+int main() {
+  using namespace dwatch;
+
+  rf::Rng deploy_rng(42);
+  rf::Rng hardware_rng(7);
+  sim::DeploymentOptions layout;
+  auto deployment = sim::make_room_deployment(
+      sim::Environment::laboratory(), layout, deploy_rng);
+  sim::Scene scene(std::move(deployment), sim::CaptureOptions{},
+                   hardware_rng);
+
+  harness::RunnerOptions options;
+  harness::ExperimentRunner runner(scene, options);
+  rf::Rng rng(1);
+  runner.calibrate(rng);
+  runner.collect_baselines(rng);
+  std::printf("monitoring the %.0fx%.0f m laboratory...\n",
+              scene.deployment().env.width, scene.deployment().env.depth);
+
+  core::TrackerOptions topt;
+  topt.dt = 0.1;            // paper: 0.1 s transmission interval
+  topt.gate_distance = 1.0;  // ~max walking distance per epoch + margin
+  core::AlphaBetaTracker tracker(topt);
+
+  bool alarmed = false;
+  // Walk from (1.5, 2) to (7, 9.5) at ~1.3 m/s, one epoch per 0.1 s.
+  const int steps = 24;
+  for (int k = 0; k <= steps; ++k) {
+    const double t = static_cast<double>(k) / steps;
+    const rf::Vec2 truth{1.5 + 5.5 * t, 2.0 + 7.5 * t};
+    const sim::CylinderTarget person = sim::CylinderTarget::human(truth);
+    const std::vector<sim::CylinderTarget> targets{person};
+    const auto fix = runner.run_fix(targets, rng);
+
+    std::optional<rf::Vec2> track;
+    if (fix.valid && fix.consensus >= 2) {
+      track = tracker.update(fix.position);
+      if (!alarmed) {
+        std::printf("[t=%4.1fs] ALARM: presence detected at (%.1f, %.1f)\n",
+                    0.1 * k, track->x, track->y);
+        alarmed = true;
+      }
+    } else {
+      track = tracker.coast();
+    }
+
+    if (track) {
+      std::printf("[t=%4.1fs] track (%.2f, %.2f)  truth (%.2f, %.2f)  "
+                  "err %.2f m%s\n",
+                  0.1 * k, track->x, track->y, truth.x, truth.y,
+                  harness::human_error(*track, truth),
+                  fix.valid ? "" : "  (coasting)");
+    } else {
+      std::printf("[t=%4.1fs] searching... truth (%.2f, %.2f)\n", 0.1 * k,
+                  truth.x, truth.y);
+    }
+  }
+  std::printf(alarmed ? "\nintruder tracked across the room.\n"
+                      : "\nno alarm raised (increase tags/reflectors).\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Multi-target localization on the 2 m x 2 m table (paper Section 6.7):
+// two small arrays + 26 tags watch three water bottles at once. Prints a
+// likelihood heatmap with the estimates and ground truth.
+#include <algorithm>
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "sim/scene.hpp"
+
+namespace {
+
+using namespace dwatch;
+
+void render(const core::LikelihoodGrid& grid,
+            const std::vector<core::LocationEstimate>& hits,
+            const std::vector<rf::Vec2>& truth) {
+  const double max_v =
+      *std::max_element(grid.values.begin(), grid.values.end());
+  const std::size_t cx = std::max<std::size_t>(grid.nx / 48, 1);
+  const std::size_t cy = std::max<std::size_t>(grid.ny / 24, 1);
+  for (std::size_t iy = grid.ny; iy-- > 0;) {
+    if (iy % cy != 0) continue;
+    std::printf("  ");
+    for (std::size_t ix = 0; ix < grid.nx; ix += cx) {
+      const rf::Vec2 p = grid.point(ix, iy);
+      char c = ' ';
+      if (max_v > 0.0) {
+        const double v = grid.at(ix, iy) / max_v;
+        c = v > 0.8 ? '#' : v > 0.5 ? '+' : v > 0.25 ? '.' : ' ';
+      }
+      for (const rf::Vec2 t : truth) {
+        if (rf::distance(p, t) < 0.05) c = 'X';  // ground truth
+      }
+      for (const auto& h : hits) {
+        if (rf::distance(p, h.position) < 0.05) c = 'O';  // estimate
+      }
+      std::putchar(c);
+    }
+    std::putchar('\n');
+  }
+  std::printf("  (X = true bottle, O = estimate, #/+/. = likelihood)\n");
+}
+
+}  // namespace
+
+int main() {
+  rf::Rng deploy_rng(42);
+  rf::Rng hardware_rng(9);
+  auto deployment = sim::make_table_deployment(26, 8, deploy_rng);
+  sim::Scene scene(std::move(deployment), sim::CaptureOptions{},
+                   hardware_rng);
+
+  harness::RunnerOptions options;
+  options.pipeline.localizer.grid_step = 0.02;  // paper's 2x2 cm grid
+  harness::ExperimentRunner runner(scene, options);
+  rf::Rng rng(1);
+  // Table arrays ship factory-calibrated in this demo.
+  for (std::size_t a = 0; a < scene.num_arrays(); ++a) {
+    runner.pipeline().set_calibration(a, scene.reader(a).phase_offsets());
+  }
+  runner.collect_baselines(rng);
+
+  const double z = sim::Environment::kTableHeight;
+  const std::vector<rf::Vec2> spots{{0.5, 0.7}, {1.0, 1.5}, {1.5, 0.7}};
+  std::vector<sim::CylinderTarget> bottles;
+  for (const rf::Vec2 s : spots) {
+    bottles.push_back(sim::CylinderTarget::bottle(s, z));
+  }
+
+  const auto hits = runner.run_fix_multi(bottles, 3, 0.3, rng);
+  std::printf("three bottles on the table; %zu localized:\n", hits.size());
+  for (const auto& hit : hits) {
+    double best = 1e9;
+    for (const rf::Vec2 s : spots) {
+      best = std::min(best, rf::distance(hit.position, s));
+    }
+    std::printf("  bottle at (%.2f, %.2f), %.1f cm from truth "
+                "(%zu arrays agree)\n",
+                hit.position.x, hit.position.y, 100.0 * best,
+                hit.consensus);
+  }
+  render(runner.pipeline().likelihood_grid(), hits, spots);
+  return 0;
+}

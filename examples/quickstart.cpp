@@ -1,0 +1,73 @@
+// Quickstart: the whole D-Watch workflow in one file.
+//
+//   1. deploy 4 reader arrays + 21 tags in the paper's library room;
+//   2. wirelessly calibrate each array's random RF-port phase offsets
+//      from normal tag traffic (no link interruption);
+//   3. collect the empty-room P-MUSIC baselines;
+//   4. a person walks in: per-tag spectra drop where paths are blocked,
+//      and the drops from several arrays triangulate the person.
+//
+// Everything runs on the built-in simulator — no hardware needed. The
+// same DWatchPipeline consumes real LLRP tag reports unchanged.
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "sim/scene.hpp"
+
+int main() {
+  using namespace dwatch;
+
+  // --- deployment --------------------------------------------------------
+  rf::Rng deploy_rng(42);   // tag placement
+  rf::Rng hardware_rng(7);  // per-port phase offsets (the Fig. 3 problem)
+  sim::DeploymentOptions layout;  // 4 arrays x 8 antennas, 21 tags
+  sim::Deployment deployment = sim::make_room_deployment(
+      sim::Environment::library(), layout, deploy_rng);
+  sim::Scene scene(std::move(deployment), sim::CaptureOptions{},
+                   hardware_rng);
+  std::printf("deployed %zu arrays and %zu tags in a %.0fx%.0f m library\n",
+              scene.num_arrays(), scene.num_tags(),
+              scene.deployment().env.width, scene.deployment().env.depth);
+
+  // --- pipeline ----------------------------------------------------------
+  harness::RunnerOptions options;  // defaults follow the paper
+  harness::ExperimentRunner runner(scene, options);
+  rf::Rng rng(1);
+
+  runner.calibrate(rng);  // Section 4.1: GA+GD subspace calibration
+  for (std::size_t a = 0; a < runner.calibration_reports().size(); ++a) {
+    std::printf("array %zu calibrated, residual phase error %.3f rad\n", a,
+                runner.calibration_reports()[a].mean_error_rad);
+  }
+
+  const std::size_t baselines = runner.collect_baselines(rng);
+  std::printf("collected %zu empty-room baselines (a few seconds of tag "
+              "traffic, not hours of fingerprinting)\n",
+              baselines);
+
+  // --- an intruder appears ------------------------------------------------
+  const rf::Vec2 intruder{3.0, 4.0};
+  const sim::CylinderTarget person = sim::CylinderTarget::human(intruder);
+  const std::vector<sim::CylinderTarget> targets{person};
+  const core::LocationEstimate fix = runner.run_fix(targets, rng);
+
+  if (fix.valid) {
+    std::printf(
+        "\nintruder detected at (%.2f, %.2f) m — truth (%.2f, %.2f), "
+        "error %.1f cm, %zu arrays agree\n",
+        fix.position.x, fix.position.y, intruder.x, intruder.y,
+        100.0 * harness::human_error(fix.position, intruder),
+        fix.consensus);
+  } else {
+    std::printf("\nno confident fix this epoch (deadzone) — a moving "
+                "target is caught on the next epochs\n");
+  }
+
+  // The drops behind the fix, per array:
+  const auto& evidence = runner.pipeline().evidence();
+  for (std::size_t a = 0; a < evidence.size(); ++a) {
+    std::printf("array %zu saw %zu path drop(s)\n", a,
+                evidence[a].drops.size());
+  }
+  return 0;
+}

@@ -1,0 +1,24 @@
+#include "baseline/music_power_detector.hpp"
+
+namespace dwatch::baseline {
+
+MusicPowerDetector::MusicPowerDetector(double spacing, double lambda,
+                                       MusicPowerOptions options)
+    : music_(spacing, lambda, options.music), detector_(options.change) {}
+
+core::AngularSpectrum MusicPowerDetector::spectrum(
+    const linalg::CMatrix& snapshots) const {
+  core::AngularSpectrum b = music_.estimate(snapshots).spectrum;
+  const double peak = b.max_value();
+  if (peak > 0.0) b *= 1.0 / peak;
+  return b;
+}
+
+std::vector<core::PathDrop> MusicPowerDetector::detect(
+    const linalg::CMatrix& baseline_snapshots,
+    const linalg::CMatrix& online_snapshots) const {
+  return detector_.detect(spectrum(baseline_snapshots),
+                          spectrum(online_snapshots));
+}
+
+}  // namespace dwatch::baseline

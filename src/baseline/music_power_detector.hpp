@@ -1,0 +1,47 @@
+// Baseline detector: treat the traditional MUSIC spectrum's peak
+// amplitude as if it were signal power.
+//
+// This is the straw man the paper dismantles in Section 3.2 / Fig. 4:
+// the MUSIC peak height is a pseudo-probability (inverse subspace
+// leakage), so blocking one path perturbs OTHER peaks (false positives)
+// and blocking all paths barely moves any peak (misses). The Fig. 13
+// benchmark compares this detector's detection rate against P-MUSIC's.
+#pragma once
+
+#include <vector>
+
+#include "core/change_detector.hpp"
+#include "core/music.hpp"
+#include "linalg/complex_matrix.hpp"
+
+namespace dwatch::baseline {
+
+struct MusicPowerOptions {
+  core::MusicOptions music;
+  core::ChangeDetectorOptions change;
+};
+
+/// Detects "power" drops directly on B(theta).
+class MusicPowerDetector {
+ public:
+  MusicPowerDetector(double spacing, double lambda,
+                     MusicPowerOptions options = {});
+
+  /// The baseline-vs-online MUSIC spectra comparison.
+  [[nodiscard]] std::vector<core::PathDrop> detect(
+      const linalg::CMatrix& baseline_snapshots,
+      const linalg::CMatrix& online_snapshots) const;
+
+  /// MUSIC spectrum normalized to unit maximum — the way the paper's
+  /// Fig. 4 polar plots present it (MUSIC's absolute level is an
+  /// arbitrary inverse-leakage scale, so comparisons only make sense on
+  /// the normalized shape).
+  [[nodiscard]] core::AngularSpectrum spectrum(
+      const linalg::CMatrix& snapshots) const;
+
+ private:
+  core::MusicEstimator music_;
+  core::SpectrumChangeDetector detector_;
+};
+
+}  // namespace dwatch::baseline

@@ -1,0 +1,50 @@
+#include "baseline/phaser_calibration.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rf/array.hpp"
+#include "rf/geometry.hpp"
+
+namespace dwatch::baseline {
+
+std::vector<double> phaser_calibrate(
+    std::span<const core::CalibrationMeasurement> measurements,
+    double spacing, double lambda) {
+  if (measurements.empty()) {
+    throw std::invalid_argument("phaser_calibrate: no measurements");
+  }
+  const std::size_t m = measurements.front().snapshots.rows();
+  if (m < 2) {
+    throw std::invalid_argument("phaser_calibrate: need >= 2 antennas");
+  }
+
+  // Circular accumulation across tags.
+  std::vector<linalg::Complex> acc(m, linalg::Complex{});
+  for (const auto& meas : measurements) {
+    const linalg::CMatrix& x = meas.snapshots;
+    if (x.rows() != m) {
+      throw std::invalid_argument("phaser_calibrate: antenna mismatch");
+    }
+    for (std::size_t ant = 1; ant < m; ++ant) {
+      // mean_n x_m(n) conj(x_1(n)) — relative phase vs reference antenna.
+      linalg::Complex cross{};
+      for (std::size_t n = 0; n < x.cols(); ++n) {
+        cross += x(ant, n) * std::conj(x(0, n));
+      }
+      // Remove the geometric LoS ramp (the one Phaser assumes dominates):
+      // the direct path contributes e^{-j omega(ant+1, theta_LoS)}.
+      const double geo = rf::steering_phase(ant + 1, meas.los_angle, spacing,
+                                            lambda);
+      acc[ant] += cross * std::polar(1.0, geo);
+    }
+  }
+
+  std::vector<double> offsets(m, 0.0);
+  for (std::size_t ant = 1; ant < m; ++ant) {
+    offsets[ant] = std::arg(acc[ant]);
+  }
+  return offsets;
+}
+
+}  // namespace dwatch::baseline

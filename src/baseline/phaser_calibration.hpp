@@ -1,0 +1,28 @@
+// Phaser-style wireless phase calibration baseline (Gjengset et al.,
+// MobiCom'14), adapted to the RFID setting.
+//
+// Phaser calibrates from over-the-air measurements assuming the direct
+// path DOMINATES: the per-antenna phase of the received signal relative
+// to the reference antenna is then the hardware offset plus the known
+// geometric LoS phase ramp. Indoors multipath violates the assumption,
+// which is exactly why this method is coarse (paper Fig. 9) — the error
+// barely improves with more tags because the bias is per-tag multipath,
+// not noise.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/calibration.hpp"
+#include "linalg/complex_matrix.hpp"
+
+namespace dwatch::baseline {
+
+/// Estimate offsets the Phaser way: per tag, beta_m ~ arg(mean_n x_m(n)
+/// conj(x_1(n))) + omega(m, theta_LoS); tags are combined by a circular
+/// mean. Offsets[0] == 0.
+[[nodiscard]] std::vector<double> phaser_calibrate(
+    std::span<const core::CalibrationMeasurement> measurements,
+    double spacing, double lambda);
+
+}  // namespace dwatch::baseline

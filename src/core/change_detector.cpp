@@ -1,0 +1,50 @@
+#include "core/change_detector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dwatch::core {
+
+SpectrumChangeDetector::SpectrumChangeDetector(ChangeDetectorOptions options)
+    : options_(options) {
+  if (options_.min_drop_fraction < 0.0 || options_.min_drop_fraction > 1.0) {
+    throw std::invalid_argument(
+        "SpectrumChangeDetector: min_drop_fraction outside [0,1]");
+  }
+}
+
+double SpectrumChangeDetector::windowed_power(const AngularSpectrum& spectrum,
+                                              double theta) const {
+  const std::size_t lo = spectrum.index_of(theta - options_.angle_window);
+  const std::size_t hi = spectrum.index_of(theta + options_.angle_window);
+  double best = 0.0;
+  for (std::size_t i = lo; i <= hi && i < spectrum.size(); ++i) {
+    best = std::max(best, spectrum[i]);
+  }
+  return best;
+}
+
+std::vector<PathDrop> SpectrumChangeDetector::detect(
+    const AngularSpectrum& baseline, const AngularSpectrum& online) const {
+  if (baseline.size() != online.size()) {
+    throw std::invalid_argument(
+        "SpectrumChangeDetector: spectrum size mismatch");
+  }
+  std::vector<PathDrop> drops;
+  for (const Peak& peak : find_peaks(baseline, options_.peaks)) {
+    if (peak.value <= 0.0) continue;
+    const double now = windowed_power(online, peak.theta);
+    const double drop = (peak.value - now) / peak.value;
+    if (drop >= options_.min_drop_fraction) {
+      drops.push_back(PathDrop{
+          .theta = peak.theta,
+          .drop_fraction = std::min(drop, 1.0),
+          .baseline_power = peak.value,
+          .online_power = now,
+      });
+    }
+  }
+  return drops;
+}
+
+}  // namespace dwatch::core

@@ -1,0 +1,67 @@
+// Spectrum-change detection: which paths dropped, and by how much.
+//
+// D-Watch's observable is the per-path POWER DROP on the P-MUSIC
+// spectrum when a target occludes a path (paper Section 4.3, Step 3 of
+// the workflow): compare the baseline spectrum (empty scene) with the
+// online spectrum and report, for every baseline peak, the fractional
+// power drop at that angle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/spectrum.hpp"
+#include "rf/constants.hpp"
+
+namespace dwatch::core {
+
+/// One detected path blockage.
+struct PathDrop {
+  double theta = 0.0;          ///< baseline peak angle [rad]
+  double drop_fraction = 0.0;  ///< (P_base - P_online)/P_base, in [0, 1]
+  double baseline_power = 0.0;
+  double online_power = 0.0;
+  /// Which tag's spectrum produced this drop (EPC serial); lets the
+  /// outlier rejection distinguish one-tag/many-array ghost patterns
+  /// from many-tag/one-array genuine blockage (paper Section 4.3).
+  std::uint32_t source_id = 0;
+};
+
+struct ChangeDetectorOptions {
+  /// Peak detection on the BASELINE spectrum. The default floor is low:
+  /// weak reflection-path peaks are exactly the "bad multipaths" D-Watch
+  /// wants to watch, and the PB-based online comparison is stable enough
+  /// to monitor them without false positives.
+  PeakOptions peaks{.min_relative_height = 0.015};
+  /// Report a drop only if the fraction exceeds this (absorbs noise and
+  /// small spectral jitter).
+  double min_drop_fraction = 0.3;
+  /// The online power at a baseline peak is taken as the max over a
+  /// +/- window this wide, tolerating sub-degree peak wobble.
+  double angle_window = rf::deg2rad(2.0);
+};
+
+/// Compare baseline vs online spectra of ONE (array, tag) pair.
+class SpectrumChangeDetector {
+ public:
+  explicit SpectrumChangeDetector(ChangeDetectorOptions options = {});
+
+  [[nodiscard]] const ChangeDetectorOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// All baseline peaks whose power dropped by at least
+  /// min_drop_fraction. Spectra must have equal size (throws
+  /// std::invalid_argument otherwise).
+  [[nodiscard]] std::vector<PathDrop> detect(
+      const AngularSpectrum& baseline, const AngularSpectrum& online) const;
+
+  /// Max power in `spectrum` within +/- angle_window of theta.
+  [[nodiscard]] double windowed_power(const AngularSpectrum& spectrum,
+                                      double theta) const;
+
+ private:
+  ChangeDetectorOptions options_;
+};
+
+}  // namespace dwatch::core

@@ -1,0 +1,37 @@
+// Sample correlation matrices and spatial smoothing.
+//
+// Backscatter multipath is COHERENT (all paths carry the same tag
+// symbol), so the source covariance is rank-1 and plain MUSIC cannot
+// resolve individual paths. The paper adopts spatial smoothing (Shan,
+// Wax & Kailath 1985) to restore rank; we implement forward-backward
+// smoothing: average the covariances of overlapping subarrays and their
+// conjugate-flipped counterparts.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/complex_matrix.hpp"
+
+namespace dwatch::core {
+
+/// Sample correlation R = X X^H / N from an M x N snapshot matrix.
+/// Throws std::invalid_argument on an empty matrix.
+[[nodiscard]] linalg::CMatrix sample_correlation(const linalg::CMatrix& x);
+
+/// Forward-only spatial smoothing: average the (M - L + 1) leading
+/// principal L x L submatrices of R. Throws std::invalid_argument unless
+/// 2 <= L <= M.
+[[nodiscard]] linalg::CMatrix forward_smooth(const linalg::CMatrix& r,
+                                             std::size_t subarray);
+
+/// Forward-backward spatial smoothing: forward smoothing averaged with
+/// the exchange-conjugated version (J R* J), doubling the effective
+/// subarray count and decorrelating up to ~2(M-L+1) coherent sources.
+[[nodiscard]] linalg::CMatrix forward_backward_smooth(const linalg::CMatrix& r,
+                                                      std::size_t subarray);
+
+/// Default subarray size for M elements: enough subarrays to decorrelate
+/// the <= 5 dominant indoor paths while keeping aperture (paper §4.1).
+[[nodiscard]] std::size_t default_subarray(std::size_t num_elements) noexcept;
+
+}  // namespace dwatch::core

@@ -1,0 +1,80 @@
+#include "core/doppler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "rf/constants.hpp"
+
+namespace dwatch::core {
+
+std::vector<double> unwrap_phases(std::span<const double> wrapped) {
+  std::vector<double> out(wrapped.begin(), wrapped.end());
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    double delta = out[i] - out[i - 1];
+    while (delta > rf::kPi) {
+      out[i] -= rf::kTwoPi;
+      delta = out[i] - out[i - 1];
+    }
+    while (delta < -rf::kPi) {
+      out[i] += rf::kTwoPi;
+      delta = out[i] - out[i - 1];
+    }
+  }
+  return out;
+}
+
+DopplerEstimate estimate_doppler(std::span<const linalg::Complex> series,
+                                 const DopplerOptions& options) {
+  if (options.dt <= 0.0 || options.lambda <= 0.0) {
+    throw std::invalid_argument("estimate_doppler: bad dt/lambda");
+  }
+  DopplerEstimate result;
+  if (series.size() < 3) return result;
+
+  // Median magnitude for the fade gate.
+  std::vector<double> mags;
+  mags.reserve(series.size());
+  for (const auto& z : series) mags.push_back(std::abs(z));
+  std::vector<double> sorted = mags;
+  std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                   sorted.end());
+  const double median_mag = sorted[sorted.size() / 2];
+  const double floor = median_mag * options.min_relative_magnitude;
+
+  std::vector<double> times;
+  std::vector<double> phases;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (mags[i] < floor || mags[i] == 0.0) continue;
+    times.push_back(static_cast<double>(i) * options.dt);
+    phases.push_back(std::arg(series[i]));
+  }
+  if (times.size() < 3) return result;
+  const std::vector<double> unwrapped = unwrap_phases(phases);
+
+  // Least-squares slope of phase vs time.
+  const double n = static_cast<double>(times.size());
+  double st = 0.0;
+  double sp = 0.0;
+  double stt = 0.0;
+  double stp = 0.0;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    st += times[i];
+    sp += unwrapped[i];
+    stt += times[i] * times[i];
+    stp += times[i] * unwrapped[i];
+  }
+  const double denom = n * stt - st * st;
+  if (std::abs(denom) < 1e-300) return result;
+  const double slope = (n * stp - st * sp) / denom;  // rad/s
+
+  result.frequency_hz = -slope / rf::kTwoPi;
+  const double path_rate = result.frequency_hz * options.lambda;
+  result.speed_mps = options.two_way ? path_rate / 2.0 : path_rate;
+  result.samples_used = times.size();
+  result.valid = true;
+  return result;
+}
+
+}  // namespace dwatch::core

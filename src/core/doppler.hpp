@@ -1,0 +1,48 @@
+// Doppler-based radial speed estimation (paper Section 8: "Doppler shift
+// can be applied to estimate the target's walking speed to further
+// improve the location accuracy").
+//
+// Given the complex amplitude of one propagation path sampled once per
+// epoch (every `dt` seconds), a moving reflector/blocker changes the path
+// length and the phase rotates at f_d = -(1/2pi) d(phase)/dt. The
+// estimator fits the unwrapped phase slope robustly and converts to
+// radial velocity v = -f_d * lambda (one-way path-length change; pass
+// `two_way = true` for reflection off the target, which doubles the
+// phase rate).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "linalg/complex_matrix.hpp"
+
+namespace dwatch::core {
+
+struct DopplerOptions {
+  double dt = 0.1;        ///< epoch interval [s] (paper: 0.1 s)
+  double lambda = 0.325;  ///< carrier wavelength [m]
+  bool two_way = false;   ///< reflected path: phase accrues twice
+  /// Samples with magnitude below this fraction of the series median are
+  /// skipped (deep fades make phase meaningless).
+  double min_relative_magnitude = 0.1;
+};
+
+struct DopplerEstimate {
+  double frequency_hz = 0.0;  ///< Doppler shift
+  double speed_mps = 0.0;     ///< radial speed (positive = approaching)
+  std::size_t samples_used = 0;
+  bool valid = false;  ///< false if fewer than 3 usable samples
+};
+
+/// Estimate the Doppler shift of a path from its per-epoch complex
+/// amplitudes. Unwraps phase and least-squares fits the slope. The
+/// usable unambiguous range is |f_d| < 1/(2 dt) (Nyquist over epochs).
+[[nodiscard]] DopplerEstimate estimate_doppler(
+    std::span<const linalg::Complex> series, const DopplerOptions& options);
+
+/// Phase-unwrap helper (exposed for tests): returns phases with jumps
+/// larger than pi removed by +-2pi corrections.
+[[nodiscard]] std::vector<double> unwrap_phases(
+    std::span<const double> wrapped);
+
+}  // namespace dwatch::core

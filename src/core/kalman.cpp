@@ -1,0 +1,98 @@
+#include "core/kalman.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dwatch::core {
+
+KalmanTracker::KalmanTracker(KalmanOptions options) : options_(options) {
+  if (options_.dt <= 0.0 || options_.process_accel <= 0.0 ||
+      options_.measurement_sigma <= 0.0) {
+    throw std::invalid_argument("KalmanTracker: bad options");
+  }
+}
+
+void KalmanTracker::predict_axis(KalmanAxis& a) const {
+  const double dt = options_.dt;
+  const double q = options_.process_accel * options_.process_accel;
+  // x <- F x with F = [1 dt; 0 1].
+  a.pos += a.vel * dt;
+  // P <- F P F^T + Q (white-acceleration discretization).
+  const double p_pp = a.p_pp + 2.0 * dt * a.p_pv + dt * dt * a.p_vv;
+  const double p_pv = a.p_pv + dt * a.p_vv;
+  const double dt2 = dt * dt;
+  a.p_pp = p_pp + q * dt2 * dt2 / 4.0;
+  a.p_pv = p_pv + q * dt2 * dt / 2.0;
+  a.p_vv = a.p_vv + q * dt2;
+}
+
+void KalmanTracker::update_axis(KalmanAxis& a, double z) const {
+  const double r = options_.measurement_sigma * options_.measurement_sigma;
+  const double s = a.p_pp + r;            // innovation variance
+  const double k_pos = a.p_pp / s;        // Kalman gains (H = [1 0])
+  const double k_vel = a.p_pv / s;
+  const double innovation = z - a.pos;
+  a.pos += k_pos * innovation;
+  a.vel += k_vel * innovation;
+  const double p_pp = (1.0 - k_pos) * a.p_pp;
+  const double p_pv = (1.0 - k_pos) * a.p_pv;
+  const double p_vv = a.p_vv - k_vel * a.p_pv;
+  a.p_pp = p_pp;
+  a.p_pv = p_pv;
+  a.p_vv = p_vv;
+}
+
+rf::Vec2 KalmanTracker::update(rf::Vec2 measurement) {
+  const double r = options_.measurement_sigma * options_.measurement_sigma;
+  if (!initialized_) {
+    x_ = KalmanAxis{measurement.x, 0.0, r, 0.0, 4.0};
+    y_ = KalmanAxis{measurement.y, 0.0, r, 0.0, 4.0};
+    initialized_ = true;
+    misses_ = 0;
+    return measurement;
+  }
+  predict_axis(x_);
+  predict_axis(y_);
+
+  if (options_.gate_sigmas > 0.0) {
+    const double sx = x_.p_pp + r;
+    const double sy = y_.p_pp + r;
+    const double dx = measurement.x - x_.pos;
+    const double dy = measurement.y - y_.pos;
+    const double d2 = dx * dx / sx + dy * dy / sy;
+    if (d2 > options_.gate_sigmas * options_.gate_sigmas) {
+      ++misses_;
+      if (misses_ > options_.max_coast) reset();
+      return position();
+    }
+  }
+  update_axis(x_, measurement.x);
+  update_axis(y_, measurement.y);
+  misses_ = 0;
+  return position();
+}
+
+std::optional<rf::Vec2> KalmanTracker::coast() {
+  if (!initialized_) return std::nullopt;
+  ++misses_;
+  if (misses_ > options_.max_coast) {
+    reset();
+    return std::nullopt;
+  }
+  predict_axis(x_);
+  predict_axis(y_);
+  return position();
+}
+
+double KalmanTracker::position_sigma() const noexcept {
+  return std::sqrt(std::max(x_.p_pp, y_.p_pp));
+}
+
+void KalmanTracker::reset() {
+  initialized_ = false;
+  misses_ = 0;
+  x_ = KalmanAxis{};
+  y_ = KalmanAxis{};
+}
+
+}  // namespace dwatch::core

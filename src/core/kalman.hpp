@@ -1,0 +1,80 @@
+// Constant-velocity Kalman tracker — the adaptive-gain upgrade of the
+// alpha-beta filter in tracker.hpp.
+//
+// The alpha-beta tracker uses fixed gains; a Kalman filter adapts its
+// gain to the miss pattern, which matters for D-Watch because fixes
+// arrive irregularly (deadzones, consensus failures). State is
+// [x, y, vx, vy] with white-acceleration process noise; measurements are
+// 2-D positions with isotropic noise. All matrices are tiny and handled
+// with closed-form 2x2 blocks (position and velocity decouple per axis).
+#pragma once
+
+#include <optional>
+
+#include "rf/geometry.hpp"
+
+namespace dwatch::core {
+
+struct KalmanOptions {
+  double dt = 0.1;                 ///< fix interval [s]
+  double process_accel = 1.5;      ///< accel noise sigma [m/s^2]
+  double measurement_sigma = 0.15; ///< position noise sigma [m]
+  /// Reject measurements with a normalized innovation beyond this many
+  /// sigmas (<= 0 disables gating).
+  double gate_sigmas = 4.0;
+  /// Coast at most this many consecutive misses before resetting.
+  std::size_t max_coast = 8;
+};
+
+/// Per-axis state (position/velocity with 2x2 covariance); the two axes
+/// are independent under the isotropic model.
+struct KalmanAxis {
+  double pos = 0.0;
+  double vel = 0.0;
+  // Covariance [p_pp, p_pv; p_pv, p_vv].
+  double p_pp = 1.0;
+  double p_pv = 0.0;
+  double p_vv = 1.0;
+};
+
+class KalmanTracker {
+ public:
+  explicit KalmanTracker(KalmanOptions options = {});
+
+  /// Feed one fix; returns the filtered position. First accepted
+  /// measurement initializes the track; gated-out measurements count as
+  /// misses (prediction is returned when the track survives).
+  rf::Vec2 update(rf::Vec2 measurement);
+
+  /// A missed fix: predict-only. Returns nullopt when uninitialized or
+  /// after too many consecutive misses (track reset).
+  std::optional<rf::Vec2> coast();
+
+  [[nodiscard]] bool initialized() const noexcept { return initialized_; }
+  [[nodiscard]] rf::Vec2 position() const noexcept {
+    return {x_.pos, y_.pos};
+  }
+  [[nodiscard]] rf::Vec2 velocity() const noexcept {
+    return {x_.vel, y_.vel};
+  }
+  /// Position standard deviation [m] (sqrt of the larger axis variance);
+  /// grows while coasting, shrinks on updates.
+  [[nodiscard]] double position_sigma() const noexcept;
+  [[nodiscard]] std::size_t consecutive_misses() const noexcept {
+    return misses_;
+  }
+
+  void reset();
+
+ private:
+  void predict_axis(KalmanAxis& a) const;
+  void update_axis(KalmanAxis& a, double z) const;
+
+  KalmanOptions options_;
+  KalmanAxis x_;
+  KalmanAxis y_;
+  bool initialized_ = false;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace dwatch::core

@@ -1,0 +1,316 @@
+#include "core/localizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dwatch::core {
+
+Localizer::Localizer(std::vector<rf::UniformLinearArray> arrays,
+                     SearchBounds bounds, LocalizerOptions options)
+    : arrays_(std::move(arrays)), bounds_(bounds), options_(options) {
+  if (arrays_.empty()) {
+    throw std::invalid_argument("Localizer: no arrays");
+  }
+  if (!(bounds_.min.x < bounds_.max.x && bounds_.min.y < bounds_.max.y)) {
+    throw std::invalid_argument("Localizer: degenerate bounds");
+  }
+  if (options_.grid_step <= 0.0 || options_.kernel_sigma <= 0.0) {
+    throw std::invalid_argument("Localizer: bad step/sigma");
+  }
+}
+
+double Localizer::global_drop_norm(
+    std::span<const AngularEvidence> evidence) {
+  double norm = 0.0;
+  for (const auto& e : evidence) {
+    for (const PathDrop& d : e.drops) {
+      norm = std::max(norm, d.baseline_power - d.online_power);
+    }
+  }
+  return norm;
+}
+
+double Localizer::evidence_at(const AngularEvidence& evidence, double theta,
+                              double norm) const {
+  if (norm <= 0.0) return 0.0;
+  const double inv_2s2 =
+      1.0 / (2.0 * options_.kernel_sigma * options_.kernel_sigma);
+  // MAX-combine across drops: several drops at one bearing are usually
+  // one physical blockage seen through several tags' spectra (or one
+  // reflector's ghost), so they must not pile up additively — otherwise
+  // a cluster of weak reflection-path ghosts outvotes one honest
+  // direct-path drop.
+  double best = 0.0;
+  for (const PathDrop& d : evidence.drops) {
+    const double delta = theta - d.theta;
+    const double power_drop =
+        std::max(d.baseline_power - d.online_power, 0.0);
+    const double weight =
+        std::pow(power_drop / norm, options_.power_exponent);
+    best = std::max(best, weight * std::exp(-delta * delta * inv_2s2));
+  }
+  return best;
+}
+
+std::size_t Localizer::arrays_with_evidence(
+    std::span<const AngularEvidence> evidence) const {
+  std::size_t n = 0;
+  for (const auto& e : evidence) {
+    if (!e.empty()) ++n;
+  }
+  return n;
+}
+
+bool Localizer::too_close_to_array(rf::Vec2 point) const {
+  // A candidate sitting (nearly) on an array is geometrically degenerate
+  // (its bearing is undefined, every evidence kernel matches something)
+  // and physically impossible for a target.
+  for (const auto& a : arrays_) {
+    if (rf::distance(point, a.center().xy()) < 0.25) return true;
+  }
+  return false;
+}
+
+double Localizer::likelihood_at(
+    rf::Vec2 point, std::span<const AngularEvidence> evidence) const {
+  if (evidence.size() != arrays_.size()) {
+    throw std::invalid_argument("likelihood_at: evidence count mismatch");
+  }
+  if (too_close_to_array(point)) return 0.0;
+  const double norm = global_drop_norm(evidence);
+  double l = 1.0;
+  for (std::size_t i = 0; i < arrays_.size(); ++i) {
+    if (evidence[i].empty()) continue;  // silent reader: no information
+    const double theta = arrays_[i].arrival_angle_planar(point);
+    l *= options_.epsilon + evidence_at(evidence[i], theta, norm);
+  }
+  return l;
+}
+
+std::size_t Localizer::consensus_at(rf::Vec2 point,
+                                    std::span<const AngularEvidence> evidence,
+                                    double norm) const {
+  (void)norm;
+  // Consensus is about ANGULAR agreement, not power: an array supports a
+  // candidate iff one of its drops points at it (kernel proximity),
+  // whatever that drop's strength. Power weighting then ranks candidates
+  // WITHIN a consensus level via the likelihood.
+  const double inv_2s2 =
+      1.0 / (2.0 * options_.kernel_sigma * options_.kernel_sigma);
+  if (too_close_to_array(point)) return 0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < arrays_.size(); ++i) {
+    if (evidence[i].empty()) continue;
+    const double theta = arrays_[i].arrival_angle_planar(point);
+    double best = 0.0;
+    for (const PathDrop& d : evidence[i].drops) {
+      const double delta = theta - d.theta;
+      best = std::max(best, std::exp(-delta * delta * inv_2s2));
+    }
+    if (best >= options_.consensus_floor) ++n;
+  }
+  return n;
+}
+
+std::vector<LocationEstimate> Localizer::grid_candidates(
+    std::span<const AngularEvidence> evidence) const {
+  const LikelihoodGrid grid = likelihood_grid(evidence);
+  std::vector<LocationEstimate> candidates;
+  for (std::size_t iy = 0; iy < grid.ny; ++iy) {
+    for (std::size_t ix = 0; ix < grid.nx; ++ix) {
+      const double v = grid.at(ix, iy);
+      bool is_max = true;
+      for (int dy = -1; dy <= 1 && is_max; ++dy) {
+        for (int dx = -1; dx <= 1 && is_max; ++dx) {
+          if (dx == 0 && dy == 0) continue;
+          const auto jx = static_cast<std::ptrdiff_t>(ix) + dx;
+          const auto jy = static_cast<std::ptrdiff_t>(iy) + dy;
+          if (jx < 0 || jy < 0 ||
+              jx >= static_cast<std::ptrdiff_t>(grid.nx) ||
+              jy >= static_cast<std::ptrdiff_t>(grid.ny)) {
+            continue;
+          }
+          if (grid.at(static_cast<std::size_t>(jx),
+                      static_cast<std::size_t>(jy)) > v) {
+            is_max = false;
+          }
+        }
+      }
+      if (is_max) {
+        candidates.push_back(
+            LocationEstimate{grid.point(ix, iy), v, 0, false});
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const LocationEstimate& a, const LocationEstimate& b) {
+              return a.likelihood > b.likelihood;
+            });
+  return candidates;
+}
+
+std::vector<LocationEstimate> Localizer::hill_climb_candidates(
+    std::span<const AngularEvidence> evidence) const {
+  // Multi-start: coarse seed lattice, then 8-neighbour ascent on the
+  // fine grid (the paper's hill climbing). Produces one candidate per
+  // distinct basin reached.
+  const double step = options_.grid_step;
+  const std::size_t starts =
+      std::max<std::size_t>(options_.hill_climb_starts, 4);
+  const auto per_side = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(starts))));
+
+  std::vector<LocationEstimate> candidates;
+  for (std::size_t sy = 0; sy < per_side; ++sy) {
+    for (std::size_t sx = 0; sx < per_side; ++sx) {
+      rf::Vec2 p{
+          bounds_.min.x + (bounds_.max.x - bounds_.min.x) *
+                              (static_cast<double>(sx) + 0.5) /
+                              static_cast<double>(per_side),
+          bounds_.min.y + (bounds_.max.y - bounds_.min.y) *
+                              (static_cast<double>(sy) + 0.5) /
+                              static_cast<double>(per_side)};
+      double l = likelihood_at(p, evidence);
+      bool moved = true;
+      while (moved) {
+        moved = false;
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            if (dx == 0 && dy == 0) continue;
+            const rf::Vec2 q{p.x + dx * step, p.y + dy * step};
+            if (!bounds_.contains(q)) continue;
+            const double lq = likelihood_at(q, evidence);
+            if (lq > l) {
+              l = lq;
+              p = q;
+              moved = true;
+            }
+          }
+        }
+      }
+      const bool dup = std::any_of(
+          candidates.begin(), candidates.end(),
+          [&](const LocationEstimate& c) {
+            return rf::distance(c.position, p) < step * 1.5;
+          });
+      if (!dup) candidates.push_back(LocationEstimate{p, l, 0, false});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const LocationEstimate& a, const LocationEstimate& b) {
+              return a.likelihood > b.likelihood;
+            });
+  return candidates;
+}
+
+LocationEstimate Localizer::localize(
+    std::span<const AngularEvidence> evidence) const {
+  if (evidence.size() != arrays_.size()) {
+    throw std::invalid_argument("localize: evidence count mismatch");
+  }
+  if (arrays_with_evidence(evidence) < options_.min_arrays) {
+    return LocationEstimate{};  // not covered
+  }
+  const double norm = global_drop_norm(evidence);
+  std::vector<LocationEstimate> candidates =
+      options_.hill_climbing ? hill_climb_candidates(evidence)
+                             : grid_candidates(evidence);
+
+  // Consensus selection (outlier rejection): among the likelihood peaks,
+  // prefer the one the most arrays genuinely point at; candidates backed
+  // by fewer than min_arrays arrays are not a valid fix at all.
+  LocationEstimate best{};
+  constexpr std::size_t kMaxCandidates = 24;
+  std::size_t considered = 0;
+  for (LocationEstimate& c : candidates) {
+    if (++considered > kMaxCandidates) break;
+    c.consensus = consensus_at(c.position, evidence, norm);
+    if (c.consensus > best.consensus ||
+        (c.consensus == best.consensus && c.likelihood > best.likelihood)) {
+      best = c;
+    }
+  }
+  best.valid = best.consensus >= options_.min_arrays;
+  return best;
+}
+
+LocationEstimate Localizer::localize_best_effort(
+    std::span<const AngularEvidence> evidence) const {
+  LocationEstimate est = localize(evidence);
+  if (est.valid || est.likelihood > 0.0) return est;
+  if (arrays_with_evidence(evidence) == 0) return est;  // nothing to go on
+  // No consensus candidate: fall back to the raw likelihood maximum.
+  const std::vector<LocationEstimate> candidates = grid_candidates(evidence);
+  if (!candidates.empty() && candidates.front().likelihood > 0.0) {
+    LocationEstimate best = candidates.front();
+    best.consensus =
+        consensus_at(best.position, evidence, global_drop_norm(evidence));
+    best.valid = false;
+    return best;
+  }
+  return est;
+}
+
+std::vector<LocationEstimate> Localizer::localize_multi(
+    std::span<const AngularEvidence> evidence, std::size_t max_targets,
+    double min_separation, double relative_floor) const {
+  std::vector<LocationEstimate> out;
+  if (max_targets == 0 ||
+      arrays_with_evidence(evidence) < options_.min_arrays) {
+    return out;
+  }
+  const double norm = global_drop_norm(evidence);
+  std::vector<LocationEstimate> candidates = grid_candidates(evidence);
+  if (candidates.empty()) return out;
+
+  const double floor = candidates.front().likelihood * relative_floor;
+  for (LocationEstimate& c : candidates) {
+    if (c.likelihood < floor) break;
+    const bool clash =
+        std::any_of(out.begin(), out.end(), [&](const LocationEstimate& e) {
+          return rf::distance(e.position, c.position) < min_separation;
+        });
+    if (clash) continue;
+    c.consensus = consensus_at(c.position, evidence, norm);
+    if (c.consensus < options_.min_arrays) continue;
+    c.valid = true;
+    out.push_back(c);
+    if (out.size() >= max_targets) break;
+  }
+  return out;
+}
+
+LikelihoodGrid Localizer::likelihood_grid(
+    std::span<const AngularEvidence> evidence) const {
+  LikelihoodGrid grid;
+  grid.origin = bounds_.min;
+  grid.step = options_.grid_step;
+  grid.nx = static_cast<std::size_t>(
+                std::floor((bounds_.max.x - bounds_.min.x) / grid.step)) +
+            1;
+  grid.ny = static_cast<std::size_t>(
+                std::floor((bounds_.max.y - bounds_.min.y) / grid.step)) +
+            1;
+  grid.values.resize(grid.nx * grid.ny);
+  const double norm = global_drop_norm(evidence);
+  for (std::size_t iy = 0; iy < grid.ny; ++iy) {
+    for (std::size_t ix = 0; ix < grid.nx; ++ix) {
+      const rf::Vec2 p = grid.point(ix, iy);
+      if (too_close_to_array(p)) {
+        grid.values[iy * grid.nx + ix] = 0.0;
+        continue;
+      }
+      double l = 1.0;
+      for (std::size_t i = 0; i < arrays_.size(); ++i) {
+        if (evidence[i].empty()) continue;
+        const double theta = arrays_[i].arrival_angle_planar(p);
+        l *= options_.epsilon + evidence_at(evidence[i], theta, norm);
+      }
+      grid.values[iy * grid.nx + ix] = l;
+    }
+  }
+  return grid;
+}
+
+}  // namespace dwatch::core

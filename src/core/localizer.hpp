@@ -1,0 +1,171 @@
+// Likelihood localization (paper Section 4.3).
+//
+// Each array i contributes an angular evidence function
+//   dOmega_i(theta) = sum over detected drops of
+//                     drop_fraction * gaussian(theta - theta_drop)
+// and the target likelihood at a candidate position O is
+//   L(O) = prod_i (epsilon + dOmega_i(theta_i(O)))            (Eq. 15)
+// maximized over a grid (5x5 cm rooms, 2x2 cm table) either exhaustively
+// or with the paper's multi-start hill climbing. "Wrong angles" from
+// pre-reflection blockage simply fail to accumulate consensus across
+// readers; an explicit ray-triangulation outlier rejector is provided in
+// triangulate.hpp for the paper's single-target argument.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/change_detector.hpp"
+#include "rf/array.hpp"
+#include "rf/geometry.hpp"
+
+namespace dwatch::core {
+
+/// The drops one array detected during an epoch (aggregated over all its
+/// tags' spectra).
+struct AngularEvidence {
+  std::vector<PathDrop> drops;
+
+  [[nodiscard]] bool empty() const noexcept { return drops.empty(); }
+};
+
+/// Rectangular search region.
+struct SearchBounds {
+  rf::Vec2 min;
+  rf::Vec2 max;
+
+  [[nodiscard]] bool contains(rf::Vec2 p) const noexcept {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+};
+
+struct LocalizerOptions {
+  /// Grid step [m] (paper: 0.05 for rooms, 0.02 for the table).
+  double grid_step = 0.05;
+  /// Angular kernel sigma for evidence smoothing [rad].
+  double kernel_sigma = rf::deg2rad(5.0);
+  /// Exponent on the normalized ABSOLUTE power drop used as a drop's
+  /// evidence weight (paper Eq. 15 uses the spectrum CHANGE, not the
+  /// fractional change): direct-path drops carry far more power than
+  /// reflection-path drops, which suppresses mirror-image ghosts from
+  /// pre-reflection blockage. 0.5 compresses the dynamic range.
+  double power_exponent = 1.0;
+  /// Likelihood floor per reader so a silent reader attenuates rather
+  /// than annihilates (deadzone handling).
+  double epsilon = 0.12;
+  /// Minimum number of arrays with evidence for a valid fix.
+  std::size_t min_arrays = 2;
+  /// A candidate peak only counts an array as SUPPORTING it when that
+  /// array's evidence at the candidate's bearing is at least this
+  /// (normalized) value; candidates supported by fewer than min_arrays
+  /// arrays are rejected — the paper's outlier rejection applied to the
+  /// likelihood search (wrong-angle rays rarely agree at two readers).
+  double consensus_floor = 0.3;
+  /// Use multi-start hill climbing instead of exhaustive grid search.
+  bool hill_climbing = false;
+  std::size_t hill_climb_starts = 16;
+};
+
+struct LocationEstimate {
+  rf::Vec2 position;
+  double likelihood = 0.0;
+  /// Number of arrays whose evidence supports this position.
+  std::size_t consensus = 0;
+  bool valid = false;  ///< false => not covered (deadzone / < min arrays)
+};
+
+/// Dense likelihood map (for the paper's Fig. 19 heatmaps).
+struct LikelihoodGrid {
+  rf::Vec2 origin;
+  double step = 0.0;
+  std::size_t nx = 0;
+  std::size_t ny = 0;
+  std::vector<double> values;  ///< row-major, y-major rows
+
+  [[nodiscard]] double at(std::size_t ix, std::size_t iy) const {
+    return values.at(iy * nx + ix);
+  }
+  [[nodiscard]] rf::Vec2 point(std::size_t ix, std::size_t iy) const {
+    return {origin.x + step * static_cast<double>(ix),
+            origin.y + step * static_cast<double>(iy)};
+  }
+};
+
+/// Likelihood localizer over a fixed set of arrays.
+class Localizer {
+ public:
+  /// `arrays` must outlive the localizer? No — copied. Throws
+  /// std::invalid_argument on empty arrays or degenerate bounds.
+  Localizer(std::vector<rf::UniformLinearArray> arrays, SearchBounds bounds,
+            LocalizerOptions options = {});
+
+  [[nodiscard]] const LocalizerOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] const SearchBounds& bounds() const noexcept { return bounds_; }
+  [[nodiscard]] std::size_t num_arrays() const noexcept {
+    return arrays_.size();
+  }
+
+  /// Largest absolute power drop across ALL evidence (the weight
+  /// normalizer); 0 when there are no drops.
+  [[nodiscard]] static double global_drop_norm(
+      std::span<const AngularEvidence> evidence);
+
+  /// Evidence value dOmega_i(theta) for array i; `norm` is the global
+  /// drop normalizer from global_drop_norm().
+  [[nodiscard]] double evidence_at(const AngularEvidence& evidence,
+                                   double theta, double norm) const;
+
+  /// L(O) for a candidate point (evidence indexed like the arrays;
+  /// throws std::invalid_argument on count mismatch).
+  [[nodiscard]] double likelihood_at(
+      rf::Vec2 point, std::span<const AngularEvidence> evidence) const;
+
+  /// Best single-target estimate. Invalid (valid == false) when fewer
+  /// than min_arrays arrays support any candidate.
+  [[nodiscard]] LocationEstimate localize(
+      std::span<const AngularEvidence> evidence) const;
+
+  /// Like localize(), but always returns a positioned estimate when any
+  /// evidence exists at all: if no candidate reaches consensus, the
+  /// highest-likelihood peak is returned with valid == false. This is
+  /// the "always report a fix" mode of the paper's Fig. 14 evaluation;
+  /// sparse-evidence environments degrade gracefully instead of
+  /// abstaining.
+  [[nodiscard]] LocationEstimate localize_best_effort(
+      std::span<const AngularEvidence> evidence) const;
+
+  /// Up to `max_targets` estimates, local maxima separated by at least
+  /// `min_separation` metres and at least `relative_floor` of the best
+  /// peak's likelihood (multi-target, paper Section 6.7).
+  [[nodiscard]] std::vector<LocationEstimate> localize_multi(
+      std::span<const AngularEvidence> evidence, std::size_t max_targets,
+      double min_separation = 0.25, double relative_floor = 0.35) const;
+
+  /// Dense likelihood map for visualization.
+  [[nodiscard]] LikelihoodGrid likelihood_grid(
+      std::span<const AngularEvidence> evidence) const;
+
+ private:
+  [[nodiscard]] std::size_t arrays_with_evidence(
+      std::span<const AngularEvidence> evidence) const;
+  [[nodiscard]] bool too_close_to_array(rf::Vec2 point) const;
+  /// Number of arrays whose evidence at `point`'s bearing clears the
+  /// consensus floor.
+  [[nodiscard]] std::size_t consensus_at(
+      rf::Vec2 point, std::span<const AngularEvidence> evidence,
+      double norm) const;
+  /// Local maxima of the likelihood grid, strongest first.
+  [[nodiscard]] std::vector<LocationEstimate> grid_candidates(
+      std::span<const AngularEvidence> evidence) const;
+  [[nodiscard]] std::vector<LocationEstimate> hill_climb_candidates(
+      std::span<const AngularEvidence> evidence) const;
+
+  std::vector<rf::UniformLinearArray> arrays_;
+  SearchBounds bounds_;
+  LocalizerOptions options_;
+};
+
+}  // namespace dwatch::core

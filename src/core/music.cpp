@@ -1,0 +1,76 @@
+#include "core/music.hpp"
+
+#include <stdexcept>
+
+#include "rf/array.hpp"
+
+namespace dwatch::core {
+
+MusicEstimator::MusicEstimator(double spacing, double lambda,
+                               MusicOptions options)
+    : spacing_(spacing), lambda_(lambda), options_(options) {
+  if (spacing_ <= 0.0 || lambda_ <= 0.0) {
+    throw std::invalid_argument("MusicEstimator: bad spacing/lambda");
+  }
+}
+
+MusicResult MusicEstimator::estimate(const linalg::CMatrix& snapshots) const {
+  return estimate_from_correlation(sample_correlation(snapshots),
+                                   snapshots.cols());
+}
+
+MusicResult MusicEstimator::estimate_from_correlation(
+    const linalg::CMatrix& r, std::size_t num_snapshots) const {
+  if (r.rows() != r.cols() || r.rows() < 2) {
+    throw std::invalid_argument("MusicEstimator: bad correlation matrix");
+  }
+  const std::size_t m = r.rows();
+  std::size_t l = options_.subarray == 0 ? default_subarray(m)
+                                         : options_.subarray;
+  if (l < 2 || l > m) {
+    throw std::invalid_argument("MusicEstimator: bad subarray size");
+  }
+
+  const linalg::CMatrix smoothed =
+      l == m ? r
+             : (options_.forward_backward ? forward_backward_smooth(r, l)
+                                          : forward_smooth(r, l));
+
+  const linalg::EigenDecomposition eig = linalg::hermitian_eig(smoothed);
+
+  SourceCountOptions sc = options_.source_count;
+  sc.num_snapshots = num_snapshots;
+  const std::size_t p = estimate_source_count(eig.eigenvalues, sc);
+
+  MusicResult result;
+  result.num_sources = p;
+  result.subarray = l;
+  result.eigenvalues = eig.eigenvalues;
+  result.signal_subspace = eig.eigenvectors.block(0, 0, l, p);
+  result.noise_subspace = eig.eigenvectors.block(0, p, l, l - p);
+
+  result.spectrum = AngularSpectrum(options_.grid_points);
+  for (std::size_t i = 0; i < options_.grid_points; ++i) {
+    result.spectrum[i] =
+        spectrum_value(result.noise_subspace, result.spectrum.theta_at(i));
+  }
+  return result;
+}
+
+double MusicEstimator::spectrum_value(const linalg::CMatrix& noise_subspace,
+                                      double theta) const {
+  const std::size_t l = noise_subspace.rows();
+  const linalg::CVector a = rf::steering_vector(l, theta, spacing_, lambda_);
+  // ||U_N^H a||^2 without forming the projector.
+  double denom = 0.0;
+  for (std::size_t q = 0; q < noise_subspace.cols(); ++q) {
+    linalg::Complex dot{};
+    for (std::size_t i = 0; i < l; ++i) {
+      dot += std::conj(noise_subspace(i, q)) * a[i];
+    }
+    denom += std::norm(dot);
+  }
+  return 1.0 / std::max(denom, 1e-12);
+}
+
+}  // namespace dwatch::core

@@ -1,0 +1,71 @@
+// The classical MUSIC direction-of-arrival estimator (Schmidt 1986),
+// with spatial smoothing for coherent backscatter multipath.
+//
+// B(theta) = 1 / (a(theta)^H U_N U_N^H a(theta))      (paper Eq. 8)
+//
+// MUSIC gives D-Watch its angles; what it canNOT give is per-path signal
+// power (its peak height is a pseudo-probability) — that gap is the
+// motivation for P-MUSIC (paper Section 3.2 / Fig. 4).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/covariance.hpp"
+#include "core/source_count.hpp"
+#include "core/spectrum.hpp"
+#include "linalg/complex_matrix.hpp"
+#include "linalg/hermitian_eig.hpp"
+#include "rf/constants.hpp"
+
+namespace dwatch::core {
+
+struct MusicOptions {
+  /// Spectrum grid resolution over [0, pi].
+  std::size_t grid_points = AngularSpectrum::kDefaultPoints;
+  /// Spatial-smoothing subarray size L; 0 = default_subarray(M); M = no
+  /// smoothing.
+  std::size_t subarray = 0;
+  /// Forward-backward (true) or forward-only smoothing.
+  bool forward_backward = true;
+  SourceCountOptions source_count;
+};
+
+struct MusicResult {
+  AngularSpectrum spectrum;            ///< B(theta)
+  std::size_t num_sources = 0;         ///< estimated P
+  std::size_t subarray = 0;            ///< L actually used
+  std::vector<double> eigenvalues;     ///< of the (smoothed) correlation
+  linalg::CMatrix noise_subspace;      ///< U_N, L x (L - P)
+  linalg::CMatrix signal_subspace;     ///< U_S, L x P
+};
+
+/// MUSIC estimator bound to one array geometry.
+class MusicEstimator {
+ public:
+  /// Throws std::invalid_argument on non-positive spacing/lambda.
+  MusicEstimator(double spacing, double lambda, MusicOptions options = {});
+
+  [[nodiscard]] const MusicOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Full MUSIC from an M x N snapshot matrix.
+  [[nodiscard]] MusicResult estimate(const linalg::CMatrix& snapshots) const;
+
+  /// MUSIC from a precomputed M x M correlation matrix.
+  [[nodiscard]] MusicResult estimate_from_correlation(
+      const linalg::CMatrix& r, std::size_t num_snapshots) const;
+
+  /// Spectrum value B(theta) for a given noise subspace (exposed for the
+  /// calibration objective, which evaluates a(theta)^H Gamma^H U_N).
+  [[nodiscard]] double spectrum_value(const linalg::CMatrix& noise_subspace,
+                                      double theta) const;
+
+ private:
+  double spacing_;
+  double lambda_;
+  MusicOptions options_;
+};
+
+}  // namespace dwatch::core

@@ -1,0 +1,221 @@
+#include "core/optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dwatch::core {
+
+namespace {
+
+struct Individual {
+  std::vector<double> genes;
+  double fitness = 0.0;  // objective value (lower is better)
+};
+
+void validate_bounds(std::span<const double> lo, std::span<const double> hi) {
+  if (lo.empty() || lo.size() != hi.size()) {
+    throw std::invalid_argument("optimizer: bad bounds");
+  }
+  for (std::size_t i = 0; i < lo.size(); ++i) {
+    if (!(lo[i] < hi[i])) {
+      throw std::invalid_argument("optimizer: lo >= hi");
+    }
+  }
+}
+
+double clamp_or_wrap(double v, double lo, double hi, bool periodic) {
+  if (!periodic) return std::clamp(v, lo, hi);
+  const double width = hi - lo;
+  double t = std::fmod(v - lo, width);
+  if (t < 0.0) t += width;
+  return lo + t;
+}
+
+/// Run the GA and return the final population sorted best-first.
+std::vector<Individual> run_ga(const Objective& f, std::span<const double> lo,
+                               std::span<const double> hi,
+                               const GaOptions& opt, rf::Rng& rng,
+                               std::size_t& evaluations) {
+  validate_bounds(lo, hi);
+  if (opt.population < 4 || opt.tournament == 0 ||
+      opt.elites >= opt.population) {
+    throw std::invalid_argument("genetic_minimize: bad GA options");
+  }
+  const std::size_t n = lo.size();
+
+  auto evaluate = [&](Individual& ind) {
+    ind.fitness = f(ind.genes);
+    ++evaluations;
+  };
+
+  std::vector<Individual> pop(opt.population);
+  for (auto& ind : pop) {
+    ind.genes.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ind.genes[i] = rng.uniform(lo[i], hi[i]);
+    }
+    evaluate(ind);
+  }
+  auto by_fitness = [](const Individual& a, const Individual& b) {
+    return a.fitness < b.fitness;
+  };
+  std::sort(pop.begin(), pop.end(), by_fitness);
+
+  auto tournament_pick = [&]() -> const Individual& {
+    std::size_t best = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(pop.size()) - 1));
+    for (std::size_t t = 1; t < opt.tournament; ++t) {
+      const auto c = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(pop.size()) - 1));
+      if (pop[c].fitness < pop[best].fitness) best = c;
+    }
+    return pop[best];
+  };
+
+  for (std::size_t gen = 0; gen < opt.generations; ++gen) {
+    std::vector<Individual> next;
+    next.reserve(pop.size());
+    // Elitism: carry the best through unchanged.
+    for (std::size_t e = 0; e < opt.elites; ++e) next.push_back(pop[e]);
+
+    while (next.size() < pop.size()) {
+      const Individual& pa = tournament_pick();
+      const Individual& pb = tournament_pick();
+      Individual child;
+      child.genes.resize(n);
+      const bool crossover = rng.chance(opt.crossover_rate);
+      for (std::size_t i = 0; i < n; ++i) {
+        child.genes[i] =
+            crossover ? (rng.chance(0.5) ? pa.genes[i] : pb.genes[i])
+                      : pa.genes[i];
+        if (rng.chance(opt.mutation_rate)) {
+          const double width = hi[i] - lo[i];
+          child.genes[i] = clamp_or_wrap(
+              child.genes[i] + rng.normal(0.0, opt.mutation_sigma * width),
+              lo[i], hi[i], opt.periodic);
+        }
+      }
+      evaluate(child);
+      next.push_back(std::move(child));
+    }
+    pop = std::move(next);
+    std::sort(pop.begin(), pop.end(), by_fitness);
+  }
+  return pop;
+}
+
+std::vector<double> numeric_gradient(const Objective& f,
+                                     std::vector<double>& x, double eps,
+                                     std::size_t& evaluations) {
+  std::vector<double> g(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double keep = x[i];
+    x[i] = keep + eps;
+    const double fp = f(x);
+    x[i] = keep - eps;
+    const double fm = f(x);
+    x[i] = keep;
+    evaluations += 2;
+    g[i] = (fp - fm) / (2.0 * eps);
+  }
+  return g;
+}
+
+}  // namespace
+
+OptResult genetic_minimize(const Objective& f, std::span<const double> lo,
+                           std::span<const double> hi,
+                           const GaOptions& options, rf::Rng& rng) {
+  std::size_t evals = 0;
+  auto pop = run_ga(f, lo, hi, options, rng, evals);
+  OptResult result;
+  result.x = std::move(pop.front().genes);
+  result.value = pop.front().fitness;
+  result.evaluations = evals;
+  return result;
+}
+
+OptResult gradient_descent_minimize(const Objective& f,
+                                    std::vector<double> x0,
+                                    const GdOptions& options) {
+  if (x0.empty()) {
+    throw std::invalid_argument("gradient_descent_minimize: empty start");
+  }
+  OptResult result;
+  result.x = std::move(x0);
+  std::size_t evals = 0;
+  double fx = f(result.x);
+  ++evals;
+
+  double step = options.initial_step;
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    const std::vector<double> g =
+        numeric_gradient(f, result.x, options.gradient_epsilon, evals);
+    double gnorm_sq = 0.0;
+    for (const double gi : g) gnorm_sq += gi * gi;
+    if (gnorm_sq <= options.tolerance * options.tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // Backtracking line search along -g.
+    bool improved = false;
+    double trial_step = step;
+    std::vector<double> trial(result.x.size());
+    for (std::size_t bt = 0; bt <= options.max_backtracks; ++bt) {
+      for (std::size_t i = 0; i < trial.size(); ++i) {
+        trial[i] = result.x[i] - trial_step * g[i];
+      }
+      const double ft = f(trial);
+      ++evals;
+      if (ft < fx - 1e-18) {
+        result.x = trial;
+        const double gain = fx - ft;
+        fx = ft;
+        improved = true;
+        step = trial_step * 1.6;  // grow on success
+        if (gain < options.tolerance) {
+          result.converged = true;
+          it = options.max_iterations;  // stop outer loop
+        }
+        break;
+      }
+      trial_step *= options.backtrack;
+    }
+    if (!improved) {
+      result.converged = true;  // local minimum within line-search reach
+      break;
+    }
+  }
+  result.value = fx;
+  result.evaluations = evals;
+  return result;
+}
+
+OptResult hybrid_minimize(const Objective& f, std::span<const double> lo,
+                          std::span<const double> hi,
+                          const HybridOptions& options, rf::Rng& rng) {
+  std::size_t evals = 0;
+  auto pop = run_ga(f, lo, hi, options.ga, rng, evals);
+
+  const std::size_t refine =
+      std::max<std::size_t>(1, std::min(options.refine_candidates, pop.size()));
+  OptResult best;
+  best.value = pop.front().fitness;
+  best.x = pop.front().genes;
+  for (std::size_t c = 0; c < refine; ++c) {
+    OptResult local =
+        gradient_descent_minimize(f, pop[c].genes, options.gd);
+    evals += local.evaluations;
+    if (local.value < best.value) {
+      best.value = local.value;
+      best.x = std::move(local.x);
+      best.converged = local.converged;
+    }
+  }
+  best.evaluations = evals;
+  return best;
+}
+
+}  // namespace dwatch::core

@@ -1,0 +1,80 @@
+// Derivative-free + local optimizers used by the wireless phase
+// calibration (paper Section 4.1): "a hybrid method of genetic algorithm
+// and gradient descent — GA initiates all the unknowns and then refines
+// the solution with GD to find the closest local minimum."
+//
+// Kept generic (minimize f: R^n -> R over a box) so they are reusable
+// and testable on standard functions independent of calibration.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "rf/noise.hpp"
+
+namespace dwatch::core {
+
+/// Objective to MINIMIZE.
+using Objective = std::function<double(std::span<const double>)>;
+
+struct GaOptions {
+  std::size_t population = 64;
+  std::size_t generations = 60;
+  std::size_t tournament = 3;
+  std::size_t elites = 2;
+  double crossover_rate = 0.9;
+  double mutation_rate = 0.20;
+  /// Gaussian mutation sigma as a fraction of the box width per gene.
+  double mutation_sigma = 0.08;
+  /// Treat each dimension as periodic over its box (true for phases).
+  bool periodic = true;
+};
+
+struct OptResult {
+  std::vector<double> x;
+  double value = 0.0;
+  std::size_t evaluations = 0;
+  bool converged = false;  ///< GD only: gradient/step tolerance met
+};
+
+/// Real-coded genetic algorithm. `lo`/`hi` give per-dimension bounds
+/// (sizes must match and lo[i] < hi[i]); throws std::invalid_argument.
+[[nodiscard]] OptResult genetic_minimize(const Objective& f,
+                                         std::span<const double> lo,
+                                         std::span<const double> hi,
+                                         const GaOptions& options,
+                                         rf::Rng& rng);
+
+struct GdOptions {
+  std::size_t max_iterations = 300;
+  double initial_step = 0.25;
+  double gradient_epsilon = 1e-6;  ///< central-difference step
+  double tolerance = 1e-12;        ///< stop when improvement below this
+  double backtrack = 0.5;          ///< step shrink factor
+  std::size_t max_backtracks = 30;
+};
+
+/// Gradient descent with numeric central-difference gradients and
+/// backtracking line search.
+[[nodiscard]] OptResult gradient_descent_minimize(const Objective& f,
+                                                  std::vector<double> x0,
+                                                  const GdOptions& options);
+
+struct HybridOptions {
+  GaOptions ga;
+  GdOptions gd;
+  /// How many of the best GA individuals get GD refinement.
+  std::size_t refine_candidates = 3;
+};
+
+/// GA global search followed by GD refinement of the best candidates
+/// (the paper's calibration solver).
+[[nodiscard]] OptResult hybrid_minimize(const Objective& f,
+                                        std::span<const double> lo,
+                                        std::span<const double> hi,
+                                        const HybridOptions& options,
+                                        rf::Rng& rng);
+
+}  // namespace dwatch::core

@@ -1,0 +1,221 @@
+#include "core/pipeline.hpp"
+
+#include <set>
+#include <stdexcept>
+
+namespace dwatch::core {
+
+linalg::CMatrix observation_to_snapshots(const rfid::TagObservation& obs,
+                                         std::size_t num_elements) {
+  if (num_elements == 0) {
+    throw std::invalid_argument("observation_to_snapshots: M == 0");
+  }
+  // Group samples by round.
+  std::map<std::uint32_t, std::vector<std::optional<linalg::Complex>>> rounds;
+  for (const rfid::PhaseSample& s : obs.samples) {
+    if (s.element_id == 0 || s.element_id > num_elements) {
+      throw std::invalid_argument(
+          "observation_to_snapshots: element id out of range");
+    }
+    auto& row = rounds[s.round];
+    if (row.empty()) row.resize(num_elements);
+    row[s.element_id - 1] = s.as_complex();
+  }
+  // Keep complete rounds only.
+  std::vector<const std::vector<std::optional<linalg::Complex>>*> complete;
+  for (const auto& [round, row] : rounds) {
+    bool full = true;
+    for (const auto& v : row) {
+      if (!v) {
+        full = false;
+        break;
+      }
+    }
+    if (full) complete.push_back(&row);
+  }
+  if (complete.empty()) {
+    throw std::invalid_argument(
+        "observation_to_snapshots: no complete round");
+  }
+  linalg::CMatrix x(num_elements, complete.size());
+  for (std::size_t n = 0; n < complete.size(); ++n) {
+    for (std::size_t m = 0; m < num_elements; ++m) {
+      x(m, n) = *(*complete[n])[m];
+    }
+  }
+  return x;
+}
+
+DWatchPipeline::DWatchPipeline(std::vector<rf::UniformLinearArray> arrays,
+                               SearchBounds bounds, PipelineOptions options)
+    : arrays_(std::move(arrays)),
+      options_(options),
+      localizer_(arrays_, bounds, options.localizer),
+      detector_(options.change),
+      calibration_(arrays_.size()),
+      baselines_(arrays_.size()),
+      evidence_(arrays_.size()) {}
+
+void DWatchPipeline::check_array(std::size_t array_idx) const {
+  if (array_idx >= arrays_.size()) {
+    throw std::out_of_range("DWatchPipeline: bad array index");
+  }
+}
+
+void DWatchPipeline::set_calibration(std::size_t array_idx,
+                                     std::vector<double> offsets) {
+  check_array(array_idx);
+  if (offsets.size() != arrays_[array_idx].num_elements()) {
+    throw std::invalid_argument("set_calibration: offset count mismatch");
+  }
+  calibration_[array_idx] = std::move(offsets);
+}
+
+AngularSpectrum DWatchPipeline::compute_omega(
+    std::size_t array_idx, const linalg::CMatrix& snapshots) const {
+  const auto& array = arrays_[array_idx];
+  if (snapshots.rows() != array.num_elements()) {
+    throw std::invalid_argument("DWatchPipeline: snapshot row mismatch");
+  }
+  linalg::CMatrix x = snapshots;
+  if (calibration_[array_idx]) {
+    apply_phase_correction(x, *calibration_[array_idx]);
+  }
+  PMusicEstimator pmusic(array.spacing(), array.lambda(), options_.pmusic);
+  return pmusic.estimate(x).omega;
+}
+
+AngularSpectrum DWatchPipeline::compute_online_power(
+    std::size_t array_idx, const linalg::CMatrix& snapshots) const {
+  const auto& array = arrays_[array_idx];
+  if (snapshots.rows() != array.num_elements()) {
+    throw std::invalid_argument("DWatchPipeline: snapshot row mismatch");
+  }
+  linalg::CMatrix x = snapshots;
+  if (calibration_[array_idx]) {
+    apply_phase_correction(x, *calibration_[array_idx]);
+  }
+  PMusicEstimator pmusic(array.spacing(), array.lambda(), options_.pmusic);
+  return pmusic.power_spectrum(sample_correlation(x));
+}
+
+void DWatchPipeline::add_baseline(std::size_t array_idx,
+                                  const rfid::Epc96& epc,
+                                  const linalg::CMatrix& snapshots) {
+  check_array(array_idx);
+  auto [it, inserted] = baselines_[array_idx].insert_or_assign(
+      epc, compute_omega(array_idx, snapshots));
+  if (inserted) ++stats_.baselines;
+}
+
+void DWatchPipeline::add_baseline(std::size_t array_idx,
+                                  const rfid::TagObservation& obs) {
+  check_array(array_idx);
+  add_baseline(array_idx, obs.epc,
+               observation_to_snapshots(
+                   obs, arrays_[array_idx].num_elements()));
+}
+
+void DWatchPipeline::begin_epoch() {
+  for (auto& e : evidence_) e.drops.clear();
+}
+
+std::size_t DWatchPipeline::observe(std::size_t array_idx,
+                                    const rfid::Epc96& epc,
+                                    const linalg::CMatrix& snapshots) {
+  check_array(array_idx);
+  const auto it = baselines_[array_idx].find(epc);
+  if (it == baselines_[array_idx].end()) {
+    ++stats_.observations_skipped;
+    return 0;
+  }
+  ++stats_.observations;
+  // Baseline peak positions come from the P-MUSIC spectrum; the ONLINE
+  // power at those positions is read from the beamforming power spectrum
+  // PB, which is free of MUSIC's model-order jitter (a vanished weak
+  // MUSIC peak must not masquerade as a physical power drop). At a peak
+  // the two spectra share the same scale: Omega = PB * Nor(B) with
+  // Nor(B) == 1 there.
+  const AngularSpectrum online_power =
+      compute_online_power(array_idx, snapshots);
+  std::vector<PathDrop> drops = detector_.detect(it->second, online_power);
+  for (PathDrop& d : drops) d.source_id = epc.serial();
+  stats_.drops_detected += drops.size();
+  auto& sink = evidence_[array_idx].drops;
+  sink.insert(sink.end(), drops.begin(), drops.end());
+  return drops.size();
+}
+
+std::size_t DWatchPipeline::observe(std::size_t array_idx,
+                                    const rfid::TagObservation& obs) {
+  check_array(array_idx);
+  return observe(array_idx, obs.epc,
+                 observation_to_snapshots(
+                     obs, arrays_[array_idx].num_elements()));
+}
+
+std::vector<AngularEvidence> DWatchPipeline::filtered_evidence() const {
+  if (!options_.ghost_filtering) return evidence_;
+  // How many arrays each tag dropped at.
+  std::map<std::uint32_t, std::size_t> arrays_per_tag;
+  for (const auto& e : evidence_) {
+    std::set<std::uint32_t> tags_here;
+    for (const PathDrop& d : e.drops) tags_here.insert(d.source_id);
+    for (const std::uint32_t t : tags_here) ++arrays_per_tag[t];
+  }
+  const double tol = 2.0 * options_.localizer.kernel_sigma;
+  std::vector<AngularEvidence> out(evidence_.size());
+  for (std::size_t a = 0; a < evidence_.size(); ++a) {
+    const auto& drops = evidence_[a].drops;
+    for (const PathDrop& d : drops) {
+      const bool multi_array = arrays_per_tag[d.source_id] >= 2;
+      bool corroborated = false;
+      for (const PathDrop& other : drops) {
+        if (other.source_id != d.source_id &&
+            std::abs(other.theta - d.theta) <= tol) {
+          corroborated = true;
+          break;
+        }
+      }
+      if (multi_array && !corroborated) continue;  // wrong-angle ghost
+      out[a].drops.push_back(d);
+    }
+  }
+  return out;
+}
+
+LocationEstimate DWatchPipeline::localize() const {
+  return localizer_.localize(filtered_evidence());
+}
+
+LocationEstimate DWatchPipeline::localize_best_effort() const {
+  return localizer_.localize_best_effort(filtered_evidence());
+}
+
+std::vector<LocationEstimate> DWatchPipeline::localize_multi(
+    std::size_t max_targets, double min_separation,
+    double relative_floor) const {
+  return localizer_.localize_multi(filtered_evidence(), max_targets,
+                                   min_separation, relative_floor);
+}
+
+TriangulationResult DWatchPipeline::triangulate(double cluster_radius) const {
+  TriangulationOptions opts;
+  opts.bounds = localizer_.bounds();
+  opts.cluster_radius = cluster_radius;
+  return triangulate_with_outlier_rejection(arrays_, filtered_evidence(),
+                                            opts);
+}
+
+LikelihoodGrid DWatchPipeline::likelihood_grid() const {
+  return localizer_.likelihood_grid(filtered_evidence());
+}
+
+const AngularSpectrum* DWatchPipeline::baseline_spectrum(
+    std::size_t array_idx, const rfid::Epc96& epc) const {
+  check_array(array_idx);
+  const auto it = baselines_[array_idx].find(epc);
+  return it == baselines_[array_idx].end() ? nullptr : &it->second;
+}
+
+}  // namespace dwatch::core

@@ -1,0 +1,146 @@
+// The end-to-end D-Watch pipeline (paper Section 4.4, workflow steps
+// 1-4):
+//
+//  Step 1  Data collection   — baseline snapshots per (array, tag) with
+//                              the scene empty; online snapshots with the
+//                              target present.
+//  Step 2  Pre-processing    — per-array phase calibration applied to
+//                              every snapshot matrix.
+//  Step 3  Angle estimation  — P-MUSIC spectra; baseline-vs-online peak
+//                              drops per (array, tag) aggregate into
+//                              per-array angular evidence.
+//  Step 4  Localization      — likelihood grid / hill climbing, with
+//                              multi-target and triangulation variants.
+//
+// The pipeline consumes either raw snapshot matrices or wire-decoded
+// LLRP TagObservations, so integration tests can drive it end-to-end
+// from encoded reader bytes.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/calibration.hpp"
+#include "core/change_detector.hpp"
+#include "core/localizer.hpp"
+#include "core/pmusic.hpp"
+#include "core/triangulate.hpp"
+#include "linalg/complex_matrix.hpp"
+#include "rf/array.hpp"
+#include "rfid/llrp.hpp"
+
+namespace dwatch::core {
+
+struct PipelineOptions {
+  PMusicOptions pmusic;
+  ChangeDetectorOptions change;
+  LocalizerOptions localizer;
+  /// Apply the Section 4.3 tag-identity outlier rejection before
+  /// localization (see filtered_evidence()).
+  bool ghost_filtering = true;
+};
+
+/// Counters exposed for observability.
+struct PipelineStats {
+  std::size_t baselines = 0;          ///< (array, tag) baselines stored
+  std::size_t observations = 0;       ///< online spectra processed
+  std::size_t observations_skipped = 0;  ///< online without a baseline
+  std::size_t drops_detected = 0;
+};
+
+/// Reconstruct an M x N snapshot matrix from a wire observation. Rounds
+/// with missing elements are dropped; throws std::invalid_argument if no
+/// complete round exists or an element id exceeds M.
+[[nodiscard]] linalg::CMatrix observation_to_snapshots(
+    const rfid::TagObservation& obs, std::size_t num_elements);
+
+class DWatchPipeline {
+ public:
+  /// Throws std::invalid_argument on empty arrays/degenerate bounds.
+  DWatchPipeline(std::vector<rf::UniformLinearArray> arrays,
+                 SearchBounds bounds, PipelineOptions options = {});
+
+  [[nodiscard]] std::size_t num_arrays() const noexcept {
+    return arrays_.size();
+  }
+  [[nodiscard]] const PipelineStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const Localizer& localizer() const noexcept {
+    return localizer_;
+  }
+
+  /// Step 2: install per-array calibration offsets (size = M of that
+  /// array). Applied to every subsequent snapshot matrix.
+  void set_calibration(std::size_t array_idx, std::vector<double> offsets);
+
+  /// Step 1 (baseline): store the empty-scene spectrum of (array, tag).
+  /// Re-adding a tag overwrites its baseline (environment re-baselining).
+  void add_baseline(std::size_t array_idx, const rfid::Epc96& epc,
+                    const linalg::CMatrix& snapshots);
+  void add_baseline(std::size_t array_idx, const rfid::TagObservation& obs);
+
+  /// Begin a new online epoch (clears accumulated evidence).
+  void begin_epoch();
+
+  /// Step 3 (online): process one (array, tag) snapshot matrix; detected
+  /// peak drops accumulate into the epoch's per-array evidence. Returns
+  /// the number of drops found (0 also when the tag has no baseline).
+  std::size_t observe(std::size_t array_idx, const rfid::Epc96& epc,
+                      const linalg::CMatrix& snapshots);
+
+  std::size_t observe(std::size_t array_idx, const rfid::TagObservation& obs);
+
+  /// Accumulated per-array evidence for the current epoch (raw).
+  [[nodiscard]] const std::vector<AngularEvidence>& evidence() const noexcept {
+    return evidence_;
+  }
+
+  /// Evidence after the paper's Section 4.3 outlier rejection: a drop is
+  /// discarded as a pre-reflection-leg "wrong angle" when its tag shows
+  /// drops at 2+ arrays while NO other tag corroborates the angle at
+  /// this array. (A genuine final-leg blockage is shared by many tags at
+  /// one array; a pre-leg blockage travels with one tag to all arrays.)
+  [[nodiscard]] std::vector<AngularEvidence> filtered_evidence() const;
+
+  /// Step 4: single-target fix from the current epoch.
+  [[nodiscard]] LocationEstimate localize() const;
+
+  /// Step 4, always-report variant (paper Fig. 14 style): falls back to
+  /// the raw likelihood maximum when consensus fails.
+  [[nodiscard]] LocationEstimate localize_best_effort() const;
+
+  /// Step 4 (multi-target).
+  [[nodiscard]] std::vector<LocationEstimate> localize_multi(
+      std::size_t max_targets, double min_separation = 0.25,
+      double relative_floor = 0.35) const;
+
+  /// Step 4 (explicit triangulation + outlier rejection variant).
+  [[nodiscard]] TriangulationResult triangulate(
+      double cluster_radius = 0.5) const;
+
+  /// Dense likelihood map of the current epoch (heatmaps).
+  [[nodiscard]] LikelihoodGrid likelihood_grid() const;
+
+  /// The stored baseline spectrum, if any (for inspection/tests).
+  [[nodiscard]] const AngularSpectrum* baseline_spectrum(
+      std::size_t array_idx, const rfid::Epc96& epc) const;
+
+ private:
+  [[nodiscard]] AngularSpectrum compute_omega(
+      std::size_t array_idx, const linalg::CMatrix& snapshots) const;
+  [[nodiscard]] AngularSpectrum compute_online_power(
+      std::size_t array_idx, const linalg::CMatrix& snapshots) const;
+  void check_array(std::size_t array_idx) const;
+
+  std::vector<rf::UniformLinearArray> arrays_;
+  PipelineOptions options_;
+  Localizer localizer_;
+  SpectrumChangeDetector detector_;
+  std::vector<std::optional<std::vector<double>>> calibration_;
+  std::vector<std::map<rfid::Epc96, AngularSpectrum>> baselines_;
+  std::vector<AngularEvidence> evidence_;
+  PipelineStats stats_;
+};
+
+}  // namespace dwatch::core

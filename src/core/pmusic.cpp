@@ -1,0 +1,54 @@
+#include "core/pmusic.hpp"
+
+#include <stdexcept>
+
+#include "rf/array.hpp"
+
+namespace dwatch::core {
+
+PMusicEstimator::PMusicEstimator(double spacing, double lambda,
+                                 PMusicOptions options)
+    : spacing_(spacing), lambda_(lambda), options_(options) {
+  if (spacing_ <= 0.0 || lambda_ <= 0.0) {
+    throw std::invalid_argument("PMusicEstimator: bad spacing/lambda");
+  }
+}
+
+AngularSpectrum PMusicEstimator::power_spectrum(
+    const linalg::CMatrix& r) const {
+  if (r.rows() != r.cols() || r.rows() < 2) {
+    throw std::invalid_argument("power_spectrum: bad correlation matrix");
+  }
+  const std::size_t m = r.rows();
+  AngularSpectrum pb(options_.music.grid_points);
+  for (std::size_t i = 0; i < pb.size(); ++i) {
+    const linalg::CVector a =
+        rf::steering_vector(m, pb.theta_at(i), spacing_, lambda_);
+    // a^H R a / M^2 == E[ |sum_m x_m e^{+j omega}|^2 ] / M^2: the
+    // alignment weight e^{+j omega(m,theta)} is conj(a_m), so the sum is
+    // a^H x and its mean square is a^H R a.
+    const linalg::CVector ra = linalg::matvec(r, a);
+    const linalg::Complex quad = linalg::inner_product(a, ra);
+    pb[i] = std::max(quad.real(), 0.0) / static_cast<double>(m * m);
+  }
+  return pb;
+}
+
+PMusicResult PMusicEstimator::estimate(
+    const linalg::CMatrix& snapshots) const {
+  const linalg::CMatrix r = sample_correlation(snapshots);
+
+  MusicEstimator music(spacing_, lambda_, options_.music);
+  PMusicResult result;
+  result.music = music.estimate_from_correlation(r, snapshots.cols());
+  result.power = power_spectrum(r);
+  result.music_nor = normalize_peaks(result.music.spectrum, options_.peaks);
+
+  result.omega = AngularSpectrum(options_.music.grid_points);
+  for (std::size_t i = 0; i < result.omega.size(); ++i) {
+    result.omega[i] = result.power[i] * result.music_nor[i];
+  }
+  return result;
+}
+
+}  // namespace dwatch::core

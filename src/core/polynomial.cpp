@@ -1,0 +1,74 @@
+#include "core/polynomial.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rf/constants.hpp"
+
+namespace dwatch::core {
+
+linalg::Complex evaluate_polynomial(
+    const std::vector<linalg::Complex>& coefficients, linalg::Complex z) {
+  linalg::Complex acc{};
+  for (std::size_t i = coefficients.size(); i-- > 0;) {
+    acc = acc * z + coefficients[i];
+  }
+  return acc;
+}
+
+std::vector<linalg::Complex> find_roots(
+    std::vector<linalg::Complex> coefficients,
+    const RootFindOptions& options) {
+  // Trim (numerically) zero leading coefficients.
+  while (coefficients.size() > 1 &&
+         std::abs(coefficients.back()) < 1e-300) {
+    coefficients.pop_back();
+  }
+  if (coefficients.size() < 2) {
+    throw std::invalid_argument("find_roots: constant polynomial");
+  }
+  const std::size_t degree = coefficients.size() - 1;
+
+  // Normalize to a monic polynomial for stability.
+  const linalg::Complex lead = coefficients.back();
+  for (auto& c : coefficients) c /= lead;
+
+  // Initial guesses: points on a circle of radius slightly above the
+  // root magnitude bound, with an irrational angle offset to avoid
+  // symmetric stalls.
+  double radius = 0.0;
+  for (std::size_t i = 0; i < degree; ++i) {
+    radius = std::max(radius, std::abs(coefficients[i]));
+  }
+  radius = 1.0 + radius;  // Cauchy bound
+  std::vector<linalg::Complex> roots(degree);
+  for (std::size_t i = 0; i < degree; ++i) {
+    const double angle =
+        rf::kTwoPi * static_cast<double>(i) / static_cast<double>(degree) +
+        0.4;
+    roots[i] = std::polar(radius * 0.8, angle);
+  }
+
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    double worst_move = 0.0;
+    for (std::size_t i = 0; i < degree; ++i) {
+      linalg::Complex denom{1.0, 0.0};
+      for (std::size_t j = 0; j < degree; ++j) {
+        if (j != i) denom *= roots[i] - roots[j];
+      }
+      if (std::abs(denom) < 1e-300) {
+        // Perturb coincident estimates apart.
+        roots[i] += linalg::Complex{1e-8, 1e-8};
+        continue;
+      }
+      const linalg::Complex delta =
+          evaluate_polynomial(coefficients, roots[i]) / denom;
+      roots[i] -= delta;
+      worst_move = std::max(worst_move, std::abs(delta));
+    }
+    if (worst_move < options.tolerance) return roots;
+  }
+  throw std::runtime_error("find_roots: Durand-Kerner did not converge");
+}
+
+}  // namespace dwatch::core

@@ -1,0 +1,32 @@
+// Complex polynomial root finding (Durand-Kerner / Weierstrass), used by
+// the root-MUSIC estimator. Degrees here are tiny (2(L-1) <= 14), where
+// the simultaneous iteration is simple and dependable.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/complex_matrix.hpp"
+
+namespace dwatch::core {
+
+struct RootFindOptions {
+  std::size_t max_iterations = 500;
+  double tolerance = 1e-12;  ///< max per-root movement to declare done
+};
+
+/// All complex roots of  c[0] + c[1] z + ... + c[n] z^n.
+///
+/// Leading zero coefficients are trimmed; throws std::invalid_argument if
+/// the polynomial is constant (no roots), std::runtime_error if the
+/// iteration fails to converge (not observed for the well-conditioned
+/// MUSIC polynomials this is used on).
+[[nodiscard]] std::vector<linalg::Complex> find_roots(
+    std::vector<linalg::Complex> coefficients,
+    const RootFindOptions& options = {});
+
+/// Evaluate the polynomial at z (Horner).
+[[nodiscard]] linalg::Complex evaluate_polynomial(
+    const std::vector<linalg::Complex>& coefficients, linalg::Complex z);
+
+}  // namespace dwatch::core

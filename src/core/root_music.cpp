@@ -1,0 +1,103 @@
+#include "core/root_music.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/polynomial.hpp"
+#include "linalg/hermitian_eig.hpp"
+#include "rf/constants.hpp"
+
+namespace dwatch::core {
+
+RootMusicEstimator::RootMusicEstimator(double spacing, double lambda,
+                                       RootMusicOptions options)
+    : spacing_(spacing), lambda_(lambda), options_(options) {
+  if (spacing_ <= 0.0 || lambda_ <= 0.0) {
+    throw std::invalid_argument("RootMusicEstimator: bad spacing/lambda");
+  }
+}
+
+RootMusicResult RootMusicEstimator::estimate(
+    const linalg::CMatrix& snapshots) const {
+  return estimate_from_correlation(sample_correlation(snapshots),
+                                   snapshots.cols());
+}
+
+RootMusicResult RootMusicEstimator::estimate_from_correlation(
+    const linalg::CMatrix& r, std::size_t num_snapshots) const {
+  if (r.rows() != r.cols() || r.rows() < 2) {
+    throw std::invalid_argument("RootMusicEstimator: bad correlation");
+  }
+  const std::size_t m = r.rows();
+  const std::size_t l =
+      options_.subarray == 0 ? default_subarray(m) : options_.subarray;
+  if (l < 2 || l > m) {
+    throw std::invalid_argument("RootMusicEstimator: bad subarray");
+  }
+  const linalg::CMatrix smoothed =
+      l == m ? r
+             : (options_.forward_backward ? forward_backward_smooth(r, l)
+                                          : forward_smooth(r, l));
+
+  const linalg::EigenDecomposition eig = linalg::hermitian_eig(smoothed);
+  SourceCountOptions sc = options_.source_count;
+  sc.num_snapshots = num_snapshots;
+  const std::size_t p = estimate_source_count(eig.eigenvalues, sc);
+  const linalg::CMatrix un = eig.eigenvectors.block(0, p, l, l - p);
+
+  // C = U_N U_N^H; p(z) = sum_k c_k z^{k} with c_k = sum of C's k-th
+  // diagonal, k in [-(L-1), L-1]. Multiply by z^{L-1} for a plain
+  // polynomial of degree 2(L-1).
+  const linalg::CMatrix c = un * un.hermitian();
+  const std::size_t degree = 2 * (l - 1);
+  std::vector<linalg::Complex> coeffs(degree + 1);
+  for (std::ptrdiff_t k = -(static_cast<std::ptrdiff_t>(l) - 1);
+       k <= static_cast<std::ptrdiff_t>(l) - 1; ++k) {
+    linalg::Complex sum{};
+    for (std::size_t i = 0; i < l; ++i) {
+      const std::ptrdiff_t j = static_cast<std::ptrdiff_t>(i) + k;
+      if (j >= 0 && j < static_cast<std::ptrdiff_t>(l)) {
+        // a(z)^H C a(z) = sum_{i,j} conj(z^i) C(i,j) z^j: offset k = j-i.
+        sum += c(i, static_cast<std::size_t>(j));
+      }
+    }
+    coeffs[static_cast<std::size_t>(k + static_cast<std::ptrdiff_t>(l) -
+                                    1)] = sum;
+  }
+
+  const std::vector<linalg::Complex> roots = find_roots(coeffs);
+
+  // Keep roots INSIDE the unit circle (each signal root appears as a
+  // conjugate-reciprocal pair), sorted by closeness to the circle.
+  struct Scored {
+    linalg::Complex z;
+    double dist;
+  };
+  std::vector<Scored> inside;
+  for (const linalg::Complex z : roots) {
+    const double mag = std::abs(z);
+    if (mag <= 1.0 + 1e-9) {
+      inside.push_back({z, std::abs(1.0 - mag)});
+    }
+  }
+  std::sort(inside.begin(), inside.end(),
+            [](const Scored& a, const Scored& b) { return a.dist < b.dist; });
+
+  RootMusicResult result;
+  result.num_sources = p;
+  const std::size_t take = std::min<std::size_t>(p, inside.size());
+  for (std::size_t i = 0; i < take; ++i) {
+    // z = e^{-j (2 pi d / lambda) cos(theta)}  =>  cos(theta) =
+    // -arg(z) * lambda / (2 pi d).
+    const double cos_theta = std::clamp(
+        -std::arg(inside[i].z) * lambda_ / (rf::kTwoPi * spacing_), -1.0,
+        1.0);
+    result.angles.push_back(std::acos(cos_theta));
+    result.circle_distances.push_back(inside[i].dist);
+  }
+  return result;
+}
+
+}  // namespace dwatch::core

@@ -1,0 +1,61 @@
+// Root-MUSIC: search-free AoA estimation for uniform linear arrays.
+//
+// An extension beyond the paper (which sweeps a grid): the MUSIC null
+// spectrum along the ULA manifold is a polynomial in z = e^{-j 2pi d/λ
+// cos(theta)},
+//
+//   p(z) = a(z)^H U_N U_N^H a(z),   a(z) = [1, z, ..., z^{L-1}]^T,
+//
+// whose roots nearest the unit circle are the arrival angles — no grid,
+// no resolution limit from the grid step. Useful as a cross-check of the
+// grid MUSIC used by the pipeline and as a faster estimator when only
+// angles (not the full spectrum) are needed.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/covariance.hpp"
+#include "core/source_count.hpp"
+#include "linalg/complex_matrix.hpp"
+
+namespace dwatch::core {
+
+struct RootMusicOptions {
+  /// Spatial-smoothing subarray size (0 = default_subarray(M)).
+  std::size_t subarray = 0;
+  bool forward_backward = true;
+  SourceCountOptions source_count;
+};
+
+struct RootMusicResult {
+  /// Estimated arrival angles [rad, 0..pi], strongest-fit first (roots
+  /// sorted by closeness to the unit circle).
+  std::vector<double> angles;
+  /// |1 - |z|| of each reported root (fit quality; smaller = better).
+  std::vector<double> circle_distances;
+  std::size_t num_sources = 0;
+};
+
+/// Root-MUSIC estimator for one ULA geometry.
+class RootMusicEstimator {
+ public:
+  /// Throws std::invalid_argument on non-positive spacing/lambda.
+  RootMusicEstimator(double spacing, double lambda,
+                     RootMusicOptions options = {});
+
+  /// Estimate from an M x N snapshot matrix.
+  [[nodiscard]] RootMusicResult estimate(
+      const linalg::CMatrix& snapshots) const;
+
+  /// Estimate from a precomputed correlation matrix.
+  [[nodiscard]] RootMusicResult estimate_from_correlation(
+      const linalg::CMatrix& r, std::size_t num_snapshots) const;
+
+ private:
+  double spacing_;
+  double lambda_;
+  RootMusicOptions options_;
+};
+
+}  // namespace dwatch::core

@@ -1,0 +1,91 @@
+#include "core/source_count.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dwatch::core {
+
+namespace {
+
+/// Negative log of the sphericity statistic for splitting at k sources:
+/// ratio of geometric to arithmetic mean of the noise eigenvalues.
+double log_likelihood_term(std::span<const double> ev, std::size_t k,
+                           std::size_t n_snapshots) {
+  const std::size_t m = ev.size();
+  const std::size_t q = m - k;
+  double log_geo = 0.0;
+  double arith = 0.0;
+  for (std::size_t i = k; i < m; ++i) {
+    const double v = std::max(ev[i], 1e-300);
+    log_geo += std::log(v);
+    arith += v;
+  }
+  log_geo /= static_cast<double>(q);
+  arith /= static_cast<double>(q);
+  const double log_ratio = log_geo - std::log(std::max(arith, 1e-300));
+  return -static_cast<double>(n_snapshots) * static_cast<double>(q) *
+         log_ratio;
+}
+
+}  // namespace
+
+std::size_t estimate_source_count(std::span<const double> eigenvalues,
+                                  const SourceCountOptions& options) {
+  const std::size_t m = eigenvalues.size();
+  if (m < 2) {
+    throw std::invalid_argument("estimate_source_count: need >= 2 values");
+  }
+  for (std::size_t i = 0; i + 1 < m; ++i) {
+    if (eigenvalues[i] < eigenvalues[i + 1] - 1e-9 * std::abs(eigenvalues[i])) {
+      throw std::invalid_argument(
+          "estimate_source_count: eigenvalues not sorted descending");
+    }
+  }
+  const std::size_t cap =
+      options.max_sources > 0 ? std::min(options.max_sources, m - 1) : m - 1;
+
+  switch (options.method) {
+    case SourceCountMethod::kThreshold: {
+      const std::size_t tail = std::clamp<std::size_t>(
+          options.noise_tail, 1, m - 1);
+      double noise_floor = 0.0;
+      for (std::size_t i = m - tail; i < m; ++i) {
+        noise_floor += std::max(eigenvalues[i], 0.0);
+      }
+      noise_floor /= static_cast<double>(tail);
+      noise_floor = std::max(noise_floor, 1e-300);
+      std::size_t p = 0;
+      while (p < cap &&
+             eigenvalues[p] > options.threshold_factor * noise_floor) {
+        ++p;
+      }
+      return std::max<std::size_t>(p, 1);  // at least the dominant source
+    }
+    case SourceCountMethod::kMdl:
+    case SourceCountMethod::kAic: {
+      double best_score = 0.0;
+      std::size_t best_k = 1;
+      for (std::size_t k = 0; k <= cap; ++k) {
+        const double ll =
+            log_likelihood_term(eigenvalues, k, options.num_snapshots);
+        const double free_params =
+            static_cast<double>(k) * static_cast<double>(2 * m - k);
+        const double penalty =
+            options.method == SourceCountMethod::kMdl
+                ? 0.5 * free_params *
+                      std::log(static_cast<double>(options.num_snapshots))
+                : free_params;
+        const double score = ll + penalty;
+        if (k == 0 || score < best_score) {
+          best_score = score;
+          best_k = std::max<std::size_t>(k, 1);
+        }
+      }
+      return best_k;
+    }
+  }
+  throw std::logic_error("estimate_source_count: unknown method");
+}
+
+}  // namespace dwatch::core

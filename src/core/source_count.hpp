@@ -1,0 +1,40 @@
+// Source-count (model-order) estimation from correlation eigenvalues.
+//
+// MUSIC needs P, the number of incoming signals, to split eigenvectors
+// into signal and noise subspaces. The paper chooses "how many
+// eigenvalues are larger than a threshold"; we implement that plus the
+// classical MDL and AIC information criteria (Wax & Kailath 1985) as
+// alternatives, and use the threshold rule by default to match the paper.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace dwatch::core {
+
+enum class SourceCountMethod {
+  kThreshold,  ///< eigenvalue > factor * noise floor (paper's rule)
+  kMdl,        ///< minimum description length
+  kAic,        ///< Akaike information criterion
+};
+
+struct SourceCountOptions {
+  SourceCountMethod method = SourceCountMethod::kThreshold;
+  /// Threshold rule: an eigenvalue is "signal" if it exceeds
+  /// `threshold_factor` times the mean of the smallest `noise_tail`
+  /// eigenvalues (noise-floor estimate).
+  double threshold_factor = 8.0;
+  std::size_t noise_tail = 2;
+  /// Number of temporal snapshots N (needed by MDL/AIC).
+  std::size_t num_snapshots = 16;
+  /// Never report more than this many sources (must leave >= 1 noise
+  /// eigenvector); 0 = M - 1.
+  std::size_t max_sources = 0;
+};
+
+/// Estimate P from eigenvalues sorted in DESCENDING order.
+/// Throws std::invalid_argument if eigenvalues is empty or unsorted.
+[[nodiscard]] std::size_t estimate_source_count(
+    std::span<const double> eigenvalues, const SourceCountOptions& options);
+
+}  // namespace dwatch::core

@@ -1,0 +1,146 @@
+#include "core/spectrum.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dwatch::core {
+
+AngularSpectrum::AngularSpectrum(std::size_t num_points)
+    : values_(num_points) {
+  if (num_points < 2) {
+    throw std::invalid_argument("AngularSpectrum: need >= 2 points");
+  }
+}
+
+AngularSpectrum::AngularSpectrum(std::vector<double> values)
+    : values_(std::move(values)) {
+  if (values_.size() < 2) {
+    throw std::invalid_argument("AngularSpectrum: need >= 2 points");
+  }
+}
+
+double AngularSpectrum::value_at(double theta) const noexcept {
+  const double clamped = std::clamp(theta, 0.0, rf::kPi);
+  const double pos = clamped / rf::kPi * static_cast<double>(size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= size()) return values_.back();
+  const double frac = pos - static_cast<double>(lo);
+  return values_[lo] * (1.0 - frac) + values_[lo + 1] * frac;
+}
+
+std::size_t AngularSpectrum::index_of(double theta) const noexcept {
+  const double clamped = std::clamp(theta, 0.0, rf::kPi);
+  const double pos = clamped / rf::kPi * static_cast<double>(size() - 1);
+  return static_cast<std::size_t>(std::lround(pos));
+}
+
+double AngularSpectrum::max_value() const noexcept {
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double AngularSpectrum::min_value() const noexcept {
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+AngularSpectrum& AngularSpectrum::operator*=(double s) noexcept {
+  for (auto& v : values_) v *= s;
+  return *this;
+}
+
+std::vector<Peak> find_peaks(const AngularSpectrum& spectrum,
+                             const PeakOptions& options) {
+  const std::size_t n = spectrum.size();
+  const double global_max = spectrum.max_value();
+  const double floor = global_max * options.min_relative_height;
+
+  std::vector<Peak> peaks;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = spectrum[i];
+    if (v < floor) continue;
+    const bool left_ok = (i == 0) || spectrum[i - 1] < v;
+    // Use <= on the right so plateaus emit exactly one peak (their first
+    // sample).
+    const bool right_ok = (i + 1 == n) || spectrum[i + 1] <= v;
+    if (!left_ok || !right_ok) continue;
+
+    Peak p;
+    p.index = i;
+    p.value = v;
+    p.theta = spectrum.theta_at(i);
+    // Parabolic refinement from the 3-point neighbourhood.
+    if (i > 0 && i + 1 < n) {
+      const double y0 = spectrum[i - 1];
+      const double y1 = v;
+      const double y2 = spectrum[i + 1];
+      const double denom = y0 - 2.0 * y1 + y2;
+      if (std::abs(denom) > 1e-300) {
+        const double shift = 0.5 * (y0 - y2) / denom;
+        if (std::abs(shift) <= 1.0) {
+          const double step = rf::kPi / static_cast<double>(n - 1);
+          p.theta += shift * step;
+          p.value = y1 - 0.25 * (y0 - y2) * shift;
+        }
+      }
+    }
+    peaks.push_back(p);
+  }
+
+  std::sort(peaks.begin(), peaks.end(),
+            [](const Peak& a, const Peak& b) { return a.value > b.value; });
+
+  // Enforce minimum separation (greedy, strongest first).
+  std::vector<Peak> kept;
+  for (const Peak& p : peaks) {
+    const bool clash = std::any_of(
+        kept.begin(), kept.end(), [&](const Peak& q) {
+          return std::abs(q.theta - p.theta) < options.min_separation;
+        });
+    if (!clash) kept.push_back(p);
+    if (options.max_peaks > 0 && kept.size() >= options.max_peaks) break;
+  }
+  return kept;
+}
+
+AngularSpectrum normalize_peaks(const AngularSpectrum& spectrum,
+                                const PeakOptions& options) {
+  const std::size_t n = spectrum.size();
+  std::vector<Peak> peaks = find_peaks(spectrum, options);
+  AngularSpectrum out(spectrum.values());
+  if (peaks.empty()) {
+    const double m = spectrum.max_value();
+    if (m > 0.0) out *= 1.0 / m;
+    return out;
+  }
+
+  // Sort peaks by angle and scale each valley-bounded region by its own
+  // peak value so every peak tops out at exactly 1.
+  std::sort(peaks.begin(), peaks.end(),
+            [](const Peak& a, const Peak& b) { return a.index < b.index; });
+
+  std::vector<std::size_t> boundaries;  // region split points
+  boundaries.push_back(0);
+  for (std::size_t k = 0; k + 1 < peaks.size(); ++k) {
+    // Valley = argmin between consecutive peak indices.
+    std::size_t valley = peaks[k].index;
+    double best = spectrum[valley];
+    for (std::size_t i = peaks[k].index; i <= peaks[k + 1].index; ++i) {
+      if (spectrum[i] < best) {
+        best = spectrum[i];
+        valley = i;
+      }
+    }
+    boundaries.push_back(valley);
+  }
+  boundaries.push_back(n);
+
+  for (std::size_t k = 0; k < peaks.size(); ++k) {
+    const double scale = peaks[k].value > 0.0 ? 1.0 / peaks[k].value : 0.0;
+    for (std::size_t i = boundaries[k]; i < boundaries[k + 1]; ++i) {
+      out[i] = spectrum[i] * scale;
+    }
+  }
+  return out;
+}
+
+}  // namespace dwatch::core

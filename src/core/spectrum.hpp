@@ -1,0 +1,83 @@
+// Angular spectra: sampled functions over theta in [0, pi] plus peak
+// machinery shared by MUSIC, P-MUSIC and the change detector.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rf/constants.hpp"
+
+namespace dwatch::core {
+
+/// A spectrum sampled uniformly over [0, pi] (inclusive endpoints).
+class AngularSpectrum {
+ public:
+  /// Zero spectrum with `num_points` samples (>= 2).
+  explicit AngularSpectrum(std::size_t num_points = kDefaultPoints);
+
+  /// Wrap existing sample values (size >= 2) spanning [0, pi].
+  explicit AngularSpectrum(std::vector<double> values);
+
+  static constexpr std::size_t kDefaultPoints = 361;  ///< 0.5 deg grid
+
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  [[nodiscard]] double theta_at(std::size_t i) const noexcept {
+    return rf::kPi * static_cast<double>(i) /
+           static_cast<double>(values_.size() - 1);
+  }
+  [[nodiscard]] double& operator[](std::size_t i) noexcept {
+    return values_[i];
+  }
+  [[nodiscard]] double operator[](std::size_t i) const noexcept {
+    return values_[i];
+  }
+  [[nodiscard]] const std::vector<double>& values() const noexcept {
+    return values_;
+  }
+
+  /// Linear interpolation at an arbitrary theta (clamped to [0, pi]).
+  [[nodiscard]] double value_at(double theta) const noexcept;
+
+  /// Index of the sample nearest to theta (clamped).
+  [[nodiscard]] std::size_t index_of(double theta) const noexcept;
+
+  [[nodiscard]] double max_value() const noexcept;
+  [[nodiscard]] double min_value() const noexcept;
+
+  AngularSpectrum& operator*=(double s) noexcept;
+
+ private:
+  std::vector<double> values_;
+};
+
+/// One detected spectrum peak.
+struct Peak {
+  double theta = 0.0;   ///< refined angle [rad]
+  double value = 0.0;   ///< spectrum value at the peak
+  std::size_t index = 0;  ///< grid index of the local maximum
+};
+
+/// Peak detection options.
+struct PeakOptions {
+  /// Keep only peaks whose value is >= this fraction of the global max.
+  double min_relative_height = 0.05;
+  /// Maximum number of peaks returned (strongest first); 0 = unlimited.
+  std::size_t max_peaks = 0;
+  /// Minimum angular separation between reported peaks [rad].
+  double min_separation = rf::deg2rad(3.0);
+};
+
+/// Local maxima of `spectrum`, strongest first, with 3-point parabolic
+/// refinement of the angle.
+[[nodiscard]] std::vector<Peak> find_peaks(const AngularSpectrum& spectrum,
+                                           const PeakOptions& options = {});
+
+/// The P-MUSIC normalization Nor(B): rescales the spectrum so EVERY peak
+/// has height exactly 1 (paper Section 4.2) — peak positions and shapes
+/// are kept, amplitudes (which are pseudo-probabilities for MUSIC) are
+/// discarded. Each inter-peak valley bounds a region that is divided by
+/// its own peak value; a peakless spectrum is divided by its max.
+[[nodiscard]] AngularSpectrum normalize_peaks(const AngularSpectrum& spectrum,
+                                              const PeakOptions& options = {});
+
+}  // namespace dwatch::core

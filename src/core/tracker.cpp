@@ -1,0 +1,71 @@
+#include "core/tracker.hpp"
+
+#include <stdexcept>
+
+namespace dwatch::core {
+
+AlphaBetaTracker::AlphaBetaTracker(TrackerOptions options)
+    : options_(options) {
+  if (options_.alpha <= 0.0 || options_.alpha > 1.0 || options_.beta < 0.0 ||
+      options_.beta > 1.0 || options_.dt <= 0.0) {
+    throw std::invalid_argument("AlphaBetaTracker: bad gains/dt");
+  }
+}
+
+rf::Vec2 AlphaBetaTracker::update(rf::Vec2 measurement) {
+  if (!initialized_) {
+    position_ = measurement;
+    velocity_ = {0.0, 0.0};
+    initialized_ = true;
+    misses_ = 0;
+    return position_;
+  }
+  const rf::Vec2 predicted = position_ + velocity_ * options_.dt;
+  if (options_.gate_distance > 0.0 &&
+      rf::distance(predicted, measurement) > options_.gate_distance) {
+    // Outlier: treat as a miss.
+    auto coasted = coast();
+    return coasted.value_or(position_);
+  }
+  const rf::Vec2 residual = measurement - predicted;
+  position_ = predicted + residual * options_.alpha;
+  velocity_ = velocity_ + residual * (options_.beta / options_.dt);
+  misses_ = 0;
+  return position_;
+}
+
+std::optional<rf::Vec2> AlphaBetaTracker::coast() {
+  if (!initialized_) return std::nullopt;
+  ++misses_;
+  if (misses_ > options_.max_coast) {
+    reset();
+    return std::nullopt;
+  }
+  position_ = position_ + velocity_ * options_.dt;
+  return position_;
+}
+
+void AlphaBetaTracker::reset() {
+  initialized_ = false;
+  misses_ = 0;
+  position_ = {0.0, 0.0};
+  velocity_ = {0.0, 0.0};
+}
+
+std::vector<std::optional<rf::Vec2>> smooth_trajectory(
+    const std::vector<std::optional<rf::Vec2>>& fixes,
+    const TrackerOptions& options) {
+  AlphaBetaTracker tracker(options);
+  std::vector<std::optional<rf::Vec2>> out;
+  out.reserve(fixes.size());
+  for (const auto& fix : fixes) {
+    if (fix) {
+      out.push_back(tracker.update(*fix));
+    } else {
+      out.push_back(tracker.coast());
+    }
+  }
+  return out;
+}
+
+}  // namespace dwatch::core

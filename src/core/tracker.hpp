@@ -1,0 +1,67 @@
+// Snapshot-to-trajectory tracking (paper Sections 6.8 and 8).
+//
+// D-Watch fixes arrive every ~0.1 s; a walking human moves 10-20 cm
+// between fixes and a writing fist ~5 cm. An alpha-beta filter smooths
+// the per-fix estimates into a trajectory, coasts through missed fixes
+// (the paper's "deadzone" mitigation via target mobility), and gates
+// away wild outliers.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "rf/geometry.hpp"
+
+namespace dwatch::core {
+
+struct TrackerOptions {
+  double alpha = 0.5;  ///< position correction gain
+  double beta = 0.2;   ///< velocity correction gain
+  double dt = 0.1;     ///< fix interval [s] (paper: 0.1 s transmissions)
+  /// Reject measurements farther than this from the prediction [m];
+  /// <= 0 disables gating.
+  double gate_distance = 0.8;
+  /// Coast at most this many consecutive misses before the track resets.
+  std::size_t max_coast = 5;
+};
+
+/// Alpha-beta tracker over 2-D positions.
+class AlphaBetaTracker {
+ public:
+  explicit AlphaBetaTracker(TrackerOptions options = {});
+
+  /// Feed one fix; returns the smoothed position. The first accepted
+  /// measurement initializes the track. Gated-out measurements count as
+  /// misses (the prediction is returned).
+  rf::Vec2 update(rf::Vec2 measurement);
+
+  /// Feed a missed fix (deadzone): the track coasts on its velocity.
+  /// Returns the prediction, or nullopt if the track is not initialized
+  /// or has exceeded max_coast and reset.
+  std::optional<rf::Vec2> coast();
+
+  [[nodiscard]] bool initialized() const noexcept { return initialized_; }
+  [[nodiscard]] rf::Vec2 position() const noexcept { return position_; }
+  [[nodiscard]] rf::Vec2 velocity() const noexcept { return velocity_; }
+  [[nodiscard]] std::size_t consecutive_misses() const noexcept {
+    return misses_;
+  }
+
+  void reset();
+
+ private:
+  TrackerOptions options_;
+  rf::Vec2 position_;
+  rf::Vec2 velocity_;
+  bool initialized_ = false;
+  std::size_t misses_ = 0;
+};
+
+/// Smooth a whole trajectory of (possibly missing) fixes. Output has one
+/// entry per input; missing fixes are filled by coasting where possible.
+[[nodiscard]] std::vector<std::optional<rf::Vec2>> smooth_trajectory(
+    const std::vector<std::optional<rf::Vec2>>& fixes,
+    const TrackerOptions& options = {});
+
+}  // namespace dwatch::core

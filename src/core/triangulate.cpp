@@ -1,0 +1,112 @@
+#include "core/triangulate.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dwatch::core {
+
+std::vector<BearingRay> rays_for_angle(const rf::UniformLinearArray& array,
+                                       double theta) {
+  // arrival_angle measures against -axis (see UniformLinearArray); the
+  // two in-plane directions with that cone angle are -axis rotated by
+  // +/- theta.
+  const rf::Vec2 u = rf::Vec2{-array.axis().x, -array.axis().y};
+  const double c = std::cos(theta);
+  const double s = std::sin(theta);
+  const rf::Vec2 origin = array.center().xy();
+  const rf::Vec2 d1{u.x * c - u.y * s, u.x * s + u.y * c};
+  const rf::Vec2 d2{u.x * c + u.y * s, -u.x * s + u.y * c};
+  std::vector<BearingRay> rays{{origin, d1}};
+  if (std::abs(s) > 1e-9) rays.push_back({origin, d2});
+  return rays;
+}
+
+std::optional<rf::Vec2> intersect_rays(const BearingRay& a,
+                                       const BearingRay& b) {
+  const double denom = a.direction.cross(b.direction);
+  if (std::abs(denom) < 1e-12) return std::nullopt;  // parallel
+  const rf::Vec2 w = b.origin - a.origin;
+  const double t = w.cross(b.direction) / denom;
+  const double s = w.cross(a.direction) / denom;
+  if (t <= 0.0 || s <= 0.0) return std::nullopt;  // behind an array
+  return a.origin + a.direction * t;
+}
+
+TriangulationResult triangulate_with_outlier_rejection(
+    std::span<const rf::UniformLinearArray> arrays,
+    std::span<const AngularEvidence> evidence,
+    const TriangulationOptions& options) {
+  if (arrays.size() != evidence.size()) {
+    throw std::invalid_argument("triangulate: evidence count mismatch");
+  }
+  struct Candidate {
+    rf::Vec2 p;
+    double weight;
+  };
+  std::vector<Candidate> candidates;
+  std::size_t rejected = 0;
+
+  for (std::size_t i = 0; i < arrays.size(); ++i) {
+    for (const PathDrop& di : evidence[i].drops) {
+      const auto rays_i = rays_for_angle(arrays[i], di.theta);
+      for (std::size_t j = i + 1; j < arrays.size(); ++j) {
+        for (const PathDrop& dj : evidence[j].drops) {
+          const auto rays_j = rays_for_angle(arrays[j], dj.theta);
+          for (const BearingRay& ri : rays_i) {
+            for (const BearingRay& rj : rays_j) {
+              const auto hit = intersect_rays(ri, rj);
+              if (!hit) continue;
+              if (!options.bounds.contains(*hit)) {
+                ++rejected;  // the paper's "far outside the area" case
+                continue;
+              }
+              candidates.push_back(
+                  {*hit, di.drop_fraction * dj.drop_fraction});
+            }
+          }
+        }
+      }
+    }
+  }
+
+  TriangulationResult result;
+  result.rejected = rejected;
+  if (candidates.empty()) return result;
+
+  // Greedy densest cluster: for each candidate, count (and weigh)
+  // neighbours within the cluster radius; the best-supported seed wins.
+  double best_score = -1.0;
+  std::size_t best_seed = 0;
+  for (std::size_t s = 0; s < candidates.size(); ++s) {
+    double score = 0.0;
+    for (const Candidate& c : candidates) {
+      if (rf::distance(candidates[s].p, c.p) <= options.cluster_radius) {
+        score += c.weight;
+      }
+    }
+    if (score > best_score) {
+      best_score = score;
+      best_seed = s;
+    }
+  }
+
+  rf::Vec2 centroid{0.0, 0.0};
+  double weight_sum = 0.0;
+  std::size_t support = 0;
+  for (const Candidate& c : candidates) {
+    if (rf::distance(candidates[best_seed].p, c.p) <= options.cluster_radius) {
+      centroid = centroid + c.p * c.weight;
+      weight_sum += c.weight;
+      ++support;
+    } else {
+      ++result.rejected;
+    }
+  }
+  if (weight_sum <= 0.0) return result;
+  result.position = centroid / weight_sum;
+  result.support = support;
+  result.valid = true;
+  return result;
+}
+
+}  // namespace dwatch::core

@@ -1,0 +1,62 @@
+// Explicit ray triangulation with outlier rejection (paper Section 4.3).
+//
+// When a target blocks a reflection path BEFORE the reflector, the
+// dropped peak's angle points at the reflector, not the target ("wrong
+// angle", Fig. 1(b) path 3). The paper's argument: a single target
+// cannot block two paths of the same reader, so when a reader shows
+// several drops only one angle is true; candidate intersections from
+// wrong angles scatter (often outside the monitored area) while true
+// angles agree. We enumerate candidate angle pairs across readers,
+// intersect their bearing rays, and keep the densest in-bounds cluster.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/localizer.hpp"
+#include "rf/array.hpp"
+#include "rf/geometry.hpp"
+
+namespace dwatch::core {
+
+/// A bearing ray in the floor plane: origin + unit direction.
+struct BearingRay {
+  rf::Vec2 origin;
+  rf::Vec2 direction;
+};
+
+/// Both in-plane rays consistent with arrival angle theta at a ULA (the
+/// linear-array front/back ambiguity: axis rotated by +/- theta).
+[[nodiscard]] std::vector<BearingRay> rays_for_angle(
+    const rf::UniformLinearArray& array, double theta);
+
+/// Intersection point of two rays if they meet at positive parameters.
+[[nodiscard]] std::optional<rf::Vec2> intersect_rays(const BearingRay& a,
+                                                     const BearingRay& b);
+
+struct TriangulationOptions {
+  /// Candidates outside the bounds are rejected outright.
+  SearchBounds bounds;
+  /// Cluster radius: candidates within this distance of each other are
+  /// mutually consistent [m].
+  double cluster_radius = 0.5;
+};
+
+struct TriangulationResult {
+  rf::Vec2 position;          ///< centroid of the winning cluster
+  std::size_t support = 0;    ///< candidates in the cluster
+  std::size_t rejected = 0;   ///< candidates discarded as outliers
+  bool valid = false;
+};
+
+/// Triangulate from per-array drop evidence: every (drop from array i,
+/// drop from array j != i) pair contributes up to 4 ray intersections;
+/// in-bounds candidates are clustered greedily and the densest cluster's
+/// centroid wins. Evidence size must match arrays size.
+[[nodiscard]] TriangulationResult triangulate_with_outlier_rejection(
+    std::span<const rf::UniformLinearArray> arrays,
+    std::span<const AngularEvidence> evidence,
+    const TriangulationOptions& options);
+
+}  // namespace dwatch::core

@@ -1,0 +1,64 @@
+#include "harness/deadzone.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dwatch::harness {
+
+double DeadzoneMap::coverage_fraction(std::size_t min_arrays) const {
+  if (arrays_observing.empty()) return 0.0;
+  std::size_t covered = 0;
+  for (const std::uint8_t n : arrays_observing) {
+    if (n >= min_arrays) ++covered;
+  }
+  return static_cast<double>(covered) /
+         static_cast<double>(arrays_observing.size());
+}
+
+DeadzoneMap compute_deadzone_map(const sim::Scene& scene, double step,
+                                 double target_radius,
+                                 double target_height) {
+  if (step <= 0.0) {
+    throw std::invalid_argument("compute_deadzone_map: step <= 0");
+  }
+  const auto& env = scene.deployment().env;
+  DeadzoneMap map;
+  map.origin = {0.0, 0.0};
+  map.step = step;
+  map.nx = static_cast<std::size_t>(std::floor(env.width / step)) + 1;
+  map.ny = static_cast<std::size_t>(std::floor(env.depth / step)) + 1;
+  map.arrays_observing.assign(map.nx * map.ny, 0);
+
+  for (std::size_t iy = 0; iy < map.ny; ++iy) {
+    for (std::size_t ix = 0; ix < map.nx; ++ix) {
+      const rf::Vec2 p = map.point(ix, iy);
+      sim::CylinderTarget target;
+      target.position = p;
+      target.radius = target_radius;
+      target.z_lo = 0.0;
+      target.z_hi = target_height;
+      const std::vector<sim::CylinderTarget> targets{target};
+
+      std::uint8_t arrays = 0;
+      for (std::size_t a = 0; a < scene.num_arrays(); ++a) {
+        bool observed = false;
+        for (std::size_t t = 0; t < scene.num_tags() && !observed; ++t) {
+          if (!scene.tag_readable(a, t)) continue;
+          for (const auto& path : scene.paths(a, t)) {
+            const sim::BlockingResult res =
+                sim::evaluate_blocking(path, targets);
+            if (res.blocked && res.gives_true_angle) {
+              observed = true;
+              break;
+            }
+          }
+        }
+        if (observed) ++arrays;
+      }
+      map.arrays_observing[iy * map.nx + ix] = arrays;
+    }
+  }
+  return map;
+}
+
+}  // namespace dwatch::harness

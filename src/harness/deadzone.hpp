@@ -1,0 +1,46 @@
+// Deadzone analysis (paper Section 8): a target is in a deadzone when it
+// blocks no path at all, or blocks paths seen by fewer than two arrays.
+//
+// Given a deployment this computes, purely geometrically, how many
+// arrays would observe a TRUE-angle blockage for a human standing at
+// each grid cell — the coverage ceiling of the deployment before any
+// signal processing. Use it to place tags/reflectors (the paper's
+// suggested mitigation: cheap tags shrink the deadzones).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/scene.hpp"
+
+namespace dwatch::harness {
+
+struct DeadzoneMap {
+  rf::Vec2 origin;
+  double step = 0.0;
+  std::size_t nx = 0;
+  std::size_t ny = 0;
+  /// Per cell: number of arrays with at least one true-angle-blockable
+  /// path for a human at the cell.
+  std::vector<std::uint8_t> arrays_observing;
+
+  [[nodiscard]] std::uint8_t at(std::size_t ix, std::size_t iy) const {
+    return arrays_observing.at(iy * nx + ix);
+  }
+  [[nodiscard]] rf::Vec2 point(std::size_t ix, std::size_t iy) const {
+    return {origin.x + step * static_cast<double>(ix),
+            origin.y + step * static_cast<double>(iy)};
+  }
+
+  /// Fraction of cells observed by at least `min_arrays` arrays.
+  [[nodiscard]] double coverage_fraction(std::size_t min_arrays = 2) const;
+};
+
+/// Compute the deadzone map of a scene with the given grid step [m] and
+/// target template (defaults to the paper's human cylinder). Throws
+/// std::invalid_argument for non-positive step.
+[[nodiscard]] DeadzoneMap compute_deadzone_map(
+    const sim::Scene& scene, double step = 0.25,
+    double target_radius = 0.18, double target_height = 1.7);
+
+}  // namespace dwatch::harness

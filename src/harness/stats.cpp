@@ -1,0 +1,59 @@
+#include "harness/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dwatch::harness {
+
+double percentile(std::vector<double> sample, double p) {
+  if (sample.empty()) {
+    throw std::invalid_argument("percentile: empty sample");
+  }
+  if (p < 0.0 || p > 100.0) {
+    throw std::invalid_argument("percentile: p outside [0,100]");
+  }
+  std::sort(sample.begin(), sample.end());
+  const double pos = p / 100.0 * static_cast<double>(sample.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= sample.size()) return sample.back();
+  const double frac = pos - static_cast<double>(lo);
+  return sample[lo] * (1.0 - frac) + sample[lo + 1] * frac;
+}
+
+double median(std::vector<double> sample) {
+  return percentile(std::move(sample), 50.0);
+}
+
+double mean(std::span<const double> sample) {
+  if (sample.empty()) throw std::invalid_argument("mean: empty sample");
+  double sum = 0.0;
+  for (const double v : sample) sum += v;
+  return sum / static_cast<double>(sample.size());
+}
+
+double stddev(std::span<const double> sample) {
+  if (sample.size() < 2) return 0.0;
+  const double mu = mean(sample);
+  double acc = 0.0;
+  for (const double v : sample) acc += (v - mu) * (v - mu);
+  return std::sqrt(acc / static_cast<double>(sample.size() - 1));
+}
+
+std::vector<double> cdf_at(std::span<const double> sample,
+                           std::span<const double> levels) {
+  if (sample.empty()) throw std::invalid_argument("cdf_at: empty sample");
+  std::vector<double> out;
+  out.reserve(levels.size());
+  for (const double level : levels) {
+    std::size_t count = 0;
+    for (const double v : sample) {
+      if (v <= level) ++count;
+    }
+    out.push_back(static_cast<double>(count) /
+                  static_cast<double>(sample.size()));
+  }
+  return out;
+}
+
+}  // namespace dwatch::harness

@@ -1,0 +1,25 @@
+// Small statistics helpers for experiment harnesses: medians,
+// percentiles, CDF series — the quantities the paper reports.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dwatch::harness {
+
+/// p-th percentile (0..100) by linear interpolation of the sorted sample.
+/// Throws std::invalid_argument on an empty sample or p outside [0,100].
+[[nodiscard]] double percentile(std::vector<double> sample, double p);
+
+[[nodiscard]] double median(std::vector<double> sample);
+
+[[nodiscard]] double mean(std::span<const double> sample);
+
+[[nodiscard]] double stddev(std::span<const double> sample);
+
+/// CDF sampled at the given levels: fraction of values <= level.
+[[nodiscard]] std::vector<double> cdf_at(std::span<const double> sample,
+                                         std::span<const double> levels);
+
+}  // namespace dwatch::harness

@@ -1,0 +1,92 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dwatch::linalg {
+
+CMatrix cholesky(const CMatrix& a, double tol) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("cholesky: matrix not square");
+  }
+  if (!a.is_hermitian(1e-8)) {
+    throw std::invalid_argument("cholesky: matrix not Hermitian");
+  }
+  const std::size_t n = a.rows();
+  CMatrix l(n, n);
+  const double scale = std::max(1.0, a.frobenius_norm());
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j).real();
+    for (std::size_t k = 0; k < j; ++k) diag -= std::norm(l(j, k));
+    if (diag <= tol * scale) {
+      throw std::runtime_error("cholesky: matrix not positive definite");
+    }
+    const double ljj = std::sqrt(diag);
+    l(j, j) = Complex{ljj, 0.0};
+    for (std::size_t i = j + 1; i < n; ++i) {
+      Complex sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) {
+        sum -= l(i, k) * std::conj(l(j, k));
+      }
+      l(i, j) = sum / ljj;
+    }
+  }
+  return l;
+}
+
+CVector forward_substitute(const CMatrix& l, const CVector& b) {
+  if (l.rows() != l.cols() || l.rows() != b.size()) {
+    throw std::invalid_argument("forward_substitute: dimension mismatch");
+  }
+  const std::size_t n = b.size();
+  CVector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Complex sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l(i, k) * y[k];
+    if (l(i, i) == Complex{}) {
+      throw std::runtime_error("forward_substitute: singular factor");
+    }
+    y[i] = sum / l(i, i);
+  }
+  return y;
+}
+
+CVector backward_substitute_hermitian(const CMatrix& l, const CVector& y) {
+  if (l.rows() != l.cols() || l.rows() != y.size()) {
+    throw std::invalid_argument(
+        "backward_substitute_hermitian: dimension mismatch");
+  }
+  const std::size_t n = y.size();
+  CVector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    Complex sum = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) {
+      sum -= std::conj(l(k, ii)) * x[k];
+    }
+    if (l(ii, ii) == Complex{}) {
+      throw std::runtime_error("backward_substitute_hermitian: singular");
+    }
+    x[ii] = sum / std::conj(l(ii, ii));
+  }
+  return x;
+}
+
+CVector cholesky_solve(const CMatrix& a, const CVector& b) {
+  const CMatrix l = cholesky(a);
+  return backward_substitute_hermitian(l, forward_substitute(l, b));
+}
+
+CMatrix cholesky_inverse(const CMatrix& a) {
+  const std::size_t n = a.rows();
+  const CMatrix l = cholesky(a);
+  CMatrix inv(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    CVector e(n);
+    e[j] = Complex{1.0, 0.0};
+    const CVector x = backward_substitute_hermitian(l, forward_substitute(l, e));
+    for (std::size_t i = 0; i < n; ++i) inv(i, j) = x[i];
+  }
+  return inv;
+}
+
+}  // namespace dwatch::linalg

@@ -1,0 +1,33 @@
+// Cholesky factorization and linear solves for Hermitian positive-definite
+// complex matrices.
+//
+// Used for least-squares refinement steps (normal equations) in the phase
+// calibration pipeline and for whitening experiments; also a convenient
+// well-conditioned inverse for small correlation matrices in tests.
+#pragma once
+
+#include "linalg/complex_matrix.hpp"
+
+namespace dwatch::linalg {
+
+/// Lower-triangular Cholesky factor L with A = L L^H.
+///
+/// Throws std::invalid_argument if `a` is not square/Hermitian and
+/// std::runtime_error if a pivot is not strictly positive (matrix not
+/// positive definite within tolerance).
+[[nodiscard]] CMatrix cholesky(const CMatrix& a, double tol = 1e-12);
+
+/// Solve A x = b for Hermitian positive-definite A via Cholesky.
+[[nodiscard]] CVector cholesky_solve(const CMatrix& a, const CVector& b);
+
+/// Inverse of a Hermitian positive-definite matrix via Cholesky.
+[[nodiscard]] CMatrix cholesky_inverse(const CMatrix& a);
+
+/// Forward substitution: solve L y = b with lower-triangular L.
+[[nodiscard]] CVector forward_substitute(const CMatrix& l, const CVector& b);
+
+/// Backward substitution: solve L^H x = y with lower-triangular L.
+[[nodiscard]] CVector backward_substitute_hermitian(const CMatrix& l,
+                                                    const CVector& y);
+
+}  // namespace dwatch::linalg

@@ -1,0 +1,47 @@
+// Physical constants and the UHF RFID band used throughout D-Watch.
+//
+// The paper's readers operate in 920.5-924.5 MHz (Chinese UHF band); the
+// arrays use half-wavelength spacing d = lambda/2 = 16.25 cm, which pins
+// the carrier near 922.5 MHz.
+#pragma once
+
+namespace dwatch::rf {
+
+/// Speed of light [m/s].
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+/// Lower/upper edge of the Chinese UHF RFID band [Hz] (paper Section 5).
+inline constexpr double kBandLowHz = 920.5e6;
+inline constexpr double kBandHighHz = 924.5e6;
+
+/// Default carrier frequency [Hz]: band centre.
+inline constexpr double kDefaultCarrierHz = 922.5e6;
+
+/// Wavelength [m] for a carrier frequency [Hz].
+[[nodiscard]] constexpr double wavelength(double carrier_hz) {
+  return kSpeedOfLight / carrier_hz;
+}
+
+/// Default wavelength (~0.325 m).
+inline constexpr double kDefaultWavelength = wavelength(kDefaultCarrierHz);
+
+/// Default inter-element spacing: half wavelength (~16.25 cm, paper §5).
+inline constexpr double kDefaultElementSpacing = kDefaultWavelength / 2.0;
+
+/// Pi to double precision (avoids pulling <numbers> into every header).
+inline constexpr double kPi = 3.141592653589793238462643383279502884;
+
+/// Two pi.
+inline constexpr double kTwoPi = 2.0 * kPi;
+
+/// Degrees -> radians.
+[[nodiscard]] constexpr double deg2rad(double deg) {
+  return deg * kPi / 180.0;
+}
+
+/// Radians -> degrees.
+[[nodiscard]] constexpr double rad2deg(double rad) {
+  return rad * 180.0 / kPi;
+}
+
+}  // namespace dwatch::rf

@@ -1,0 +1,132 @@
+#include "rf/geometry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+#include "rf/constants.hpp"
+
+namespace dwatch::rf {
+
+double Vec2::norm() const { return std::sqrt(norm_sq()); }
+
+Vec2 Vec2::normalized() const {
+  const double n = norm();
+  if (n == 0.0) throw std::domain_error("Vec2::normalized: zero vector");
+  return {x / n, y / n};
+}
+
+double Vec3::norm() const { return std::sqrt(norm_sq()); }
+
+Vec3 Vec3::normalized() const {
+  const double n = norm();
+  if (n == 0.0) throw std::domain_error("Vec3::normalized: zero vector");
+  return {x / n, y / n, z / n};
+}
+
+std::ostream& operator<<(std::ostream& os, Vec2 v) {
+  return os << "(" << v.x << ", " << v.y << ")";
+}
+
+std::ostream& operator<<(std::ostream& os, Vec3 v) {
+  return os << "(" << v.x << ", " << v.y << ", " << v.z << ")";
+}
+
+double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+double distance(Vec3 a, Vec3 b) { return (a - b).norm(); }
+
+double closest_point_parameter(Vec2 p, Vec2 a, Vec2 b) {
+  const Vec2 ab = b - a;
+  const double len_sq = ab.norm_sq();
+  if (len_sq == 0.0) return 0.0;
+  return std::clamp((p - a).dot(ab) / len_sq, 0.0, 1.0);
+}
+
+double point_segment_distance(Vec2 p, Vec2 a, Vec2 b) {
+  const double t = closest_point_parameter(p, a, b);
+  return distance(p, a + (b - a) * t);
+}
+
+Vec2 mirror_across(Vec2 p, const Segment2& seg) {
+  const Vec2 d = seg.b - seg.a;
+  const double len_sq = d.norm_sq();
+  if (len_sq == 0.0) {
+    throw std::domain_error("mirror_across: degenerate segment");
+  }
+  const double t = (p - seg.a).dot(d) / len_sq;
+  const Vec2 foot = seg.a + d * t;
+  return foot * 2.0 - p;
+}
+
+std::optional<Vec2> segment_intersection(Vec2 p1, Vec2 p2, Vec2 q1, Vec2 q2) {
+  const Vec2 r = p2 - p1;
+  const Vec2 s = q2 - q1;
+  const double denom = r.cross(s);
+  if (std::abs(denom) < 1e-15) return std::nullopt;  // parallel
+  const Vec2 qp = q1 - p1;
+  const double t = qp.cross(s) / denom;
+  const double u = qp.cross(r) / denom;
+  if (t < 0.0 || t > 1.0 || u < 0.0 || u > 1.0) return std::nullopt;
+  return p1 + r * t;
+}
+
+bool segment_hits_vertical_cylinder(Vec3 a, Vec3 b, Vec2 c, double radius,
+                                    double z_lo, double z_hi) {
+  if (radius < 0.0) {
+    throw std::invalid_argument("segment_hits_vertical_cylinder: radius < 0");
+  }
+  // Work with the horizontal projection; the cylinder is the disc of
+  // radius `radius` around c, valid for z in [z_lo, z_hi].
+  const Vec2 pa = a.xy();
+  const Vec2 pb = b.xy();
+  const Vec2 d = pb - pa;
+  const double len_sq = d.norm_sq();
+
+  // Vertical (or near-vertical) segment: distance is fixed in plan view.
+  if (len_sq < 1e-18) {
+    if (distance(pa, c) > radius) return false;
+    const double seg_lo = std::min(a.z, b.z);
+    const double seg_hi = std::max(a.z, b.z);
+    return seg_hi >= z_lo && seg_lo <= z_hi;
+  }
+
+  // Find the sub-interval of t in [0,1] where the horizontal distance to c
+  // is <= radius, i.e. |pa + t d - c|^2 <= radius^2 (a quadratic in t).
+  const Vec2 f = pa - c;
+  const double qa = len_sq;
+  const double qb = 2.0 * f.dot(d);
+  const double qc = f.norm_sq() - radius * radius;
+  const double disc = qb * qb - 4.0 * qa * qc;
+  if (disc < 0.0) return false;
+  const double sqrt_disc = std::sqrt(disc);
+  double t0 = (-qb - sqrt_disc) / (2.0 * qa);
+  double t1 = (-qb + sqrt_disc) / (2.0 * qa);
+  t0 = std::max(t0, 0.0);
+  t1 = std::min(t1, 1.0);
+  if (t0 > t1) return false;
+
+  // Within [t0, t1] the segment is horizontally inside the cylinder;
+  // require some z within [z_lo, z_hi] too. z(t) is linear.
+  const double z0 = a.z + (b.z - a.z) * t0;
+  const double z1 = a.z + (b.z - a.z) * t1;
+  const double seg_lo = std::min(z0, z1);
+  const double seg_hi = std::max(z0, z1);
+  return seg_hi >= z_lo && seg_lo <= z_hi;
+}
+
+double bearing(Vec2 a, Vec2 b) { return wrap_two_pi(std::atan2(b.y - a.y, b.x - a.x)); }
+
+double wrap_pi(double angle) {
+  double a = std::fmod(angle + kPi, kTwoPi);
+  if (a < 0.0) a += kTwoPi;
+  return a - kPi;
+}
+
+double wrap_two_pi(double angle) {
+  double a = std::fmod(angle, kTwoPi);
+  if (a < 0.0) a += kTwoPi;
+  return a;
+}
+
+}  // namespace dwatch::rf

@@ -1,0 +1,120 @@
+// 2-D/3-D geometry primitives for propagation modelling.
+//
+// World frame: x/y span the floor plan (metres), z is height above the
+// floor. Arrays are horizontal uniform linear arrays; targets are vertical
+// cylinders; reflectors are vertical wall segments or vertical scatterer
+// poles. All blocking tests therefore reduce to 3-D segment vs. vertical
+// cylinder intersections.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+
+namespace dwatch::rf {
+
+/// 2-D point/vector in the floor plane [m].
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr bool operator==(const Vec2&) const = default;
+
+  [[nodiscard]] double norm() const;
+  [[nodiscard]] constexpr double norm_sq() const { return x * x + y * y; }
+  [[nodiscard]] constexpr double dot(Vec2 o) const {
+    return x * o.x + y * o.y;
+  }
+  /// z-component of the 3-D cross product (signed area).
+  [[nodiscard]] constexpr double cross(Vec2 o) const {
+    return x * o.y - y * o.x;
+  }
+  /// Unit vector; throws std::domain_error on the zero vector.
+  [[nodiscard]] Vec2 normalized() const;
+  /// Counter-clockwise perpendicular.
+  [[nodiscard]] constexpr Vec2 perp() const { return {-y, x}; }
+};
+
+/// 3-D point/vector [m].
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3 operator+(Vec3 o) const {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Vec3 operator-(Vec3 o) const {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr bool operator==(const Vec3&) const = default;
+
+  [[nodiscard]] double norm() const;
+  [[nodiscard]] constexpr double norm_sq() const {
+    return x * x + y * y + z * z;
+  }
+  [[nodiscard]] constexpr double dot(Vec3 o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  [[nodiscard]] Vec3 normalized() const;
+  [[nodiscard]] constexpr Vec2 xy() const { return {x, y}; }
+};
+
+[[nodiscard]] constexpr Vec3 lift(Vec2 p, double z) { return {p.x, p.y, z}; }
+
+std::ostream& operator<<(std::ostream& os, Vec2 v);
+std::ostream& operator<<(std::ostream& os, Vec3 v);
+
+/// Euclidean distance helpers.
+[[nodiscard]] double distance(Vec2 a, Vec2 b);
+[[nodiscard]] double distance(Vec3 a, Vec3 b);
+
+/// Shortest distance from point `p` to segment [a, b] in the plane.
+[[nodiscard]] double point_segment_distance(Vec2 p, Vec2 a, Vec2 b);
+
+/// Parameter t in [0,1] of the point on [a,b] closest to p.
+[[nodiscard]] double closest_point_parameter(Vec2 p, Vec2 a, Vec2 b);
+
+/// A finite wall segment in the floor plane (extends vertically).
+struct Segment2 {
+  Vec2 a;
+  Vec2 b;
+
+  [[nodiscard]] double length() const { return distance(a, b); }
+  /// Unit direction a->b; throws std::domain_error on degenerate segment.
+  [[nodiscard]] Vec2 direction() const { return (b - a).normalized(); }
+};
+
+/// Mirror image of point `p` across the infinite line through `seg`.
+[[nodiscard]] Vec2 mirror_across(Vec2 p, const Segment2& seg);
+
+/// Intersection of segments [p1,p2] and [q1,q2], if any (proper or
+/// endpoint-touching, not collinear-overlap).
+[[nodiscard]] std::optional<Vec2> segment_intersection(Vec2 p1, Vec2 p2,
+                                                       Vec2 q1, Vec2 q2);
+
+/// True iff a 3-D segment [a, b] passes within horizontal radius `radius`
+/// of the vertical axis x=c.x, y=c.y for some z in [z_lo, z_hi].
+///
+/// This is the path-blocking primitive: targets are vertical cylinders
+/// (humans, bottles, fists at a given height band) and a propagation leg
+/// is blocked iff it clips the cylinder.
+[[nodiscard]] bool segment_hits_vertical_cylinder(Vec3 a, Vec3 b, Vec2 c,
+                                                  double radius, double z_lo,
+                                                  double z_hi);
+
+/// Bearing (radians in [0, 2*pi)) of b as seen from a, measured CCW from
+/// the +x axis in the floor plane.
+[[nodiscard]] double bearing(Vec2 a, Vec2 b);
+
+/// Normalize an angle to [-pi, pi).
+[[nodiscard]] double wrap_pi(double angle);
+
+/// Normalize an angle to [0, 2*pi).
+[[nodiscard]] double wrap_two_pi(double angle);
+
+}  // namespace dwatch::rf

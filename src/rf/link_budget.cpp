@@ -1,0 +1,64 @@
+#include "rf/link_budget.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dwatch::rf {
+
+double LinkBudget::free_space_amplitude(double d) const {
+  if (d <= 0.0) {
+    throw std::invalid_argument("free_space_amplitude: distance must be > 0");
+  }
+  return lambda / (4.0 * kPi * d);
+}
+
+linalg::Complex LinkBudget::direct_gain(double d) const {
+  return std::polar(free_space_amplitude(d), -kTwoPi * d / lambda);
+}
+
+linalg::Complex LinkBudget::wall_gain(double d, double reflection) const {
+  if (reflection < 0.0 || reflection > 1.0) {
+    throw std::invalid_argument("wall_gain: reflection outside [0,1]");
+  }
+  return std::polar(reflection * free_space_amplitude(d),
+                    -kTwoPi * d / lambda + reflection_phase);
+}
+
+linalg::Complex LinkBudget::scatter_gain(double d1, double d2,
+                                         double aperture) const {
+  if (d1 <= 0.0 || d2 <= 0.0) {
+    throw std::invalid_argument("scatter_gain: distances must be > 0");
+  }
+  if (aperture <= 0.0) {
+    throw std::invalid_argument("scatter_gain: aperture must be > 0");
+  }
+  const double amplitude =
+      aperture * lambda / ((4.0 * kPi) * (4.0 * kPi) * d1 * d2);
+  return std::polar(amplitude,
+                    -kTwoPi * (d1 + d2) / lambda + reflection_phase);
+}
+
+linalg::Complex LinkBudget::path_gain(const PropagationPath& path) const {
+  if (path.num_legs() == 0) {
+    throw std::invalid_argument("path_gain: path has no legs");
+  }
+  switch (path.kind) {
+    case PathKind::kDirect:
+      return direct_gain(path.length);
+    case PathKind::kWall:
+      return wall_gain(path.length, wall_reflection);
+    case PathKind::kScatterer: {
+      if (path.num_legs() != 2) {
+        throw std::invalid_argument(
+            "path_gain: scatterer path must have exactly 2 legs");
+      }
+      const auto [a0, a1] = path.leg(0);
+      const auto [b0, b1] = path.leg(1);
+      return scatter_gain(distance(a0, a1), distance(b0, b1),
+                          scatter_aperture);
+    }
+  }
+  throw std::logic_error("path_gain: unknown path kind");
+}
+
+}  // namespace dwatch::rf

@@ -1,0 +1,57 @@
+// Link-budget amplitude model for backscatter paths.
+//
+// We model field AMPLITUDES (not powers): free-space amplitude over
+// distance d scales as lambda / (4*pi*d); a specular wall bounce keeps a
+// single 1/d spreading over the unfolded total length times a reflection
+// coefficient; a point scatterer re-radiates, so each leg spreads
+// independently and the product carries an effective scattering aperture.
+// These choices give reflected paths that are clearly weaker than the LoS
+// but comfortably above the noise floor at room scale, which is the regime
+// the paper's experiments live in (paths detectable at 2..9 m, Fig. 13).
+#pragma once
+
+#include <complex>
+
+#include "linalg/complex_matrix.hpp"
+#include "rf/constants.hpp"
+#include "rf/path.hpp"
+
+namespace dwatch::rf {
+
+/// Tunable link-budget parameters.
+struct LinkBudget {
+  /// Carrier wavelength [m].
+  double lambda = kDefaultWavelength;
+  /// Amplitude reflection coefficient of walls/shelves (0..1].
+  double wall_reflection = 0.45;
+  /// Effective re-radiation aperture of a point scatterer [m]; the
+  /// scattered amplitude is `scatter_aperture * lambda / ((4 pi)^2 d1 d2)`
+  /// -- a bistatic-radar style two-leg spreading.
+  double scatter_aperture = 2.2;
+  /// Extra per-bounce phase [rad] (conductor bounce ~ pi).
+  double reflection_phase = kPi;
+  /// Amplitude multiplier applied to a path when a target blocks it
+  /// (residual diffraction energy). 0.25 amplitude ~ -12 dB power.
+  double blockage_residual_amplitude = 0.25;
+
+  /// Free-space one-leg amplitude at distance d; throws
+  /// std::invalid_argument for d <= 0.
+  [[nodiscard]] double free_space_amplitude(double d) const;
+
+  /// Gain of a direct (LoS) path of length d.
+  [[nodiscard]] linalg::Complex direct_gain(double d) const;
+
+  /// Gain of a specular wall bounce of unfolded length d with the given
+  /// amplitude reflection coefficient.
+  [[nodiscard]] linalg::Complex wall_gain(double d, double reflection) const;
+
+  /// Gain of a two-leg scatterer path (legs d1, d2, aperture in metres).
+  [[nodiscard]] linalg::Complex scatter_gain(double d1, double d2,
+                                             double aperture) const;
+
+  /// Complex gain of an unblocked path using the default coefficients
+  /// (dispatches on path.kind).
+  [[nodiscard]] linalg::Complex path_gain(const PropagationPath& path) const;
+};
+
+}  // namespace dwatch::rf

@@ -1,0 +1,34 @@
+#include "rf/path.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace dwatch::rf {
+
+const char* to_string(PathKind kind) noexcept {
+  switch (kind) {
+    case PathKind::kDirect:
+      return "direct";
+    case PathKind::kWall:
+      return "wall";
+    case PathKind::kScatterer:
+      return "scatterer";
+  }
+  return "unknown";
+}
+
+std::pair<Vec3, Vec3> PropagationPath::leg(std::size_t i) const {
+  if (i >= num_legs()) {
+    throw std::out_of_range("PropagationPath::leg: index out of range");
+  }
+  return {vertices[i], vertices[i + 1]};
+}
+
+std::ostream& operator<<(std::ostream& os, const PropagationPath& p) {
+  os << "Path{" << to_string(p.kind) << ", len=" << p.length
+     << "m, aoa=" << p.aoa << "rad, |g|=" << std::abs(p.gain) << ", legs=";
+  for (const auto& v : p.vertices) os << v << " ";
+  return os << "}";
+}
+
+}  // namespace dwatch::rf

@@ -1,0 +1,67 @@
+// Propagation path representation.
+//
+// In D-Watch each tag's backscatter reaches an array over a set of paths:
+// the direct (LoS) path plus reflections off walls and objects. A path is
+// a polyline of legs: tag -> [reflector...] -> array centre. Its arrival
+// angle at the array is determined by the LAST leg only — which is why a
+// target blocking a pre-reflection leg produces the paper's "wrong angle"
+// (Fig. 1(b), path 3) while blocking the final leg or the direct path
+// drops a peak at the target's true bearing.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "linalg/complex_matrix.hpp"
+#include "rf/geometry.hpp"
+
+namespace dwatch::rf {
+
+/// How the path reached the array.
+enum class PathKind {
+  kDirect,     ///< tag -> array LoS
+  kWall,       ///< specular bounce off a vertical wall segment
+  kScatterer,  ///< re-radiation from a point scatterer (shelf, laptop...)
+};
+
+[[nodiscard]] const char* to_string(PathKind kind) noexcept;
+
+/// One propagation path from a tag to an array.
+struct PropagationPath {
+  PathKind kind = PathKind::kDirect;
+
+  /// Polyline vertices: first = tag position, last = array centre,
+  /// any middle vertices are reflection points. Size >= 2.
+  std::vector<Vec3> vertices;
+
+  /// Total geometric length [m] (sum of leg lengths).
+  double length = 0.0;
+
+  /// Arrival angle theta at the array [rad, 0..pi], from the last leg.
+  double aoa = 0.0;
+
+  /// Complex gain of the UNBLOCKED path: |gain| is the link-budget
+  /// amplitude, arg(gain) = -2*pi*length/lambda (plus reflection phase).
+  linalg::Complex gain{1.0, 0.0};
+
+  /// Number of legs (vertices.size() - 1).
+  [[nodiscard]] std::size_t num_legs() const noexcept {
+    return vertices.empty() ? 0 : vertices.size() - 1;
+  }
+
+  /// Leg i as a pair of endpoints (0-based, i < num_legs()).
+  [[nodiscard]] std::pair<Vec3, Vec3> leg(std::size_t i) const;
+
+  /// True if this path's dropped peak points at the target when leg
+  /// `blocked_leg` is occluded: only the final leg (and the direct path)
+  /// give the correct angle.
+  [[nodiscard]] bool blocking_gives_true_angle(std::size_t blocked_leg) const
+      noexcept {
+    return blocked_leg + 1 == num_legs();
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const PropagationPath& p);
+
+}  // namespace dwatch::rf

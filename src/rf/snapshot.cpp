@@ -1,0 +1,88 @@
+#include "rf/snapshot.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dwatch::rf {
+
+double noise_sigma_for_snr(std::span<const PropagationPath> paths,
+                           double source_amplitude, double snr_db) {
+  if (paths.empty()) {
+    throw std::invalid_argument("noise_sigma_for_snr: no paths");
+  }
+  double strongest = 0.0;
+  for (const auto& p : paths) {
+    strongest = std::max(strongest, std::abs(p.gain));
+  }
+  return strongest * source_amplitude / std::pow(10.0, snr_db / 20.0);
+}
+
+linalg::CMatrix synthesize_snapshots(const UniformLinearArray& array,
+                                     std::span<const PropagationPath> paths,
+                                     std::span<const double> path_scale,
+                                     const SnapshotOptions& opts, Rng& rng) {
+  const std::size_t m_elems = array.num_elements();
+  if (!path_scale.empty() && path_scale.size() != paths.size()) {
+    throw std::invalid_argument(
+        "synthesize_snapshots: path_scale size mismatch");
+  }
+  if (!opts.port_phase_offsets.empty() &&
+      opts.port_phase_offsets.size() != m_elems) {
+    throw std::invalid_argument(
+        "synthesize_snapshots: port_phase_offsets size mismatch");
+  }
+  if (opts.num_snapshots == 0) {
+    throw std::invalid_argument("synthesize_snapshots: num_snapshots == 0");
+  }
+
+  // Per-path, per-element complex response h[p][m] (excluding the tag
+  // symbol and the port offsets).
+  std::vector<std::vector<linalg::Complex>> response(paths.size());
+  for (std::size_t p = 0; p < paths.size(); ++p) {
+    const auto& path = paths[p];
+    const double scale = path_scale.empty() ? 1.0 : path_scale[p];
+    response[p].resize(m_elems);
+    if (opts.wavefront == WavefrontModel::kPlanar) {
+      for (std::size_t m = 1; m <= m_elems; ++m) {
+        const double w =
+            steering_phase(m, path.aoa, array.spacing(), array.lambda());
+        response[p][m - 1] = scale * path.gain * std::polar(1.0, -w);
+      }
+    } else {
+      // Spherical: re-trace the LAST leg to each physical element.
+      if (path.vertices.size() < 2) {
+        throw std::invalid_argument("synthesize_snapshots: degenerate path");
+      }
+      const Vec3 last_reflector = path.vertices[path.vertices.size() - 2];
+      const double nominal_last_leg =
+          distance(last_reflector, path.vertices.back());
+      for (std::size_t m = 1; m <= m_elems; ++m) {
+        const double leg_m =
+            distance(last_reflector, array.element_position(m));
+        const double delta = leg_m - nominal_last_leg;
+        response[p][m - 1] =
+            scale * path.gain * std::polar(1.0, -kTwoPi * delta / array.lambda());
+      }
+    }
+  }
+
+  linalg::CMatrix x(m_elems, opts.num_snapshots);
+  for (std::size_t n = 0; n < opts.num_snapshots; ++n) {
+    // One backscatter symbol per snapshot, common to all paths.
+    const linalg::Complex s = opts.source_amplitude * rng.random_phasor();
+    for (std::size_t m = 0; m < m_elems; ++m) {
+      linalg::Complex sum{};
+      for (std::size_t p = 0; p < paths.size(); ++p) {
+        sum += response[p][m] * s;
+      }
+      if (!opts.port_phase_offsets.empty()) {
+        sum *= std::polar(1.0, opts.port_phase_offsets[m]);
+      }
+      sum += rng.complex_gaussian(opts.noise_sigma);
+      x(m, n) = sum;
+    }
+  }
+  return x;
+}
+
+}  // namespace dwatch::rf

@@ -1,0 +1,72 @@
+#include "rfid/bytes.hpp"
+
+namespace dwatch::rfid {
+
+void ByteWriter::patch_u32(std::size_t offset, std::uint32_t v) {
+  if (offset + 4 > buf_.size()) {
+    throw std::out_of_range("ByteWriter::patch_u32: offset out of range");
+  }
+  buf_[offset] = static_cast<std::uint8_t>(v >> 24);
+  buf_[offset + 1] = static_cast<std::uint8_t>(v >> 16);
+  buf_[offset + 2] = static_cast<std::uint8_t>(v >> 8);
+  buf_[offset + 3] = static_cast<std::uint8_t>(v);
+}
+
+void ByteWriter::patch_u16(std::size_t offset, std::uint16_t v) {
+  if (offset + 2 > buf_.size()) {
+    throw std::out_of_range("ByteWriter::patch_u16: offset out of range");
+  }
+  buf_[offset] = static_cast<std::uint8_t>(v >> 8);
+  buf_[offset + 1] = static_cast<std::uint8_t>(v);
+}
+
+void ByteReader::require(std::size_t n) const {
+  if (remaining() < n) {
+    throw DecodeError("ByteReader: truncated input (need " +
+                      std::to_string(n) + " bytes, have " +
+                      std::to_string(remaining()) + ")");
+  }
+}
+
+std::uint8_t ByteReader::u8() {
+  require(1);
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::u16() {
+  require(2);
+  const std::uint16_t v =
+      static_cast<std::uint16_t>((data_[pos_] << 8) | data_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::u32() {
+  require(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_ + i];
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  require(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | data_[pos_ + i];
+  pos_ += 8;
+  return v;
+}
+
+std::span<const std::uint8_t> ByteReader::bytes(std::size_t n) {
+  require(n);
+  auto out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+void ByteReader::skip(std::size_t n) {
+  require(n);
+  pos_ += n;
+}
+
+}  // namespace dwatch::rfid

@@ -1,0 +1,31 @@
+#include "rfid/crc16.hpp"
+
+namespace dwatch::rfid {
+
+std::uint16_t crc16_gen2(std::span<const std::uint8_t> data) {
+  std::uint16_t crc = 0xFFFF;
+  for (const std::uint8_t byte : data) {
+    crc ^= static_cast<std::uint16_t>(byte) << 8;
+    for (int bit = 0; bit < 8; ++bit) {
+      if (crc & 0x8000) {
+        crc = static_cast<std::uint16_t>((crc << 1) ^ 0x1021);
+      } else {
+        crc = static_cast<std::uint16_t>(crc << 1);
+      }
+    }
+  }
+  return static_cast<std::uint16_t>(~crc);
+}
+
+bool crc16_gen2_check(std::span<const std::uint8_t> data_with_crc) {
+  if (data_with_crc.size() < 2) return false;
+  // Recompute over payload and compare against the trailing CRC; this is
+  // equivalent to the residue check but clearer.
+  const std::size_t n = data_with_crc.size() - 2;
+  const std::uint16_t expect = crc16_gen2(data_with_crc.subspan(0, n));
+  const std::uint16_t got =
+      static_cast<std::uint16_t>((data_with_crc[n] << 8) | data_with_crc[n + 1]);
+  return expect == got;
+}
+
+}  // namespace dwatch::rfid

@@ -1,0 +1,22 @@
+// CRC-16 as used by EPCglobal Class-1 Gen-2 (ISO 18000-6C).
+//
+// Polynomial x^16 + x^12 + x^5 + 1 (0x1021), preset 0xFFFF, and the final
+// remainder is ones-complemented. A receiver verifies a block by checking
+// that recomputing over payload+CRC yields the residue 0x1D0F.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace dwatch::rfid {
+
+/// CRC-16/Gen2 over `data`.
+[[nodiscard]] std::uint16_t crc16_gen2(std::span<const std::uint8_t> data);
+
+/// Residue value a correct payload+CRC block recomputes to.
+inline constexpr std::uint16_t kCrc16Gen2Residue = 0x1D0F;
+
+/// Verify a buffer whose last two bytes are the big-endian CRC.
+[[nodiscard]] bool crc16_gen2_check(std::span<const std::uint8_t> data_with_crc);
+
+}  // namespace dwatch::rfid

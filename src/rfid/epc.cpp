@@ -1,0 +1,100 @@
+#include "rfid/epc.hpp"
+
+#include <cctype>
+#include <ostream>
+#include <span>
+#include <stdexcept>
+
+#include "rfid/bytes.hpp"
+#include "rfid/crc16.hpp"
+
+namespace dwatch::rfid {
+
+namespace {
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+Epc96 Epc96::from_hex(std::string_view hex) {
+  if (hex.size() != 2 * kBytes) {
+    throw std::invalid_argument("Epc96::from_hex: need 24 hex chars");
+  }
+  std::array<std::uint8_t, kBytes> out{};
+  for (std::size_t i = 0; i < kBytes; ++i) {
+    const int hi = hex_digit(hex[2 * i]);
+    const int lo = hex_digit(hex[2 * i + 1]);
+    if (hi < 0 || lo < 0) {
+      throw std::invalid_argument("Epc96::from_hex: invalid hex digit");
+    }
+    out[i] = static_cast<std::uint8_t>((hi << 4) | lo);
+  }
+  return Epc96(out);
+}
+
+Epc96 Epc96::for_tag_index(std::uint32_t index) {
+  // SGTIN-96-like layout with a fixed fantasy prefix; only the trailing
+  // serial varies across simulated tags.
+  std::array<std::uint8_t, kBytes> b{0x30, 0x14, 0xD0, 0x57, 0xA7, 0xC4,
+                                     0x00, 0x00, 0x00, 0x00, 0x00, 0x00};
+  b[8] = static_cast<std::uint8_t>(index >> 24);
+  b[9] = static_cast<std::uint8_t>(index >> 16);
+  b[10] = static_cast<std::uint8_t>(index >> 8);
+  b[11] = static_cast<std::uint8_t>(index);
+  return Epc96(b);
+}
+
+std::string Epc96::to_hex() const {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(2 * kBytes);
+  for (const std::uint8_t byte : bytes_) {
+    out.push_back(kHex[byte >> 4]);
+    out.push_back(kHex[byte & 0x0F]);
+  }
+  return out;
+}
+
+std::uint32_t Epc96::serial() const noexcept {
+  return (static_cast<std::uint32_t>(bytes_[8]) << 24) |
+         (static_cast<std::uint32_t>(bytes_[9]) << 16) |
+         (static_cast<std::uint32_t>(bytes_[10]) << 8) |
+         static_cast<std::uint32_t>(bytes_[11]);
+}
+
+std::ostream& operator<<(std::ostream& os, const Epc96& epc) {
+  return os << epc.to_hex();
+}
+
+std::vector<std::uint8_t> make_epc_reply(const Epc96& epc) {
+  ByteWriter w;
+  w.u16(kPcWordEpc96);
+  w.bytes(epc.bytes());
+  const std::uint16_t crc =
+      crc16_gen2(std::span<const std::uint8_t>(w.data()));
+  w.u16(crc);
+  return std::move(w).take();
+}
+
+Epc96 parse_epc_reply(std::span<const std::uint8_t> frame) {
+  if (frame.size() != 2 + Epc96::kBytes + 2) {
+    throw std::invalid_argument("parse_epc_reply: bad frame length");
+  }
+  if (!crc16_gen2_check(frame)) {
+    throw std::invalid_argument("parse_epc_reply: CRC mismatch");
+  }
+  ByteReader r(frame);
+  const std::uint16_t pc = r.u16();
+  if (pc != kPcWordEpc96) {
+    throw std::invalid_argument("parse_epc_reply: unexpected PC word");
+  }
+  std::array<std::uint8_t, Epc96::kBytes> bytes{};
+  const auto payload = r.bytes(Epc96::kBytes);
+  std::copy(payload.begin(), payload.end(), bytes.begin());
+  return Epc96(bytes);
+}
+
+}  // namespace dwatch::rfid

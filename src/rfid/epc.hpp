@@ -1,0 +1,70 @@
+// EPC-96 tag identifiers (the 96-bit electronic product code carried by
+// the Alien ALN-9634 tags the paper deploys).
+//
+// A backscatter reply on the air is {PC word, EPC, CRC-16}; that framing
+// is produced/checked by the Gen2 layer. Here we define the identifier
+// value type, hex formatting, and a deterministic generator so simulated
+// deployments get stable, distinct EPCs.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dwatch::rfid {
+
+/// 96-bit EPC value type.
+class Epc96 {
+ public:
+  static constexpr std::size_t kBytes = 12;
+
+  /// All-zero EPC.
+  Epc96() = default;
+
+  explicit Epc96(const std::array<std::uint8_t, kBytes>& bytes)
+      : bytes_(bytes) {}
+
+  /// Parse 24 hex chars (case-insensitive); throws std::invalid_argument.
+  [[nodiscard]] static Epc96 from_hex(std::string_view hex);
+
+  /// Deterministic EPC for simulated tag `index`: a fixed company prefix
+  /// with the index in the serial field.
+  [[nodiscard]] static Epc96 for_tag_index(std::uint32_t index);
+
+  [[nodiscard]] const std::array<std::uint8_t, kBytes>& bytes() const
+      noexcept {
+    return bytes_;
+  }
+
+  /// Lower-case hex string of length 24.
+  [[nodiscard]] std::string to_hex() const;
+
+  /// Serial field (last 4 bytes, big-endian) — the tag index for EPCs
+  /// produced by for_tag_index.
+  [[nodiscard]] std::uint32_t serial() const noexcept;
+
+  auto operator<=>(const Epc96&) const = default;
+
+ private:
+  std::array<std::uint8_t, kBytes> bytes_{};
+};
+
+std::ostream& operator<<(std::ostream& os, const Epc96& epc);
+
+/// The PC (protocol control) word for a plain 96-bit EPC: length field
+/// 6 x 16-bit words, no extensions (EPC Gen2 spec 6.3.2.1.2.2).
+inline constexpr std::uint16_t kPcWordEpc96 = 0x3000;
+
+/// Air-frame payload {PC, EPC, CRC16} as transmitted by a tag.
+[[nodiscard]] std::vector<std::uint8_t> make_epc_reply(const Epc96& epc);
+
+/// Parse and CRC-check an air-frame; throws std::invalid_argument on bad
+/// length/PC/CRC.
+[[nodiscard]] Epc96 parse_epc_reply(std::span<const std::uint8_t> frame);
+
+}  // namespace dwatch::rfid

@@ -1,0 +1,87 @@
+#include "rfid/gen2.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dwatch::rfid {
+
+InventoryResult run_inventory(std::size_t num_tags, const Gen2Config& config,
+                              rf::Rng& rng) {
+  if (num_tags == 0) {
+    throw std::invalid_argument("run_inventory: num_tags == 0");
+  }
+  if (config.min_q > config.max_q || config.max_q > 15) {
+    throw std::invalid_argument("run_inventory: bad Q bounds");
+  }
+
+  InventoryResult result;
+  std::vector<std::uint32_t> pending(num_tags);
+  for (std::uint32_t i = 0; i < num_tags; ++i) pending[i] = i;
+
+  double qfp = static_cast<double>(config.initial_q);
+  double clock_us = 0.0;
+
+  while (!pending.empty()) {
+    if (result.rounds >= config.max_rounds) {
+      throw std::runtime_error("run_inventory: exceeded max_rounds");
+    }
+    const auto q = static_cast<std::uint8_t>(std::clamp(
+        std::lround(qfp), static_cast<long>(config.min_q),
+        static_cast<long>(config.max_q)));
+    const std::size_t num_slots = std::size_t{1} << q;
+    clock_us += config.timing.query_us;
+
+    // Each pending tag picks a slot uniformly in [0, 2^Q).
+    std::vector<std::vector<std::uint32_t>> slots(num_slots);
+    for (const std::uint32_t tag : pending) {
+      const auto s = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(num_slots) - 1));
+      slots[s].push_back(tag);
+    }
+
+    std::vector<std::uint32_t> next_pending;
+    for (std::size_t s = 0; s < num_slots; ++s) {
+      ++result.total_slots;
+      if (slots[s].empty()) {
+        ++result.empty_slots;
+        clock_us += config.timing.empty_slot_us;
+        qfp = std::max(qfp - config.c, static_cast<double>(config.min_q));
+      } else if (slots[s].size() == 1) {
+        clock_us += config.timing.singulation_us;
+        result.reads.push_back(SingulationEvent{
+            .tag_index = slots[s][0],
+            .round = result.rounds,
+            .slot = s,
+            .timestamp_us = clock_us,
+        });
+      } else {
+        ++result.collision_slots;
+        clock_us += config.timing.collision_slot_us;
+        qfp = std::min(qfp + config.c, static_cast<double>(config.max_q));
+        next_pending.insert(next_pending.end(), slots[s].begin(),
+                            slots[s].end());
+      }
+    }
+    pending = std::move(next_pending);
+    ++result.rounds;
+  }
+
+  result.duration_us = clock_us;
+  return result;
+}
+
+double estimate_read_rate(std::size_t num_tags, const Gen2Config& config,
+                          std::size_t trials, rf::Rng& rng) {
+  if (trials == 0) {
+    throw std::invalid_argument("estimate_read_rate: trials == 0");
+  }
+  double total_us = 0.0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    total_us += run_inventory(num_tags, config, rng).duration_us;
+  }
+  const double mean_s = total_us / static_cast<double>(trials) / 1e6;
+  return static_cast<double>(num_tags) / mean_s;
+}
+
+}  // namespace dwatch::rfid

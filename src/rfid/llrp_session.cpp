@@ -1,0 +1,275 @@
+#include "rfid/llrp_session.hpp"
+
+#include <stdexcept>
+
+#include "rfid/bytes.hpp"
+
+namespace dwatch::rfid {
+
+namespace {
+
+/// Shared framing with llrp.cpp: 3 reserved bits, 3 version bits, 10 type
+/// bits; u32 length; u32 message id.
+void write_header(ByteWriter& w, std::uint16_t type,
+                  std::uint32_t message_id) {
+  const std::uint16_t first =
+      static_cast<std::uint16_t>((kLlrpVersion & 0x7) << 10) |
+      (type & 0x3FF);
+  w.u16(first);
+  w.u32(0);
+  w.u32(message_id);
+}
+
+void finish_message(ByteWriter& w) {
+  w.patch_u32(2, static_cast<std::uint32_t>(w.size()));
+}
+
+MessageHeader require_header(std::span<const std::uint8_t> buffer) {
+  const auto h = peek_header(buffer);
+  if (!h) throw DecodeError("llrp_session: truncated header");
+  if (h->length != buffer.size()) {
+    throw DecodeError("llrp_session: length mismatch");
+  }
+  return *h;
+}
+
+bool is_request(ControlType t) {
+  switch (t) {
+    case ControlType::kGetReaderCapabilities:
+    case ControlType::kAddRospec:
+    case ControlType::kDeleteRospec:
+    case ControlType::kStartRospec:
+    case ControlType::kStopRospec:
+    case ControlType::kEnableRospec:
+    case ControlType::kCloseConnection:
+      return true;
+    default:
+      return false;
+  }
+}
+
+ControlType response_for(ControlType request) {
+  switch (request) {
+    case ControlType::kGetReaderCapabilities:
+      return ControlType::kGetReaderCapabilitiesResponse;
+    case ControlType::kAddRospec:
+      return ControlType::kAddRospecResponse;
+    case ControlType::kDeleteRospec:
+      return ControlType::kDeleteRospecResponse;
+    case ControlType::kStartRospec:
+      return ControlType::kStartRospecResponse;
+    case ControlType::kStopRospec:
+      return ControlType::kStopRospecResponse;
+    case ControlType::kEnableRospec:
+      return ControlType::kEnableRospecResponse;
+    case ControlType::kCloseConnection:
+      return ControlType::kCloseConnectionResponse;
+    default:
+      throw std::logic_error("response_for: not a request type");
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_control_request(ControlType type,
+                                                 std::uint32_t message_id,
+                                                 const RoSpec& rospec) {
+  ByteWriter w;
+  write_header(w, static_cast<std::uint16_t>(type), message_id);
+  w.u32(rospec.rospec_id);
+  w.u16(rospec.antenna_port);
+  w.u32(rospec.report_every_n_rounds);
+  finish_message(w);
+  return std::move(w).take();
+}
+
+std::vector<std::uint8_t> encode_control_response(ControlType type,
+                                                  std::uint32_t message_id,
+                                                  LlrpStatus status) {
+  ByteWriter w;
+  write_header(w, static_cast<std::uint16_t>(type), message_id);
+  w.u16(static_cast<std::uint16_t>(status));
+  finish_message(w);
+  return std::move(w).take();
+}
+
+std::vector<std::uint8_t> encode_capabilities_response(
+    std::uint32_t message_id, const ReaderCapabilities& caps) {
+  ByteWriter w;
+  write_header(
+      w,
+      static_cast<std::uint16_t>(ControlType::kGetReaderCapabilitiesResponse),
+      message_id);
+  w.u16(static_cast<std::uint16_t>(LlrpStatus::kSuccess));
+  w.u16(caps.max_antennas);
+  w.u16(caps.model_code);
+  w.u32(caps.firmware);
+  finish_message(w);
+  return std::move(w).take();
+}
+
+ReaderCapabilities decode_capabilities_response(
+    std::span<const std::uint8_t> buffer) {
+  const MessageHeader h = require_header(buffer);
+  if (static_cast<std::uint16_t>(h.type) !=
+      static_cast<std::uint16_t>(
+          ControlType::kGetReaderCapabilitiesResponse)) {
+    throw DecodeError("decode_capabilities_response: wrong type");
+  }
+  ByteReader r(buffer.subspan(10));
+  const std::uint16_t status = r.u16();
+  if (status != static_cast<std::uint16_t>(LlrpStatus::kSuccess)) {
+    throw DecodeError("decode_capabilities_response: error status");
+  }
+  ReaderCapabilities caps;
+  caps.max_antennas = r.u16();
+  caps.model_code = r.u16();
+  caps.firmware = r.u32();
+  return caps;
+}
+
+ControlRequest decode_control_request(std::span<const std::uint8_t> buffer) {
+  const MessageHeader h = require_header(buffer);
+  const auto type = static_cast<ControlType>(h.type);
+  if (!is_request(type)) {
+    throw DecodeError("decode_control_request: not a request type");
+  }
+  ControlRequest req;
+  req.type = type;
+  req.message_id = h.message_id;
+  ByteReader r(buffer.subspan(10));
+  req.rospec.rospec_id = r.u32();
+  req.rospec.antenna_port = r.u16();
+  req.rospec.report_every_n_rounds = r.u32();
+  return req;
+}
+
+ControlResponse decode_control_response(
+    std::span<const std::uint8_t> buffer) {
+  const MessageHeader h = require_header(buffer);
+  ControlResponse resp;
+  resp.type = static_cast<ControlType>(h.type);
+  resp.message_id = h.message_id;
+  ByteReader r(buffer.subspan(10));
+  resp.status = static_cast<LlrpStatus>(r.u16());
+  return resp;
+}
+
+std::vector<std::uint8_t> ReaderSession::handle(
+    std::span<const std::uint8_t> request_bytes) {
+  const ControlRequest req = decode_control_request(request_bytes);
+  const ControlType resp_type = response_for(req.type);
+
+  if (state_ == State::kClosed) {
+    return encode_control_response(resp_type, req.message_id,
+                                   LlrpStatus::kWrongState);
+  }
+
+  switch (req.type) {
+    case ControlType::kGetReaderCapabilities:
+      return encode_capabilities_response(req.message_id, caps_);
+
+    case ControlType::kAddRospec:
+      if (state_ != State::kIdle) {
+        return encode_control_response(resp_type, req.message_id,
+                                       LlrpStatus::kWrongState);
+      }
+      if (req.rospec.rospec_id == 0 ||
+          req.rospec.antenna_port == 0 ||
+          req.rospec.antenna_port > caps_.max_antennas) {
+        return encode_control_response(resp_type, req.message_id,
+                                       LlrpStatus::kInvalidRospec);
+      }
+      rospec_ = req.rospec;
+      state_ = State::kConfigured;
+      return encode_control_response(resp_type, req.message_id,
+                                     LlrpStatus::kSuccess);
+
+    case ControlType::kEnableRospec:
+      if (state_ != State::kConfigured || !rospec_ ||
+          rospec_->rospec_id != req.rospec.rospec_id) {
+        return encode_control_response(resp_type, req.message_id,
+                                       LlrpStatus::kWrongState);
+      }
+      state_ = State::kEnabled;
+      return encode_control_response(resp_type, req.message_id,
+                                     LlrpStatus::kSuccess);
+
+    case ControlType::kStartRospec:
+      if (state_ != State::kEnabled || !rospec_ ||
+          rospec_->rospec_id != req.rospec.rospec_id) {
+        return encode_control_response(resp_type, req.message_id,
+                                       LlrpStatus::kWrongState);
+      }
+      state_ = State::kRunning;
+      return encode_control_response(resp_type, req.message_id,
+                                     LlrpStatus::kSuccess);
+
+    case ControlType::kStopRospec:
+      if (state_ != State::kRunning) {
+        return encode_control_response(resp_type, req.message_id,
+                                       LlrpStatus::kWrongState);
+      }
+      state_ = State::kEnabled;
+      return encode_control_response(resp_type, req.message_id,
+                                     LlrpStatus::kSuccess);
+
+    case ControlType::kDeleteRospec:
+      if (state_ == State::kRunning || !rospec_) {
+        return encode_control_response(resp_type, req.message_id,
+                                       LlrpStatus::kWrongState);
+      }
+      rospec_.reset();
+      state_ = State::kIdle;
+      return encode_control_response(resp_type, req.message_id,
+                                     LlrpStatus::kSuccess);
+
+    case ControlType::kCloseConnection:
+      state_ = State::kClosed;
+      return encode_control_response(resp_type, req.message_id,
+                                     LlrpStatus::kSuccess);
+
+    default:
+      return encode_control_response(resp_type, req.message_id,
+                                     LlrpStatus::kUnsupported);
+  }
+}
+
+std::vector<std::uint8_t> ReaderSession::publish(
+    const RoAccessReport& report) const {
+  if (state_ != State::kRunning) {
+    throw std::logic_error("ReaderSession::publish: not running");
+  }
+  return encode(report);
+}
+
+std::vector<std::uint8_t> ReaderSession::keepalive() {
+  if (state_ == State::kClosed) {
+    throw std::logic_error("ReaderSession::keepalive: closed");
+  }
+  return encode(Keepalive{keepalive_id_++});
+}
+
+bool perform_handshake(ReaderSession& session, const RoSpec& rospec) {
+  std::uint32_t id = 1;
+  // Capabilities.
+  const auto caps_resp = session.handle(
+      encode_control_request(ControlType::kGetReaderCapabilities, id++));
+  try {
+    (void)decode_capabilities_response(caps_resp);
+  } catch (const DecodeError&) {
+    return false;
+  }
+  for (const ControlType step :
+       {ControlType::kAddRospec, ControlType::kEnableRospec,
+        ControlType::kStartRospec}) {
+    const auto resp =
+        session.handle(encode_control_request(step, id++, rospec));
+    if (decode_control_response(resp).status != LlrpStatus::kSuccess) {
+      return false;
+    }
+  }
+  return session.state() == ReaderSession::State::kRunning;
+}
+
+}  // namespace dwatch::rfid

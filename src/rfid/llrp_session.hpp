@@ -1,0 +1,152 @@
+// LLRP-lite session layer: the control-plane handshake a client performs
+// against a reader before tag reports flow, and the reader-side state
+// machine that answers it.
+//
+// Real deployments (including the paper's) drive Impinj readers through
+// this sequence over TCP:
+//
+//   client                         reader
+//     GET_READER_CAPABILITIES  ->
+//                              <-  GET_READER_CAPABILITIES_RESPONSE
+//     ADD_ROSPEC               ->
+//                              <-  ADD_ROSPEC_RESPONSE (status)
+//     ENABLE_ROSPEC            ->
+//                              <-  ENABLE_ROSPEC_RESPONSE
+//     START_ROSPEC             ->
+//                              <-  START_ROSPEC_RESPONSE
+//                              <-  RO_ACCESS_REPORT (stream) ...
+//     CLOSE_CONNECTION         ->
+//                              <-  CLOSE_CONNECTION_RESPONSE
+//
+// Message type numbers follow LLRP v1.1 where they exist; payloads are
+// simplified (see llrp.hpp's deviations note).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "rfid/llrp.hpp"
+
+namespace dwatch::rfid {
+
+/// Control-plane message types (LLRP v1.1 numbering).
+enum class ControlType : std::uint16_t {
+  kGetReaderCapabilities = 1,
+  kGetReaderCapabilitiesResponse = 11,
+  kAddRospec = 20,
+  kDeleteRospec = 21,
+  kStartRospec = 22,
+  kStopRospec = 23,
+  kEnableRospec = 24,
+  kAddRospecResponse = 30,
+  kDeleteRospecResponse = 31,
+  kStartRospecResponse = 32,
+  kStopRospecResponse = 33,
+  kEnableRospecResponse = 34,
+  kCloseConnection = 14,
+  kCloseConnectionResponse = 4,
+};
+
+/// Status codes carried in every response.
+enum class LlrpStatus : std::uint16_t {
+  kSuccess = 0,
+  kInvalidRospec = 100,
+  kWrongState = 101,
+  kUnsupported = 102,
+};
+
+/// A (simplified) reader operation spec: which antennas to inventory and
+/// how often to report.
+struct RoSpec {
+  std::uint32_t rospec_id = 1;
+  std::uint16_t antenna_port = 1;
+  std::uint32_t report_every_n_rounds = 1;
+};
+
+/// Encoders for the control plane. Requests carry the RoSpec id (0 for
+/// capabilities/close); responses carry a status.
+[[nodiscard]] std::vector<std::uint8_t> encode_control_request(
+    ControlType type, std::uint32_t message_id, const RoSpec& rospec = {});
+[[nodiscard]] std::vector<std::uint8_t> encode_control_response(
+    ControlType type, std::uint32_t message_id, LlrpStatus status);
+
+/// Reader capabilities payload (response to GET_READER_CAPABILITIES).
+struct ReaderCapabilities {
+  std::uint16_t max_antennas = 8;
+  std::uint16_t model_code = 0x0420;  ///< "R420"-ish
+  std::uint32_t firmware = 0x00050000;
+};
+[[nodiscard]] std::vector<std::uint8_t> encode_capabilities_response(
+    std::uint32_t message_id, const ReaderCapabilities& caps);
+[[nodiscard]] ReaderCapabilities decode_capabilities_response(
+    std::span<const std::uint8_t> buffer);
+
+/// Decoded control request/response views.
+struct ControlRequest {
+  ControlType type;
+  std::uint32_t message_id = 0;
+  RoSpec rospec;
+};
+struct ControlResponse {
+  ControlType type;
+  std::uint32_t message_id = 0;
+  LlrpStatus status = LlrpStatus::kSuccess;
+};
+[[nodiscard]] ControlRequest decode_control_request(
+    std::span<const std::uint8_t> buffer);
+[[nodiscard]] ControlResponse decode_control_response(
+    std::span<const std::uint8_t> buffer);
+
+/// Reader-side session state machine.
+///
+/// Feed it complete client messages; it returns the wire response and
+/// tracks the protocol state. Once running, `publish()` wraps tag
+/// observations into RO_ACCESS_REPORT bytes for the data plane.
+class ReaderSession {
+ public:
+  enum class State {
+    kIdle,        ///< connected, no ROSpec
+    kConfigured,  ///< ROSpec added (disabled)
+    kEnabled,     ///< ROSpec enabled, not started
+    kRunning,     ///< reports flowing
+    kClosed,
+  };
+
+  explicit ReaderSession(ReaderCapabilities caps = {}) : caps_(caps) {}
+
+  [[nodiscard]] State state() const noexcept { return state_; }
+  [[nodiscard]] const std::optional<RoSpec>& rospec() const noexcept {
+    return rospec_;
+  }
+
+  /// Handle one complete client control message; returns the framed
+  /// response. Throws DecodeError on malformed input. Out-of-order
+  /// requests get an error status, not an exception (the connection
+  /// survives, as with real readers).
+  [[nodiscard]] std::vector<std::uint8_t> handle(
+      std::span<const std::uint8_t> request);
+
+  /// Data plane: only legal while running; throws std::logic_error
+  /// otherwise.
+  [[nodiscard]] std::vector<std::uint8_t> publish(
+      const RoAccessReport& report) const;
+
+  /// Periodic keepalive (legal in any non-closed state).
+  [[nodiscard]] std::vector<std::uint8_t> keepalive();
+
+ private:
+  ReaderCapabilities caps_;
+  State state_ = State::kIdle;
+  std::optional<RoSpec> rospec_;
+  std::uint32_t keepalive_id_ = 1000;
+};
+
+/// Client-side convenience: run the whole handshake against a session
+/// and return true if every step succeeded (used by tests/examples; a
+/// real client would interleave this over TCP).
+[[nodiscard]] bool perform_handshake(ReaderSession& session,
+                                     const RoSpec& rospec);
+
+}  // namespace dwatch::rfid

@@ -1,0 +1,55 @@
+#include "rfid/reader.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rf/geometry.hpp"
+
+namespace dwatch::rfid {
+
+Reader::Reader(ReaderConfig config, rf::Rng& rng) : config_(config) {
+  if (config_.hub_elements < 2) {
+    throw std::invalid_argument("Reader: hub_elements must be >= 2");
+  }
+  if (config_.num_rf_ports == 0) {
+    throw std::invalid_argument("Reader: num_rf_ports must be >= 1");
+  }
+  if (config_.element_slot_us <= 0.0 || config_.report_interval_s <= 0.0) {
+    throw std::invalid_argument("Reader: non-positive timing");
+  }
+  power_cycle(rng);
+}
+
+std::vector<double> Reader::relative_phase_offsets() const {
+  std::vector<double> rel(phase_offsets_.size());
+  for (std::size_t m = 0; m < phase_offsets_.size(); ++m) {
+    rel[m] = rf::wrap_pi(phase_offsets_[m] - phase_offsets_[0]);
+  }
+  return rel;
+}
+
+void Reader::power_cycle(rf::Rng& rng) {
+  phase_offsets_.resize(config_.hub_elements);
+  for (auto& beta : phase_offsets_) {
+    beta = rng.uniform(-rf::kPi, rf::kPi);
+  }
+}
+
+double Reader::forward_power_dbm(double distance_m) const {
+  if (distance_m <= 0.0) {
+    throw std::invalid_argument("forward_power_dbm: distance must be > 0");
+  }
+  const double lambda = rf::wavelength(config_.carrier_hz);
+  const double fspl_db =
+      20.0 * std::log10(4.0 * rf::kPi * distance_m / lambda);
+  return config_.tx_power_dbm + config_.antenna_gain_dbi - fspl_db;
+}
+
+double Reader::read_range_m(double tag_sensitivity_dbm) const {
+  const double lambda = rf::wavelength(config_.carrier_hz);
+  const double margin_db =
+      config_.tx_power_dbm + config_.antenna_gain_dbi - tag_sensitivity_dbm;
+  return lambda / (4.0 * rf::kPi) * std::pow(10.0, margin_db / 20.0);
+}
+
+}  // namespace dwatch::rfid

@@ -1,0 +1,75 @@
+// COTS RFID reader model (Impinj Speedway R420-class).
+//
+// What the algorithms care about:
+//  * each RF chain applies a RANDOM PHASE OFFSET to its measurements,
+//    redrawn at every power cycle (paper Fig. 3: -85.9deg..176deg across
+//    16 ports) — this is the impairment the wireless calibration removes;
+//  * an antenna hub time-multiplexes one port across the 8 ULA elements
+//    (~200 us per element), so one "snapshot" column is really 8
+//    sequential narrowband phase measurements;
+//  * the forward link budget (tx power + antenna gain) decides which tags
+//    energize at all.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rf/constants.hpp"
+#include "rf/noise.hpp"
+
+namespace dwatch::rfid {
+
+/// Reader + antenna configuration.
+struct ReaderConfig {
+  std::uint32_t reader_id = 0;
+  std::size_t num_rf_ports = 4;     ///< R420 has 4 ports
+  std::size_t hub_elements = 8;     ///< ULA elements behind the hub
+  double element_slot_us = 200.0;   ///< hub TDM dwell per element
+  double report_interval_s = 0.1;   ///< paper uses 0.1 s transmissions
+  double tx_power_dbm = 31.5;       ///< conducted power + cable losses
+  double antenna_gain_dbi = 6.0;    ///< per-element gain
+  double carrier_hz = rf::kDefaultCarrierHz;
+};
+
+/// One reader with per-element random phase offsets.
+class Reader {
+ public:
+  /// Draws the initial per-element offsets from `rng` (uniform [-pi,pi)).
+  Reader(ReaderConfig config, rf::Rng& rng);
+
+  [[nodiscard]] const ReaderConfig& config() const noexcept { return config_; }
+
+  /// Current per-element phase offsets beta_m [rad]. beta_1 is NOT forced
+  /// to zero — the paper's Gamma is expressed relative to antenna 1, so
+  /// use relative_phase_offsets() when comparing to a calibration result.
+  [[nodiscard]] const std::vector<double>& phase_offsets() const noexcept {
+    return phase_offsets_;
+  }
+
+  /// Offsets relative to element 1 (Delta beta_{m,1} = beta_m - beta_1,
+  /// wrapped to [-pi, pi)); element 0 of the result is always 0.
+  [[nodiscard]] std::vector<double> relative_phase_offsets() const;
+
+  /// Simulate a power cycle: redraw all offsets (the reason calibration
+  /// is a once-per-power-cycle step in the paper's workflow).
+  void power_cycle(rf::Rng& rng);
+
+  /// Forward-link incident power [dBm] at free-space distance d [m].
+  /// Throws std::invalid_argument for d <= 0.
+  [[nodiscard]] double forward_power_dbm(double distance_m) const;
+
+  /// Max free-space distance at which a tag of given sensitivity turns on.
+  [[nodiscard]] double read_range_m(double tag_sensitivity_dbm) const;
+
+  /// Time to sweep all hub elements once [us].
+  [[nodiscard]] double hub_sweep_us() const noexcept {
+    return config_.element_slot_us *
+           static_cast<double>(config_.hub_elements);
+  }
+
+ private:
+  ReaderConfig config_;
+  std::vector<double> phase_offsets_;
+};
+
+}  // namespace dwatch::rfid

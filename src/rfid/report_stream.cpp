@@ -1,0 +1,93 @@
+#include "rfid/report_stream.hpp"
+
+#include <stdexcept>
+
+namespace dwatch::rfid {
+
+SnapshotAssembler::SnapshotAssembler(std::size_t num_elements,
+                                     std::size_t rounds_needed)
+    : num_elements_(num_elements), rounds_needed_(rounds_needed) {
+  if (num_elements_ == 0 || rounds_needed_ == 0) {
+    throw std::invalid_argument("SnapshotAssembler: zero dimension");
+  }
+}
+
+void SnapshotAssembler::ingest(const TagObservation& obs) {
+  PerTag& tag = tags_[obs.epc];
+  for (const PhaseSample& s : obs.samples) {
+    if (s.element_id == 0 || s.element_id > num_elements_) {
+      ++tag.dropped;
+      continue;
+    }
+    RoundBuffer& rb = tag.rounds[s.round];
+    if (rb.values.empty()) {
+      rb.values.resize(num_elements_);
+      rb.present.assign(num_elements_, false);
+    }
+    const std::size_t idx = s.element_id - 1;
+    if (rb.present[idx]) {
+      ++tag.dropped;  // duplicate (retransmission); keep first
+      continue;
+    }
+    rb.values[idx] = s.as_complex();
+    rb.present[idx] = true;
+    ++rb.count;
+  }
+}
+
+std::size_t SnapshotAssembler::complete_rounds(const PerTag& t) const {
+  std::size_t n = 0;
+  for (const auto& [round, rb] : t.rounds) {
+    if (rb.count == num_elements_) ++n;
+  }
+  return n;
+}
+
+std::vector<Epc96> SnapshotAssembler::ready_tags() const {
+  std::vector<Epc96> out;
+  for (const auto& [epc, tag] : tags_) {
+    if (complete_rounds(tag) >= rounds_needed_) out.push_back(epc);
+  }
+  return out;
+}
+
+std::optional<TagSnapshots> SnapshotAssembler::take(const Epc96& epc) {
+  const auto it = tags_.find(epc);
+  if (it == tags_.end()) return std::nullopt;
+  PerTag& tag = it->second;
+  if (complete_rounds(tag) < rounds_needed_) return std::nullopt;
+
+  TagSnapshots out;
+  out.epc = epc;
+  out.x = linalg::CMatrix(num_elements_, rounds_needed_);
+  std::size_t col = 0;
+  auto rit = tag.rounds.begin();
+  while (rit != tag.rounds.end() && col < rounds_needed_) {
+    if (rit->second.count == num_elements_) {
+      for (std::size_t m = 0; m < num_elements_; ++m) {
+        out.x(m, col) = rit->second.values[m];
+      }
+      ++col;
+      rit = tag.rounds.erase(rit);
+    } else {
+      out.samples_dropped += rit->second.count;
+      rit = tag.rounds.erase(rit);  // stale incomplete round
+    }
+  }
+  out.rounds_used = col;
+  out.samples_dropped += tag.dropped;
+  tag.dropped = 0;
+  return out;
+}
+
+std::vector<TagSnapshots> SnapshotAssembler::take_all_ready() {
+  std::vector<TagSnapshots> out;
+  for (const Epc96& epc : ready_tags()) {
+    if (auto snap = take(epc)) out.push_back(std::move(*snap));
+  }
+  return out;
+}
+
+void SnapshotAssembler::clear() { tags_.clear(); }
+
+}  // namespace dwatch::rfid

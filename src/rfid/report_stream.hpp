@@ -1,0 +1,78 @@
+// Server-side assembly of LLRP tag observations into per-tag snapshot
+// matrices.
+//
+// A reader's antenna hub sweeps the M ULA elements once per inventory
+// round; each round contributes one snapshot column per tag. The
+// assembler groups PhaseSamples by (EPC, round) and emits an M x N
+// complex matrix once N complete rounds are available — the exact input
+// MUSIC/P-MUSIC expect, reconstructed from wire-quantized measurements.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "linalg/complex_matrix.hpp"
+#include "rfid/epc.hpp"
+#include "rfid/llrp.hpp"
+
+namespace dwatch::rfid {
+
+/// Snapshot matrix for one tag plus bookkeeping.
+struct TagSnapshots {
+  Epc96 epc;
+  linalg::CMatrix x;  ///< M x N snapshot matrix
+  std::size_t rounds_used = 0;
+  std::size_t samples_dropped = 0;  ///< duplicate/incomplete-round samples
+};
+
+/// Groups observations per EPC and builds snapshot matrices.
+class SnapshotAssembler {
+ public:
+  /// `num_elements` is M; `rounds_needed` is the snapshot count N the
+  /// caller wants per matrix. Throws std::invalid_argument on zeros.
+  SnapshotAssembler(std::size_t num_elements, std::size_t rounds_needed);
+
+  /// Ingest one decoded observation (all its per-element samples).
+  void ingest(const TagObservation& obs);
+
+  /// All tags that currently have >= rounds_needed COMPLETE rounds.
+  [[nodiscard]] std::vector<Epc96> ready_tags() const;
+
+  /// Build the snapshot matrix for a tag if ready; consumes the buffered
+  /// rounds used. Returns nullopt if not enough complete rounds yet.
+  [[nodiscard]] std::optional<TagSnapshots> take(const Epc96& epc);
+
+  /// Build matrices for every ready tag (in EPC order).
+  [[nodiscard]] std::vector<TagSnapshots> take_all_ready();
+
+  /// Forget everything buffered for all tags.
+  void clear();
+
+  [[nodiscard]] std::size_t num_elements() const noexcept {
+    return num_elements_;
+  }
+  [[nodiscard]] std::size_t rounds_needed() const noexcept {
+    return rounds_needed_;
+  }
+
+ private:
+  struct RoundBuffer {
+    std::vector<linalg::Complex> values;  ///< size M
+    std::vector<bool> present;            ///< which elements arrived
+    std::size_t count = 0;
+  };
+  struct PerTag {
+    std::map<std::uint32_t, RoundBuffer> rounds;
+    std::size_t dropped = 0;
+  };
+
+  [[nodiscard]] std::size_t complete_rounds(const PerTag& t) const;
+
+  std::size_t num_elements_;
+  std::size_t rounds_needed_;
+  std::map<Epc96, PerTag> tags_;
+};
+
+}  // namespace dwatch::rfid

@@ -1,0 +1,44 @@
+// Passive UHF tag model (Alien ALN-9634-class).
+//
+// A passive tag has no battery; it backscatters only when the reader's
+// forward link delivers at least its turn-on sensitivity. The forward
+// link budget therefore determines read range (paper: ~3 m with the small
+// ANS-900 antennas, ~12 m with the Q900F-900).
+#pragma once
+
+#include <cstdint>
+
+#include "rf/geometry.hpp"
+#include "rfid/epc.hpp"
+
+namespace dwatch::rfid {
+
+/// Electrical parameters of a passive tag.
+struct TagProfile {
+  /// Minimum incident power to energize the chip [dBm]. Monza-4-class
+  /// chips sit near -17..-20 dBm.
+  double sensitivity_dbm = -18.0;
+  /// Backscatter modulation loss [dB]: how much weaker the reflected
+  /// signal is than the incident one.
+  double backscatter_loss_db = 6.0;
+};
+
+/// One deployed tag: identity + pose + electrical profile.
+struct Tag {
+  Epc96 epc;
+  rf::Vec3 position;
+  TagProfile profile;
+
+  /// Convenience constructor used by deployments.
+  [[nodiscard]] static Tag at(std::uint32_t index, rf::Vec3 position,
+                              TagProfile profile = {}) {
+    return Tag{Epc96::for_tag_index(index), position, profile};
+  }
+
+  /// True iff `incident_dbm` forward power turns the chip on.
+  [[nodiscard]] bool energized(double incident_dbm) const noexcept {
+    return incident_dbm >= profile.sensitivity_dbm;
+  }
+};
+
+}  // namespace dwatch::rfid

@@ -1,0 +1,107 @@
+#include "sim/environment.hpp"
+
+namespace dwatch::sim {
+
+namespace {
+
+/// Perimeter walls for a room, with the given reflection coefficient.
+std::vector<WallReflector> perimeter(double w, double d, double refl,
+                                     double z_hi = 3.0) {
+  using rf::Vec2;
+  return {
+      WallReflector{{Vec2{0, 0}, Vec2{w, 0}}, 0.0, z_hi, refl},
+      WallReflector{{Vec2{w, 0}, Vec2{w, d}}, 0.0, z_hi, refl},
+      WallReflector{{Vec2{w, d}, Vec2{0, d}}, 0.0, z_hi, refl},
+      WallReflector{{Vec2{0, d}, Vec2{0, 0}}, 0.0, z_hi, refl},
+  };
+}
+
+}  // namespace
+
+Environment Environment::library() {
+  using rf::Vec2;
+  Environment env;
+  env.name = "library";
+  env.width = 7.0;
+  env.depth = 10.0;
+  env.walls = perimeter(env.width, env.depth, 0.30);
+  // Book-shelf rows: shelves full of books scatter DIFFUSELY (no clean
+  // specular mirror), so each shelf row is modelled as strong point
+  // scatterers along its face rather than a specular wall — see
+  // DESIGN.md ("ghost" discussion). Richness: library >> laboratory.
+  env.scatterers = {
+      PointScatterer{{1.6, 2.5}, 1.2, 3.2},  // shelf row 1
+      PointScatterer{{4.6, 2.5}, 1.2, 3.2},
+      PointScatterer{{2.6, 5.0}, 1.2, 3.2},  // shelf row 2
+      PointScatterer{{5.4, 5.0}, 1.2, 3.2},
+      PointScatterer{{1.6, 7.5}, 1.2, 3.2},  // shelf row 3
+      PointScatterer{{4.6, 7.5}, 1.2, 3.2},
+      PointScatterer{{6.3, 3.6}, 1.2, 3.0},  // trolley
+      PointScatterer{{0.8, 6.1}, 1.2, 3.0},  // reading desk
+  };
+  return env;
+}
+
+Environment Environment::laboratory() {
+  using rf::Vec2;
+  Environment env;
+  env.name = "laboratory";
+  env.width = 9.0;
+  env.depth = 12.0;
+  env.walls = perimeter(env.width, env.depth, 0.25);
+  // Test chambers / display racks: fewer strong scatterers than the
+  // library (medium multipath).
+  env.scatterers = {
+      PointScatterer{{2.2, 3.0}, 1.1, 3.0},
+      PointScatterer{{6.8, 4.0}, 1.1, 3.0},
+      PointScatterer{{4.4, 8.2}, 1.0, 3.0},
+      PointScatterer{{7.6, 9.6}, 1.1, 2.8},
+      PointScatterer{{1.6, 7.0}, 1.1, 2.8},
+      PointScatterer{{4.8, 5.2}, 1.2, 2.8},
+  };
+  return env;
+}
+
+Environment Environment::hall() {
+  Environment env;
+  env.name = "hall";
+  env.width = 7.2;
+  env.depth = 10.4;
+  // Empty hall: bare, weakly reflective walls and nothing else.
+  env.walls = perimeter(env.width, env.depth, 0.18);
+  return env;
+}
+
+Environment Environment::table_area() {
+  Environment env;
+  env.name = "table";
+  env.width = 2.0;
+  env.depth = 2.0;
+  // The table experiments rely on tag-dense geometry rather than room
+  // reflections; a nearby monitor/divider supplies a couple of paths.
+  env.scatterers = {
+      PointScatterer{{-0.3, 1.0}, kTableHeight + 0.25, 1.8},
+      PointScatterer{{2.3, 0.8}, kTableHeight + 0.25, 1.8},
+  };
+  return env;
+}
+
+void Environment::add_scatterers(std::size_t count, rf::Rng& rng,
+                                 double aperture, double z,
+                                 double cone_half_angle) {
+  const double margin_x = 0.1 * width;
+  const double margin_y = 0.1 * depth;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double face = rng.uniform(0.0, rf::kTwoPi);
+    scatterers.push_back(PointScatterer{
+        {rng.uniform(margin_x, width - margin_x),
+         rng.uniform(margin_y, depth - margin_y)},
+        z,
+        aperture,
+        {std::cos(face), std::sin(face)},
+        cone_half_angle,
+    });
+  }
+}
+
+}  // namespace dwatch::sim

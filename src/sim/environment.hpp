@@ -1,0 +1,66 @@
+// Indoor environments with controllable multipath richness.
+//
+// The paper evaluates three rooms — a library (rich multipath: metal/wood
+// book shelves), a laboratory (medium: test chambers, displays) and an
+// empty hall (low) — plus a 2 m x 2 m table for fine-grained experiments.
+// The presets here are deterministic synthetic layouts matched to those
+// descriptions: same room sizes, multipath richness ordered
+// library > laboratory > hall. Experiments that sweep the number of
+// reflectors (paper Fig. 16) start from `hall()` and call
+// `add_scatterers`.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "rf/geometry.hpp"
+#include "rf/noise.hpp"
+#include "sim/reflector.hpp"
+
+namespace dwatch::sim {
+
+/// One simulated room.
+struct Environment {
+  std::string name;
+  /// Room spans [0, width] x [0, depth] in the floor plane.
+  double width = 0.0;
+  double depth = 0.0;
+  std::vector<WallReflector> walls;
+  std::vector<PointScatterer> scatterers;
+
+  /// Library: 7 m x 10 m, book-shelf walls + many strong scatterers
+  /// (paper Fig. 6(b), HIGH multipath).
+  [[nodiscard]] static Environment library();
+
+  /// Laboratory: 9 m x 12 m, scattered equipment (MEDIUM multipath).
+  [[nodiscard]] static Environment laboratory();
+
+  /// Empty hall: 7.2 m x 10.4 m, weakly reflective perimeter only (LOW
+  /// multipath).
+  [[nodiscard]] static Environment hall();
+
+  /// 2 m x 2 m table area used for bottle/fist experiments (paper §6.7,
+  /// §6.8); origin at one table corner, table surface at z=0.75 m.
+  [[nodiscard]] static Environment table_area();
+
+  /// Table surface height used by table_area().
+  static constexpr double kTableHeight = 0.75;
+
+  [[nodiscard]] bool contains(rf::Vec2 p) const noexcept {
+    return p.x >= 0.0 && p.x <= width && p.y >= 0.0 && p.y <= depth;
+  }
+
+  /// Add `count` deterministic-but-irregular point scatterers inside the
+  /// room margin (used by the Fig. 16 reflector sweep). The added
+  /// reflectors are DIRECTIONAL plates (laptop/metal sheet) with random
+  /// facings, so each enriches some links without flooding all of them.
+  void add_scatterers(std::size_t count, rf::Rng& rng, double aperture = 3.0,
+                      double z = 1.2, double cone_half_angle = 0.5);
+
+  [[nodiscard]] std::size_t reflector_count() const noexcept {
+    return walls.size() + scatterers.size();
+  }
+};
+
+}  // namespace dwatch::sim

@@ -1,0 +1,83 @@
+#include "sim/propagate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dwatch::sim {
+
+std::vector<rf::PropagationPath> trace_paths(
+    const rf::Vec3& tag_position, const rf::UniformLinearArray& array,
+    const Environment& env, const TraceOptions& options) {
+  const rf::Vec3 rx = array.center();
+  const double direct_len = rf::distance(tag_position, rx);
+  if (direct_len <= 0.0) {
+    throw std::invalid_argument("trace_paths: tag coincides with array");
+  }
+
+  std::vector<rf::PropagationPath> paths;
+
+  // Direct path.
+  {
+    rf::PropagationPath p;
+    p.kind = rf::PathKind::kDirect;
+    p.vertices = {tag_position, rx};
+    p.length = direct_len;
+    p.aoa = array.arrival_angle(tag_position);
+    p.gain = options.link.direct_gain(direct_len);
+    paths.push_back(std::move(p));
+  }
+  const double direct_amp = std::abs(paths.front().gain);
+
+  // First-order specular wall bounces.
+  for (const WallReflector& wall : env.walls) {
+    const auto bounce = specular_bounce(wall, tag_position, rx);
+    if (!bounce) continue;
+    rf::PropagationPath p;
+    p.kind = rf::PathKind::kWall;
+    p.vertices = {tag_position, *bounce, rx};
+    p.length =
+        rf::distance(tag_position, *bounce) + rf::distance(*bounce, rx);
+    p.aoa = array.arrival_angle(*bounce);
+    p.gain = options.link.wall_gain(p.length, wall.reflection);
+    paths.push_back(std::move(p));
+  }
+
+  // Point scatterers (directional ones only serve matching links).
+  for (const PointScatterer& sc : env.scatterers) {
+    if (!sc.reflects(tag_position.xy(), rx.xy())) continue;
+    const rf::Vec3 sp = rf::lift(sc.position, sc.z);
+    const double d1 = rf::distance(tag_position, sp);
+    const double d2 = rf::distance(sp, rx);
+    if (d1 <= 0.0 || d2 <= 0.0) continue;  // degenerate placement
+    rf::PropagationPath p;
+    p.kind = rf::PathKind::kScatterer;
+    p.vertices = {tag_position, sp, rx};
+    p.length = d1 + d2;
+    p.aoa = array.arrival_angle(sp);
+    p.gain = options.link.scatter_gain(d1, d2, sc.aperture);
+    paths.push_back(std::move(p));
+  }
+
+  // Amplitude floor relative to the direct path.
+  if (options.min_relative_amplitude > 0.0) {
+    const double floor = direct_amp * options.min_relative_amplitude;
+    paths.erase(std::remove_if(paths.begin() + 1, paths.end(),
+                               [floor](const rf::PropagationPath& p) {
+                                 return std::abs(p.gain) < floor;
+                               }),
+                paths.end());
+  }
+
+  // Keep the strongest `max_paths` (direct always survives).
+  if (options.max_paths > 0 && paths.size() > options.max_paths) {
+    std::sort(paths.begin() + 1, paths.end(),
+              [](const rf::PropagationPath& a, const rf::PropagationPath& b) {
+                return std::abs(a.gain) > std::abs(b.gain);
+              });
+    paths.resize(options.max_paths);
+  }
+  return paths;
+}
+
+}  // namespace dwatch::sim

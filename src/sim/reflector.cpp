@@ -1,0 +1,55 @@
+#include "sim/reflector.hpp"
+
+#include <cmath>
+
+namespace dwatch::sim {
+
+bool PointScatterer::reflects(rf::Vec2 from, rf::Vec2 to) const {
+  if (cone_half_angle >= 3.14159) return true;  // omnidirectional
+  const rf::Vec2 d_in = (position - from);
+  const rf::Vec2 d_out = (to - position);
+  const double lin = d_in.norm();
+  const double lout = d_out.norm();
+  if (lin <= 0.0 || lout <= 0.0) return false;
+  const rf::Vec2 n = facing.normalized();
+  const rf::Vec2 in_hat = d_in / lin;
+  // Specular reflection of the incoming ray off a plate with normal n.
+  const double proj = in_hat.dot(n);
+  const rf::Vec2 reflected{in_hat.x - 2.0 * proj * n.x,
+                           in_hat.y - 2.0 * proj * n.y};
+  const double cos_dev = reflected.dot(d_out / lout);
+  return cos_dev >= std::cos(cone_half_angle);
+}
+
+std::optional<rf::Vec3> specular_bounce(const WallReflector& wall,
+                                        const rf::Vec3& from,
+                                        const rf::Vec3& to) {
+  const rf::Vec2 a = from.xy();
+  const rf::Vec2 b = to.xy();
+
+  // Both endpoints must be on the same side of the wall line for a
+  // physical bounce (a reflection cannot pass through the wall).
+  const rf::Vec2 d = wall.footprint.b - wall.footprint.a;
+  const double side_a = d.cross(a - wall.footprint.a);
+  const double side_b = d.cross(b - wall.footprint.a);
+  if (side_a * side_b <= 0.0) return std::nullopt;
+
+  // Image method: mirror `from` across the wall line; the bounce is where
+  // image->to crosses the wall footprint.
+  const rf::Vec2 image = rf::mirror_across(a, wall.footprint);
+  const auto hit = rf::segment_intersection(image, b, wall.footprint.a,
+                                            wall.footprint.b);
+  if (!hit) return std::nullopt;
+
+  // Unfolded geometry: the bounce z interpolates linearly with distance
+  // along image->to.
+  const double d1 = rf::distance(image, *hit);
+  const double total = rf::distance(image, b);
+  if (total <= 0.0) return std::nullopt;
+  const double t = d1 / total;
+  const double z = from.z + (to.z - from.z) * t;
+  if (z < wall.z_lo || z > wall.z_hi) return std::nullopt;
+  return rf::lift(*hit, z);
+}
+
+}  // namespace dwatch::sim

@@ -1,0 +1,54 @@
+// Reflector models: vertical wall segments (specular, image method) and
+// point scatterers (shelves, laptops, metal cabinets).
+//
+// These are the source of the "bad" multipaths D-Watch embraces: each
+// reflector adds a tag->reflector->array path whose blockage reveals the
+// target from an extra angle, increasing coverage (paper Fig. 16).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "rf/geometry.hpp"
+#include "rf/path.hpp"
+
+namespace dwatch::sim {
+
+/// A vertical wall segment (bookshelf face, room wall) producing specular
+/// first-order reflections via the image method.
+struct WallReflector {
+  rf::Segment2 footprint;  ///< in the floor plane
+  double z_lo = 0.0;
+  double z_hi = 3.0;
+  double reflection = 0.45;  ///< amplitude reflection coefficient
+};
+
+/// A compact strong scatterer (laptop lid, metal chamber) re-radiating
+/// energy from a point.
+///
+/// Real-world reflectors are DIRECTIONAL: a laptop lid reflects
+/// specularly around its facing normal, so it contributes paths to some
+/// (tag, array) links and not others. `facing`/`cone_half_angle` model
+/// this: a path tag -> S -> array is accepted iff the specular reflection
+/// of the incoming ray off a plate with normal `facing` is within
+/// `cone_half_angle` of the outgoing ray. The default cone of pi keeps a
+/// scatterer omnidirectional (corner reflectors, round poles).
+struct PointScatterer {
+  rf::Vec2 position;
+  double z = 1.2;            ///< effective scattering height
+  double aperture = 2.2;     ///< effective re-radiation aperture [m]
+  rf::Vec2 facing{1.0, 0.0}; ///< plate normal (unit not required)
+  double cone_half_angle = 3.141592653589793;  ///< pi = omnidirectional
+
+  /// Does this scatterer bounce a ray from `from` to `to` (plan view)?
+  [[nodiscard]] bool reflects(rf::Vec2 from, rf::Vec2 to) const;
+};
+
+/// Specular bounce point of tag -> wall -> receiver, if the mirror ray
+/// actually crosses the wall's finite footprint (2-D image method; the
+/// bounce z is interpolated along the unfolded path and must lie within
+/// the wall's vertical extent).
+[[nodiscard]] std::optional<rf::Vec3> specular_bounce(
+    const WallReflector& wall, const rf::Vec3& from, const rf::Vec3& to);
+
+}  // namespace dwatch::sim

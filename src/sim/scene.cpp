@@ -1,0 +1,199 @@
+#include "sim/scene.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dwatch::sim {
+
+Deployment make_room_deployment(Environment env,
+                                const DeploymentOptions& opts, rf::Rng& rng) {
+  if (opts.num_arrays == 0 || opts.num_arrays > 4) {
+    throw std::invalid_argument("make_room_deployment: need 1..4 arrays");
+  }
+  if (opts.num_tags == 0) {
+    throw std::invalid_argument("make_room_deployment: need >= 1 tag");
+  }
+  Deployment dep;
+  const double w = env.width;
+  const double d = env.depth;
+  dep.env = std::move(env);
+
+  // Arrays centred on the room edges (bottom, top, left, right), ULA axis
+  // along the edge so the boresight faces inward.
+  struct EdgeSpec {
+    rf::Vec2 center;
+    rf::Vec2 axis;
+  };
+  const EdgeSpec edges[4] = {
+      {{w / 2.0, 0.15}, {1.0, 0.0}},   // bottom
+      {{w / 2.0, d - 0.15}, {1.0, 0.0}},  // top
+      {{0.15, d / 2.0}, {0.0, 1.0}},   // left
+      {{w - 0.15, d / 2.0}, {0.0, 1.0}},  // right
+  };
+  for (std::size_t i = 0; i < opts.num_arrays; ++i) {
+    dep.arrays.emplace_back(rf::lift(edges[i].center, opts.array_height),
+                            edges[i].axis, opts.antennas_per_array,
+                            rf::kDefaultElementSpacing, opts.carrier_hz);
+  }
+
+  // Tags: uniformly random inside the room with a margin, at table/hand
+  // heights. The paper stresses that tag positions need NOT be known for
+  // localization (they are used only to define ground truth here).
+  const double margin = 0.4;
+  for (std::uint32_t i = 0; i < opts.num_tags; ++i) {
+    const rf::Vec2 p{rng.uniform(margin, w - margin),
+                     rng.uniform(margin, d - margin)};
+    const double z = rng.uniform(opts.tag_height_lo, opts.tag_height_hi);
+    dep.tags.push_back(rfid::Tag::at(i, rf::lift(p, z)));
+  }
+  return dep;
+}
+
+Deployment make_table_deployment(std::size_t num_tags,
+                                 std::size_t antennas_per_array,
+                                 rf::Rng& rng) {
+  if (num_tags == 0) {
+    throw std::invalid_argument("make_table_deployment: need >= 1 tag");
+  }
+  Deployment dep;
+  dep.env = Environment::table_area();
+  const double z = Environment::kTableHeight + 0.10;
+
+  // Two small arrays: midpoint of the bottom and of the right table edge
+  // (paper Fig. 20). Smaller aperture antennas -> same ULA model.
+  dep.arrays.emplace_back(rf::Vec3{1.0, -0.12, z}, rf::Vec2{1.0, 0.0},
+                          antennas_per_array);
+  dep.arrays.emplace_back(rf::Vec3{2.12, 1.0, z}, rf::Vec2{0.0, 1.0},
+                          antennas_per_array);
+
+  // Tags along the top and left edges.
+  const std::size_t top = (num_tags + 1) / 2;
+  const std::size_t left = num_tags - top;
+  std::uint32_t index = 0;
+  for (std::size_t i = 0; i < top; ++i) {
+    const double x =
+        0.1 + 1.8 * static_cast<double>(i) / std::max<std::size_t>(top - 1, 1);
+    dep.tags.push_back(rfid::Tag::at(
+        index++, rf::Vec3{x, 2.0 + rng.uniform(0.02, 0.08), z}));
+  }
+  for (std::size_t i = 0; i < left; ++i) {
+    const double y =
+        0.1 + 1.8 * static_cast<double>(i) / std::max<std::size_t>(left - 1, 1);
+    dep.tags.push_back(rfid::Tag::at(
+        index++, rf::Vec3{-(2.0 + rng.uniform(2.0, 8.0)) / 100.0, y, z}));
+  }
+  return dep;
+}
+
+Scene::Scene(Deployment deployment, CaptureOptions options,
+             rfid::ReaderConfig reader_config, rf::Rng& hardware_rng)
+    : deployment_(std::move(deployment)), options_(options) {
+  if (deployment_.arrays.empty()) {
+    throw std::invalid_argument("Scene: deployment has no arrays");
+  }
+  readers_.reserve(deployment_.arrays.size());
+  for (std::size_t i = 0; i < deployment_.arrays.size(); ++i) {
+    rfid::ReaderConfig cfg = reader_config;
+    cfg.reader_id = static_cast<std::uint32_t>(i);
+    cfg.hub_elements = deployment_.arrays[i].num_elements();
+    cfg.carrier_hz = deployment_.arrays[i].carrier_hz();
+    readers_.emplace_back(cfg, hardware_rng);
+  }
+  cache_.assign(deployment_.arrays.size(),
+                std::vector<std::vector<rf::PropagationPath>>(
+                    deployment_.tags.size()));
+  cached_.assign(deployment_.arrays.size(),
+                 std::vector<bool>(deployment_.tags.size(), false));
+}
+
+Scene::Scene(Deployment deployment, CaptureOptions options,
+             rf::Rng& hardware_rng)
+    : Scene(std::move(deployment), options, rfid::ReaderConfig{},
+            hardware_rng) {}
+
+const rfid::Reader& Scene::reader(std::size_t array_idx) const {
+  if (array_idx >= readers_.size()) {
+    throw std::out_of_range("Scene::reader: bad array index");
+  }
+  return readers_[array_idx];
+}
+
+void Scene::power_cycle(rf::Rng& rng) {
+  for (auto& r : readers_) r.power_cycle(rng);
+}
+
+void Scene::check_indices(std::size_t array_idx, std::size_t tag_idx) const {
+  if (array_idx >= deployment_.arrays.size()) {
+    throw std::out_of_range("Scene: bad array index");
+  }
+  if (tag_idx >= deployment_.tags.size()) {
+    throw std::out_of_range("Scene: bad tag index");
+  }
+}
+
+const std::vector<rf::PropagationPath>& Scene::paths(
+    std::size_t array_idx, std::size_t tag_idx) const {
+  check_indices(array_idx, tag_idx);
+  if (!cached_[array_idx][tag_idx]) {
+    TraceOptions trace;
+    trace.link = options_.link;
+    trace.min_relative_amplitude = options_.min_relative_amplitude;
+    trace.max_paths = options_.max_paths;
+    cache_[array_idx][tag_idx] =
+        trace_paths(deployment_.tags[tag_idx].position,
+                    deployment_.arrays[array_idx], deployment_.env, trace);
+    cached_[array_idx][tag_idx] = true;
+  }
+  return cache_[array_idx][tag_idx];
+}
+
+bool Scene::tag_readable(std::size_t array_idx, std::size_t tag_idx) const {
+  check_indices(array_idx, tag_idx);
+  const double d = rf::distance(deployment_.tags[tag_idx].position,
+                                deployment_.arrays[array_idx].center());
+  const double incident = readers_[array_idx].forward_power_dbm(d);
+  return deployment_.tags[tag_idx].energized(incident);
+}
+
+linalg::CMatrix Scene::capture(std::size_t array_idx, std::size_t tag_idx,
+                               std::span<const CylinderTarget> targets,
+                               rf::Rng& rng) const {
+  const auto& pth = paths(array_idx, tag_idx);
+  const std::vector<double> scales =
+      blocking_scales(pth, targets, options_.blockage_residual);
+
+  rf::SnapshotOptions snap;
+  snap.num_snapshots = options_.num_snapshots;
+  snap.wavefront = options_.wavefront;
+  snap.port_phase_offsets = readers_[array_idx].phase_offsets();
+  snap.noise_sigma =
+      rf::noise_sigma_for_snr(pth, snap.source_amplitude, options_.snr_db);
+  return rf::synthesize_snapshots(deployment_.arrays[array_idx], pth, scales,
+                                  snap, rng);
+}
+
+rfid::TagObservation Scene::capture_observation(
+    std::size_t array_idx, std::size_t tag_idx,
+    std::span<const CylinderTarget> targets, rf::Rng& rng,
+    std::uint64_t first_seen_us) const {
+  const linalg::CMatrix x = capture(array_idx, tag_idx, targets, rng);
+  rfid::TagObservation obs;
+  obs.epc = deployment_.tags[tag_idx].epc;
+  obs.antenna_port = 1;
+  obs.first_seen_us = first_seen_us;
+  obs.samples.reserve(x.rows() * x.cols());
+  for (std::size_t n = 0; n < x.cols(); ++n) {
+    for (std::size_t m = 0; m < x.rows(); ++m) {
+      const auto [phase_q, rssi_q] = rfid::quantize_sample(x(m, n));
+      obs.samples.push_back(rfid::PhaseSample{
+          .element_id = static_cast<std::uint16_t>(m + 1),
+          .round = static_cast<std::uint32_t>(n),
+          .phase_q = phase_q,
+          .rssi_q = rssi_q,
+      });
+    }
+  }
+  return obs;
+}
+
+}  // namespace dwatch::sim

@@ -1,0 +1,66 @@
+#include "sim/target.hpp"
+
+#include <stdexcept>
+
+namespace dwatch::sim {
+
+CylinderTarget CylinderTarget::human(rf::Vec2 position, std::string label) {
+  return CylinderTarget{position, 0.18, 0.0, 1.7, std::move(label)};
+}
+
+CylinderTarget CylinderTarget::bottle(rf::Vec2 position, double table_z,
+                                      std::string label) {
+  return CylinderTarget{position, 0.039, table_z, table_z + 0.22,
+                        std::move(label)};
+}
+
+CylinderTarget CylinderTarget::fist(rf::Vec2 position, double z,
+                                    std::string label) {
+  return CylinderTarget{position, 0.05, z - 0.06, z + 0.06,
+                        std::move(label)};
+}
+
+bool CylinderTarget::blocks_segment(const rf::Vec3& a,
+                                    const rf::Vec3& b) const {
+  return rf::segment_hits_vertical_cylinder(a, b, position, radius, z_lo,
+                                            z_hi);
+}
+
+BlockingResult evaluate_blocking(const rf::PropagationPath& path,
+                                 std::span<const CylinderTarget> targets,
+                                 double residual_amplitude) {
+  if (residual_amplitude < 0.0 || residual_amplitude > 1.0) {
+    throw std::invalid_argument(
+        "evaluate_blocking: residual_amplitude outside [0,1]");
+  }
+  BlockingResult result;
+  for (std::size_t leg = 0; leg < path.num_legs(); ++leg) {
+    const auto [a, b] = path.leg(leg);
+    for (std::size_t t = 0; t < targets.size(); ++t) {
+      if (!targets[t].blocks_segment(a, b)) continue;
+      if (!result.blocked) {
+        result.blocked = true;
+        result.first_blocked_leg = leg;
+        result.target_index = t;
+        result.gives_true_angle = path.blocking_gives_true_angle(leg);
+      }
+      result.amplitude_scale *= residual_amplitude;
+      break;  // one blockage per leg is enough; next leg may add more
+    }
+  }
+  return result;
+}
+
+std::vector<double> blocking_scales(
+    std::span<const rf::PropagationPath> paths,
+    std::span<const CylinderTarget> targets, double residual_amplitude) {
+  std::vector<double> scales;
+  scales.reserve(paths.size());
+  for (const auto& path : paths) {
+    scales.push_back(
+        evaluate_blocking(path, targets, residual_amplitude).amplitude_scale);
+  }
+  return scales;
+}
+
+}  // namespace dwatch::sim

@@ -1,0 +1,145 @@
+#include "sim/trace.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "rfid/bytes.hpp"
+
+namespace dwatch::sim {
+
+namespace {
+
+void write_u16(std::ostream& os, std::uint16_t v) {
+  const std::array<char, 2> b{static_cast<char>(v >> 8),
+                              static_cast<char>(v)};
+  os.write(b.data(), b.size());
+}
+
+void write_u32(std::ostream& os, std::uint32_t v) {
+  const std::array<char, 4> b{
+      static_cast<char>(v >> 24), static_cast<char>(v >> 16),
+      static_cast<char>(v >> 8), static_cast<char>(v)};
+  os.write(b.data(), b.size());
+}
+
+std::uint16_t read_u16(std::istream& is) {
+  std::array<unsigned char, 2> b{};
+  is.read(reinterpret_cast<char*>(b.data()), b.size());
+  if (!is) throw rfid::DecodeError("trace: truncated u16");
+  return static_cast<std::uint16_t>((b[0] << 8) | b[1]);
+}
+
+std::uint32_t read_u32(std::istream& is) {
+  std::array<unsigned char, 4> b{};
+  is.read(reinterpret_cast<char*>(b.data()), b.size());
+  if (!is) throw rfid::DecodeError("trace: truncated u32");
+  return (static_cast<std::uint32_t>(b[0]) << 24) |
+         (static_cast<std::uint32_t>(b[1]) << 16) |
+         (static_cast<std::uint32_t>(b[2]) << 8) |
+         static_cast<std::uint32_t>(b[3]);
+}
+
+}  // namespace
+
+void Trace::record(TraceEpoch epoch) { epochs_.push_back(std::move(epoch)); }
+
+void Trace::record_report(EpochKind kind, const std::string& label,
+                          std::uint32_t array_index,
+                          const rfid::RoAccessReport& report) {
+  TraceEpoch epoch;
+  epoch.kind = kind;
+  epoch.label = label;
+  epoch.array_index = array_index;
+  epoch.messages.push_back(rfid::encode(report));
+  record(std::move(epoch));
+}
+
+void Trace::save(std::ostream& os) const {
+  os.write(kMagic, sizeof(kMagic));
+  for (const TraceEpoch& epoch : epochs_) {
+    os.put(static_cast<char>(epoch.kind));
+    if (epoch.label.size() > 0xFFFF) {
+      throw std::runtime_error("trace: label too long");
+    }
+    write_u16(os, static_cast<std::uint16_t>(epoch.label.size()));
+    os.write(epoch.label.data(),
+             static_cast<std::streamsize>(epoch.label.size()));
+    write_u32(os, epoch.array_index);
+    write_u32(os, static_cast<std::uint32_t>(epoch.messages.size()));
+    for (const auto& msg : epoch.messages) {
+      write_u32(os, static_cast<std::uint32_t>(msg.size()));
+      os.write(reinterpret_cast<const char*>(msg.data()),
+               static_cast<std::streamsize>(msg.size()));
+    }
+  }
+  if (!os) throw std::runtime_error("trace: stream write failed");
+}
+
+void Trace::save_file(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("trace: cannot open " + path);
+  save(os);
+}
+
+Trace Trace::load(std::istream& is) {
+  char magic[sizeof(kMagic)] = {};
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw rfid::DecodeError("trace: bad magic");
+  }
+  Trace trace;
+  while (true) {
+    const int kind_byte = is.get();
+    if (kind_byte == std::char_traits<char>::eof()) break;
+    if (kind_byte != 0 && kind_byte != 1) {
+      throw rfid::DecodeError("trace: unknown epoch kind");
+    }
+    TraceEpoch epoch;
+    epoch.kind = static_cast<EpochKind>(kind_byte);
+    const std::uint16_t label_len = read_u16(is);
+    epoch.label.resize(label_len);
+    is.read(epoch.label.data(), label_len);
+    if (!is) throw rfid::DecodeError("trace: truncated label");
+    epoch.array_index = read_u32(is);
+    const std::uint32_t count = read_u32(is);
+    epoch.messages.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::uint32_t len = read_u32(is);
+      if (len > 64u * 1024u * 1024u) {
+        throw rfid::DecodeError("trace: implausible message length");
+      }
+      std::vector<std::uint8_t> msg(len);
+      is.read(reinterpret_cast<char*>(msg.data()), len);
+      if (!is) throw rfid::DecodeError("trace: truncated message");
+      epoch.messages.push_back(std::move(msg));
+    }
+    trace.epochs_.push_back(std::move(epoch));
+  }
+  return trace;
+}
+
+Trace Trace::load_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("trace: cannot open " + path);
+  return load(is);
+}
+
+std::vector<rfid::TagObservation> Trace::decode_epoch(
+    const TraceEpoch& epoch) {
+  rfid::LlrpStreamDecoder decoder;
+  std::vector<rfid::TagObservation> out;
+  for (const auto& msg : epoch.messages) {
+    decoder.feed(msg);
+    while (auto report = decoder.next_report()) {
+      out.insert(out.end(), report->observations.begin(),
+                 report->observations.end());
+    }
+  }
+  return out;
+}
+
+}  // namespace dwatch::sim

@@ -1,0 +1,80 @@
+// Capture traces: record the observations of a measurement campaign to a
+// binary file and replay them later without the simulator (or, on real
+// hardware, without the reader infrastructure).
+//
+// This replaces the paper's ad-hoc capture tooling: their C# harness
+// logged LLRP tag reports to disk and Matlab post-processed them. A
+// DwatchTrace file stores framed LLRP messages verbatim, grouped into
+// named epochs ("baseline", "fix-0001", ...), so a trace replays through
+// the EXACT wire-decoding path the live system uses.
+//
+// File format (all integers big-endian, matching the LLRP payloads):
+//   magic   "DWTRACE1"                       (8 bytes)
+//   repeated epochs:
+//     epoch header: u8 kind, u16 label_len, label bytes,
+//                   u32 array_index, u32 message_count
+//     messages:     u32 byte_len, bytes      (a framed LLRP message)
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rfid/llrp.hpp"
+
+namespace dwatch::sim {
+
+/// What an epoch's observations are for.
+enum class EpochKind : std::uint8_t {
+  kBaseline = 0,  ///< empty-scene captures (workflow Step 1)
+  kOnline = 1,    ///< captures with targets present
+};
+
+/// One recorded epoch: all LLRP messages one array produced.
+struct TraceEpoch {
+  EpochKind kind = EpochKind::kBaseline;
+  std::string label;
+  std::uint32_t array_index = 0;
+  std::vector<std::vector<std::uint8_t>> messages;  ///< framed LLRP
+};
+
+/// In-memory trace; (de)serializable to a stream or file.
+class Trace {
+ public:
+  static constexpr char kMagic[8] = {'D', 'W', 'T', 'R', 'A', 'C', 'E',
+                                     '1'};
+
+  [[nodiscard]] const std::vector<TraceEpoch>& epochs() const noexcept {
+    return epochs_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return epochs_.empty(); }
+
+  /// Append an epoch (messages are framed LLRP byte vectors).
+  void record(TraceEpoch epoch);
+
+  /// Convenience: record one RO_ACCESS_REPORT worth of observations.
+  void record_report(EpochKind kind, const std::string& label,
+                     std::uint32_t array_index,
+                     const rfid::RoAccessReport& report);
+
+  /// Serialize; throws std::runtime_error on stream failure.
+  void save(std::ostream& os) const;
+  void save_file(const std::string& path) const;
+
+  /// Parse; throws rfid::DecodeError on malformed input.
+  [[nodiscard]] static Trace load(std::istream& is);
+  [[nodiscard]] static Trace load_file(const std::string& path);
+
+  /// Decode every message of an epoch back into tag observations (the
+  /// replay path: bytes -> LlrpStreamDecoder -> observations). Non-report
+  /// messages are skipped.
+  [[nodiscard]] static std::vector<rfid::TagObservation> decode_epoch(
+      const TraceEpoch& epoch);
+
+ private:
+  std::vector<TraceEpoch> epochs_;
+};
+
+}  // namespace dwatch::sim

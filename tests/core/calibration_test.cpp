@@ -1,0 +1,176 @@
+// Tests for the wireless phase calibration (paper Section 4.1).
+#include "core/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/covariance.hpp"
+#include "linalg/hermitian_eig.hpp"
+#include "rf/array.hpp"
+#include "rf/noise.hpp"
+#include "rf/snapshot.hpp"
+
+namespace dwatch::core {
+namespace {
+
+constexpr std::size_t kM = 8;
+
+std::vector<double> test_offsets() {
+  return {0.0, 0.7, -1.1, 2.0, 0.3, -0.6, 1.4, -2.2};
+}
+
+rf::PropagationPath plane_path(double theta_deg, double amp) {
+  rf::PropagationPath p;
+  p.kind = rf::PathKind::kDirect;
+  p.vertices = {{-10, 0, 1}, {0, 0, 1}};
+  p.length = 10.0;
+  p.aoa = rf::deg2rad(theta_deg);
+  p.gain = {amp, 0.0};
+  return p;
+}
+
+/// K calibration measurements with known LoS angles and a given
+/// multipath amplitude ratio.
+std::vector<CalibrationMeasurement> make_measurements(
+    std::size_t k, double multipath_ratio, std::uint64_t seed) {
+  const rf::UniformLinearArray ula({0, 0, 1}, {1, 0}, kM);
+  rf::Rng rng(seed);
+  std::vector<CalibrationMeasurement> out;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double los_deg = 25.0 + 130.0 * static_cast<double>(i) /
+                                      std::max<std::size_t>(k - 1, 1);
+    std::vector<rf::PropagationPath> paths{plane_path(los_deg, 0.02)};
+    if (multipath_ratio > 0.0) {
+      paths.push_back(plane_path(
+          std::fmod(los_deg + 70.0, 170.0) + 5.0, 0.02 * multipath_ratio));
+    }
+    rf::SnapshotOptions opts;
+    opts.num_snapshots = 24;
+    opts.noise_sigma = rf::noise_sigma_for_snr(paths, 1.0, 30.0);
+    opts.port_phase_offsets = test_offsets();
+    CalibrationMeasurement m;
+    m.snapshots = rf::synthesize_snapshots(ula, paths, {}, opts, rng);
+    m.los_angle = rf::deg2rad(los_deg);
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+WirelessCalibrator default_calibrator() {
+  return WirelessCalibrator(rf::kDefaultElementSpacing,
+                            rf::kDefaultWavelength);
+}
+
+TEST(Calibration, ValidatesConstructionAndInput) {
+  EXPECT_THROW(WirelessCalibrator(0.0, 0.3), std::invalid_argument);
+  rf::Rng rng(1);
+  const WirelessCalibrator cal = default_calibrator();
+  EXPECT_THROW((void)cal.calibrate({}, rng), std::invalid_argument);
+}
+
+TEST(Calibration, CleanLosRecoversOffsets) {
+  rf::Rng rng(2);
+  const auto meas = make_measurements(6, 0.0, 11);
+  const CalibrationResult res = default_calibrator().calibrate(meas, rng);
+  ASSERT_EQ(res.offsets.size(), kM);
+  EXPECT_DOUBLE_EQ(res.offsets[0], 0.0);
+  EXPECT_LT(mean_phase_error(res.offsets, test_offsets()), 0.03);
+}
+
+TEST(Calibration, ToleratesModerateMultipath) {
+  rf::Rng rng(3);
+  const auto meas = make_measurements(8, 0.2, 13);
+  const CalibrationResult res = default_calibrator().calibrate(meas, rng);
+  // Paper Fig. 9: < 0.05 rad with >= 4 tags. Allow a little slack for a
+  // single seed.
+  EXPECT_LT(mean_phase_error(res.offsets, test_offsets()), 0.08);
+}
+
+TEST(Calibration, MoreTagsImproveAccuracy) {
+  rf::Rng rng1(5);
+  rf::Rng rng2(5);
+  const auto few = make_measurements(1, 0.25, 17);
+  const auto many = make_measurements(10, 0.25, 17);
+  const double err_few = mean_phase_error(
+      default_calibrator().calibrate(few, rng1).offsets, test_offsets());
+  const double err_many = mean_phase_error(
+      default_calibrator().calibrate(many, rng2).offsets, test_offsets());
+  EXPECT_LT(err_many, err_few + 0.02);
+}
+
+TEST(Calibration, InconsistentAntennaCountThrows) {
+  rf::Rng rng(1);
+  auto meas = make_measurements(2, 0.0, 19);
+  meas[1].snapshots = linalg::CMatrix(4, 8);
+  EXPECT_THROW((void)default_calibrator().calibrate(meas, rng),
+               std::invalid_argument);
+}
+
+TEST(Calibration, ObjectiveValidation) {
+  const WirelessCalibrator cal = default_calibrator();
+  const std::vector<linalg::CMatrix> empty;
+  const std::vector<double> angles;
+  const std::vector<double> tail(kM - 1, 0.0);
+  EXPECT_THROW((void)cal.objective(empty, angles, tail),
+               std::invalid_argument);
+}
+
+TEST(Calibration, ObjectiveMinimalAtTruth) {
+  // Build noise subspaces from clean single-path captures and check the
+  // objective is (much) smaller at the true offsets than at zero.
+  rf::Rng rng(7);
+  const auto meas = make_measurements(4, 0.0, 23);
+  std::vector<linalg::CMatrix> noise_subspaces;
+  std::vector<double> angles;
+  for (const auto& m : meas) {
+    const auto r = sample_correlation(m.snapshots);
+    const auto eig = linalg::hermitian_eig(r);
+    noise_subspaces.push_back(eig.eigenvectors.block(0, 1, kM, kM - 1));
+    angles.push_back(m.los_angle);
+  }
+  const WirelessCalibrator cal = default_calibrator();
+  const auto truth = test_offsets();
+  const std::vector<double> truth_tail(truth.begin() + 1, truth.end());
+  const std::vector<double> zero_tail(kM - 1, 0.0);
+  const double at_truth = cal.objective(noise_subspaces, angles, truth_tail);
+  const double at_zero = cal.objective(noise_subspaces, angles, zero_tail);
+  EXPECT_LT(at_truth, 0.05 * at_zero);
+}
+
+TEST(ApplyPhaseCorrection, RemovesInjectedOffsets) {
+  const rf::UniformLinearArray ula({0, 0, 1}, {1, 0}, kM);
+  const std::vector<rf::PropagationPath> paths{plane_path(70, 1.0)};
+  rf::SnapshotOptions clean_opts;
+  clean_opts.num_snapshots = 4;
+  clean_opts.noise_sigma = 0.0;
+  rf::Rng rng1(5);
+  const auto clean =
+      rf::synthesize_snapshots(ula, paths, {}, clean_opts, rng1);
+
+  rf::SnapshotOptions offset_opts = clean_opts;
+  offset_opts.port_phase_offsets = test_offsets();
+  rf::Rng rng2(5);
+  auto corrupted =
+      rf::synthesize_snapshots(ula, paths, {}, offset_opts, rng2);
+  apply_phase_correction(corrupted, test_offsets());
+  EXPECT_NEAR(corrupted.max_abs_diff(clean), 0.0, 1e-10);
+}
+
+TEST(ApplyPhaseCorrection, SizeMismatchThrows) {
+  linalg::CMatrix x(4, 2);
+  const std::vector<double> wrong(3, 0.0);
+  EXPECT_THROW(apply_phase_correction(x, wrong), std::invalid_argument);
+}
+
+TEST(MeanPhaseError, WrapsAndIgnoresReference) {
+  const std::vector<double> a{0.0, 3.0, -3.0};
+  const std::vector<double> b{99.0, -3.0, 3.0};  // ref element ignored
+  // Each tail error is |wrap(6.0)| = 2*pi - 6 ~ 0.2832.
+  EXPECT_NEAR(mean_phase_error(a, b), rf::kTwoPi - 6.0, 1e-9);
+  EXPECT_THROW((void)mean_phase_error(a, std::vector<double>{0.0, 1.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dwatch::core

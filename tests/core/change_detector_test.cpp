@@ -1,0 +1,127 @@
+// Tests for baseline-vs-online spectrum change detection.
+#include "core/change_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dwatch::core {
+namespace {
+
+AngularSpectrum gaussians(std::vector<std::pair<double, double>> peaks,
+                          std::size_t n = 361, double sigma = 0.05) {
+  AngularSpectrum s(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double theta = s.theta_at(i);
+    for (const auto& [mu, amp] : peaks) {
+      s[i] += amp * std::exp(-(theta - mu) * (theta - mu) /
+                             (2.0 * sigma * sigma));
+    }
+  }
+  return s;
+}
+
+TEST(ChangeDetector, ValidatesOptions) {
+  ChangeDetectorOptions bad;
+  bad.min_drop_fraction = 1.5;
+  EXPECT_THROW(SpectrumChangeDetector{bad}, std::invalid_argument);
+}
+
+TEST(ChangeDetector, SizeMismatchThrows) {
+  const SpectrumChangeDetector det;
+  EXPECT_THROW(
+      (void)det.detect(AngularSpectrum(100), AngularSpectrum(101)),
+      std::invalid_argument);
+}
+
+TEST(ChangeDetector, NoChangeNoDrops) {
+  const SpectrumChangeDetector det;
+  const AngularSpectrum s = gaussians({{1.0, 2.0}, {2.0, 1.0}});
+  EXPECT_TRUE(det.detect(s, s).empty());
+}
+
+TEST(ChangeDetector, DetectsSingleBlockedPath) {
+  const SpectrumChangeDetector det;
+  const AngularSpectrum base = gaussians({{1.0, 2.0}, {2.0, 1.5}});
+  const AngularSpectrum online = gaussians({{1.0, 2.0}, {2.0, 0.1}});
+  const auto drops = det.detect(base, online);
+  ASSERT_EQ(drops.size(), 1u);
+  EXPECT_NEAR(drops[0].theta, 2.0, 0.02);
+  EXPECT_NEAR(drops[0].drop_fraction, 1.0 - 0.1 / 1.5, 0.05);
+  EXPECT_NEAR(drops[0].baseline_power, 1.5, 0.05);
+}
+
+TEST(ChangeDetector, DetectsAllBlockedPaths) {
+  const SpectrumChangeDetector det;
+  const AngularSpectrum base =
+      gaussians({{0.8, 2.0}, {1.6, 1.5}, {2.4, 1.0}});
+  const AngularSpectrum online =
+      gaussians({{0.8, 0.2}, {1.6, 0.15}, {2.4, 0.1}});
+  EXPECT_EQ(det.detect(base, online).size(), 3u);
+}
+
+TEST(ChangeDetector, SmallDropBelowThresholdIgnored) {
+  ChangeDetectorOptions opts;
+  opts.min_drop_fraction = 0.5;
+  const SpectrumChangeDetector det(opts);
+  const AngularSpectrum base = gaussians({{1.5, 2.0}});
+  const AngularSpectrum online = gaussians({{1.5, 1.4}});  // 30% drop
+  EXPECT_TRUE(det.detect(base, online).empty());
+}
+
+TEST(ChangeDetector, RisesAreNotDrops) {
+  const SpectrumChangeDetector det;
+  const AngularSpectrum base = gaussians({{1.5, 1.0}});
+  const AngularSpectrum online = gaussians({{1.5, 3.0}});
+  EXPECT_TRUE(det.detect(base, online).empty());
+}
+
+TEST(ChangeDetector, WindowToleratesPeakWobble) {
+  ChangeDetectorOptions opts;
+  opts.angle_window = rf::deg2rad(2.0);
+  const SpectrumChangeDetector det(opts);
+  const AngularSpectrum base = gaussians({{1.5, 2.0}});
+  // Online peak shifted by 1 degree, same height: windowed max finds it.
+  const AngularSpectrum online =
+      gaussians({{1.5 + rf::deg2rad(1.0), 2.0}});
+  EXPECT_TRUE(det.detect(base, online).empty());
+}
+
+TEST(ChangeDetector, WindowedPowerIsLocalMax) {
+  const SpectrumChangeDetector det;
+  const AngularSpectrum s = gaussians({{1.0, 3.0}});
+  EXPECT_NEAR(det.windowed_power(s, 1.0), 3.0, 0.01);
+  EXPECT_LT(det.windowed_power(s, 2.5), 0.01);
+}
+
+TEST(ChangeDetector, DropFractionClampedToOne) {
+  const SpectrumChangeDetector det;
+  AngularSpectrum base = gaussians({{1.0, 1.0}});
+  AngularSpectrum online(base.size());
+  // Slightly negative floor could push fraction over 1; must clamp.
+  const auto drops = det.detect(base, online);
+  ASSERT_EQ(drops.size(), 1u);
+  EXPECT_LE(drops[0].drop_fraction, 1.0);
+}
+
+/// Sweep the residual amplitude: drop fraction tracks 1 - residual^2.
+class DropFractionSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DropFractionSweep, FractionMatchesResidual) {
+  const double residual = GetParam();
+  ChangeDetectorOptions opts;
+  opts.min_drop_fraction = 0.0;
+  const SpectrumChangeDetector det(opts);
+  const AngularSpectrum base = gaussians({{1.2, 2.0}});
+  const AngularSpectrum online =
+      gaussians({{1.2, 2.0 * residual * residual}});
+  const auto drops = det.detect(base, online);
+  ASSERT_FALSE(drops.empty());
+  EXPECT_NEAR(drops[0].drop_fraction, 1.0 - residual * residual, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Residuals, DropFractionSweep,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.7, 0.9));
+
+}  // namespace
+}  // namespace dwatch::core

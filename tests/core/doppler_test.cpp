@@ -1,0 +1,146 @@
+// Tests for the Doppler speed estimator (paper Section 8 hook).
+#include "core/doppler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rf/constants.hpp"
+#include "rf/geometry.hpp"
+#include "rf/noise.hpp"
+
+namespace dwatch::core {
+namespace {
+
+std::vector<linalg::Complex> tone(double freq_hz, double dt, std::size_t n,
+                                  double amp = 1.0, double noise = 0.0,
+                                  std::uint64_t seed = 1) {
+  rf::Rng rng(seed);
+  std::vector<linalg::Complex> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) * dt;
+    linalg::Complex z = std::polar(amp, -rf::kTwoPi * freq_hz * t);
+    if (noise > 0.0) z += rng.complex_gaussian(noise);
+    out.push_back(z);
+  }
+  return out;
+}
+
+TEST(Unwrap, RemovesJumps) {
+  const std::vector<double> wrapped{3.0, -3.0, 2.9, -2.9};
+  const auto u = unwrap_phases(wrapped);
+  for (std::size_t i = 1; i < u.size(); ++i) {
+    EXPECT_LT(std::abs(u[i] - u[i - 1]), rf::kPi);
+  }
+}
+
+TEST(Unwrap, MonotoneRampPreserved) {
+  std::vector<double> wrapped;
+  for (int i = 0; i < 40; ++i) {
+    wrapped.push_back(rf::wrap_pi(0.4 * i));
+  }
+  const auto u = unwrap_phases(wrapped);
+  for (std::size_t i = 1; i < u.size(); ++i) {
+    EXPECT_NEAR(u[i] - u[i - 1], 0.4, 1e-9);
+  }
+}
+
+TEST(Doppler, ValidatesOptions) {
+  DopplerOptions bad;
+  bad.dt = 0.0;
+  const auto series = tone(1.0, 0.1, 8);
+  EXPECT_THROW((void)estimate_doppler(series, bad), std::invalid_argument);
+}
+
+TEST(Doppler, TooFewSamplesInvalid) {
+  DopplerOptions opts;
+  const auto series = tone(1.0, 0.1, 2);
+  EXPECT_FALSE(estimate_doppler(series, opts).valid);
+}
+
+TEST(Doppler, CleanToneFrequency) {
+  DopplerOptions opts;
+  opts.dt = 0.1;
+  const auto series = tone(2.0, opts.dt, 20);
+  const DopplerEstimate est = estimate_doppler(series, opts);
+  ASSERT_TRUE(est.valid);
+  EXPECT_NEAR(est.frequency_hz, 2.0, 0.01);
+}
+
+TEST(Doppler, SpeedConversionOneWay) {
+  // Walking toward the array at 1 m/s shortens the path at 1 m/s:
+  // f_d = v / lambda.
+  DopplerOptions opts;
+  opts.dt = 0.05;
+  opts.lambda = 0.325;
+  const double v = 1.2;
+  const auto series = tone(v / opts.lambda, opts.dt, 24);
+  const DopplerEstimate est = estimate_doppler(series, opts);
+  ASSERT_TRUE(est.valid);
+  EXPECT_NEAR(est.speed_mps, v, 0.02);
+}
+
+TEST(Doppler, TwoWayHalvesSpeed) {
+  DopplerOptions one;
+  one.dt = 0.05;
+  DopplerOptions two = one;
+  two.two_way = true;
+  const auto series = tone(4.0, one.dt, 24);
+  const auto e1 = estimate_doppler(series, one);
+  const auto e2 = estimate_doppler(series, two);
+  ASSERT_TRUE(e1.valid);
+  ASSERT_TRUE(e2.valid);
+  EXPECT_NEAR(e2.speed_mps, e1.speed_mps / 2.0, 1e-9);
+}
+
+TEST(Doppler, NoisyToneStillAccurate) {
+  DopplerOptions opts;
+  opts.dt = 0.1;
+  const auto series = tone(1.5, opts.dt, 40, 1.0, 0.15, 7);
+  const DopplerEstimate est = estimate_doppler(series, opts);
+  ASSERT_TRUE(est.valid);
+  EXPECT_NEAR(est.frequency_hz, 1.5, 0.1);
+}
+
+TEST(Doppler, FadedSamplesSkipped) {
+  DopplerOptions opts;
+  opts.dt = 0.1;
+  auto series = tone(1.0, opts.dt, 20);
+  series[5] = {1e-9, 0.0};   // deep fade: phase garbage
+  series[12] = {0.0, 0.0};
+  const DopplerEstimate est = estimate_doppler(series, opts);
+  ASSERT_TRUE(est.valid);
+  EXPECT_EQ(est.samples_used, 18u);
+  EXPECT_NEAR(est.frequency_hz, 1.0, 0.02);
+}
+
+TEST(Doppler, StaticTargetZeroSpeed) {
+  DopplerOptions opts;
+  opts.dt = 0.1;
+  const auto series = tone(0.0, opts.dt, 16, 1.0, 0.02, 3);
+  const DopplerEstimate est = estimate_doppler(series, opts);
+  ASSERT_TRUE(est.valid);
+  EXPECT_NEAR(est.speed_mps, 0.0, 0.05);
+}
+
+/// The paper's walking-speed range at epoch rate 10 Hz: 1-2 m/s gives
+/// |f_d| up to ~6 Hz — within the 5 Hz Nyquist only for one-way... sweep
+/// the representable range.
+class DopplerSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DopplerSweep, RecoversFrequency) {
+  const double f = GetParam();
+  DopplerOptions opts;
+  opts.dt = 0.05;  // 20 Hz epochs: Nyquist 10 Hz
+  const auto series = tone(f, opts.dt, 30);
+  const DopplerEstimate est = estimate_doppler(series, opts);
+  ASSERT_TRUE(est.valid);
+  EXPECT_NEAR(est.frequency_hz, f, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Freqs, DopplerSweep,
+                         ::testing::Values(-8.0, -3.0, -0.5, 0.5, 3.0,
+                                           6.0, 9.0));
+
+}  // namespace
+}  // namespace dwatch::core

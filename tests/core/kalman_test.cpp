@@ -1,0 +1,132 @@
+// Tests for the constant-velocity Kalman tracker.
+#include "core/kalman.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rf/noise.hpp"
+
+namespace dwatch::core {
+namespace {
+
+TEST(Kalman, ValidatesOptions) {
+  KalmanOptions bad;
+  bad.dt = 0.0;
+  EXPECT_THROW(KalmanTracker{bad}, std::invalid_argument);
+  bad = KalmanOptions{};
+  bad.measurement_sigma = 0.0;
+  EXPECT_THROW(KalmanTracker{bad}, std::invalid_argument);
+}
+
+TEST(Kalman, FirstMeasurementInitializes) {
+  KalmanTracker kf;
+  EXPECT_FALSE(kf.initialized());
+  const rf::Vec2 p = kf.update({2.0, 3.0});
+  EXPECT_TRUE(kf.initialized());
+  EXPECT_EQ(p, (rf::Vec2{2.0, 3.0}));
+}
+
+TEST(Kalman, ConvergesToConstantVelocity) {
+  KalmanOptions opts;
+  opts.dt = 0.1;
+  KalmanTracker kf(opts);
+  for (int k = 0; k < 60; ++k) {
+    (void)kf.update({0.08 * k, 1.0 - 0.03 * k});
+  }
+  EXPECT_NEAR(kf.velocity().x, 0.8, 0.05);
+  EXPECT_NEAR(kf.velocity().y, -0.3, 0.05);
+}
+
+TEST(Kalman, SmoothsNoiseBelowMeasurementSigma) {
+  KalmanOptions opts;
+  opts.dt = 0.1;
+  opts.measurement_sigma = 0.15;
+  opts.process_accel = 0.5;
+  KalmanTracker kf(opts);
+  rf::Rng rng(9);
+  double err_sum = 0.0;
+  int count = 0;
+  for (int k = 0; k < 200; ++k) {
+    const rf::Vec2 truth{1.0 + 0.05 * k, 2.0};
+    const rf::Vec2 meas{truth.x + rng.normal(0.0, 0.15),
+                        truth.y + rng.normal(0.0, 0.15)};
+    const rf::Vec2 est = kf.update(meas);
+    if (k > 30) {
+      err_sum += rf::distance(est, truth);
+      ++count;
+    }
+  }
+  // Mean filtered error comfortably below the raw measurement noise
+  // (raw mean error of 2-D N(0, 0.15 I) is ~0.19 m).
+  EXPECT_LT(err_sum / count, 0.13);
+}
+
+TEST(Kalman, CoastingGrowsUncertainty) {
+  KalmanOptions opts;
+  opts.dt = 0.1;
+  KalmanTracker kf(opts);
+  for (int k = 0; k < 20; ++k) (void)kf.update({0.05 * k, 0.0});
+  const double sigma_before = kf.position_sigma();
+  ASSERT_TRUE(kf.coast().has_value());
+  ASSERT_TRUE(kf.coast().has_value());
+  EXPECT_GT(kf.position_sigma(), sigma_before);
+  // And an update shrinks it again.
+  (void)kf.update({0.05 * 22, 0.0});
+  EXPECT_LT(kf.position_sigma(), kf.position_sigma() + 1.0);
+  EXPECT_EQ(kf.consecutive_misses(), 0u);
+}
+
+TEST(Kalman, CoastPredictsAlongVelocity) {
+  KalmanOptions opts;
+  opts.dt = 0.1;
+  KalmanTracker kf(opts);
+  for (int k = 0; k < 40; ++k) (void)kf.update({0.1 * k, 1.0});
+  const double x_before = kf.position().x;
+  const auto coasted = kf.coast();
+  ASSERT_TRUE(coasted.has_value());
+  EXPECT_NEAR(coasted->x - x_before, 0.1, 0.03);
+}
+
+TEST(Kalman, GateRejectsOutlierButTrackSurvives) {
+  KalmanOptions opts;
+  opts.dt = 0.1;
+  opts.gate_sigmas = 3.0;
+  KalmanTracker kf(opts);
+  for (int k = 0; k < 30; ++k) (void)kf.update({1.0, 1.0});
+  const rf::Vec2 est = kf.update({9.0, 9.0});
+  EXPECT_NEAR(est.x, 1.0, 0.2);
+  EXPECT_EQ(kf.consecutive_misses(), 1u);
+  // Subsequent good measurement re-locks.
+  (void)kf.update({1.0, 1.0});
+  EXPECT_EQ(kf.consecutive_misses(), 0u);
+}
+
+TEST(Kalman, TooManyMissesResets) {
+  KalmanOptions opts;
+  opts.max_coast = 2;
+  KalmanTracker kf(opts);
+  (void)kf.update({1.0, 1.0});
+  EXPECT_TRUE(kf.coast().has_value());
+  EXPECT_TRUE(kf.coast().has_value());
+  EXPECT_FALSE(kf.coast().has_value());
+  EXPECT_FALSE(kf.initialized());
+}
+
+TEST(Kalman, UncertaintyAwareGateAcceptsAfterLongCoast) {
+  // After coasting, the grown covariance must widen the gate so the
+  // track can re-acquire a target that kept moving.
+  KalmanOptions opts;
+  opts.dt = 0.1;
+  opts.gate_sigmas = 3.0;
+  KalmanTracker kf(opts);
+  for (int k = 0; k < 30; ++k) (void)kf.update({0.1 * k, 0.0});
+  for (int k = 0; k < 6; ++k) (void)kf.coast();
+  // Re-acquire 0.5 m from the prediction: inside the widened gate.
+  const rf::Vec2 pred = kf.position();
+  (void)kf.update({pred.x + 0.5, 0.2});
+  EXPECT_EQ(kf.consecutive_misses(), 0u);
+}
+
+}  // namespace
+}  // namespace dwatch::core

@@ -1,0 +1,176 @@
+// Tests for the MUSIC estimator: angle recovery, coherent-source
+// handling via spatial smoothing, and option validation.
+#include "core/music.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rf/array.hpp"
+#include "rf/noise.hpp"
+#include "rf/snapshot.hpp"
+
+namespace dwatch::core {
+namespace {
+
+rf::PropagationPath plane_path(double theta_deg, double amp) {
+  rf::PropagationPath p;
+  p.kind = rf::PathKind::kDirect;
+  p.vertices = {{-10, 0, 1}, {0, 0, 1}};
+  p.length = 10.0;
+  p.aoa = rf::deg2rad(theta_deg);
+  p.gain = {amp, 0.0};
+  return p;
+}
+
+linalg::CMatrix snapshots_for(const std::vector<rf::PropagationPath>& paths,
+                              std::uint64_t seed = 11, double snr_db = 35.0,
+                              std::size_t n = 32, std::size_t m = 8) {
+  const rf::UniformLinearArray ula({0, 0, 1}, {1, 0}, m);
+  rf::SnapshotOptions opts;
+  opts.num_snapshots = n;
+  opts.noise_sigma = rf::noise_sigma_for_snr(paths, 1.0, snr_db);
+  rf::Rng rng(seed);
+  return rf::synthesize_snapshots(ula, paths, {}, opts, rng);
+}
+
+MusicEstimator default_music(MusicOptions opts = {}) {
+  return MusicEstimator(rf::kDefaultElementSpacing, rf::kDefaultWavelength,
+                        opts);
+}
+
+TEST(Music, ValidatesConstruction) {
+  EXPECT_THROW(MusicEstimator(0.0, 0.3), std::invalid_argument);
+  EXPECT_THROW(MusicEstimator(0.16, -1.0), std::invalid_argument);
+}
+
+TEST(Music, ValidatesInputs) {
+  const MusicEstimator music = default_music();
+  EXPECT_THROW((void)music.estimate_from_correlation(linalg::CMatrix(2, 3),
+                                                     8),
+               std::invalid_argument);
+  MusicOptions bad;
+  bad.subarray = 12;  // > M
+  const MusicEstimator music2 = default_music(bad);
+  const auto x = snapshots_for({plane_path(90, 1.0)});
+  EXPECT_THROW((void)music2.estimate(x), std::invalid_argument);
+}
+
+TEST(Music, SingleSourceExactAngle) {
+  const double truth = 72.0;
+  const auto x = snapshots_for({plane_path(truth, 1.0)});
+  const MusicResult res = default_music().estimate(x);
+  EXPECT_EQ(res.num_sources, 1u);
+  const auto peaks = find_peaks(res.spectrum);
+  ASSERT_FALSE(peaks.empty());
+  EXPECT_NEAR(rf::rad2deg(peaks[0].theta), truth, 1.0);
+}
+
+TEST(Music, CoherentPairResolvedViaSmoothing) {
+  const auto x =
+      snapshots_for({plane_path(50, 1.0), plane_path(115, 0.8)});
+  const MusicResult res = default_music().estimate(x);
+  PeakOptions po;
+  po.max_peaks = 2;
+  const auto peaks = find_peaks(res.spectrum, po);
+  ASSERT_EQ(peaks.size(), 2u);
+  std::vector<double> angles{rf::rad2deg(peaks[0].theta),
+                             rf::rad2deg(peaks[1].theta)};
+  std::sort(angles.begin(), angles.end());
+  EXPECT_NEAR(angles[0], 50.0, 2.0);
+  EXPECT_NEAR(angles[1], 115.0, 2.0);
+}
+
+TEST(Music, WithoutSmoothingCoherentPairMerges) {
+  MusicOptions opts;
+  opts.subarray = 8;  // no smoothing
+  const auto x =
+      snapshots_for({plane_path(50, 1.0), plane_path(115, 0.9)});
+  const MusicResult res = default_music(opts).estimate(x);
+  // Coherent sources: rank-1 signal subspace — MUSIC sees one source.
+  EXPECT_EQ(res.num_sources, 1u);
+}
+
+TEST(Music, SubspaceDimensionsConsistent) {
+  const auto x = snapshots_for({plane_path(60, 1.0)});
+  const MusicResult res = default_music().estimate(x);
+  EXPECT_EQ(res.subarray, 6u);  // default for M=8
+  EXPECT_EQ(res.noise_subspace.rows(), 6u);
+  EXPECT_EQ(res.signal_subspace.cols(), res.num_sources);
+  EXPECT_EQ(res.noise_subspace.cols() + res.signal_subspace.cols(), 6u);
+  EXPECT_EQ(res.eigenvalues.size(), 6u);
+}
+
+TEST(Music, SpectrumPeakDominatesFloor) {
+  const auto x = snapshots_for({plane_path(85, 1.0)});
+  const MusicResult res = default_music().estimate(x);
+  const double peak = res.spectrum.value_at(rf::deg2rad(85));
+  const double floor = res.spectrum.value_at(rf::deg2rad(30));
+  EXPECT_GT(peak, 50.0 * floor);
+}
+
+TEST(Music, ForwardOnlySmoothingAlsoWorks) {
+  MusicOptions opts;
+  opts.forward_backward = false;
+  opts.subarray = 5;
+  const auto x =
+      snapshots_for({plane_path(45, 1.0), plane_path(130, 0.8)});
+  const MusicResult res = default_music(opts).estimate(x);
+  PeakOptions po;
+  po.max_peaks = 2;
+  const auto peaks = find_peaks(res.spectrum, po);
+  ASSERT_EQ(peaks.size(), 2u);
+}
+
+/// Angle sweep: single source recovered across the usable field of view.
+class MusicAngleSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MusicAngleSweep, RecoversAngle) {
+  const double truth = GetParam();
+  const auto x = snapshots_for({plane_path(truth, 1.0)}, 17);
+  const MusicResult res = default_music().estimate(x);
+  const auto peaks = find_peaks(res.spectrum);
+  ASSERT_FALSE(peaks.empty());
+  EXPECT_NEAR(rf::rad2deg(peaks[0].theta), truth, 1.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, MusicAngleSweep,
+                         ::testing::Values(20.0, 40.0, 60.0, 75.0, 90.0,
+                                           105.0, 125.0, 150.0, 165.0));
+
+/// SNR sweep: angle error grows as SNR falls but stays bounded above
+/// 10 dB.
+class MusicSnrSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MusicSnrSweep, BoundedErrorDownToModerateSnr) {
+  const double snr = GetParam();
+  const auto x = snapshots_for({plane_path(70, 1.0)}, 23, snr);
+  const MusicResult res = default_music().estimate(x);
+  const auto peaks = find_peaks(res.spectrum);
+  ASSERT_FALSE(peaks.empty());
+  EXPECT_NEAR(rf::rad2deg(peaks[0].theta), 70.0, snr >= 20.0 ? 1.5 : 4.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Snrs, MusicSnrSweep,
+                         ::testing::Values(10.0, 15.0, 20.0, 30.0, 40.0));
+
+TEST(Music, ThreeCoherentSourcesResolved) {
+  const auto x = snapshots_for(
+      {plane_path(40, 1.0), plane_path(90, 0.9), plane_path(140, 0.8)}, 31,
+      35.0, 48);
+  const MusicResult res = default_music().estimate(x);
+  PeakOptions po;
+  po.max_peaks = 3;
+  po.min_relative_height = 0.01;
+  const auto peaks = find_peaks(res.spectrum, po);
+  ASSERT_EQ(peaks.size(), 3u);
+  std::vector<double> angles;
+  for (const auto& p : peaks) angles.push_back(rf::rad2deg(p.theta));
+  std::sort(angles.begin(), angles.end());
+  EXPECT_NEAR(angles[0], 40.0, 3.0);
+  EXPECT_NEAR(angles[1], 90.0, 3.0);
+  EXPECT_NEAR(angles[2], 140.0, 3.0);
+}
+
+}  // namespace
+}  // namespace dwatch::core

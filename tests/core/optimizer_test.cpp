@@ -1,0 +1,174 @@
+// Tests for the GA / gradient-descent / hybrid optimizers.
+#include "core/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dwatch::core {
+namespace {
+
+double sphere(std::span<const double> x) {
+  double s = 0.0;
+  for (const double v : x) s += (v - 0.3) * (v - 0.3);
+  return s;
+}
+
+/// Multimodal 1-D-ish function with global minimum at 0.7 in each dim.
+double wavy(std::span<const double> x) {
+  double s = 0.0;
+  for (const double v : x) {
+    s += (v - 0.7) * (v - 0.7) + 0.1 * (1.0 - std::cos(8.0 * (v - 0.7)));
+  }
+  return s;
+}
+
+TEST(GradientDescent, QuadraticConverges) {
+  GdOptions opts;
+  const OptResult res =
+      gradient_descent_minimize(sphere, {5.0, -3.0, 2.0}, opts);
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(res.value, 0.0, 1e-8);
+  for (const double v : res.x) EXPECT_NEAR(v, 0.3, 1e-4);
+}
+
+TEST(GradientDescent, EmptyStartThrows) {
+  EXPECT_THROW((void)gradient_descent_minimize(sphere, {}, GdOptions{}),
+               std::invalid_argument);
+}
+
+TEST(GradientDescent, AlreadyAtMinimumStaysPut) {
+  const OptResult res =
+      gradient_descent_minimize(sphere, {0.3, 0.3}, GdOptions{});
+  EXPECT_NEAR(res.value, 0.0, 1e-12);
+  EXPECT_TRUE(res.converged);
+}
+
+TEST(GradientDescent, CountsEvaluations) {
+  const OptResult res =
+      gradient_descent_minimize(sphere, {2.0}, GdOptions{});
+  EXPECT_GT(res.evaluations, 2u);
+}
+
+TEST(Genetic, ValidatesBounds) {
+  rf::Rng rng(1);
+  GaOptions opts;
+  const std::vector<double> lo{0.0};
+  const std::vector<double> hi_bad{0.0};
+  EXPECT_THROW((void)genetic_minimize(sphere, lo, hi_bad, opts, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)genetic_minimize(sphere, {}, {}, opts, rng),
+               std::invalid_argument);
+  GaOptions tiny;
+  tiny.population = 2;
+  const std::vector<double> hi{1.0};
+  EXPECT_THROW((void)genetic_minimize(sphere, lo, hi, tiny, rng),
+               std::invalid_argument);
+}
+
+TEST(Genetic, FindsSphereMinimumApproximately) {
+  rf::Rng rng(7);
+  GaOptions opts;
+  const std::vector<double> lo(3, -2.0);
+  const std::vector<double> hi(3, 2.0);
+  const OptResult res = genetic_minimize(sphere, lo, hi, opts, rng);
+  EXPECT_LT(res.value, 0.05);
+}
+
+TEST(Genetic, RespectsBounds) {
+  rf::Rng rng(9);
+  GaOptions opts;
+  opts.generations = 10;
+  const std::vector<double> lo(2, -1.0);
+  const std::vector<double> hi(2, 1.0);
+  // Minimum of sphere is at 0.3, inside bounds; just check outputs are in
+  // range even with aggressive mutation.
+  opts.mutation_sigma = 0.5;
+  opts.periodic = false;
+  const OptResult res = genetic_minimize(sphere, lo, hi, opts, rng);
+  for (const double v : res.x) {
+    EXPECT_GE(v, -1.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(Genetic, DeterministicGivenSeed) {
+  GaOptions opts;
+  const std::vector<double> lo(2, -2.0);
+  const std::vector<double> hi(2, 2.0);
+  rf::Rng a(55);
+  rf::Rng b(55);
+  const OptResult ra = genetic_minimize(sphere, lo, hi, opts, a);
+  const OptResult rb = genetic_minimize(sphere, lo, hi, opts, b);
+  EXPECT_DOUBLE_EQ(ra.value, rb.value);
+  EXPECT_EQ(ra.x, rb.x);
+}
+
+TEST(Hybrid, RefinementBeatsGaAlone) {
+  const std::vector<double> lo(4, -2.0);
+  const std::vector<double> hi(4, 2.0);
+  GaOptions ga;
+  ga.generations = 25;
+  rf::Rng rng1(3);
+  const OptResult ga_only = genetic_minimize(wavy, lo, hi, ga, rng1);
+  HybridOptions hybrid;
+  hybrid.ga = ga;
+  rf::Rng rng2(3);
+  const OptResult refined = hybrid_minimize(wavy, lo, hi, hybrid, rng2);
+  EXPECT_LE(refined.value, ga_only.value + 1e-12);
+  EXPECT_LT(refined.value, 0.01);
+  for (const double v : refined.x) EXPECT_NEAR(v, 0.7, 0.05);
+}
+
+TEST(Hybrid, WorksOnOneDimension) {
+  HybridOptions opts;
+  const std::vector<double> lo{-3.0};
+  const std::vector<double> hi{3.0};
+  rf::Rng rng(21);
+  const OptResult res = hybrid_minimize(sphere, lo, hi, opts, rng);
+  EXPECT_NEAR(res.x[0], 0.3, 1e-3);
+}
+
+/// Dimension sweep for the hybrid solver (the calibration problem size is
+/// M-1 = 3..15).
+class HybridDimSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HybridDimSweep, SolvesAcrossDimensions) {
+  const int dim = GetParam();
+  HybridOptions opts;
+  const std::vector<double> lo(dim, -2.0);
+  const std::vector<double> hi(dim, 2.0);
+  rf::Rng rng(100 + dim);
+  const OptResult res = hybrid_minimize(sphere, lo, hi, opts, rng);
+  EXPECT_LT(res.value, 1e-4) << "dim " << dim;
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, HybridDimSweep,
+                         ::testing::Values(1, 3, 5, 7, 15));
+
+TEST(Genetic, PeriodicWrapKeepsValuesInBox) {
+  // Periodic phases: mutations near the boundary must wrap, not clamp.
+  rf::Rng rng(5);
+  GaOptions opts;
+  opts.periodic = true;
+  opts.mutation_sigma = 0.4;
+  opts.generations = 15;
+  const std::vector<double> lo(3, -3.14159);
+  const std::vector<double> hi(3, 3.14159);
+  const OptResult res = genetic_minimize(
+      [](std::span<const double> x) {
+        double s = 0.0;
+        // Periodic objective: minimum at +-pi (the seam).
+        for (const double v : x) s += 1.0 + std::cos(v);
+        return s;
+      },
+      lo, hi, opts, rng);
+  EXPECT_LT(res.value, 0.05);
+  for (const double v : res.x) {
+    EXPECT_GE(v, -3.1416);
+    EXPECT_LE(v, 3.1416);
+  }
+}
+
+}  // namespace
+}  // namespace dwatch::core

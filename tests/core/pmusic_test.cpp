@@ -1,0 +1,160 @@
+// Tests for P-MUSIC: honest per-path power + MUSIC angular resolution
+// (paper Section 4.2).
+#include "core/pmusic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/covariance.hpp"
+#include "rf/array.hpp"
+#include "rf/noise.hpp"
+#include "rf/snapshot.hpp"
+
+namespace dwatch::core {
+namespace {
+
+rf::PropagationPath plane_path(double theta_deg, double amp) {
+  rf::PropagationPath p;
+  p.kind = rf::PathKind::kDirect;
+  p.vertices = {{-10, 0, 1}, {0, 0, 1}};
+  p.length = 10.0;
+  p.aoa = rf::deg2rad(theta_deg);
+  p.gain = {amp, 0.0};
+  return p;
+}
+
+linalg::CMatrix snapshots_for(const std::vector<rf::PropagationPath>& paths,
+                              std::uint64_t seed = 4, double snr_db = 35.0) {
+  const rf::UniformLinearArray ula({0, 0, 1}, {1, 0}, 8);
+  rf::SnapshotOptions opts;
+  opts.num_snapshots = 32;
+  opts.noise_sigma = rf::noise_sigma_for_snr(paths, 1.0, snr_db);
+  rf::Rng rng(seed);
+  return rf::synthesize_snapshots(ula, paths, {}, opts, rng);
+}
+
+PMusicEstimator default_pmusic() {
+  return PMusicEstimator(rf::kDefaultElementSpacing, rf::kDefaultWavelength);
+}
+
+TEST(PMusic, ValidatesConstruction) {
+  EXPECT_THROW(PMusicEstimator(-1.0, 0.3), std::invalid_argument);
+}
+
+TEST(PMusic, PowerSpectrumValidatesInput) {
+  const PMusicEstimator pm = default_pmusic();
+  EXPECT_THROW((void)pm.power_spectrum(linalg::CMatrix(3, 4)),
+               std::invalid_argument);
+}
+
+TEST(PMusic, SinglePathPowerEqualsGainSquared) {
+  // The headline property: Omega at the peak estimates |s_p|^2.
+  const double amp = 0.037;
+  const auto x = snapshots_for({plane_path(64, amp)});
+  const PMusicResult res = default_pmusic().estimate(x);
+  EXPECT_NEAR(res.omega.value_at(rf::deg2rad(64)), amp * amp,
+              0.1 * amp * amp);
+}
+
+TEST(PMusic, TwoPathPowersBothHonest) {
+  const double a1 = 0.02;
+  const double a2 = 0.008;
+  const auto x =
+      snapshots_for({plane_path(55, a1), plane_path(125, a2)});
+  const PMusicResult res = default_pmusic().estimate(x);
+  EXPECT_NEAR(res.omega.value_at(rf::deg2rad(55)), a1 * a1, 0.25 * a1 * a1);
+  // The weak path's estimate also collects Bartlett sidelobe leakage from
+  // the strong path (~ -13 dB of a1^2), so bound it from both sides
+  // rather than demanding exactness.
+  const double weak = res.omega.value_at(rf::deg2rad(125));
+  EXPECT_GT(weak, 0.5 * a2 * a2);
+  EXPECT_LT(weak, a2 * a2 + 0.2 * a1 * a1);
+}
+
+TEST(PMusic, PowerRatioPreserved) {
+  // MUSIC peak heights do NOT preserve the power ratio; Omega must.
+  const auto x =
+      snapshots_for({plane_path(50, 1.0), plane_path(120, 0.5)});
+  const PMusicResult res = default_pmusic().estimate(x);
+  const double r_omega = res.omega.value_at(rf::deg2rad(50)) /
+                         res.omega.value_at(rf::deg2rad(120));
+  EXPECT_NEAR(r_omega, 4.0, 1.2);  // power ratio (1.0/0.5)^2
+}
+
+TEST(PMusic, NormalizedMusicPeaksAreUnit) {
+  const auto x =
+      snapshots_for({plane_path(60, 1.0), plane_path(110, 0.6)});
+  const PMusicResult res = default_pmusic().estimate(x);
+  PeakOptions po;
+  po.max_peaks = 2;
+  for (const Peak& p : find_peaks(res.music_nor, po)) {
+    EXPECT_NEAR(p.value, 1.0, 0.05);
+  }
+}
+
+TEST(PMusic, OmegaIsProductOfComponents) {
+  const auto x = snapshots_for({plane_path(75, 1.0)});
+  const PMusicResult res = default_pmusic().estimate(x);
+  for (std::size_t i = 0; i < res.omega.size(); i += 17) {
+    EXPECT_NEAR(res.omega[i], res.power[i] * res.music_nor[i], 1e-12);
+  }
+}
+
+TEST(PMusic, PowerSpectrumEqualsBeamformerQuadraticForm) {
+  const auto x = snapshots_for({plane_path(80, 0.5)});
+  const linalg::CMatrix r = sample_correlation(x);
+  const PMusicEstimator pm = default_pmusic();
+  const AngularSpectrum pb = pm.power_spectrum(r);
+  // Hand-computed Bartlett at one angle.
+  const double theta = rf::deg2rad(80);
+  const linalg::CVector a = rf::steering_vector(
+      8, theta, rf::kDefaultElementSpacing, rf::kDefaultWavelength);
+  const linalg::Complex quad =
+      linalg::inner_product(a, linalg::matvec(r, a));
+  EXPECT_NEAR(pb.value_at(theta), quad.real() / 64.0,
+              1e-6 * std::abs(quad.real()));
+}
+
+TEST(PMusic, BlockedPathPowerDropsOnlyAtItsAngle) {
+  // The Fig. 12 behaviour: attenuate one of two paths and compare.
+  const std::vector<rf::PropagationPath> paths{plane_path(55, 0.02),
+                                               plane_path(125, 0.02)};
+  const rf::UniformLinearArray ula({0, 0, 1}, {1, 0}, 8);
+  rf::SnapshotOptions opts;
+  opts.num_snapshots = 32;
+  opts.noise_sigma = rf::noise_sigma_for_snr(paths, 1.0, 35.0);
+  rf::Rng rng1(5);
+  rf::Rng rng2(5);
+  const auto base = rf::synthesize_snapshots(ula, paths, {}, opts, rng1);
+  const std::vector<double> blocked_scale{1.0, 0.25};
+  const auto blocked =
+      rf::synthesize_snapshots(ula, paths, blocked_scale, opts, rng2);
+
+  const PMusicEstimator pm = default_pmusic();
+  const auto omega_base = pm.estimate(base).omega;
+  const auto power_online =
+      pm.power_spectrum(sample_correlation(blocked));
+
+  const double unblocked_ratio = power_online.value_at(rf::deg2rad(55)) /
+                                 omega_base.value_at(rf::deg2rad(55));
+  const double blocked_ratio = power_online.value_at(rf::deg2rad(125)) /
+                               omega_base.value_at(rf::deg2rad(125));
+  EXPECT_GT(unblocked_ratio, 0.7);   // unchanged peak stays put
+  EXPECT_LT(blocked_ratio, 0.3);     // blocked peak clearly drops
+}
+
+/// Amplitude sweep: power estimation stays within 20% across a dynamic
+/// range of path amplitudes.
+class PMusicAmplitudeSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PMusicAmplitudeSweep, HonestPower) {
+  const double amp = GetParam();
+  const auto x = snapshots_for({plane_path(72, amp)}, 29);
+  const PMusicResult res = default_pmusic().estimate(x);
+  EXPECT_NEAR(res.omega.value_at(rf::deg2rad(72)) / (amp * amp), 1.0, 0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Amps, PMusicAmplitudeSweep,
+                         ::testing::Values(1e-3, 1e-2, 0.1, 1.0, 10.0));
+
+}  // namespace
+}  // namespace dwatch::core

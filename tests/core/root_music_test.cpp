@@ -1,0 +1,148 @@
+// Tests for polynomial rooting and the root-MUSIC estimator.
+#include "core/root_music.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/music.hpp"
+#include "core/polynomial.hpp"
+#include "rf/array.hpp"
+#include "rf/noise.hpp"
+#include "rf/snapshot.hpp"
+
+namespace dwatch::core {
+namespace {
+
+using linalg::Complex;
+
+TEST(Polynomial, EvaluateHorner) {
+  // p(z) = 1 + 2z + 3z^2 at z = 2 -> 1 + 4 + 12 = 17.
+  const std::vector<Complex> p{Complex{1}, Complex{2}, Complex{3}};
+  EXPECT_NEAR(std::abs(evaluate_polynomial(p, Complex{2}) - Complex{17.0}),
+              0.0, 1e-12);
+}
+
+TEST(Polynomial, QuadraticRoots) {
+  // z^2 - 3z + 2 = (z-1)(z-2).
+  const std::vector<Complex> p{Complex{2}, Complex{-3}, Complex{1}};
+  auto roots = find_roots(p);
+  ASSERT_EQ(roots.size(), 2u);
+  std::sort(roots.begin(), roots.end(),
+            [](Complex a, Complex b) { return a.real() < b.real(); });
+  EXPECT_NEAR(std::abs(roots[0] - Complex{1.0}), 0.0, 1e-8);
+  EXPECT_NEAR(std::abs(roots[1] - Complex{2.0}), 0.0, 1e-8);
+}
+
+TEST(Polynomial, ComplexRootsOnUnitCircle) {
+  // z^4 - 1: roots at 1, -1, i, -i.
+  const std::vector<Complex> p{Complex{-1}, {}, {}, {}, Complex{1}};
+  const auto roots = find_roots(p);
+  ASSERT_EQ(roots.size(), 4u);
+  for (const Complex z : roots) {
+    EXPECT_NEAR(std::abs(z), 1.0, 1e-8);
+    EXPECT_NEAR(std::abs(evaluate_polynomial(p, z)), 0.0, 1e-7);
+  }
+}
+
+TEST(Polynomial, ConstantThrows) {
+  EXPECT_THROW((void)find_roots({Complex{5}}), std::invalid_argument);
+  EXPECT_THROW((void)find_roots({Complex{5}, Complex{0}}),
+               std::invalid_argument);
+}
+
+TEST(Polynomial, LeadingZerosTrimmed) {
+  // 2 - 3z + z^2 with two zero leading coefficients appended.
+  const std::vector<Complex> p{Complex{2}, Complex{-3}, Complex{1}, {}, {}};
+  EXPECT_EQ(find_roots(p).size(), 2u);
+}
+
+// --- root-MUSIC -----------------------------------------------------------
+
+rf::PropagationPath plane_path(double theta_deg, double amp) {
+  rf::PropagationPath p;
+  p.kind = rf::PathKind::kDirect;
+  p.vertices = {{-10, 0, 1}, {0, 0, 1}};
+  p.length = 10.0;
+  p.aoa = rf::deg2rad(theta_deg);
+  p.gain = {amp, 0.0};
+  return p;
+}
+
+linalg::CMatrix snapshots_for(const std::vector<rf::PropagationPath>& paths,
+                              std::uint64_t seed = 3) {
+  const rf::UniformLinearArray ula({0, 0, 1}, {1, 0}, 8);
+  rf::SnapshotOptions opts;
+  opts.num_snapshots = 48;
+  opts.noise_sigma = rf::noise_sigma_for_snr(paths, 1.0, 35.0);
+  rf::Rng rng(seed);
+  return rf::synthesize_snapshots(ula, paths, {}, opts, rng);
+}
+
+RootMusicEstimator default_estimator() {
+  return RootMusicEstimator(rf::kDefaultElementSpacing,
+                            rf::kDefaultWavelength);
+}
+
+TEST(RootMusic, ValidatesInput) {
+  EXPECT_THROW(RootMusicEstimator(0.0, 1.0), std::invalid_argument);
+  const RootMusicEstimator est = default_estimator();
+  EXPECT_THROW(
+      (void)est.estimate_from_correlation(linalg::CMatrix(2, 3), 8),
+      std::invalid_argument);
+}
+
+TEST(RootMusic, SingleSource) {
+  const auto x = snapshots_for({plane_path(63.0, 1.0)});
+  const RootMusicResult res = default_estimator().estimate(x);
+  ASSERT_GE(res.angles.size(), 1u);
+  EXPECT_NEAR(rf::rad2deg(res.angles[0]), 63.0, 1.0);
+  EXPECT_LT(res.circle_distances[0], 0.05);
+}
+
+TEST(RootMusic, CoherentPairViaSmoothing) {
+  const auto x =
+      snapshots_for({plane_path(55.0, 1.0), plane_path(120.0, 0.8)});
+  const RootMusicResult res = default_estimator().estimate(x);
+  ASSERT_GE(res.angles.size(), 2u);
+  std::vector<double> deg;
+  for (std::size_t i = 0; i < 2; ++i) {
+    deg.push_back(rf::rad2deg(res.angles[i]));
+  }
+  std::sort(deg.begin(), deg.end());
+  EXPECT_NEAR(deg[0], 55.0, 2.5);
+  EXPECT_NEAR(deg[1], 120.0, 2.5);
+}
+
+/// Cross-check: root-MUSIC agrees with grid MUSIC within the grid step.
+class RootVsGridTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(RootVsGridTest, AgreesWithGridMusic) {
+  const double truth = GetParam();
+  const auto x = snapshots_for({plane_path(truth, 1.0)}, 17);
+  const RootMusicResult root = default_estimator().estimate(x);
+  ASSERT_FALSE(root.angles.empty());
+  MusicEstimator grid(rf::kDefaultElementSpacing, rf::kDefaultWavelength);
+  const auto peaks = find_peaks(grid.estimate(x).spectrum);
+  ASSERT_FALSE(peaks.empty());
+  EXPECT_NEAR(rf::rad2deg(root.angles[0]), rf::rad2deg(peaks[0].theta),
+              1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, RootVsGridTest,
+                         ::testing::Values(25.0, 50.0, 80.0, 90.0, 110.0,
+                                           140.0, 160.0));
+
+TEST(RootMusic, NoSmoothingOption) {
+  RootMusicOptions opts;
+  opts.subarray = 8;
+  const RootMusicEstimator est(rf::kDefaultElementSpacing,
+                               rf::kDefaultWavelength, opts);
+  const auto x = snapshots_for({plane_path(75.0, 1.0)});
+  const RootMusicResult res = est.estimate(x);
+  ASSERT_GE(res.angles.size(), 1u);
+  EXPECT_NEAR(rf::rad2deg(res.angles[0]), 75.0, 1.0);
+}
+
+}  // namespace
+}  // namespace dwatch::core

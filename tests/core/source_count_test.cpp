@@ -1,0 +1,100 @@
+// Tests for model-order (source count) estimation.
+#include "core/source_count.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dwatch::core {
+namespace {
+
+TEST(SourceCount, ValidatesInput) {
+  SourceCountOptions opts;
+  const std::vector<double> too_small{1.0};
+  EXPECT_THROW((void)estimate_source_count(too_small, opts),
+               std::invalid_argument);
+  const std::vector<double> unsorted{1.0, 5.0, 0.1};
+  EXPECT_THROW((void)estimate_source_count(unsorted, opts),
+               std::invalid_argument);
+}
+
+TEST(SourceCount, ThresholdClearSeparation) {
+  SourceCountOptions opts;  // threshold, factor 8, tail 2
+  const std::vector<double> ev{100.0, 50.0, 0.11, 0.1, 0.1, 0.09};
+  EXPECT_EQ(estimate_source_count(ev, opts), 2u);
+}
+
+TEST(SourceCount, ThresholdSingleSource) {
+  SourceCountOptions opts;
+  const std::vector<double> ev{42.0, 0.21, 0.2, 0.19};
+  EXPECT_EQ(estimate_source_count(ev, opts), 1u);
+}
+
+TEST(SourceCount, AtLeastOneSourceReported) {
+  SourceCountOptions opts;
+  const std::vector<double> ev{1.0, 1.0, 1.0, 1.0};  // pure noise
+  EXPECT_EQ(estimate_source_count(ev, opts), 1u);
+}
+
+TEST(SourceCount, MaxSourcesCapRespected) {
+  SourceCountOptions opts;
+  opts.max_sources = 2;
+  const std::vector<double> ev{100.0, 90.0, 80.0, 0.1, 0.1, 0.1};
+  EXPECT_EQ(estimate_source_count(ev, opts), 2u);
+}
+
+TEST(SourceCount, AlwaysLeavesOneNoiseVector) {
+  SourceCountOptions opts;
+  opts.threshold_factor = 0.0;  // everything is "signal"
+  const std::vector<double> ev{5.0, 4.0, 3.0, 2.0};
+  EXPECT_LE(estimate_source_count(ev, opts), 3u);
+}
+
+TEST(SourceCount, MdlFindsTwoSources) {
+  SourceCountOptions opts;
+  opts.method = SourceCountMethod::kMdl;
+  opts.num_snapshots = 100;
+  const std::vector<double> ev{50.0, 20.0, 1.05, 1.0, 1.0, 0.95};
+  EXPECT_EQ(estimate_source_count(ev, opts), 2u);
+}
+
+TEST(SourceCount, AicFindsTwoSources) {
+  SourceCountOptions opts;
+  opts.method = SourceCountMethod::kAic;
+  opts.num_snapshots = 100;
+  const std::vector<double> ev{50.0, 20.0, 1.05, 1.0, 1.0, 0.95};
+  EXPECT_EQ(estimate_source_count(ev, opts), 2u);
+}
+
+TEST(SourceCount, MdlPureNoiseReportsOne) {
+  SourceCountOptions opts;
+  opts.method = SourceCountMethod::kMdl;
+  opts.num_snapshots = 200;
+  const std::vector<double> ev{1.02, 1.01, 1.0, 0.99, 0.98, 0.97};
+  EXPECT_EQ(estimate_source_count(ev, opts), 1u);
+}
+
+/// Parameterized: threshold method finds the planted source count for a
+/// range of separations and counts.
+class ThresholdSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(ThresholdSweepTest, FindsPlantedCount) {
+  const auto [p, gap] = GetParam();
+  SourceCountOptions opts;
+  std::vector<double> ev;
+  for (int i = 0; i < p; ++i) {
+    ev.push_back(gap * (1.0 + 0.2 * i));
+  }
+  std::sort(ev.rbegin(), ev.rend());
+  for (int i = 0; i < 8 - p; ++i) ev.push_back(1.0 - 0.01 * i);
+  EXPECT_EQ(estimate_source_count(ev, opts), static_cast<std::size_t>(p));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Plants, ThresholdSweepTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5),
+                       ::testing::Values(20.0, 100.0, 1000.0)));
+
+}  // namespace
+}  // namespace dwatch::core

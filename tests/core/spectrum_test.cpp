@@ -1,0 +1,190 @@
+// Tests for angular spectra, peak finding and the P-MUSIC normalization.
+#include "core/spectrum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dwatch::core {
+namespace {
+
+AngularSpectrum gaussians(std::vector<std::pair<double, double>> peaks,
+                          std::size_t n = 361, double sigma = 0.05) {
+  AngularSpectrum s(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double theta = s.theta_at(i);
+    for (const auto& [mu, amp] : peaks) {
+      s[i] += amp * std::exp(-(theta - mu) * (theta - mu) /
+                             (2.0 * sigma * sigma));
+    }
+  }
+  return s;
+}
+
+TEST(AngularSpectrum, Validation) {
+  EXPECT_THROW(AngularSpectrum(1), std::invalid_argument);
+  EXPECT_THROW(AngularSpectrum(std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(AngularSpectrum, ThetaGridSpansZeroToPi) {
+  const AngularSpectrum s(181);
+  EXPECT_DOUBLE_EQ(s.theta_at(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.theta_at(180), rf::kPi);
+  EXPECT_NEAR(s.theta_at(90), rf::kPi / 2, 1e-12);
+}
+
+TEST(AngularSpectrum, ValueAtInterpolates) {
+  AngularSpectrum s(3);  // thetas: 0, pi/2, pi
+  s[0] = 0.0;
+  s[1] = 2.0;
+  s[2] = 4.0;
+  EXPECT_DOUBLE_EQ(s.value_at(rf::kPi / 4), 1.0);
+  EXPECT_DOUBLE_EQ(s.value_at(3 * rf::kPi / 4), 3.0);
+  EXPECT_DOUBLE_EQ(s.value_at(-1.0), 0.0);      // clamped low
+  EXPECT_DOUBLE_EQ(s.value_at(10.0), 4.0);      // clamped high
+}
+
+TEST(AngularSpectrum, IndexOfRoundsToNearest) {
+  const AngularSpectrum s(181);  // 1-degree grid
+  EXPECT_EQ(s.index_of(rf::deg2rad(45.4)), 45u);
+  EXPECT_EQ(s.index_of(rf::deg2rad(45.6)), 46u);
+  EXPECT_EQ(s.index_of(-5.0), 0u);
+  EXPECT_EQ(s.index_of(100.0), 180u);
+}
+
+TEST(AngularSpectrum, MinMaxAndScale) {
+  AngularSpectrum s = gaussians({{1.0, 5.0}});
+  EXPECT_NEAR(s.max_value(), 5.0, 0.05);
+  EXPECT_GE(s.min_value(), 0.0);
+  s *= 2.0;
+  EXPECT_NEAR(s.max_value(), 10.0, 0.1);
+}
+
+TEST(FindPeaks, SinglePeakRefined) {
+  const double mu = rf::deg2rad(62.3);  // off-grid
+  const AngularSpectrum s = gaussians({{mu, 3.0}});
+  const auto peaks = find_peaks(s);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_NEAR(peaks[0].theta, mu, rf::deg2rad(0.2));  // sub-bin accuracy
+  EXPECT_NEAR(peaks[0].value, 3.0, 0.01);
+}
+
+TEST(FindPeaks, SortedStrongestFirst) {
+  const AngularSpectrum s =
+      gaussians({{0.6, 1.0}, {1.4, 3.0}, {2.4, 2.0}});
+  const auto peaks = find_peaks(s);
+  ASSERT_EQ(peaks.size(), 3u);
+  EXPECT_GT(peaks[0].value, peaks[1].value);
+  EXPECT_GT(peaks[1].value, peaks[2].value);
+  EXPECT_NEAR(peaks[0].theta, 1.4, 0.01);
+}
+
+TEST(FindPeaks, RelativeHeightFloor) {
+  const AngularSpectrum s = gaussians({{0.6, 1.0}, {2.0, 100.0}});
+  PeakOptions opts;
+  opts.min_relative_height = 0.05;
+  const auto peaks = find_peaks(s, opts);
+  EXPECT_EQ(peaks.size(), 1u);  // the 1.0 peak is 1% of max: dropped
+}
+
+TEST(FindPeaks, MaxPeaksCap) {
+  const AngularSpectrum s =
+      gaussians({{0.5, 3.0}, {1.2, 2.5}, {1.9, 2.0}, {2.6, 1.5}});
+  PeakOptions opts;
+  opts.max_peaks = 2;
+  const auto peaks = find_peaks(s, opts);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_NEAR(peaks[0].theta, 0.5, 0.02);
+  EXPECT_NEAR(peaks[1].theta, 1.2, 0.02);
+}
+
+TEST(FindPeaks, MinSeparationSuppressesShoulder) {
+  // Two overlapping Gaussians 1 degree apart blur into one detection.
+  const double mu = rf::deg2rad(90.0);
+  const AngularSpectrum s =
+      gaussians({{mu, 3.0}, {mu + rf::deg2rad(1.0), 2.9}});
+  const auto peaks = find_peaks(s);
+  EXPECT_EQ(peaks.size(), 1u);
+}
+
+TEST(FindPeaks, PlateauYieldsOnePeak) {
+  AngularSpectrum s(101);
+  for (std::size_t i = 40; i <= 60; ++i) s[i] = 1.0;
+  const auto peaks = find_peaks(s);
+  EXPECT_EQ(peaks.size(), 1u);
+}
+
+TEST(FindPeaks, EndpointPeaks) {
+  AngularSpectrum s(101);
+  s[0] = 5.0;
+  s[100] = 3.0;
+  const auto peaks = find_peaks(s);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_DOUBLE_EQ(peaks[0].theta, 0.0);
+  EXPECT_DOUBLE_EQ(peaks[1].theta, rf::kPi);
+}
+
+TEST(NormalizePeaks, AllPeaksBecomeUnit) {
+  const AngularSpectrum s =
+      gaussians({{0.6, 1.0}, {1.5, 5.0}, {2.5, 0.4}});
+  PeakOptions opts;
+  opts.min_relative_height = 0.05;
+  const AngularSpectrum nor = normalize_peaks(s, opts);
+  const auto peaks = find_peaks(nor, opts);
+  ASSERT_EQ(peaks.size(), 3u);
+  for (const Peak& p : peaks) {
+    EXPECT_NEAR(p.value, 1.0, 0.02) << "at " << p.theta;
+  }
+}
+
+TEST(NormalizePeaks, PreservesPeakLocations) {
+  const AngularSpectrum s = gaussians({{0.7, 2.0}, {2.2, 6.0}});
+  const AngularSpectrum nor = normalize_peaks(s);
+  const auto orig = find_peaks(s);
+  const auto after = find_peaks(nor);
+  ASSERT_EQ(orig.size(), after.size());
+  // Compare as sets sorted by angle.
+  auto by_theta = [](const Peak& a, const Peak& b) {
+    return a.theta < b.theta;
+  };
+  auto o = orig;
+  auto n = after;
+  std::sort(o.begin(), o.end(), by_theta);
+  std::sort(n.begin(), n.end(), by_theta);
+  for (std::size_t i = 0; i < o.size(); ++i) {
+    EXPECT_NEAR(o[i].theta, n[i].theta, rf::deg2rad(0.5));
+  }
+}
+
+TEST(NormalizePeaks, PeaklessSpectrumScaledByMax) {
+  AngularSpectrum s(11);
+  for (std::size_t i = 0; i < 11; ++i) {
+    s[i] = static_cast<double>(i);  // monotone: single endpoint peak
+  }
+  const AngularSpectrum nor = normalize_peaks(s);
+  EXPECT_LE(nor.max_value(), 1.0 + 1e-12);
+}
+
+TEST(NormalizePeaks, ZeroSpectrumStaysZero) {
+  const AngularSpectrum s(51);
+  const AngularSpectrum nor = normalize_peaks(s);
+  EXPECT_DOUBLE_EQ(nor.max_value(), 0.0);
+}
+
+/// Property: normalization never produces values above ~1 within peak
+/// regions for well-separated peaks of any relative amplitude.
+class NormalizeSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(NormalizeSweepTest, BoundedByOne) {
+  const double amp = GetParam();
+  const AngularSpectrum s = gaussians({{0.8, amp}, {2.2, 1.0}});
+  const AngularSpectrum nor = normalize_peaks(s);
+  EXPECT_LE(nor.max_value(), 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Amplitudes, NormalizeSweepTest,
+                         ::testing::Values(0.1, 0.5, 1.0, 3.0, 10.0, 100.0));
+
+}  // namespace
+}  // namespace dwatch::core

@@ -1,0 +1,136 @@
+// Tests for the alpha-beta trajectory tracker.
+#include "core/tracker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dwatch::core {
+namespace {
+
+TEST(Tracker, ValidatesOptions) {
+  TrackerOptions bad;
+  bad.alpha = 0.0;
+  EXPECT_THROW(AlphaBetaTracker{bad}, std::invalid_argument);
+  bad = TrackerOptions{};
+  bad.dt = 0.0;
+  EXPECT_THROW(AlphaBetaTracker{bad}, std::invalid_argument);
+}
+
+TEST(Tracker, FirstMeasurementInitializes) {
+  AlphaBetaTracker tracker;
+  EXPECT_FALSE(tracker.initialized());
+  const rf::Vec2 p = tracker.update({1.0, 2.0});
+  EXPECT_TRUE(tracker.initialized());
+  EXPECT_EQ(p, (rf::Vec2{1.0, 2.0}));
+  EXPECT_EQ(tracker.velocity(), (rf::Vec2{0.0, 0.0}));
+}
+
+TEST(Tracker, ConvergesToConstantVelocity) {
+  TrackerOptions opts;
+  opts.dt = 0.1;
+  AlphaBetaTracker tracker(opts);
+  // Target moving at 0.5 m/s in x (the paper's fist speed).
+  for (int k = 0; k < 50; ++k) {
+    (void)tracker.update({0.05 * k, 1.0});
+  }
+  EXPECT_NEAR(tracker.velocity().x, 0.5, 0.05);
+  EXPECT_NEAR(tracker.velocity().y, 0.0, 0.05);
+  EXPECT_NEAR(tracker.position().x, 0.05 * 49, 0.05);
+}
+
+TEST(Tracker, SmoothsNoisyMeasurements) {
+  TrackerOptions opts;
+  opts.alpha = 0.3;
+  opts.beta = 0.05;
+  AlphaBetaTracker tracker(opts);
+  // Static target with alternating +-5 cm measurement noise.
+  double max_dev = 0.0;
+  for (int k = 0; k < 60; ++k) {
+    const double noise = (k % 2 == 0) ? 0.05 : -0.05;
+    const rf::Vec2 smoothed = tracker.update({1.0 + noise, 1.0});
+    if (k > 10) max_dev = std::max(max_dev, std::abs(smoothed.x - 1.0));
+  }
+  EXPECT_LT(max_dev, 0.03);  // smoother than the raw noise
+}
+
+TEST(Tracker, CoastsThroughMisses) {
+  TrackerOptions opts;
+  opts.dt = 0.1;
+  AlphaBetaTracker tracker(opts);
+  for (int k = 0; k < 30; ++k) (void)tracker.update({0.05 * k, 0.0});
+  const double x_before = tracker.position().x;
+  const auto coasted = tracker.coast();
+  ASSERT_TRUE(coasted.has_value());
+  EXPECT_GT(coasted->x, x_before);  // kept moving on velocity
+  EXPECT_EQ(tracker.consecutive_misses(), 1u);
+}
+
+TEST(Tracker, CoastWithoutInitIsEmpty) {
+  AlphaBetaTracker tracker;
+  EXPECT_FALSE(tracker.coast().has_value());
+}
+
+TEST(Tracker, TooManyMissesResets) {
+  TrackerOptions opts;
+  opts.max_coast = 2;
+  AlphaBetaTracker tracker(opts);
+  (void)tracker.update({1.0, 1.0});
+  EXPECT_TRUE(tracker.coast().has_value());
+  EXPECT_TRUE(tracker.coast().has_value());
+  EXPECT_FALSE(tracker.coast().has_value());  // exceeded: reset
+  EXPECT_FALSE(tracker.initialized());
+}
+
+TEST(Tracker, GatingRejectsWildOutlier) {
+  TrackerOptions opts;
+  opts.gate_distance = 0.5;
+  AlphaBetaTracker tracker(opts);
+  for (int k = 0; k < 10; ++k) (void)tracker.update({1.0, 1.0});
+  const rf::Vec2 out = tracker.update({5.0, 5.0});  // outlier
+  EXPECT_NEAR(out.x, 1.0, 0.1);  // prediction, not the outlier
+  EXPECT_EQ(tracker.consecutive_misses(), 1u);
+}
+
+TEST(Tracker, GatingDisabledAcceptsEverything) {
+  TrackerOptions opts;
+  opts.gate_distance = 0.0;
+  AlphaBetaTracker tracker(opts);
+  (void)tracker.update({1.0, 1.0});
+  const rf::Vec2 out = tracker.update({5.0, 5.0});
+  EXPECT_GT(out.x, 2.0);
+}
+
+TEST(Tracker, ResetClearsState) {
+  AlphaBetaTracker tracker;
+  (void)tracker.update({1.0, 1.0});
+  tracker.reset();
+  EXPECT_FALSE(tracker.initialized());
+  EXPECT_EQ(tracker.position(), (rf::Vec2{0.0, 0.0}));
+}
+
+TEST(SmoothTrajectory, FillsGapsAndMatchesLength) {
+  std::vector<std::optional<rf::Vec2>> fixes;
+  for (int k = 0; k < 20; ++k) {
+    if (k == 7 || k == 8) {
+      fixes.emplace_back(std::nullopt);  // deadzone
+    } else {
+      fixes.emplace_back(rf::Vec2{0.05 * k, 2.0});
+    }
+  }
+  const auto smoothed = smooth_trajectory(fixes);
+  ASSERT_EQ(smoothed.size(), fixes.size());
+  ASSERT_TRUE(smoothed[7].has_value());  // coasted through the gap
+  ASSERT_TRUE(smoothed[8].has_value());
+  EXPECT_NEAR(smoothed[8]->y, 2.0, 0.1);
+}
+
+TEST(SmoothTrajectory, LeadingGapsStayEmpty) {
+  std::vector<std::optional<rf::Vec2>> fixes{std::nullopt, std::nullopt,
+                                             rf::Vec2{1.0, 1.0}};
+  const auto smoothed = smooth_trajectory(fixes);
+  EXPECT_FALSE(smoothed[0].has_value());
+  EXPECT_FALSE(smoothed[1].has_value());
+  EXPECT_TRUE(smoothed[2].has_value());
+}
+
+}  // namespace
+}  // namespace dwatch::core

@@ -1,0 +1,164 @@
+// Tests for explicit ray triangulation and outlier rejection.
+#include "core/triangulate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dwatch::core {
+namespace {
+
+std::vector<rf::UniformLinearArray> room_arrays() {
+  return {
+      rf::UniformLinearArray({3.5, 0.15, 1.25}, {1, 0}, 8),
+      rf::UniformLinearArray({0.15, 5.0, 1.25}, {0, 1}, 8),
+      rf::UniformLinearArray({3.5, 9.85, 1.25}, {1, 0}, 8),
+  };
+}
+
+TriangulationOptions room_options() {
+  TriangulationOptions opts;
+  opts.bounds = {{0.0, 0.0}, {7.0, 10.0}};
+  return opts;
+}
+
+PathDrop drop_toward(const rf::UniformLinearArray& array, rf::Vec2 target,
+                     double power = 1.0) {
+  PathDrop d;
+  d.theta = array.arrival_angle_planar(target);
+  d.drop_fraction = 0.9;
+  d.baseline_power = power;
+  d.online_power = 0.1 * power;
+  return d;
+}
+
+TEST(RaysForAngle, BroadsideHasTwoMirrorRays) {
+  const auto arrays = room_arrays();
+  const auto rays = rays_for_angle(arrays[0], rf::kPi / 2);
+  ASSERT_EQ(rays.size(), 2u);
+  // Mirror pair across the array axis (x-axis): directions (0, +-1).
+  EXPECT_NEAR(std::abs(rays[0].direction.y), 1.0, 1e-9);
+  EXPECT_NEAR(rays[0].direction.y + rays[1].direction.y, 0.0, 1e-9);
+}
+
+TEST(RaysForAngle, EndfireHasSingleRay) {
+  const auto arrays = room_arrays();
+  EXPECT_EQ(rays_for_angle(arrays[0], 0.0).size(), 1u);
+  EXPECT_EQ(rays_for_angle(arrays[0], rf::kPi).size(), 1u);
+}
+
+TEST(RaysForAngle, RayPassesThroughTarget) {
+  const auto arrays = room_arrays();
+  const rf::Vec2 target{2.0, 6.0};
+  const double theta = arrays[0].arrival_angle_planar(target);
+  const auto rays = rays_for_angle(arrays[0], theta);
+  double best = 1e9;
+  for (const auto& ray : rays) {
+    // Distance from target to the ray.
+    const rf::Vec2 w = target - ray.origin;
+    const double t = w.dot(ray.direction);
+    if (t > 0) {
+      best = std::min(best,
+                      rf::distance(ray.origin + ray.direction * t, target));
+    }
+  }
+  EXPECT_NEAR(best, 0.0, 1e-9);
+}
+
+TEST(IntersectRays, BasicCrossing) {
+  const BearingRay a{{0, 0}, {1, 0}};
+  const BearingRay b{{2, -1}, {0, 1}};
+  const auto hit = intersect_rays(a, b);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->x, 2.0, 1e-12);
+  EXPECT_NEAR(hit->y, 0.0, 1e-12);
+}
+
+TEST(IntersectRays, ParallelAndBehind) {
+  const BearingRay a{{0, 0}, {1, 0}};
+  const BearingRay b{{0, 1}, {1, 0}};
+  EXPECT_FALSE(intersect_rays(a, b).has_value());
+  const BearingRay c{{2, 1}, {0, 1}};  // meets a's line at (2,0), behind c
+  EXPECT_FALSE(intersect_rays(a, c).has_value());
+}
+
+TEST(Triangulate, EvidenceCountMismatchThrows) {
+  const auto arrays = room_arrays();
+  const std::vector<AngularEvidence> wrong(1);
+  EXPECT_THROW((void)triangulate_with_outlier_rejection(arrays, wrong,
+                                                        room_options()),
+               std::invalid_argument);
+}
+
+TEST(Triangulate, CleanThreeArrayFix) {
+  const auto arrays = room_arrays();
+  const rf::Vec2 target{3.0, 4.0};
+  std::vector<AngularEvidence> ev(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    ev[i].drops.push_back(drop_toward(arrays[i], target));
+  }
+  const TriangulationResult res =
+      triangulate_with_outlier_rejection(arrays, ev, room_options());
+  ASSERT_TRUE(res.valid);
+  EXPECT_NEAR(rf::distance(res.position, target), 0.0, 0.05);
+  EXPECT_GE(res.support, 3u);  // 3 pairs agree
+}
+
+TEST(Triangulate, WrongAngleRejectedAsOutlier) {
+  const auto arrays = room_arrays();
+  const rf::Vec2 target{3.0, 4.0};
+  std::vector<AngularEvidence> ev(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    ev[i].drops.push_back(drop_toward(arrays[i], target));
+  }
+  // A wrong angle at array 0 pointing elsewhere.
+  ev[0].drops.push_back(drop_toward(arrays[0], {6.0, 9.0}, 0.5));
+  const TriangulationResult res =
+      triangulate_with_outlier_rejection(arrays, ev, room_options());
+  ASSERT_TRUE(res.valid);
+  EXPECT_NEAR(rf::distance(res.position, target), 0.0, 0.1);
+  EXPECT_GT(res.rejected, 0u);
+}
+
+TEST(Triangulate, OutOfBoundsCandidatesDiscarded) {
+  const auto arrays = room_arrays();
+  std::vector<AngularEvidence> ev(3);
+  // Two drops whose rays cross far outside the room: bearing of a point
+  // beyond the far wall.
+  const rf::Vec2 outside{20.0, 30.0};
+  ev[0].drops.push_back(drop_toward(arrays[0], outside));
+  ev[1].drops.push_back(drop_toward(arrays[1], outside));
+  const TriangulationResult res =
+      triangulate_with_outlier_rejection(arrays, ev, room_options());
+  EXPECT_FALSE(res.valid);
+  EXPECT_GT(res.rejected, 0u);
+}
+
+TEST(Triangulate, NoEvidenceInvalid) {
+  const auto arrays = room_arrays();
+  const std::vector<AngularEvidence> ev(3);
+  const TriangulationResult res =
+      triangulate_with_outlier_rejection(arrays, ev, room_options());
+  EXPECT_FALSE(res.valid);
+  EXPECT_EQ(res.support, 0u);
+}
+
+TEST(Triangulate, WeightsFavourStrongDrops) {
+  const auto arrays = room_arrays();
+  const rf::Vec2 strong{2.0, 3.0};
+  const rf::Vec2 weak{5.0, 8.0};
+  std::vector<AngularEvidence> ev(3);
+  // Both candidate locations are 2-ray intersections, but the strong one
+  // carries much larger drop weights.
+  ev[0].drops.push_back(drop_toward(arrays[0], strong, 1.0));
+  ev[1].drops.push_back(drop_toward(arrays[1], strong, 1.0));
+  ev[0].drops.push_back(drop_toward(arrays[0], weak, 0.05));
+  ev[2].drops.push_back(drop_toward(arrays[2], weak, 0.05));
+  const TriangulationResult res =
+      triangulate_with_outlier_rejection(arrays, ev, room_options());
+  ASSERT_TRUE(res.valid);
+  EXPECT_NEAR(rf::distance(res.position, strong), 0.0, 0.2);
+}
+
+}  // namespace
+}  // namespace dwatch::core

@@ -1,0 +1,69 @@
+// Tests for the deadzone/coverage-ceiling map.
+#include "harness/deadzone.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dwatch::harness {
+namespace {
+
+sim::Scene library_scene(std::size_t num_tags = 21) {
+  rf::Rng rng(42);
+  rf::Rng hw(7);
+  sim::DeploymentOptions dopt;
+  dopt.num_tags = num_tags;
+  auto dep =
+      sim::make_room_deployment(sim::Environment::library(), dopt, rng);
+  return sim::Scene(std::move(dep), sim::CaptureOptions{}, hw);
+}
+
+TEST(Deadzone, ValidatesStep) {
+  const sim::Scene scene = library_scene(5);
+  EXPECT_THROW((void)compute_deadzone_map(scene, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Deadzone, MapDimensionsMatchRoom) {
+  const sim::Scene scene = library_scene(5);
+  const DeadzoneMap map = compute_deadzone_map(scene, 0.5);
+  EXPECT_EQ(map.nx, 15u);  // 7.0 / 0.5 + 1
+  EXPECT_EQ(map.ny, 21u);  // 10.0 / 0.5 + 1
+  EXPECT_EQ(map.arrays_observing.size(), map.nx * map.ny);
+  for (const auto n : map.arrays_observing) {
+    EXPECT_LE(n, scene.num_arrays());
+  }
+}
+
+TEST(Deadzone, CoverageFractionMonotoneInThreshold) {
+  const sim::Scene scene = library_scene();
+  const DeadzoneMap map = compute_deadzone_map(scene, 0.5);
+  double prev = 1.0;
+  for (std::size_t k = 0; k <= 4; ++k) {
+    const double f = map.coverage_fraction(k);
+    EXPECT_LE(f, prev + 1e-12);
+    prev = f;
+  }
+  EXPECT_DOUBLE_EQ(map.coverage_fraction(0), 1.0);
+}
+
+TEST(Deadzone, MoreTagsShrinkDeadzones) {
+  // The paper's mitigation: cheap tags reduce the deadzone area.
+  const sim::Scene sparse = library_scene(6);
+  const sim::Scene dense = library_scene(40);
+  const double f_sparse =
+      compute_deadzone_map(sparse, 0.5).coverage_fraction(2);
+  const double f_dense =
+      compute_deadzone_map(dense, 0.5).coverage_fraction(2);
+  EXPECT_GT(f_dense, f_sparse);
+}
+
+TEST(Deadzone, WiderTargetEasierToObserve) {
+  const sim::Scene scene = library_scene(10);
+  const double narrow =
+      compute_deadzone_map(scene, 0.5, 0.05).coverage_fraction(2);
+  const double wide =
+      compute_deadzone_map(scene, 0.5, 0.30).coverage_fraction(2);
+  EXPECT_GE(wide, narrow);
+}
+
+}  // namespace
+}  // namespace dwatch::harness

@@ -1,0 +1,103 @@
+// Tests for the experiment runner (scene <-> pipeline glue).
+#include "harness/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dwatch::harness {
+namespace {
+
+sim::Scene small_scene() {
+  rf::Rng rng(42);
+  rf::Rng hw(7);
+  sim::DeploymentOptions dopt;
+  dopt.num_tags = 15;
+  auto dep =
+      sim::make_room_deployment(sim::Environment::library(), dopt, rng);
+  return sim::Scene(std::move(dep), sim::CaptureOptions{}, hw);
+}
+
+TEST(ErrorMetrics, HumanAllowance) {
+  EXPECT_DOUBLE_EQ(human_error({1.0, 1.0}, {1.1, 1.0}), 0.0);
+  EXPECT_NEAR(human_error({1.0, 1.0}, {1.5, 1.0}), 0.32, 1e-12);
+  EXPECT_DOUBLE_EQ(point_error({0.0, 0.0}, {3.0, 4.0}), 5.0);
+}
+
+TEST(NearestTags, SortedByDistance) {
+  const sim::Scene scene = small_scene();
+  const auto idx = nearest_tags(scene, 0, 5);
+  ASSERT_EQ(idx.size(), 5u);
+  const auto& dep = scene.deployment();
+  double prev = 0.0;
+  for (const std::size_t t : idx) {
+    const double d =
+        rf::distance(dep.tags[t].position, dep.arrays[0].center());
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+  // Requesting more than exist clamps.
+  EXPECT_EQ(nearest_tags(scene, 0, 99).size(), dep.tags.size());
+}
+
+TEST(ExperimentRunner, CalibrationImprovesOverNothing) {
+  const sim::Scene scene = small_scene();
+  RunnerOptions opts;
+  ExperimentRunner runner(scene, opts);
+  rf::Rng rng(5);
+  runner.calibrate(rng);
+  ASSERT_EQ(runner.calibration_reports().size(), scene.num_arrays());
+  for (const auto& report : runner.calibration_reports()) {
+    // Uncalibrated offsets are uniform in [-pi, pi): mean |error| ~ pi/2.
+    // The wireless calibration must do far better.
+    EXPECT_LT(report.mean_error_rad, 0.5);
+    EXPECT_EQ(report.estimated.size(), 8u);
+    EXPECT_DOUBLE_EQ(report.estimated[0], 0.0);
+  }
+}
+
+TEST(ExperimentRunner, CalibrateDisabled) {
+  const sim::Scene scene = small_scene();
+  RunnerOptions opts;
+  opts.calibrate = false;
+  ExperimentRunner runner(scene, opts);
+  rf::Rng rng(5);
+  runner.calibrate(rng);
+  EXPECT_TRUE(runner.calibration_reports().empty());
+}
+
+TEST(ExperimentRunner, BaselinesCoverReadablePairs) {
+  const sim::Scene scene = small_scene();
+  RunnerOptions opts;
+  ExperimentRunner runner(scene, opts);
+  rf::Rng rng(6);
+  const std::size_t stored = runner.collect_baselines(rng);
+  std::size_t readable = 0;
+  for (std::size_t a = 0; a < scene.num_arrays(); ++a) {
+    for (std::size_t t = 0; t < scene.num_tags(); ++t) {
+      if (scene.tag_readable(a, t)) ++readable;
+    }
+  }
+  EXPECT_EQ(stored, readable);
+  EXPECT_EQ(runner.pipeline().stats().baselines, stored);
+}
+
+TEST(ExperimentRunner, EndToEndFixLandsNearTarget) {
+  const sim::Scene scene = small_scene();
+  RunnerOptions opts;
+  ExperimentRunner runner(scene, opts);
+  rf::Rng rng(7);
+  // Perfect calibration keeps this test about the runner plumbing.
+  for (std::size_t a = 0; a < scene.num_arrays(); ++a) {
+    runner.pipeline().set_calibration(a,
+                                      scene.reader(a).phase_offsets());
+  }
+  runner.collect_baselines(rng);
+  const sim::CylinderTarget target = sim::CylinderTarget::human({3.0, 4.0});
+  const std::vector<sim::CylinderTarget> targets{target};
+  const auto est = runner.run_fix_best_effort(targets, rng);
+  EXPECT_GT(runner.pipeline().stats().observations, 0u);
+  ASSERT_GT(est.likelihood, 0.0);
+  EXPECT_LT(human_error(est.position, target.position), 0.6);
+}
+
+}  // namespace
+}  // namespace dwatch::harness

@@ -1,0 +1,64 @@
+// Tests for the experiment statistics helpers.
+#include "harness/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dwatch::harness {
+namespace {
+
+TEST(Percentile, BasicQuantiles) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 12.5), 1.5);  // interpolated
+}
+
+TEST(Percentile, UnsortedInputHandled) {
+  EXPECT_DOUBLE_EQ(percentile({5.0, 1.0, 3.0}, 50.0), 3.0);
+}
+
+TEST(Percentile, Validation) {
+  EXPECT_THROW((void)percentile({}, 50.0), std::invalid_argument);
+  EXPECT_THROW((void)percentile({1.0}, -1.0), std::invalid_argument);
+  EXPECT_THROW((void)percentile({1.0}, 101.0), std::invalid_argument);
+}
+
+TEST(Median, EvenCountInterpolates) {
+  EXPECT_DOUBLE_EQ(median({1.0, 2.0, 3.0, 4.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median({7.0}), 7.0);
+}
+
+TEST(MeanStddev, KnownValues) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_NEAR(stddev(v), 2.13809, 1e-4);  // sample stddev
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{1.0}), 0.0);
+  EXPECT_THROW((void)mean(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(CdfAt, FractionBelowLevels) {
+  const std::vector<double> sample{0.1, 0.2, 0.3, 0.4};
+  const std::vector<double> levels{0.0, 0.2, 0.35, 1.0};
+  const auto cdf = cdf_at(sample, levels);
+  ASSERT_EQ(cdf.size(), 4u);
+  EXPECT_DOUBLE_EQ(cdf[0], 0.0);
+  EXPECT_DOUBLE_EQ(cdf[1], 0.5);
+  EXPECT_DOUBLE_EQ(cdf[2], 0.75);
+  EXPECT_DOUBLE_EQ(cdf[3], 1.0);
+  EXPECT_THROW((void)cdf_at({}, levels), std::invalid_argument);
+}
+
+TEST(CdfAt, MonotoneInLevels) {
+  const std::vector<double> sample{3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0};
+  std::vector<double> levels;
+  for (double l = 0.0; l <= 10.0; l += 0.5) levels.push_back(l);
+  const auto cdf = cdf_at(sample, levels);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i], cdf[i - 1]);
+  }
+}
+
+}  // namespace
+}  // namespace dwatch::harness

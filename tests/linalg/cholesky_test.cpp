@@ -1,0 +1,110 @@
+// Tests for Cholesky factorization and solves.
+#include "linalg/cholesky.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace dwatch::linalg {
+namespace {
+
+CMatrix random_spd(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  CMatrix b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      b(i, j) = Complex{dist(rng), dist(rng)};
+    }
+  }
+  CMatrix a = b * b.hermitian();
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i, i) += Complex{static_cast<double>(n), 0.0};  // well conditioned
+  }
+  return a;
+}
+
+TEST(Cholesky, FactorReconstructs) {
+  const CMatrix a = random_spd(5, 3);
+  const CMatrix l = cholesky(a);
+  EXPECT_NEAR((l * l.hermitian()).max_abs_diff(a), 0.0, 1e-10);
+}
+
+TEST(Cholesky, FactorIsLowerTriangular) {
+  const CMatrix l = cholesky(random_spd(4, 5));
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = i + 1; j < 4; ++j) {
+      EXPECT_EQ(l(i, j), Complex{});
+    }
+  }
+}
+
+TEST(Cholesky, ThrowsOnNonSquare) {
+  EXPECT_THROW((void)cholesky(CMatrix(2, 3)), std::invalid_argument);
+}
+
+TEST(Cholesky, ThrowsOnIndefinite) {
+  const CMatrix a{{1.0, 0.0}, {0.0, -1.0}};
+  EXPECT_THROW((void)cholesky(a), std::runtime_error);
+}
+
+TEST(Cholesky, ThrowsOnNonHermitian) {
+  const CMatrix a{{1.0, 2.0}, {0.0, 1.0}};
+  EXPECT_THROW((void)cholesky(a), std::invalid_argument);
+}
+
+class CholeskySolveTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CholeskySolveTest, SolveRoundTrip) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  const CMatrix a = random_spd(n, 17 + n);
+  CVector x_true(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x_true[i] = Complex{static_cast<double>(i) + 0.5,
+                        -static_cast<double>(i)};
+  }
+  const CVector b = matvec(a, x_true);
+  const CVector x = cholesky_solve(a, b);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(x[i] - x_true[i]), 0.0, 1e-9);
+  }
+}
+
+TEST_P(CholeskySolveTest, InverseIsTwoSided) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  const CMatrix a = random_spd(n, 29 + n);
+  const CMatrix inv = cholesky_inverse(a);
+  EXPECT_NEAR((a * inv).max_abs_diff(CMatrix::identity(n)), 0.0, 1e-9);
+  EXPECT_NEAR((inv * a).max_abs_diff(CMatrix::identity(n)), 0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskySolveTest,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(Substitution, ForwardThenBackwardSolves) {
+  const CMatrix a = random_spd(4, 91);
+  const CMatrix l = cholesky(a);
+  CVector b(4);
+  for (std::size_t i = 0; i < 4; ++i) b[i] = Complex{1.0, -0.5};
+  const CVector y = forward_substitute(l, b);
+  const CVector ly = matvec(l, y);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(std::abs(ly[i] - b[i]), 0.0, 1e-10);
+  }
+  const CVector x = backward_substitute_hermitian(l, y);
+  const CVector ax = matvec(a, x);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(std::abs(ax[i] - b[i]), 0.0, 1e-9);
+  }
+}
+
+TEST(Substitution, DimensionMismatchThrows) {
+  const CMatrix l = cholesky(random_spd(3, 1));
+  EXPECT_THROW((void)forward_substitute(l, CVector(4)),
+               std::invalid_argument);
+  EXPECT_THROW((void)backward_substitute_hermitian(l, CVector(2)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dwatch::linalg

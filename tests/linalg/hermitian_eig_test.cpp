@@ -1,0 +1,142 @@
+// Tests for the complex Jacobi Hermitian eigendecomposition.
+#include "linalg/hermitian_eig.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "linalg/complex_matrix.hpp"
+
+namespace dwatch::linalg {
+namespace {
+
+using namespace std::complex_literals;
+
+CMatrix random_hermitian(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  CMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i, i) = Complex{dist(rng), 0.0};
+    for (std::size_t j = i + 1; j < n; ++j) {
+      a(i, j) = Complex{dist(rng), dist(rng)};
+      a(j, i) = std::conj(a(i, j));
+    }
+  }
+  return a;
+}
+
+TEST(HermitianEig, DiagonalMatrix) {
+  const CMatrix d = CMatrix::diagonal({Complex{3.0}, Complex{1.0},
+                                       Complex{2.0}});
+  const EigenDecomposition eig = hermitian_eig(d);
+  ASSERT_EQ(eig.eigenvalues.size(), 3u);
+  EXPECT_DOUBLE_EQ(eig.eigenvalues[0], 3.0);
+  EXPECT_DOUBLE_EQ(eig.eigenvalues[1], 2.0);
+  EXPECT_DOUBLE_EQ(eig.eigenvalues[2], 1.0);
+}
+
+TEST(HermitianEig, KnownTwoByTwo) {
+  // [[2, i], [-i, 2]] has eigenvalues 3 and 1.
+  const CMatrix a{{2.0, 1.0i}, {-1.0i, 2.0}};
+  const EigenDecomposition eig = hermitian_eig(a);
+  EXPECT_NEAR(eig.eigenvalues[0], 3.0, 1e-10);
+  EXPECT_NEAR(eig.eigenvalues[1], 1.0, 1e-10);
+}
+
+TEST(HermitianEig, ThrowsOnNonSquare) {
+  EXPECT_THROW((void)hermitian_eig(CMatrix(2, 3)), std::invalid_argument);
+}
+
+TEST(HermitianEig, ThrowsOnNonHermitian) {
+  const CMatrix a{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_THROW((void)hermitian_eig(a), std::invalid_argument);
+}
+
+TEST(HermitianEig, OneByOne) {
+  const CMatrix a{{5.0}};
+  const EigenDecomposition eig = hermitian_eig(a);
+  EXPECT_DOUBLE_EQ(eig.eigenvalues[0], 5.0);
+  EXPECT_EQ(eig.eigenvectors(0, 0), Complex{1.0});
+}
+
+TEST(HermitianEig, Rank1OuterProduct) {
+  // x x^H has eigenvalues {|x|^2, 0, 0}.
+  const CVector x{1.0, 1.0i, 1.0 - 1.0i};
+  const CMatrix a = outer_product(x, x);
+  const EigenDecomposition eig = hermitian_eig(a);
+  EXPECT_NEAR(eig.eigenvalues[0], x.norm() * x.norm(), 1e-10);
+  EXPECT_NEAR(eig.eigenvalues[1], 0.0, 1e-10);
+  EXPECT_NEAR(eig.eigenvalues[2], 0.0, 1e-10);
+}
+
+/// Property sweep over sizes and seeds: reconstruction, orthonormality,
+/// descending order, trace preservation.
+class EigPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(EigPropertyTest, ReconstructionRoundTrip) {
+  const auto [n, seed] = GetParam();
+  const CMatrix a = random_hermitian(n, seed);
+  const EigenDecomposition eig = hermitian_eig(a);
+  EXPECT_NEAR(reconstruct(eig).max_abs_diff(a), 0.0, 1e-9);
+}
+
+TEST_P(EigPropertyTest, EigenvectorsOrthonormal) {
+  const auto [n, seed] = GetParam();
+  const CMatrix a = random_hermitian(n, seed);
+  const EigenDecomposition eig = hermitian_eig(a);
+  const CMatrix gram = eig.eigenvectors.hermitian() * eig.eigenvectors;
+  EXPECT_NEAR(gram.max_abs_diff(CMatrix::identity(n)), 0.0, 1e-9);
+}
+
+TEST_P(EigPropertyTest, EigenvaluesSortedDescending) {
+  const auto [n, seed] = GetParam();
+  const EigenDecomposition eig = hermitian_eig(random_hermitian(n, seed));
+  for (std::size_t i = 0; i + 1 < eig.eigenvalues.size(); ++i) {
+    EXPECT_GE(eig.eigenvalues[i], eig.eigenvalues[i + 1] - 1e-12);
+  }
+}
+
+TEST_P(EigPropertyTest, TracePreserved) {
+  const auto [n, seed] = GetParam();
+  const CMatrix a = random_hermitian(n, seed);
+  const EigenDecomposition eig = hermitian_eig(a);
+  double sum = 0.0;
+  for (const double v : eig.eigenvalues) sum += v;
+  EXPECT_NEAR(sum, a.trace().real(), 1e-9);
+}
+
+TEST_P(EigPropertyTest, EigenvaluePairsSatisfyDefinition) {
+  const auto [n, seed] = GetParam();
+  const CMatrix a = random_hermitian(n, seed);
+  const EigenDecomposition eig = hermitian_eig(a);
+  for (std::size_t j = 0; j < static_cast<std::size_t>(n); ++j) {
+    CVector v(n);
+    for (std::size_t i = 0; i < static_cast<std::size_t>(n); ++i) {
+      v[i] = eig.eigenvectors(i, j);
+    }
+    const CVector av = matvec(a, v);
+    for (std::size_t i = 0; i < static_cast<std::size_t>(n); ++i) {
+      EXPECT_NEAR(std::abs(av[i] - eig.eigenvalues[j] * v[i]), 0.0, 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, EigPropertyTest,
+    ::testing::Combine(::testing::Values(2, 3, 4, 6, 8, 12),
+                       ::testing::Values(1u, 7u, 42u)));
+
+TEST(HermitianEig, PsdCorrelationMatrixHasNonNegativeEigenvalues) {
+  // Correlation-like matrix: A = B B^H is PSD by construction.
+  const CMatrix b = random_hermitian(6, 99);
+  const CMatrix a = b * b.hermitian();
+  const EigenDecomposition eig = hermitian_eig(a);
+  for (const double v : eig.eigenvalues) {
+    EXPECT_GE(v, -1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace dwatch::linalg

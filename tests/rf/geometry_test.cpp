@@ -1,0 +1,185 @@
+// Tests for 2-D/3-D geometry primitives, including the path-blocking
+// cylinder intersection that drives the device-free observable.
+#include "rf/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rf/constants.hpp"
+
+namespace dwatch::rf {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Vec2{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Vec2{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(b / 2.0, (Vec2{1.5, -0.5}));
+  EXPECT_DOUBLE_EQ(a.dot(b), 1.0);
+  EXPECT_DOUBLE_EQ(a.cross(b), -7.0);
+  EXPECT_DOUBLE_EQ((Vec2{3.0, 4.0}).norm(), 5.0);
+  EXPECT_EQ(a.perp(), (Vec2{-2.0, 1.0}));
+}
+
+TEST(Vec2, NormalizedThrowsOnZero) {
+  EXPECT_THROW((void)Vec2{}.normalized(), std::domain_error);
+  const Vec2 u = Vec2{0.0, 5.0}.normalized();
+  EXPECT_DOUBLE_EQ(u.y, 1.0);
+}
+
+TEST(Vec3, ArithmeticAndXy) {
+  const Vec3 a{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ((a - Vec3{1.0, 2.0, 3.0}).norm(), 0.0);
+  EXPECT_EQ(a.xy(), (Vec2{1.0, 2.0}));
+  EXPECT_EQ(lift(Vec2{4.0, 5.0}, 1.5), (Vec3{4.0, 5.0, 1.5}));
+  EXPECT_THROW((void)Vec3{}.normalized(), std::domain_error);
+}
+
+TEST(PointSegmentDistance, EndpointsAndInterior) {
+  const Vec2 a{0.0, 0.0};
+  const Vec2 b{10.0, 0.0};
+  EXPECT_DOUBLE_EQ(point_segment_distance({5.0, 3.0}, a, b), 3.0);
+  EXPECT_DOUBLE_EQ(point_segment_distance({-4.0, 3.0}, a, b), 5.0);
+  EXPECT_DOUBLE_EQ(point_segment_distance({13.0, 4.0}, a, b), 5.0);
+  // Degenerate segment behaves like a point.
+  EXPECT_DOUBLE_EQ(point_segment_distance({3.0, 4.0}, a, a), 5.0);
+}
+
+TEST(ClosestPointParameter, ClampsToUnitInterval) {
+  const Vec2 a{0.0, 0.0};
+  const Vec2 b{2.0, 0.0};
+  EXPECT_DOUBLE_EQ(closest_point_parameter({1.0, 1.0}, a, b), 0.5);
+  EXPECT_DOUBLE_EQ(closest_point_parameter({-9.0, 0.0}, a, b), 0.0);
+  EXPECT_DOUBLE_EQ(closest_point_parameter({9.0, 0.0}, a, b), 1.0);
+}
+
+TEST(MirrorAcross, HorizontalWall) {
+  const Segment2 wall{{0.0, 2.0}, {10.0, 2.0}};
+  const Vec2 m = mirror_across({3.0, 5.0}, wall);
+  EXPECT_NEAR(m.x, 3.0, 1e-12);
+  EXPECT_NEAR(m.y, -1.0, 1e-12);
+}
+
+TEST(MirrorAcross, PointOnWallIsFixed) {
+  const Segment2 wall{{0.0, 0.0}, {1.0, 1.0}};
+  const Vec2 m = mirror_across({0.5, 0.5}, wall);
+  EXPECT_NEAR(m.x, 0.5, 1e-12);
+  EXPECT_NEAR(m.y, 0.5, 1e-12);
+}
+
+TEST(MirrorAcross, DegenerateWallThrows) {
+  const Segment2 wall{{1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_THROW((void)mirror_across({0.0, 0.0}, wall), std::domain_error);
+}
+
+TEST(SegmentIntersection, CrossingAndMissing) {
+  const auto hit =
+      segment_intersection({0.0, 0.0}, {2.0, 2.0}, {0.0, 2.0}, {2.0, 0.0});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->x, 1.0, 1e-12);
+  EXPECT_NEAR(hit->y, 1.0, 1e-12);
+  EXPECT_FALSE(segment_intersection({0.0, 0.0}, {1.0, 0.0}, {0.0, 1.0},
+                                    {1.0, 1.0})
+                   .has_value());  // parallel
+  EXPECT_FALSE(segment_intersection({0.0, 0.0}, {1.0, 1.0}, {3.0, 0.0},
+                                    {3.0, 5.0})
+                   .has_value());  // out of range
+}
+
+TEST(Bearing, QuadrantsAndWraps) {
+  EXPECT_NEAR(bearing({0, 0}, {1, 0}), 0.0, 1e-12);
+  EXPECT_NEAR(bearing({0, 0}, {0, 1}), kPi / 2, 1e-12);
+  EXPECT_NEAR(bearing({0, 0}, {-1, 0}), kPi, 1e-12);
+  EXPECT_NEAR(bearing({0, 0}, {0, -1}), 3 * kPi / 2, 1e-12);
+}
+
+TEST(WrapAngles, RangeInvariants) {
+  EXPECT_NEAR(wrap_pi(3 * kPi), -kPi, 1e-12);
+  EXPECT_NEAR(wrap_pi(-3 * kPi), -kPi, 1e-12);
+  EXPECT_NEAR(wrap_pi(0.5), 0.5, 1e-12);
+  EXPECT_NEAR(wrap_two_pi(-0.5), kTwoPi - 0.5, 1e-12);
+  for (double a = -20.0; a < 20.0; a += 0.37) {
+    EXPECT_GE(wrap_pi(a), -kPi);
+    EXPECT_LT(wrap_pi(a), kPi);
+    EXPECT_GE(wrap_two_pi(a), 0.0);
+    EXPECT_LT(wrap_two_pi(a), kTwoPi);
+    EXPECT_NEAR(std::sin(wrap_pi(a)), std::sin(a), 1e-9);
+    EXPECT_NEAR(std::cos(wrap_two_pi(a)), std::cos(a), 1e-9);
+  }
+}
+
+// --- segment_hits_vertical_cylinder ---------------------------------------
+
+TEST(CylinderHit, HorizontalSegmentThroughCylinder) {
+  EXPECT_TRUE(segment_hits_vertical_cylinder({-5, 0, 1}, {5, 0, 1}, {0, 0},
+                                             0.5, 0.0, 2.0));
+}
+
+TEST(CylinderHit, SegmentMissesLaterally) {
+  EXPECT_FALSE(segment_hits_vertical_cylinder({-5, 1, 1}, {5, 1, 1}, {0, 0},
+                                              0.5, 0.0, 2.0));
+}
+
+TEST(CylinderHit, SegmentAboveCylinder) {
+  EXPECT_FALSE(segment_hits_vertical_cylinder({-5, 0, 3}, {5, 0, 3}, {0, 0},
+                                              0.5, 0.0, 2.0));
+}
+
+TEST(CylinderHit, SlantedSegmentCrossesTopBand) {
+  // Rises from z=0 at x=-5 to z=4 at x=5; inside |x|<=0.5 the z range is
+  // [1.8, 2.2], overlapping a cylinder capped at z=2.
+  EXPECT_TRUE(segment_hits_vertical_cylinder({-5, 0, 0}, {5, 0, 4}, {0, 0},
+                                             0.5, 0.0, 2.0));
+  // Cylinder capped at z=1.5 is NOT touched inside the lateral overlap.
+  EXPECT_FALSE(segment_hits_vertical_cylinder({-5, 0, 0}, {5, 0, 4}, {0, 0},
+                                              0.5, 0.0, 1.5));
+}
+
+TEST(CylinderHit, VerticalSegment) {
+  EXPECT_TRUE(segment_hits_vertical_cylinder({0.2, 0, 0}, {0.2, 0, 5},
+                                             {0, 0}, 0.5, 1.0, 2.0));
+  EXPECT_FALSE(segment_hits_vertical_cylinder({2.0, 0, 0}, {2.0, 0, 5},
+                                              {0, 0}, 0.5, 1.0, 2.0));
+  // Vertical but outside the z band.
+  EXPECT_FALSE(segment_hits_vertical_cylinder({0.2, 0, 3}, {0.2, 0, 5},
+                                              {0, 0}, 0.5, 1.0, 2.0));
+}
+
+TEST(CylinderHit, EndpointInside) {
+  EXPECT_TRUE(segment_hits_vertical_cylinder({0.1, 0.1, 1.0}, {9, 9, 1.0},
+                                             {0, 0}, 0.5, 0.0, 2.0));
+}
+
+TEST(CylinderHit, TangentCountsAsHit) {
+  EXPECT_TRUE(segment_hits_vertical_cylinder({-5, 0.5, 1}, {5, 0.5, 1},
+                                             {0, 0}, 0.5, 0.0, 2.0));
+}
+
+TEST(CylinderHit, NegativeRadiusThrows) {
+  EXPECT_THROW((void)segment_hits_vertical_cylinder({0, 0, 0}, {1, 1, 1},
+                                                    {0, 0}, -0.1, 0, 1),
+               std::invalid_argument);
+}
+
+/// Parameterized sweep: a segment rotated around a cylinder hits iff its
+/// lateral offset is below the radius.
+class CylinderSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(CylinderSweepTest, OffsetControlsHit) {
+  const double offset = GetParam();
+  const double radius = 0.35;
+  // Segment parallel to x at lateral offset `offset`.
+  const bool hit = segment_hits_vertical_cylinder(
+      {-10, offset, 1.0}, {10, offset, 1.0}, {0, 0}, radius, 0.0, 2.0);
+  EXPECT_EQ(hit, std::abs(offset) <= radius);
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, CylinderSweepTest,
+                         ::testing::Values(0.0, 0.1, 0.2, 0.3, 0.34, 0.36,
+                                           0.5, 1.0, -0.2, -0.4));
+
+}  // namespace
+}  // namespace dwatch::rf

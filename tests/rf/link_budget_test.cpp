@@ -1,0 +1,137 @@
+// Tests for the link-budget amplitude/phase model.
+#include "rf/link_budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dwatch::rf {
+namespace {
+
+PropagationPath direct_path(double d) {
+  PropagationPath p;
+  p.kind = PathKind::kDirect;
+  p.vertices = {{0, 0, 1}, {d, 0, 1}};
+  p.length = d;
+  p.aoa = kPi / 2;
+  return p;
+}
+
+TEST(LinkBudget, FreeSpaceAmplitudeInverseDistance) {
+  const LinkBudget lb;
+  EXPECT_NEAR(lb.free_space_amplitude(2.0),
+              lb.free_space_amplitude(1.0) / 2.0, 1e-15);
+  EXPECT_NEAR(lb.free_space_amplitude(1.0), lb.lambda / (4.0 * kPi), 1e-15);
+  EXPECT_THROW((void)lb.free_space_amplitude(0.0), std::invalid_argument);
+  EXPECT_THROW((void)lb.free_space_amplitude(-1.0), std::invalid_argument);
+}
+
+TEST(LinkBudget, DirectGainPhaseMatchesPropagation) {
+  const LinkBudget lb;
+  const double d = 3.7;
+  const linalg::Complex g = lb.direct_gain(d);
+  EXPECT_NEAR(std::abs(g), lb.free_space_amplitude(d), 1e-15);
+  EXPECT_NEAR(std::remainder(std::arg(g) + kTwoPi * d / lb.lambda, kTwoPi),
+              0.0, 1e-9);
+}
+
+TEST(LinkBudget, OneWavelengthIsFullPhaseTurn) {
+  const LinkBudget lb;
+  const linalg::Complex g1 = lb.direct_gain(2.0);
+  const linalg::Complex g2 = lb.direct_gain(2.0 + lb.lambda);
+  EXPECT_NEAR(std::remainder(std::arg(g1) - std::arg(g2), kTwoPi), 0.0,
+              1e-9);
+}
+
+TEST(LinkBudget, WallGainAppliesReflectionCoefficient) {
+  const LinkBudget lb;
+  const linalg::Complex g = lb.wall_gain(5.0, 0.4);
+  EXPECT_NEAR(std::abs(g), 0.4 * lb.free_space_amplitude(5.0), 1e-15);
+  EXPECT_THROW((void)lb.wall_gain(5.0, 1.5), std::invalid_argument);
+  EXPECT_THROW((void)lb.wall_gain(5.0, -0.1), std::invalid_argument);
+}
+
+TEST(LinkBudget, WallBounceAddsReflectionPhase) {
+  LinkBudget lb;
+  lb.reflection_phase = kPi;
+  const linalg::Complex direct = lb.direct_gain(5.0);
+  const linalg::Complex wall = lb.wall_gain(5.0, 1.0);
+  EXPECT_NEAR(std::remainder(std::arg(wall) - std::arg(direct) - kPi,
+                             kTwoPi),
+              0.0, 1e-9);
+}
+
+TEST(LinkBudget, ScatterGainBistaticSpreading) {
+  const LinkBudget lb;
+  const linalg::Complex g = lb.scatter_gain(2.0, 3.0, 2.0);
+  const double expect =
+      2.0 * lb.lambda / ((4.0 * kPi) * (4.0 * kPi) * 2.0 * 3.0);
+  EXPECT_NEAR(std::abs(g), expect, 1e-15);
+  EXPECT_THROW((void)lb.scatter_gain(0.0, 3.0, 2.0), std::invalid_argument);
+  EXPECT_THROW((void)lb.scatter_gain(2.0, 3.0, 0.0), std::invalid_argument);
+}
+
+TEST(LinkBudget, ScatteredMuchWeakerThanDirectAtRoomScale) {
+  const LinkBudget lb;
+  const double direct = std::abs(lb.direct_gain(5.0));
+  const double scattered = std::abs(lb.scatter_gain(3.0, 3.0, 2.2));
+  EXPECT_LT(scattered, direct);
+}
+
+TEST(LinkBudget, PathGainDispatch) {
+  const LinkBudget lb;
+  PropagationPath p = direct_path(4.0);
+  EXPECT_NEAR(std::abs(lb.path_gain(p)), lb.free_space_amplitude(4.0),
+              1e-15);
+
+  p.kind = PathKind::kWall;
+  p.vertices = {{0, 0, 1}, {2, 2, 1}, {4, 0, 1}};
+  p.length = 2.0 * std::sqrt(8.0);
+  EXPECT_NEAR(std::abs(lb.path_gain(p)),
+              lb.wall_reflection * lb.free_space_amplitude(p.length), 1e-15);
+
+  p.kind = PathKind::kScatterer;
+  EXPECT_NEAR(std::abs(lb.path_gain(p)),
+              std::abs(lb.scatter_gain(std::sqrt(8.0), std::sqrt(8.0),
+                                       lb.scatter_aperture)),
+              1e-15);
+}
+
+TEST(LinkBudget, PathGainRejectsMalformedPaths) {
+  const LinkBudget lb;
+  PropagationPath empty;
+  empty.vertices = {};
+  EXPECT_THROW((void)lb.path_gain(empty), std::invalid_argument);
+
+  PropagationPath bad_scatter;
+  bad_scatter.kind = PathKind::kScatterer;
+  bad_scatter.vertices = {{0, 0, 0}, {1, 1, 1}};  // needs 2 legs
+  bad_scatter.length = 1.0;
+  EXPECT_THROW((void)lb.path_gain(bad_scatter), std::invalid_argument);
+}
+
+TEST(PropagationPath, LegAccess) {
+  PropagationPath p;
+  p.vertices = {{0, 0, 0}, {1, 0, 0}, {1, 1, 0}};
+  EXPECT_EQ(p.num_legs(), 2u);
+  const auto [a, b] = p.leg(1);
+  EXPECT_EQ(a, (Vec3{1, 0, 0}));
+  EXPECT_EQ(b, (Vec3{1, 1, 0}));
+  EXPECT_THROW((void)p.leg(2), std::out_of_range);
+}
+
+TEST(PropagationPath, BlockingGivesTrueAngleOnlyOnFinalLeg) {
+  PropagationPath p;
+  p.vertices = {{0, 0, 0}, {1, 0, 0}, {2, 0, 0}};
+  EXPECT_FALSE(p.blocking_gives_true_angle(0));  // pre-reflection leg
+  EXPECT_TRUE(p.blocking_gives_true_angle(1));   // final leg
+}
+
+TEST(PathKind, ToStringNames) {
+  EXPECT_STREQ(to_string(PathKind::kDirect), "direct");
+  EXPECT_STREQ(to_string(PathKind::kWall), "wall");
+  EXPECT_STREQ(to_string(PathKind::kScatterer), "scatterer");
+}
+
+}  // namespace
+}  // namespace dwatch::rf

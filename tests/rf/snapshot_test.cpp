@@ -1,0 +1,203 @@
+// Tests for array snapshot synthesis — the simulator/algorithm contract.
+#include "rf/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rf/array.hpp"
+
+namespace dwatch::rf {
+namespace {
+
+PropagationPath plane_path(double theta_deg, double amplitude) {
+  PropagationPath p;
+  p.kind = PathKind::kDirect;
+  p.vertices = {{-10, 0, 1}, {0, 0, 1}};
+  p.length = 10.0;
+  p.aoa = deg2rad(theta_deg);
+  p.gain = {amplitude, 0.0};
+  return p;
+}
+
+UniformLinearArray test_array() {
+  return UniformLinearArray({0, 0, 1.0}, {1, 0}, 8);
+}
+
+TEST(NoiseSigma, MatchesSnrDefinition) {
+  const std::vector<PropagationPath> paths{plane_path(60, 0.02),
+                                           plane_path(110, 0.005)};
+  const double sigma = noise_sigma_for_snr(paths, 1.0, 20.0);
+  EXPECT_NEAR(sigma, 0.02 / 10.0, 1e-12);
+  EXPECT_THROW((void)noise_sigma_for_snr({}, 1.0, 20.0),
+               std::invalid_argument);
+}
+
+TEST(Synthesize, ShapeAndDeterminism) {
+  const auto ula = test_array();
+  const std::vector<PropagationPath> paths{plane_path(75, 0.01)};
+  SnapshotOptions opts;
+  opts.num_snapshots = 7;
+  opts.noise_sigma = 1e-5;
+  Rng rng1(5);
+  Rng rng2(5);
+  const auto x1 = synthesize_snapshots(ula, paths, {}, opts, rng1);
+  const auto x2 = synthesize_snapshots(ula, paths, {}, opts, rng2);
+  EXPECT_EQ(x1.rows(), 8u);
+  EXPECT_EQ(x1.cols(), 7u);
+  EXPECT_NEAR(x1.max_abs_diff(x2), 0.0, 0.0);  // bit-identical
+}
+
+TEST(Synthesize, ValidatesArguments) {
+  const auto ula = test_array();
+  const std::vector<PropagationPath> paths{plane_path(75, 0.01)};
+  SnapshotOptions opts;
+  Rng rng(1);
+  const std::vector<double> bad_scale{1.0, 1.0};
+  EXPECT_THROW((void)synthesize_snapshots(ula, paths, bad_scale, opts, rng),
+               std::invalid_argument);
+  opts.port_phase_offsets = {0.0, 0.1};  // wrong size
+  EXPECT_THROW((void)synthesize_snapshots(ula, paths, {}, opts, rng),
+               std::invalid_argument);
+  opts.port_phase_offsets.clear();
+  opts.num_snapshots = 0;
+  EXPECT_THROW((void)synthesize_snapshots(ula, paths, {}, opts, rng),
+               std::invalid_argument);
+}
+
+TEST(Synthesize, SinglePathPhaseProgressionMatchesSteering) {
+  const auto ula = test_array();
+  const double theta = deg2rad(50.0);
+  auto p = plane_path(50.0, 1.0);
+  SnapshotOptions opts;
+  opts.num_snapshots = 1;
+  opts.noise_sigma = 0.0;
+  Rng rng(3);
+  const auto x = synthesize_snapshots(ula, {&p, 1}, {}, opts, rng);
+  // x_m / x_1 should equal e^{-j omega(m, theta)}.
+  for (std::size_t m = 2; m <= 8; ++m) {
+    const double expected =
+        -steering_phase(m, theta, ula.spacing(), ula.lambda());
+    const double measured = std::arg(x(m - 1, 0) / x(0, 0));
+    EXPECT_NEAR(std::remainder(measured - expected, kTwoPi), 0.0, 1e-9);
+  }
+}
+
+TEST(Synthesize, PortOffsetsAppearInPhases) {
+  const auto ula = test_array();
+  auto p = plane_path(90.0, 1.0);  // broadside: no geometric progression
+  SnapshotOptions opts;
+  opts.num_snapshots = 1;
+  opts.noise_sigma = 0.0;
+  opts.port_phase_offsets = {0.0, 0.5, -0.7, 1.1, 0.2, -0.4, 0.9, -1.3};
+  Rng rng(3);
+  const auto x = synthesize_snapshots(ula, {&p, 1}, {}, opts, rng);
+  for (std::size_t m = 1; m < 8; ++m) {
+    const double measured = std::arg(x(m, 0) / x(0, 0));
+    EXPECT_NEAR(std::remainder(measured - opts.port_phase_offsets[m], kTwoPi),
+                0.0, 1e-9);
+  }
+}
+
+TEST(Synthesize, PathScaleAttenuates) {
+  const auto ula = test_array();
+  auto p = plane_path(60.0, 1.0);
+  SnapshotOptions opts;
+  opts.num_snapshots = 4;
+  opts.noise_sigma = 0.0;
+  Rng rng1(9);
+  Rng rng2(9);
+  const auto full = synthesize_snapshots(ula, {&p, 1}, {}, opts, rng1);
+  const std::vector<double> kHalf{0.5};
+  const auto half = synthesize_snapshots(ula, {&p, 1}, kHalf, opts, rng2);
+  EXPECT_NEAR(std::abs(half(0, 0)), 0.5 * std::abs(full(0, 0)), 1e-12);
+}
+
+TEST(Synthesize, CoherentPathsShareSymbol) {
+  // Two paths, no noise: the per-snapshot ratio x(0,n)/symbol must be the
+  // same complex constant for every snapshot (coherence), i.e. the ratio
+  // between two snapshots of the same antenna has unit... amplitude
+  // ratios are equal across antennas.
+  const auto ula = test_array();
+  const std::vector<PropagationPath> paths{plane_path(50, 1.0),
+                                           plane_path(120, 0.6)};
+  SnapshotOptions opts;
+  opts.num_snapshots = 3;
+  opts.noise_sigma = 0.0;
+  Rng rng(11);
+  const auto x = synthesize_snapshots(ula, paths, {}, opts, rng);
+  // For coherent mixing, x(m, n) = h_m * s_n: the matrix is rank 1, so
+  // all 2x2 minors vanish.
+  for (std::size_t m = 0; m + 1 < 8; ++m) {
+    for (std::size_t n = 0; n + 1 < 3; ++n) {
+      const linalg::Complex minor =
+          x(m, n) * x(m + 1, n + 1) - x(m, n + 1) * x(m + 1, n);
+      EXPECT_NEAR(std::abs(minor), 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Synthesize, SphericalWavefrontDiffersFromPlanarNearby) {
+  const auto ula = test_array();
+  // Near-field source 2 m away: spherical and planar synthesis disagree.
+  PropagationPath p;
+  p.kind = PathKind::kDirect;
+  p.vertices = {{0.0, 2.0, 1.0}, {0, 0, 1.0}};
+  p.length = 2.0;
+  p.aoa = ula.arrival_angle({0.0, 2.0, 1.0});
+  p.gain = {1.0, 0.0};
+  SnapshotOptions opts;
+  opts.num_snapshots = 1;
+  opts.noise_sigma = 0.0;
+  Rng rng1(2);
+  Rng rng2(2);
+  opts.wavefront = WavefrontModel::kPlanar;
+  const auto planar = synthesize_snapshots(ula, {&p, 1}, {}, opts, rng1);
+  opts.wavefront = WavefrontModel::kSpherical;
+  const auto spherical = synthesize_snapshots(ula, {&p, 1}, {}, opts, rng2);
+  EXPECT_GT(planar.max_abs_diff(spherical), 1e-3);
+}
+
+TEST(Synthesize, SphericalApproachesPlanarFarAway) {
+  const auto ula = test_array();
+  PropagationPath p;
+  p.kind = PathKind::kDirect;
+  p.vertices = {{0.0, 4000.0, 1.0}, {0, 0, 1.0}};
+  p.length = 4000.0;
+  p.aoa = ula.arrival_angle({0.0, 4000.0, 1.0});
+  p.gain = {1.0, 0.0};
+  SnapshotOptions opts;
+  opts.num_snapshots = 1;
+  opts.noise_sigma = 0.0;
+  Rng rng1(2);
+  Rng rng2(2);
+  opts.wavefront = WavefrontModel::kPlanar;
+  const auto planar = synthesize_snapshots(ula, {&p, 1}, {}, opts, rng1);
+  opts.wavefront = WavefrontModel::kSpherical;
+  const auto spherical = synthesize_snapshots(ula, {&p, 1}, {}, opts, rng2);
+  EXPECT_NEAR(planar.max_abs_diff(spherical), 0.0, 2e-3);
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng a(123);
+  Rng b = a.fork();
+  // Not a statistical test; just check the streams differ.
+  bool differ = false;
+  for (int i = 0; i < 8; ++i) {
+    if (std::abs(a.uniform(0, 1) - b.uniform(0, 1)) > 1e-12) differ = true;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Rng, ComplexGaussianPower) {
+  Rng rng(77);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += std::norm(rng.complex_gaussian(0.5));
+  }
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+}  // namespace
+}  // namespace dwatch::rf

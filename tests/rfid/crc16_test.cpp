@@ -1,0 +1,60 @@
+// Tests for CRC-16/Gen2.
+#include "rfid/crc16.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dwatch::rfid {
+namespace {
+
+TEST(Crc16, KnownVector) {
+  // CRC-16/GENIBUS ("123456789") = 0xD64E; Gen2 uses the same algorithm.
+  const std::vector<std::uint8_t> data{'1', '2', '3', '4', '5',
+                                       '6', '7', '8', '9'};
+  EXPECT_EQ(crc16_gen2(data), 0xD64E);
+}
+
+TEST(Crc16, EmptyInput) {
+  // Preset 0xFFFF, complemented: ~0xFFFF = 0x0000.
+  EXPECT_EQ(crc16_gen2({}), 0x0000);
+}
+
+TEST(Crc16, AppendedCrcVerifies) {
+  std::vector<std::uint8_t> data{0x30, 0x00, 0xDE, 0xAD, 0xBE, 0xEF};
+  const std::uint16_t crc = crc16_gen2(data);
+  data.push_back(static_cast<std::uint8_t>(crc >> 8));
+  data.push_back(static_cast<std::uint8_t>(crc));
+  EXPECT_TRUE(crc16_gen2_check(data));
+}
+
+TEST(Crc16, TooShortFails) {
+  const std::vector<std::uint8_t> one{0x42};
+  EXPECT_FALSE(crc16_gen2_check(one));
+  EXPECT_FALSE(crc16_gen2_check({}));
+}
+
+/// Every single-bit corruption must be detected.
+class CrcCorruptionTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CrcCorruptionTest, SingleBitFlipDetected) {
+  std::vector<std::uint8_t> data{0x11, 0x22, 0x33, 0x44, 0x55, 0x66};
+  const std::uint16_t crc = crc16_gen2(data);
+  data.push_back(static_cast<std::uint8_t>(crc >> 8));
+  data.push_back(static_cast<std::uint8_t>(crc));
+  const std::size_t bit = GetParam();
+  data[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  EXPECT_FALSE(crc16_gen2_check(data));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBits, CrcCorruptionTest,
+                         ::testing::Range<std::size_t>(0, 64));
+
+TEST(Crc16, DifferentInputsDifferentCrc) {
+  const std::vector<std::uint8_t> a{1, 2, 3};
+  const std::vector<std::uint8_t> b{1, 2, 4};
+  EXPECT_NE(crc16_gen2(a), crc16_gen2(b));
+}
+
+}  // namespace
+}  // namespace dwatch::rfid

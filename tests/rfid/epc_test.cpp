@@ -1,0 +1,85 @@
+// Tests for EPC-96 identifiers and air-frame encoding.
+#include "rfid/epc.hpp"
+
+#include "rfid/crc16.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+namespace dwatch::rfid {
+namespace {
+
+TEST(Epc96, HexRoundTrip) {
+  const Epc96 epc = Epc96::from_hex("3014d057a7c4000000000007");
+  EXPECT_EQ(epc.to_hex(), "3014d057a7c4000000000007");
+  EXPECT_EQ(epc.serial(), 7u);
+}
+
+TEST(Epc96, HexIsCaseInsensitive) {
+  EXPECT_EQ(Epc96::from_hex("3014D057A7C400000000002A").serial(), 42u);
+}
+
+TEST(Epc96, FromHexValidates) {
+  EXPECT_THROW((void)Epc96::from_hex("1234"), std::invalid_argument);
+  EXPECT_THROW((void)Epc96::from_hex("zz14d057a7c4000000000007"),
+               std::invalid_argument);
+}
+
+TEST(Epc96, ForTagIndexDistinctAndOrdered) {
+  std::set<Epc96> seen;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    const Epc96 epc = Epc96::for_tag_index(i);
+    EXPECT_EQ(epc.serial(), i);
+    EXPECT_TRUE(seen.insert(epc).second) << "duplicate EPC for " << i;
+  }
+}
+
+TEST(Epc96, ComparisonOperators) {
+  const Epc96 a = Epc96::for_tag_index(1);
+  const Epc96 b = Epc96::for_tag_index(2);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, Epc96::for_tag_index(1));
+  EXPECT_NE(a, b);
+}
+
+TEST(Epc96, StreamOutputIsHex) {
+  std::ostringstream os;
+  os << Epc96::for_tag_index(0xAB);
+  EXPECT_EQ(os.str(), "3014d057a7c40000000000ab");
+  EXPECT_EQ(os.str().size(), 24u);
+}
+
+TEST(EpcReply, RoundTrip) {
+  const Epc96 epc = Epc96::for_tag_index(99);
+  const auto frame = make_epc_reply(epc);
+  EXPECT_EQ(frame.size(), 16u);  // PC(2) + EPC(12) + CRC(2)
+  EXPECT_EQ(parse_epc_reply(frame), epc);
+}
+
+TEST(EpcReply, RejectsBadLength) {
+  auto frame = make_epc_reply(Epc96::for_tag_index(1));
+  frame.pop_back();
+  EXPECT_THROW((void)parse_epc_reply(frame), std::invalid_argument);
+}
+
+TEST(EpcReply, RejectsCorruptCrc) {
+  auto frame = make_epc_reply(Epc96::for_tag_index(1));
+  frame[5] ^= 0x01;
+  EXPECT_THROW((void)parse_epc_reply(frame), std::invalid_argument);
+}
+
+TEST(EpcReply, RejectsWrongPcWord) {
+  auto frame = make_epc_reply(Epc96::for_tag_index(1));
+  // Change PC word and fix up the CRC so only the PC check fires.
+  frame[0] = 0x00;
+  std::vector<std::uint8_t> payload(frame.begin(), frame.end() - 2);
+  const std::uint16_t crc = crc16_gen2(payload);
+  frame[14] = static_cast<std::uint8_t>(crc >> 8);
+  frame[15] = static_cast<std::uint8_t>(crc);
+  EXPECT_THROW((void)parse_epc_reply(frame), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dwatch::rfid

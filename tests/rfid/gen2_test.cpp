@@ -1,0 +1,115 @@
+// Tests for the Gen2-lite slotted-ALOHA inventory.
+#include "rfid/gen2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace dwatch::rfid {
+namespace {
+
+TEST(Gen2, RejectsBadArguments) {
+  Gen2Config cfg;
+  rf::Rng rng(1);
+  EXPECT_THROW((void)run_inventory(0, cfg, rng), std::invalid_argument);
+  cfg.min_q = 5;
+  cfg.max_q = 3;
+  EXPECT_THROW((void)run_inventory(4, cfg, rng), std::invalid_argument);
+}
+
+TEST(Gen2, SingleTagSingulatesQuickly) {
+  Gen2Config cfg;
+  rf::Rng rng(2);
+  const InventoryResult res = run_inventory(1, cfg, rng);
+  ASSERT_EQ(res.reads.size(), 1u);
+  EXPECT_EQ(res.reads[0].tag_index, 0u);
+  EXPECT_EQ(res.collision_slots, 0u);
+  EXPECT_GT(res.duration_us, 0.0);
+}
+
+TEST(Gen2, Deterministic) {
+  Gen2Config cfg;
+  rf::Rng a(77);
+  rf::Rng b(77);
+  const InventoryResult ra = run_inventory(21, cfg, a);
+  const InventoryResult rb = run_inventory(21, cfg, b);
+  ASSERT_EQ(ra.reads.size(), rb.reads.size());
+  for (std::size_t i = 0; i < ra.reads.size(); ++i) {
+    EXPECT_EQ(ra.reads[i].tag_index, rb.reads[i].tag_index);
+    EXPECT_DOUBLE_EQ(ra.reads[i].timestamp_us, rb.reads[i].timestamp_us);
+  }
+}
+
+TEST(Gen2, TimestampsMonotone) {
+  Gen2Config cfg;
+  rf::Rng rng(5);
+  const InventoryResult res = run_inventory(30, cfg, rng);
+  for (std::size_t i = 1; i < res.reads.size(); ++i) {
+    EXPECT_GT(res.reads[i].timestamp_us, res.reads[i - 1].timestamp_us);
+  }
+  EXPECT_GE(res.duration_us, res.reads.back().timestamp_us);
+}
+
+TEST(Gen2, SlotAccountingConsistent) {
+  Gen2Config cfg;
+  rf::Rng rng(6);
+  const InventoryResult res = run_inventory(21, cfg, rng);
+  EXPECT_EQ(res.total_slots,
+            res.empty_slots + res.collision_slots + res.reads.size());
+}
+
+/// Every tag is read exactly once, for a range of population sizes.
+class InventoryPopulationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(InventoryPopulationTest, AllTagsReadExactlyOnce) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  Gen2Config cfg;
+  rf::Rng rng(1000 + n);
+  const InventoryResult res = run_inventory(n, cfg, rng);
+  ASSERT_EQ(res.reads.size(), n);
+  std::set<std::uint32_t> seen;
+  for (const auto& read : res.reads) {
+    EXPECT_TRUE(seen.insert(read.tag_index).second);
+    EXPECT_LT(read.tag_index, n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Populations, InventoryPopulationTest,
+                         ::testing::Values(1, 2, 7, 21, 47, 100, 331));
+
+TEST(Gen2, LargerPopulationTakesLonger) {
+  Gen2Config cfg;
+  rf::Rng rng(9);
+  double d_small = 0.0;
+  double d_large = 0.0;
+  for (int rep = 0; rep < 5; ++rep) {
+    d_small += run_inventory(5, cfg, rng).duration_us;
+    d_large += run_inventory(50, cfg, rng).duration_us;
+  }
+  EXPECT_GT(d_large, d_small);
+}
+
+TEST(Gen2, ReadRateEstimatePlausible) {
+  // Commodity readers singulate on the order of a few hundred tags/s.
+  Gen2Config cfg;
+  rf::Rng rng(10);
+  const double rate = estimate_read_rate(21, cfg, 10, rng);
+  EXPECT_GT(rate, 100.0);
+  EXPECT_LT(rate, 3000.0);
+  EXPECT_THROW((void)estimate_read_rate(21, cfg, 0, rng),
+               std::invalid_argument);
+}
+
+TEST(Gen2, BadInitialQStillCompletes) {
+  // Tiny Q with a big population: the Q algorithm must adapt upward.
+  Gen2Config cfg;
+  cfg.initial_q = 0;
+  rf::Rng rng(3);
+  const InventoryResult res = run_inventory(40, cfg, rng);
+  EXPECT_EQ(res.reads.size(), 40u);
+  EXPECT_GT(res.collision_slots, 0u);
+}
+
+}  // namespace
+}  // namespace dwatch::rfid

@@ -1,0 +1,167 @@
+// Tests for the LLRP control-plane session state machine.
+#include "rfid/llrp_session.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dwatch::rfid {
+namespace {
+
+RoSpec default_rospec() {
+  RoSpec r;
+  r.rospec_id = 7;
+  r.antenna_port = 1;
+  r.report_every_n_rounds = 1;
+  return r;
+}
+
+TEST(ControlCodec, RequestRoundTrip) {
+  const RoSpec rospec = default_rospec();
+  const auto bytes =
+      encode_control_request(ControlType::kAddRospec, 42, rospec);
+  const ControlRequest req = decode_control_request(bytes);
+  EXPECT_EQ(req.type, ControlType::kAddRospec);
+  EXPECT_EQ(req.message_id, 42u);
+  EXPECT_EQ(req.rospec.rospec_id, 7u);
+  EXPECT_EQ(req.rospec.antenna_port, 1);
+}
+
+TEST(ControlCodec, ResponseRoundTrip) {
+  const auto bytes = encode_control_response(
+      ControlType::kStartRospecResponse, 9, LlrpStatus::kWrongState);
+  const ControlResponse resp = decode_control_response(bytes);
+  EXPECT_EQ(resp.type, ControlType::kStartRospecResponse);
+  EXPECT_EQ(resp.message_id, 9u);
+  EXPECT_EQ(resp.status, LlrpStatus::kWrongState);
+}
+
+TEST(ControlCodec, ResponseIsNotARequest) {
+  const auto bytes = encode_control_response(
+      ControlType::kAddRospecResponse, 1, LlrpStatus::kSuccess);
+  EXPECT_THROW((void)decode_control_request(bytes), DecodeError);
+}
+
+TEST(ControlCodec, CapabilitiesRoundTrip) {
+  ReaderCapabilities caps;
+  caps.max_antennas = 16;
+  caps.model_code = 0x0999;
+  const auto bytes = encode_capabilities_response(3, caps);
+  const ReaderCapabilities decoded = decode_capabilities_response(bytes);
+  EXPECT_EQ(decoded.max_antennas, 16);
+  EXPECT_EQ(decoded.model_code, 0x0999);
+}
+
+TEST(ReaderSession, HappyPathHandshake) {
+  ReaderSession session;
+  EXPECT_EQ(session.state(), ReaderSession::State::kIdle);
+  EXPECT_TRUE(perform_handshake(session, default_rospec()));
+  EXPECT_EQ(session.state(), ReaderSession::State::kRunning);
+  ASSERT_TRUE(session.rospec().has_value());
+  EXPECT_EQ(session.rospec()->rospec_id, 7u);
+}
+
+TEST(ReaderSession, PublishOnlyWhileRunning) {
+  ReaderSession session;
+  RoAccessReport report;
+  report.message_id = 1;
+  EXPECT_THROW((void)session.publish(report), std::logic_error);
+  ASSERT_TRUE(perform_handshake(session, default_rospec()));
+  const auto bytes = session.publish(report);
+  EXPECT_EQ(decode_ro_access_report(bytes).message_id, 1u);
+}
+
+TEST(ReaderSession, OutOfOrderStartRejected) {
+  ReaderSession session;
+  const auto resp = session.handle(
+      encode_control_request(ControlType::kStartRospec, 1, default_rospec()));
+  EXPECT_EQ(decode_control_response(resp).status, LlrpStatus::kWrongState);
+  EXPECT_EQ(session.state(), ReaderSession::State::kIdle);
+}
+
+TEST(ReaderSession, EnableRequiresMatchingRospecId) {
+  ReaderSession session;
+  (void)session.handle(
+      encode_control_request(ControlType::kAddRospec, 1, default_rospec()));
+  RoSpec wrong = default_rospec();
+  wrong.rospec_id = 99;
+  const auto resp = session.handle(
+      encode_control_request(ControlType::kEnableRospec, 2, wrong));
+  EXPECT_EQ(decode_control_response(resp).status, LlrpStatus::kWrongState);
+}
+
+TEST(ReaderSession, InvalidRospecRejected) {
+  ReaderSession session;
+  RoSpec bad = default_rospec();
+  bad.antenna_port = 99;  // beyond capabilities
+  const auto resp = session.handle(
+      encode_control_request(ControlType::kAddRospec, 1, bad));
+  EXPECT_EQ(decode_control_response(resp).status,
+            LlrpStatus::kInvalidRospec);
+  bad = default_rospec();
+  bad.rospec_id = 0;
+  const auto resp2 = session.handle(
+      encode_control_request(ControlType::kAddRospec, 2, bad));
+  EXPECT_EQ(decode_control_response(resp2).status,
+            LlrpStatus::kInvalidRospec);
+}
+
+TEST(ReaderSession, StopAndDeleteCycle) {
+  ReaderSession session;
+  ASSERT_TRUE(perform_handshake(session, default_rospec()));
+  // Delete while running: refused.
+  auto resp = session.handle(
+      encode_control_request(ControlType::kDeleteRospec, 10,
+                             default_rospec()));
+  EXPECT_EQ(decode_control_response(resp).status, LlrpStatus::kWrongState);
+  // Stop, then delete: allowed; back to idle.
+  resp = session.handle(encode_control_request(ControlType::kStopRospec, 11,
+                                               default_rospec()));
+  EXPECT_EQ(decode_control_response(resp).status, LlrpStatus::kSuccess);
+  resp = session.handle(encode_control_request(ControlType::kDeleteRospec,
+                                               12, default_rospec()));
+  EXPECT_EQ(decode_control_response(resp).status, LlrpStatus::kSuccess);
+  EXPECT_EQ(session.state(), ReaderSession::State::kIdle);
+  EXPECT_FALSE(session.rospec().has_value());
+}
+
+TEST(ReaderSession, CloseIsTerminal) {
+  ReaderSession session;
+  auto resp = session.handle(
+      encode_control_request(ControlType::kCloseConnection, 1));
+  EXPECT_EQ(decode_control_response(resp).status, LlrpStatus::kSuccess);
+  EXPECT_EQ(session.state(), ReaderSession::State::kClosed);
+  resp = session.handle(
+      encode_control_request(ControlType::kAddRospec, 2, default_rospec()));
+  EXPECT_EQ(decode_control_response(resp).status, LlrpStatus::kWrongState);
+  EXPECT_THROW((void)session.keepalive(), std::logic_error);
+}
+
+TEST(ReaderSession, KeepalivesIncrementIds) {
+  ReaderSession session;
+  const auto k1 = session.keepalive();
+  const auto k2 = session.keepalive();
+  EXPECT_NE(decode_keepalive(k1).message_id,
+            decode_keepalive(k2).message_id);
+}
+
+TEST(ReaderSession, HandshakeThenStreamDecodes) {
+  // Full loop: handshake, publish a report, client-side stream decode.
+  ReaderSession session;
+  ASSERT_TRUE(perform_handshake(session, default_rospec()));
+  RoAccessReport report;
+  report.message_id = 5;
+  TagObservation obs;
+  obs.epc = Epc96::for_tag_index(3);
+  obs.samples.push_back(PhaseSample{1, 0, 100, -2000});
+  report.observations.push_back(obs);
+
+  LlrpStreamDecoder decoder;
+  decoder.feed(session.keepalive());
+  decoder.feed(session.publish(report));
+  const auto decoded = decoder.next_report();
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->observations[0].epc, Epc96::for_tag_index(3));
+  EXPECT_EQ(decoder.keepalives_seen(), 1u);
+}
+
+}  // namespace
+}  // namespace dwatch::rfid

@@ -1,0 +1,189 @@
+// Tests for the LLRP-lite wire codec: quantization, framing, stream
+// reassembly, and malformed-input rejection.
+#include "rfid/llrp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rf/constants.hpp"
+
+namespace dwatch::rfid {
+namespace {
+
+TEST(Quantize, PhaseRoundTripResolution) {
+  for (double phase = 0.0; phase < rf::kTwoPi; phase += 0.013) {
+    const std::uint16_t q = quantize_phase(phase);
+    EXPECT_NEAR(dequantize_phase(q), phase, rf::kTwoPi / 65536.0 + 1e-12);
+  }
+}
+
+TEST(Quantize, PhaseWrapsNegative) {
+  const std::uint16_t q = quantize_phase(-rf::kPi / 2);
+  EXPECT_NEAR(dequantize_phase(q), 3.0 * rf::kPi / 2, 1e-3);
+}
+
+TEST(Quantize, RssiRoundTrip) {
+  for (double amp : {1.0, 0.5, 1e-3, 1e-6, 42.0}) {
+    const std::int16_t q = quantize_rssi(amp);
+    EXPECT_NEAR(dequantize_rssi(q) / amp, 1.0, 1e-3);
+  }
+}
+
+TEST(Quantize, ZeroAmplitudeSentinel) {
+  EXPECT_EQ(dequantize_rssi(quantize_rssi(0.0)), 0.0);
+  EXPECT_EQ(dequantize_rssi(quantize_rssi(-1.0)), 0.0);
+}
+
+class SampleQuantizeTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SampleQuantizeTest, ComplexSampleRoundTrip) {
+  const double angle = GetParam();
+  const linalg::Complex x = std::polar(0.0123, angle);
+  const auto [pq, rq] = quantize_sample(x);
+  const linalg::Complex y = dequantize_sample(pq, rq);
+  EXPECT_NEAR(std::abs(y - x) / std::abs(x), 0.0, 2e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, SampleQuantizeTest,
+                         ::testing::Values(0.0, 0.5, 1.5, 3.1, -2.0, 6.2));
+
+RoAccessReport sample_report() {
+  RoAccessReport msg;
+  msg.message_id = 1234;
+  TagObservation obs;
+  obs.epc = Epc96::for_tag_index(5);
+  obs.antenna_port = 2;
+  obs.first_seen_us = 999888777ULL;
+  for (std::uint16_t e = 1; e <= 8; ++e) {
+    for (std::uint32_t round = 0; round < 3; ++round) {
+      obs.samples.push_back(PhaseSample{
+          .element_id = e,
+          .round = round,
+          .phase_q = static_cast<std::uint16_t>(e * 1000 + round),
+          .rssi_q = static_cast<std::int16_t>(-4000 - e),
+      });
+    }
+  }
+  msg.observations.push_back(obs);
+  TagObservation obs2;
+  obs2.epc = Epc96::for_tag_index(9);
+  obs2.antenna_port = 1;
+  msg.observations.push_back(obs2);
+  return msg;
+}
+
+TEST(Llrp, ReportRoundTrip) {
+  const RoAccessReport msg = sample_report();
+  const auto bytes = encode(msg);
+  const RoAccessReport decoded = decode_ro_access_report(bytes);
+  EXPECT_EQ(decoded.message_id, 1234u);
+  ASSERT_EQ(decoded.observations.size(), 2u);
+  const TagObservation& obs = decoded.observations[0];
+  EXPECT_EQ(obs.epc, Epc96::for_tag_index(5));
+  EXPECT_EQ(obs.antenna_port, 2);
+  EXPECT_EQ(obs.first_seen_us, 999888777ULL);
+  ASSERT_EQ(obs.samples.size(), 24u);
+  EXPECT_EQ(obs.samples[0].element_id, 1);
+  EXPECT_EQ(obs.samples[23].phase_q, 8002);
+  EXPECT_EQ(obs.samples[23].rssi_q, -4008);
+  EXPECT_TRUE(decoded.observations[1].samples.empty());
+}
+
+TEST(Llrp, HeaderPeek) {
+  const auto bytes = encode(Keepalive{77});
+  const auto header = peek_header(bytes);
+  ASSERT_TRUE(header.has_value());
+  EXPECT_EQ(header->type, MessageType::kKeepalive);
+  EXPECT_EQ(header->message_id, 77u);
+  EXPECT_EQ(header->length, bytes.size());
+  // Too-short buffer: no header yet.
+  EXPECT_FALSE(
+      peek_header(std::span(bytes).subspan(0, 5)).has_value());
+}
+
+TEST(Llrp, HeaderRejectsBadVersion) {
+  auto bytes = encode(Keepalive{1});
+  bytes[0] = static_cast<std::uint8_t>(bytes[0] ^ 0x1C);  // clobber version
+  EXPECT_THROW((void)peek_header(bytes), DecodeError);
+}
+
+TEST(Llrp, DecodeRejectsWrongType) {
+  const auto bytes = encode(Keepalive{1});
+  EXPECT_THROW((void)decode_ro_access_report(bytes), DecodeError);
+}
+
+TEST(Llrp, DecodeRejectsTruncation) {
+  auto bytes = encode(sample_report());
+  bytes.pop_back();
+  EXPECT_THROW((void)decode_ro_access_report(bytes), DecodeError);
+}
+
+TEST(Llrp, EventNotificationRoundTrip) {
+  ReaderEventNotification ev;
+  ev.message_id = 42;
+  ev.timestamp_us = 123456;
+  ev.event_code = 0;
+  const auto bytes = encode(ev);
+  const auto decoded = decode_reader_event_notification(bytes);
+  EXPECT_EQ(decoded.message_id, 42u);
+  EXPECT_EQ(decoded.timestamp_us, 123456u);
+}
+
+TEST(LlrpStream, ReassemblesChunkedMessages) {
+  const auto r1 = encode(sample_report());
+  const auto ka = encode(Keepalive{5});
+  const auto r2 = encode(sample_report());
+  std::vector<std::uint8_t> stream;
+  stream.insert(stream.end(), r1.begin(), r1.end());
+  stream.insert(stream.end(), ka.begin(), ka.end());
+  stream.insert(stream.end(), r2.begin(), r2.end());
+
+  LlrpStreamDecoder decoder;
+  std::size_t reports = 0;
+  // Feed in awkward 7-byte chunks, as TCP might deliver.
+  for (std::size_t pos = 0; pos < stream.size(); pos += 7) {
+    const std::size_t n = std::min<std::size_t>(7, stream.size() - pos);
+    decoder.feed(std::span(stream).subspan(pos, n));
+    while (decoder.next_report()) ++reports;
+  }
+  EXPECT_EQ(reports, 2u);
+  EXPECT_EQ(decoder.keepalives_seen(), 1u);
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(LlrpStream, PartialMessageStaysBuffered) {
+  const auto r1 = encode(sample_report());
+  LlrpStreamDecoder decoder;
+  decoder.feed(std::span(r1).subspan(0, r1.size() - 3));
+  EXPECT_FALSE(decoder.next_report().has_value());
+  EXPECT_EQ(decoder.buffered_bytes(), r1.size() - 3);
+  decoder.feed(std::span(r1).subspan(r1.size() - 3));
+  EXPECT_TRUE(decoder.next_report().has_value());
+}
+
+TEST(ByteReader, TruncationThrows) {
+  const std::vector<std::uint8_t> buf{1, 2, 3};
+  ByteReader r(buf);
+  EXPECT_EQ(r.u16(), 0x0102);
+  EXPECT_THROW((void)r.u16(), DecodeError);
+  EXPECT_EQ(r.remaining(), 1u);
+  EXPECT_THROW(r.skip(2), DecodeError);
+}
+
+TEST(ByteWriter, BigEndianLayoutAndPatch) {
+  ByteWriter w;
+  w.u32(0xA1B2C3D4);
+  w.u64(0x1122334455667788ULL);
+  EXPECT_EQ(w.data()[0], 0xA1);
+  EXPECT_EQ(w.data()[3], 0xD4);
+  EXPECT_EQ(w.data()[4], 0x11);
+  EXPECT_EQ(w.data()[11], 0x88);
+  w.patch_u32(0, 0xDEADBEEF);
+  EXPECT_EQ(w.data()[0], 0xDE);
+  EXPECT_THROW(w.patch_u32(9, 0), std::out_of_range);
+  EXPECT_THROW(w.patch_u16(11, 0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace dwatch::rfid

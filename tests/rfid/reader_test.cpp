@@ -1,0 +1,127 @@
+// Tests for the reader model: phase offsets, power cycles, link budget.
+#include "rfid/reader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rf/constants.hpp"
+#include "rfid/tag.hpp"
+
+namespace dwatch::rfid {
+namespace {
+
+TEST(Reader, ValidatesConfig) {
+  rf::Rng rng(1);
+  ReaderConfig bad;
+  bad.hub_elements = 1;
+  EXPECT_THROW(Reader(bad, rng), std::invalid_argument);
+  bad = ReaderConfig{};
+  bad.num_rf_ports = 0;
+  EXPECT_THROW(Reader(bad, rng), std::invalid_argument);
+  bad = ReaderConfig{};
+  bad.element_slot_us = 0.0;
+  EXPECT_THROW(Reader(bad, rng), std::invalid_argument);
+}
+
+TEST(Reader, OffsetsWithinPlusMinusPi) {
+  rf::Rng rng(42);
+  const Reader reader(ReaderConfig{}, rng);
+  ASSERT_EQ(reader.phase_offsets().size(), 8u);
+  for (const double beta : reader.phase_offsets()) {
+    EXPECT_GE(beta, -rf::kPi);
+    EXPECT_LT(beta, rf::kPi);
+  }
+}
+
+TEST(Reader, RelativeOffsetsReferenceFirstElement) {
+  rf::Rng rng(42);
+  const Reader reader(ReaderConfig{}, rng);
+  const auto rel = reader.relative_phase_offsets();
+  EXPECT_DOUBLE_EQ(rel[0], 0.0);
+  for (std::size_t m = 1; m < rel.size(); ++m) {
+    const double expect = rf::wrap_pi(reader.phase_offsets()[m] -
+                                      reader.phase_offsets()[0]);
+    EXPECT_NEAR(rel[m], expect, 1e-12);
+  }
+}
+
+TEST(Reader, PowerCycleRedrawsOffsets) {
+  rf::Rng rng(42);
+  Reader reader(ReaderConfig{}, rng);
+  const auto before = reader.phase_offsets();
+  reader.power_cycle(rng);
+  const auto after = reader.phase_offsets();
+  bool changed = false;
+  for (std::size_t m = 0; m < before.size(); ++m) {
+    if (std::abs(before[m] - after[m]) > 1e-9) changed = true;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(Reader, OffsetsSpreadAcrossManyReaders) {
+  // Paper Fig. 3: offsets across 16 ports span nearly the whole circle.
+  rf::Rng rng(7);
+  double lo = rf::kPi;
+  double hi = -rf::kPi;
+  for (int r = 0; r < 4; ++r) {
+    const Reader reader(ReaderConfig{}, rng);
+    for (const double beta : reader.relative_phase_offsets()) {
+      lo = std::min(lo, beta);
+      hi = std::max(hi, beta);
+    }
+  }
+  EXPECT_LT(lo, -1.0);
+  EXPECT_GT(hi, 1.0);
+}
+
+TEST(Reader, ForwardPowerDecaysWithDistance) {
+  rf::Rng rng(1);
+  const Reader reader(ReaderConfig{}, rng);
+  EXPECT_GT(reader.forward_power_dbm(1.0), reader.forward_power_dbm(2.0));
+  // 6 dB per distance doubling.
+  EXPECT_NEAR(reader.forward_power_dbm(1.0) - reader.forward_power_dbm(2.0),
+              6.0206, 1e-3);
+  EXPECT_THROW((void)reader.forward_power_dbm(0.0), std::invalid_argument);
+}
+
+TEST(Reader, ReadRangeMatchesForwardPower) {
+  rf::Rng rng(1);
+  const Reader reader(ReaderConfig{}, rng);
+  const double range = reader.read_range_m(-18.0);
+  EXPECT_NEAR(reader.forward_power_dbm(range), -18.0, 1e-9);
+  // Large Q900F-style deployment: range beyond 10 m (paper Section 2.1).
+  EXPECT_GT(range, 10.0);
+}
+
+TEST(Reader, HubSweepTime) {
+  rf::Rng rng(1);
+  ReaderConfig cfg;
+  cfg.hub_elements = 8;
+  cfg.element_slot_us = 200.0;
+  const Reader reader(cfg, rng);
+  EXPECT_DOUBLE_EQ(reader.hub_sweep_us(), 1600.0);
+}
+
+TEST(Tag, EnergizationThreshold) {
+  const Tag tag = Tag::at(3, {1.0, 2.0, 1.2});
+  EXPECT_TRUE(tag.energized(-17.9));
+  EXPECT_TRUE(tag.energized(-18.0));
+  EXPECT_FALSE(tag.energized(-18.1));
+  EXPECT_EQ(tag.epc.serial(), 3u);
+}
+
+TEST(ReaderTag, SmallAntennaShortRange) {
+  // ANS-900-style small antenna: low gain/power => ~3 m range.
+  rf::Rng rng(1);
+  ReaderConfig small;
+  small.tx_power_dbm = 24.0;
+  small.antenna_gain_dbi = 0.0;
+  const Reader reader(small, rng);
+  const double range = reader.read_range_m(-18.0);
+  EXPECT_GT(range, 1.5);
+  EXPECT_LT(range, 6.0);
+}
+
+}  // namespace
+}  // namespace dwatch::rfid

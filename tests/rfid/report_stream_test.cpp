@@ -1,0 +1,126 @@
+// Tests for server-side snapshot assembly from wire observations.
+#include "rfid/report_stream.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dwatch::rfid {
+namespace {
+
+PhaseSample sample(std::uint16_t element, std::uint32_t round,
+                   std::uint16_t phase = 100, std::int16_t rssi = -3000) {
+  return PhaseSample{element, round, phase, rssi};
+}
+
+TagObservation full_observation(std::uint32_t tag, std::size_t elements,
+                                std::uint32_t rounds,
+                                std::uint32_t round0 = 0) {
+  TagObservation obs;
+  obs.epc = Epc96::for_tag_index(tag);
+  for (std::uint32_t r = round0; r < round0 + rounds; ++r) {
+    for (std::uint16_t e = 1; e <= elements; ++e) {
+      obs.samples.push_back(sample(e, r, static_cast<std::uint16_t>(e * r)));
+    }
+  }
+  return obs;
+}
+
+TEST(SnapshotAssembler, ValidatesConstruction) {
+  EXPECT_THROW(SnapshotAssembler(0, 4), std::invalid_argument);
+  EXPECT_THROW(SnapshotAssembler(8, 0), std::invalid_argument);
+}
+
+TEST(SnapshotAssembler, NotReadyUntilEnoughRounds) {
+  SnapshotAssembler asm8(8, 4);
+  asm8.ingest(full_observation(1, 8, 3));
+  EXPECT_TRUE(asm8.ready_tags().empty());
+  EXPECT_FALSE(asm8.take(Epc96::for_tag_index(1)).has_value());
+  asm8.ingest(full_observation(1, 8, 1, 3));
+  ASSERT_EQ(asm8.ready_tags().size(), 1u);
+  const auto snap = asm8.take(Epc96::for_tag_index(1));
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->x.rows(), 8u);
+  EXPECT_EQ(snap->x.cols(), 4u);
+  EXPECT_EQ(snap->rounds_used, 4u);
+}
+
+TEST(SnapshotAssembler, IncompleteRoundsAreNotUsed) {
+  SnapshotAssembler asm8(4, 2);
+  TagObservation obs;
+  obs.epc = Epc96::for_tag_index(2);
+  // Round 0 complete; round 1 missing element 3.
+  for (std::uint16_t e = 1; e <= 4; ++e) obs.samples.push_back(sample(e, 0));
+  for (std::uint16_t e = 1; e <= 4; ++e) {
+    if (e != 3) obs.samples.push_back(sample(e, 1));
+  }
+  asm8.ingest(obs);
+  EXPECT_TRUE(asm8.ready_tags().empty());
+}
+
+TEST(SnapshotAssembler, DuplicatesDroppedFirstWins) {
+  SnapshotAssembler asm4(2, 1);
+  TagObservation obs;
+  obs.epc = Epc96::for_tag_index(3);
+  obs.samples.push_back(sample(1, 0, 111));
+  obs.samples.push_back(sample(1, 0, 222));  // duplicate
+  obs.samples.push_back(sample(2, 0, 333));
+  asm4.ingest(obs);
+  const auto snap = asm4.take(Epc96::for_tag_index(3));
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->samples_dropped, 1u);
+  EXPECT_NEAR(std::arg(snap->x(0, 0)), dequantize_phase(111), 1e-9);
+}
+
+TEST(SnapshotAssembler, OutOfRangeElementDropped) {
+  SnapshotAssembler asm4(4, 1);
+  TagObservation obs;
+  obs.epc = Epc96::for_tag_index(4);
+  obs.samples.push_back(sample(0, 0));  // invalid
+  obs.samples.push_back(sample(5, 0));  // invalid
+  for (std::uint16_t e = 1; e <= 4; ++e) obs.samples.push_back(sample(e, 0));
+  asm4.ingest(obs);
+  const auto snap = asm4.take(Epc96::for_tag_index(4));
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->samples_dropped, 2u);
+}
+
+TEST(SnapshotAssembler, MultipleTagsIndependent) {
+  SnapshotAssembler asm4(4, 2);
+  asm4.ingest(full_observation(10, 4, 2));
+  asm4.ingest(full_observation(11, 4, 1));
+  const auto ready = asm4.ready_tags();
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0], Epc96::for_tag_index(10));
+  const auto all = asm4.take_all_ready();
+  EXPECT_EQ(all.size(), 1u);
+  // Tag 10 consumed; tag 11 still pending.
+  EXPECT_TRUE(asm4.ready_tags().empty());
+  asm4.ingest(full_observation(11, 4, 1, 1));
+  EXPECT_EQ(asm4.ready_tags().size(), 1u);
+}
+
+TEST(SnapshotAssembler, TakeConsumesRounds) {
+  SnapshotAssembler asm4(2, 2);
+  asm4.ingest(full_observation(7, 2, 4));  // 4 complete rounds buffered
+  const auto first = asm4.take(Epc96::for_tag_index(7));
+  ASSERT_TRUE(first.has_value());
+  // Two rounds consumed; two remain => still ready once more.
+  const auto second = asm4.take(Epc96::for_tag_index(7));
+  ASSERT_TRUE(second.has_value());
+  EXPECT_FALSE(asm4.take(Epc96::for_tag_index(7)).has_value());
+}
+
+TEST(SnapshotAssembler, ClearForgetsEverything) {
+  SnapshotAssembler asm4(2, 1);
+  asm4.ingest(full_observation(8, 2, 1));
+  EXPECT_EQ(asm4.ready_tags().size(), 1u);
+  asm4.clear();
+  EXPECT_TRUE(asm4.ready_tags().empty());
+}
+
+TEST(SnapshotAssembler, UnknownTagTakeReturnsNullopt) {
+  SnapshotAssembler asm4(2, 1);
+  EXPECT_FALSE(asm4.take(Epc96::for_tag_index(99)).has_value());
+}
+
+}  // namespace
+}  // namespace dwatch::rfid

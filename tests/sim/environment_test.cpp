@@ -1,0 +1,81 @@
+// Tests for environment presets (paper room geometries & multipath
+// richness ordering).
+#include "sim/environment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dwatch::sim {
+namespace {
+
+TEST(Environment, PaperRoomDimensions) {
+  const Environment lib = Environment::library();
+  EXPECT_DOUBLE_EQ(lib.width, 7.0);
+  EXPECT_DOUBLE_EQ(lib.depth, 10.0);
+  const Environment lab = Environment::laboratory();
+  EXPECT_DOUBLE_EQ(lab.width, 9.0);
+  EXPECT_DOUBLE_EQ(lab.depth, 12.0);
+  const Environment hall = Environment::hall();
+  EXPECT_DOUBLE_EQ(hall.width, 7.2);
+  EXPECT_DOUBLE_EQ(hall.depth, 10.4);
+  const Environment table = Environment::table_area();
+  EXPECT_DOUBLE_EQ(table.width, 2.0);
+  EXPECT_DOUBLE_EQ(table.depth, 2.0);
+}
+
+TEST(Environment, MultipathRichnessOrdering) {
+  // library > laboratory > hall, as in the paper's Fig. 6 description.
+  EXPECT_GT(Environment::library().scatterers.size(),
+            Environment::laboratory().scatterers.size());
+  EXPECT_GT(Environment::laboratory().scatterers.size(),
+            Environment::hall().scatterers.size());
+}
+
+TEST(Environment, HallIsBare) {
+  const Environment hall = Environment::hall();
+  EXPECT_TRUE(hall.scatterers.empty());
+  EXPECT_EQ(hall.walls.size(), 4u);  // perimeter only
+  for (const auto& wall : hall.walls) {
+    EXPECT_LE(wall.reflection, 0.2);  // weak bare walls
+  }
+}
+
+TEST(Environment, ScatterersInsideRooms) {
+  for (const Environment& env :
+       {Environment::library(), Environment::laboratory()}) {
+    for (const auto& sc : env.scatterers) {
+      EXPECT_TRUE(env.contains(sc.position)) << env.name;
+    }
+  }
+}
+
+TEST(Environment, ContainsBoundary) {
+  const Environment hall = Environment::hall();
+  EXPECT_TRUE(hall.contains({0.0, 0.0}));
+  EXPECT_TRUE(hall.contains({7.2, 10.4}));
+  EXPECT_FALSE(hall.contains({-0.1, 5.0}));
+  EXPECT_FALSE(hall.contains({3.0, 10.5}));
+}
+
+TEST(Environment, AddScatterersStaysInside) {
+  Environment hall = Environment::hall();
+  rf::Rng rng(3);
+  const std::size_t before = hall.reflector_count();
+  hall.add_scatterers(12, rng);
+  EXPECT_EQ(hall.reflector_count(), before + 12);
+  for (const auto& sc : hall.scatterers) {
+    EXPECT_TRUE(hall.contains(sc.position));
+  }
+}
+
+TEST(Environment, TableAreaHasOffTableScatterers) {
+  // The table preset's scatterers model nearby furniture — outside the
+  // table footprint by design.
+  const Environment table = Environment::table_area();
+  EXPECT_FALSE(table.scatterers.empty());
+  for (const auto& sc : table.scatterers) {
+    EXPECT_FALSE(table.contains(sc.position));
+  }
+}
+
+}  // namespace
+}  // namespace dwatch::sim

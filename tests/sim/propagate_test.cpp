@@ -1,0 +1,135 @@
+// Tests for path tracing over environments.
+#include "sim/propagate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dwatch::sim {
+namespace {
+
+rf::UniformLinearArray test_array(rf::Vec3 center = {3.6, 0.15, 1.25}) {
+  return rf::UniformLinearArray(center, {1, 0}, 8);
+}
+
+TEST(TracePaths, DirectPathAlwaysFirst) {
+  const Environment hall = Environment::hall();
+  const auto ula = test_array();
+  const auto paths = trace_paths({2.0, 5.0, 1.2}, ula, hall);
+  ASSERT_FALSE(paths.empty());
+  EXPECT_EQ(paths.front().kind, rf::PathKind::kDirect);
+  EXPECT_NEAR(paths.front().length,
+              rf::distance({2.0, 5.0, 1.2}, ula.center()), 1e-12);
+}
+
+TEST(TracePaths, ThrowsWhenTagAtArray) {
+  const auto ula = test_array();
+  EXPECT_THROW(
+      (void)trace_paths(ula.center(), ula, Environment::hall()),
+      std::invalid_argument);
+}
+
+TEST(TracePaths, ReflectedPathsAreLongerAndWeaker) {
+  const Environment lib = Environment::library();
+  const auto ula = test_array();
+  const auto paths = trace_paths({3.0, 6.0, 1.2}, ula, lib);
+  ASSERT_GT(paths.size(), 1u);
+  const double direct_len = paths.front().length;
+  const double direct_amp = std::abs(paths.front().gain);
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_GT(paths[i].length, direct_len);
+    EXPECT_LT(std::abs(paths[i].gain), direct_amp);
+  }
+}
+
+TEST(TracePaths, RicherEnvironmentMorePaths) {
+  const auto ula = test_array();
+  const rf::Vec3 tag{3.0, 6.0, 1.2};
+  TraceOptions keep_all;  // no pruning
+  const auto lib = trace_paths(tag, ula, Environment::library(), keep_all);
+  const auto hall = trace_paths(tag, ula, Environment::hall(), keep_all);
+  EXPECT_GT(lib.size(), hall.size());
+}
+
+TEST(TracePaths, ScattererPathGeometry) {
+  Environment env;
+  env.name = "unit";
+  env.width = 10.0;
+  env.depth = 10.0;
+  env.scatterers = {PointScatterer{{5.0, 5.0}, 1.0, 2.0}};
+  const auto ula = test_array({0.0, 0.0, 1.0});
+  const rf::Vec3 tag{10.0, 0.0, 1.0};
+  const auto paths = trace_paths(tag, ula, env);
+  ASSERT_EQ(paths.size(), 2u);
+  const auto& sc = paths[1];
+  EXPECT_EQ(sc.kind, rf::PathKind::kScatterer);
+  ASSERT_EQ(sc.vertices.size(), 3u);
+  EXPECT_NEAR(sc.vertices[1].x, 5.0, 1e-12);
+  // AoA points at the scatterer, not the tag.
+  EXPECT_NEAR(sc.aoa, ula.arrival_angle({5.0, 5.0, 1.0}), 1e-12);
+  EXPECT_NEAR(sc.length,
+              rf::distance(tag, {5.0, 5.0, 1.0}) +
+                  rf::distance({5.0, 5.0, 1.0}, ula.center()),
+              1e-12);
+}
+
+TEST(TracePaths, WallPathUsesSpecularBounce) {
+  Environment env;
+  env.name = "unit";
+  env.width = 10.0;
+  env.depth = 10.0;
+  env.walls = {WallReflector{{{0.0, 8.0}, {10.0, 8.0}}, 0.0, 3.0, 0.6}};
+  const auto ula = test_array({2.0, 2.0, 1.0});
+  const rf::Vec3 tag{8.0, 2.0, 1.0};
+  const auto paths = trace_paths(tag, ula, env);
+  ASSERT_EQ(paths.size(), 2u);
+  const auto& wall = paths[1];
+  EXPECT_EQ(wall.kind, rf::PathKind::kWall);
+  EXPECT_NEAR(wall.vertices[1].y, 8.0, 1e-9);  // bounce on the wall
+  // Image method: unfolded length equals distance to mirrored tag.
+  EXPECT_NEAR(wall.length, rf::distance({8.0, 14.0, 1.0}, ula.center()),
+              1e-9);
+}
+
+TEST(TracePaths, MinRelativeAmplitudePrunes) {
+  const auto ula = test_array();
+  const rf::Vec3 tag{3.0, 6.0, 1.2};
+  TraceOptions strict;
+  strict.min_relative_amplitude = 0.9;  // keep (almost) only the direct
+  const auto paths =
+      trace_paths(tag, ula, Environment::library(), strict);
+  EXPECT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths.front().kind, rf::PathKind::kDirect);
+}
+
+TEST(TracePaths, MaxPathsKeepsStrongest) {
+  const auto ula = test_array();
+  const rf::Vec3 tag{3.0, 6.0, 1.2};
+  TraceOptions capped;
+  capped.max_paths = 3;
+  const auto paths = trace_paths(tag, ula, Environment::library(), capped);
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_EQ(paths.front().kind, rf::PathKind::kDirect);
+  TraceOptions all;
+  const auto full = trace_paths(tag, ula, Environment::library(), all);
+  // The two kept reflections are the strongest reflections overall.
+  double kept_min = std::min(std::abs(paths[1].gain),
+                             std::abs(paths[2].gain));
+  std::size_t stronger = 0;
+  for (std::size_t i = 1; i < full.size(); ++i) {
+    if (std::abs(full[i].gain) > kept_min + 1e-15) ++stronger;
+  }
+  EXPECT_LE(stronger, 1u);
+}
+
+TEST(TracePaths, GainsMatchLinkBudget) {
+  const auto ula = test_array();
+  const rf::Vec3 tag{3.0, 6.0, 1.2};
+  TraceOptions opts;
+  const auto paths = trace_paths(tag, ula, Environment::hall(), opts);
+  EXPECT_NEAR(std::abs(paths.front().gain),
+              opts.link.free_space_amplitude(paths.front().length), 1e-12);
+}
+
+}  // namespace
+}  // namespace dwatch::sim

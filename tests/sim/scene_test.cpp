@@ -1,0 +1,173 @@
+// Tests for deployments and scene capture.
+#include "sim/scene.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dwatch::sim {
+namespace {
+
+Scene make_scene(Environment env = Environment::library(),
+                 std::uint64_t seed = 7) {
+  rf::Rng rng(42);
+  rf::Rng hw(seed);
+  DeploymentOptions dopt;
+  auto dep = make_room_deployment(std::move(env), dopt, rng);
+  return Scene(std::move(dep), CaptureOptions{}, hw);
+}
+
+TEST(Deployment, RoomDefaults) {
+  rf::Rng rng(1);
+  DeploymentOptions opts;
+  const Deployment dep =
+      make_room_deployment(Environment::library(), opts, rng);
+  EXPECT_EQ(dep.arrays.size(), 4u);
+  EXPECT_EQ(dep.tags.size(), 21u);
+  for (const auto& arr : dep.arrays) {
+    EXPECT_EQ(arr.num_elements(), 8u);
+    EXPECT_NEAR(arr.center().z, 1.25, 1e-12);
+  }
+  for (const auto& tag : dep.tags) {
+    EXPECT_TRUE(dep.env.contains(tag.position.xy()));
+    EXPECT_GE(tag.position.z, 1.0);
+    EXPECT_LE(tag.position.z, 1.5);
+  }
+}
+
+TEST(Deployment, Validation) {
+  rf::Rng rng(1);
+  DeploymentOptions opts;
+  opts.num_arrays = 5;
+  EXPECT_THROW(
+      (void)make_room_deployment(Environment::hall(), opts, rng),
+      std::invalid_argument);
+  opts.num_arrays = 2;
+  opts.num_tags = 0;
+  EXPECT_THROW(
+      (void)make_room_deployment(Environment::hall(), opts, rng),
+      std::invalid_argument);
+}
+
+TEST(Deployment, TableLayout) {
+  rf::Rng rng(2);
+  const Deployment dep = make_table_deployment(26, 8, rng);
+  EXPECT_EQ(dep.arrays.size(), 2u);
+  EXPECT_EQ(dep.tags.size(), 26u);
+  EXPECT_EQ(dep.env.name, "table");
+  EXPECT_THROW((void)make_table_deployment(0, 8, rng),
+               std::invalid_argument);
+}
+
+TEST(Scene, ReadersMatchArrays) {
+  const Scene scene = make_scene();
+  EXPECT_EQ(scene.num_arrays(), 4u);
+  EXPECT_EQ(scene.reader(0).config().hub_elements, 8u);
+  EXPECT_THROW((void)scene.reader(9), std::out_of_range);
+}
+
+TEST(Scene, PathsCachedAndBounded) {
+  const Scene scene = make_scene();
+  const auto& p1 = scene.paths(0, 0);
+  const auto& p2 = scene.paths(0, 0);
+  EXPECT_EQ(&p1, &p2);  // cached
+  EXPECT_LE(p1.size(), scene.options().max_paths);
+  EXPECT_THROW((void)scene.paths(5, 0), std::out_of_range);
+  EXPECT_THROW((void)scene.paths(0, 99), std::out_of_range);
+}
+
+TEST(Scene, CaptureShape) {
+  const Scene scene = make_scene();
+  rf::Rng rng(5);
+  const auto x = scene.capture(0, 0, {}, rng);
+  EXPECT_EQ(x.rows(), 8u);
+  EXPECT_EQ(x.cols(), scene.options().num_snapshots);
+}
+
+TEST(Scene, BlockedCaptureLosesPower) {
+  const Scene scene = make_scene();
+  rf::Rng rng1(5);
+  rf::Rng rng2(5);
+  // Find a (array, tag) pair whose direct path crosses a target we place.
+  for (std::size_t a = 0; a < scene.num_arrays(); ++a) {
+    for (std::size_t t = 0; t < scene.num_tags(); ++t) {
+      const auto& direct = scene.paths(a, t).front();
+      const rf::Vec3 mid = (direct.vertices[0] + direct.vertices[1]) * 0.5;
+      const std::vector<CylinderTarget> targets{
+          CylinderTarget::human(mid.xy())};
+      const auto base = scene.capture(a, t, {}, rng1);
+      const auto blocked = scene.capture(a, t, targets, rng2);
+      EXPECT_LT(blocked.frobenius_norm(), base.frobenius_norm());
+      return;  // one pair suffices
+    }
+  }
+  FAIL() << "no pair found";
+}
+
+TEST(Scene, ObservationRoundTripApproximatesCapture) {
+  const Scene scene = make_scene();
+  rf::Rng rng1(5);
+  rf::Rng rng2(5);
+  const auto x = scene.capture(0, 0, {}, rng1);
+  const auto obs = scene.capture_observation(0, 0, {}, rng2, 42);
+  EXPECT_EQ(obs.epc, scene.deployment().tags[0].epc);
+  EXPECT_EQ(obs.first_seen_us, 42u);
+  ASSERT_EQ(obs.samples.size(), x.rows() * x.cols());
+  // Wire quantization is 16-bit: reconstruction error < 0.2%.
+  for (const auto& s : obs.samples) {
+    const linalg::Complex truth = x(s.element_id - 1, s.round);
+    EXPECT_NEAR(std::abs(s.as_complex() - truth), 0.0,
+                2e-3 * std::abs(truth) + 1e-12);
+  }
+}
+
+TEST(Scene, TagReadabilityDependsOnDistanceAndPower) {
+  // With a weak reader, far tags must drop out.
+  rf::Rng rng(42);
+  rf::Rng hw(7);
+  DeploymentOptions dopt;
+  auto dep = make_room_deployment(Environment::library(), dopt, rng);
+  rfid::ReaderConfig weak;
+  weak.tx_power_dbm = 10.0;
+  weak.antenna_gain_dbi = 0.0;
+  const Scene weak_scene(std::move(dep), CaptureOptions{}, weak, hw);
+  std::size_t readable = 0;
+  for (std::size_t t = 0; t < weak_scene.num_tags(); ++t) {
+    if (weak_scene.tag_readable(0, t)) ++readable;
+  }
+  EXPECT_LT(readable, weak_scene.num_tags());
+
+  const Scene strong_scene = make_scene();
+  std::size_t strong_readable = 0;
+  for (std::size_t t = 0; t < strong_scene.num_tags(); ++t) {
+    if (strong_scene.tag_readable(0, t)) ++strong_readable;
+  }
+  EXPECT_EQ(strong_readable, strong_scene.num_tags());
+}
+
+TEST(Scene, PowerCycleChangesOffsets) {
+  Scene scene = make_scene();
+  const auto before = scene.reader(0).phase_offsets();
+  rf::Rng rng(11);
+  scene.power_cycle(rng);
+  const auto after = scene.reader(0).phase_offsets();
+  bool changed = false;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    if (std::abs(before[i] - after[i]) > 1e-12) changed = true;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(Scene, DifferentHardwareSeedsDifferentOffsets) {
+  const Scene s1 = make_scene(Environment::library(), 1);
+  const Scene s2 = make_scene(Environment::library(), 2);
+  bool differ = false;
+  for (std::size_t i = 0; i < 8; ++i) {
+    if (std::abs(s1.reader(0).phase_offsets()[i] -
+                 s2.reader(0).phase_offsets()[i]) > 1e-12) {
+      differ = true;
+    }
+  }
+  EXPECT_TRUE(differ);
+}
+
+}  // namespace
+}  // namespace dwatch::sim

@@ -1,0 +1,147 @@
+// Tests for target blocking semantics — including the paper's
+// wrong-angle condition (Fig. 1(b) path 3).
+#include "sim/target.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dwatch::sim {
+namespace {
+
+rf::PropagationPath direct_path() {
+  rf::PropagationPath p;
+  p.kind = rf::PathKind::kDirect;
+  p.vertices = {{-5, 0, 1.2}, {5, 0, 1.2}};
+  p.length = 10.0;
+  return p;
+}
+
+rf::PropagationPath reflected_path() {
+  // tag (-5,0) -> reflector (0,4) -> array (5,0)
+  rf::PropagationPath p;
+  p.kind = rf::PathKind::kScatterer;
+  p.vertices = {{-5, 0, 1.2}, {0, 4, 1.2}, {5, 0, 1.2}};
+  p.length = 2.0 * std::hypot(5.0, 4.0);
+  return p;
+}
+
+TEST(CylinderTarget, FactoryDimensions) {
+  const CylinderTarget human = CylinderTarget::human({1, 2});
+  EXPECT_DOUBLE_EQ(human.radius, 0.18);  // 36 cm wide
+  EXPECT_DOUBLE_EQ(human.z_hi, 1.7);
+  const CylinderTarget bottle = CylinderTarget::bottle({1, 2});
+  EXPECT_NEAR(bottle.radius, 0.039, 1e-12);  // 7.8 cm diameter
+  EXPECT_NEAR(bottle.z_hi - bottle.z_lo, 0.22, 1e-12);
+  const CylinderTarget fist = CylinderTarget::fist({1, 2});
+  EXPECT_LT(fist.radius, 0.1);
+}
+
+TEST(EvaluateBlocking, UnblockedPath) {
+  const auto path = direct_path();
+  const std::vector<CylinderTarget> targets{
+      CylinderTarget::human({0.0, 3.0})};
+  const BlockingResult r = evaluate_blocking(path, targets);
+  EXPECT_FALSE(r.blocked);
+  EXPECT_DOUBLE_EQ(r.amplitude_scale, 1.0);
+}
+
+TEST(EvaluateBlocking, DirectPathBlockGivesTrueAngle) {
+  const auto path = direct_path();
+  const std::vector<CylinderTarget> targets{
+      CylinderTarget::human({0.0, 0.0})};
+  const BlockingResult r = evaluate_blocking(path, targets, 0.25);
+  EXPECT_TRUE(r.blocked);
+  EXPECT_TRUE(r.gives_true_angle);
+  EXPECT_EQ(r.first_blocked_leg, 0u);
+  EXPECT_DOUBLE_EQ(r.amplitude_scale, 0.25);
+}
+
+TEST(EvaluateBlocking, PreReflectionLegGivesWrongAngle) {
+  const auto path = reflected_path();
+  // Block the tag->reflector leg (midpoint (-2.5, 2)).
+  const std::vector<CylinderTarget> targets{
+      CylinderTarget::human({-2.5, 2.0})};
+  const BlockingResult r = evaluate_blocking(path, targets);
+  EXPECT_TRUE(r.blocked);
+  EXPECT_EQ(r.first_blocked_leg, 0u);
+  EXPECT_FALSE(r.gives_true_angle);  // the paper's "wrong angle" case
+}
+
+TEST(EvaluateBlocking, FinalLegGivesTrueAngle) {
+  const auto path = reflected_path();
+  const std::vector<CylinderTarget> targets{
+      CylinderTarget::human({2.5, 2.0})};
+  const BlockingResult r = evaluate_blocking(path, targets);
+  EXPECT_TRUE(r.blocked);
+  EXPECT_EQ(r.first_blocked_leg, 1u);
+  EXPECT_TRUE(r.gives_true_angle);
+}
+
+TEST(EvaluateBlocking, BothLegsDoubleAttenuation) {
+  const auto path = reflected_path();
+  // Two targets: one per leg.
+  const std::vector<CylinderTarget> targets{
+      CylinderTarget::human({-2.5, 2.0}), CylinderTarget::human({2.5, 2.0})};
+  const BlockingResult r = evaluate_blocking(path, targets, 0.25);
+  EXPECT_TRUE(r.blocked);
+  EXPECT_DOUBLE_EQ(r.amplitude_scale, 0.25 * 0.25);
+}
+
+TEST(EvaluateBlocking, TargetIndexReportsFirstBlocker) {
+  const auto path = direct_path();
+  const std::vector<CylinderTarget> targets{
+      CylinderTarget::human({9.0, 9.0}),  // misses
+      CylinderTarget::human({0.0, 0.0})};
+  const BlockingResult r = evaluate_blocking(path, targets);
+  EXPECT_TRUE(r.blocked);
+  EXPECT_EQ(r.target_index, 1u);
+}
+
+TEST(EvaluateBlocking, BottleAboveOrBelowPathHeight) {
+  // Bottle on a table at 0.75 m: a path at 1.2 m height passes over it...
+  rf::PropagationPath p = direct_path();  // height 1.2
+  const std::vector<CylinderTarget> on_table{
+      CylinderTarget::bottle({0.0, 0.0}, 0.75)};  // z: 0.75..0.97
+  EXPECT_FALSE(evaluate_blocking(p, on_table).blocked);
+  // ...but a path at table height is blocked.
+  p.vertices = {{-5, 0, 0.85}, {5, 0, 0.85}};
+  EXPECT_TRUE(evaluate_blocking(p, on_table).blocked);
+}
+
+TEST(EvaluateBlocking, ValidatesResidual) {
+  const auto path = direct_path();
+  const std::vector<CylinderTarget> targets{
+      CylinderTarget::human({0.0, 0.0})};
+  EXPECT_THROW((void)evaluate_blocking(path, targets, -0.1),
+               std::invalid_argument);
+  EXPECT_THROW((void)evaluate_blocking(path, targets, 1.5),
+               std::invalid_argument);
+}
+
+TEST(BlockingScales, VectorisedConsistency) {
+  const std::vector<rf::PropagationPath> paths{direct_path(),
+                                               reflected_path()};
+  const std::vector<CylinderTarget> targets{
+      CylinderTarget::human({0.0, 0.0})};  // blocks only the direct path
+  const std::vector<double> scales = blocking_scales(paths, targets, 0.3);
+  ASSERT_EQ(scales.size(), 2u);
+  EXPECT_DOUBLE_EQ(scales[0], 0.3);
+  EXPECT_DOUBLE_EQ(scales[1], 1.0);
+}
+
+/// Sweep the target along the direct path: blocked iff |y| <= radius.
+class BlockSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(BlockSweepTest, LateralOffset) {
+  const double y = GetParam();
+  const auto path = direct_path();
+  const std::vector<CylinderTarget> targets{CylinderTarget::human({0.0, y})};
+  const BlockingResult r = evaluate_blocking(path, targets);
+  EXPECT_EQ(r.blocked, std::abs(y) <= 0.18);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lateral, BlockSweepTest,
+                         ::testing::Values(0.0, 0.1, 0.17, 0.19, 0.5, -0.15,
+                                           -0.25));
+
+}  // namespace
+}  // namespace dwatch::sim

@@ -1,0 +1,112 @@
+// Tests for capture trace record/replay.
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/scene.hpp"
+
+namespace dwatch::sim {
+namespace {
+
+rfid::RoAccessReport sample_report(std::uint32_t tag) {
+  rfid::RoAccessReport report;
+  report.message_id = tag;
+  rfid::TagObservation obs;
+  obs.epc = rfid::Epc96::for_tag_index(tag);
+  for (std::uint16_t e = 1; e <= 4; ++e) {
+    obs.samples.push_back(rfid::PhaseSample{e, 0, 500, -2500});
+  }
+  report.observations.push_back(obs);
+  return report;
+}
+
+TEST(Trace, EmptyRoundTrip) {
+  Trace trace;
+  std::stringstream ss;
+  trace.save(ss);
+  const Trace loaded = Trace::load(ss);
+  EXPECT_TRUE(loaded.empty());
+}
+
+TEST(Trace, RecordAndRoundTrip) {
+  Trace trace;
+  trace.record_report(EpochKind::kBaseline, "baseline", 0,
+                      sample_report(1));
+  trace.record_report(EpochKind::kOnline, "fix-0001", 2, sample_report(9));
+  std::stringstream ss;
+  trace.save(ss);
+  const Trace loaded = Trace::load(ss);
+  ASSERT_EQ(loaded.epochs().size(), 2u);
+  EXPECT_EQ(loaded.epochs()[0].kind, EpochKind::kBaseline);
+  EXPECT_EQ(loaded.epochs()[0].label, "baseline");
+  EXPECT_EQ(loaded.epochs()[0].array_index, 0u);
+  EXPECT_EQ(loaded.epochs()[1].kind, EpochKind::kOnline);
+  EXPECT_EQ(loaded.epochs()[1].array_index, 2u);
+  EXPECT_EQ(loaded.epochs()[1].messages.size(), 1u);
+}
+
+TEST(Trace, DecodeEpochRecoversObservations) {
+  Trace trace;
+  trace.record_report(EpochKind::kOnline, "x", 1, sample_report(7));
+  const auto obs = Trace::decode_epoch(trace.epochs()[0]);
+  ASSERT_EQ(obs.size(), 1u);
+  EXPECT_EQ(obs[0].epc, rfid::Epc96::for_tag_index(7));
+  EXPECT_EQ(obs[0].samples.size(), 4u);
+}
+
+TEST(Trace, BadMagicRejected) {
+  std::stringstream ss;
+  ss << "NOTATRACE!!!";
+  EXPECT_THROW((void)Trace::load(ss), rfid::DecodeError);
+}
+
+TEST(Trace, TruncatedFileRejected) {
+  Trace trace;
+  trace.record_report(EpochKind::kBaseline, "b", 0, sample_report(1));
+  std::stringstream ss;
+  trace.save(ss);
+  std::string bytes = ss.str();
+  bytes.resize(bytes.size() - 5);
+  std::stringstream cut(bytes);
+  EXPECT_THROW((void)Trace::load(cut), rfid::DecodeError);
+}
+
+TEST(Trace, SimulatedCampaignRoundTrip) {
+  // Record a small scene capture campaign, replay into observations.
+  rf::Rng rng(42);
+  rf::Rng hw(7);
+  DeploymentOptions dopt;
+  dopt.num_tags = 4;
+  dopt.num_arrays = 2;
+  auto dep = make_room_deployment(Environment::hall(), dopt, rng);
+  const Scene scene(std::move(dep), CaptureOptions{}, hw);
+
+  Trace trace;
+  for (std::size_t a = 0; a < scene.num_arrays(); ++a) {
+    rfid::RoAccessReport report;
+    report.message_id = static_cast<std::uint32_t>(a);
+    for (std::size_t t = 0; t < scene.num_tags(); ++t) {
+      report.observations.push_back(
+          scene.capture_observation(a, t, {}, rng));
+    }
+    trace.record_report(EpochKind::kBaseline, "baseline",
+                        static_cast<std::uint32_t>(a), report);
+  }
+  std::stringstream ss;
+  trace.save(ss);
+  const Trace loaded = Trace::load(ss);
+  ASSERT_EQ(loaded.epochs().size(), 2u);
+  for (const auto& epoch : loaded.epochs()) {
+    const auto obs = Trace::decode_epoch(epoch);
+    EXPECT_EQ(obs.size(), scene.num_tags());
+    for (const auto& o : obs) {
+      EXPECT_EQ(o.samples.size(),
+                8u * scene.options().num_snapshots);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dwatch::sim
