@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_environments.dir/bench_fig14_environments.cpp.o"
+  "CMakeFiles/bench_fig14_environments.dir/bench_fig14_environments.cpp.o.d"
+  "bench_fig14_environments"
+  "bench_fig14_environments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_environments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

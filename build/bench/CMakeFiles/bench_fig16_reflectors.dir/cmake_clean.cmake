@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_reflectors.dir/bench_fig16_reflectors.cpp.o"
+  "CMakeFiles/bench_fig16_reflectors.dir/bench_fig16_reflectors.cpp.o.d"
+  "bench_fig16_reflectors"
+  "bench_fig16_reflectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_reflectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_tags.dir/bench_fig17_tags.cpp.o"
+  "CMakeFiles/bench_fig17_tags.dir/bench_fig17_tags.cpp.o.d"
+  "bench_fig17_tags"
+  "bench_fig17_tags.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_tags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_height.dir/bench_fig18_height.cpp.o"
+  "CMakeFiles/bench_fig18_height.dir/bench_fig18_height.cpp.o.d"
+  "bench_fig18_height"
+  "bench_fig18_height.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_height.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

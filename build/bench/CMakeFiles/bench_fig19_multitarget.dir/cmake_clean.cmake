@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_multitarget.dir/bench_fig19_multitarget.cpp.o"
+  "CMakeFiles/bench_fig19_multitarget.dir/bench_fig19_multitarget.cpp.o.d"
+  "bench_fig19_multitarget"
+  "bench_fig19_multitarget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_multitarget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/air_writing.cpp" "examples/CMakeFiles/air_writing.dir/air_writing.cpp.o" "gcc" "examples/CMakeFiles/air_writing.dir/air_writing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/dwatch_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/dwatch_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dwatch_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dwatch_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rfid/CMakeFiles/dwatch_rfid.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/dwatch_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/dwatch_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/air_writing.dir/air_writing.cpp.o"
+  "CMakeFiles/air_writing.dir/air_writing.cpp.o.d"
+  "air_writing"
+  "air_writing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/air_writing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

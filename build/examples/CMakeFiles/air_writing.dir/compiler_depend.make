@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for air_writing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadzone_map.dir/deadzone_map.cpp.o"
+  "CMakeFiles/deadzone_map.dir/deadzone_map.cpp.o.d"
+  "deadzone_map"
+  "deadzone_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadzone_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

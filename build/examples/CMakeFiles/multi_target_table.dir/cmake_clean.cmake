@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_target_table.dir/multi_target_table.cpp.o"
+  "CMakeFiles/multi_target_table.dir/multi_target_table.cpp.o.d"
+  "multi_target_table"
+  "multi_target_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_target_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

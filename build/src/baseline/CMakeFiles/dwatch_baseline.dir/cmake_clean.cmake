@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwatch_baseline.dir/music_power_detector.cpp.o"
+  "CMakeFiles/dwatch_baseline.dir/music_power_detector.cpp.o.d"
+  "CMakeFiles/dwatch_baseline.dir/phaser_calibration.cpp.o"
+  "CMakeFiles/dwatch_baseline.dir/phaser_calibration.cpp.o.d"
+  "libdwatch_baseline.a"
+  "libdwatch_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwatch_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/calibration.cpp" "src/core/CMakeFiles/dwatch_core.dir/calibration.cpp.o" "gcc" "src/core/CMakeFiles/dwatch_core.dir/calibration.cpp.o.d"
+  "/root/repo/src/core/change_detector.cpp" "src/core/CMakeFiles/dwatch_core.dir/change_detector.cpp.o" "gcc" "src/core/CMakeFiles/dwatch_core.dir/change_detector.cpp.o.d"
+  "/root/repo/src/core/covariance.cpp" "src/core/CMakeFiles/dwatch_core.dir/covariance.cpp.o" "gcc" "src/core/CMakeFiles/dwatch_core.dir/covariance.cpp.o.d"
+  "/root/repo/src/core/doppler.cpp" "src/core/CMakeFiles/dwatch_core.dir/doppler.cpp.o" "gcc" "src/core/CMakeFiles/dwatch_core.dir/doppler.cpp.o.d"
+  "/root/repo/src/core/kalman.cpp" "src/core/CMakeFiles/dwatch_core.dir/kalman.cpp.o" "gcc" "src/core/CMakeFiles/dwatch_core.dir/kalman.cpp.o.d"
+  "/root/repo/src/core/localizer.cpp" "src/core/CMakeFiles/dwatch_core.dir/localizer.cpp.o" "gcc" "src/core/CMakeFiles/dwatch_core.dir/localizer.cpp.o.d"
+  "/root/repo/src/core/music.cpp" "src/core/CMakeFiles/dwatch_core.dir/music.cpp.o" "gcc" "src/core/CMakeFiles/dwatch_core.dir/music.cpp.o.d"
+  "/root/repo/src/core/optimizer.cpp" "src/core/CMakeFiles/dwatch_core.dir/optimizer.cpp.o" "gcc" "src/core/CMakeFiles/dwatch_core.dir/optimizer.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/dwatch_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/dwatch_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/pmusic.cpp" "src/core/CMakeFiles/dwatch_core.dir/pmusic.cpp.o" "gcc" "src/core/CMakeFiles/dwatch_core.dir/pmusic.cpp.o.d"
+  "/root/repo/src/core/polynomial.cpp" "src/core/CMakeFiles/dwatch_core.dir/polynomial.cpp.o" "gcc" "src/core/CMakeFiles/dwatch_core.dir/polynomial.cpp.o.d"
+  "/root/repo/src/core/root_music.cpp" "src/core/CMakeFiles/dwatch_core.dir/root_music.cpp.o" "gcc" "src/core/CMakeFiles/dwatch_core.dir/root_music.cpp.o.d"
+  "/root/repo/src/core/source_count.cpp" "src/core/CMakeFiles/dwatch_core.dir/source_count.cpp.o" "gcc" "src/core/CMakeFiles/dwatch_core.dir/source_count.cpp.o.d"
+  "/root/repo/src/core/spectrum.cpp" "src/core/CMakeFiles/dwatch_core.dir/spectrum.cpp.o" "gcc" "src/core/CMakeFiles/dwatch_core.dir/spectrum.cpp.o.d"
+  "/root/repo/src/core/tracker.cpp" "src/core/CMakeFiles/dwatch_core.dir/tracker.cpp.o" "gcc" "src/core/CMakeFiles/dwatch_core.dir/tracker.cpp.o.d"
+  "/root/repo/src/core/triangulate.cpp" "src/core/CMakeFiles/dwatch_core.dir/triangulate.cpp.o" "gcc" "src/core/CMakeFiles/dwatch_core.dir/triangulate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/dwatch_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/dwatch_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/rfid/CMakeFiles/dwatch_rfid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

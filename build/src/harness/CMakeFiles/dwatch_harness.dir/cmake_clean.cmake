@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwatch_harness.dir/deadzone.cpp.o"
+  "CMakeFiles/dwatch_harness.dir/deadzone.cpp.o.d"
+  "CMakeFiles/dwatch_harness.dir/experiment.cpp.o"
+  "CMakeFiles/dwatch_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/dwatch_harness.dir/stats.cpp.o"
+  "CMakeFiles/dwatch_harness.dir/stats.cpp.o.d"
+  "libdwatch_harness.a"
+  "libdwatch_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwatch_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

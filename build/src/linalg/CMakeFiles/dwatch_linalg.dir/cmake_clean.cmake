@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwatch_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/dwatch_linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/dwatch_linalg.dir/complex_matrix.cpp.o"
+  "CMakeFiles/dwatch_linalg.dir/complex_matrix.cpp.o.d"
+  "CMakeFiles/dwatch_linalg.dir/hermitian_eig.cpp.o"
+  "CMakeFiles/dwatch_linalg.dir/hermitian_eig.cpp.o.d"
+  "libdwatch_linalg.a"
+  "libdwatch_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwatch_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

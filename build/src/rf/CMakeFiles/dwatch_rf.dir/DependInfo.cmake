@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rf/array.cpp" "src/rf/CMakeFiles/dwatch_rf.dir/array.cpp.o" "gcc" "src/rf/CMakeFiles/dwatch_rf.dir/array.cpp.o.d"
+  "/root/repo/src/rf/geometry.cpp" "src/rf/CMakeFiles/dwatch_rf.dir/geometry.cpp.o" "gcc" "src/rf/CMakeFiles/dwatch_rf.dir/geometry.cpp.o.d"
+  "/root/repo/src/rf/link_budget.cpp" "src/rf/CMakeFiles/dwatch_rf.dir/link_budget.cpp.o" "gcc" "src/rf/CMakeFiles/dwatch_rf.dir/link_budget.cpp.o.d"
+  "/root/repo/src/rf/path.cpp" "src/rf/CMakeFiles/dwatch_rf.dir/path.cpp.o" "gcc" "src/rf/CMakeFiles/dwatch_rf.dir/path.cpp.o.d"
+  "/root/repo/src/rf/snapshot.cpp" "src/rf/CMakeFiles/dwatch_rf.dir/snapshot.cpp.o" "gcc" "src/rf/CMakeFiles/dwatch_rf.dir/snapshot.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/dwatch_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwatch_rf.dir/array.cpp.o"
+  "CMakeFiles/dwatch_rf.dir/array.cpp.o.d"
+  "CMakeFiles/dwatch_rf.dir/geometry.cpp.o"
+  "CMakeFiles/dwatch_rf.dir/geometry.cpp.o.d"
+  "CMakeFiles/dwatch_rf.dir/link_budget.cpp.o"
+  "CMakeFiles/dwatch_rf.dir/link_budget.cpp.o.d"
+  "CMakeFiles/dwatch_rf.dir/path.cpp.o"
+  "CMakeFiles/dwatch_rf.dir/path.cpp.o.d"
+  "CMakeFiles/dwatch_rf.dir/snapshot.cpp.o"
+  "CMakeFiles/dwatch_rf.dir/snapshot.cpp.o.d"
+  "libdwatch_rf.a"
+  "libdwatch_rf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwatch_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rfid/bytes.cpp" "src/rfid/CMakeFiles/dwatch_rfid.dir/bytes.cpp.o" "gcc" "src/rfid/CMakeFiles/dwatch_rfid.dir/bytes.cpp.o.d"
+  "/root/repo/src/rfid/crc16.cpp" "src/rfid/CMakeFiles/dwatch_rfid.dir/crc16.cpp.o" "gcc" "src/rfid/CMakeFiles/dwatch_rfid.dir/crc16.cpp.o.d"
+  "/root/repo/src/rfid/epc.cpp" "src/rfid/CMakeFiles/dwatch_rfid.dir/epc.cpp.o" "gcc" "src/rfid/CMakeFiles/dwatch_rfid.dir/epc.cpp.o.d"
+  "/root/repo/src/rfid/gen2.cpp" "src/rfid/CMakeFiles/dwatch_rfid.dir/gen2.cpp.o" "gcc" "src/rfid/CMakeFiles/dwatch_rfid.dir/gen2.cpp.o.d"
+  "/root/repo/src/rfid/llrp.cpp" "src/rfid/CMakeFiles/dwatch_rfid.dir/llrp.cpp.o" "gcc" "src/rfid/CMakeFiles/dwatch_rfid.dir/llrp.cpp.o.d"
+  "/root/repo/src/rfid/llrp_session.cpp" "src/rfid/CMakeFiles/dwatch_rfid.dir/llrp_session.cpp.o" "gcc" "src/rfid/CMakeFiles/dwatch_rfid.dir/llrp_session.cpp.o.d"
+  "/root/repo/src/rfid/reader.cpp" "src/rfid/CMakeFiles/dwatch_rfid.dir/reader.cpp.o" "gcc" "src/rfid/CMakeFiles/dwatch_rfid.dir/reader.cpp.o.d"
+  "/root/repo/src/rfid/report_stream.cpp" "src/rfid/CMakeFiles/dwatch_rfid.dir/report_stream.cpp.o" "gcc" "src/rfid/CMakeFiles/dwatch_rfid.dir/report_stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rf/CMakeFiles/dwatch_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/dwatch_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwatch_rfid.dir/bytes.cpp.o"
+  "CMakeFiles/dwatch_rfid.dir/bytes.cpp.o.d"
+  "CMakeFiles/dwatch_rfid.dir/crc16.cpp.o"
+  "CMakeFiles/dwatch_rfid.dir/crc16.cpp.o.d"
+  "CMakeFiles/dwatch_rfid.dir/epc.cpp.o"
+  "CMakeFiles/dwatch_rfid.dir/epc.cpp.o.d"
+  "CMakeFiles/dwatch_rfid.dir/gen2.cpp.o"
+  "CMakeFiles/dwatch_rfid.dir/gen2.cpp.o.d"
+  "CMakeFiles/dwatch_rfid.dir/llrp.cpp.o"
+  "CMakeFiles/dwatch_rfid.dir/llrp.cpp.o.d"
+  "CMakeFiles/dwatch_rfid.dir/llrp_session.cpp.o"
+  "CMakeFiles/dwatch_rfid.dir/llrp_session.cpp.o.d"
+  "CMakeFiles/dwatch_rfid.dir/reader.cpp.o"
+  "CMakeFiles/dwatch_rfid.dir/reader.cpp.o.d"
+  "CMakeFiles/dwatch_rfid.dir/report_stream.cpp.o"
+  "CMakeFiles/dwatch_rfid.dir/report_stream.cpp.o.d"
+  "libdwatch_rfid.a"
+  "libdwatch_rfid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwatch_rfid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

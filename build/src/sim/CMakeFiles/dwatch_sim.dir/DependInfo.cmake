@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/environment.cpp" "src/sim/CMakeFiles/dwatch_sim.dir/environment.cpp.o" "gcc" "src/sim/CMakeFiles/dwatch_sim.dir/environment.cpp.o.d"
+  "/root/repo/src/sim/propagate.cpp" "src/sim/CMakeFiles/dwatch_sim.dir/propagate.cpp.o" "gcc" "src/sim/CMakeFiles/dwatch_sim.dir/propagate.cpp.o.d"
+  "/root/repo/src/sim/reflector.cpp" "src/sim/CMakeFiles/dwatch_sim.dir/reflector.cpp.o" "gcc" "src/sim/CMakeFiles/dwatch_sim.dir/reflector.cpp.o.d"
+  "/root/repo/src/sim/scene.cpp" "src/sim/CMakeFiles/dwatch_sim.dir/scene.cpp.o" "gcc" "src/sim/CMakeFiles/dwatch_sim.dir/scene.cpp.o.d"
+  "/root/repo/src/sim/target.cpp" "src/sim/CMakeFiles/dwatch_sim.dir/target.cpp.o" "gcc" "src/sim/CMakeFiles/dwatch_sim.dir/target.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/dwatch_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/dwatch_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rf/CMakeFiles/dwatch_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/rfid/CMakeFiles/dwatch_rfid.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/dwatch_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dwatch_sim.dir/environment.cpp.o"
+  "CMakeFiles/dwatch_sim.dir/environment.cpp.o.d"
+  "CMakeFiles/dwatch_sim.dir/propagate.cpp.o"
+  "CMakeFiles/dwatch_sim.dir/propagate.cpp.o.d"
+  "CMakeFiles/dwatch_sim.dir/reflector.cpp.o"
+  "CMakeFiles/dwatch_sim.dir/reflector.cpp.o.d"
+  "CMakeFiles/dwatch_sim.dir/scene.cpp.o"
+  "CMakeFiles/dwatch_sim.dir/scene.cpp.o.d"
+  "CMakeFiles/dwatch_sim.dir/target.cpp.o"
+  "CMakeFiles/dwatch_sim.dir/target.cpp.o.d"
+  "CMakeFiles/dwatch_sim.dir/trace.cpp.o"
+  "CMakeFiles/dwatch_sim.dir/trace.cpp.o.d"
+  "libdwatch_sim.a"
+  "libdwatch_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dwatch_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

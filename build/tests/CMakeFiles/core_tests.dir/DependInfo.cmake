@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/calibration_test.cpp" "tests/CMakeFiles/core_tests.dir/core/calibration_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/calibration_test.cpp.o.d"
+  "/root/repo/tests/core/change_detector_test.cpp" "tests/CMakeFiles/core_tests.dir/core/change_detector_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/change_detector_test.cpp.o.d"
+  "/root/repo/tests/core/covariance_test.cpp" "tests/CMakeFiles/core_tests.dir/core/covariance_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/covariance_test.cpp.o.d"
+  "/root/repo/tests/core/doppler_test.cpp" "tests/CMakeFiles/core_tests.dir/core/doppler_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/doppler_test.cpp.o.d"
+  "/root/repo/tests/core/kalman_test.cpp" "tests/CMakeFiles/core_tests.dir/core/kalman_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/kalman_test.cpp.o.d"
+  "/root/repo/tests/core/localizer_test.cpp" "tests/CMakeFiles/core_tests.dir/core/localizer_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/localizer_test.cpp.o.d"
+  "/root/repo/tests/core/music_test.cpp" "tests/CMakeFiles/core_tests.dir/core/music_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/music_test.cpp.o.d"
+  "/root/repo/tests/core/optimizer_test.cpp" "tests/CMakeFiles/core_tests.dir/core/optimizer_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/optimizer_test.cpp.o.d"
+  "/root/repo/tests/core/pipeline_test.cpp" "tests/CMakeFiles/core_tests.dir/core/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/pipeline_test.cpp.o.d"
+  "/root/repo/tests/core/pmusic_test.cpp" "tests/CMakeFiles/core_tests.dir/core/pmusic_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/pmusic_test.cpp.o.d"
+  "/root/repo/tests/core/root_music_test.cpp" "tests/CMakeFiles/core_tests.dir/core/root_music_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/root_music_test.cpp.o.d"
+  "/root/repo/tests/core/source_count_test.cpp" "tests/CMakeFiles/core_tests.dir/core/source_count_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/source_count_test.cpp.o.d"
+  "/root/repo/tests/core/spectrum_test.cpp" "tests/CMakeFiles/core_tests.dir/core/spectrum_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/spectrum_test.cpp.o.d"
+  "/root/repo/tests/core/tracker_test.cpp" "tests/CMakeFiles/core_tests.dir/core/tracker_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/tracker_test.cpp.o.d"
+  "/root/repo/tests/core/triangulate_test.cpp" "tests/CMakeFiles/core_tests.dir/core/triangulate_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/triangulate_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/dwatch_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/dwatch_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dwatch_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dwatch_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rfid/CMakeFiles/dwatch_rfid.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/dwatch_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/dwatch_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

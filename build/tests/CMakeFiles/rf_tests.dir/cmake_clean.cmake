@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_tests.dir/rf/array_test.cpp.o"
+  "CMakeFiles/rf_tests.dir/rf/array_test.cpp.o.d"
+  "CMakeFiles/rf_tests.dir/rf/geometry_test.cpp.o"
+  "CMakeFiles/rf_tests.dir/rf/geometry_test.cpp.o.d"
+  "CMakeFiles/rf_tests.dir/rf/link_budget_test.cpp.o"
+  "CMakeFiles/rf_tests.dir/rf/link_budget_test.cpp.o.d"
+  "CMakeFiles/rf_tests.dir/rf/snapshot_test.cpp.o"
+  "CMakeFiles/rf_tests.dir/rf/snapshot_test.cpp.o.d"
+  "rf_tests"
+  "rf_tests.pdb"
+  "rf_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

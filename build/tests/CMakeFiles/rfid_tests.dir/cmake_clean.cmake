@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfid_tests.dir/rfid/crc16_test.cpp.o"
+  "CMakeFiles/rfid_tests.dir/rfid/crc16_test.cpp.o.d"
+  "CMakeFiles/rfid_tests.dir/rfid/epc_test.cpp.o"
+  "CMakeFiles/rfid_tests.dir/rfid/epc_test.cpp.o.d"
+  "CMakeFiles/rfid_tests.dir/rfid/gen2_test.cpp.o"
+  "CMakeFiles/rfid_tests.dir/rfid/gen2_test.cpp.o.d"
+  "CMakeFiles/rfid_tests.dir/rfid/llrp_session_test.cpp.o"
+  "CMakeFiles/rfid_tests.dir/rfid/llrp_session_test.cpp.o.d"
+  "CMakeFiles/rfid_tests.dir/rfid/llrp_test.cpp.o"
+  "CMakeFiles/rfid_tests.dir/rfid/llrp_test.cpp.o.d"
+  "CMakeFiles/rfid_tests.dir/rfid/reader_test.cpp.o"
+  "CMakeFiles/rfid_tests.dir/rfid/reader_test.cpp.o.d"
+  "CMakeFiles/rfid_tests.dir/rfid/report_stream_test.cpp.o"
+  "CMakeFiles/rfid_tests.dir/rfid/report_stream_test.cpp.o.d"
+  "rfid_tests"
+  "rfid_tests.pdb"
+  "rfid_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfid_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
