@@ -28,22 +28,46 @@ double WirelessCalibrator::objective(
     throw std::invalid_argument("calibration objective: size mismatch");
   }
   const std::size_t m = noise_subspaces.front().rows();
+  std::vector<linalg::CVector> steerings;
+  steerings.reserve(los_angles.size());
+  for (const double theta : los_angles) {
+    steerings.push_back(rf::steering_vector(m, theta, spacing_, lambda_));
+  }
+  return objective_precomputed(noise_subspaces, steerings, offsets_tail);
+}
+
+double WirelessCalibrator::objective_precomputed(
+    std::span<const linalg::CMatrix> noise_subspaces,
+    std::span<const linalg::CVector> steerings,
+    std::span<const double> offsets_tail) const {
+  if (noise_subspaces.size() != steerings.size() || noise_subspaces.empty()) {
+    throw std::invalid_argument("calibration objective: size mismatch");
+  }
+  const std::size_t m = noise_subspaces.front().rows();
   if (offsets_tail.size() + 1 != m) {
     throw std::invalid_argument("calibration objective: bad offset count");
   }
 
+  // g = Gamma a (beta_1 = 0), identical for every noise column, so the
+  // per-element phasors are applied once per measurement rather than
+  // once per (column, element) pair.
+  std::vector<linalg::Complex> g(m);
   double total = 0.0;
   for (std::size_t k = 0; k < noise_subspaces.size(); ++k) {
     const linalg::CMatrix& un = noise_subspaces[k];
-    const linalg::CVector a =
-        rf::steering_vector(m, los_angles[k], spacing_, lambda_);
-    // g = Gamma a (beta_1 = 0); then accumulate ||g^H U_N||^2.
+    const linalg::CVector& a = steerings[k];
+    if (a.size() != m) {
+      throw std::invalid_argument("calibration objective: bad steering size");
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      const double beta = i == 0 ? 0.0 : offsets_tail[i - 1];
+      g[i] = a[i] * std::polar(1.0, beta);
+    }
+    // Accumulate ||g^H U_N||^2.
     for (std::size_t q = 0; q < un.cols(); ++q) {
       linalg::Complex dot{};
       for (std::size_t i = 0; i < m; ++i) {
-        const double beta = i == 0 ? 0.0 : offsets_tail[i - 1];
-        const linalg::Complex g = a[i] * std::polar(1.0, beta);
-        dot += std::conj(g) * un(i, q);
+        dot += std::conj(g[i]) * un(i, q);
       }
       total += std::norm(dot);
     }
@@ -82,8 +106,15 @@ CalibrationResult WirelessCalibrator::calibrate(
     los_angles.push_back(meas.los_angle);
   }
 
+  // The steering vectors depend only on the fixed LOS angles, so build
+  // them once for the whole solve instead of on every objective call.
+  std::vector<linalg::CVector> steerings;
+  steerings.reserve(los_angles.size());
+  for (const double theta : los_angles) {
+    steerings.push_back(rf::steering_vector(m, theta, spacing_, lambda_));
+  }
   const Objective f = [&](std::span<const double> tail) {
-    return objective(noise_subspaces, los_angles, tail);
+    return objective_precomputed(noise_subspaces, steerings, tail);
   };
   const std::vector<double> lo(m - 1, -rf::kPi);
   const std::vector<double> hi(m - 1, rf::kPi);

@@ -65,9 +65,21 @@ class WirelessCalibrator {
 
   /// The calibration objective (Eq. 11) for externally-supplied noise
   /// subspaces; exposed for testing and for the Phaser-comparison bench.
+  /// Regenerates a(theta_LoS) per call; the calibrate() hot loop instead
+  /// precomputes the steering vectors once per solve and uses
+  /// objective_precomputed().
   [[nodiscard]] double objective(
       std::span<const linalg::CMatrix> noise_subspaces,
       std::span<const double> los_angles,
+      std::span<const double> offsets_tail) const;
+
+  /// objective() with the K LoS steering vectors already evaluated
+  /// (steerings[k] = a(theta_LoS^(k))). The optimizer probes this
+  /// thousands of times per solve, so the trigonometric steering
+  /// generation is hoisted out of the probe path.
+  [[nodiscard]] double objective_precomputed(
+      std::span<const linalg::CMatrix> noise_subspaces,
+      std::span<const linalg::CVector> steerings,
       std::span<const double> offsets_tail) const;
 
  private:

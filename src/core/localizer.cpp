@@ -18,6 +18,7 @@ Localizer::Localizer(std::vector<rf::UniformLinearArray> arrays,
   if (options_.grid_step <= 0.0 || options_.kernel_sigma <= 0.0) {
     throw std::invalid_argument("Localizer: bad step/sigma");
   }
+  inv_2s2_ = 1.0 / (2.0 * options_.kernel_sigma * options_.kernel_sigma);
 }
 
 double Localizer::global_drop_norm(
@@ -34,8 +35,7 @@ double Localizer::global_drop_norm(
 double Localizer::evidence_at(const AngularEvidence& evidence, double theta,
                               double norm) const {
   if (norm <= 0.0) return 0.0;
-  const double inv_2s2 =
-      1.0 / (2.0 * options_.kernel_sigma * options_.kernel_sigma);
+  const double inv_2s2 = inv_2s2_;
   // MAX-combine across drops: several drops at one bearing are usually
   // one physical blockage seen through several tags' spectra (or one
   // reflector's ghost), so they must not pile up additively — otherwise
@@ -74,11 +74,16 @@ bool Localizer::too_close_to_array(rf::Vec2 point) const {
 
 double Localizer::likelihood_at(
     rf::Vec2 point, std::span<const AngularEvidence> evidence) const {
+  return likelihood_at(point, evidence, global_drop_norm(evidence));
+}
+
+double Localizer::likelihood_at(rf::Vec2 point,
+                                std::span<const AngularEvidence> evidence,
+                                double norm) const {
   if (evidence.size() != arrays_.size()) {
     throw std::invalid_argument("likelihood_at: evidence count mismatch");
   }
   if (too_close_to_array(point)) return 0.0;
-  const double norm = global_drop_norm(evidence);
   double l = 1.0;
   for (std::size_t i = 0; i < arrays_.size(); ++i) {
     if (evidence[i].empty()) continue;  // silent reader: no information
@@ -96,8 +101,7 @@ std::size_t Localizer::consensus_at(rf::Vec2 point,
   // candidate iff one of its drops points at it (kernel proximity),
   // whatever that drop's strength. Power weighting then ranks candidates
   // WITHIN a consensus level via the likelihood.
-  const double inv_2s2 =
-      1.0 / (2.0 * options_.kernel_sigma * options_.kernel_sigma);
+  const double inv_2s2 = inv_2s2_;
   if (too_close_to_array(point)) return 0;
   std::size_t n = 0;
   for (std::size_t i = 0; i < arrays_.size(); ++i) {
@@ -151,7 +155,7 @@ std::vector<LocationEstimate> Localizer::grid_candidates(
 }
 
 std::vector<LocationEstimate> Localizer::hill_climb_candidates(
-    std::span<const AngularEvidence> evidence) const {
+    std::span<const AngularEvidence> evidence, double norm) const {
   // Multi-start: coarse seed lattice, then 8-neighbour ascent on the
   // fine grid (the paper's hill climbing). Produces one candidate per
   // distinct basin reached.
@@ -171,7 +175,7 @@ std::vector<LocationEstimate> Localizer::hill_climb_candidates(
           bounds_.min.y + (bounds_.max.y - bounds_.min.y) *
                               (static_cast<double>(sy) + 0.5) /
                               static_cast<double>(per_side)};
-      double l = likelihood_at(p, evidence);
+      double l = likelihood_at(p, evidence, norm);
       bool moved = true;
       while (moved) {
         moved = false;
@@ -180,7 +184,7 @@ std::vector<LocationEstimate> Localizer::hill_climb_candidates(
             if (dx == 0 && dy == 0) continue;
             const rf::Vec2 q{p.x + dx * step, p.y + dy * step};
             if (!bounds_.contains(q)) continue;
-            const double lq = likelihood_at(q, evidence);
+            const double lq = likelihood_at(q, evidence, norm);
             if (lq > l) {
               l = lq;
               p = q;
@@ -214,7 +218,7 @@ LocationEstimate Localizer::localize(
   }
   const double norm = global_drop_norm(evidence);
   std::vector<LocationEstimate> candidates =
-      options_.hill_climbing ? hill_climb_candidates(evidence)
+      options_.hill_climbing ? hill_climb_candidates(evidence, norm)
                              : grid_candidates(evidence);
 
   // Consensus selection (outlier rejection): among the likelihood peaks,
@@ -294,7 +298,10 @@ LikelihoodGrid Localizer::likelihood_grid(
             1;
   grid.values.resize(grid.nx * grid.ny);
   const double norm = global_drop_norm(evidence);
-  for (std::size_t iy = 0; iy < grid.ny; ++iy) {
+  // Each row writes only its own disjoint slice of grid.values and reads
+  // shared state read-only, so the parallel and serial paths produce
+  // bit-identical grids.
+  const auto fill_row = [&](std::size_t iy) {
     for (std::size_t ix = 0; ix < grid.nx; ++ix) {
       const rf::Vec2 p = grid.point(ix, iy);
       if (too_close_to_array(p)) {
@@ -309,6 +316,11 @@ LikelihoodGrid Localizer::likelihood_grid(
       }
       grid.values[iy * grid.nx + ix] = l;
     }
+  };
+  if (pool_ && pool_->num_workers() > 1) {
+    pool_->parallel_for(grid.ny, fill_row);
+  } else {
+    for (std::size_t iy = 0; iy < grid.ny; ++iy) fill_row(iy);
   }
   return grid;
 }

@@ -13,10 +13,12 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "core/change_detector.hpp"
+#include "core/thread_pool.hpp"
 #include "rf/array.hpp"
 #include "rf/geometry.hpp"
 
@@ -119,9 +121,25 @@ class Localizer {
                                    double theta, double norm) const;
 
   /// L(O) for a candidate point (evidence indexed like the arrays;
-  /// throws std::invalid_argument on count mismatch).
+  /// throws std::invalid_argument on count mismatch). Recomputes the
+  /// global drop norm; search loops use the `norm` overload below so the
+  /// O(total drops) scan runs once per search, not once per probe.
   [[nodiscard]] double likelihood_at(
       rf::Vec2 point, std::span<const AngularEvidence> evidence) const;
+
+  /// L(O) with the global drop norm already computed (the hot-path
+  /// variant probed by hill climbing and grid search).
+  [[nodiscard]] double likelihood_at(rf::Vec2 point,
+                                     std::span<const AngularEvidence> evidence,
+                                     double norm) const;
+
+  /// Attach a worker pool; likelihood_grid() then computes its rows in
+  /// parallel. Results are bit-identical with or without a pool (rows
+  /// are independent and write disjoint slots). Pass nullptr to go back
+  /// to serial.
+  void set_thread_pool(std::shared_ptr<ThreadPool> pool) noexcept {
+    pool_ = std::move(pool);
+  }
 
   /// Best single-target estimate. Invalid (valid == false) when fewer
   /// than min_arrays arrays support any candidate.
@@ -161,11 +179,15 @@ class Localizer {
   [[nodiscard]] std::vector<LocationEstimate> grid_candidates(
       std::span<const AngularEvidence> evidence) const;
   [[nodiscard]] std::vector<LocationEstimate> hill_climb_candidates(
-      std::span<const AngularEvidence> evidence) const;
+      std::span<const AngularEvidence> evidence, double norm) const;
 
   std::vector<rf::UniformLinearArray> arrays_;
   SearchBounds bounds_;
   LocalizerOptions options_;
+  /// Precomputed Gaussian kernel reciprocal 1/(2 sigma^2), fixed per
+  /// localizer since kernel_sigma is set at construction.
+  double inv_2s2_ = 0.0;
+  std::shared_ptr<ThreadPool> pool_;
 };
 
 }  // namespace dwatch::core

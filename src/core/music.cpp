@@ -1,7 +1,11 @@
 #include "core/music.hpp"
 
+#include <algorithm>
+#include <memory>
 #include <stdexcept>
+#include <vector>
 
+#include "core/steering_cache.hpp"
 #include "rf/array.hpp"
 
 namespace dwatch::core {
@@ -49,12 +53,24 @@ MusicResult MusicEstimator::estimate_from_correlation(
   result.signal_subspace = eig.eigenvectors.block(0, 0, l, p);
   result.noise_subspace = eig.eigenvectors.block(0, p, l, l - p);
 
-  result.spectrum = AngularSpectrum(options_.grid_points);
-  for (std::size_t i = 0; i < options_.grid_points; ++i) {
-    result.spectrum[i] =
-        spectrum_value(result.noise_subspace, result.spectrum.theta_at(i));
-  }
+  result.spectrum = noise_spectrum(result.noise_subspace);
   return result;
+}
+
+AngularSpectrum MusicEstimator::noise_spectrum(
+    const linalg::CMatrix& noise_subspace) const {
+  const std::shared_ptr<const SteeringManifold> manifold =
+      SteeringCache::instance().get(noise_subspace.rows(), spacing_, lambda_,
+                                    options_.grid_points);
+  // ||U_N^H a(theta_i)||^2 for all grid points in one batched projection.
+  const linalg::CMatrix proj =
+      linalg::matmul_hermitian_left(noise_subspace, manifold->matrix());
+  const std::vector<double> denom = linalg::column_squared_norms(proj);
+  AngularSpectrum spectrum(options_.grid_points);
+  for (std::size_t i = 0; i < denom.size(); ++i) {
+    spectrum[i] = 1.0 / std::max(denom[i], 1e-12);
+  }
+  return spectrum;
 }
 
 double MusicEstimator::spectrum_value(const linalg::CMatrix& noise_subspace,

@@ -59,8 +59,17 @@ class MusicEstimator {
 
   /// Spectrum value B(theta) for a given noise subspace (exposed for the
   /// calibration objective, which evaluates a(theta)^H Gamma^H U_N).
+  /// Regenerates a(theta) per call; the estimate path instead uses the
+  /// cached steering manifold via noise_spectrum().
   [[nodiscard]] double spectrum_value(const linalg::CMatrix& noise_subspace,
                                       double theta) const;
+
+  /// Full spectrum B over the grid for a given noise subspace, computed
+  /// through the cached steering manifold as one U_N^H A projection.
+  /// Numerically identical to calling spectrum_value at every grid
+  /// angle.
+  [[nodiscard]] AngularSpectrum noise_spectrum(
+      const linalg::CMatrix& noise_subspace) const;
 
  private:
   double spacing_;

@@ -1,7 +1,11 @@
 #include "core/pipeline.hpp"
 
+#include <algorithm>
+#include <numeric>
 #include <set>
 #include <stdexcept>
+#include <tuple>
+#include <utility>
 
 namespace dwatch::core {
 
@@ -54,7 +58,20 @@ DWatchPipeline::DWatchPipeline(std::vector<rf::UniformLinearArray> arrays,
       detector_(options.change),
       calibration_(arrays_.size()),
       baselines_(arrays_.size()),
-      evidence_(arrays_.size()) {}
+      evidence_(arrays_.size()) {
+  pmusic_.reserve(arrays_.size());
+  for (const auto& array : arrays_) {
+    pmusic_.emplace_back(array.spacing(), array.lambda(), options_.pmusic);
+  }
+  const std::size_t workers =
+      options_.num_workers == 0
+          ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+          : options_.num_workers;
+  if (workers > 1) {
+    pool_ = std::make_shared<ThreadPool>(workers);
+    localizer_.set_thread_pool(pool_);
+  }
+}
 
 void DWatchPipeline::check_array(std::size_t array_idx) const {
   if (array_idx >= arrays_.size()) {
@@ -81,8 +98,7 @@ AngularSpectrum DWatchPipeline::compute_omega(
   if (calibration_[array_idx]) {
     apply_phase_correction(x, *calibration_[array_idx]);
   }
-  PMusicEstimator pmusic(array.spacing(), array.lambda(), options_.pmusic);
-  return pmusic.estimate(x).omega;
+  return pmusic_[array_idx].estimate(x).omega;
 }
 
 AngularSpectrum DWatchPipeline::compute_online_power(
@@ -95,8 +111,7 @@ AngularSpectrum DWatchPipeline::compute_online_power(
   if (calibration_[array_idx]) {
     apply_phase_correction(x, *calibration_[array_idx]);
   }
-  PMusicEstimator pmusic(array.spacing(), array.lambda(), options_.pmusic);
-  return pmusic.power_spectrum(sample_correlation(x));
+  return pmusic_[array_idx].power_spectrum(sample_correlation(x));
 }
 
 void DWatchPipeline::add_baseline(std::size_t array_idx,
@@ -120,6 +135,22 @@ void DWatchPipeline::begin_epoch() {
   for (auto& e : evidence_) e.drops.clear();
 }
 
+std::vector<PathDrop> DWatchPipeline::detect_drops(
+    std::size_t array_idx, const rfid::Epc96& epc,
+    const AngularSpectrum& baseline, const linalg::CMatrix& snapshots) const {
+  // Baseline peak positions come from the P-MUSIC spectrum; the ONLINE
+  // power at those positions is read from the beamforming power spectrum
+  // PB, which is free of MUSIC's model-order jitter (a vanished weak
+  // MUSIC peak must not masquerade as a physical power drop). At a peak
+  // the two spectra share the same scale: Omega = PB * Nor(B) with
+  // Nor(B) == 1 there.
+  const AngularSpectrum online_power =
+      compute_online_power(array_idx, snapshots);
+  std::vector<PathDrop> drops = detector_.detect(baseline, online_power);
+  for (PathDrop& d : drops) d.source_id = epc.serial();
+  return drops;
+}
+
 std::size_t DWatchPipeline::observe(std::size_t array_idx,
                                     const rfid::Epc96& epc,
                                     const linalg::CMatrix& snapshots) {
@@ -130,20 +161,66 @@ std::size_t DWatchPipeline::observe(std::size_t array_idx,
     return 0;
   }
   ++stats_.observations;
-  // Baseline peak positions come from the P-MUSIC spectrum; the ONLINE
-  // power at those positions is read from the beamforming power spectrum
-  // PB, which is free of MUSIC's model-order jitter (a vanished weak
-  // MUSIC peak must not masquerade as a physical power drop). At a peak
-  // the two spectra share the same scale: Omega = PB * Nor(B) with
-  // Nor(B) == 1 there.
-  const AngularSpectrum online_power =
-      compute_online_power(array_idx, snapshots);
-  std::vector<PathDrop> drops = detector_.detect(it->second, online_power);
-  for (PathDrop& d : drops) d.source_id = epc.serial();
+  std::vector<PathDrop> drops =
+      detect_drops(array_idx, epc, it->second, snapshots);
   stats_.drops_detected += drops.size();
   auto& sink = evidence_[array_idx].drops;
   sink.insert(sink.end(), drops.begin(), drops.end());
   return drops.size();
+}
+
+std::size_t DWatchPipeline::observe_batch(
+    std::span<const BatchObservation> batch) {
+  for (const BatchObservation& item : batch) check_array(item.array_idx);
+
+  // Deterministic merge order: by array index, then EPC, then input
+  // position. The order never depends on worker scheduling, so an
+  // epoch's evidence is bit-identical for every num_workers setting.
+  std::vector<std::size_t> order(batch.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&batch](std::size_t a, std::size_t b) {
+                     return std::tie(batch[a].array_idx, batch[a].epc) <
+                            std::tie(batch[b].array_idx, batch[b].epc);
+                   });
+
+  // Fan the spectra out: every slot is written by exactly one task, all
+  // shared pipeline state (arrays, calibration, baselines, estimators)
+  // is read-only during the scan.
+  struct ItemResult {
+    bool has_baseline = false;
+    std::vector<PathDrop> drops;
+  };
+  std::vector<ItemResult> results(batch.size());
+  const auto process = [&](std::size_t slot) {
+    const BatchObservation& item = batch[order[slot]];
+    const auto it = baselines_[item.array_idx].find(item.epc);
+    if (it == baselines_[item.array_idx].end()) return;
+    results[slot].has_baseline = true;
+    results[slot].drops =
+        detect_drops(item.array_idx, item.epc, it->second, item.snapshots);
+  };
+  if (pool_ && pool_->num_workers() > 1) {
+    pool_->parallel_for(batch.size(), process);
+  } else {
+    for (std::size_t slot = 0; slot < batch.size(); ++slot) process(slot);
+  }
+
+  // Serial merge in the sorted order.
+  std::size_t total = 0;
+  for (std::size_t slot = 0; slot < batch.size(); ++slot) {
+    const ItemResult& r = results[slot];
+    if (!r.has_baseline) {
+      ++stats_.observations_skipped;
+      continue;
+    }
+    ++stats_.observations;
+    stats_.drops_detected += r.drops.size();
+    auto& sink = evidence_[batch[order[slot]].array_idx].drops;
+    sink.insert(sink.end(), r.drops.begin(), r.drops.end());
+    total += r.drops.size();
+  }
+  return total;
 }
 
 std::size_t DWatchPipeline::observe(std::size_t array_idx,

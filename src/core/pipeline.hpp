@@ -19,13 +19,16 @@
 
 #include <cstddef>
 #include <map>
+#include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/calibration.hpp"
 #include "core/change_detector.hpp"
 #include "core/localizer.hpp"
 #include "core/pmusic.hpp"
+#include "core/thread_pool.hpp"
 #include "core/triangulate.hpp"
 #include "linalg/complex_matrix.hpp"
 #include "rf/array.hpp"
@@ -40,6 +43,17 @@ struct PipelineOptions {
   /// Apply the Section 4.3 tag-identity outlier rejection before
   /// localization (see filtered_evidence()).
   bool ghost_filtering = true;
+  /// Worker threads for observe_batch() and the likelihood grid:
+  /// 0 = one per hardware thread, 1 = fully serial (no pool), n = n
+  /// workers. Results are bit-identical for every setting.
+  std::size_t num_workers = 1;
+};
+
+/// One (array, tag) online snapshot matrix queued for a batch epoch.
+struct BatchObservation {
+  std::size_t array_idx = 0;
+  rfid::Epc96 epc;
+  linalg::CMatrix snapshots;
 };
 
 /// Counters exposed for observability.
@@ -91,6 +105,14 @@ class DWatchPipeline {
 
   std::size_t observe(std::size_t array_idx, const rfid::TagObservation& obs);
 
+  /// Step 3, batched: process many (array, tag) snapshots for the
+  /// current epoch, fanning the per-tag P-MUSIC spectra across the
+  /// worker pool (PipelineOptions::num_workers). Equivalent to calling
+  /// observe() on every item sorted by (array index, EPC, input order):
+  /// evidence, stats and results are bit-identical to that serial loop
+  /// for EVERY worker count. Returns the total drops detected.
+  std::size_t observe_batch(std::span<const BatchObservation> batch);
+
   /// Accumulated per-array evidence for the current epoch (raw).
   [[nodiscard]] const std::vector<AngularEvidence>& evidence() const noexcept {
     return evidence_;
@@ -126,21 +148,39 @@ class DWatchPipeline {
   [[nodiscard]] const AngularSpectrum* baseline_spectrum(
       std::size_t array_idx, const rfid::Epc96& epc) const;
 
+  /// The worker pool shared with the localizer; null when num_workers
+  /// resolves to 1 (fully serial pipeline).
+  [[nodiscard]] const std::shared_ptr<ThreadPool>& thread_pool()
+      const noexcept {
+    return pool_;
+  }
+
  private:
   [[nodiscard]] AngularSpectrum compute_omega(
       std::size_t array_idx, const linalg::CMatrix& snapshots) const;
   [[nodiscard]] AngularSpectrum compute_online_power(
       std::size_t array_idx, const linalg::CMatrix& snapshots) const;
+  /// Detection for one observation with a known baseline: online power
+  /// spectrum + drop detection, tagged with the EPC serial. Const and
+  /// side-effect free so batch items can run on any worker.
+  [[nodiscard]] std::vector<PathDrop> detect_drops(
+      std::size_t array_idx, const rfid::Epc96& epc,
+      const AngularSpectrum& baseline,
+      const linalg::CMatrix& snapshots) const;
   void check_array(std::size_t array_idx) const;
 
   std::vector<rf::UniformLinearArray> arrays_;
   PipelineOptions options_;
   Localizer localizer_;
   SpectrumChangeDetector detector_;
+  /// One estimator per array, built once (estimators are immutable and
+  /// shared by all workers).
+  std::vector<PMusicEstimator> pmusic_;
   std::vector<std::optional<std::vector<double>>> calibration_;
   std::vector<std::map<rfid::Epc96, AngularSpectrum>> baselines_;
   std::vector<AngularEvidence> evidence_;
   PipelineStats stats_;
+  std::shared_ptr<ThreadPool> pool_;
 };
 
 }  // namespace dwatch::core

@@ -1,14 +1,21 @@
 #include "core/pmusic.hpp"
 
+#include <algorithm>
+#include <memory>
 #include <stdexcept>
+#include <vector>
 
+#include "core/steering_cache.hpp"
 #include "rf/array.hpp"
 
 namespace dwatch::core {
 
 PMusicEstimator::PMusicEstimator(double spacing, double lambda,
                                  PMusicOptions options)
-    : spacing_(spacing), lambda_(lambda), options_(options) {
+    : spacing_(spacing),
+      lambda_(lambda),
+      options_(options),
+      music_(spacing, lambda, options.music) {
   if (spacing_ <= 0.0 || lambda_ <= 0.0) {
     throw std::invalid_argument("PMusicEstimator: bad spacing/lambda");
   }
@@ -20,16 +27,18 @@ AngularSpectrum PMusicEstimator::power_spectrum(
     throw std::invalid_argument("power_spectrum: bad correlation matrix");
   }
   const std::size_t m = r.rows();
+  const std::shared_ptr<const SteeringManifold> manifold =
+      SteeringCache::instance().get(m, spacing_, lambda_,
+                                    options_.music.grid_points);
+  // a^H R a / M^2 == E[ |sum_m x_m e^{+j omega}|^2 ] / M^2: the
+  // alignment weight e^{+j omega(m,theta)} is conj(a_m), so the sum is
+  // a^H x and its mean square is a^H R a. Batched over all grid columns
+  // of the cached manifold.
+  const std::vector<double> quad =
+      linalg::batched_quadratic_form(r, manifold->matrix());
   AngularSpectrum pb(options_.music.grid_points);
   for (std::size_t i = 0; i < pb.size(); ++i) {
-    const linalg::CVector a =
-        rf::steering_vector(m, pb.theta_at(i), spacing_, lambda_);
-    // a^H R a / M^2 == E[ |sum_m x_m e^{+j omega}|^2 ] / M^2: the
-    // alignment weight e^{+j omega(m,theta)} is conj(a_m), so the sum is
-    // a^H x and its mean square is a^H R a.
-    const linalg::CVector ra = linalg::matvec(r, a);
-    const linalg::Complex quad = linalg::inner_product(a, ra);
-    pb[i] = std::max(quad.real(), 0.0) / static_cast<double>(m * m);
+    pb[i] = std::max(quad[i], 0.0) / static_cast<double>(m * m);
   }
   return pb;
 }
@@ -38,9 +47,8 @@ PMusicResult PMusicEstimator::estimate(
     const linalg::CMatrix& snapshots) const {
   const linalg::CMatrix r = sample_correlation(snapshots);
 
-  MusicEstimator music(spacing_, lambda_, options_.music);
   PMusicResult result;
-  result.music = music.estimate_from_correlation(r, snapshots.cols());
+  result.music = music_.estimate_from_correlation(r, snapshots.cols());
   result.power = power_spectrum(r);
   result.music_nor = normalize_peaks(result.music.spectrum, options_.peaks);
 

@@ -59,6 +59,9 @@ class PMusicEstimator {
   double spacing_;
   double lambda_;
   PMusicOptions options_;
+  /// The inner MUSIC estimator, built once so repeated estimate() calls
+  /// (one per observation on the pipeline hot path) share it.
+  MusicEstimator music_;
 };
 
 }  // namespace dwatch::core

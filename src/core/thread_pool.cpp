@@ -1,0 +1,90 @@
+#include "core/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+namespace dwatch::core {
+
+ThreadPool::ThreadPool(std::size_t num_workers) {
+  if (num_workers == 0) {
+    num_workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_workers);
+  for (std::size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(packaged));
+  }
+  wake_.notify_one();
+  return future;
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t chunks = std::min(n, num_workers());
+  if (chunks <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Static contiguous partition: chunk c covers [c*n/chunks, (c+1)*n/chunks).
+  const auto chunk_begin = [n, chunks](std::size_t c) {
+    return c * n / chunks;
+  };
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks - 1);
+  for (std::size_t c = 1; c < chunks; ++c) {
+    futures.push_back(submit([&fn, lo = chunk_begin(c),
+                              hi = chunk_begin(c + 1)] {
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    }));
+  }
+  // The calling thread works too instead of idling on the first chunk.
+  std::exception_ptr first_error;
+  try {
+    for (std::size_t i = 0; i < chunk_begin(1); ++i) fn(i);
+  } catch (...) {
+    first_error = std::current_exception();
+  }
+  for (std::future<void>& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task captures any exception into its future
+  }
+}
+
+}  // namespace dwatch::core

@@ -1,0 +1,66 @@
+// A small fixed-size worker pool for the per-fix hot path.
+//
+// The pipeline's epoch work is embarrassingly parallel (one P-MUSIC
+// spectrum per (array, tag) observation; one likelihood-grid row per
+// task) but latency-critical: a fix must finish well inside the 0.1 s
+// read interval (paper Section 8). Workers are started once and reused
+// across epochs — no per-epoch thread spawn cost.
+//
+// Determinism contract: the pool only schedules; callers own result
+// placement. parallel_for partitions [0, n) into contiguous chunks and
+// every index writes only its own slot, so results are bit-identical
+// for any worker count.
+//
+// Exceptions thrown by tasks are captured and rethrown to the caller:
+// submit() via the returned future, parallel_for() directly (the first
+// failing chunk's exception, remaining chunks still run to completion).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dwatch::core {
+
+class ThreadPool {
+ public:
+  /// Starts `num_workers` worker threads; 0 = one per hardware thread
+  /// (at least 1).
+  explicit ThreadPool(std::size_t num_workers = 0);
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t num_workers() const noexcept {
+    return workers_.size();
+  }
+
+  /// Enqueue one task. The future rethrows any exception the task threw.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Run fn(i) for every i in [0, n), blocking until all complete.
+  /// Indices are split into num_workers() contiguous chunks; the calling
+  /// thread executes the first chunk itself. Rethrows the first chunk
+  /// exception (by ascending chunk index) after all chunks finish.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace dwatch::core

@@ -293,6 +293,61 @@ CVector matvec(const CMatrix& a, const CVector& x) {
   return y;
 }
 
+CMatrix matmul_hermitian_left(const CMatrix& a, const CMatrix& c) {
+  if (a.rows() != c.rows()) {
+    throw std::invalid_argument("matmul_hermitian_left: row mismatch");
+  }
+  CMatrix out(a.cols(), c.cols());
+  // k-outer loop keeps both operands in row-major streaming order: row k
+  // of A scales row k of C into every output row.
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    for (std::size_t p = 0; p < a.cols(); ++p) {
+      const Complex akp = std::conj(a(k, p));
+      if (akp == Complex{}) continue;
+      for (std::size_t q = 0; q < c.cols(); ++q) {
+        out(p, q) += akp * c(k, q);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> batched_quadratic_form(const CMatrix& r,
+                                           const CMatrix& a) {
+  if (r.rows() != r.cols() || r.rows() != a.rows()) {
+    throw std::invalid_argument("batched_quadratic_form: dimension mismatch");
+  }
+  const std::size_t m = r.rows();
+  const std::size_t g = a.cols();
+  std::vector<double> out(g);
+  std::vector<Complex> y(m);  // y = R a_i, reused across columns
+  for (std::size_t i = 0; i < g; ++i) {
+    for (std::size_t row = 0; row < m; ++row) {
+      Complex sum{};
+      for (std::size_t col = 0; col < m; ++col) {
+        sum += r(row, col) * a(col, i);
+      }
+      y[row] = sum;
+    }
+    Complex quad{};
+    for (std::size_t row = 0; row < m; ++row) {
+      quad += std::conj(a(row, i)) * y[row];
+    }
+    out[i] = quad.real();
+  }
+  return out;
+}
+
+std::vector<double> column_squared_norms(const CMatrix& a) {
+  std::vector<double> out(a.cols(), 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      out[c] += std::norm(a(r, c));
+    }
+  }
+  return out;
+}
+
 CVector matvec_hermitian(const CMatrix& a, const CVector& x) {
   if (a.rows() != x.size()) {
     throw std::invalid_argument("matvec_hermitian: dimension mismatch");

@@ -208,4 +208,23 @@ class CVector {
 /// y = A^H x without forming A^H.
 [[nodiscard]] CVector matvec_hermitian(const CMatrix& a, const CVector& x);
 
+/// B = A^H C without forming A^H. A is m x p, C is m x q, result p x q.
+/// The batched form of matvec_hermitian: column j of the result is
+/// A^H c_j, so projecting a steering manifold onto a subspace is one
+/// call instead of one matvec per grid point. Throws
+/// std::invalid_argument on row-count mismatch.
+[[nodiscard]] CMatrix matmul_hermitian_left(const CMatrix& a,
+                                            const CMatrix& c);
+
+/// Batched Hermitian quadratic form: q_i = Re(a_i^H R a_i) for every
+/// column a_i of A. R is m x m, A is m x G; result has G entries. For
+/// Hermitian R the quadratic form is real up to rounding, so only the
+/// real part is returned (the beamforming power of paper Eq. 13).
+/// Throws std::invalid_argument on dimension mismatch.
+[[nodiscard]] std::vector<double> batched_quadratic_form(const CMatrix& r,
+                                                         const CMatrix& a);
+
+/// Squared Euclidean norm of every column of A: n_j = sum_i |a_ij|^2.
+[[nodiscard]] std::vector<double> column_squared_norms(const CMatrix& a);
+
 }  // namespace dwatch::linalg

@@ -1,0 +1,99 @@
+// Thread pool: task execution, exception propagation, and the
+// parallel_for determinism contract.
+#include "core/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace dwatch::core {
+namespace {
+
+TEST(ThreadPool, ResolvesWorkerCount) {
+  ThreadPool fixed(3);
+  EXPECT_EQ(fixed.num_workers(), 3u);
+  ThreadPool automatic(0);
+  EXPECT_GE(automatic.num_workers(), 1u);
+}
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  std::future<void> ok = pool.submit([] {});
+  std::future<void> bad =
+      pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_NO_THROW(ok.get());
+  EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  for (const std::size_t workers : {1u, 2u, 5u}) {
+    ThreadPool pool(workers);
+    std::vector<int> hits(1000, 0);
+    pool.parallel_for(hits.size(), [&hits](std::size_t i) { ++hits[i]; });
+    EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000)
+        << workers << " workers";
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      ASSERT_EQ(hits[i], 1) << "index " << i << ", " << workers
+                            << " workers";
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelForHandlesSmallAndEmptyRanges) {
+  ThreadPool pool(8);
+  std::atomic<int> counter{0};
+  pool.parallel_for(0, [&counter](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 0);
+  pool.parallel_for(3, [&counter](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 3);  // fewer items than workers
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&completed](std::size_t i) {
+                          if (i == 57) throw std::runtime_error("boom");
+                          ++completed;
+                        }),
+      std::runtime_error);
+  // The throwing chunk stops at the throw, but every other chunk still
+  // runs to completion (no cross-chunk cancellation): at least the
+  // other three 25-index chunks finished.
+  EXPECT_GE(completed.load(), 75);
+  EXPECT_LE(completed.load(), 99);
+}
+
+TEST(ThreadPool, ResultsAreDeterministicAcrossWorkerCounts) {
+  // The contract the pipeline relies on: each index writes its own slot,
+  // so the output is identical for any worker count.
+  const auto run = [](std::size_t workers) {
+    ThreadPool pool(workers);
+    std::vector<double> out(512);
+    pool.parallel_for(out.size(), [&out](std::size_t i) {
+      out[i] = static_cast<double>(i * i) / 3.0;
+    });
+    return out;
+  };
+  const std::vector<double> serial = run(1);
+  EXPECT_EQ(run(2), serial);
+  EXPECT_EQ(run(7), serial);
+}
+
+}  // namespace
+}  // namespace dwatch::core

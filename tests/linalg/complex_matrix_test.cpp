@@ -3,9 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <complex>
 #include <sstream>
 #include <stdexcept>
+#include <vector>
 
 namespace dwatch::linalg {
 namespace {
@@ -236,6 +239,65 @@ TEST(MatvecHermitian, EqualsExplicitHermitianProduct) {
     EXPECT_NEAR(std::abs(lhs[i] - rhs[i]), 0.0, 1e-14);
   }
   EXPECT_THROW((void)matvec_hermitian(a, CVector(3)), std::invalid_argument);
+}
+
+namespace {
+/// Deterministic pseudo-random fill shared by the batched-kernel tests.
+CMatrix pseudo_random(std::size_t rows, std::size_t cols, double seed) {
+  CMatrix m(rows, cols);
+  double v = seed;
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      v = std::fmod(v * 37.7 + 0.1, 2.0) - 1.0;
+      m(i, j) = Complex{v, -v * 0.5};
+    }
+  }
+  return m;
+}
+}  // namespace
+
+TEST(MatmulHermitianLeft, EqualsExplicitHermitianProduct) {
+  const CMatrix a = pseudo_random(8, 5, 0.3);   // M x P
+  const CMatrix c = pseudo_random(8, 11, 0.7);  // M x G
+  const CMatrix fast = matmul_hermitian_left(a, c);
+  const CMatrix reference = a.hermitian() * c;
+  ASSERT_EQ(fast.rows(), 5u);
+  ASSERT_EQ(fast.cols(), 11u);
+  EXPECT_NEAR(fast.max_abs_diff(reference), 0.0, 1e-13);
+  EXPECT_THROW((void)matmul_hermitian_left(a, pseudo_random(7, 3, 0.1)),
+               std::invalid_argument);
+}
+
+TEST(BatchedQuadraticForm, EqualsPerColumnMatvecInnerProduct) {
+  // Hermitian R as in a sample correlation, and a steering-like A.
+  const CMatrix x = pseudo_random(6, 6, 0.45);
+  const CMatrix r = x * x.hermitian();
+  const CMatrix a = pseudo_random(6, 9, 0.85);
+  const std::vector<double> quad = batched_quadratic_form(r, a);
+  ASSERT_EQ(quad.size(), 9u);
+  for (std::size_t i = 0; i < quad.size(); ++i) {
+    CVector col(r.rows());
+    for (std::size_t m = 0; m < r.rows(); ++m) col[m] = a(m, i);
+    const double reference = inner_product(col, matvec(r, col)).real();
+    EXPECT_NEAR(quad[i], reference, 1e-12 * std::max(1.0, reference))
+        << "column " << i;
+  }
+  EXPECT_THROW((void)batched_quadratic_form(r, pseudo_random(5, 2, 0.2)),
+               std::invalid_argument);
+  EXPECT_THROW((void)batched_quadratic_form(pseudo_random(2, 3, 0.2), a),
+               std::invalid_argument);
+}
+
+TEST(ColumnSquaredNorms, MatchesColumnNorms) {
+  const CMatrix a = pseudo_random(7, 4, 0.6);
+  const std::vector<double> norms = column_squared_norms(a);
+  ASSERT_EQ(norms.size(), 4u);
+  for (std::size_t i = 0; i < norms.size(); ++i) {
+    double reference = 0.0;
+    for (std::size_t m = 0; m < a.rows(); ++m) reference += std::norm(a(m, i));
+    EXPECT_NEAR(norms[i], reference, 1e-13);
+  }
+  EXPECT_TRUE(column_squared_norms(CMatrix()).empty());
 }
 
 /// Property sweep: (A B)^H == B^H A^H across shapes.
