@@ -1,0 +1,157 @@
+// Fault-injection overhead microbenchmarks (google-benchmark).
+//
+// The fault subsystem sits on the hot ingest path when a stress run is
+// active, and the tolerant stream decoder + degraded localizer are the
+// paths a production deployment would actually run. These benches pin
+// their costs: a FaultPlan decision must be nanoseconds (it brackets
+// every frame and observation), corrupt_report must stay cheap relative
+// to LLRP decode, and K-of-N localization must not cost more than the
+// full-array fix it replaces.
+#include <benchmark/benchmark.h>
+
+#include <optional>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/pipeline.hpp"
+#include "faults/fault_injector.hpp"
+#include "faults/fault_plan.hpp"
+#include "rfid/llrp.hpp"
+
+namespace {
+
+using namespace dwatch;
+
+const sim::Scene& shared_scene() {
+  static const sim::Scene scene =
+      bench::make_room_scene(sim::Environment::library());
+  return scene;
+}
+
+rfid::RoAccessReport shared_report() {
+  const sim::Scene& scene = shared_scene();
+  rf::Rng rng(21);
+  rfid::RoAccessReport report;
+  report.message_id = 1;
+  for (std::size_t t = 0; t < scene.num_tags(); ++t) {
+    report.observations.push_back(scene.capture_observation(0, t, {}, rng));
+  }
+  return report;
+}
+
+void BM_FaultPlanDecision(benchmark::State& state) {
+  // One fires() + one magnitude() per potential injection point; this
+  // pair brackets every frame and every observation in a stress run.
+  const faults::FaultPlan plan(42, faults::FaultRates::uniform(0.1));
+  faults::FaultSite site;
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    site.extra = ++n;
+    benchmark::DoNotOptimize(
+        plan.fires(faults::FaultKind::kFrameTruncation, site));
+    benchmark::DoNotOptimize(
+        plan.magnitude(faults::FaultKind::kPhaseJump, site));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FaultPlanDecision);
+
+/// Observation-layer mutation of a full epoch report at a given
+/// per-mille injection rate (Arg). Arg(0) is the clean-plan floor: the
+/// cost of deciding "no fault" for every observation.
+void BM_CorruptReport(benchmark::State& state) {
+  const double rate = static_cast<double>(state.range(0)) / 1000.0;
+  const rfid::RoAccessReport report = shared_report();
+  faults::FaultInjector injector(
+      faults::FaultPlan(7, faults::FaultRates::uniform(rate)));
+  std::uint64_t epoch = 0;
+  for (auto _ : state) {
+    rfid::RoAccessReport copy = report;
+    injector.corrupt_report(copy, ++epoch, 0);
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() *
+                                report.observations.size()));
+}
+BENCHMARK(BM_CorruptReport)->Arg(0)->Arg(100)->Arg(500);
+
+/// Stream decode of one epoch's frames. Arg(0): strict next_report on a
+/// clean stream (the baseline). Arg(1): tolerant path, clean stream —
+/// the steady-state overhead of the quarantine machinery. Arg(2):
+/// tolerant path with 10% of frames truncated — the resync cost.
+void BM_StreamDecode(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  const rfid::RoAccessReport report = shared_report();
+  // One frame per observation, as the stress chain sends them.
+  std::vector<std::vector<std::uint8_t>> clean_frames;
+  for (const auto& obs : report.observations) {
+    rfid::RoAccessReport one;
+    one.message_id = report.message_id;
+    one.observations.push_back(obs);
+    clean_frames.push_back(encode(one));
+  }
+  std::vector<std::vector<std::uint8_t>> frames;
+  if (mode == 2) {
+    faults::FaultInjector injector(faults::FaultPlan(
+        13, faults::FaultRates::only(faults::FaultKind::kFrameTruncation,
+                                     0.10)));
+    for (std::size_t i = 0; i < clean_frames.size(); ++i) {
+      auto delivered = injector.filter_frame(clean_frames[i], 0, 0, i);
+      if (delivered) frames.push_back(std::move(*delivered));
+    }
+  } else {
+    frames = clean_frames;
+  }
+  std::size_t decoded = 0;
+  for (auto _ : state) {
+    rfid::LlrpStreamDecoder decoder;
+    for (const auto& frame : frames) decoder.feed(frame);
+    if (mode == 0) {
+      while (auto r = decoder.next_report()) {
+        benchmark::DoNotOptimize(r);
+        ++decoded;
+      }
+    } else {
+      while (auto r = decoder.next_report_tolerant()) {
+        benchmark::DoNotOptimize(r);
+        ++decoded;
+      }
+      decoder.flush_incomplete();
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(decoded));
+}
+BENCHMARK(BM_StreamDecode)->Arg(0)->Arg(1)->Arg(2);
+
+/// K-of-N degraded fix vs the full-array fix it replaces. Arg is the
+/// number of arrays marked dead before localizing.
+void BM_DegradedLocalize(benchmark::State& state) {
+  const auto dead = static_cast<std::size_t>(state.range(0));
+  const sim::Scene& scene = shared_scene();
+  harness::RunnerOptions opts;
+  opts.calibrate = false;
+  opts.through_wire = false;
+  harness::ExperimentRunner runner(scene, opts);
+  rf::Rng rng(9);
+  for (std::size_t a = 0; a < scene.num_arrays(); ++a) {
+    runner.pipeline().set_calibration(a, scene.reader(a).phase_offsets());
+  }
+  runner.collect_baselines(rng);
+  for (std::size_t a = 0; a < dead && a < scene.num_arrays(); ++a) {
+    runner.pipeline().set_array_health(a, false);
+  }
+  const std::vector<sim::CylinderTarget> targets{
+      sim::CylinderTarget::human({3.0, 4.0})};
+  runner.run_epoch(targets, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        runner.pipeline().localize_with_confidence(/*best_effort=*/true));
+  }
+}
+BENCHMARK(BM_DegradedLocalize)->Arg(0)->Arg(1)->Arg(2)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

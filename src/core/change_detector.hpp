@@ -25,6 +25,12 @@ struct PathDrop {
   /// outlier rejection distinguish one-tag/many-array ghost patterns
   /// from many-tag/one-array genuine blockage (paper Section 4.3).
   std::uint32_t source_id = 0;
+  /// Degraded-mode widening of the localizer's angular kernel for this
+  /// drop: >1 when the spectrum behind it was computed from fewer
+  /// snapshots than the smoothing minimum (the peak angle is less
+  /// trustworthy, so its evidence is spread wider and weighs less at
+  /// the center). 1.0 = full confidence; the clean path never changes.
+  double sigma_scale = 1.0;
 };
 
 struct ChangeDetectorOptions {

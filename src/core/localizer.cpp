@@ -25,6 +25,10 @@ double Localizer::global_drop_norm(
     std::span<const AngularEvidence> evidence) {
   double norm = 0.0;
   for (const auto& e : evidence) {
+    // An excluded array contributes nothing anywhere — including to the
+    // normalizer. A poisoned-but-excluded drop must not rescale the
+    // healthy arrays' weights.
+    if (e.excluded) continue;
     for (const PathDrop& d : e.drops) {
       norm = std::max(norm, d.baseline_power - d.online_power);
     }
@@ -48,7 +52,11 @@ double Localizer::evidence_at(const AngularEvidence& evidence, double theta,
         std::max(d.baseline_power - d.online_power, 0.0);
     const double weight =
         std::pow(power_drop / norm, options_.power_exponent);
-    best = std::max(best, weight * std::exp(-delta * delta * inv_2s2));
+    // sigma_scale > 1 widens the kernel of a low-confidence drop
+    // (degraded snapshot count); the division by 1.0 on the clean path
+    // is exact, so healthy runs are bit-identical.
+    const double inv = inv_2s2 / (d.sigma_scale * d.sigma_scale);
+    best = std::max(best, weight * std::exp(-delta * delta * inv));
   }
   return best;
 }
@@ -57,9 +65,25 @@ std::size_t Localizer::arrays_with_evidence(
     std::span<const AngularEvidence> evidence) const {
   std::size_t n = 0;
   for (const auto& e : evidence) {
-    if (!e.empty()) ++n;
+    if (e.usable()) ++n;
   }
   return n;
+}
+
+std::size_t Localizer::effective_min_arrays(
+    std::span<const AngularEvidence> evidence) const {
+  // K-of-N degraded mode: excluded arrays shrink the consensus
+  // requirement down to the surviving array count (never below 1), so a
+  // deployment that loses a reader keeps producing fixes. With no
+  // exclusions this is exactly options_.min_arrays — the clean path is
+  // untouched.
+  std::size_t excluded = 0;
+  for (const auto& e : evidence) {
+    if (e.excluded) ++excluded;
+  }
+  if (excluded == 0) return options_.min_arrays;
+  const std::size_t active = evidence.size() - excluded;
+  return std::min(options_.min_arrays, std::max<std::size_t>(1, active));
 }
 
 bool Localizer::too_close_to_array(rf::Vec2 point) const {
@@ -86,7 +110,9 @@ double Localizer::likelihood_at(rf::Vec2 point,
   if (too_close_to_array(point)) return 0.0;
   double l = 1.0;
   for (std::size_t i = 0; i < arrays_.size(); ++i) {
-    if (evidence[i].empty()) continue;  // silent reader: no information
+    // Silent reader: no information. Excluded reader: flagged unusable
+    // (degraded mode) — also contributes nothing.
+    if (!evidence[i].usable()) continue;
     const double theta = arrays_[i].arrival_angle_planar(point);
     l *= options_.epsilon + evidence_at(evidence[i], theta, norm);
   }
@@ -105,12 +131,13 @@ std::size_t Localizer::consensus_at(rf::Vec2 point,
   if (too_close_to_array(point)) return 0;
   std::size_t n = 0;
   for (std::size_t i = 0; i < arrays_.size(); ++i) {
-    if (evidence[i].empty()) continue;
+    if (!evidence[i].usable()) continue;
     const double theta = arrays_[i].arrival_angle_planar(point);
     double best = 0.0;
     for (const PathDrop& d : evidence[i].drops) {
       const double delta = theta - d.theta;
-      best = std::max(best, std::exp(-delta * delta * inv_2s2));
+      const double inv = inv_2s2 / (d.sigma_scale * d.sigma_scale);
+      best = std::max(best, std::exp(-delta * delta * inv));
     }
     if (best >= options_.consensus_floor) ++n;
   }
@@ -213,7 +240,8 @@ LocationEstimate Localizer::localize(
   if (evidence.size() != arrays_.size()) {
     throw std::invalid_argument("localize: evidence count mismatch");
   }
-  if (arrays_with_evidence(evidence) < options_.min_arrays) {
+  const std::size_t min_arrays = effective_min_arrays(evidence);
+  if (arrays_with_evidence(evidence) < min_arrays) {
     return LocationEstimate{};  // not covered
   }
   const double norm = global_drop_norm(evidence);
@@ -235,7 +263,7 @@ LocationEstimate Localizer::localize(
       best = c;
     }
   }
-  best.valid = best.consensus >= options_.min_arrays;
+  best.valid = best.consensus >= min_arrays;
   return best;
 }
 
@@ -260,8 +288,8 @@ std::vector<LocationEstimate> Localizer::localize_multi(
     std::span<const AngularEvidence> evidence, std::size_t max_targets,
     double min_separation, double relative_floor) const {
   std::vector<LocationEstimate> out;
-  if (max_targets == 0 ||
-      arrays_with_evidence(evidence) < options_.min_arrays) {
+  const std::size_t min_arrays = effective_min_arrays(evidence);
+  if (max_targets == 0 || arrays_with_evidence(evidence) < min_arrays) {
     return out;
   }
   const double norm = global_drop_norm(evidence);
@@ -277,7 +305,7 @@ std::vector<LocationEstimate> Localizer::localize_multi(
         });
     if (clash) continue;
     c.consensus = consensus_at(c.position, evidence, norm);
-    if (c.consensus < options_.min_arrays) continue;
+    if (c.consensus < min_arrays) continue;
     c.valid = true;
     out.push_back(c);
     if (out.size() >= max_targets) break;
@@ -310,7 +338,7 @@ LikelihoodGrid Localizer::likelihood_grid(
       }
       double l = 1.0;
       for (std::size_t i = 0; i < arrays_.size(); ++i) {
-        if (evidence[i].empty()) continue;
+        if (!evidence[i].usable()) continue;
         const double theta = arrays_[i].arrival_angle_planar(p);
         l *= options_.epsilon + evidence_at(evidence[i], theta, norm);
       }

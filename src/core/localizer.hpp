@@ -28,8 +28,18 @@ namespace dwatch::core {
 /// tags' spectra).
 struct AngularEvidence {
   std::vector<PathDrop> drops;
+  /// Degraded mode: this array's evidence is unusable (reader lost,
+  /// reports flagged stale). An excluded array contributes nothing to
+  /// the likelihood product AND does not count toward min_arrays — the
+  /// K-of-N semantics that keep 3 healthy arrays localizing when the
+  /// 4th dies, instead of the whole fix aborting.
+  bool excluded = false;
 
   [[nodiscard]] bool empty() const noexcept { return drops.empty(); }
+  /// Usable for localization: present and not excluded.
+  [[nodiscard]] bool usable() const noexcept {
+    return !excluded && !drops.empty();
+  }
 };
 
 /// Rectangular search region.
@@ -168,6 +178,11 @@ class Localizer {
 
  private:
   [[nodiscard]] std::size_t arrays_with_evidence(
+      std::span<const AngularEvidence> evidence) const;
+  /// min_arrays shrunk to the surviving array count when some arrays
+  /// are excluded (K-of-N degraded localization); equals
+  /// options().min_arrays when nothing is excluded.
+  [[nodiscard]] std::size_t effective_min_arrays(
       std::span<const AngularEvidence> evidence) const;
   [[nodiscard]] bool too_close_to_array(rf::Vec2 point) const;
   /// Number of arrays whose evidence at `point`'s bearing clears the

@@ -131,8 +131,30 @@ void DWatchPipeline::add_baseline(std::size_t array_idx,
                    obs, arrays_[array_idx].num_elements()));
 }
 
-void DWatchPipeline::begin_epoch() {
-  for (auto& e : evidence_) e.drops.clear();
+void DWatchPipeline::begin_epoch(std::uint64_t watermark_us) {
+  for (auto& e : evidence_) e.drops.clear();  // health flags persist
+  epoch_ = EpochState{};
+  epoch_.watermark_us = watermark_us;
+}
+
+void DWatchPipeline::set_array_health(std::size_t array_idx, bool healthy) {
+  check_array(array_idx);
+  evidence_[array_idx].excluded = !healthy;
+}
+
+bool DWatchPipeline::array_healthy(std::size_t array_idx) const {
+  check_array(array_idx);
+  return !evidence_[array_idx].excluded;
+}
+
+void DWatchPipeline::note_transport(std::size_t retries,
+                                    std::size_t timeouts) {
+  epoch_.transport_retries += retries;
+  epoch_.transport_timeouts += timeouts;
+}
+
+void DWatchPipeline::note_reports_dropped(std::size_t count) {
+  epoch_.reports_dropped += count;
 }
 
 std::vector<PathDrop> DWatchPipeline::detect_drops(
@@ -147,7 +169,14 @@ std::vector<PathDrop> DWatchPipeline::detect_drops(
   const AngularSpectrum online_power =
       compute_online_power(array_idx, snapshots);
   std::vector<PathDrop> drops = detector_.detect(baseline, online_power);
-  for (PathDrop& d : drops) d.source_id = epc.serial();
+  // Degraded mode: a spectrum computed from too few snapshots carries a
+  // less trustworthy peak angle — widen its localization kernel.
+  const bool low_snapshots =
+      snapshots.cols() < options_.degraded.min_snapshots;
+  for (PathDrop& d : drops) {
+    d.source_id = epc.serial();
+    if (low_snapshots) d.sigma_scale = options_.degraded.sigma_widen;
+  }
   return drops;
 }
 
@@ -158,12 +187,19 @@ std::size_t DWatchPipeline::observe(std::size_t array_idx,
   const auto it = baselines_[array_idx].find(epc);
   if (it == baselines_[array_idx].end()) {
     ++stats_.observations_skipped;
+    ++epoch_.observations_skipped;
     return 0;
   }
   ++stats_.observations;
+  ++epoch_.observations;
+  if (snapshots.cols() < options_.degraded.min_snapshots) {
+    ++stats_.low_snapshot_observations;
+    ++epoch_.low_snapshot_observations;
+  }
   std::vector<PathDrop> drops =
       detect_drops(array_idx, epc, it->second, snapshots);
   stats_.drops_detected += drops.size();
+  epoch_.drops_detected += drops.size();
   auto& sink = evidence_[array_idx].drops;
   sink.insert(sink.end(), drops.begin(), drops.end());
   return drops.size();
@@ -210,13 +246,21 @@ std::size_t DWatchPipeline::observe_batch(
   std::size_t total = 0;
   for (std::size_t slot = 0; slot < batch.size(); ++slot) {
     const ItemResult& r = results[slot];
+    const BatchObservation& item = batch[order[slot]];
     if (!r.has_baseline) {
       ++stats_.observations_skipped;
+      ++epoch_.observations_skipped;
       continue;
     }
     ++stats_.observations;
+    ++epoch_.observations;
+    if (item.snapshots.cols() < options_.degraded.min_snapshots) {
+      ++stats_.low_snapshot_observations;
+      ++epoch_.low_snapshot_observations;
+    }
     stats_.drops_detected += r.drops.size();
-    auto& sink = evidence_[batch[order[slot]].array_idx].drops;
+    epoch_.drops_detected += r.drops.size();
+    auto& sink = evidence_[item.array_idx].drops;
     sink.insert(sink.end(), r.drops.begin(), r.drops.end());
     total += r.drops.size();
   }
@@ -226,9 +270,26 @@ std::size_t DWatchPipeline::observe_batch(
 std::size_t DWatchPipeline::observe(std::size_t array_idx,
                                     const rfid::TagObservation& obs) {
   check_array(array_idx);
-  return observe(array_idx, obs.epc,
-                 observation_to_snapshots(
-                     obs, arrays_[array_idx].num_elements()));
+  // Staleness gate: a retransmission of a pre-epoch observation must
+  // not pollute this epoch's evidence (quarantined, counted, no abort).
+  if (options_.degraded.reject_stale && epoch_.watermark_us > 0 &&
+      obs.first_seen_us < epoch_.watermark_us) {
+    ++stats_.stale_observations;
+    ++epoch_.stale_observations;
+    return 0;
+  }
+  linalg::CMatrix snapshots;
+  try {
+    snapshots =
+        observation_to_snapshots(obs, arrays_[array_idx].num_elements());
+  } catch (const std::invalid_argument&) {
+    // No complete inventory round survived (dead element, sample loss):
+    // quarantine the observation instead of aborting the epoch.
+    ++stats_.malformed_observations;
+    ++epoch_.malformed_observations;
+    return 0;
+  }
+  return observe(array_idx, obs.epc, snapshots);
 }
 
 std::vector<AngularEvidence> DWatchPipeline::filtered_evidence() const {
@@ -243,6 +304,7 @@ std::vector<AngularEvidence> DWatchPipeline::filtered_evidence() const {
   const double tol = 2.0 * options_.localizer.kernel_sigma;
   std::vector<AngularEvidence> out(evidence_.size());
   for (std::size_t a = 0; a < evidence_.size(); ++a) {
+    out[a].excluded = evidence_[a].excluded;
     const auto& drops = evidence_[a].drops;
     for (const PathDrop& d : drops) {
       const bool multi_array = arrays_per_tag[d.source_id] >= 2;
@@ -263,6 +325,36 @@ std::vector<AngularEvidence> DWatchPipeline::filtered_evidence() const {
 
 LocationEstimate DWatchPipeline::localize() const {
   return localizer_.localize(filtered_evidence());
+}
+
+ConfidenceReport DWatchPipeline::confidence_report() const {
+  ConfidenceReport r;
+  r.arrays_total = arrays_.size();
+  for (const AngularEvidence& e : evidence_) {
+    if (e.excluded) {
+      ++r.arrays_excluded;
+    } else if (!e.drops.empty()) {
+      ++r.arrays_with_evidence;
+    }
+  }
+  r.observations = epoch_.observations;
+  r.observations_skipped = epoch_.observations_skipped;
+  r.stale_observations = epoch_.stale_observations;
+  r.low_snapshot_observations = epoch_.low_snapshot_observations;
+  r.malformed_observations = epoch_.malformed_observations;
+  r.drops_detected = epoch_.drops_detected;
+  r.reports_dropped = epoch_.reports_dropped;
+  r.transport_retries = epoch_.transport_retries;
+  r.transport_timeouts = epoch_.transport_timeouts;
+  return r;
+}
+
+ConfidentEstimate DWatchPipeline::localize_with_confidence(
+    bool best_effort) const {
+  ConfidentEstimate out;
+  out.estimate = best_effort ? localize_best_effort() : localize();
+  out.confidence = confidence_report();
+  return out;
 }
 
 LocationEstimate DWatchPipeline::localize_best_effort() const {

@@ -36,6 +36,24 @@
 
 namespace dwatch::core {
 
+/// Graceful-degradation knobs (DESIGN.md "Failure model & degraded
+/// modes"). Defaults are chosen so a clean, fully-healthy run is
+/// bit-identical to a pipeline without this struct.
+struct DegradedModeOptions {
+  /// Online observations with fewer snapshot columns than this get
+  /// their drops' angular kernel widened (the spectrum is noisier, so
+  /// the peak angle deserves less localization weight). The default
+  /// matches the default smoothing subarray (L = 6): below that even
+  /// the smoothed correlation is rank-starved.
+  std::size_t min_snapshots = 6;
+  /// Kernel widening factor for low-snapshot drops (sigma_scale).
+  double sigma_widen = 2.0;
+  /// Reject online observations whose first_seen_us predates the epoch
+  /// watermark passed to begin_epoch() — stale retransmissions of a
+  /// previous epoch must not pollute the current one.
+  bool reject_stale = true;
+};
+
 struct PipelineOptions {
   PMusicOptions pmusic;
   ChangeDetectorOptions change;
@@ -47,6 +65,7 @@ struct PipelineOptions {
   /// 0 = one per hardware thread, 1 = fully serial (no pool), n = n
   /// workers. Results are bit-identical for every setting.
   std::size_t num_workers = 1;
+  DegradedModeOptions degraded;
 };
 
 /// One (array, tag) online snapshot matrix queued for a batch epoch.
@@ -56,12 +75,52 @@ struct BatchObservation {
   linalg::CMatrix snapshots;
 };
 
-/// Counters exposed for observability.
+/// Counters exposed for observability (cumulative over the pipeline's
+/// lifetime).
 struct PipelineStats {
   std::size_t baselines = 0;          ///< (array, tag) baselines stored
   std::size_t observations = 0;       ///< online spectra processed
   std::size_t observations_skipped = 0;  ///< online without a baseline
   std::size_t drops_detected = 0;
+  std::size_t stale_observations = 0;  ///< rejected by the epoch watermark
+  std::size_t low_snapshot_observations = 0;  ///< widened-kernel spectra
+  /// Wire observations quarantined because no complete inventory round
+  /// survived (dead element, heavy sample loss) — counted, not thrown.
+  std::size_t malformed_observations = 0;
+};
+
+/// Provenance of ONE localization result: which arrays contributed,
+/// what was lost on the way, how degraded the inputs were. Two runs
+/// with identical inputs (same fault seed) produce bit-identical
+/// reports — asserted by the stress suite.
+struct ConfidenceReport {
+  std::size_t arrays_total = 0;
+  std::size_t arrays_with_evidence = 0;  ///< usable (not excluded) arrays
+  std::size_t arrays_excluded = 0;       ///< flagged unhealthy/stale
+  std::size_t observations = 0;          ///< spectra in this epoch
+  std::size_t observations_skipped = 0;  ///< no baseline
+  std::size_t stale_observations = 0;    ///< rejected as stale
+  std::size_t low_snapshot_observations = 0;  ///< widened-kernel spectra
+  std::size_t malformed_observations = 0;     ///< no complete round
+  std::size_t drops_detected = 0;
+  std::size_t reports_dropped = 0;   ///< lost/quarantined upstream
+  std::size_t transport_retries = 0;
+  std::size_t transport_timeouts = 0;
+
+  /// Anything at all went wrong on the way to this fix.
+  [[nodiscard]] bool degraded() const noexcept {
+    return arrays_excluded > 0 || stale_observations > 0 ||
+           low_snapshot_observations > 0 || malformed_observations > 0 ||
+           reports_dropped > 0 || transport_timeouts > 0;
+  }
+  bool operator==(const ConfidenceReport&) const = default;
+};
+
+/// A localization estimate plus the provenance of the evidence that
+/// produced it.
+struct ConfidentEstimate {
+  LocationEstimate estimate;
+  ConfidenceReport confidence;
 };
 
 /// Reconstruct an M x N snapshot matrix from a wire observation. Rounds
@@ -94,8 +153,25 @@ class DWatchPipeline {
                     const linalg::CMatrix& snapshots);
   void add_baseline(std::size_t array_idx, const rfid::TagObservation& obs);
 
-  /// Begin a new online epoch (clears accumulated evidence).
-  void begin_epoch();
+  /// Begin a new online epoch (clears accumulated evidence and the
+  /// per-epoch confidence counters). `watermark_us` is the reader-clock
+  /// time the epoch started: wire observations timestamped before it
+  /// are rejected as stale when degraded.reject_stale is set (0 = no
+  /// staleness checking, the default).
+  void begin_epoch(std::uint64_t watermark_us = 0);
+
+  /// Degraded mode: flag an array unhealthy (reader unreachable, its
+  /// evidence stale). Unhealthy arrays are excluded from localization
+  /// and from the min_arrays requirement (K-of-N). Health persists
+  /// across epochs until changed.
+  void set_array_health(std::size_t array_idx, bool healthy);
+  [[nodiscard]] bool array_healthy(std::size_t array_idx) const;
+
+  /// Fold transport-layer losses into this epoch's confidence report
+  /// (retry/timeout counts from a RobustSessionClient, frames/reports
+  /// quarantined by decoders or assemblers).
+  void note_transport(std::size_t retries, std::size_t timeouts);
+  void note_reports_dropped(std::size_t count);
 
   /// Step 3 (online): process one (array, tag) snapshot matrix; detected
   /// peak drops accumulate into the epoch's per-array evidence. Returns
@@ -131,6 +207,15 @@ class DWatchPipeline {
   /// Step 4, always-report variant (paper Fig. 14 style): falls back to
   /// the raw likelihood maximum when consensus fails.
   [[nodiscard]] LocationEstimate localize_best_effort() const;
+
+  /// Step 4 with provenance: the fix plus a ConfidenceReport describing
+  /// the epoch's evidence (arrays used/excluded, reports dropped,
+  /// retries, staleness). `best_effort` selects the Fig. 14 fallback.
+  [[nodiscard]] ConfidentEstimate localize_with_confidence(
+      bool best_effort = false) const;
+
+  /// The confidence report for the current epoch as it stands.
+  [[nodiscard]] ConfidenceReport confidence_report() const;
 
   /// Step 4 (multi-target).
   [[nodiscard]] std::vector<LocationEstimate> localize_multi(
@@ -181,6 +266,20 @@ class DWatchPipeline {
   std::vector<AngularEvidence> evidence_;
   PipelineStats stats_;
   std::shared_ptr<ThreadPool> pool_;
+  /// Per-epoch degraded-mode state (reset by begin_epoch).
+  struct EpochState {
+    std::uint64_t watermark_us = 0;
+    std::size_t observations = 0;
+    std::size_t observations_skipped = 0;
+    std::size_t stale_observations = 0;
+    std::size_t low_snapshot_observations = 0;
+    std::size_t malformed_observations = 0;
+    std::size_t drops_detected = 0;
+    std::size_t reports_dropped = 0;
+    std::size_t transport_retries = 0;
+    std::size_t transport_timeouts = 0;
+  };
+  EpochState epoch_;
 };
 
 }  // namespace dwatch::core

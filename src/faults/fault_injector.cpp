@@ -1,0 +1,116 @@
+#include "faults/fault_injector.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace dwatch::faults {
+
+std::optional<std::vector<std::uint8_t>> FaultInjector::filter_frame(
+    std::vector<std::uint8_t> frame, std::uint64_t epoch,
+    std::uint64_t array, std::uint64_t frame_idx) {
+  const FaultSite site{epoch, array, 0, frame_idx};
+  if (plan_.fires(FaultKind::kFrameTimeout, site)) {
+    ++counters_.frames_timed_out;
+    return std::nullopt;
+  }
+  if (plan_.fires(FaultKind::kFrameTruncation, site) && frame.size() > 1) {
+    // Keep a strict prefix: at least 1 byte survives, at least 1 is cut.
+    const double m = plan_.magnitude(FaultKind::kFrameTruncation, site);
+    const auto keep = static_cast<std::size_t>(
+        1 + m * static_cast<double>(frame.size() - 1));
+    frame.resize(std::min(keep, frame.size() - 1));
+    ++counters_.frames_truncated;
+  }
+  return frame;
+}
+
+void FaultInjector::maybe_reorder(
+    std::vector<std::vector<std::uint8_t>>& frames, std::uint64_t epoch,
+    std::uint64_t array) {
+  if (frames.size() < 2) return;
+  const FaultSite site{epoch, array, 0, 0};
+  if (!plan_.fires(FaultKind::kFrameReorder, site)) return;
+  const std::uint64_t i =
+      plan_.pick(FaultKind::kFrameReorder, site, frames.size() - 1);
+  std::swap(frames[i], frames[i + 1]);
+  ++counters_.frames_reordered;
+}
+
+bool FaultInjector::corrupt_observation(rfid::TagObservation& obs,
+                                        std::uint64_t epoch,
+                                        std::uint64_t array) {
+  const FaultSite site{epoch, array, obs.epc.serial(), 0};
+
+  if (plan_.fires(FaultKind::kObservationDrop, site)) {
+    ++counters_.observations_dropped;
+    return false;
+  }
+
+  if (plan_.fires(FaultKind::kStaleReport, site)) {
+    const auto it = history_.find({array, obs.epc});
+    if (it != history_.end()) {
+      obs = it->second;  // replayed old data, old timestamp
+      ++counters_.stale_reports;
+      return true;  // replay is verbatim; no further corruption
+    }
+  }
+
+  if (plan_.fires(FaultKind::kElementDeath, site) && !obs.samples.empty()) {
+    std::uint16_t max_element = 0;
+    for (const rfid::PhaseSample& s : obs.samples) {
+      max_element = std::max(max_element, s.element_id);
+    }
+    const auto dead = static_cast<std::uint16_t>(
+        1 + plan_.pick(FaultKind::kElementDeath, site, max_element));
+    const auto removed = std::erase_if(
+        obs.samples,
+        [dead](const rfid::PhaseSample& s) { return s.element_id == dead; });
+    if (removed > 0) ++counters_.elements_killed;
+  }
+
+  if (plan_.fires(FaultKind::kPhaseJump, site) && !obs.samples.empty()) {
+    // The RF chain glitches partway through the epoch: all rounds at or
+    // after a pivot carry an extra constant phase. Quantized phase wraps
+    // naturally modulo 2^16.
+    std::uint32_t min_round = obs.samples.front().round;
+    std::uint32_t max_round = min_round;
+    for (const rfid::PhaseSample& s : obs.samples) {
+      min_round = std::min(min_round, s.round);
+      max_round = std::max(max_round, s.round);
+    }
+    const std::uint64_t span = max_round - min_round + 1;
+    const auto pivot = static_cast<std::uint32_t>(
+        min_round + plan_.pick(FaultKind::kPhaseJump, site, span));
+    // Jump in [1/8, 7/8] of a full turn: always a visible discontinuity.
+    const double m = plan_.magnitude(FaultKind::kPhaseJump, site);
+    const auto jump =
+        static_cast<std::uint16_t>((0.125 + 0.75 * m) * 65536.0);
+    for (rfid::PhaseSample& s : obs.samples) {
+      if (s.round >= pivot) {
+        s.phase_q = static_cast<std::uint16_t>(s.phase_q + jump);
+      }
+    }
+    ++counters_.phase_jumps;
+  }
+
+  return true;
+}
+
+void FaultInjector::corrupt_report(rfid::RoAccessReport& report,
+                                   std::uint64_t epoch, std::uint64_t array) {
+  std::vector<rfid::TagObservation> out;
+  out.reserve(report.observations.size());
+  for (rfid::TagObservation& obs : report.observations) {
+    if (!corrupt_observation(obs, epoch, array)) continue;
+    const FaultSite site{epoch, array, obs.epc.serial(), 0};
+    out.push_back(obs);
+    if (plan_.fires(FaultKind::kDuplicateReport, site)) {
+      out.push_back(obs);  // verbatim retransmission
+      ++counters_.duplicate_reports;
+    }
+    history_.insert_or_assign({array, obs.epc}, std::move(obs));
+  }
+  report.observations = std::move(out);
+}
+
+}  // namespace dwatch::faults

@@ -1,0 +1,91 @@
+// Applies a FaultPlan to live traffic at the two places real failures
+// enter a deployment:
+//
+//  * the WIRE layer — framed LLRP byte messages can be truncated,
+//    reordered within an epoch, or lost outright (timeout);
+//  * the OBSERVATION layer — decoded TagObservations can vanish (tag
+//    faded), lose one element's samples (element death), suffer a phase
+//    jump mid-epoch (RF chain glitch), be replayed from the previous
+//    epoch (stale retransmission), or be duplicated.
+//
+// The injector is deterministic: identical (plan, input sequence) pairs
+// produce identical outputs and identical counters. All mutations are
+// plausible hardware behaviours, not random bit noise — the point is to
+// exercise the pipeline's degraded modes, not its decoder fuzz armor
+// (truncation covers the latter).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "faults/fault_plan.hpp"
+#include "rfid/llrp.hpp"
+
+namespace dwatch::faults {
+
+/// How many of each fault class actually struck (deterministic for a
+/// fixed plan + input sequence).
+struct FaultCounters {
+  std::size_t frames_truncated = 0;
+  std::size_t frames_reordered = 0;
+  std::size_t frames_timed_out = 0;
+  std::size_t observations_dropped = 0;
+  std::size_t elements_killed = 0;
+  std::size_t phase_jumps = 0;
+  std::size_t stale_reports = 0;
+  std::size_t duplicate_reports = 0;
+
+  [[nodiscard]] std::size_t total() const noexcept {
+    return frames_truncated + frames_reordered + frames_timed_out +
+           observations_dropped + elements_killed + phase_jumps +
+           stale_reports + duplicate_reports;
+  }
+  bool operator==(const FaultCounters&) const = default;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(plan) {}
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] const FaultCounters& counters() const noexcept {
+    return counters_;
+  }
+  void reset_counters() noexcept { counters_ = {}; }
+
+  /// Wire layer: pass one framed message through the lossy link.
+  /// Returns nullopt when the frame times out (never delivered), a
+  /// shortened prefix when truncated, or the frame untouched.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> filter_frame(
+      std::vector<std::uint8_t> frame, std::uint64_t epoch,
+      std::uint64_t array, std::uint64_t frame_idx = 0);
+
+  /// Wire layer: possibly swap one adjacent pair of an epoch's frames
+  /// (in-flight reordering across a send queue).
+  void maybe_reorder(std::vector<std::vector<std::uint8_t>>& frames,
+                     std::uint64_t epoch, std::uint64_t array);
+
+  /// Observation layer: mutate a decoded report in place. Applies, per
+  /// observation: drop, stale replay, element death, mid-epoch phase
+  /// jump, duplication. Also records each surviving observation so a
+  /// later epoch's stale fault can replay it.
+  void corrupt_report(rfid::RoAccessReport& report, std::uint64_t epoch,
+                      std::uint64_t array);
+
+ private:
+  /// Apply per-observation faults; returns false when the observation is
+  /// dropped entirely.
+  bool corrupt_observation(rfid::TagObservation& obs, std::uint64_t epoch,
+                           std::uint64_t array);
+
+  FaultPlan plan_;
+  FaultCounters counters_;
+  /// Last observation seen per (array, EPC) — the stale-replay source.
+  std::map<std::pair<std::uint64_t, rfid::Epc96>, rfid::TagObservation>
+      history_;
+};
+
+}  // namespace dwatch::faults

@@ -1,0 +1,146 @@
+#include "faults/fault_plan.hpp"
+
+namespace dwatch::faults {
+
+namespace {
+
+/// splitmix64 finalizer: a full-avalanche 64-bit mix (Steele et al.).
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Hash of (seed, kind, site, salt). Each coordinate passes through the
+/// mixer before combining so low-entropy inputs (small epoch/array
+/// indices) still decorrelate fully across sites.
+std::uint64_t site_hash(std::uint64_t seed, FaultKind kind,
+                        const FaultSite& site, std::uint64_t salt) noexcept {
+  std::uint64_t h = mix64(seed ^ salt);
+  h = mix64(h ^ (static_cast<std::uint64_t>(kind) + 1));
+  h = mix64(h ^ site.epoch);
+  h = mix64(h ^ site.array);
+  h = mix64(h ^ site.tag);
+  h = mix64(h ^ site.extra);
+  return h;
+}
+
+/// Map a hash to uniform [0, 1) using the top 53 bits.
+double to_unit(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+constexpr std::uint64_t kFireSalt = 0x46495245ULL;       // "FIRE"
+constexpr std::uint64_t kMagnitudeSalt = 0x4D41474EULL;  // "MAGN"
+constexpr std::uint64_t kPickSalt = 0x5049434BULL;       // "PICK"
+
+}  // namespace
+
+std::string_view to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kFrameTruncation:
+      return "frame_truncation";
+    case FaultKind::kFrameReorder:
+      return "frame_reorder";
+    case FaultKind::kFrameTimeout:
+      return "frame_timeout";
+    case FaultKind::kObservationDrop:
+      return "observation_drop";
+    case FaultKind::kElementDeath:
+      return "element_death";
+    case FaultKind::kPhaseJump:
+      return "phase_jump";
+    case FaultKind::kStaleReport:
+      return "stale_report";
+    case FaultKind::kDuplicateReport:
+      return "duplicate_report";
+  }
+  return "unknown";
+}
+
+FaultRates FaultRates::uniform(double rate) noexcept {
+  FaultRates r;
+  r.frame_truncation = rate;
+  r.frame_reorder = rate;
+  r.frame_timeout = rate;
+  r.observation_drop = rate;
+  r.element_death = rate;
+  r.phase_jump = rate;
+  r.stale_report = rate;
+  r.duplicate_report = rate;
+  return r;
+}
+
+FaultRates FaultRates::only(FaultKind kind, double rate) noexcept {
+  FaultRates r;
+  switch (kind) {
+    case FaultKind::kFrameTruncation:
+      r.frame_truncation = rate;
+      break;
+    case FaultKind::kFrameReorder:
+      r.frame_reorder = rate;
+      break;
+    case FaultKind::kFrameTimeout:
+      r.frame_timeout = rate;
+      break;
+    case FaultKind::kObservationDrop:
+      r.observation_drop = rate;
+      break;
+    case FaultKind::kElementDeath:
+      r.element_death = rate;
+      break;
+    case FaultKind::kPhaseJump:
+      r.phase_jump = rate;
+      break;
+    case FaultKind::kStaleReport:
+      r.stale_report = rate;
+      break;
+    case FaultKind::kDuplicateReport:
+      r.duplicate_report = rate;
+      break;
+  }
+  return r;
+}
+
+double FaultRates::rate(FaultKind kind) const noexcept {
+  switch (kind) {
+    case FaultKind::kFrameTruncation:
+      return frame_truncation;
+    case FaultKind::kFrameReorder:
+      return frame_reorder;
+    case FaultKind::kFrameTimeout:
+      return frame_timeout;
+    case FaultKind::kObservationDrop:
+      return observation_drop;
+    case FaultKind::kElementDeath:
+      return element_death;
+    case FaultKind::kPhaseJump:
+      return phase_jump;
+    case FaultKind::kStaleReport:
+      return stale_report;
+    case FaultKind::kDuplicateReport:
+      return duplicate_report;
+  }
+  return 0.0;
+}
+
+bool FaultPlan::fires(FaultKind kind, const FaultSite& site) const noexcept {
+  const double r = rates_.rate(kind);
+  if (r <= 0.0) return false;
+  if (r >= 1.0) return true;
+  return to_unit(site_hash(seed_, kind, site, kFireSalt)) < r;
+}
+
+double FaultPlan::magnitude(FaultKind kind, const FaultSite& site) const
+    noexcept {
+  return to_unit(site_hash(seed_, kind, site, kMagnitudeSalt));
+}
+
+std::uint64_t FaultPlan::pick(FaultKind kind, const FaultSite& site,
+                              std::uint64_t n) const noexcept {
+  if (n == 0) return 0;
+  return site_hash(seed_, kind, site, kPickSalt) % n;
+}
+
+}  // namespace dwatch::faults

@@ -1,0 +1,96 @@
+// Deterministic fault schedules for resilience testing.
+//
+// Real COTS deployments lose evidence constantly: LLRP sessions stall,
+// frames arrive truncated or out of order, tags fade in deadzones,
+// antenna elements die, RF chains glitch their phase mid-epoch, and
+// readers retransmit stale or duplicate reports. A FaultPlan decides,
+// reproducibly, WHERE each of those failures strikes: every decision is
+// a pure function of (seed, fault kind, fault site), so two runs with
+// the same seed inject byte-identical fault sequences regardless of
+// evaluation order — the property the stress suite's bit-identical
+// ConfidenceReport assertion rests on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace dwatch::faults {
+
+/// The failure taxonomy (DESIGN.md "Failure model & degraded modes").
+enum class FaultKind : std::uint8_t {
+  kFrameTruncation = 0,  ///< wire frame cut short mid-message
+  kFrameReorder,         ///< adjacent frames swapped in flight
+  kFrameTimeout,         ///< frame (or control response) never arrives
+  kObservationDrop,      ///< one tag's report removed (tag faded)
+  kElementDeath,         ///< one ULA element's samples vanish
+  kPhaseJump,            ///< RF chain phase-offset jump mid-epoch
+  kStaleReport,          ///< previous epoch's observation replayed
+  kDuplicateReport,      ///< observation retransmitted twice
+};
+
+inline constexpr std::size_t kNumFaultKinds = 8;
+
+[[nodiscard]] std::string_view to_string(FaultKind kind) noexcept;
+
+/// Per-event injection probability for each fault class, in [0, 1].
+struct FaultRates {
+  double frame_truncation = 0.0;
+  double frame_reorder = 0.0;
+  double frame_timeout = 0.0;
+  double observation_drop = 0.0;
+  double element_death = 0.0;
+  double phase_jump = 0.0;
+  double stale_report = 0.0;
+  double duplicate_report = 0.0;
+
+  /// Every class at the same rate (the stress suite's 10% sweeps).
+  [[nodiscard]] static FaultRates uniform(double rate) noexcept;
+
+  /// Only `kind` at `rate`, everything else clean (per-class sweeps).
+  [[nodiscard]] static FaultRates only(FaultKind kind, double rate) noexcept;
+
+  [[nodiscard]] double rate(FaultKind kind) const noexcept;
+};
+
+/// Where a fault may strike. Unused coordinates stay 0; the pair
+/// (kind, site) must be unique per potential injection point so
+/// decisions are independent across sites.
+struct FaultSite {
+  std::uint64_t epoch = 0;
+  std::uint64_t array = 0;
+  std::uint64_t tag = 0;    ///< EPC serial (0 when not tag-scoped)
+  std::uint64_t extra = 0;  ///< frame index / element id / round
+};
+
+/// Seeded, order-independent fault schedule.
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed, FaultRates rates = {})
+      : seed_(seed), rates_(rates) {}
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] const FaultRates& rates() const noexcept { return rates_; }
+
+  /// Does `kind` strike at `site`? Pure in (seed, kind, site): querying
+  /// in any order, any number of times, gives the same answer.
+  [[nodiscard]] bool fires(FaultKind kind, const FaultSite& site) const
+      noexcept;
+
+  /// Deterministic uniform [0, 1) severity draw for a firing fault
+  /// (truncation point, phase-jump size, ...). Decorrelated from the
+  /// fires() decision at the same site.
+  [[nodiscard]] double magnitude(FaultKind kind, const FaultSite& site) const
+      noexcept;
+
+  /// Deterministic integer draw in [0, n); returns 0 when n == 0.
+  /// Used to pick the dead element, the swapped frame pair, etc.
+  [[nodiscard]] std::uint64_t pick(FaultKind kind, const FaultSite& site,
+                                   std::uint64_t n) const noexcept;
+
+ private:
+  std::uint64_t seed_;
+  FaultRates rates_;
+};
+
+}  // namespace dwatch::faults

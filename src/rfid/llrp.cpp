@@ -279,4 +279,75 @@ std::optional<RoAccessReport> LlrpStreamDecoder::next_report() {
   }
 }
 
+std::optional<RoAccessReport> LlrpStreamDecoder::next_report_tolerant() {
+  // Largest frame a reader could plausibly emit. A misaligned stream can
+  // read a stale length field as gigabytes; without this bound the
+  // decoder would wait forever for a tail that never arrives instead of
+  // quarantining and resynchronizing.
+  constexpr std::uint32_t kMaxFrameBytes = 1 << 20;
+  while (true) {
+    try {
+      const auto h = peek_header(buffer_);  // throws on a bad version
+      if (h) {
+        const bool known_type = h->type == MessageType::kRoAccessReport ||
+                                h->type == MessageType::kKeepalive ||
+                                h->type == MessageType::kReaderEventNotification;
+        if (!known_type || h->length > kMaxFrameBytes) {
+          throw DecodeError("llrp: implausible frame header");
+        }
+      }
+      return next_report();
+    } catch (const DecodeError&) {
+      // The frame at the head of the buffer is corrupt (truncated, or
+      // its declared length swallowed the start of the next message).
+      // Quarantine it: skip one byte, then scan forward to the next
+      // plausible header and try again.
+      ++quarantined_;
+      if (!buffer_.empty()) buffer_.erase(buffer_.begin());
+      resync();
+      if (buffer_.empty()) return std::nullopt;
+    }
+  }
+}
+
+void LlrpStreamDecoder::resync() {
+  while (buffer_.size() >= 2) {
+    const auto first = static_cast<std::uint16_t>(
+        (static_cast<std::uint16_t>(buffer_[0]) << 8) | buffer_[1]);
+    const std::uint8_t version = (first >> 10) & 0x7;
+    const std::uint16_t type = first & 0x3FF;
+    const bool known_type =
+        type == static_cast<std::uint16_t>(MessageType::kRoAccessReport) ||
+        type == static_cast<std::uint16_t>(MessageType::kKeepalive) ||
+        type == static_cast<std::uint16_t>(
+                    MessageType::kReaderEventNotification);
+    if (version == kLlrpVersion && known_type) return;
+    buffer_.erase(buffer_.begin());
+  }
+  buffer_.clear();
+}
+
+void LlrpStreamDecoder::flush_incomplete() {
+  if (buffer_.empty()) return;
+  // The frame at the head is dead — the caller knows its tail will
+  // never arrive. A misaligned head can masquerade as a plausible
+  // header whose bogus length swallows real messages behind it, so do
+  // not just clear: drop the head and salvage the next COMPLETE frame
+  // if the remaining bytes hold one. Heads that stay incomplete under
+  // the no-more-bytes assumption are dead too.
+  ++quarantined_;
+  while (!buffer_.empty()) {
+    buffer_.erase(buffer_.begin());
+    resync();  // leaves an empty buffer or a plausible 2-byte header
+    if (buffer_.empty()) return;
+    const auto h = peek_header(buffer_);
+    if (!h) {
+      // Fewer than header-size bytes: can never complete. Discard.
+      buffer_.clear();
+      return;
+    }
+    if (buffer_.size() >= h->length) return;  // complete frame salvaged
+  }
+}
+
 }  // namespace dwatch::rfid

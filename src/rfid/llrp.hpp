@@ -138,18 +138,39 @@ class LlrpStreamDecoder {
   /// framing (the connection would be torn down in a real deployment).
   [[nodiscard]] std::optional<RoAccessReport> next_report();
 
+  /// Quarantining variant: corrupt framing (truncated frames, garbage
+  /// between messages) is counted and skipped instead of thrown — the
+  /// decoder resynchronizes on the next plausible message header and
+  /// keeps going, as a production server must when a reader misbehaves.
+  [[nodiscard]] std::optional<RoAccessReport> next_report_tolerant();
+
+  /// Discard the dead frame at the head of the buffer (a truncated or
+  /// misframed message whose tail will never arrive), salvaging any
+  /// complete frame buffered behind it — pop that with next_report().
+  /// Call at an epoch boundary / read timeout, alternating with the
+  /// drain loop until buffered_bytes() reaches 0; counts into
+  /// frames_quarantined().
+  void flush_incomplete();
+
   [[nodiscard]] std::size_t keepalives_seen() const noexcept {
     return keepalives_;
   }
   [[nodiscard]] std::size_t events_seen() const noexcept { return events_; }
+  [[nodiscard]] std::size_t frames_quarantined() const noexcept {
+    return quarantined_;
+  }
   [[nodiscard]] std::size_t buffered_bytes() const noexcept {
     return buffer_.size();
   }
 
  private:
+  /// Drop bytes until the buffer starts at a plausible message header.
+  void resync();
+
   std::vector<std::uint8_t> buffer_;
   std::size_t keepalives_ = 0;
   std::size_t events_ = 0;
+  std::size_t quarantined_ = 0;
 };
 
 }  // namespace dwatch::rfid

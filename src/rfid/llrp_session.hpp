@@ -136,6 +136,14 @@ class ReaderSession {
   /// Periodic keepalive (legal in any non-closed state).
   [[nodiscard]] std::vector<std::uint8_t> keepalive();
 
+  /// Tear down and re-accept the connection: back to kIdle with no
+  /// ROSpec, from ANY state including kClosed. This is what a client's
+  /// reconnect (new TCP dial) looks like from the reader's side.
+  void reset() noexcept {
+    state_ = State::kIdle;
+    rospec_.reset();
+  }
+
  private:
   ReaderCapabilities caps_;
   State state_ = State::kIdle;

@@ -12,11 +12,43 @@ SnapshotAssembler::SnapshotAssembler(std::size_t num_elements,
   }
 }
 
-void SnapshotAssembler::ingest(const TagObservation& obs) {
+namespace {
+
+/// FNV-1a over the fields that identify a report on the wire: a
+/// retransmitted duplicate matches in ALL of them. Content is included
+/// alongside (antenna, timestamp) so distinct captures that share a
+/// zero timestamp are not falsely quarantined.
+std::uint64_t report_fingerprint(const TagObservation& obs) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 0x100000001B3ULL;
+    }
+  };
+  mix(obs.antenna_port);
+  mix(obs.first_seen_us);
+  for (const PhaseSample& s : obs.samples) {
+    mix((static_cast<std::uint64_t>(s.element_id) << 48) |
+        (static_cast<std::uint64_t>(s.round) << 16) | s.phase_q);
+    mix(static_cast<std::uint16_t>(s.rssi_q));
+  }
+  return h;
+}
+
+}  // namespace
+
+bool SnapshotAssembler::ingest(const TagObservation& obs) {
   PerTag& tag = tags_[obs.epc];
+  if (!tag.seen_reports.insert(report_fingerprint(obs)).second) {
+    ++stats_.duplicate_reports_quarantined;
+    return false;
+  }
+  ++stats_.reports_accepted;
   for (const PhaseSample& s : obs.samples) {
     if (s.element_id == 0 || s.element_id > num_elements_) {
       ++tag.dropped;
+      ++stats_.samples_quarantined;
       continue;
     }
     RoundBuffer& rb = tag.rounds[s.round];
@@ -27,12 +59,22 @@ void SnapshotAssembler::ingest(const TagObservation& obs) {
     const std::size_t idx = s.element_id - 1;
     if (rb.present[idx]) {
       ++tag.dropped;  // duplicate (retransmission); keep first
+      ++stats_.samples_quarantined;
       continue;
     }
     rb.values[idx] = s.as_complex();
     rb.present[idx] = true;
     ++rb.count;
   }
+  return true;
+}
+
+std::size_t SnapshotAssembler::ingest(const RoAccessReport& report) {
+  std::size_t accepted = 0;
+  for (const TagObservation& obs : report.observations) {
+    if (ingest(obs)) ++accepted;
+  }
+  return accepted;
 }
 
 std::size_t SnapshotAssembler::complete_rounds(const PerTag& t) const {

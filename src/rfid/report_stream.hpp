@@ -9,8 +9,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "linalg/complex_matrix.hpp"
@@ -27,6 +29,23 @@ struct TagSnapshots {
   std::size_t samples_dropped = 0;  ///< duplicate/incomplete-round samples
 };
 
+/// Quarantine counters: what the assembler refused instead of aborting
+/// on (or worse, silently double-counting).
+struct AssemblerStats {
+  std::size_t reports_accepted = 0;
+  /// Re-ingested duplicates of an already-seen report — same (EPC,
+  /// antenna, timestamp) AND identical samples, i.e. a reader
+  /// retransmission. Without this gate a duplicate arriving after
+  /// take() re-populates consumed rounds and the same physical
+  /// measurement is counted as fresh snapshots.
+  std::size_t duplicate_reports_quarantined = 0;
+  /// Samples rejected inside accepted reports (bad element id,
+  /// per-round duplicates).
+  std::size_t samples_quarantined = 0;
+
+  bool operator==(const AssemblerStats&) const = default;
+};
+
 /// Groups observations per EPC and builds snapshot matrices.
 class SnapshotAssembler {
  public:
@@ -35,7 +54,18 @@ class SnapshotAssembler {
   SnapshotAssembler(std::size_t num_elements, std::size_t rounds_needed);
 
   /// Ingest one decoded observation (all its per-element samples).
-  void ingest(const TagObservation& obs);
+  /// Returns false when the whole observation was quarantined as a
+  /// duplicate report (identical EPC, antenna, timestamp and samples as
+  /// one already ingested).
+  bool ingest(const TagObservation& obs);
+
+  /// Ingest every observation of a report; returns how many were
+  /// accepted (the rest were quarantined as duplicates).
+  std::size_t ingest(const RoAccessReport& report);
+
+  [[nodiscard]] const AssemblerStats& stats() const noexcept {
+    return stats_;
+  }
 
   /// All tags that currently have >= rounds_needed COMPLETE rounds.
   [[nodiscard]] std::vector<Epc96> ready_tags() const;
@@ -66,6 +96,10 @@ class SnapshotAssembler {
   struct PerTag {
     std::map<std::uint32_t, RoundBuffer> rounds;
     std::size_t dropped = 0;
+    /// Fingerprints of every report ingested for this tag — (antenna,
+    /// timestamp, samples) hashes. Survives take() so a retransmission
+    /// arriving after its rounds were consumed is still recognized.
+    std::set<std::uint64_t> seen_reports;
   };
 
   [[nodiscard]] std::size_t complete_rounds(const PerTag& t) const;
@@ -73,6 +107,7 @@ class SnapshotAssembler {
   std::size_t num_elements_;
   std::size_t rounds_needed_;
   std::map<Epc96, PerTag> tags_;
+  AssemblerStats stats_;
 };
 
 }  // namespace dwatch::rfid

@@ -1,0 +1,101 @@
+#include "rfid/robust_client.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "rfid/bytes.hpp"
+
+namespace dwatch::rfid {
+
+RobustSessionClient::RobustSessionClient(Transport transport,
+                                         RetryPolicy policy,
+                                         ReconnectHook reconnect)
+    : transport_(std::move(transport)),
+      policy_(policy),
+      reconnect_(std::move(reconnect)) {}
+
+std::uint64_t RobustSessionClient::backoff_us(std::size_t retry_index) const {
+  double b = static_cast<double>(policy_.base_backoff_us);
+  for (std::size_t i = 0; i < retry_index; ++i) {
+    b *= policy_.backoff_multiplier;
+  }
+  const auto capped = std::min(b, static_cast<double>(policy_.max_backoff_us));
+  return static_cast<std::uint64_t>(capped);
+}
+
+std::optional<std::vector<std::uint8_t>> RobustSessionClient::send_with_retry(
+    const std::vector<std::uint8_t>& request_bytes) {
+  ++stats_.requests;
+  for (std::size_t attempt = 0; attempt < policy_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.retries;
+      stats_.virtual_time_us += backoff_us(attempt - 1);
+    }
+    ++stats_.attempts;
+    auto response = transport_(request_bytes);
+    if (response.has_value()) {
+      stats_.virtual_time_us += policy_.nominal_rtt_us;
+      return response;
+    }
+    ++stats_.timeouts;
+    stats_.virtual_time_us += policy_.request_timeout_us;
+  }
+  ++stats_.giveups;
+  return std::nullopt;
+}
+
+std::optional<ControlResponse> RobustSessionClient::request(
+    ControlType type, const RoSpec& rospec) {
+  const auto bytes =
+      encode_control_request(type, next_message_id_++, rospec);
+  const auto response = send_with_retry(bytes);
+  if (!response) return std::nullopt;
+  try {
+    return decode_control_response(*response);
+  } catch (const DecodeError&) {
+    // Truncated/garbled response: indistinguishable from a loss at the
+    // protocol level; the caller treats it like a timeout.
+    return std::nullopt;
+  }
+}
+
+bool RobustSessionClient::try_handshake(const RoSpec& rospec) {
+  // Capabilities: the response is its own shape, not a ControlResponse.
+  const auto caps_bytes = send_with_retry(encode_control_request(
+      ControlType::kGetReaderCapabilities, next_message_id_++));
+  if (!caps_bytes) return false;
+  try {
+    (void)decode_capabilities_response(*caps_bytes);
+  } catch (const DecodeError&) {
+    return false;
+  }
+
+  for (const ControlType step :
+       {ControlType::kAddRospec, ControlType::kEnableRospec,
+        ControlType::kStartRospec}) {
+    const auto resp = request(step, rospec);
+    if (!resp || resp->status != LlrpStatus::kSuccess) {
+      // Either the link ate every attempt, or the session state has
+      // desynchronized (e.g. the reader applied an ADD whose response
+      // was lost, so our retry got kWrongState). Both mean this
+      // connection attempt is unsalvageable.
+      return false;
+    }
+  }
+  return true;
+}
+
+bool RobustSessionClient::connect(const RoSpec& rospec) {
+  if (try_handshake(rospec)) return true;
+  if (!reconnect_) return false;
+  for (std::size_t cycle = 0; cycle < policy_.max_reconnects; ++cycle) {
+    ++stats_.reconnects;
+    // Reconnect backoff mirrors the per-request schedule, one notch up.
+    stats_.virtual_time_us += backoff_us(cycle + 1);
+    reconnect_();
+    if (try_handshake(rospec)) return true;
+  }
+  return false;
+}
+
+}  // namespace dwatch::rfid

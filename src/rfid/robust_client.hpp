@@ -1,0 +1,114 @@
+// Client-side resilience for the LLRP control plane.
+//
+// The plain handshake in llrp_session.hpp assumes every request gets a
+// response. Real links do not cooperate: responses time out, frames
+// arrive truncated, and — the classic distributed-systems trap — a LOST
+// RESPONSE does not mean the reader ignored the request. A retried
+// ADD_ROSPEC whose first response was lost gets kWrongState back,
+// because the reader already applied it. RobustSessionClient handles
+// all of that:
+//
+//  * per-request timeouts with retry + exponential backoff;
+//  * a reconnect state machine: when retries are exhausted or the
+//    session state has desynchronized, tear the connection down
+//    (reconnect hook = new TCP dial) and redo the handshake from
+//    scratch, up to a bounded number of times;
+//  * a deterministic virtual clock, so tests can assert exact backoff
+//    schedules and two runs over the same lossy transport behave
+//    bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "rfid/llrp_session.hpp"
+
+namespace dwatch::rfid {
+
+struct RetryPolicy {
+  /// Attempts per request (first try + retries).
+  std::size_t max_attempts = 4;
+  /// Backoff before retry k is base * multiplier^(k-1), capped.
+  std::uint64_t base_backoff_us = 500;
+  double backoff_multiplier = 2.0;
+  std::uint64_t max_backoff_us = 64'000;
+  /// Virtual time charged for an attempt that never got a response.
+  std::uint64_t request_timeout_us = 2'000;
+  /// Virtual time charged for a successful round trip.
+  std::uint64_t nominal_rtt_us = 150;
+  /// Full reconnect cycles connect() may burn before giving up.
+  std::size_t max_reconnects = 3;
+};
+
+/// Deterministic accounting of the transport's behaviour. Feed into
+/// DWatchPipeline::note_transport() so fixes report their provenance.
+struct TransportStats {
+  std::size_t requests = 0;   ///< logical requests issued
+  std::size_t attempts = 0;   ///< wire attempts (>= requests)
+  std::size_t retries = 0;    ///< attempts beyond the first
+  std::size_t timeouts = 0;   ///< attempts with no usable response
+  std::size_t reconnects = 0; ///< full teardown + re-handshake cycles
+  std::size_t giveups = 0;    ///< requests that exhausted all attempts
+  std::uint64_t virtual_time_us = 0;  ///< deterministic elapsed time
+
+  bool operator==(const TransportStats&) const = default;
+};
+
+class RobustSessionClient {
+ public:
+  /// Delivers one framed request, returns the framed response, or
+  /// nullopt when the exchange was lost (either direction). A fault
+  /// injector typically wraps ReaderSession::handle here.
+  using Transport = std::function<std::optional<std::vector<std::uint8_t>>(
+      std::span<const std::uint8_t>)>;
+
+  /// Called on reconnect: tear down and redial (e.g. ReaderSession::
+  /// reset() in tests; a real client would close and reopen the
+  /// socket). May be null, in which case reconnects are disabled.
+  using ReconnectHook = std::function<void()>;
+
+  RobustSessionClient(Transport transport, RetryPolicy policy = {},
+                      ReconnectHook reconnect = nullptr);
+
+  /// One control request with retry + exponential backoff. Returns the
+  /// decoded response, or nullopt when every attempt timed out or
+  /// returned undecodable bytes.
+  [[nodiscard]] std::optional<ControlResponse> request(
+      ControlType type, const RoSpec& rospec = {});
+
+  /// Full capabilities + ADD/ENABLE/START handshake with per-request
+  /// retries; on failure (including state desync from lost responses)
+  /// reconnects and retries the whole sequence, up to
+  /// policy.max_reconnects times. Returns true once reports can flow.
+  [[nodiscard]] bool connect(const RoSpec& rospec);
+
+  [[nodiscard]] const TransportStats& stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] const RetryPolicy& policy() const noexcept {
+    return policy_;
+  }
+  /// Deterministic virtual clock (µs since construction).
+  [[nodiscard]] std::uint64_t now_us() const noexcept {
+    return stats_.virtual_time_us;
+  }
+
+ private:
+  /// Raw request bytes -> raw response bytes with timeout/retry/backoff.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> send_with_retry(
+      const std::vector<std::uint8_t>& request_bytes);
+  [[nodiscard]] std::uint64_t backoff_us(std::size_t retry_index) const;
+  /// One pass of the handshake; false on any step failing.
+  [[nodiscard]] bool try_handshake(const RoSpec& rospec);
+
+  Transport transport_;
+  RetryPolicy policy_;
+  ReconnectHook reconnect_;
+  TransportStats stats_;
+  std::uint32_t next_message_id_ = 1;
+};
+
+}  // namespace dwatch::rfid

@@ -196,4 +196,21 @@ rfid::TagObservation Scene::capture_observation(
   return obs;
 }
 
+rfid::RoAccessReport Scene::capture_report(
+    std::size_t array_idx, std::span<const CylinderTarget> targets,
+    rf::Rng& rng, std::uint32_t message_id,
+    std::uint64_t first_seen_us) const {
+  if (array_idx >= deployment_.arrays.size()) {
+    throw std::out_of_range("Scene::capture_report: bad array index");
+  }
+  rfid::RoAccessReport report;
+  report.message_id = message_id;
+  for (std::size_t t = 0; t < deployment_.tags.size(); ++t) {
+    if (!tag_readable(array_idx, t)) continue;
+    report.observations.push_back(
+        capture_observation(array_idx, t, targets, rng, first_seen_us));
+  }
+  return report;
+}
+
 }  // namespace dwatch::sim

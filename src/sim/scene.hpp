@@ -130,6 +130,14 @@ class Scene {
       std::span<const CylinderTarget> targets, rf::Rng& rng,
       std::uint64_t first_seen_us = 0) const;
 
+  /// One full inventory epoch of an array as the reader would report it:
+  /// an RO_ACCESS_REPORT with one observation per readable tag
+  /// (unreadable tags are silently absent, as on real hardware).
+  [[nodiscard]] rfid::RoAccessReport capture_report(
+      std::size_t array_idx, std::span<const CylinderTarget> targets,
+      rf::Rng& rng, std::uint32_t message_id = 0,
+      std::uint64_t first_seen_us = 0) const;
+
  private:
   void check_indices(std::size_t array_idx, std::size_t tag_idx) const;
 

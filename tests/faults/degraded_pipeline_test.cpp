@@ -1,0 +1,311 @@
+// Tests for the pipeline's graceful-degradation features: K-of-N array
+// localization, staleness rejection, low-snapshot kernel widening, and
+// the per-fix ConfidenceReport.
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "core/localizer.hpp"
+#include "core/pipeline.hpp"
+#include "rf/constants.hpp"
+#include "rf/noise.hpp"
+#include "rf/snapshot.hpp"
+
+namespace dwatch::core {
+namespace {
+
+std::vector<rf::UniformLinearArray> room_arrays() {
+  return {
+      rf::UniformLinearArray({3.5, 0.15, 1.25}, {1, 0}, 8),
+      rf::UniformLinearArray({3.5, 9.85, 1.25}, {1, 0}, 8),
+      rf::UniformLinearArray({0.15, 5.0, 1.25}, {0, 1}, 8),
+      rf::UniformLinearArray({6.85, 5.0, 1.25}, {0, 1}, 8),
+  };
+}
+
+SearchBounds room_bounds() { return {{0.0, 0.0}, {7.0, 10.0}}; }
+
+PathDrop drop_at(double theta, double power = 1.0, std::uint32_t source = 0) {
+  PathDrop d;
+  d.theta = theta;
+  d.drop_fraction = 0.9;
+  d.baseline_power = power;
+  d.online_power = 0.05 * power;
+  d.source_id = source;
+  return d;
+}
+
+std::vector<AngularEvidence> evidence_for(
+    const std::vector<rf::UniformLinearArray>& arrays, rf::Vec2 target,
+    std::size_t num_arrays = 4) {
+  std::vector<AngularEvidence> ev(arrays.size());
+  for (std::size_t i = 0; i < num_arrays && i < arrays.size(); ++i) {
+    ev[i].drops.push_back(
+        drop_at(arrays[i].arrival_angle_planar(target), 1.0,
+                static_cast<std::uint32_t>(100 + i)));
+  }
+  return ev;
+}
+
+/// Synthesize snapshots for one (array, tag-position) link: one direct
+/// path, deterministic for a fixed rng seed.
+linalg::CMatrix link_snapshots(const rf::UniformLinearArray& array,
+                               rf::Vec3 tag_pos, double amplitude,
+                               std::size_t num_snapshots, std::uint64_t seed) {
+  rf::PropagationPath path;
+  path.aoa = array.arrival_angle_planar({tag_pos.x, tag_pos.y});
+  path.gain = std::polar(amplitude, 0.3);
+  rf::SnapshotOptions snap;
+  snap.num_snapshots = num_snapshots;
+  snap.noise_sigma = 1e-4;
+  rf::Rng rng(seed);
+  const std::vector<rf::PropagationPath> paths{path};
+  const std::vector<double> path_scale{1.0};
+  return rf::synthesize_snapshots(array, paths, path_scale, snap, rng);
+}
+
+// ---------------------------------------------------------------------------
+// K-of-N at the localizer layer.
+
+TEST(KOfN, ExcludedArrayRelaxesMinArrays) {
+  // min_arrays = 2, but 3 of 4 arrays are excluded: the single survivor
+  // must still produce a fix (K-of-N), where the same evidence with
+  // merely-silent arrays would abstain.
+  const auto arrays = room_arrays();
+  const Localizer loc(arrays, room_bounds());
+  const rf::Vec2 target{3.0, 4.0};
+
+  auto silent = evidence_for(arrays, target, 1);
+  EXPECT_FALSE(loc.localize(silent).valid);  // 1 of 4, nothing excluded
+
+  auto excluded = evidence_for(arrays, target, 1);
+  excluded[1].excluded = excluded[2].excluded = excluded[3].excluded = true;
+  const LocationEstimate est = loc.localize(excluded);
+  ASSERT_TRUE(est.valid);
+  EXPECT_NEAR(rf::distance(est.position, target), 0.0, 0.5);
+}
+
+TEST(KOfN, ExcludedEvidenceContributesNothing) {
+  // A poisoned array (wrong-angle evidence) flagged excluded must not
+  // pull the fix: result matches the 3-healthy-array localization.
+  const auto arrays = room_arrays();
+  const Localizer loc(arrays, room_bounds());
+  const rf::Vec2 target{2.5, 6.0};
+
+  auto three = evidence_for(arrays, target, 4);
+  three[3].drops.clear();
+
+  auto poisoned = evidence_for(arrays, target, 4);
+  poisoned[3].drops[0] =
+      drop_at(arrays[3].arrival_angle_planar({6.0, 1.0}), 2.0, 103);
+  poisoned[3].excluded = true;
+
+  const LocationEstimate clean = loc.localize(three);
+  const LocationEstimate deg = loc.localize(poisoned);
+  ASSERT_TRUE(clean.valid);
+  ASSERT_TRUE(deg.valid);
+  EXPECT_DOUBLE_EQ(deg.position.x, clean.position.x);
+  EXPECT_DOUBLE_EQ(deg.position.y, clean.position.y);
+  EXPECT_DOUBLE_EQ(deg.likelihood, clean.likelihood);
+}
+
+TEST(KOfN, AllExcludedAbstains) {
+  const auto arrays = room_arrays();
+  const Localizer loc(arrays, room_bounds());
+  auto ev = evidence_for(arrays, {3.0, 4.0}, 4);
+  for (auto& e : ev) e.excluded = true;
+  EXPECT_FALSE(loc.localize(ev).valid);
+}
+
+TEST(KOfN, SigmaScaleWidensTheKernel) {
+  // A widened drop spreads the same evidence over more angle: lower at
+  // the exact peak, higher off-peak.
+  const auto arrays = room_arrays();
+  const Localizer loc(arrays, room_bounds());
+  AngularEvidence sharp;
+  sharp.drops.push_back(drop_at(1.0));
+  AngularEvidence wide = sharp;
+  wide.drops[0].sigma_scale = 2.0;
+  const double norm = 0.95;
+  EXPECT_GT(loc.evidence_at(sharp, 1.0, norm),
+            0.0);  // sanity: peak responds
+  EXPECT_DOUBLE_EQ(loc.evidence_at(sharp, 1.0, norm),
+                   loc.evidence_at(wide, 1.0, norm));  // same center value
+  const double off = 1.0 + 3.0 * loc.options().kernel_sigma;
+  EXPECT_GT(loc.evidence_at(wide, off, norm),
+            loc.evidence_at(sharp, off, norm));
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline-level degraded modes.
+
+PipelineOptions tight_options() {
+  PipelineOptions opts;
+  opts.change.min_drop_fraction = 0.25;
+  return opts;
+}
+
+TEST(DegradedPipeline, ArrayHealthExcludesAndReports) {
+  DWatchPipeline pipe(room_arrays(), room_bounds(), tight_options());
+  pipe.set_array_health(2, false);
+  EXPECT_FALSE(pipe.array_healthy(2));
+  EXPECT_TRUE(pipe.array_healthy(0));
+  const ConfidenceReport r = pipe.confidence_report();
+  EXPECT_EQ(r.arrays_total, 4u);
+  EXPECT_EQ(r.arrays_excluded, 1u);
+  EXPECT_TRUE(r.degraded());
+
+  // Health persists across epochs until restored.
+  pipe.begin_epoch();
+  EXPECT_FALSE(pipe.array_healthy(2));
+  pipe.set_array_health(2, true);
+  EXPECT_FALSE(pipe.confidence_report().degraded());
+}
+
+TEST(DegradedPipeline, StaleObservationsRejectedByWatermark) {
+  DWatchPipeline pipe(room_arrays(), room_bounds(), tight_options());
+  const auto arrays = room_arrays();
+  const rf::Vec3 tag_pos{3.0, 4.0, 1.2};
+  pipe.add_baseline(0, rfid::Epc96::for_tag_index(1),
+                    link_snapshots(arrays[0], tag_pos, 1.0, 12, 42));
+
+  // Wire observation timestamped BEFORE the epoch watermark: rejected.
+  // Build a TagObservation via quantization of fresh snapshots.
+  const linalg::CMatrix x = link_snapshots(arrays[0], tag_pos, 0.4, 12, 43);
+  rfid::TagObservation obs;
+  obs.epc = rfid::Epc96::for_tag_index(1);
+  obs.first_seen_us = 500;  // stale
+  for (std::size_t n = 0; n < x.cols(); ++n) {
+    for (std::size_t m = 0; m < x.rows(); ++m) {
+      const auto [pq, rq] = rfid::quantize_sample(x(m, n));
+      obs.samples.push_back(rfid::PhaseSample{
+          static_cast<std::uint16_t>(m + 1), static_cast<std::uint32_t>(n),
+          pq, rq});
+    }
+  }
+
+  pipe.begin_epoch(/*watermark_us=*/1000);
+  EXPECT_EQ(pipe.observe(0, obs), 0u);
+  EXPECT_EQ(pipe.stats().stale_observations, 1u);
+  EXPECT_TRUE(pipe.evidence()[0].drops.empty());
+  const ConfidenceReport r = pipe.confidence_report();
+  EXPECT_EQ(r.stale_observations, 1u);
+  EXPECT_EQ(r.observations, 0u);
+  EXPECT_TRUE(r.degraded());
+
+  // The same observation with a fresh timestamp is processed.
+  obs.first_seen_us = 1500;
+  (void)pipe.observe(0, obs);
+  EXPECT_EQ(pipe.confidence_report().observations, 1u);
+
+  // Watermark 0 disables the gate entirely.
+  pipe.begin_epoch(0);
+  obs.first_seen_us = 1;
+  (void)pipe.observe(0, obs);
+  EXPECT_EQ(pipe.confidence_report().stale_observations, 0u);
+}
+
+TEST(DegradedPipeline, LowSnapshotObservationsWidenTheKernel) {
+  PipelineOptions opts = tight_options();
+  opts.degraded.min_snapshots = 6;
+  opts.degraded.sigma_widen = 2.0;
+  DWatchPipeline pipe(room_arrays(), room_bounds(), opts);
+  const auto arrays = room_arrays();
+  const rf::Vec3 tag_pos{3.0, 4.0, 1.2};
+  const auto epc = rfid::Epc96::for_tag_index(1);
+  pipe.add_baseline(0, epc, link_snapshots(arrays[0], tag_pos, 1.0, 12, 42));
+
+  // Starved epoch: 3 snapshot columns (below min 6).
+  pipe.begin_epoch();
+  (void)pipe.observe(0, epc, link_snapshots(arrays[0], tag_pos, 0.3, 3, 43));
+  EXPECT_EQ(pipe.stats().low_snapshot_observations, 1u);
+  const ConfidenceReport starved = pipe.confidence_report();
+  EXPECT_EQ(starved.low_snapshot_observations, 1u);
+  EXPECT_TRUE(starved.degraded());
+  ASSERT_FALSE(pipe.evidence()[0].drops.empty());
+  for (const PathDrop& d : pipe.evidence()[0].drops) {
+    EXPECT_DOUBLE_EQ(d.sigma_scale, 2.0);
+  }
+
+  // Healthy epoch: full snapshot count, scale stays exactly 1.
+  pipe.begin_epoch();
+  (void)pipe.observe(0, epc, link_snapshots(arrays[0], tag_pos, 0.3, 12, 44));
+  EXPECT_EQ(pipe.confidence_report().low_snapshot_observations, 0u);
+  for (const PathDrop& d : pipe.evidence()[0].drops) {
+    EXPECT_DOUBLE_EQ(d.sigma_scale, 1.0);
+  }
+}
+
+TEST(DegradedPipeline, TransportNotesFlowIntoTheReport) {
+  DWatchPipeline pipe(room_arrays(), room_bounds(), tight_options());
+  pipe.begin_epoch();
+  pipe.note_transport(/*retries=*/3, /*timeouts=*/2);
+  pipe.note_transport(1, 0);
+  pipe.note_reports_dropped(4);
+  const ConfidenceReport r = pipe.confidence_report();
+  EXPECT_EQ(r.transport_retries, 4u);
+  EXPECT_EQ(r.transport_timeouts, 2u);
+  EXPECT_EQ(r.reports_dropped, 4u);
+  EXPECT_TRUE(r.degraded());
+  // begin_epoch clears the per-epoch transport counters.
+  pipe.begin_epoch();
+  EXPECT_FALSE(pipe.confidence_report().degraded());
+}
+
+TEST(DegradedPipeline, CleanRunReportsNoDegradation) {
+  DWatchPipeline pipe(room_arrays(), room_bounds(), tight_options());
+  const auto arrays = room_arrays();
+  const rf::Vec3 tag_pos{3.0, 4.0, 1.2};
+  const auto epc = rfid::Epc96::for_tag_index(1);
+  pipe.add_baseline(0, epc, link_snapshots(arrays[0], tag_pos, 1.0, 12, 42));
+  pipe.begin_epoch();
+  (void)pipe.observe(0, epc, link_snapshots(arrays[0], tag_pos, 0.3, 12, 43));
+  const ConfidenceReport r = pipe.confidence_report();
+  EXPECT_EQ(r.observations, 1u);
+  EXPECT_FALSE(r.degraded());
+}
+
+TEST(DegradedPipeline, LocalizeWithConfidenceMatchesLocalize) {
+  DWatchPipeline pipe(room_arrays(), room_bounds(), tight_options());
+  const auto arrays = room_arrays();
+  const rf::Vec3 tag_pos{3.0, 4.0, 1.2};
+  const auto epc = rfid::Epc96::for_tag_index(1);
+  for (std::size_t a = 0; a < arrays.size(); ++a) {
+    pipe.add_baseline(a, epc,
+                      link_snapshots(arrays[a], tag_pos, 1.0, 12, 42 + a));
+  }
+  pipe.begin_epoch();
+  for (std::size_t a = 0; a < arrays.size(); ++a) {
+    (void)pipe.observe(a, epc,
+                       link_snapshots(arrays[a], tag_pos, 0.25, 12, 92 + a));
+  }
+  const LocationEstimate direct = pipe.localize();
+  const ConfidentEstimate with = pipe.localize_with_confidence();
+  EXPECT_DOUBLE_EQ(with.estimate.position.x, direct.position.x);
+  EXPECT_DOUBLE_EQ(with.estimate.position.y, direct.position.y);
+  EXPECT_EQ(with.estimate.valid, direct.valid);
+  EXPECT_EQ(with.confidence.observations, 4u);
+  EXPECT_EQ(with.confidence, pipe.confidence_report());
+
+  const ConfidentEstimate be = pipe.localize_with_confidence(true);
+  const LocationEstimate be_direct = pipe.localize_best_effort();
+  EXPECT_DOUBLE_EQ(be.estimate.position.x, be_direct.position.x);
+}
+
+TEST(DegradedPipeline, ExcludedArraySurvivesGhostFiltering) {
+  // filtered_evidence() must carry the exclusion flag through, or a
+  // quarantined array would silently rejoin the likelihood product.
+  PipelineOptions opts = tight_options();
+  opts.ghost_filtering = true;
+  DWatchPipeline pipe(room_arrays(), room_bounds(), opts);
+  pipe.set_array_health(1, false);
+  const auto filtered = pipe.filtered_evidence();
+  ASSERT_EQ(filtered.size(), 4u);
+  EXPECT_TRUE(filtered[1].excluded);
+  EXPECT_FALSE(filtered[0].excluded);
+}
+
+}  // namespace
+}  // namespace dwatch::core

@@ -1,0 +1,252 @@
+// Tests for the fault injector: each fault class mutates traffic the
+// way real hardware fails, counters account for every strike, and the
+// whole process is deterministic.
+#include "faults/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "rfid/llrp.hpp"
+
+namespace dwatch::faults {
+namespace {
+
+using rfid::Epc96;
+using rfid::PhaseSample;
+using rfid::RoAccessReport;
+using rfid::TagObservation;
+
+TagObservation make_observation(std::uint32_t tag, std::size_t elements = 4,
+                                std::uint32_t rounds = 3,
+                                std::uint64_t ts = 1000) {
+  TagObservation obs;
+  obs.epc = Epc96::for_tag_index(tag);
+  obs.first_seen_us = ts;
+  for (std::uint32_t r = 0; r < rounds; ++r) {
+    for (std::uint16_t e = 1; e <= elements; ++e) {
+      obs.samples.push_back(PhaseSample{
+          .element_id = e,
+          .round = r,
+          .phase_q = static_cast<std::uint16_t>(e * 100 + r),
+          .rssi_q = -3000,
+      });
+    }
+  }
+  return obs;
+}
+
+RoAccessReport make_report(std::size_t num_tags, std::uint64_t ts = 1000) {
+  RoAccessReport report;
+  for (std::uint32_t t = 0; t < num_tags; ++t) {
+    report.observations.push_back(make_observation(t, 4, 3, ts));
+  }
+  return report;
+}
+
+TEST(FaultInjectorWire, CleanPlanPassesFramesVerbatim) {
+  FaultInjector inj{FaultPlan(1, FaultRates{})};
+  const std::vector<std::uint8_t> frame{1, 2, 3, 4, 5, 6, 7, 8};
+  const auto out = inj.filter_frame(frame, 0, 0, 0);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, frame);
+  EXPECT_EQ(inj.counters().total(), 0u);
+}
+
+TEST(FaultInjectorWire, TimeoutSwallowsTheFrame) {
+  FaultInjector inj{
+      FaultPlan(1, FaultRates::only(FaultKind::kFrameTimeout, 1.0))};
+  EXPECT_FALSE(inj.filter_frame({1, 2, 3}, 0, 0, 0).has_value());
+  EXPECT_EQ(inj.counters().frames_timed_out, 1u);
+}
+
+TEST(FaultInjectorWire, TruncationKeepsAStrictPrefix) {
+  FaultInjector inj{
+      FaultPlan(7, FaultRates::only(FaultKind::kFrameTruncation, 1.0))};
+  const std::vector<std::uint8_t> frame{10, 20, 30, 40, 50, 60, 70, 80};
+  for (std::uint64_t idx = 0; idx < 50; ++idx) {
+    const auto out = inj.filter_frame(frame, 0, 0, idx);
+    ASSERT_TRUE(out.has_value());
+    ASSERT_GE(out->size(), 1u);
+    ASSERT_LT(out->size(), frame.size());
+    // Prefix, not arbitrary bytes.
+    EXPECT_TRUE(std::equal(out->begin(), out->end(), frame.begin()));
+  }
+  EXPECT_EQ(inj.counters().frames_truncated, 50u);
+}
+
+TEST(FaultInjectorWire, ReorderSwapsOneAdjacentPair) {
+  FaultInjector inj{
+      FaultPlan(3, FaultRates::only(FaultKind::kFrameReorder, 1.0))};
+  std::vector<std::vector<std::uint8_t>> frames{{0}, {1}, {2}, {3}};
+  const auto original = frames;
+  inj.maybe_reorder(frames, 0, 0);
+  EXPECT_EQ(inj.counters().frames_reordered, 1u);
+  // Same multiset of frames, exactly two positions changed.
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    if (frames[i] != original[i]) ++moved;
+  }
+  EXPECT_EQ(moved, 2u);
+
+  // A single frame cannot be reordered.
+  std::vector<std::vector<std::uint8_t>> one{{9}};
+  inj.maybe_reorder(one, 0, 1);
+  EXPECT_EQ(one.size(), 1u);
+}
+
+TEST(FaultInjectorObs, DropRemovesTheObservation) {
+  FaultInjector inj{
+      FaultPlan(1, FaultRates::only(FaultKind::kObservationDrop, 1.0))};
+  RoAccessReport report = make_report(5);
+  inj.corrupt_report(report, 0, 0);
+  EXPECT_TRUE(report.observations.empty());
+  EXPECT_EQ(inj.counters().observations_dropped, 5u);
+}
+
+TEST(FaultInjectorObs, ElementDeathRemovesExactlyOneElement) {
+  FaultInjector inj{
+      FaultPlan(11, FaultRates::only(FaultKind::kElementDeath, 1.0))};
+  RoAccessReport report = make_report(1);
+  const std::size_t before = report.observations[0].samples.size();
+  inj.corrupt_report(report, 0, 0);
+  ASSERT_EQ(report.observations.size(), 1u);
+  const auto& samples = report.observations[0].samples;
+  // 3 rounds x 1 dead element gone.
+  EXPECT_EQ(samples.size(), before - 3);
+  std::set<std::uint16_t> alive;
+  for (const PhaseSample& s : samples) alive.insert(s.element_id);
+  EXPECT_EQ(alive.size(), 3u);
+  EXPECT_EQ(inj.counters().elements_killed, 1u);
+}
+
+TEST(FaultInjectorObs, PhaseJumpShiftsASuffixOfRounds) {
+  FaultInjector inj{
+      FaultPlan(13, FaultRates::only(FaultKind::kPhaseJump, 1.0))};
+  RoAccessReport report = make_report(1);
+  const auto original = report.observations[0];
+  inj.corrupt_report(report, 0, 0);
+  ASSERT_EQ(report.observations.size(), 1u);
+  const auto& obs = report.observations[0];
+  ASSERT_EQ(obs.samples.size(), original.samples.size());
+  EXPECT_EQ(inj.counters().phase_jumps, 1u);
+
+  // Per round: either every element shifted by the same constant, or
+  // none — and at least one round IS shifted.
+  std::size_t shifted_rounds = 0;
+  for (std::uint32_t r = 0; r < 3; ++r) {
+    std::set<std::uint16_t> deltas;
+    for (std::size_t i = 0; i < obs.samples.size(); ++i) {
+      if (obs.samples[i].round != r) continue;
+      deltas.insert(static_cast<std::uint16_t>(
+          obs.samples[i].phase_q - original.samples[i].phase_q));
+    }
+    ASSERT_EQ(deltas.size(), 1u);
+    if (*deltas.begin() != 0) ++shifted_rounds;
+  }
+  EXPECT_GE(shifted_rounds, 1u);
+  // RSSI untouched: it's a PHASE glitch.
+  for (std::size_t i = 0; i < obs.samples.size(); ++i) {
+    EXPECT_EQ(obs.samples[i].rssi_q, original.samples[i].rssi_q);
+  }
+}
+
+TEST(FaultInjectorObs, DuplicateEmitsVerbatimCopy) {
+  FaultInjector inj{
+      FaultPlan(17, FaultRates::only(FaultKind::kDuplicateReport, 1.0))};
+  RoAccessReport report = make_report(2);
+  inj.corrupt_report(report, 0, 0);
+  ASSERT_EQ(report.observations.size(), 4u);
+  EXPECT_EQ(report.observations[0].epc, report.observations[1].epc);
+  EXPECT_EQ(report.observations[0].samples.size(),
+            report.observations[1].samples.size());
+  EXPECT_EQ(inj.counters().duplicate_reports, 2u);
+}
+
+TEST(FaultInjectorObs, StaleReplaysThePreviousEpochVerbatim) {
+  FaultInjector inj{
+      FaultPlan(19, FaultRates::only(FaultKind::kStaleReport, 1.0))};
+  // Epoch 0: nothing in history yet, so the stale fault cannot strike.
+  RoAccessReport epoch0 = make_report(1, /*ts=*/1000);
+  inj.corrupt_report(epoch0, 0, 0);
+  ASSERT_EQ(epoch0.observations.size(), 1u);
+  EXPECT_EQ(epoch0.observations[0].first_seen_us, 1000u);
+  EXPECT_EQ(inj.counters().stale_reports, 0u);
+
+  // Epoch 1: fresh data (new timestamp) replaced by the epoch-0 replay.
+  RoAccessReport epoch1 = make_report(1, /*ts=*/2000);
+  epoch1.observations[0].samples[0].phase_q = 60000;  // fresh measurement
+  inj.corrupt_report(epoch1, 1, 0);
+  ASSERT_EQ(epoch1.observations.size(), 1u);
+  EXPECT_EQ(epoch1.observations[0].first_seen_us, 1000u);  // old timestamp
+  EXPECT_NE(epoch1.observations[0].samples[0].phase_q, 60000);
+  EXPECT_EQ(inj.counters().stale_reports, 1u);
+}
+
+TEST(FaultInjector, DeterministicAcrossRuns) {
+  const FaultPlan plan(555, FaultRates::uniform(0.3));
+  FaultInjector a{plan};
+  FaultInjector b{plan};
+  for (std::uint64_t epoch = 0; epoch < 6; ++epoch) {
+    for (std::uint64_t array = 0; array < 3; ++array) {
+      RoAccessReport ra = make_report(8, 1000 * (epoch + 1));
+      RoAccessReport rb = make_report(8, 1000 * (epoch + 1));
+      a.corrupt_report(ra, epoch, array);
+      b.corrupt_report(rb, epoch, array);
+      ASSERT_EQ(ra.observations.size(), rb.observations.size());
+      for (std::size_t i = 0; i < ra.observations.size(); ++i) {
+        EXPECT_EQ(ra.observations[i].epc, rb.observations[i].epc);
+        EXPECT_EQ(ra.observations[i].first_seen_us,
+                  rb.observations[i].first_seen_us);
+        ASSERT_EQ(ra.observations[i].samples.size(),
+                  rb.observations[i].samples.size());
+        for (std::size_t s = 0; s < ra.observations[i].samples.size(); ++s) {
+          EXPECT_EQ(ra.observations[i].samples[s].phase_q,
+                    rb.observations[i].samples[s].phase_q);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(a.counters(), b.counters());
+  EXPECT_GT(a.counters().total(), 0u);
+}
+
+TEST(FaultInjector, TruncatedFramesQuarantinedByTolerantDecoder) {
+  // Wire faults + the tolerant decoder: truncation must never abort the
+  // stream, and intact messages around the damage still decode.
+  FaultInjector inj{
+      FaultPlan(23, FaultRates::only(FaultKind::kFrameTruncation, 0.5))};
+  rfid::LlrpStreamDecoder decoder;
+  std::size_t sent = 0, delivered_whole = 0;
+  for (std::uint64_t idx = 0; idx < 40; ++idx) {
+    RoAccessReport msg;
+    msg.message_id = static_cast<std::uint32_t>(idx);
+    msg.observations.push_back(make_observation(static_cast<std::uint32_t>(idx)));
+    auto frame = rfid::encode(msg);
+    const std::size_t whole = frame.size();
+    const auto out = inj.filter_frame(std::move(frame), 0, 0, idx);
+    ASSERT_TRUE(out.has_value());  // truncation never times out
+    ++sent;
+    if (out->size() == whole) ++delivered_whole;
+    decoder.feed(*out);
+  }
+  std::size_t decoded = 0;
+  while (true) {
+    while (decoder.next_report_tolerant()) ++decoded;
+    if (decoder.buffered_bytes() == 0) break;
+    decoder.flush_incomplete();
+  }
+  EXPECT_EQ(sent, 40u);
+  EXPECT_GT(inj.counters().frames_truncated, 0u);
+  // Every intact frame either decodes or was consumed as collateral of
+  // a preceding truncated frame (resync can only skip forward); at
+  // minimum SOME intact traffic survives and nothing throws.
+  EXPECT_GT(decoded, 0u);
+  EXPECT_LE(decoded, delivered_whole);
+  EXPECT_GT(decoder.frames_quarantined(), 0u);
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace dwatch::faults

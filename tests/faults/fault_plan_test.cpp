@@ -1,0 +1,150 @@
+// Tests for the deterministic fault schedule: purity, order
+// independence, rate calibration, and seed sensitivity.
+#include "faults/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace dwatch::faults {
+namespace {
+
+FaultSite site(std::uint64_t epoch, std::uint64_t array = 0,
+               std::uint64_t tag = 0, std::uint64_t extra = 0) {
+  return FaultSite{epoch, array, tag, extra};
+}
+
+TEST(FaultRates, UniformSetsEveryKind) {
+  const FaultRates r = FaultRates::uniform(0.25);
+  for (std::size_t k = 0; k < kNumFaultKinds; ++k) {
+    EXPECT_DOUBLE_EQ(r.rate(static_cast<FaultKind>(k)), 0.25);
+  }
+}
+
+TEST(FaultRates, OnlyIsolatesOneKind) {
+  const FaultRates r = FaultRates::only(FaultKind::kPhaseJump, 0.5);
+  for (std::size_t k = 0; k < kNumFaultKinds; ++k) {
+    const auto kind = static_cast<FaultKind>(k);
+    EXPECT_DOUBLE_EQ(r.rate(kind), kind == FaultKind::kPhaseJump ? 0.5 : 0.0);
+  }
+}
+
+TEST(FaultPlan, ZeroRateNeverFires) {
+  const FaultPlan plan(12345, FaultRates{});
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(plan.fires(FaultKind::kFrameTimeout, site(i, i % 4)));
+  }
+}
+
+TEST(FaultPlan, UnitRateAlwaysFires) {
+  const FaultPlan plan(12345, FaultRates::uniform(1.0));
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(plan.fires(FaultKind::kObservationDrop, site(i, i % 4, i)));
+  }
+}
+
+TEST(FaultPlan, DecisionsArePure) {
+  const FaultPlan plan(777, FaultRates::uniform(0.5));
+  const FaultSite s = site(3, 1, 9, 2);
+  const bool first = plan.fires(FaultKind::kElementDeath, s);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(plan.fires(FaultKind::kElementDeath, s), first);
+  }
+}
+
+TEST(FaultPlan, OrderIndependent) {
+  // The same set of queries, issued forward and backward, answers
+  // identically — the property the bit-identical stress assertion
+  // rests on.
+  const FaultPlan a(42, FaultRates::uniform(0.3));
+  const FaultPlan b(42, FaultRates::uniform(0.3));
+  std::vector<bool> forward;
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    forward.push_back(a.fires(FaultKind::kStaleReport, site(i, i % 3, i * 7)));
+  }
+  for (std::uint64_t i = 500; i-- > 0;) {
+    EXPECT_EQ(b.fires(FaultKind::kStaleReport, site(i, i % 3, i * 7)),
+              forward[i]);
+  }
+}
+
+TEST(FaultPlan, EmpiricalRateTracksNominal) {
+  const double rate = 0.1;
+  const FaultPlan plan(999, FaultRates::uniform(rate));
+  std::size_t hits = 0;
+  const std::size_t n = 20000;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (plan.fires(FaultKind::kFrameTruncation, site(i / 100, i % 4, 0, i))) {
+      ++hits;
+    }
+  }
+  const double empirical = static_cast<double>(hits) / n;
+  EXPECT_NEAR(empirical, rate, 0.02);
+}
+
+TEST(FaultPlan, KindsAreDecorrelated) {
+  // At the SAME site, different kinds must decide independently —
+  // otherwise a truncated frame would always also time out.
+  const FaultPlan plan(31337, FaultRates::uniform(0.5));
+  std::size_t agree = 0;
+  const std::size_t n = 4000;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const FaultSite s = site(i, i % 4, i % 21);
+    if (plan.fires(FaultKind::kFrameTimeout, s) ==
+        plan.fires(FaultKind::kDuplicateReport, s)) {
+      ++agree;
+    }
+  }
+  // Independent fair coins agree ~50% of the time.
+  EXPECT_NEAR(static_cast<double>(agree) / n, 0.5, 0.05);
+}
+
+TEST(FaultPlan, SeedsChangeTheSchedule) {
+  const FaultPlan a(1, FaultRates::uniform(0.5));
+  const FaultPlan b(2, FaultRates::uniform(0.5));
+  std::size_t differ = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const FaultSite s = site(i, i % 4);
+    if (a.fires(FaultKind::kPhaseJump, s) != b.fires(FaultKind::kPhaseJump, s))
+      ++differ;
+  }
+  EXPECT_GT(differ, 300u);
+}
+
+TEST(FaultPlan, MagnitudeIsUnitIntervalAndPure) {
+  const FaultPlan plan(5, FaultRates::uniform(1.0));
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    const FaultSite s = site(i, 0, i);
+    const double m = plan.magnitude(FaultKind::kPhaseJump, s);
+    EXPECT_GE(m, 0.0);
+    EXPECT_LT(m, 1.0);
+    EXPECT_DOUBLE_EQ(plan.magnitude(FaultKind::kPhaseJump, s), m);
+  }
+}
+
+TEST(FaultPlan, PickStaysInRange) {
+  const FaultPlan plan(5, FaultRates::uniform(1.0));
+  EXPECT_EQ(plan.pick(FaultKind::kElementDeath, site(0), 0), 0u);
+  std::vector<std::size_t> counts(8, 0);
+  for (std::uint64_t i = 0; i < 8000; ++i) {
+    const std::uint64_t p = plan.pick(FaultKind::kElementDeath, site(i), 8);
+    ASSERT_LT(p, 8u);
+    ++counts[p];
+  }
+  // Roughly uniform over the range: every bucket hit.
+  for (const std::size_t c : counts) EXPECT_GT(c, 500u);
+}
+
+TEST(FaultKindNames, AllDistinct) {
+  for (std::size_t a = 0; a < kNumFaultKinds; ++a) {
+    EXPECT_FALSE(to_string(static_cast<FaultKind>(a)).empty());
+    for (std::size_t b = a + 1; b < kNumFaultKinds; ++b) {
+      EXPECT_NE(to_string(static_cast<FaultKind>(a)),
+                to_string(static_cast<FaultKind>(b)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dwatch::faults

@@ -1,0 +1,184 @@
+// Tests for the resilient LLRP control-plane client: retries with
+// exponential backoff on a deterministic virtual clock, and the
+// reconnect state machine that recovers from lost-response desyncs.
+#include "rfid/robust_client.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "faults/fault_plan.hpp"
+
+namespace dwatch::rfid {
+namespace {
+
+RoSpec default_rospec() {
+  RoSpec r;
+  r.rospec_id = 7;
+  return r;
+}
+
+/// Transport that drives a ReaderSession, losing exchanges on demand.
+/// `lose` is consulted once per wire attempt with the attempt ordinal;
+/// when it returns kRequestLost the reader never sees the request, when
+/// kResponseLost the reader PROCESSES it but the response vanishes —
+/// the distributed-systems trap the reconnect machinery exists for.
+enum class Loss { kNone, kRequestLost, kResponseLost };
+
+RobustSessionClient::Transport lossy_transport(
+    ReaderSession& session, std::function<Loss(std::size_t)> lose) {
+  auto counter = std::make_shared<std::size_t>(0);
+  return [&session, lose = std::move(lose),
+          counter](std::span<const std::uint8_t> request)
+             -> std::optional<std::vector<std::uint8_t>> {
+    const Loss loss = lose((*counter)++);
+    if (loss == Loss::kRequestLost) return std::nullopt;
+    auto response = session.handle(request);
+    if (loss == Loss::kResponseLost) return std::nullopt;
+    return response;
+  };
+}
+
+TEST(RobustSession, CleanLinkConnectsFirstTry) {
+  ReaderSession session;
+  RobustSessionClient client(
+      lossy_transport(session, [](std::size_t) { return Loss::kNone; }));
+  EXPECT_TRUE(client.connect(default_rospec()));
+  EXPECT_EQ(session.state(), ReaderSession::State::kRunning);
+  const TransportStats& s = client.stats();
+  EXPECT_EQ(s.requests, 4u);  // caps + add + enable + start
+  EXPECT_EQ(s.attempts, 4u);
+  EXPECT_EQ(s.retries, 0u);
+  EXPECT_EQ(s.timeouts, 0u);
+  EXPECT_EQ(s.reconnects, 0u);
+  EXPECT_EQ(s.virtual_time_us, 4 * client.policy().nominal_rtt_us);
+}
+
+TEST(RobustSession, LostRequestIsRetriedTransparently) {
+  // The first two wire attempts vanish before reaching the reader; the
+  // retried attempt succeeds and the session state never desyncs.
+  ReaderSession session;
+  RobustSessionClient client(lossy_transport(session, [](std::size_t i) {
+    return i < 2 ? Loss::kRequestLost : Loss::kNone;
+  }));
+  EXPECT_TRUE(client.connect(default_rospec()));
+  EXPECT_EQ(session.state(), ReaderSession::State::kRunning);
+  EXPECT_EQ(client.stats().retries, 2u);
+  EXPECT_EQ(client.stats().timeouts, 2u);
+  EXPECT_EQ(client.stats().reconnects, 0u);
+}
+
+TEST(RobustSession, BackoffScheduleIsExactAndExponential) {
+  ReaderSession session;
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.base_backoff_us = 500;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_us = 64'000;
+  policy.request_timeout_us = 2'000;
+  policy.nominal_rtt_us = 150;
+  // Lose the first three attempts of the first request.
+  RobustSessionClient client(lossy_transport(session, [](std::size_t i) {
+    return i < 3 ? Loss::kRequestLost : Loss::kNone;
+  }), policy);
+  const auto resp =
+      client.request(ControlType::kGetReaderCapabilities);
+  // 4th attempt answered (capabilities bytes don't decode as a control
+  // response header mismatch — request() returns nullopt on DecodeError
+  // — so probe the clock, which is the point of this test).
+  (void)resp;
+  // 3 timeouts + backoffs 500, 1000, 2000 + one successful RTT.
+  EXPECT_EQ(client.stats().timeouts, 3u);
+  EXPECT_EQ(client.now_us(), 3 * 2'000u + 500u + 1'000u + 2'000u + 150u);
+}
+
+TEST(RobustSession, DeadLinkGivesUpBoundedly) {
+  ReaderSession session;
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.max_reconnects = 2;
+  RobustSessionClient client(
+      lossy_transport(session, [](std::size_t) { return Loss::kRequestLost; }),
+      policy, [&session] { session.reset(); });
+  EXPECT_FALSE(client.connect(default_rospec()));
+  const TransportStats& s = client.stats();
+  EXPECT_EQ(s.reconnects, 2u);
+  // 3 connect cycles, each dying on the first (capabilities) request.
+  EXPECT_EQ(s.giveups, 3u);
+  EXPECT_EQ(s.attempts, 9u);
+  EXPECT_EQ(s.timeouts, 9u);
+}
+
+TEST(RobustSession, LostAddResponseDesyncHealsViaReconnect) {
+  // Attempt ordinals on a clean link: 0 caps, 1 add, 2 enable, 3 start.
+  // Losing the RESPONSE to ADD_ROSPEC leaves the reader configured while
+  // the client believes the add never happened; the retried ADD gets
+  // kWrongState and only a full reconnect (reader session reset) heals.
+  ReaderSession session;
+  RobustSessionClient client(lossy_transport(session, [](std::size_t i) {
+    return i == 1 ? Loss::kResponseLost : Loss::kNone;
+  }), RetryPolicy{}, [&session] { session.reset(); });
+  EXPECT_TRUE(client.connect(default_rospec()));
+  EXPECT_EQ(session.state(), ReaderSession::State::kRunning);
+  EXPECT_EQ(client.stats().reconnects, 1u);
+  EXPECT_GE(client.stats().retries, 1u);
+}
+
+TEST(RobustSession, NoReconnectHookMeansNoReconnects) {
+  ReaderSession session;
+  RobustSessionClient client(lossy_transport(session, [](std::size_t i) {
+    return i == 1 ? Loss::kResponseLost : Loss::kNone;
+  }));
+  EXPECT_FALSE(client.connect(default_rospec()));
+  EXPECT_EQ(client.stats().reconnects, 0u);
+}
+
+TEST(RobustSession, BackoffCapHolds) {
+  RetryPolicy policy;
+  policy.base_backoff_us = 1'000;
+  policy.backoff_multiplier = 10.0;
+  policy.max_backoff_us = 5'000;
+  policy.max_attempts = 4;
+  ReaderSession session;
+  RobustSessionClient client(
+      lossy_transport(session, [](std::size_t) { return Loss::kRequestLost; }),
+      policy);
+  EXPECT_FALSE(client.request(ControlType::kGetReaderCapabilities)
+                   .has_value());
+  // Backoffs: 1000, then 10000 -> capped 5000, then capped 5000.
+  EXPECT_EQ(client.now_us(), 4 * policy.request_timeout_us + 1'000u +
+                                 5'000u + 5'000u);
+}
+
+TEST(RobustSession, FaultPlanDrivenLinkIsDeterministic) {
+  // Drive the transport's losses from a FaultPlan and check two
+  // independent runs produce bit-identical TransportStats — the
+  // control-plane half of the stress suite's determinism criterion.
+  const faults::FaultPlan plan(
+      99, faults::FaultRates::only(faults::FaultKind::kFrameTimeout, 0.35));
+  const auto run = [&plan] {
+    ReaderSession session;
+    auto attempt = std::make_shared<std::uint64_t>(0);
+    RobustSessionClient client(
+        [&session, &plan, attempt](std::span<const std::uint8_t> request)
+            -> std::optional<std::vector<std::uint8_t>> {
+          const faults::FaultSite site{0, 0, 0, (*attempt)++};
+          if (plan.fires(faults::FaultKind::kFrameTimeout, site)) {
+            return std::nullopt;
+          }
+          return session.handle(request);
+        },
+        RetryPolicy{}, [&session] { session.reset(); });
+    const bool ok = client.connect(RoSpec{});
+    return std::make_pair(ok, client.stats());
+  };
+  const auto [ok_a, stats_a] = run();
+  const auto [ok_b, stats_b] = run();
+  EXPECT_EQ(ok_a, ok_b);
+  EXPECT_EQ(stats_a, stats_b);
+}
+
+}  // namespace
+}  // namespace dwatch::rfid

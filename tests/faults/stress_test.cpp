@@ -1,0 +1,293 @@
+// Deterministic stress suite: the full sim -> wire -> pipeline chain
+// under every fault class.
+//
+// For each fault kind at 10% injection the suite asserts the
+// acceptance criteria of the failure-model design:
+//   * nothing crashes or hangs anywhere in the chain;
+//   * the median localization error degrades by at most 2x the clean
+//     run's median (plus a small absolute floor absorbing grid
+//     quantization when the clean error is near zero);
+//   * two runs with the same FaultPlan seed produce bit-identical
+//     ConfidenceReports and estimates.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "faults/fault_injector.hpp"
+#include "rf/noise.hpp"
+#include "sim/scene.hpp"
+
+namespace dwatch {
+namespace {
+
+using core::ConfidenceReport;
+using core::ConfidentEstimate;
+using faults::FaultInjector;
+using faults::FaultKind;
+using faults::FaultPlan;
+using faults::FaultRates;
+
+constexpr std::uint64_t kSceneSeed = 20160901;  // CoNEXT'16
+constexpr std::size_t kNumEpochs = 5;
+
+/// One localization epoch's outcome.
+struct EpochResult {
+  ConfidentEstimate fix;
+  rf::Vec2 truth;
+
+  [[nodiscard]] double error() const {
+    return rf::distance(fix.estimate.position, truth);
+  }
+};
+
+struct RunResult {
+  std::vector<EpochResult> epochs;
+
+  [[nodiscard]] double median_error() const {
+    std::vector<double> errs;
+    for (const EpochResult& e : epochs) errs.push_back(e.error());
+    std::sort(errs.begin(), errs.end());
+    return errs[errs.size() / 2];
+  }
+};
+
+/// The fixed scenario shared by every run: the library room with the
+/// default 4-array, 21-tag deployment. Rebuilt from the same seed each time so runs only
+/// differ in the injected faults.
+sim::Scene make_scene() {
+  rf::Rng rng(kSceneSeed);
+  sim::Deployment dep = sim::make_room_deployment(
+      sim::Environment::library(), sim::DeploymentOptions{}, rng);
+  return sim::Scene(std::move(dep), sim::CaptureOptions{}, rng);
+}
+
+core::DWatchPipeline make_pipeline(const sim::Scene& scene) {
+  core::PipelineOptions opts;
+  opts.localizer.grid_step = 0.1;
+  const auto& env = scene.deployment().env;
+  core::DWatchPipeline pipe(
+      scene.deployment().arrays,
+      core::SearchBounds{{0.0, 0.0}, {env.width, env.depth}}, opts);
+  // Perfect calibration (the reader's own per-port offsets): this suite
+  // stresses the transport and degradation paths, not the calibrator.
+  for (std::size_t a = 0; a < scene.num_arrays(); ++a) {
+    pipe.set_calibration(a, scene.reader(a).phase_offsets());
+  }
+  return pipe;
+}
+
+/// The ground-truth target track: one position per epoch, through the
+/// well-covered center of the room.
+rf::Vec2 target_at(std::size_t epoch) {
+  return {2.6 + 0.2 * static_cast<double>(epoch),
+          3.6 + 0.25 * static_cast<double>(epoch)};
+}
+
+/// Run the full chain: per epoch, each array's report passes the
+/// observation-layer faults, is encoded into one frame per tag, passes
+/// the wire-layer faults, is decoded by the tolerant stream decoder,
+/// and the surviving observations feed the pipeline.
+RunResult run_chain(const FaultPlan& plan) {
+  const sim::Scene scene = make_scene();
+  core::DWatchPipeline pipe = make_pipeline(scene);
+  FaultInjector injector(plan);
+
+  // Clean baselines (empty scene), captured before the link degrades.
+  for (std::size_t a = 0; a < scene.num_arrays(); ++a) {
+    rf::Rng rng(kSceneSeed + 100 + a);
+    const rfid::RoAccessReport report =
+        scene.capture_report(a, {}, rng, 0, /*first_seen_us=*/1);
+    for (const rfid::TagObservation& obs : report.observations) {
+      pipe.add_baseline(a, obs);
+    }
+  }
+
+  RunResult result;
+  for (std::size_t epoch = 0; epoch < kNumEpochs; ++epoch) {
+    const rf::Vec2 truth = target_at(epoch);
+    const sim::CylinderTarget targets[] = {sim::CylinderTarget::human(truth)};
+    const std::uint64_t watermark = 1000 * (epoch + 1);
+    pipe.begin_epoch(watermark);
+
+    for (std::size_t a = 0; a < scene.num_arrays(); ++a) {
+      rf::Rng rng(kSceneSeed + 1000 * (epoch + 1) + a);
+      rfid::RoAccessReport report = scene.capture_report(
+          a, targets, rng, static_cast<std::uint32_t>(epoch),
+          /*first_seen_us=*/watermark + 10);
+
+      // Observation-layer faults strike at the reader.
+      injector.corrupt_report(report, epoch, a);
+
+      // One wire frame per observation, as a streaming reader emits.
+      std::vector<std::vector<std::uint8_t>> frames;
+      for (const rfid::TagObservation& obs : report.observations) {
+        rfid::RoAccessReport single;
+        single.message_id = static_cast<std::uint32_t>(epoch * 100 + a);
+        single.observations.push_back(obs);
+        frames.push_back(rfid::encode(single));
+      }
+      const std::size_t encoded = frames.size();
+
+      // Wire-layer faults strike in flight.
+      injector.maybe_reorder(frames, epoch, a);
+      rfid::LlrpStreamDecoder decoder;
+      for (std::size_t f = 0; f < frames.size(); ++f) {
+        const auto delivered =
+            injector.filter_frame(std::move(frames[f]), epoch, a, f);
+        if (delivered) decoder.feed(*delivered);
+      }
+
+      // Server side: tolerant decode (alternating with the epoch-end
+      // flush until the buffer drains), then the degraded pipeline.
+      std::size_t decoded = 0;
+      while (true) {
+        while (const auto msg = decoder.next_report_tolerant()) {
+          for (const rfid::TagObservation& obs : msg->observations) {
+            (void)pipe.observe(a, obs);
+            ++decoded;
+          }
+        }
+        if (decoder.buffered_bytes() == 0) break;
+        decoder.flush_incomplete();
+      }
+      pipe.note_reports_dropped(encoded - decoded +
+                                decoder.frames_quarantined());
+    }
+
+    EpochResult er;
+    er.fix = pipe.localize_with_confidence(/*best_effort=*/true);
+    er.truth = truth;
+    result.epochs.push_back(er);
+  }
+  return result;
+}
+
+/// Clean-run median, computed once and shared by every fault case.
+double clean_median() {
+  static const double median = [] {
+    const RunResult clean = run_chain(FaultPlan(1, FaultRates{}));
+    return clean.median_error();
+  }();
+  return median;
+}
+
+TEST(Stress, CleanRunLocalizesAndReportsHealthy) {
+  const RunResult clean = run_chain(FaultPlan(1, FaultRates{}));
+  ASSERT_EQ(clean.epochs.size(), kNumEpochs);
+  for (const EpochResult& e : clean.epochs) {
+    EXPECT_TRUE(e.fix.estimate.valid);
+    EXPECT_FALSE(e.fix.confidence.degraded());
+    EXPECT_EQ(e.fix.confidence.arrays_total, 4u);
+    EXPECT_GE(e.fix.confidence.arrays_with_evidence, 2u);
+  }
+  EXPECT_LT(clean.median_error(), 0.6);
+}
+
+class StressPerFault : public ::testing::TestWithParam<FaultKind> {};
+
+TEST_P(StressPerFault, BoundedDegradationAtTenPercent) {
+  const FaultKind kind = GetParam();
+  const FaultPlan plan(7777, FaultRates::only(kind, 0.10));
+  const RunResult faulty = run_chain(plan);  // completing IS no-crash
+  ASSERT_EQ(faulty.epochs.size(), kNumEpochs);
+
+  // Every epoch still produced a positioned fix (best-effort never
+  // abstains while any evidence exists).
+  for (const EpochResult& e : faulty.epochs) {
+    EXPECT_GT(e.fix.confidence.observations +
+                  e.fix.confidence.observations_skipped +
+                  e.fix.confidence.stale_observations +
+                  e.fix.confidence.malformed_observations,
+              0u)
+        << to_string(kind);
+  }
+
+  // Bounded error degradation: median <= 2x clean median, with a small
+  // absolute floor so a near-zero clean error cannot make the bound
+  // vacuous-tight against grid quantization.
+  const double bound = std::max(2.0 * clean_median(), 0.5);
+  EXPECT_LE(faulty.median_error(), bound) << to_string(kind);
+}
+
+TEST_P(StressPerFault, SameSeedIsBitIdentical) {
+  const FaultKind kind = GetParam();
+  const FaultPlan plan(4242, FaultRates::only(kind, 0.10));
+  const RunResult a = run_chain(plan);
+  const RunResult b = run_chain(plan);
+  ASSERT_EQ(a.epochs.size(), b.epochs.size());
+  for (std::size_t e = 0; e < a.epochs.size(); ++e) {
+    EXPECT_EQ(a.epochs[e].fix.confidence, b.epochs[e].fix.confidence);
+    EXPECT_EQ(a.epochs[e].fix.estimate.position.x,
+              b.epochs[e].fix.estimate.position.x);
+    EXPECT_EQ(a.epochs[e].fix.estimate.position.y,
+              b.epochs[e].fix.estimate.position.y);
+    EXPECT_EQ(a.epochs[e].fix.estimate.likelihood,
+              b.epochs[e].fix.estimate.likelihood);
+    EXPECT_EQ(a.epochs[e].fix.estimate.valid, b.epochs[e].fix.estimate.valid);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFaultKinds, StressPerFault,
+    ::testing::Values(FaultKind::kFrameTruncation, FaultKind::kFrameReorder,
+                      FaultKind::kFrameTimeout, FaultKind::kObservationDrop,
+                      FaultKind::kElementDeath, FaultKind::kPhaseJump,
+                      FaultKind::kStaleReport, FaultKind::kDuplicateReport),
+    [](const ::testing::TestParamInfo<FaultKind>& info) {
+      return std::string(to_string(info.param));
+    });
+
+TEST(Stress, AllFaultsTogetherStillBounded) {
+  // Every class at once at 10% — the "bad day" run. Determinism and
+  // bounded degradation must hold jointly, and the ConfidenceReport
+  // must admit the damage.
+  const FaultPlan plan(31415, FaultRates::uniform(0.10));
+  const RunResult a = run_chain(plan);
+  const RunResult b = run_chain(plan);
+  std::size_t degraded_epochs = 0;
+  for (std::size_t e = 0; e < a.epochs.size(); ++e) {
+    EXPECT_EQ(a.epochs[e].fix.confidence, b.epochs[e].fix.confidence);
+    EXPECT_EQ(a.epochs[e].fix.estimate.position.x,
+              b.epochs[e].fix.estimate.position.x);
+    EXPECT_EQ(a.epochs[e].fix.estimate.position.y,
+              b.epochs[e].fix.estimate.position.y);
+    if (a.epochs[e].fix.confidence.degraded()) ++degraded_epochs;
+  }
+  EXPECT_GT(degraded_epochs, 0u);
+  EXPECT_LE(a.median_error(), std::max(3.0 * clean_median(), 0.75));
+}
+
+TEST(Stress, DeadArrayStillLocalizesKOfN) {
+  // Kill one array's link outright (health flag + no traffic): the two
+  // survivors must still produce valid fixes, with the exclusion on the
+  // record.
+  const sim::Scene scene = make_scene();
+  core::DWatchPipeline pipe = make_pipeline(scene);
+  for (std::size_t a = 0; a < scene.num_arrays(); ++a) {
+    rf::Rng rng(kSceneSeed + 100 + a);
+    const auto report = scene.capture_report(a, {}, rng, 0, 1);
+    for (const auto& obs : report.observations) pipe.add_baseline(a, obs);
+  }
+  pipe.set_array_health(2, false);
+
+  const rf::Vec2 truth = target_at(1);
+  const sim::CylinderTarget targets[] = {sim::CylinderTarget::human(truth)};
+  pipe.begin_epoch(1000);
+  for (std::size_t a = 0; a + 1 < scene.num_arrays(); ++a) {
+    rf::Rng rng(kSceneSeed + 2000 + a);
+    const auto report = scene.capture_report(a, targets, rng, 0, 1010);
+    for (const auto& obs : report.observations) (void)pipe.observe(a, obs);
+  }
+
+  const ConfidentEstimate fix = pipe.localize_with_confidence(true);
+  EXPECT_EQ(fix.confidence.arrays_excluded, 1u);
+  EXPECT_TRUE(fix.confidence.degraded());
+  EXPECT_LT(rf::distance(fix.estimate.position, truth), 1.5);
+}
+
+}  // namespace
+}  // namespace dwatch

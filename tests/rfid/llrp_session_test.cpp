@@ -143,6 +143,114 @@ TEST(ReaderSession, KeepalivesIncrementIds) {
             decode_keepalive(k2).message_id);
 }
 
+class LlrpStatusCodec : public ::testing::TestWithParam<LlrpStatus> {};
+
+TEST_P(LlrpStatusCodec, EveryErrorStatusRoundTrips) {
+  // Every non-success status must survive the wire unchanged for every
+  // response type — a client distinguishes "retry" (kWrongState after a
+  // lost response) from "fix your config" (kInvalidRospec) on exactly
+  // this field.
+  const LlrpStatus status = GetParam();
+  for (const ControlType type :
+       {ControlType::kGetReaderCapabilitiesResponse,
+        ControlType::kAddRospecResponse, ControlType::kEnableRospecResponse,
+        ControlType::kStartRospecResponse, ControlType::kStopRospecResponse,
+        ControlType::kDeleteRospecResponse,
+        ControlType::kCloseConnectionResponse}) {
+    const auto bytes = encode_control_response(type, 77, status);
+    const ControlResponse resp = decode_control_response(bytes);
+    EXPECT_EQ(resp.type, type);
+    EXPECT_EQ(resp.message_id, 77u);
+    EXPECT_EQ(resp.status, status);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NonSuccess, LlrpStatusCodec,
+                         ::testing::Values(LlrpStatus::kInvalidRospec,
+                                           LlrpStatus::kWrongState,
+                                           LlrpStatus::kUnsupported),
+                         [](const ::testing::TestParamInfo<LlrpStatus>& i) {
+                           switch (i.param) {
+                             case LlrpStatus::kInvalidRospec:
+                               return std::string("InvalidRospec");
+                             case LlrpStatus::kWrongState:
+                               return std::string("WrongState");
+                             default:
+                               return std::string("Unsupported");
+                           }
+                         });
+
+TEST(ReaderSession, EveryOutOfOrderRequestGetsWrongState) {
+  // From idle, every state-dependent request except ADD must refuse
+  // with kWrongState and leave the session idle.
+  for (const ControlType type :
+       {ControlType::kEnableRospec, ControlType::kStartRospec,
+        ControlType::kStopRospec, ControlType::kDeleteRospec}) {
+    ReaderSession session;
+    const auto resp = session.handle(
+        encode_control_request(type, 1, default_rospec()));
+    EXPECT_EQ(decode_control_response(resp).status, LlrpStatus::kWrongState)
+        << static_cast<int>(type);
+    EXPECT_EQ(session.state(), ReaderSession::State::kIdle);
+  }
+}
+
+TEST(ReaderSession, DoubleAddIsWrongStateNotOverwrite) {
+  // The lost-response trap from the reader's side: a retried ADD after
+  // the first one already applied gets kWrongState, and the original
+  // ROSpec stays installed.
+  ReaderSession session;
+  auto resp = session.handle(
+      encode_control_request(ControlType::kAddRospec, 1, default_rospec()));
+  EXPECT_EQ(decode_control_response(resp).status, LlrpStatus::kSuccess);
+  RoSpec second = default_rospec();
+  second.rospec_id = 42;
+  resp = session.handle(
+      encode_control_request(ControlType::kAddRospec, 2, second));
+  EXPECT_EQ(decode_control_response(resp).status, LlrpStatus::kWrongState);
+  ASSERT_TRUE(session.rospec().has_value());
+  EXPECT_EQ(session.rospec()->rospec_id, 7u);
+}
+
+TEST(ReaderSession, ErrorResponsesEchoTheRequestMessageId) {
+  ReaderSession session;
+  const auto resp = session.handle(encode_control_request(
+      ControlType::kStartRospec, 31337, default_rospec()));
+  const ControlResponse decoded = decode_control_response(resp);
+  EXPECT_EQ(decoded.message_id, 31337u);
+  EXPECT_EQ(decoded.type, ControlType::kStartRospecResponse);
+  EXPECT_EQ(decoded.status, LlrpStatus::kWrongState);
+}
+
+TEST(ReaderSession, ResetReopensAClosedOrRunningSession) {
+  // reset() models the client's reconnect (new TCP dial): any state —
+  // including closed — returns to a clean idle session that can
+  // handshake again.
+  ReaderSession session;
+  ASSERT_TRUE(perform_handshake(session, default_rospec()));
+  session.reset();
+  EXPECT_EQ(session.state(), ReaderSession::State::kIdle);
+  EXPECT_FALSE(session.rospec().has_value());
+  ASSERT_TRUE(perform_handshake(session, default_rospec()));
+
+  (void)session.handle(
+      encode_control_request(ControlType::kCloseConnection, 99));
+  EXPECT_EQ(session.state(), ReaderSession::State::kClosed);
+  session.reset();
+  EXPECT_TRUE(perform_handshake(session, default_rospec()));
+}
+
+TEST(ReaderSession, MalformedControlFrameThrowsNotCorrupts) {
+  ReaderSession session;
+  auto bytes =
+      encode_control_request(ControlType::kAddRospec, 1, default_rospec());
+  bytes.pop_back();  // truncate: length field no longer matches
+  EXPECT_THROW((void)session.handle(bytes), DecodeError);
+  // The session survives and still accepts a well-formed handshake.
+  EXPECT_EQ(session.state(), ReaderSession::State::kIdle);
+  EXPECT_TRUE(perform_handshake(session, default_rospec()));
+}
+
 TEST(ReaderSession, HandshakeThenStreamDecodes) {
   // Full loop: handshake, publish a report, client-side stream decode.
   ReaderSession session;

@@ -122,5 +122,69 @@ TEST(SnapshotAssembler, UnknownTagTakeReturnsNullopt) {
   EXPECT_FALSE(asm4.take(Epc96::for_tag_index(99)).has_value());
 }
 
+TEST(SnapshotAssembler, DuplicateReportQuarantinedNotDoubleCounted) {
+  // Regression: a retransmitted report — same (EPC, antenna, timestamp)
+  // AND byte-identical samples — used to re-populate rounds and count
+  // the same physical measurement as fresh snapshots.
+  SnapshotAssembler asm4(4, 4);
+  TagObservation obs = full_observation(1, 4, 2);
+  obs.first_seen_us = 777;
+  EXPECT_TRUE(asm4.ingest(obs));
+  EXPECT_FALSE(asm4.ingest(obs));  // verbatim retransmission
+  EXPECT_FALSE(asm4.ingest(obs));
+  EXPECT_EQ(asm4.stats().reports_accepted, 1u);
+  EXPECT_EQ(asm4.stats().duplicate_reports_quarantined, 2u);
+  // Only the first copy's 2 rounds are buffered: tag is NOT ready.
+  EXPECT_TRUE(asm4.ready_tags().empty());
+}
+
+TEST(SnapshotAssembler, DuplicateAfterTakeStillQuarantined) {
+  // The trap: duplicate arrives AFTER its rounds were consumed by
+  // take(). Without a fingerprint that survives take(), the stale copy
+  // would rebuild the matrix from already-counted measurements.
+  SnapshotAssembler asm4(2, 2);
+  TagObservation obs = full_observation(5, 2, 2);
+  obs.first_seen_us = 1234;
+  EXPECT_TRUE(asm4.ingest(obs));
+  ASSERT_TRUE(asm4.take(Epc96::for_tag_index(5)).has_value());
+  EXPECT_FALSE(asm4.ingest(obs));
+  EXPECT_TRUE(asm4.ready_tags().empty());
+  EXPECT_EQ(asm4.stats().duplicate_reports_quarantined, 1u);
+}
+
+TEST(SnapshotAssembler, DistinctObservationsWithEqualTimestampsAccepted) {
+  // NOT duplicates: same EPC, antenna and timestamp but different
+  // measurements (readers commonly report first_seen once per tag).
+  // Content must disambiguate, or legitimate traffic gets quarantined.
+  SnapshotAssembler asm4(4, 2);
+  EXPECT_TRUE(asm4.ingest(full_observation(1, 4, 1, 0)));
+  EXPECT_TRUE(asm4.ingest(full_observation(1, 4, 1, 1)));  // next round
+  EXPECT_EQ(asm4.stats().reports_accepted, 2u);
+  EXPECT_EQ(asm4.stats().duplicate_reports_quarantined, 0u);
+  EXPECT_EQ(asm4.ready_tags().size(), 1u);
+}
+
+TEST(SnapshotAssembler, ReportOverloadCountsAccepted) {
+  SnapshotAssembler asm4(4, 2);
+  RoAccessReport report;
+  report.observations.push_back(full_observation(1, 4, 2));
+  report.observations.push_back(full_observation(1, 4, 2));  // duplicate
+  report.observations.push_back(full_observation(2, 4, 2));
+  EXPECT_EQ(asm4.ingest(report), 2u);
+  EXPECT_EQ(asm4.stats().duplicate_reports_quarantined, 1u);
+  EXPECT_EQ(asm4.ready_tags().size(), 2u);
+}
+
+TEST(SnapshotAssembler, QuarantineCountersTrackRejectedSamples) {
+  SnapshotAssembler asm4(4, 1);
+  TagObservation obs;
+  obs.epc = Epc96::for_tag_index(4);
+  obs.samples.push_back(sample(0, 0));  // invalid element id
+  obs.samples.push_back(sample(5, 0));  // out of range
+  for (std::uint16_t e = 1; e <= 4; ++e) obs.samples.push_back(sample(e, 0));
+  EXPECT_TRUE(asm4.ingest(obs));
+  EXPECT_EQ(asm4.stats().samples_quarantined, 2u);
+}
+
 }  // namespace
 }  // namespace dwatch::rfid
