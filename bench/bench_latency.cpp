@@ -11,6 +11,9 @@
 #include "core/covariance.hpp"
 #include "core/pipeline.hpp"
 #include "core/pmusic.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "rfid/gen2.hpp"
 #include "rfid/llrp.hpp"
 
@@ -172,6 +175,50 @@ void BM_LlrpEncodeDecode(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(total));
 }
 BENCHMARK(BM_LlrpEncodeDecode);
+
+/// Full fixes with the observability layer switched ON. Two jobs in
+/// one: the wall-clock time is the instrumented-path overhead (compare
+/// against BM_FullFix/1 — the budget is <2%), and the obs histograms
+/// accumulated across all iterations are exported as per-stage
+/// p50/p95/p99 counters, so BENCH_latency.json carries a stage-level
+/// latency breakdown (pmusic.spectrum_p95_us, localize.grid_p99_us,
+/// ...) alongside the whole-fix numbers. With DWATCH_OBS=OFF this
+/// degenerates to exactly BM_FullFix/1 and exports no counters.
+void BM_StagePercentiles(benchmark::State& state) {
+  const sim::Scene& scene = shared_scene();
+  harness::RunnerOptions opts;
+  opts.calibrate = false;
+  opts.through_wire = false;
+  opts.pipeline.localizer.hill_climbing = true;
+  harness::ExperimentRunner runner(scene, opts);
+  rf::Rng rng(9);
+  for (std::size_t a = 0; a < scene.num_arrays(); ++a) {
+    runner.pipeline().set_calibration(a, scene.reader(a).phase_offsets());
+  }
+  runner.collect_baselines(rng);
+  const std::vector<sim::CylinderTarget> targets{
+      sim::CylinderTarget::human({3.0, 4.0})};
+  obs::set_enabled(true);
+  obs::MetricsRegistry::global().reset();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.run_fix_best_effort(targets, rng));
+  }
+  obs::set_enabled(false);
+  obs::MetricsRegistry::global().for_each_histogram(
+      [&state](const std::string& name, const std::string& labels,
+               const obs::Histogram& h) {
+        if (name != "dwatch_stage_latency_us" || h.count() == 0) return;
+        // labels is `stage="<name>"`; pull out the quoted stage name.
+        const std::size_t open = labels.find('"');
+        const std::size_t close = labels.rfind('"');
+        if (open == std::string::npos || close <= open) return;
+        const std::string stage = labels.substr(open + 1, close - open - 1);
+        state.counters[stage + "_p50_us"] = h.percentile(50.0);
+        state.counters[stage + "_p95_us"] = h.percentile(95.0);
+        state.counters[stage + "_p99_us"] = h.percentile(99.0);
+      });
+}
+BENCHMARK(BM_StagePercentiles)->Unit(benchmark::kMillisecond);
 
 void BM_Gen2Inventory(benchmark::State& state) {
   const auto tags = static_cast<std::size_t>(state.range(0));

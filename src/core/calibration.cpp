@@ -5,6 +5,8 @@
 
 #include "core/covariance.hpp"
 #include "linalg/hermitian_eig.hpp"
+#include "obs/event_log.hpp"
+#include "obs/trace.hpp"
 #include "rf/array.hpp"
 #include "rf/constants.hpp"
 #include "rf/geometry.hpp"
@@ -78,6 +80,7 @@ double WirelessCalibrator::objective_precomputed(
 CalibrationResult WirelessCalibrator::calibrate(
     std::span<const CalibrationMeasurement> measurements,
     rf::Rng& rng) const {
+  DWATCH_SPAN("calibration.solve");
   if (measurements.empty()) {
     throw std::invalid_argument("calibrate: no measurements");
   }
@@ -127,6 +130,14 @@ CalibrationResult WirelessCalibrator::calibrate(
   }
   result.residual = opt.value;
   result.evaluations = opt.evaluations;
+  if (obs::enabled()) {
+    obs::EventLog::global().emit(
+        obs::Event("calibration.solve")
+            .field("elements", m)
+            .field("measurements", measurements.size())
+            .field("residual", result.residual)
+            .field("evaluations", result.evaluations));
+  }
   return result;
 }
 

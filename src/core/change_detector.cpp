@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace dwatch::core {
 
 SpectrumChangeDetector::SpectrumChangeDetector(ChangeDetectorOptions options)
@@ -26,6 +28,7 @@ double SpectrumChangeDetector::windowed_power(const AngularSpectrum& spectrum,
 
 std::vector<PathDrop> SpectrumChangeDetector::detect(
     const AngularSpectrum& baseline, const AngularSpectrum& online) const {
+  DWATCH_SPAN("change.detect");
   if (baseline.size() != online.size()) {
     throw std::invalid_argument(
         "SpectrumChangeDetector: spectrum size mismatch");

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace dwatch::core {
 
 Localizer::Localizer(std::vector<rf::UniformLinearArray> arrays,
@@ -183,6 +185,7 @@ std::vector<LocationEstimate> Localizer::grid_candidates(
 
 std::vector<LocationEstimate> Localizer::hill_climb_candidates(
     std::span<const AngularEvidence> evidence, double norm) const {
+  DWATCH_SPAN("localize.hill_climb");
   // Multi-start: coarse seed lattice, then 8-neighbour ascent on the
   // fine grid (the paper's hill climbing). Produces one candidate per
   // distinct basin reached.
@@ -237,6 +240,7 @@ std::vector<LocationEstimate> Localizer::hill_climb_candidates(
 
 LocationEstimate Localizer::localize(
     std::span<const AngularEvidence> evidence) const {
+  DWATCH_SPAN("localize.fix");
   if (evidence.size() != arrays_.size()) {
     throw std::invalid_argument("localize: evidence count mismatch");
   }
@@ -315,6 +319,7 @@ std::vector<LocationEstimate> Localizer::localize_multi(
 
 LikelihoodGrid Localizer::likelihood_grid(
     std::span<const AngularEvidence> evidence) const {
+  DWATCH_SPAN("localize.grid");
   LikelihoodGrid grid;
   grid.origin = bounds_.min;
   grid.step = options_.grid_step;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/steering_cache.hpp"
+#include "obs/trace.hpp"
 #include "rf/array.hpp"
 
 namespace dwatch::core {
@@ -25,6 +26,7 @@ MusicResult MusicEstimator::estimate(const linalg::CMatrix& snapshots) const {
 
 MusicResult MusicEstimator::estimate_from_correlation(
     const linalg::CMatrix& r, std::size_t num_snapshots) const {
+  DWATCH_SPAN("music.spectrum");
   if (r.rows() != r.cols() || r.rows() < 2) {
     throw std::invalid_argument("MusicEstimator: bad correlation matrix");
   }

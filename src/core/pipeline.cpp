@@ -7,7 +7,48 @@
 #include <tuple>
 #include <utility>
 
+#include "obs/event_log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace dwatch::core {
+
+namespace {
+
+/// Process-wide mirrors of the pipeline lifetime counters, registered
+/// once and cached as references (registry metrics never move). Only
+/// touched inside `if (obs::enabled())` blocks, so a disabled build
+/// never even registers them.
+struct PipelineCounters {
+  obs::Counter& epochs;
+  obs::Counter& observations;
+  obs::Counter& observations_skipped;
+  obs::Counter& drops_detected;
+  obs::Counter& stale_observations;
+  obs::Counter& low_snapshot_observations;
+  obs::Counter& malformed_observations;
+  obs::Counter& reports_dropped;
+  obs::Counter& transport_retries;
+  obs::Counter& transport_timeouts;
+
+  static PipelineCounters& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static PipelineCounters counters{
+        reg.counter("dwatch_pipeline_epochs_total"),
+        reg.counter("dwatch_pipeline_observations_total"),
+        reg.counter("dwatch_pipeline_observations_skipped_total"),
+        reg.counter("dwatch_pipeline_drops_detected_total"),
+        reg.counter("dwatch_pipeline_stale_observations_total"),
+        reg.counter("dwatch_pipeline_low_snapshot_observations_total"),
+        reg.counter("dwatch_pipeline_malformed_observations_total"),
+        reg.counter("dwatch_pipeline_reports_dropped_total"),
+        reg.counter("dwatch_pipeline_transport_retries_total"),
+        reg.counter("dwatch_pipeline_transport_timeouts_total")};
+    return counters;
+  }
+};
+
+}  // namespace
 
 linalg::CMatrix observation_to_snapshots(const rfid::TagObservation& obs,
                                          std::size_t num_elements) {
@@ -135,11 +176,23 @@ void DWatchPipeline::begin_epoch(std::uint64_t watermark_us) {
   for (auto& e : evidence_) e.drops.clear();  // health flags persist
   epoch_ = EpochState{};
   epoch_.watermark_us = watermark_us;
+  ++stats_.epochs;
+  if (obs::enabled()) PipelineCounters::get().epochs.inc();
 }
 
 void DWatchPipeline::set_array_health(std::size_t array_idx, bool healthy) {
   check_array(array_idx);
+  const bool was_excluded = evidence_[array_idx].excluded;
   evidence_[array_idx].excluded = !healthy;
+  // K-of-N exclusion changes are rare, discrete and operationally
+  // important — exactly what the event log is for.
+  if (obs::enabled() && was_excluded == healthy) {
+    obs::EventLog::global().emit(
+        obs::Event(healthy ? "pipeline.array_restored"
+                           : "pipeline.array_excluded")
+            .field("array", array_idx)
+            .field("arrays_total", arrays_.size()));
+  }
 }
 
 bool DWatchPipeline::array_healthy(std::size_t array_idx) const {
@@ -151,10 +204,18 @@ void DWatchPipeline::note_transport(std::size_t retries,
                                     std::size_t timeouts) {
   epoch_.transport_retries += retries;
   epoch_.transport_timeouts += timeouts;
+  stats_.transport_retries += retries;
+  stats_.transport_timeouts += timeouts;
+  if (obs::enabled()) {
+    PipelineCounters::get().transport_retries.inc(retries);
+    PipelineCounters::get().transport_timeouts.inc(timeouts);
+  }
 }
 
 void DWatchPipeline::note_reports_dropped(std::size_t count) {
   epoch_.reports_dropped += count;
+  stats_.reports_dropped += count;
+  if (obs::enabled()) PipelineCounters::get().reports_dropped.inc(count);
 }
 
 std::vector<PathDrop> DWatchPipeline::detect_drops(
@@ -183,23 +244,32 @@ std::vector<PathDrop> DWatchPipeline::detect_drops(
 std::size_t DWatchPipeline::observe(std::size_t array_idx,
                                     const rfid::Epc96& epc,
                                     const linalg::CMatrix& snapshots) {
+  DWATCH_SPAN("pipeline.observe");
   check_array(array_idx);
   const auto it = baselines_[array_idx].find(epc);
   if (it == baselines_[array_idx].end()) {
     ++stats_.observations_skipped;
     ++epoch_.observations_skipped;
+    if (obs::enabled()) PipelineCounters::get().observations_skipped.inc();
     return 0;
   }
   ++stats_.observations;
   ++epoch_.observations;
+  if (obs::enabled()) PipelineCounters::get().observations.inc();
   if (snapshots.cols() < options_.degraded.min_snapshots) {
     ++stats_.low_snapshot_observations;
     ++epoch_.low_snapshot_observations;
+    if (obs::enabled()) {
+      PipelineCounters::get().low_snapshot_observations.inc();
+    }
   }
   std::vector<PathDrop> drops =
       detect_drops(array_idx, epc, it->second, snapshots);
   stats_.drops_detected += drops.size();
   epoch_.drops_detected += drops.size();
+  if (obs::enabled()) {
+    PipelineCounters::get().drops_detected.inc(drops.size());
+  }
   auto& sink = evidence_[array_idx].drops;
   sink.insert(sink.end(), drops.begin(), drops.end());
   return drops.size();
@@ -207,6 +277,7 @@ std::size_t DWatchPipeline::observe(std::size_t array_idx,
 
 std::size_t DWatchPipeline::observe_batch(
     std::span<const BatchObservation> batch) {
+  DWATCH_SPAN("pipeline.observe_batch");
   for (const BatchObservation& item : batch) check_array(item.array_idx);
 
   // Deterministic merge order: by array index, then EPC, then input
@@ -250,16 +321,24 @@ std::size_t DWatchPipeline::observe_batch(
     if (!r.has_baseline) {
       ++stats_.observations_skipped;
       ++epoch_.observations_skipped;
+      if (obs::enabled()) PipelineCounters::get().observations_skipped.inc();
       continue;
     }
     ++stats_.observations;
     ++epoch_.observations;
+    if (obs::enabled()) PipelineCounters::get().observations.inc();
     if (item.snapshots.cols() < options_.degraded.min_snapshots) {
       ++stats_.low_snapshot_observations;
       ++epoch_.low_snapshot_observations;
+      if (obs::enabled()) {
+        PipelineCounters::get().low_snapshot_observations.inc();
+      }
     }
     stats_.drops_detected += r.drops.size();
     epoch_.drops_detected += r.drops.size();
+    if (obs::enabled()) {
+      PipelineCounters::get().drops_detected.inc(r.drops.size());
+    }
     auto& sink = evidence_[item.array_idx].drops;
     sink.insert(sink.end(), r.drops.begin(), r.drops.end());
     total += r.drops.size();
@@ -276,6 +355,15 @@ std::size_t DWatchPipeline::observe(std::size_t array_idx,
       obs.first_seen_us < epoch_.watermark_us) {
     ++stats_.stale_observations;
     ++epoch_.stale_observations;
+    if (dwatch::obs::enabled()) {
+      PipelineCounters::get().stale_observations.inc();
+      dwatch::obs::EventLog::global().emit(
+          dwatch::obs::Event("pipeline.stale_observation")
+              .field("array", array_idx)
+              .field_bytes("epc", obs.epc.bytes())
+              .field("first_seen_us", obs.first_seen_us)
+              .field("watermark_us", epoch_.watermark_us));
+    }
     return 0;
   }
   linalg::CMatrix snapshots;
@@ -287,6 +375,14 @@ std::size_t DWatchPipeline::observe(std::size_t array_idx,
     // quarantine the observation instead of aborting the epoch.
     ++stats_.malformed_observations;
     ++epoch_.malformed_observations;
+    if (dwatch::obs::enabled()) {
+      PipelineCounters::get().malformed_observations.inc();
+      dwatch::obs::EventLog::global().emit(
+          dwatch::obs::Event("pipeline.malformed_observation")
+              .field("array", array_idx)
+              .field_bytes("epc", obs.epc.bytes())
+              .field("samples", obs.samples.size()));
+    }
     return 0;
   }
   return observe(array_idx, obs.epc, snapshots);
@@ -316,7 +412,23 @@ std::vector<AngularEvidence> DWatchPipeline::filtered_evidence() const {
           break;
         }
       }
-      if (multi_array && !corroborated) continue;  // wrong-angle ghost
+      if (multi_array && !corroborated) {
+        // Section 4.3 outlier rejection fired: record WHICH angle was
+        // thrown away and why, the evidence the paper's accuracy
+        // argument rests on. filtered_evidence() runs once per
+        // localize/triangulate call, so repeated fixes over one epoch
+        // re-emit their rejections (each fix really did reject them).
+        if (obs::enabled()) {
+          obs::EventLog::global().emit(
+              obs::Event("pipeline.ghost_rejected")
+                  .field("array", a)
+                  .field("theta_rad", d.theta)
+                  .field("tag_serial", d.source_id)
+                  .field("baseline_power", d.baseline_power)
+                  .field("online_power", d.online_power));
+        }
+        continue;  // wrong-angle ghost
+      }
       out[a].drops.push_back(d);
     }
   }
@@ -346,6 +458,13 @@ ConfidenceReport DWatchPipeline::confidence_report() const {
   r.reports_dropped = epoch_.reports_dropped;
   r.transport_retries = epoch_.transport_retries;
   r.transport_timeouts = epoch_.transport_timeouts;
+  if (obs::enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    reg.gauge("dwatch_pipeline_arrays_excluded")
+        .set(static_cast<double>(r.arrays_excluded));
+    reg.gauge("dwatch_pipeline_arrays_with_evidence")
+        .set(static_cast<double>(r.arrays_with_evidence));
+  }
   return r;
 }
 
@@ -354,6 +473,28 @@ ConfidentEstimate DWatchPipeline::localize_with_confidence(
   ConfidentEstimate out;
   out.estimate = best_effort ? localize_best_effort() : localize();
   out.confidence = confidence_report();
+  if (obs::enabled()) {
+    const ConfidenceReport& c = out.confidence;
+    obs::EventLog::global().emit(
+        obs::Event("pipeline.confidence")
+            .field("x", out.estimate.position.x)
+            .field("y", out.estimate.position.y)
+            .field("valid", out.estimate.valid)
+            .field("consensus", out.estimate.consensus)
+            .field("arrays_total", c.arrays_total)
+            .field("arrays_with_evidence", c.arrays_with_evidence)
+            .field("arrays_excluded", c.arrays_excluded)
+            .field("observations", c.observations)
+            .field("observations_skipped", c.observations_skipped)
+            .field("stale_observations", c.stale_observations)
+            .field("low_snapshot_observations", c.low_snapshot_observations)
+            .field("malformed_observations", c.malformed_observations)
+            .field("drops_detected", c.drops_detected)
+            .field("reports_dropped", c.reports_dropped)
+            .field("transport_retries", c.transport_retries)
+            .field("transport_timeouts", c.transport_timeouts)
+            .field("degraded", c.degraded()));
+  }
   return out;
 }
 

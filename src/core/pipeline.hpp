@@ -76,9 +76,15 @@ struct BatchObservation {
 };
 
 /// Counters exposed for observability (cumulative over the pipeline's
-/// lifetime).
+/// lifetime). Every per-epoch ConfidenceReport counter has a lifetime
+/// twin here, incremented at the same sites, so the sum of per-epoch
+/// reports always equals the lifetime totals (asserted by
+/// tests/obs/pipeline_obs_test). When the obs runtime switch is on,
+/// the same increments are mirrored into process-wide
+/// `dwatch_pipeline_*_total` registry counters.
 struct PipelineStats {
   std::size_t baselines = 0;          ///< (array, tag) baselines stored
+  std::size_t epochs = 0;             ///< begin_epoch() calls
   std::size_t observations = 0;       ///< online spectra processed
   std::size_t observations_skipped = 0;  ///< online without a baseline
   std::size_t drops_detected = 0;
@@ -87,6 +93,9 @@ struct PipelineStats {
   /// Wire observations quarantined because no complete inventory round
   /// survived (dead element, heavy sample loss) — counted, not thrown.
   std::size_t malformed_observations = 0;
+  std::size_t reports_dropped = 0;    ///< lost/quarantined upstream
+  std::size_t transport_retries = 0;
+  std::size_t transport_timeouts = 0;
 };
 
 /// Provenance of ONE localization result: which arrays contributed,

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/steering_cache.hpp"
+#include "obs/trace.hpp"
 #include "rf/array.hpp"
 
 namespace dwatch::core {
@@ -23,6 +24,7 @@ PMusicEstimator::PMusicEstimator(double spacing, double lambda,
 
 AngularSpectrum PMusicEstimator::power_spectrum(
     const linalg::CMatrix& r) const {
+  DWATCH_SPAN("pmusic.power");
   if (r.rows() != r.cols() || r.rows() < 2) {
     throw std::invalid_argument("power_spectrum: bad correlation matrix");
   }
@@ -45,6 +47,7 @@ AngularSpectrum PMusicEstimator::power_spectrum(
 
 PMusicResult PMusicEstimator::estimate(
     const linalg::CMatrix& snapshots) const {
+  DWATCH_SPAN("pmusic.spectrum");
   const linalg::CMatrix r = sample_correlation(snapshots);
 
   PMusicResult result;

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/event_log.hpp"
+#include "obs/trace.hpp"
+
 namespace dwatch::harness {
 
 double human_error(rf::Vec2 estimate, rf::Vec2 truth, double allowance) {
@@ -46,6 +49,7 @@ ExperimentRunner::ExperimentRunner(const sim::Scene& scene,
                 options.pipeline) {}
 
 void ExperimentRunner::calibrate(rf::Rng& rng) {
+  DWATCH_SPAN("experiment.calibrate");
   calibration_reports_.clear();
   if (!options_.calibrate) return;
   for (std::size_t a = 0; a < scene_.num_arrays(); ++a) {
@@ -88,12 +92,24 @@ void ExperimentRunner::calibrate(rf::Rng& rng) {
         core::mean_phase_error(report.estimated, report.truth);
     report.residual = result.residual;
     calibration_reports_.push_back(report);
+    // The core emits calibration.solve (residual, evaluations); the
+    // harness knows the simulator's ground truth, so it adds the actual
+    // phase error per array — the paper's Fig. 9 quality number.
+    if (obs::enabled()) {
+      obs::EventLog::global().emit(
+          obs::Event("experiment.calibration")
+              .field("array", a)
+              .field("tags", meas.size())
+              .field("mean_error_rad", report.mean_error_rad)
+              .field("residual", report.residual));
+    }
 
     pipeline_.set_calibration(a, result.offsets);
   }
 }
 
 std::size_t ExperimentRunner::collect_baselines(rf::Rng& rng) {
+  DWATCH_SPAN("experiment.baselines");
   std::size_t stored = 0;
   for (std::size_t a = 0; a < scene_.num_arrays(); ++a) {
     for (std::size_t t = 0; t < scene_.num_tags(); ++t) {
@@ -112,6 +128,7 @@ std::size_t ExperimentRunner::collect_baselines(rf::Rng& rng) {
 
 void ExperimentRunner::run_epoch(std::span<const sim::CylinderTarget> targets,
                                  rf::Rng& rng) {
+  DWATCH_SPAN("experiment.epoch");
   pipeline_.begin_epoch();
   for (std::size_t a = 0; a < scene_.num_arrays(); ++a) {
     for (std::size_t t = 0; t < scene_.num_tags(); ++t) {
@@ -153,6 +170,7 @@ std::vector<core::BatchObservation> ExperimentRunner::capture_epoch(
 
 void ExperimentRunner::run_epoch_batch(
     std::span<const sim::CylinderTarget> targets, rf::Rng& rng) {
+  DWATCH_SPAN("experiment.epoch");
   const std::vector<core::BatchObservation> batch =
       capture_epoch(targets, rng);
   pipeline_.begin_epoch();

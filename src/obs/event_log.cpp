@@ -1,0 +1,189 @@
+#include "obs/event_log.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+namespace dwatch::obs {
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  for (const char ch : s) {
+    const auto c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        // Control bytes MUST be escaped per RFC 8259; bytes >= 0x7f are
+        // escaped too so arbitrary (non-UTF-8) input still yields pure
+        // ASCII, always-valid JSON.
+        if (c < 0x20 || c >= 0x7f) {
+          out += "\\u00";
+          out += kHex[c >> 4];
+          out += kHex[c & 0xf];
+        } else {
+          out += ch;
+        }
+    }
+  }
+}
+
+Event::Event(std::string_view type) {
+  buf_ = "{\"ts_us\":";
+  buf_ += std::to_string(now_us());
+  buf_ += ",\"type\":\"";
+  append_json_escaped(buf_, type);
+  buf_ += '"';
+}
+
+void Event::key_prefix(std::string_view key) {
+  buf_ += ",\"";
+  append_json_escaped(buf_, key);
+  buf_ += "\":";
+}
+
+Event& Event::field(std::string_view key, std::string_view value) {
+  key_prefix(key);
+  buf_ += '"';
+  append_json_escaped(buf_, value);
+  buf_ += '"';
+  return *this;
+}
+
+Event& Event::field(std::string_view key, bool value) {
+  key_prefix(key);
+  buf_ += value ? "true" : "false";
+  return *this;
+}
+
+Event& Event::field(std::string_view key, double value) {
+  key_prefix(key);
+  if (!std::isfinite(value)) {
+    // JSON has no Inf/NaN literals; stringify so the line stays valid.
+    buf_ += '"';
+    buf_ += std::isnan(value) ? "nan" : (value > 0 ? "inf" : "-inf");
+    buf_ += '"';
+    return *this;
+  }
+  std::ostringstream tmp;
+  tmp.precision(12);
+  tmp << value;
+  buf_ += tmp.str();
+  return *this;
+}
+
+Event& Event::signed_field(std::string_view key, std::int64_t value) {
+  key_prefix(key);
+  buf_ += std::to_string(value);
+  return *this;
+}
+
+Event& Event::unsigned_field(std::string_view key, std::uint64_t value) {
+  key_prefix(key);
+  buf_ += std::to_string(value);
+  return *this;
+}
+
+Event& Event::field_bytes(std::string_view key,
+                          std::span<const std::uint8_t> b) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  key_prefix(key);
+  buf_ += '"';
+  for (const std::uint8_t byte : b) {
+    buf_ += kHex[byte >> 4];
+    buf_ += kHex[byte & 0xf];
+  }
+  buf_ += '"';
+  return *this;
+}
+
+std::string Event::line() const { return buf_ + '}'; }
+
+EventLog::EventLog(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+EventLog& EventLog::global() {
+  static EventLog log;
+  return log;
+}
+
+void EventLog::set_capacity(std::size_t capacity) {
+  std::lock_guard lock(mutex_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  while (lines_.size() > capacity_) {
+    lines_.pop_front();
+    ++dropped_;
+  }
+}
+
+std::size_t EventLog::capacity() const {
+  std::lock_guard lock(mutex_);
+  return capacity_;
+}
+
+void EventLog::emit(const Event& event) { emit_line(event.line()); }
+
+void EventLog::emit_line(std::string line) {
+  std::lock_guard lock(mutex_);
+  if (lines_.size() == capacity_) {
+    lines_.pop_front();
+    ++dropped_;
+  }
+  lines_.push_back(std::move(line));
+}
+
+std::size_t EventLog::size() const {
+  std::lock_guard lock(mutex_);
+  return lines_.size();
+}
+
+std::uint64_t EventLog::dropped() const {
+  std::lock_guard lock(mutex_);
+  return dropped_;
+}
+
+void EventLog::clear() {
+  std::lock_guard lock(mutex_);
+  lines_.clear();
+  dropped_ = 0;
+}
+
+std::vector<std::string> EventLog::snapshot() const {
+  std::lock_guard lock(mutex_);
+  return std::vector<std::string>(lines_.begin(), lines_.end());
+}
+
+void EventLog::write_jsonl(std::ostream& os) const {
+  for (const std::string& line : snapshot()) {
+    os << line << '\n';
+  }
+}
+
+std::string EventLog::text() const {
+  std::ostringstream os;
+  write_jsonl(os);
+  return os.str();
+}
+
+}  // namespace dwatch::obs

@@ -1,0 +1,113 @@
+// Structured event log: discrete, timestamped JSON Lines records for
+// things that happen once (a calibration solve, an outlier rejection, a
+// transport retry), as opposed to the continuous counters/histograms in
+// metrics.hpp and the per-stage spans in trace.hpp.
+//
+// Usage at an instrumentation site (always behind the master switch —
+// building an Event allocates):
+//
+//   if (obs::enabled()) {
+//     obs::EventLog::global().emit(
+//         obs::Event("calibration.solve")
+//             .field("array", array_idx)
+//             .field("residual", result.residual));
+//   }
+//
+// Every line is one self-contained JSON object:
+//   {"ts_us":1234,"type":"calibration.solve","array":0,"residual":0.01}
+//
+// String values are escaped so ARBITRARY bytes (hostile EPC contents,
+// truncated wire garbage) can never break the line format: output is
+// pure ASCII, non-printable and non-ASCII bytes become \u00XX. The log
+// is a bounded in-memory ring (oldest lines dropped, never grown), the
+// same memory discipline as the trace ring.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace dwatch::obs {
+
+/// Append the JSON string-escaped form of `s` (no surrounding quotes)
+/// to `out`. Handles arbitrary bytes: output is always valid ASCII JSON.
+void append_json_escaped(std::string& out, std::string_view s);
+
+/// Builder for one event line. Stamps ts_us from the shared obs clock
+/// at construction so events and trace spans share a timeline.
+class Event {
+ public:
+  explicit Event(std::string_view type);
+
+  Event& field(std::string_view key, std::string_view value);
+  Event& field(std::string_view key, const char* value) {
+    return field(key, std::string_view(value));
+  }
+  Event& field(std::string_view key, bool value);
+  Event& field(std::string_view key, double value);
+  template <typename T,
+            typename = std::enable_if_t<std::is_integral_v<T> &&
+                                        !std::is_same_v<T, bool>>>
+  Event& field(std::string_view key, T value) {
+    if constexpr (std::is_signed_v<T>) {
+      return signed_field(key, static_cast<std::int64_t>(value));
+    } else {
+      return unsigned_field(key, static_cast<std::uint64_t>(value));
+    }
+  }
+  /// Lower-case hex string value (EPCs, raw frames).
+  Event& field_bytes(std::string_view key, std::span<const std::uint8_t> b);
+
+  /// The finished line, without a trailing newline.
+  [[nodiscard]] std::string line() const;
+
+ private:
+  Event& signed_field(std::string_view key, std::int64_t value);
+  Event& unsigned_field(std::string_view key, std::uint64_t value);
+  void key_prefix(std::string_view key);
+
+  std::string buf_;  ///< open JSON object, `{` written, `}` pending
+};
+
+/// Bounded, thread-safe JSON Lines buffer.
+class EventLog {
+ public:
+  explicit EventLog(std::size_t capacity = 65536);
+
+  [[nodiscard]] static EventLog& global();
+
+  /// Drops everything buffered when shrinking below the current size.
+  void set_capacity(std::size_t capacity);
+  [[nodiscard]] std::size_t capacity() const;
+
+  void emit(const Event& event);
+  void emit_line(std::string line);
+
+  [[nodiscard]] std::size_t size() const;
+  /// Lines discarded because the buffer was full.
+  [[nodiscard]] std::uint64_t dropped() const;
+  void clear();
+
+  /// Oldest-to-newest copy of the buffered lines.
+  [[nodiscard]] std::vector<std::string> snapshot() const;
+
+  /// JSON Lines: one object per line, trailing newline each.
+  void write_jsonl(std::ostream& os) const;
+  [[nodiscard]] std::string text() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<std::string> lines_;
+  std::size_t capacity_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace dwatch::obs

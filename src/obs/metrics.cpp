@@ -1,0 +1,332 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dwatch::obs {
+
+namespace {
+
+/// Deterministic number formatting shared by both exporters: integral
+/// values print without a decimal point, everything else with up to 12
+/// significant digits (enough for µs sums, stable across platforms).
+void write_number(std::ostream& os, double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    os << static_cast<long long>(v);
+    return;
+  }
+  std::ostringstream tmp;
+  tmp.precision(12);
+  tmp << v;
+  os << tmp.str();
+}
+
+}  // namespace
+
+void Gauge::add(double d) noexcept {
+  double cur = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(cur, cur + d,
+                                       std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: no buckets");
+  }
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i - 1] < bounds_[i])) {
+      throw std::invalid_argument("Histogram: bounds not increasing");
+    }
+  }
+}
+
+void Histogram::observe(double value) noexcept {
+  // Prometheus `le` semantics: bucket i counts value <= bounds_[i]; the
+  // first bound >= value is exactly that bucket. Values above every
+  // bound land in the +Inf overflow slot.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + value,
+                                     std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::upper_bound(std::size_t i) const {
+  if (i >= counts_.size()) {
+    throw std::out_of_range("Histogram: bad bucket index");
+  }
+  return i < bounds_.size() ? bounds_[i]
+                            : std::numeric_limits<double>::infinity();
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t i) const {
+  if (i >= counts_.size()) {
+    throw std::out_of_range("Histogram: bad bucket index");
+  }
+  return counts_[i].load(std::memory_order_relaxed);
+}
+
+double Histogram::percentile(double p) const {
+  std::vector<std::uint64_t> c(counts_.size());
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    c[i] = counts_[i].load(std::memory_order_relaxed);
+    total += c[i];
+  }
+  if (total == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(total);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const std::uint64_t before = cum;
+    cum += c[i];
+    if (static_cast<double>(cum) >= target && c[i] > 0) {
+      const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+      // The +Inf bucket has no width; report its lower edge (the last
+      // finite bound) instead of inventing a value.
+      const double upper = i < bounds_.size() ? bounds_[i] : bounds_.back();
+      const double frac = std::clamp(
+          (target - static_cast<double>(before)) / static_cast<double>(c[i]),
+          0.0, 1.0);
+      return lower + frac * (upper - lower);
+    }
+  }
+  return bounds_.back();
+}
+
+void Histogram::reset() noexcept {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::exponential_bounds(double first, double factor,
+                                                  std::size_t count) {
+  if (!(first > 0.0) || !(factor > 1.0) || count == 0) {
+    throw std::invalid_argument("exponential_bounds: bad parameters");
+  }
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double b = first;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> Histogram::default_latency_bounds_us() {
+  // 1, 2, 4, ... 2^23 µs (~8.4 s): covers sub-µs stages up to a whole
+  // multi-second calibration solve in 24 buckets.
+  return exponential_bounds(1.0, 2.0, 24);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+std::string MetricsRegistry::series_key(std::string_view name,
+                                        std::string_view labels) {
+  std::string key(name);
+  if (!labels.empty()) {
+    key += '{';
+    key += labels;
+    key += '}';
+  }
+  return key;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name,
+                                  std::string_view labels) {
+  const std::string key = series_key(name, labels);
+  {
+    std::shared_lock lock(mutex_);
+    if (const auto it = counters_.find(key); it != counters_.end()) {
+      return *it->second.second;
+    }
+  }
+  std::unique_lock lock(mutex_);
+  auto [it, inserted] = counters_.try_emplace(
+      key, std::pair{Series{std::string(name), std::string(labels)},
+                     std::make_unique<Counter>()});
+  (void)inserted;
+  return *it->second.second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view labels) {
+  const std::string key = series_key(name, labels);
+  {
+    std::shared_lock lock(mutex_);
+    if (const auto it = gauges_.find(key); it != gauges_.end()) {
+      return *it->second.second;
+    }
+  }
+  std::unique_lock lock(mutex_);
+  auto [it, inserted] = gauges_.try_emplace(
+      key, std::pair{Series{std::string(name), std::string(labels)},
+                     std::make_unique<Gauge>()});
+  (void)inserted;
+  return *it->second.second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::span<const double> upper_bounds,
+                                      std::string_view labels) {
+  const std::string key = series_key(name, labels);
+  {
+    std::shared_lock lock(mutex_);
+    if (const auto it = histograms_.find(key); it != histograms_.end()) {
+      return *it->second.second;
+    }
+  }
+  std::unique_lock lock(mutex_);
+  if (const auto it = histograms_.find(key); it != histograms_.end()) {
+    return *it->second.second;
+  }
+  auto [it, inserted] = histograms_.try_emplace(
+      key, std::pair{Series{std::string(name), std::string(labels)},
+                     std::make_unique<Histogram>(std::vector<double>(
+                         upper_bounds.begin(), upper_bounds.end()))});
+  (void)inserted;
+  return *it->second.second;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::shared_lock lock(mutex_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+void MetricsRegistry::for_each_histogram(
+    const std::function<void(const std::string&, const std::string&,
+                             const Histogram&)>& fn) const {
+  std::shared_lock lock(mutex_);
+  for (const auto& [key, entry] : histograms_) {
+    fn(entry.first.name, entry.first.labels, *entry.second);
+  }
+}
+
+void MetricsRegistry::reset() {
+  std::shared_lock lock(mutex_);
+  for (auto& [key, entry] : counters_) entry.second->reset();
+  for (auto& [key, entry] : gauges_) entry.second->reset();
+  for (auto& [key, entry] : histograms_) entry.second->reset();
+}
+
+void MetricsRegistry::write_prometheus(std::ostream& os) const {
+  std::shared_lock lock(mutex_);
+  std::string last_type_name;
+  const auto type_line = [&](const std::string& name, const char* kind) {
+    if (name != last_type_name) {
+      os << "# TYPE " << name << ' ' << kind << '\n';
+      last_type_name = name;
+    }
+  };
+  for (const auto& [key, entry] : counters_) {
+    type_line(entry.first.name, "counter");
+    os << key << ' ' << entry.second->value() << '\n';
+  }
+  for (const auto& [key, entry] : gauges_) {
+    type_line(entry.first.name, "gauge");
+    os << key << ' ';
+    write_number(os, entry.second->value());
+    os << '\n';
+  }
+  for (const auto& [key, entry] : histograms_) {
+    const Series& s = entry.first;
+    const Histogram& h = *entry.second;
+    type_line(s.name, "histogram");
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h.num_buckets(); ++i) {
+      cum += h.bucket_count(i);
+      os << s.name << "_bucket{";
+      if (!s.labels.empty()) os << s.labels << ',';
+      os << "le=\"";
+      if (i + 1 == h.num_buckets()) {
+        os << "+Inf";
+      } else {
+        write_number(os, h.upper_bound(i));
+      }
+      os << "\"} " << cum << '\n';
+    }
+    const std::string suffix =
+        s.labels.empty() ? std::string() : '{' + s.labels + '}';
+    os << s.name << "_sum" << suffix << ' ';
+    write_number(os, h.sum());
+    os << '\n';
+    os << s.name << "_count" << suffix << ' ' << h.count() << '\n';
+  }
+}
+
+std::string MetricsRegistry::prometheus_text() const {
+  std::ostringstream os;
+  write_prometheus(os);
+  return os.str();
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  std::shared_lock lock(mutex_);
+  os << '{';
+  os << "\"counters\":{";
+  bool first = true;
+  for (const auto& [key, entry] : counters_) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << key << "\":" << entry.second->value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [key, entry] : gauges_) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << key << "\":";
+    write_number(os, entry.second->value());
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [key, entry] : histograms_) {
+    const Histogram& h = *entry.second;
+    if (!first) os << ',';
+    first = false;
+    os << '"' << key << "\":{\"count\":" << h.count() << ",\"sum\":";
+    write_number(os, h.sum());
+    os << ",\"p50\":";
+    write_number(os, h.percentile(50.0));
+    os << ",\"p95\":";
+    write_number(os, h.percentile(95.0));
+    os << ",\"p99\":";
+    write_number(os, h.percentile(99.0));
+    os << ",\"buckets\":[";
+    for (std::size_t i = 0; i < h.num_buckets(); ++i) {
+      if (i > 0) os << ',';
+      os << "{\"le\":";
+      if (i + 1 == h.num_buckets()) {
+        os << "\"+Inf\"";
+      } else {
+        write_number(os, h.upper_bound(i));
+      }
+      os << ",\"count\":" << h.bucket_count(i) << '}';
+    }
+    os << "]}";
+  }
+  os << "}}";
+}
+
+std::string MetricsRegistry::json_text() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+}  // namespace dwatch::obs

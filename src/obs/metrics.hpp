@@ -1,0 +1,174 @@
+// Lock-cheap metrics: counters, gauges and fixed-bucket histograms,
+// registered by name and exportable as Prometheus text or JSON.
+//
+// Design constraints (DESIGN.md §9):
+//  * the UPDATE path never takes an exclusive lock — counters and
+//    histograms are relaxed atomics, safe to hammer from thread_pool
+//    workers on the fix hot path;
+//  * REGISTRATION (first lookup of a name) takes a writer lock, repeat
+//    lookups a shared lock, and instrumented code caches the returned
+//    reference so steady-state cost is one atomic add;
+//  * metric objects never move once registered (stored behind
+//    unique_ptr), so cached references stay valid for the registry's
+//    lifetime;
+//  * export walks a std::map, so the text output is deterministically
+//    sorted — the golden-format test depends on that.
+//
+// Naming scheme: `dwatch_<area>_<what>_<unit|total>` with optional
+// Prometheus labels passed as a pre-rendered `key="value"` list, e.g.
+//   registry.counter("dwatch_transport_retries_total")
+//   registry.histogram("dwatch_stage_latency_us", bounds,
+//                      "stage=\"pmusic.spectrum\"")
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dwatch::obs {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time value (last write wins).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double d) noexcept;
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram with Prometheus `le` (inclusive upper bound)
+/// semantics and an implicit +Inf overflow bucket. Percentiles are
+/// estimated by linear interpolation inside the bucket holding the
+/// requested rank.
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly increasing; throws
+  /// std::invalid_argument otherwise.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double value) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  /// Finite bounds plus the +Inf overflow bucket.
+  [[nodiscard]] std::size_t num_buckets() const noexcept {
+    return counts_.size();
+  }
+  /// Upper bound of bucket i (infinity for the last one).
+  [[nodiscard]] double upper_bound(std::size_t i) const;
+  /// Observations in bucket i alone (NOT cumulative).
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const;
+  /// Estimated value at percentile p in [0, 100]; 0 when empty.
+  [[nodiscard]] double percentile(double p) const;
+  void reset() noexcept;
+
+  /// `count` bounds: first, first*factor, first*factor^2, ...
+  [[nodiscard]] static std::vector<double> exponential_bounds(
+      double first, double factor, std::size_t count);
+  /// Default latency buckets: 1 µs .. ~8.4 s, doubling (24 bounds).
+  [[nodiscard]] static std::vector<double> default_latency_bounds_us();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> counts_;  ///< bounds + overflow
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Name -> metric registry. Metrics are created on first lookup and
+/// live as long as the registry; returned references stay valid.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Process-wide default registry used by the built-in instrumentation.
+  [[nodiscard]] static MetricsRegistry& global();
+
+  /// `labels` is a pre-rendered Prometheus label list WITHOUT braces,
+  /// e.g. `stage="pmusic.spectrum"`; empty for an unlabelled series.
+  [[nodiscard]] Counter& counter(std::string_view name,
+                                 std::string_view labels = {});
+  [[nodiscard]] Gauge& gauge(std::string_view name,
+                             std::string_view labels = {});
+  /// `upper_bounds` is consulted only when the series does not exist
+  /// yet; later lookups of the same series ignore it.
+  [[nodiscard]] Histogram& histogram(std::string_view name,
+                                     std::span<const double> upper_bounds,
+                                     std::string_view labels = {});
+
+  /// Number of registered series across all kinds.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Visit every histogram series in sorted key order (the bench
+  /// exporter uses this to pull per-stage percentiles).
+  void for_each_histogram(
+      const std::function<void(const std::string& name,
+                               const std::string& labels,
+                               const Histogram& histogram)>& fn) const;
+
+  /// Zero every registered metric (tests/benches); series stay
+  /// registered so cached references remain valid.
+  void reset();
+
+  /// Prometheus text exposition format, deterministically sorted.
+  void write_prometheus(std::ostream& os) const;
+  [[nodiscard]] std::string prometheus_text() const;
+
+  /// One JSON object: {"counters":{...},"gauges":{...},
+  /// "histograms":{name:{count,sum,p50,p95,p99,buckets:[...]}}}.
+  void write_json(std::ostream& os) const;
+  [[nodiscard]] std::string json_text() const;
+
+ private:
+  struct Series {
+    std::string name;    ///< metric name without labels
+    std::string labels;  ///< pre-rendered label list, may be empty
+  };
+  template <typename T>
+  using SeriesMap = std::map<std::string, std::pair<Series, std::unique_ptr<T>>,
+                             std::less<>>;
+
+  [[nodiscard]] static std::string series_key(std::string_view name,
+                                              std::string_view labels);
+
+  mutable std::shared_mutex mutex_;
+  SeriesMap<Counter> counters_;
+  SeriesMap<Gauge> gauges_;
+  SeriesMap<Histogram> histograms_;
+};
+
+}  // namespace dwatch::obs

@@ -1,0 +1,33 @@
+#include "obs/obs.hpp"
+
+#include <atomic>
+#include <chrono>
+
+namespace dwatch::obs {
+
+#if DWATCH_OBS_ENABLED
+namespace {
+std::atomic<bool> g_enabled{false};
+}  // namespace
+
+bool enabled() noexcept {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+#endif
+
+std::uint64_t now_us() noexcept {
+  using clock = std::chrono::steady_clock;
+  // The epoch is pinned by whichever thread calls first; a static local
+  // is initialized exactly once and is thread-safe per the standard.
+  static const clock::time_point epoch = clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(clock::now() -
+                                                            epoch)
+          .count());
+}
+
+}  // namespace dwatch::obs

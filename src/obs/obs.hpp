@@ -1,0 +1,45 @@
+// Observability master switch and monotonic clock.
+//
+// The whole obs layer (metrics mirroring, trace spans, event log) hangs
+// off ONE process-wide flag with two gates:
+//
+//  * compile time — the CMake option DWATCH_OBS (default ON) defines
+//    DWATCH_OBS_ENABLED; with it OFF, enabled() is a constexpr false,
+//    every `if (obs::enabled())` block is dead code, and DWATCH_SPAN
+//    expands to nothing. The instrumented binaries are bit-identical in
+//    behaviour AND in cost to an uninstrumented build.
+//  * run time — enabled() reads one relaxed atomic bool, default OFF.
+//    Localization results never depend on the flag (the obs layer only
+//    observes), so flipping it cannot change a fix; it only decides
+//    whether spans/events/mirrored counters are recorded.
+//
+// The data structures themselves (MetricsRegistry, TraceRecorder,
+// EventLog) are plain thread-safe containers and work regardless of the
+// flags — the gating lives at the instrumentation sites, so unit tests
+// can always exercise the containers directly.
+#pragma once
+
+#include <cstdint>
+
+#ifndef DWATCH_OBS_ENABLED
+#define DWATCH_OBS_ENABLED 1
+#endif
+
+namespace dwatch::obs {
+
+#if DWATCH_OBS_ENABLED
+/// Runtime master switch (default off). Relaxed load; safe from any
+/// thread.
+[[nodiscard]] bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+#else
+constexpr bool enabled() noexcept { return false; }
+inline void set_enabled(bool) noexcept {}
+#endif
+
+/// Microseconds on the steady clock since the first obs call in this
+/// process. Monotonic, shared by spans and events so a trace and an
+/// event log line up on one timeline.
+[[nodiscard]] std::uint64_t now_us() noexcept;
+
+}  // namespace dwatch::obs

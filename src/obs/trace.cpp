@@ -1,0 +1,134 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+
+namespace dwatch::obs {
+
+namespace {
+
+/// Per-thread nesting depth for spans (no synchronization needed).
+thread_local std::uint32_t t_span_depth = 0;
+
+}  // namespace
+
+std::uint32_t thread_ordinal() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+TraceRecorder::TraceRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.resize(capacity_);
+}
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+void TraceRecorder::set_capacity(std::size_t capacity) {
+  std::lock_guard lock(mutex_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  ring_.assign(capacity_, SpanRecord{});
+  head_ = 0;
+  count_ = 0;
+  dropped_ = 0;
+}
+
+std::size_t TraceRecorder::capacity() const {
+  std::lock_guard lock(mutex_);
+  return capacity_;
+}
+
+void TraceRecorder::record(const SpanRecord& span) {
+  std::lock_guard lock(mutex_);
+  if (count_ == capacity_) ++dropped_;
+  ring_[head_] = span;
+  head_ = (head_ + 1) % capacity_;
+  if (count_ < capacity_) ++count_;
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard lock(mutex_);
+  head_ = 0;
+  count_ = 0;
+  dropped_ = 0;
+}
+
+std::size_t TraceRecorder::size() const {
+  std::lock_guard lock(mutex_);
+  return count_;
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::lock_guard lock(mutex_);
+  return dropped_;
+}
+
+std::vector<SpanRecord> TraceRecorder::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<SpanRecord> out;
+  out.reserve(count_);
+  const std::size_t oldest = (head_ + capacity_ - count_) % capacity_;
+  for (std::size_t i = 0; i < count_; ++i) {
+    out.push_back(ring_[(oldest + i) % capacity_]);
+  }
+  return out;
+}
+
+void TraceRecorder::write_chrome_json(std::ostream& os) const {
+  const std::vector<SpanRecord> spans = snapshot();
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& s = spans[i];
+    if (i > 0) os << ',';
+    os << "{\"name\":\"" << s.name << "\",\"cat\":\"dwatch\",\"ph\":\"X\""
+       << ",\"ts\":" << s.start_us << ",\"dur\":" << s.duration_us
+       << ",\"pid\":1,\"tid\":" << s.thread_id << ",\"args\":{\"depth\":"
+       << s.depth << "}}";
+  }
+  os << "]}";
+}
+
+std::string TraceRecorder::chrome_json() const {
+  std::ostringstream os;
+  write_chrome_json(os);
+  return os.str();
+}
+
+Span::Span(const char* name) noexcept {
+  if (!enabled()) return;
+  name_ = name;
+  depth_ = t_span_depth++;
+  start_us_ = now_us();
+}
+
+Span::~Span() {
+  if (name_ == nullptr) return;
+  --t_span_depth;
+  const std::uint64_t duration = now_us() - start_us_;
+  TraceRecorder::global().record(SpanRecord{
+      name_, start_us_, duration, thread_ordinal(), depth_});
+  // Per-stage latency histogram so metrics.txt and BENCH_latency.json
+  // carry p50/p95/p99 per stage. The label string is rebuilt per span
+  // end; spans sit at stage granularity (per observation / per fix),
+  // never inside per-sample loops, so the allocation is off the inner
+  // hot path.
+  static const std::vector<double> bounds =
+      Histogram::default_latency_bounds_us();
+  std::string labels = "stage=\"";
+  labels += name_;
+  labels += '"';
+  MetricsRegistry::global()
+      .histogram("dwatch_stage_latency_us", bounds, labels)
+      .observe(static_cast<double>(duration));
+}
+
+}  // namespace dwatch::obs

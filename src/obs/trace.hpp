@@ -1,0 +1,109 @@
+// Per-stage tracing: RAII spans into a bounded ring buffer, exported as
+// Chrome trace-event JSON (open chrome://tracing or https://ui.perfetto.dev
+// and load trace.json).
+//
+// Usage at an instrumentation site:
+//
+//   void DWatchPipeline::observe(...) {
+//     DWATCH_SPAN("pipeline.observe");
+//     ...
+//   }
+//
+// The macro declares a Span whose constructor is a no-op unless the obs
+// master switch is on (one relaxed atomic load); with the CMake option
+// DWATCH_OBS=OFF it expands to nothing at all. On destruction an active
+// span appends one fixed-size record to the global TraceRecorder's ring
+// (memory is bounded: old records are overwritten, never grown) and
+// feeds the span's duration into the per-stage latency histogram
+// `dwatch_stage_latency_us{stage="<name>"}` in the global registry.
+//
+// Span names must be string literals (the recorder stores the pointer).
+// Nesting depth is tracked per thread so exported traces can be checked
+// for well-formed containment.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace dwatch::obs {
+
+/// One completed span. `name` must point at a string literal.
+struct SpanRecord {
+  const char* name = nullptr;
+  std::uint64_t start_us = 0;
+  std::uint64_t duration_us = 0;
+  std::uint32_t thread_id = 0;  ///< small per-process thread ordinal
+  std::uint32_t depth = 0;      ///< nesting depth on that thread
+};
+
+/// Bounded ring buffer of completed spans.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t capacity = 16384);
+
+  [[nodiscard]] static TraceRecorder& global();
+
+  /// Resize the ring (drops everything recorded so far).
+  void set_capacity(std::size_t capacity);
+  [[nodiscard]] std::size_t capacity() const;
+
+  void record(const SpanRecord& span);
+  void clear();
+
+  /// Records currently held (<= capacity).
+  [[nodiscard]] std::size_t size() const;
+  /// Records overwritten because the ring was full.
+  [[nodiscard]] std::uint64_t dropped() const;
+  /// Oldest-to-newest copy of the ring.
+  [[nodiscard]] std::vector<SpanRecord> snapshot() const;
+
+  /// Chrome trace-event JSON: {"traceEvents":[{"ph":"X",...}]}.
+  void write_chrome_json(std::ostream& os) const;
+  [[nodiscard]] std::string chrome_json() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> ring_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;   ///< next write slot
+  std::size_t count_ = 0;  ///< valid records
+  std::uint64_t dropped_ = 0;
+};
+
+/// RAII stage timer. Inert (no clock reads, no recording) when the obs
+/// master switch is off at construction time.
+class Span {
+ public:
+  explicit Span(const char* name) noexcept;
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// True when this span will record on destruction.
+  [[nodiscard]] bool active() const noexcept { return name_ != nullptr; }
+
+ private:
+  const char* name_ = nullptr;  ///< null = inactive
+  std::uint64_t start_us_ = 0;
+  std::uint32_t depth_ = 0;
+};
+
+/// Small dense ordinal for the calling thread (assigned on first use).
+[[nodiscard]] std::uint32_t thread_ordinal() noexcept;
+
+}  // namespace dwatch::obs
+
+#if DWATCH_OBS_ENABLED
+#define DWATCH_OBS_CONCAT_INNER(a, b) a##b
+#define DWATCH_OBS_CONCAT(a, b) DWATCH_OBS_CONCAT_INNER(a, b)
+#define DWATCH_SPAN(name) \
+  ::dwatch::obs::Span DWATCH_OBS_CONCAT(dwatch_span_, __LINE__) { name }
+#else
+#define DWATCH_SPAN(name) ((void)0)
+#endif

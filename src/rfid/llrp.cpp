@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/trace.hpp"
 #include "rf/constants.hpp"
 #include "rf/geometry.hpp"
 
@@ -216,6 +217,7 @@ void check_type(const MessageHeader& h, MessageType expect,
 }  // namespace
 
 RoAccessReport decode_ro_access_report(std::span<const std::uint8_t> buffer) {
+  DWATCH_SPAN("llrp.decode_report");
   const auto h = peek_header(buffer);
   if (!h) throw DecodeError("llrp: truncated header");
   check_type(*h, MessageType::kRoAccessReport, buffer.size());

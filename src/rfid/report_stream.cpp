@@ -2,6 +2,10 @@
 
 #include <stdexcept>
 
+#include "obs/event_log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace dwatch::rfid {
 
 SnapshotAssembler::SnapshotAssembler(std::size_t num_elements,
@@ -42,6 +46,17 @@ bool SnapshotAssembler::ingest(const TagObservation& obs) {
   PerTag& tag = tags_[obs.epc];
   if (!tag.seen_reports.insert(report_fingerprint(obs)).second) {
     ++stats_.duplicate_reports_quarantined;
+    if (dwatch::obs::enabled()) {
+      dwatch::obs::MetricsRegistry::global()
+          .counter("dwatch_reports_duplicate_quarantined_total")
+          .inc();
+      dwatch::obs::EventLog::global().emit(
+          dwatch::obs::Event("report_stream.duplicate_quarantined")
+              .field_bytes("epc", obs.epc.bytes())
+              .field("antenna", obs.antenna_port)
+              .field("first_seen_us", obs.first_seen_us)
+              .field("samples", obs.samples.size()));
+    }
     return false;
   }
   ++stats_.reports_accepted;
@@ -70,6 +85,7 @@ bool SnapshotAssembler::ingest(const TagObservation& obs) {
 }
 
 std::size_t SnapshotAssembler::ingest(const RoAccessReport& report) {
+  DWATCH_SPAN("report_stream.ingest");
   std::size_t accepted = 0;
   for (const TagObservation& obs : report.observations) {
     if (ingest(obs)) ++accepted;

@@ -3,9 +3,37 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/event_log.hpp"
+#include "obs/metrics.hpp"
 #include "rfid/bytes.hpp"
 
 namespace dwatch::rfid {
+
+namespace {
+
+/// Process-wide transport counters (one set shared by every client —
+/// Prometheus counters aggregate across connections by design; per-fix
+/// attribution flows through TransportStats -> note_transport instead).
+struct TransportCounters {
+  obs::Counter& requests;
+  obs::Counter& retries;
+  obs::Counter& timeouts;
+  obs::Counter& reconnects;
+  obs::Counter& giveups;
+
+  static TransportCounters& get() {
+    auto& reg = obs::MetricsRegistry::global();
+    static TransportCounters counters{
+        reg.counter("dwatch_transport_requests_total"),
+        reg.counter("dwatch_transport_retries_total"),
+        reg.counter("dwatch_transport_timeouts_total"),
+        reg.counter("dwatch_transport_reconnects_total"),
+        reg.counter("dwatch_transport_giveups_total")};
+    return counters;
+  }
+};
+
+}  // namespace
 
 RobustSessionClient::RobustSessionClient(Transport transport,
                                          RetryPolicy policy,
@@ -26,10 +54,18 @@ std::uint64_t RobustSessionClient::backoff_us(std::size_t retry_index) const {
 std::optional<std::vector<std::uint8_t>> RobustSessionClient::send_with_retry(
     const std::vector<std::uint8_t>& request_bytes) {
   ++stats_.requests;
+  if (obs::enabled()) TransportCounters::get().requests.inc();
   for (std::size_t attempt = 0; attempt < policy_.max_attempts; ++attempt) {
     if (attempt > 0) {
       ++stats_.retries;
       stats_.virtual_time_us += backoff_us(attempt - 1);
+      if (obs::enabled()) {
+        TransportCounters::get().retries.inc();
+        obs::EventLog::global().emit(
+            obs::Event("transport.retry")
+                .field("attempt", attempt + 1)
+                .field("backoff_us", backoff_us(attempt - 1)));
+      }
     }
     ++stats_.attempts;
     auto response = transport_(request_bytes);
@@ -39,8 +75,21 @@ std::optional<std::vector<std::uint8_t>> RobustSessionClient::send_with_retry(
     }
     ++stats_.timeouts;
     stats_.virtual_time_us += policy_.request_timeout_us;
+    if (obs::enabled()) {
+      TransportCounters::get().timeouts.inc();
+      obs::EventLog::global().emit(
+          obs::Event("transport.timeout")
+              .field("attempt", attempt + 1)
+              .field("timeout_us", policy_.request_timeout_us));
+    }
   }
   ++stats_.giveups;
+  if (obs::enabled()) {
+    TransportCounters::get().giveups.inc();
+    obs::EventLog::global().emit(
+        obs::Event("transport.giveup")
+            .field("attempts", policy_.max_attempts));
+  }
   return std::nullopt;
 }
 
@@ -92,6 +141,12 @@ bool RobustSessionClient::connect(const RoSpec& rospec) {
     ++stats_.reconnects;
     // Reconnect backoff mirrors the per-request schedule, one notch up.
     stats_.virtual_time_us += backoff_us(cycle + 1);
+    if (obs::enabled()) {
+      TransportCounters::get().reconnects.inc();
+      obs::EventLog::global().emit(obs::Event("transport.reconnect")
+                                       .field("cycle", cycle + 1)
+                                       .field("max", policy_.max_reconnects));
+    }
     reconnect_();
     if (try_handshake(rospec)) return true;
   }

@@ -1,0 +1,115 @@
+// EventLog tests: the JSON Lines format is an interface for log
+// shippers, so escaping is tested byte-for-byte — including the hostile
+// case of ARBITRARY bytes in an EPC (wire garbage, truncated frames)
+// which must never be able to break the one-object-per-line invariant.
+#include "obs/event_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace dwatch::obs {
+namespace {
+
+/// Every event line opens with a timestamp from the shared obs clock;
+/// strip it so tests can compare the deterministic remainder exactly.
+std::string after_ts(const std::string& line) {
+  EXPECT_EQ(line.rfind("{\"ts_us\":", 0), 0u) << line;
+  const std::size_t comma = line.find(',');
+  EXPECT_NE(comma, std::string::npos) << line;
+  return line.substr(comma);
+}
+
+TEST(AppendJsonEscaped, PassesPlainAsciiThrough) {
+  std::string out;
+  append_json_escaped(out, "plain ASCII 09AZaz~ !");
+  EXPECT_EQ(out, "plain ASCII 09AZaz~ !");
+}
+
+TEST(AppendJsonEscaped, EscapesQuotesBackslashesAndControls) {
+  std::string out;
+  append_json_escaped(out, "a\"b\\c\nd\te\rf\bg\fh");
+  EXPECT_EQ(out, "a\\\"b\\\\c\\nd\\te\\rf\\bg\\fh");
+}
+
+TEST(AppendJsonEscaped, ArbitraryBytesBecomeAsciiEscapes) {
+  // A hostile EPC: NUL, an unnamed control byte, DEL, and high bytes.
+  const std::array<char, 6> raw{'\x00', '\x1f', '\x7f',
+                                static_cast<char>(0x80),
+                                static_cast<char>(0xff), 'Z'};
+  std::string out;
+  append_json_escaped(out, std::string_view(raw.data(), raw.size()));
+  EXPECT_EQ(out, "\\u0000\\u001f\\u007f\\u0080\\u00ffZ");
+  // The output itself is pure printable ASCII with no raw newlines.
+  for (const char c : out) {
+    EXPECT_GE(c, 0x20);
+    EXPECT_LT(static_cast<unsigned char>(c), 0x7f);
+  }
+}
+
+TEST(Event, BuildsOneJsonObjectPerLine) {
+  const Event e = Event("unit.test")
+                      .field("name", "tag\n1")
+                      .field("count", 42)
+                      .field("delta", -7)
+                      .field("ok", true)
+                      .field("ratio", 0.5);
+  EXPECT_EQ(after_ts(e.line()),
+            ",\"type\":\"unit.test\",\"name\":\"tag\\n1\",\"count\":42,"
+            "\"delta\":-7,\"ok\":true,\"ratio\":0.5}");
+}
+
+TEST(Event, FieldBytesRendersLowercaseHex) {
+  const std::array<std::uint8_t, 4> epc{0x30, 0x00, 0xAB, 0xFF};
+  const Event e = Event("unit.test").field_bytes("epc", epc);
+  EXPECT_EQ(after_ts(e.line()),
+            ",\"type\":\"unit.test\",\"epc\":\"3000abff\"}");
+}
+
+TEST(Event, NonFiniteDoublesStayValidJson) {
+  const Event e =
+      Event("unit.test")
+          .field("a", std::numeric_limits<double>::quiet_NaN())
+          .field("b", std::numeric_limits<double>::infinity())
+          .field("c", -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(after_ts(e.line()),
+            ",\"type\":\"unit.test\",\"a\":\"nan\",\"b\":\"inf\","
+            "\"c\":\"-inf\"}");
+}
+
+TEST(Event, EscapesTypeAndKeys) {
+  const Event e = Event("bad\"type").field("k\"ey", 1);
+  EXPECT_EQ(after_ts(e.line()),
+            ",\"type\":\"bad\\\"type\",\"k\\\"ey\":1}");
+}
+
+TEST(EventLog, BoundedDropsOldestLines) {
+  EventLog log(3);
+  for (int i = 0; i < 5; ++i) {
+    log.emit_line("line" + std::to_string(i));
+  }
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.dropped(), 2u);
+  EXPECT_EQ(log.snapshot(),
+            (std::vector<std::string>{"line2", "line3", "line4"}));
+  EXPECT_EQ(log.text(), "line2\nline3\nline4\n");
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.dropped(), 0u);
+}
+
+TEST(EventLog, ShrinkingCapacityEvicts) {
+  EventLog log(8);
+  for (int i = 0; i < 4; ++i) log.emit_line(std::to_string(i));
+  log.set_capacity(2);
+  EXPECT_EQ(log.capacity(), 2u);
+  EXPECT_EQ(log.snapshot(), (std::vector<std::string>{"2", "3"}));
+  EXPECT_EQ(log.dropped(), 2u);
+}
+
+}  // namespace
+}  // namespace dwatch::obs

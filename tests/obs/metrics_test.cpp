@@ -1,0 +1,195 @@
+// MetricsRegistry unit tests: primitive semantics, the exact Prometheus
+// `le` bucket boundary rules, percentile estimation, series identity,
+// and a golden-format test over the text exposition (external scrapers
+// parse this byte-for-byte; the format is an interface, not cosmetics).
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dwatch::obs {
+namespace {
+
+TEST(Counter, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge g;
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Histogram, BucketBoundariesAreLeInclusive) {
+  // Prometheus semantics: bucket `le=B` counts values <= B. A value
+  // exactly on a bound must land in that bound's bucket, not the next.
+  Histogram h({1.0, 2.0, 4.0});
+  h.observe(0.5);  // le=1
+  h.observe(1.0);  // le=1 (boundary: inclusive)
+  h.observe(1.5);  // le=2
+  h.observe(2.0);  // le=2 (boundary)
+  h.observe(4.0);  // le=4 (boundary)
+  h.observe(4.1);  // +Inf overflow
+  ASSERT_EQ(h.num_buckets(), 4u);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 4.0 + 4.1);
+  EXPECT_DOUBLE_EQ(h.upper_bound(0), 1.0);
+  EXPECT_TRUE(std::isinf(h.upper_bound(3)));
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram({}), std::invalid_argument);
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+  Histogram ok({1.0});
+  EXPECT_THROW((void)ok.bucket_count(5), std::out_of_range);
+  EXPECT_THROW((void)ok.upper_bound(5), std::out_of_range);
+}
+
+TEST(Histogram, PercentilesInterpolateWithinBuckets) {
+  Histogram h({10.0, 20.0, 30.0});
+  for (int i = 0; i < 100; ++i) h.observe(5.0);   // all in le=10
+  EXPECT_GT(h.percentile(50.0), 0.0);
+  EXPECT_LE(h.percentile(50.0), 10.0);
+  EXPECT_LE(h.percentile(99.0), 10.0);
+
+  Histogram u({10.0, 20.0});
+  for (int i = 0; i < 50; ++i) u.observe(5.0);
+  for (int i = 0; i < 50; ++i) u.observe(15.0);
+  // p50 sits at the edge of the first bucket, p95 inside the second.
+  EXPECT_LE(u.percentile(50.0), 10.0);
+  EXPECT_GT(u.percentile(95.0), 10.0);
+  EXPECT_LE(u.percentile(95.0), 20.0);
+
+  Histogram empty({1.0});
+  EXPECT_DOUBLE_EQ(empty.percentile(50.0), 0.0);
+}
+
+TEST(Histogram, ExponentialBounds) {
+  const std::vector<double> b = Histogram::exponential_bounds(1.0, 2.0, 4);
+  EXPECT_EQ(b, (std::vector<double>{1.0, 2.0, 4.0, 8.0}));
+  EXPECT_THROW(Histogram::exponential_bounds(0.0, 2.0, 4),
+               std::invalid_argument);
+  EXPECT_THROW(Histogram::exponential_bounds(1.0, 1.0, 4),
+               std::invalid_argument);
+  EXPECT_EQ(Histogram::default_latency_bounds_us().size(), 24u);
+}
+
+TEST(MetricsRegistry, SameSeriesReturnsSameObject) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("dwatch_x_total");
+  Counter& b = reg.counter("dwatch_x_total");
+  EXPECT_EQ(&a, &b);
+  // Same name, different labels = different series.
+  Counter& c = reg.counter("dwatch_x_total", "k=\"1\"");
+  EXPECT_NE(&a, &c);
+  Gauge& g1 = reg.gauge("dwatch_g");
+  Gauge& g2 = reg.gauge("dwatch_g");
+  EXPECT_EQ(&g1, &g2);
+  const std::vector<double> bounds{1.0, 2.0};
+  Histogram& h1 = reg.histogram("dwatch_h", bounds);
+  Histogram& h2 = reg.histogram("dwatch_h", bounds);
+  EXPECT_EQ(&h1, &h2);
+  // Four distinct series: two counters (label sets differ), one gauge,
+  // one histogram.
+  EXPECT_EQ(reg.size(), 4u);
+}
+
+TEST(MetricsRegistry, ResetClearsValuesButKeepsSeries) {
+  MetricsRegistry reg;
+  reg.counter("dwatch_a_total").inc(7);
+  reg.gauge("dwatch_b").set(3.0);
+  const std::vector<double> bounds{1.0};
+  reg.histogram("dwatch_c", bounds).observe(0.5);
+  reg.reset();
+  EXPECT_EQ(reg.size(), 3u);
+  EXPECT_EQ(reg.counter("dwatch_a_total").value(), 0u);
+  EXPECT_DOUBLE_EQ(reg.gauge("dwatch_b").value(), 0.0);
+  EXPECT_EQ(reg.histogram("dwatch_c", bounds).count(), 0u);
+}
+
+TEST(MetricsRegistry, ForEachHistogramVisitsAll) {
+  MetricsRegistry reg;
+  const std::vector<double> bounds{1.0, 2.0};
+  reg.histogram("dwatch_h", bounds, "stage=\"a\"").observe(0.5);
+  reg.histogram("dwatch_h", bounds, "stage=\"b\"").observe(1.5);
+  std::vector<std::string> labels;
+  std::uint64_t total = 0;
+  reg.for_each_histogram([&](const std::string& name,
+                             const std::string& label,
+                             const Histogram& h) {
+    EXPECT_EQ(name, "dwatch_h");
+    labels.push_back(label);
+    total += h.count();
+  });
+  EXPECT_EQ(labels.size(), 2u);
+  EXPECT_EQ(total, 2u);
+}
+
+// Golden exposition format: the exact bytes a Prometheus scraper sees.
+// Cumulative buckets, # TYPE lines emitted once per metric name, label
+// sets spliced into _bucket lines, integral values without decimals.
+TEST(MetricsRegistry, PrometheusGoldenFormat) {
+  MetricsRegistry reg;
+  reg.counter("dwatch_fixes_total").inc(3);
+  reg.counter("dwatch_obs_total", "array=\"0\"").inc(2);
+  reg.counter("dwatch_obs_total", "array=\"1\"").inc(5);
+  reg.gauge("dwatch_arrays_excluded").set(1.0);
+  Histogram& h = reg.histogram("dwatch_lat_us", std::vector<double>{1.0, 2.0},
+                               "stage=\"fix\"");
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(9.0);
+
+  const std::string expected =
+      "# TYPE dwatch_fixes_total counter\n"
+      "dwatch_fixes_total 3\n"
+      "# TYPE dwatch_obs_total counter\n"
+      "dwatch_obs_total{array=\"0\"} 2\n"
+      "dwatch_obs_total{array=\"1\"} 5\n"
+      "# TYPE dwatch_arrays_excluded gauge\n"
+      "dwatch_arrays_excluded 1\n"
+      "# TYPE dwatch_lat_us histogram\n"
+      "dwatch_lat_us_bucket{stage=\"fix\",le=\"1\"} 1\n"
+      "dwatch_lat_us_bucket{stage=\"fix\",le=\"2\"} 2\n"
+      "dwatch_lat_us_bucket{stage=\"fix\",le=\"+Inf\"} 3\n"
+      "dwatch_lat_us_sum{stage=\"fix\"} 11\n"
+      "dwatch_lat_us_count{stage=\"fix\"} 3\n";
+  EXPECT_EQ(reg.prometheus_text(), expected);
+}
+
+TEST(MetricsRegistry, JsonExportCarriesPercentiles) {
+  MetricsRegistry reg;
+  reg.counter("dwatch_a_total").inc(1);
+  Histogram& h =
+      reg.histogram("dwatch_lat_us", std::vector<double>{1.0, 2.0});
+  h.observe(0.5);
+  const std::string json = reg.json_text();
+  EXPECT_NE(json.find("\"counters\":{\"dwatch_a_total\":1}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  EXPECT_NE(json.find("{\"le\":\"+Inf\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dwatch::obs

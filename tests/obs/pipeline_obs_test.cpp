@@ -1,0 +1,228 @@
+// Pipeline <-> obs integration:
+//
+//  1. Lifetime twins — every per-epoch ConfidenceReport counter has a
+//     pipeline-lifetime twin in PipelineStats incremented at the same
+//     site, so summing the per-epoch reports MUST reproduce the
+//     lifetime totals exactly. This was previously impossible to check
+//     from outside (the per-epoch counters reset on begin_epoch and the
+//     cumulative view simply did not exist).
+//  2. The registry mirrors — when the runtime switch is on, the same
+//     increments land in the global dwatch_pipeline_*_total counters.
+//  3. Observability observes, never participates — localization output
+//     is bit-identical with the obs layer on and off.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "harness/experiment.hpp"
+#include "obs/event_log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "sim/scene.hpp"
+
+namespace dwatch {
+namespace {
+
+constexpr std::size_t kEpochs = 3;
+
+sim::Scene make_scene() {
+  rf::Rng deploy_rng(42);
+  rf::Rng hardware_rng(7);
+  sim::Deployment deployment = sim::make_room_deployment(
+      sim::Environment::library(), sim::DeploymentOptions{}, deploy_rng);
+  return sim::Scene(std::move(deployment), sim::CaptureOptions{},
+                    hardware_rng);
+}
+
+harness::RunnerOptions runner_options() {
+  harness::RunnerOptions opts;
+  opts.calibrate = false;
+  opts.through_wire = false;
+  return opts;
+}
+
+void seed_calibration(harness::ExperimentRunner& runner,
+                      const sim::Scene& scene) {
+  for (std::size_t a = 0; a < scene.num_arrays(); ++a) {
+    runner.pipeline().set_calibration(a, scene.reader(a).phase_offsets());
+  }
+}
+
+/// ConfidenceReport counters summed over epochs, field by field.
+struct ReportSums {
+  std::size_t observations = 0;
+  std::size_t observations_skipped = 0;
+  std::size_t stale_observations = 0;
+  std::size_t low_snapshot_observations = 0;
+  std::size_t malformed_observations = 0;
+  std::size_t drops_detected = 0;
+  std::size_t reports_dropped = 0;
+  std::size_t transport_retries = 0;
+  std::size_t transport_timeouts = 0;
+
+  void add(const core::ConfidenceReport& r) {
+    observations += r.observations;
+    observations_skipped += r.observations_skipped;
+    stale_observations += r.stale_observations;
+    low_snapshot_observations += r.low_snapshot_observations;
+    malformed_observations += r.malformed_observations;
+    drops_detected += r.drops_detected;
+    reports_dropped += r.reports_dropped;
+    transport_retries += r.transport_retries;
+    transport_timeouts += r.transport_timeouts;
+  }
+};
+
+TEST(PipelineObs, LifetimeTotalsEqualPerEpochSums) {
+  const sim::Scene scene = make_scene();
+  harness::ExperimentRunner runner(scene, runner_options());
+  seed_calibration(runner, scene);
+  rf::Rng rng(9);
+  runner.collect_baselines(rng);
+
+  const std::vector<sim::CylinderTarget> targets{
+      sim::CylinderTarget::human({3.0, 4.0})};
+  ReportSums sums;
+  for (std::size_t e = 0; e < kEpochs; ++e) {
+    runner.run_epoch(targets, rng);
+    if (e == 1) {
+      // Upstream loss accounting flows through the same twin scheme.
+      runner.pipeline().note_transport(/*retries=*/2, /*timeouts=*/1);
+      runner.pipeline().note_reports_dropped(3);
+    }
+    sums.add(runner.pipeline().localize_with_confidence(true).confidence);
+  }
+
+  const core::PipelineStats& stats = runner.pipeline().stats();
+  EXPECT_EQ(stats.epochs, kEpochs);
+  EXPECT_EQ(stats.observations, sums.observations);
+  EXPECT_EQ(stats.observations_skipped, sums.observations_skipped);
+  EXPECT_EQ(stats.stale_observations, sums.stale_observations);
+  EXPECT_EQ(stats.low_snapshot_observations,
+            sums.low_snapshot_observations);
+  EXPECT_EQ(stats.malformed_observations, sums.malformed_observations);
+  EXPECT_EQ(stats.drops_detected, sums.drops_detected);
+  EXPECT_EQ(stats.reports_dropped, sums.reports_dropped);
+  EXPECT_EQ(stats.transport_retries, sums.transport_retries);
+  EXPECT_EQ(stats.transport_timeouts, sums.transport_timeouts);
+  // The run actually exercised the interesting counters.
+  EXPECT_GT(sums.observations, 0u);
+  EXPECT_GT(sums.drops_detected, 0u);
+  EXPECT_EQ(sums.reports_dropped, 3u);
+  EXPECT_EQ(sums.transport_retries, 2u);
+  EXPECT_EQ(sums.transport_timeouts, 1u);
+}
+
+#if DWATCH_OBS_ENABLED
+
+TEST(PipelineObs, RegistryCountersMirrorLifetimeTotals) {
+  // The registry is process-global and other tests may have touched the
+  // pipeline counters: assert on DELTAS around this run.
+  auto& reg = obs::MetricsRegistry::global();
+  const auto value = [&reg](const char* name) {
+    return reg.counter(name).value();
+  };
+  const std::uint64_t epochs0 = value("dwatch_pipeline_epochs_total");
+  const std::uint64_t obs0 = value("dwatch_pipeline_observations_total");
+  const std::uint64_t drops0 = value("dwatch_pipeline_drops_detected_total");
+  const std::uint64_t rep0 = value("dwatch_pipeline_reports_dropped_total");
+  const std::uint64_t retry0 =
+      value("dwatch_pipeline_transport_retries_total");
+
+  const sim::Scene scene = make_scene();
+  harness::ExperimentRunner runner(scene, runner_options());
+  seed_calibration(runner, scene);
+  rf::Rng rng(9);
+  runner.collect_baselines(rng);
+  const std::vector<sim::CylinderTarget> targets{
+      sim::CylinderTarget::human({3.0, 4.0})};
+
+  obs::set_enabled(true);
+  for (std::size_t e = 0; e < kEpochs; ++e) {
+    runner.run_epoch(targets, rng);
+  }
+  runner.pipeline().note_transport(2, 1);
+  runner.pipeline().note_reports_dropped(3);
+  obs::set_enabled(false);
+
+  const core::PipelineStats& stats = runner.pipeline().stats();
+  EXPECT_EQ(value("dwatch_pipeline_epochs_total") - epochs0, stats.epochs);
+  EXPECT_EQ(value("dwatch_pipeline_observations_total") - obs0,
+            stats.observations);
+  EXPECT_EQ(value("dwatch_pipeline_drops_detected_total") - drops0,
+            stats.drops_detected);
+  EXPECT_EQ(value("dwatch_pipeline_reports_dropped_total") - rep0,
+            stats.reports_dropped);
+  EXPECT_EQ(value("dwatch_pipeline_transport_retries_total") - retry0,
+            stats.transport_retries);
+}
+
+TEST(PipelineObs, LocalizationBitIdenticalWithObsOnAndOff) {
+  const std::vector<sim::CylinderTarget> targets{
+      sim::CylinderTarget::human({3.0, 4.0})};
+
+  const auto run_once = [&targets](bool obs_on) {
+    const sim::Scene scene = make_scene();
+    harness::ExperimentRunner runner(scene, runner_options());
+    seed_calibration(runner, scene);
+    rf::Rng rng(9);
+    runner.collect_baselines(rng);
+    obs::set_enabled(obs_on);
+    core::ConfidentEstimate last{};
+    for (std::size_t e = 0; e < kEpochs; ++e) {
+      runner.run_epoch(targets, rng);
+      last = runner.pipeline().localize_with_confidence(true);
+    }
+    obs::set_enabled(false);
+    return last;
+  };
+
+  const core::ConfidentEstimate off = run_once(false);
+  const core::ConfidentEstimate on = run_once(true);
+  // Bitwise equality: the obs layer observes, it must not perturb.
+  EXPECT_EQ(off.estimate.position.x, on.estimate.position.x);
+  EXPECT_EQ(off.estimate.position.y, on.estimate.position.y);
+  EXPECT_EQ(off.estimate.valid, on.estimate.valid);
+  EXPECT_EQ(off.confidence, on.confidence);
+}
+
+TEST(PipelineObs, GhostRejectionEmitsOutlierEvent) {
+  // Park the target on a tag's direct path: the pre-reflection-leg
+  // blockage travels with that tag to every array, so Section 4.3
+  // rejects the uncorroborated angle and must log WHICH angle it threw
+  // away (the whole point of the event log: auditable rejections).
+  const sim::Scene scene = make_scene();
+  harness::ExperimentRunner runner(scene, runner_options());
+  seed_calibration(runner, scene);
+  rf::Rng rng(9);
+  runner.collect_baselines(rng);
+  const rf::Vec3 tag0 = scene.deployment().tags[0].position;
+  const std::vector<sim::CylinderTarget> lurker{
+      sim::CylinderTarget::human({tag0.x + 0.25, tag0.y})};
+
+  obs::EventLog::global().clear();
+  obs::set_enabled(true);
+  runner.run_epoch(lurker, rng);
+  (void)runner.pipeline().localize_with_confidence(true);
+  obs::set_enabled(false);
+
+  std::size_t ghost_events = 0;
+  for (const std::string& line : obs::EventLog::global().snapshot()) {
+    if (line.find("\"type\":\"pipeline.ghost_rejected\"") !=
+        std::string::npos) {
+      ++ghost_events;
+      EXPECT_NE(line.find("\"theta_rad\":"), std::string::npos);
+      EXPECT_NE(line.find("\"array\":"), std::string::npos);
+    }
+  }
+  EXPECT_GT(ghost_events, 0u);
+}
+
+#endif  // DWATCH_OBS_ENABLED
+
+}  // namespace
+}  // namespace dwatch

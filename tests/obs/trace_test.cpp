@@ -1,0 +1,136 @@
+// TraceRecorder + Span tests: ring-buffer bounding, span nesting depth
+// and completion ordering, and the Chrome trace-event JSON shape. The
+// enabled-path tests are compiled out in a DWATCH_OBS=OFF tree, where
+// DWATCH_SPAN must still expand to a valid (empty) statement.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+
+namespace dwatch::obs {
+namespace {
+
+TEST(TraceRecorder, RingOverwritesOldestAndCountsDrops) {
+  TraceRecorder rec(4);
+  for (std::uint64_t i = 0; i < 7; ++i) {
+    SpanRecord s;
+    s.name = "x";
+    s.start_us = i;
+    rec.record(s);
+  }
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.dropped(), 3u);
+  const std::vector<SpanRecord> snap = rec.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  // Oldest-to-newest: records 3,4,5,6 survive.
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(snap[i].start_us, i + 3);
+  }
+  rec.clear();
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+TEST(TraceRecorder, SetCapacityDropsContents) {
+  TraceRecorder rec(8);
+  SpanRecord s;
+  s.name = "x";
+  rec.record(s);
+  rec.set_capacity(2);
+  EXPECT_EQ(rec.capacity(), 2u);
+  EXPECT_EQ(rec.size(), 0u);
+}
+
+TEST(TraceRecorder, ChromeJsonShape) {
+  TraceRecorder rec(8);
+  SpanRecord s;
+  s.name = "pipeline.observe";
+  s.start_us = 10;
+  s.duration_us = 5;
+  s.thread_id = 2;
+  s.depth = 1;
+  rec.record(s);
+  const std::string json = rec.chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"pipeline.observe\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":2"), std::string::npos);
+}
+
+TEST(Span, MacroCompilesAsStatement) {
+  // Must compile as a plain statement in both DWATCH_OBS=ON and OFF
+  // trees (ON: a Span declaration; OFF: a void expression).
+  DWATCH_SPAN("trace_test.noop");
+  SUCCEED();
+}
+
+#if DWATCH_OBS_ENABLED
+
+TEST(Span, InactiveWhenRuntimeSwitchOff) {
+  set_enabled(false);
+  TraceRecorder::global().clear();
+  {
+    Span s("trace_test.disabled");
+    EXPECT_FALSE(s.active());
+  }
+  EXPECT_EQ(TraceRecorder::global().size(), 0u);
+}
+
+TEST(Span, NestingDepthAndCompletionOrder) {
+  set_enabled(true);
+  TraceRecorder::global().clear();
+  {
+    Span outer("trace_test.outer");
+    EXPECT_TRUE(outer.active());
+    {
+      Span inner("trace_test.inner");
+      EXPECT_TRUE(inner.active());
+    }
+  }
+  set_enabled(false);
+
+  const std::vector<SpanRecord> snap = TraceRecorder::global().snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  // Spans are recorded on destruction: the inner one completes first.
+  EXPECT_STREQ(snap[0].name, "trace_test.inner");
+  EXPECT_STREQ(snap[1].name, "trace_test.outer");
+  // Depth is zero-based: top-level spans record 0, nested spans 1.
+  EXPECT_EQ(snap[0].depth, 1u);
+  EXPECT_EQ(snap[1].depth, 0u);
+  EXPECT_EQ(snap[0].thread_id, snap[1].thread_id);
+  // Containment: the outer span starts no later and lasts no shorter.
+  EXPECT_LE(snap[1].start_us, snap[0].start_us);
+  EXPECT_GE(snap[1].start_us + snap[1].duration_us,
+            snap[0].start_us + snap[0].duration_us);
+
+  // Both appear, in order, in the Chrome export.
+  const std::string json = TraceRecorder::global().chrome_json();
+  const std::size_t inner_pos = json.find("trace_test.inner");
+  const std::size_t outer_pos = json.find("trace_test.outer");
+  ASSERT_NE(inner_pos, std::string::npos);
+  ASSERT_NE(outer_pos, std::string::npos);
+  EXPECT_LT(inner_pos, outer_pos);
+}
+
+TEST(Span, FeedsStageLatencyHistogram) {
+  set_enabled(true);
+  const Histogram& h = MetricsRegistry::global().histogram(
+      "dwatch_stage_latency_us", Histogram::default_latency_bounds_us(),
+      "stage=\"trace_test.metered\"");
+  const std::uint64_t before = h.count();
+  { DWATCH_SPAN("trace_test.metered"); }
+  set_enabled(false);
+  EXPECT_EQ(h.count(), before + 1);
+}
+
+#endif  // DWATCH_OBS_ENABLED
+
+}  // namespace
+}  // namespace dwatch::obs
