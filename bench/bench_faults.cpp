@@ -9,13 +9,21 @@
 // full-array fix it replaces.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "core/calibration.hpp"
 #include "core/pipeline.hpp"
 #include "faults/fault_injector.hpp"
 #include "faults/fault_plan.hpp"
+#include "recovery/checkpoint.hpp"
+#include "recovery/recalibration.hpp"
+#include "rf/snapshot.hpp"
 #include "rfid/llrp.hpp"
 
 namespace {
@@ -151,6 +159,159 @@ void BM_DegradedLocalize(benchmark::State& state) {
 }
 BENCHMARK(BM_DegradedLocalize)->Arg(0)->Arg(1)->Arg(2)->Unit(
     benchmark::kMillisecond);
+
+// --- recovery-path latency (BENCH_recovery.json) ------------------------
+//
+// The recovery subsystem's promise is that healing never stalls the fix
+// loop: a recalibration runs off-path, a checkpoint write sits on the
+// epoch cadence, a restore happens once at startup. These benches pin
+// the tail latencies operators budget for — each reports manual
+// p50/p95/p99 counters [ms] computed over the per-iteration timings, in
+// addition to google-benchmark's mean.
+
+/// Sorted-percentile counters over one wall-clock sample per iteration.
+void report_percentiles(benchmark::State& state, std::vector<double>& ms) {
+  if (ms.empty()) return;
+  std::sort(ms.begin(), ms.end());
+  const auto pct = [&ms](double q) {
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(ms.size() - 1) + 0.5);
+    return ms[std::min(idx, ms.size() - 1)];
+  };
+  state.counters["p50_ms"] = pct(0.50);
+  state.counters["p95_ms"] = pct(0.95);
+  state.counters["p99_ms"] = pct(0.99);
+}
+
+std::vector<core::CalibrationMeasurement> recalibration_anchors() {
+  // Six anchor tags spread across the field of view, 30 dB SNR, the
+  // same synthesis the recalibration unit tests use.
+  constexpr std::size_t kM = 8;
+  const std::vector<double> offsets{0.0, 0.7, -1.1, 2.0,
+                                    0.3, -0.6, 1.4, -2.2};
+  const rf::UniformLinearArray ula({0, 0, 1}, {1, 0}, kM);
+  rf::Rng rng(404);
+  std::vector<core::CalibrationMeasurement> out;
+  for (std::size_t i = 0; i < 6; ++i) {
+    rf::PropagationPath p;
+    p.kind = rf::PathKind::kDirect;
+    p.vertices = {{-10, 0, 1}, {0, 0, 1}};
+    p.length = 10.0;
+    p.aoa = rf::deg2rad(25.0 + 26.0 * static_cast<double>(i));
+    p.gain = {0.02, 0.0};
+    const std::vector<rf::PropagationPath> paths{p};
+    rf::SnapshotOptions opts;
+    opts.num_snapshots = 24;
+    opts.noise_sigma = rf::noise_sigma_for_snr(paths, 1.0, 30.0);
+    opts.port_phase_offsets = offsets;
+    core::CalibrationMeasurement m;
+    m.snapshots = rf::synthesize_snapshots(ula, paths, {}, opts, rng);
+    m.los_angle = p.aoa;
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+/// One full GA+GD recalibration solve + acceptance decision — the work
+/// a drift trip schedules on the worker pool. Its latency bounds how
+/// long a drifting array keeps localizing with a stale calibration.
+void BM_RecoveryRecalibration(benchmark::State& state) {
+  const core::WirelessCalibrator cal(rf::kDefaultElementSpacing,
+                                     rf::kDefaultWavelength);
+  const auto anchors = recalibration_anchors();
+  std::vector<double> drifted{0.0, 0.7, -1.1, 2.0, 0.3, -0.6, 1.4, -2.2};
+  for (std::size_t i = 1; i < drifted.size(); ++i) {
+    drifted[i] += 0.1 * static_cast<double>(i);
+  }
+  recovery::RecalibrationManager mgr(nullptr);  // solve on this thread
+  std::vector<double> ms;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    mgr.launch(0, cal, anchors, drifted);
+    auto outcome = mgr.poll();
+    const auto t1 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(outcome);
+    ms.push_back(std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  report_percentiles(state, ms);
+}
+BENCHMARK(BM_RecoveryRecalibration)->Unit(benchmark::kMillisecond);
+
+const recovery::Snapshot& shared_snapshot() {
+  // A realistic image: 4 calibrated arrays, a full round of baselines,
+  // one observed epoch, non-trivial stats.
+  static const recovery::Snapshot snap = [] {
+    const sim::Scene& scene = shared_scene();
+    harness::RunnerOptions opts;
+    opts.calibrate = false;
+    opts.through_wire = false;
+    harness::ExperimentRunner runner(scene, opts);
+    rf::Rng rng(11);
+    for (std::size_t a = 0; a < scene.num_arrays(); ++a) {
+      runner.pipeline().set_calibration(a, scene.reader(a).phase_offsets());
+    }
+    runner.collect_baselines(rng);
+    const std::vector<sim::CylinderTarget> targets{
+        sim::CylinderTarget::human({3.0, 4.0})};
+    runner.run_epoch(targets, rng);
+    recovery::Snapshot s;
+    s.pipeline = runner.pipeline().export_state();
+    s.stats.checkpoints_written = 41;
+    s.stats.recalibrations_accepted = 3;
+    s.epoch = 42;
+    return s;
+  }();
+  return snap;
+}
+
+/// Atomic checkpoint write (encode + tmp file + fsync-less rename) on
+/// the epoch cadence — stolen straight from the fix loop's budget.
+void BM_RecoveryCheckpointWrite(benchmark::State& state) {
+  const recovery::Snapshot& snap = shared_snapshot();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "dwatch_bench_checkpoint.bin")
+          .string();
+  recovery::CheckpointStore store(path);
+  std::vector<double> ms;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const bool ok = store.write(snap);
+    const auto t1 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(ok);
+    ms.push_back(std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(
+      state.iterations() * recovery::encode_snapshot(snap).size()));
+  report_percentiles(state, ms);
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_RecoveryCheckpointWrite)->Unit(benchmark::kMillisecond);
+
+/// Cold-start restore: read + CRC-verify + decode the last committed
+/// image. Bounds crash-to-first-fix recovery time.
+void BM_RecoveryCheckpointRestore(benchmark::State& state) {
+  const recovery::Snapshot& snap = shared_snapshot();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "dwatch_bench_restore.bin")
+          .string();
+  recovery::CheckpointStore store(path);
+  store.write(snap);
+  std::vector<double> ms;
+  for (auto _ : state) {
+    recovery::Snapshot out;
+    const auto t0 = std::chrono::steady_clock::now();
+    const recovery::RestoreError err = store.load(out);
+    const auto t1 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(err);
+    benchmark::DoNotOptimize(out);
+    ms.push_back(std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(
+      state.iterations() * recovery::encode_snapshot(snap).size()));
+  report_percentiles(state, ms);
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_RecoveryCheckpointRestore)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

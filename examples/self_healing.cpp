@@ -1,0 +1,217 @@
+// Self-healing walkthrough: calibration drift, detection, background
+// recalibration, crash-safe checkpointing, and restore.
+//
+//   1. deploy the library room and calibrate perfectly;
+//   2. inject a slow per-element phase creep (0.1 rad/epoch) — cable
+//      aging / thermal drift the paper's one-shot calibration cannot
+//      survive;
+//   3. a RecoveryCoordinator probes known-LoS anchor tags each epoch,
+//      detects the drift with an EWMA+CUSUM watchdog, re-runs the
+//      GA+GD calibration off the fix path, and hot-swaps the result;
+//   4. every epoch it writes a crash-safe snapshot — one write is
+//      killed halfway through to show the previous snapshot survives;
+//   5. the "process" dies and a cold replacement restores the latest
+//      valid snapshot and keeps localizing.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "faults/fault_injector.hpp"
+#include "harness/experiment.hpp"
+#include "recovery/self_healing.hpp"
+#include "sim/scene.hpp"
+
+namespace {
+
+constexpr std::uint64_t kSeed = 20160901;
+constexpr std::size_t kEpochs = 12;
+constexpr double kDriftRate = 0.1;  // rad/epoch
+
+dwatch::sim::Scene make_scene() {
+  dwatch::rf::Rng rng(kSeed);
+  dwatch::sim::Deployment dep = dwatch::sim::make_room_deployment(
+      dwatch::sim::Environment::library(), dwatch::sim::DeploymentOptions{},
+      rng);
+  return dwatch::sim::Scene(std::move(dep), dwatch::sim::CaptureOptions{},
+                            rng);
+}
+
+const char* state_name(dwatch::recovery::DriftState s) {
+  switch (s) {
+    case dwatch::recovery::DriftState::kLearning: return "learning";
+    case dwatch::recovery::DriftState::kHealthy: return "healthy";
+    case dwatch::recovery::DriftState::kDrifting: return "DRIFTING";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  using namespace dwatch;
+
+  const sim::Scene scene = make_scene();
+  const auto& env = scene.deployment().env;
+  core::PipelineOptions popts;
+  popts.localizer.grid_step = 0.1;
+  core::DWatchPipeline pipe(scene.deployment().arrays,
+                            core::SearchBounds{{0, 0}, {env.width, env.depth}},
+                            popts);
+  for (std::size_t a = 0; a < scene.num_arrays(); ++a) {
+    pipe.set_calibration(a, scene.reader(a).phase_offsets());
+    rf::Rng rng(kSeed + 100 + a);
+    const rfid::RoAccessReport report = scene.capture_report(a, {}, rng, 0, 1);
+    for (const rfid::TagObservation& obs : report.observations) {
+      pipe.add_baseline(a, obs);
+    }
+  }
+  std::printf("calibrated %zu arrays, baselines captured\n",
+              scene.num_arrays());
+
+  // The drifting hardware.
+  faults::FaultRates rates;
+  rates.slow_phase_drift = kDriftRate;
+  faults::FaultInjector injector(faults::FaultPlan(7, rates));
+
+  // The healing loop around the pipeline.
+  const std::string snapshot_path =
+      (std::filesystem::temp_directory_path() / "dwatch_self_healing.bin")
+          .string();
+  recovery::RecoveryOptions ropt;
+  ropt.watchdog.warmup_epochs = 2;
+  ropt.watchdog.cusum_slack = 0.1;
+  ropt.watchdog.cusum_threshold = 1.0;
+  ropt.background = false;  // keep the walkthrough single-threaded
+  ropt.checkpoint_every = 1;
+  std::vector<core::WirelessCalibrator> calibrators;
+  for (const rf::UniformLinearArray& arr : scene.deployment().arrays) {
+    calibrators.emplace_back(arr.spacing(), arr.lambda());
+  }
+  recovery::RecoveryCoordinator coord(pipe, std::move(calibrators),
+                                      recovery::CheckpointStore(snapshot_path),
+                                      ropt);
+
+  std::vector<std::vector<std::size_t>> anchor_tags;
+  for (std::size_t a = 0; a < scene.num_arrays(); ++a) {
+    anchor_tags.push_back(harness::nearest_tags(scene, a, 4));
+  }
+
+  std::printf("\nepoch  error[m]  watchdog(array0)  note\n");
+  for (std::size_t epoch = 0; epoch < kEpochs; ++epoch) {
+    const rf::Vec2 truth{2.6 + 0.2 * static_cast<double>(epoch),
+                         3.6 + 0.25 * static_cast<double>(epoch)};
+    const sim::CylinderTarget targets[] = {sim::CylinderTarget::human(truth)};
+    pipe.begin_epoch(1000 * (epoch + 1));
+
+    std::vector<std::vector<core::CalibrationMeasurement>> anchors(
+        scene.num_arrays());
+    for (std::size_t a = 0; a < scene.num_arrays(); ++a) {
+      rf::Rng rng(kSeed + 1000 * (epoch + 1) + a);
+      rfid::RoAccessReport report = scene.capture_report(
+          a, targets, rng, static_cast<std::uint32_t>(epoch),
+          1000 * (epoch + 1) + 10);
+      injector.corrupt_report(report, epoch, a);  // the drift strikes here
+      for (const rfid::TagObservation& obs : report.observations) {
+        (void)pipe.observe(a, obs);
+      }
+      anchors[a] =
+          harness::anchor_measurements(scene, a, report, anchor_tags[a]);
+    }
+    const core::ConfidentEstimate fix = pipe.localize_with_confidence(true);
+
+    // Epoch 5's checkpoint dies halfway through its write: the store
+    // leaves tmp wreckage, keeps the previous snapshot, and reports it.
+    recovery::CheckpointStore::CrashFilter crash;
+    if (epoch == 5) {
+      crash = [](std::size_t bytes) {
+        return std::optional<std::size_t>(bytes / 2);
+      };
+    }
+
+    const auto before = coord.stats();
+    const std::vector<std::size_t> invalidated =
+        coord.end_epoch(epoch, anchors, crash);
+    for (const std::size_t a : invalidated) {
+      rf::Rng rng(kSeed + 900'000 + 1000 * (epoch + 1) + a);
+      rfid::RoAccessReport report = scene.capture_report(
+          a, {}, rng, static_cast<std::uint32_t>(epoch),
+          1000 * (epoch + 1) + 5);
+      injector.corrupt_report(report, epoch, a);
+      for (const rfid::TagObservation& obs : report.observations) {
+        pipe.add_baseline(a, obs);
+      }
+    }
+
+    std::string note;
+    const auto& after = coord.stats();
+    if (after.recalibrations_accepted > before.recalibrations_accepted) {
+      note = "recalibrated + hot-swapped, baselines re-captured";
+    } else if (after.recalibrations_rolled_back >
+               before.recalibrations_rolled_back) {
+      note = "candidate worse than incumbent: rolled back";
+    }
+    if (after.checkpoint_crashes > before.checkpoint_crashes) {
+      note += note.empty() ? "" : "; ";
+      note += "checkpoint write crashed mid-file (previous kept)";
+    }
+    std::printf("%5zu  %8.2f  %-16s  %s\n", epoch,
+                rf::distance(fix.estimate.position, truth),
+                state_name(coord.watchdog().state(0)), note.c_str());
+  }
+
+  const auto& s = coord.stats();
+  std::printf("\nhealing summary: %llu drift epochs, %llu recalibrations "
+              "(%llu accepted, %llu rolled back), %llu checkpoints written, "
+              "%llu crashed\n",
+              static_cast<unsigned long long>(s.drift_epochs),
+              static_cast<unsigned long long>(s.recalibrations_triggered),
+              static_cast<unsigned long long>(s.recalibrations_accepted),
+              static_cast<unsigned long long>(s.recalibrations_rolled_back),
+              static_cast<unsigned long long>(s.checkpoints_written),
+              static_cast<unsigned long long>(s.checkpoint_crashes));
+
+  // --- the process dies; a cold replacement takes over -------------------
+  core::DWatchPipeline reborn(scene.deployment().arrays,
+                              core::SearchBounds{{0, 0},
+                                                 {env.width, env.depth}},
+                              popts);
+  std::vector<core::WirelessCalibrator> calibrators2;
+  for (const rf::UniformLinearArray& arr : scene.deployment().arrays) {
+    calibrators2.emplace_back(arr.spacing(), arr.lambda());
+  }
+  recovery::RecoveryCoordinator coord2(
+      reborn, std::move(calibrators2),
+      recovery::CheckpointStore(snapshot_path), ropt);
+  const recovery::RestoreError err = coord2.restore();
+  if (err != recovery::RestoreError::kNone) {
+    std::printf("restore failed: %s\n", recovery::to_string(err).data());
+    return 1;
+  }
+  std::printf("\nrestored snapshot of epoch %llu (calibration + baselines + "
+              "stats travel with it); resuming fixes:\n",
+              static_cast<unsigned long long>(coord2.last_checkpoint_epoch()));
+
+  const std::size_t resume = coord2.last_checkpoint_epoch() + 1;
+  for (std::size_t epoch = resume; epoch < resume + 2; ++epoch) {
+    const rf::Vec2 truth{2.6 + 0.2 * static_cast<double>(epoch),
+                         3.6 + 0.25 * static_cast<double>(epoch)};
+    const sim::CylinderTarget targets[] = {sim::CylinderTarget::human(truth)};
+    reborn.begin_epoch(1000 * (epoch + 1));
+    for (std::size_t a = 0; a < scene.num_arrays(); ++a) {
+      rf::Rng rng(kSeed + 1000 * (epoch + 1) + a);
+      rfid::RoAccessReport report = scene.capture_report(
+          a, targets, rng, static_cast<std::uint32_t>(epoch),
+          1000 * (epoch + 1) + 10);
+      injector.corrupt_report(report, epoch, a);
+      for (const rfid::TagObservation& obs : report.observations) {
+        (void)reborn.observe(a, obs);
+      }
+    }
+    const core::ConfidentEstimate fix = reborn.localize_with_confidence(true);
+    std::printf("%5zu  %8.2f  (after restore)\n", epoch,
+                rf::distance(fix.estimate.position, truth));
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# One-command pre-merge gate: everything CI runs, in the order a failure
+# is cheapest to see.
+#
+#   1. tier-1: configure + build + full ctest of the default tree;
+#   2. recovery: the self-healing label on the same tree (fast re-run,
+#      isolates a recovery regression from an unrelated tier-1 one);
+#   3. asan_check: fault + obs + recovery labels under ASan/UBSan;
+#   4. tsan_check: the concurrency label under TSan;
+#   5. obs_off_check: configure+build+test a DWATCH_OBS=OFF tree.
+#
+# Usage: scripts/check.sh [jobs]   (default: nproc)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+run() {
+  echo
+  echo "==> $*"
+  "$@"
+}
+
+# --- 1. tier-1: default tree, full suite --------------------------------
+run cmake -S . -B build
+run cmake --build build --parallel "$JOBS"
+run ctest --test-dir build --output-on-failure
+
+# --- 2. recovery label, explicitly --------------------------------------
+run ctest --test-dir build -L recovery --output-on-failure
+
+# --- 3. AddressSanitizer tree: stress|obs|recovery ----------------------
+run cmake -S . -B build-asan -DDWATCH_SANITIZE=address \
+  -DDWATCH_BUILD_BENCH=OFF -DDWATCH_BUILD_EXAMPLES=OFF
+run cmake --build build-asan --parallel "$JOBS"
+run cmake --build build-asan --target asan_check
+
+# --- 4. ThreadSanitizer tree: tsan label --------------------------------
+run cmake -S . -B build-tsan -DDWATCH_SANITIZE=thread \
+  -DDWATCH_BUILD_BENCH=OFF -DDWATCH_BUILD_EXAMPLES=OFF
+run cmake --build build-tsan --parallel "$JOBS"
+run cmake --build build-tsan --target tsan_check
+
+# --- 5. uninstrumented tree must stay green -----------------------------
+run cmake --build build --target obs_off_check
+
+echo
+echo "check.sh: all gates passed"

@@ -77,10 +77,8 @@ double WirelessCalibrator::objective_precomputed(
   return total / static_cast<double>(noise_subspaces.size());
 }
 
-CalibrationResult WirelessCalibrator::calibrate(
-    std::span<const CalibrationMeasurement> measurements,
-    rf::Rng& rng) const {
-  DWATCH_SPAN("calibration.solve");
+CalibrationProbe WirelessCalibrator::make_probe(
+    std::span<const CalibrationMeasurement> measurements) const {
   if (measurements.empty()) {
     throw std::invalid_argument("calibrate: no measurements");
   }
@@ -92,10 +90,11 @@ CalibrationResult WirelessCalibrator::calibrate(
   // Extract the noise subspace of each measurement's UNsmoothed
   // correlation. Smoothing would scramble Gamma across subarrays, so it
   // must not be used here; coherent multipath keeps the signal subspace
-  // 1-dimensional anyway.
-  std::vector<linalg::CMatrix> noise_subspaces;
-  std::vector<double> los_angles;
-  noise_subspaces.reserve(measurements.size());
+  // 1-dimensional anyway. The steering vectors depend only on the fixed
+  // LOS angles, so they are built once per probe, not per objective call.
+  CalibrationProbe probe;
+  probe.noise_subspaces.reserve(measurements.size());
+  probe.steerings.reserve(measurements.size());
   for (const auto& meas : measurements) {
     if (meas.snapshots.rows() != m) {
       throw std::invalid_argument("calibrate: inconsistent antenna count");
@@ -105,19 +104,39 @@ CalibrationResult WirelessCalibrator::calibrate(
     SourceCountOptions sc = options_.source_count;
     sc.num_snapshots = meas.snapshots.cols();
     const std::size_t p = estimate_source_count(eig.eigenvalues, sc);
-    noise_subspaces.push_back(eig.eigenvectors.block(0, p, m, m - p));
-    los_angles.push_back(meas.los_angle);
+    probe.noise_subspaces.push_back(eig.eigenvectors.block(0, p, m, m - p));
+    probe.steerings.push_back(
+        rf::steering_vector(m, meas.los_angle, spacing_, lambda_));
   }
+  return probe;
+}
 
-  // The steering vectors depend only on the fixed LOS angles, so build
-  // them once for the whole solve instead of on every objective call.
-  std::vector<linalg::CVector> steerings;
-  steerings.reserve(los_angles.size());
-  for (const double theta : los_angles) {
-    steerings.push_back(rf::steering_vector(m, theta, spacing_, lambda_));
+double WirelessCalibrator::residual(const CalibrationProbe& probe,
+                                    std::span<const double> offsets) const {
+  if (probe.noise_subspaces.empty()) {
+    throw std::invalid_argument("residual: empty probe");
   }
+  const std::size_t m = probe.noise_subspaces.front().rows();
+  if (offsets.size() != m) {
+    throw std::invalid_argument("residual: offset count mismatch");
+  }
+  // The objective fixes beta_1 = 0, so rebase onto element 0.
+  std::vector<double> tail(m - 1);
+  for (std::size_t i = 1; i < m; ++i) {
+    tail[i - 1] = rf::wrap_pi(offsets[i] - offsets[0]);
+  }
+  return objective_precomputed(probe.noise_subspaces, probe.steerings, tail);
+}
+
+CalibrationResult WirelessCalibrator::calibrate(
+    std::span<const CalibrationMeasurement> measurements,
+    rf::Rng& rng) const {
+  DWATCH_SPAN("calibration.solve");
+  const CalibrationProbe probe = make_probe(measurements);
+  const std::size_t m = probe.noise_subspaces.front().rows();
   const Objective f = [&](std::span<const double> tail) {
-    return objective_precomputed(noise_subspaces, steerings, tail);
+    return objective_precomputed(probe.noise_subspaces, probe.steerings,
+                                 tail);
   };
   const std::vector<double> lo(m - 1, -rf::kPi);
   const std::vector<double> hi(m - 1, rf::kPi);

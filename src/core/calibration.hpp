@@ -49,6 +49,17 @@ struct CalibrationResult {
   std::size_t evaluations = 0;
 };
 
+/// Per-measurement noise subspaces and LoS steering vectors, extracted
+/// once from a set of anchor-tag measurements and reusable across many
+/// residual evaluations. The drift watchdog re-scores the SAME anchors
+/// every epoch and a recalibration compares the incumbent and candidate
+/// offsets on ONE probe, so the eigendecompositions are hoisted out of
+/// the scoring path.
+struct CalibrationProbe {
+  std::vector<linalg::CMatrix> noise_subspaces;  ///< U_N per measurement
+  std::vector<linalg::CVector> steerings;        ///< a(theta_LoS) per meas.
+};
+
 /// The calibrator for one array geometry.
 class WirelessCalibrator {
  public:
@@ -62,6 +73,20 @@ class WirelessCalibrator {
   [[nodiscard]] CalibrationResult calibrate(
       std::span<const CalibrationMeasurement> measurements,
       rf::Rng& rng) const;
+
+  /// Extract the noise subspaces + LoS steering vectors of a measurement
+  /// set (the expensive half of calibrate(), shared with residual
+  /// scoring). Same validation rules as calibrate().
+  [[nodiscard]] CalibrationProbe make_probe(
+      std::span<const CalibrationMeasurement> measurements) const;
+
+  /// The Eq. 11 residual of a FULL size-M offset vector against a probe
+  /// — the calibration-drift score `sum_k ||a^H Gamma^H U_N^(k)||^2`
+  /// tracked by the recovery watchdog. Only offset differences to the
+  /// reference element matter, so absolute (reader-supplied) and
+  /// relative (calibrate()-estimated) offset vectors score identically.
+  [[nodiscard]] double residual(const CalibrationProbe& probe,
+                                std::span<const double> offsets) const;
 
   /// The calibration objective (Eq. 11) for externally-supplied noise
   /// subspaces; exposed for testing and for the Phaser-comparison bench.

@@ -37,6 +37,14 @@ struct KalmanAxis {
   double p_vv = 1.0;
 };
 
+/// The filter's long-lived state, exported for checkpoint/restore.
+struct KalmanState {
+  KalmanAxis x;
+  KalmanAxis y;
+  bool initialized = false;
+  std::size_t misses = 0;
+};
+
 class KalmanTracker {
  public:
   explicit KalmanTracker(KalmanOptions options = {});
@@ -65,6 +73,17 @@ class KalmanTracker {
   }
 
   void reset();
+
+  /// Checkpoint/restore of the track (options are construction-time).
+  [[nodiscard]] KalmanState state() const noexcept {
+    return {x_, y_, initialized_, misses_};
+  }
+  void restore(const KalmanState& s) noexcept {
+    x_ = s.x;
+    y_ = s.y;
+    initialized_ = s.initialized;
+    misses_ = s.misses;
+  }
 
  private:
   void predict_axis(KalmanAxis& a) const;

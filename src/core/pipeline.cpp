@@ -129,6 +129,53 @@ void DWatchPipeline::set_calibration(std::size_t array_idx,
   calibration_[array_idx] = std::move(offsets);
 }
 
+const std::optional<std::vector<double>>& DWatchPipeline::calibration(
+    std::size_t array_idx) const {
+  check_array(array_idx);
+  return calibration_[array_idx];
+}
+
+void DWatchPipeline::clear_baselines(std::size_t array_idx) {
+  check_array(array_idx);
+  baselines_[array_idx].clear();
+}
+
+PipelineState DWatchPipeline::export_state() const {
+  PipelineState state;
+  state.calibration = calibration_;
+  state.baselines = baselines_;
+  state.excluded.reserve(evidence_.size());
+  for (const AngularEvidence& e : evidence_) {
+    state.excluded.push_back(e.excluded ? 1 : 0);
+  }
+  state.stats = stats_;
+  state.watermark_us = epoch_.watermark_us;
+  return state;
+}
+
+void DWatchPipeline::restore(const PipelineState& state) {
+  if (state.calibration.size() != arrays_.size() ||
+      state.baselines.size() != arrays_.size() ||
+      state.excluded.size() != arrays_.size()) {
+    throw std::invalid_argument("restore: array count mismatch");
+  }
+  for (std::size_t a = 0; a < arrays_.size(); ++a) {
+    if (state.calibration[a] &&
+        state.calibration[a]->size() != arrays_[a].num_elements()) {
+      throw std::invalid_argument("restore: calibration size mismatch");
+    }
+  }
+  calibration_ = state.calibration;
+  baselines_ = state.baselines;
+  for (std::size_t a = 0; a < arrays_.size(); ++a) {
+    evidence_[a].drops.clear();
+    evidence_[a].excluded = state.excluded[a] != 0;
+  }
+  stats_ = state.stats;
+  epoch_ = EpochState{};
+  epoch_.watermark_us = state.watermark_us;
+}
+
 AngularSpectrum DWatchPipeline::compute_omega(
     std::size_t array_idx, const linalg::CMatrix& snapshots) const {
   const auto& array = arrays_[array_idx];

@@ -96,6 +96,27 @@ struct PipelineStats {
   std::size_t reports_dropped = 0;    ///< lost/quarantined upstream
   std::size_t transport_retries = 0;
   std::size_t transport_timeouts = 0;
+
+  bool operator==(const PipelineStats&) const = default;
+};
+
+/// Every long-lived piece of a DWatchPipeline, exported for
+/// checkpointing (src/recovery serializes it) and reinstalled by
+/// restore(). Spectra are carried exactly as stored — no recomputation
+/// on either side — so a restored pipeline produces fixes bit-identical
+/// to one that never stopped.
+struct PipelineState {
+  /// Per-array phase calibration (nullopt = never calibrated).
+  std::vector<std::optional<std::vector<double>>> calibration;
+  /// Per-array reference spectra keyed by tag EPC.
+  std::vector<std::map<rfid::Epc96, AngularSpectrum>> baselines;
+  /// Per-array K-of-N health flags (1 = excluded).
+  std::vector<std::uint8_t> excluded;
+  /// Lifetime counters (per-epoch state is NOT long-lived: an epoch in
+  /// flight when the process dies is simply lost, by design).
+  PipelineStats stats;
+  /// The watermark of the last begun epoch.
+  std::uint64_t watermark_us = 0;
 };
 
 /// Provenance of ONE localization result: which arrays contributed,
@@ -155,6 +176,26 @@ class DWatchPipeline {
   /// Step 2: install per-array calibration offsets (size = M of that
   /// array). Applied to every subsequent snapshot matrix.
   void set_calibration(std::size_t array_idx, std::vector<double> offsets);
+
+  /// The installed offsets of one array (nullopt = uncalibrated).
+  [[nodiscard]] const std::optional<std::vector<double>>& calibration(
+      std::size_t array_idx) const;
+
+  /// Drop every stored reference spectrum of one array. Called after a
+  /// calibration hot-swap: the old baselines were computed under the
+  /// superseded Gamma and would report phantom peak drops against
+  /// spectra computed under the new one. Observations of the array skip
+  /// (no baseline) until re-capture.
+  void clear_baselines(std::size_t array_idx);
+
+  /// Snapshot every long-lived field for checkpointing.
+  [[nodiscard]] PipelineState export_state() const;
+
+  /// Reinstall a previously exported state. The pipeline must have been
+  /// constructed with the same arrays/bounds/options; throws
+  /// std::invalid_argument on an array-count or offset-size mismatch.
+  /// Any in-flight epoch is discarded (call begin_epoch afterwards).
+  void restore(const PipelineState& state);
 
   /// Step 1 (baseline): store the empty-scene spectrum of (array, tag).
   /// Re-adding a tag overwrites its baseline (environment re-baselining).

@@ -26,6 +26,14 @@ struct TrackerOptions {
   std::size_t max_coast = 5;
 };
 
+/// The tracker's long-lived state, exported for checkpoint/restore.
+struct AlphaBetaState {
+  rf::Vec2 position{};
+  rf::Vec2 velocity{};
+  bool initialized = false;
+  std::size_t misses = 0;
+};
+
 /// Alpha-beta tracker over 2-D positions.
 class AlphaBetaTracker {
  public:
@@ -49,6 +57,17 @@ class AlphaBetaTracker {
   }
 
   void reset();
+
+  /// Checkpoint/restore of the track (options are construction-time).
+  [[nodiscard]] AlphaBetaState state() const noexcept {
+    return {position_, velocity_, initialized_, misses_};
+  }
+  void restore(const AlphaBetaState& s) noexcept {
+    position_ = s.position;
+    velocity_ = s.velocity;
+    initialized_ = s.initialized;
+    misses_ = s.misses;
+  }
 
  private:
   TrackerOptions options_;

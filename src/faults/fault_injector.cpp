@@ -1,9 +1,25 @@
 #include "faults/fault_injector.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
 
 namespace dwatch::faults {
+
+namespace {
+
+constexpr double kTau = 6.283185307179586476925287;
+
+/// Convert a phase offset in radians (any sign) to the additive
+/// wire quantization step (full turn = 2^16).
+std::uint16_t to_phase_q(double rad) noexcept {
+  double frac = rad / kTau;
+  frac -= std::floor(frac);  // [0, 1)
+  return static_cast<std::uint16_t>(
+      static_cast<std::uint32_t>(std::lround(frac * 65536.0)) & 0xFFFFU);
+}
+
+}  // namespace
 
 std::optional<std::vector<std::uint8_t>> FaultInjector::filter_frame(
     std::vector<std::uint8_t> frame, std::uint64_t epoch,
@@ -93,11 +109,50 @@ bool FaultInjector::corrupt_observation(rfid::TagObservation& obs,
     ++counters_.phase_jumps;
   }
 
+  // STATE faults last — they model the hardware's calibration walking
+  // away from Γ̂, so they sit on top of whatever the epoch-local faults
+  // left behind.
+  const double drift_rate = plan_.rates().slow_phase_drift;
+  if (drift_rate > 0.0 && epoch > 0 && !obs.samples.empty()) {
+    // Deterministic environmental creep: each element walks away from
+    // its calibrated offset at its own rate in [-rate, +rate] rad/epoch
+    // (direction drawn once per element, stable across epochs).
+    for (rfid::PhaseSample& s : obs.samples) {
+      const double dir =
+          2.0 * plan_.magnitude(FaultKind::kSlowPhaseDrift,
+                                {0, array, 0, s.element_id}) -
+          1.0;
+      s.phase_q = static_cast<std::uint16_t>(
+          s.phase_q +
+          to_phase_q(drift_rate * static_cast<double>(epoch) * dir));
+    }
+    ++counters_.phase_drifts;
+  }
+
+  if (const auto rb = reboot_epoch_.find(array); rb != reboot_epoch_.end()) {
+    // A rebooted reader's RF chains power up with fresh random offsets;
+    // the step persists until the next reboot redraws it.
+    for (rfid::PhaseSample& s : obs.samples) {
+      const double step =
+          plan_.magnitude(FaultKind::kRebootPhaseStep,
+                          {rb->second, array, 0, s.element_id});
+      s.phase_q =
+          static_cast<std::uint16_t>(s.phase_q + to_phase_q(kTau * step));
+    }
+  }
+
   return true;
 }
 
 void FaultInjector::corrupt_report(rfid::RoAccessReport& report,
                                    std::uint64_t epoch, std::uint64_t array) {
+  if (plan_.fires(FaultKind::kRebootPhaseStep, {epoch, array, 0, 0})) {
+    const auto it = reboot_epoch_.find(array);
+    if (it == reboot_epoch_.end() || it->second != epoch) {
+      reboot_epoch_[array] = epoch;
+      ++counters_.reader_reboots;
+    }
+  }
   std::vector<rfid::TagObservation> out;
   out.reserve(report.observations.size());
   for (rfid::TagObservation& obs : report.observations) {
@@ -111,6 +166,13 @@ void FaultInjector::corrupt_report(rfid::RoAccessReport& report,
     history_.insert_or_assign({array, obs.epc}, std::move(obs));
   }
   report.observations = std::move(out);
+}
+
+std::optional<double> FaultInjector::checkpoint_crash(std::uint64_t epoch) {
+  const FaultSite site{epoch, 0, 0, 0};
+  if (!plan_.fires(FaultKind::kCheckpointCrash, site)) return std::nullopt;
+  ++counters_.checkpoint_crashes;
+  return plan_.magnitude(FaultKind::kCheckpointCrash, site);
 }
 
 }  // namespace dwatch::faults

@@ -37,11 +37,15 @@ struct FaultCounters {
   std::size_t phase_jumps = 0;
   std::size_t stale_reports = 0;
   std::size_t duplicate_reports = 0;
+  std::size_t phase_drifts = 0;       ///< observations with drift applied
+  std::size_t reader_reboots = 0;     ///< per-(epoch, array) reboot events
+  std::size_t checkpoint_crashes = 0; ///< mid-write crash decisions
 
   [[nodiscard]] std::size_t total() const noexcept {
     return frames_truncated + frames_reordered + frames_timed_out +
            observations_dropped + elements_killed + phase_jumps +
-           stale_reports + duplicate_reports;
+           stale_reports + duplicate_reports + phase_drifts +
+           reader_reboots + checkpoint_crashes;
   }
   bool operator==(const FaultCounters&) const = default;
 };
@@ -70,10 +74,20 @@ class FaultInjector {
 
   /// Observation layer: mutate a decoded report in place. Applies, per
   /// observation: drop, stale replay, element death, mid-epoch phase
-  /// jump, duplication. Also records each surviving observation so a
+  /// jump, duplication, plus the STATE faults — slow calibration drift
+  /// (per-element creep proportional to the epoch index, rate in
+  /// rad/epoch) and the persistent per-element phase step a reader
+  /// reboot leaves behind. Also records each surviving observation so a
   /// later epoch's stale fault can replay it.
   void corrupt_report(rfid::RoAccessReport& report, std::uint64_t epoch,
                       std::uint64_t array);
+
+  /// Checkpoint-crash decision for this epoch's snapshot write. When
+  /// the fault fires, returns the fraction of the snapshot that reaches
+  /// disk before the "process dies" (feed into a CheckpointStore write
+  /// filter); nullopt means the write completes normally. Deterministic
+  /// in (plan, epoch) but counted, so call once per write.
+  [[nodiscard]] std::optional<double> checkpoint_crash(std::uint64_t epoch);
 
  private:
   /// Apply per-observation faults; returns false when the observation is
@@ -86,6 +100,9 @@ class FaultInjector {
   /// Last observation seen per (array, EPC) — the stale-replay source.
   std::map<std::pair<std::uint64_t, rfid::Epc96>, rfid::TagObservation>
       history_;
+  /// Epoch of the most recent reboot per array: the per-element phase
+  /// step it caused persists until the NEXT reboot redraws it.
+  std::map<std::uint64_t, std::uint64_t> reboot_epoch_;
 };
 
 }  // namespace dwatch::faults

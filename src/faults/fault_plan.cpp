@@ -55,6 +55,12 @@ std::string_view to_string(FaultKind kind) noexcept {
       return "stale_report";
     case FaultKind::kDuplicateReport:
       return "duplicate_report";
+    case FaultKind::kSlowPhaseDrift:
+      return "slow_phase_drift";
+    case FaultKind::kRebootPhaseStep:
+      return "reboot_phase_step";
+    case FaultKind::kCheckpointCrash:
+      return "checkpoint_crash";
   }
   return "unknown";
 }
@@ -99,6 +105,15 @@ FaultRates FaultRates::only(FaultKind kind, double rate) noexcept {
     case FaultKind::kDuplicateReport:
       r.duplicate_report = rate;
       break;
+    case FaultKind::kSlowPhaseDrift:
+      r.slow_phase_drift = rate;
+      break;
+    case FaultKind::kRebootPhaseStep:
+      r.reboot_phase_step = rate;
+      break;
+    case FaultKind::kCheckpointCrash:
+      r.checkpoint_crash = rate;
+      break;
   }
   return r;
 }
@@ -121,6 +136,12 @@ double FaultRates::rate(FaultKind kind) const noexcept {
       return stale_report;
     case FaultKind::kDuplicateReport:
       return duplicate_report;
+    case FaultKind::kSlowPhaseDrift:
+      return slow_phase_drift;
+    case FaultKind::kRebootPhaseStep:
+      return reboot_phase_step;
+    case FaultKind::kCheckpointCrash:
+      return checkpoint_crash;
   }
   return 0.0;
 }

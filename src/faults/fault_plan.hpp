@@ -27,9 +27,17 @@ enum class FaultKind : std::uint8_t {
   kPhaseJump,            ///< RF chain phase-offset jump mid-epoch
   kStaleReport,          ///< previous epoch's observation replayed
   kDuplicateReport,      ///< observation retransmitted twice
+  // STATE faults (PR "self-healing"): they corrupt the pipeline's
+  // long-lived state rather than a single epoch's traffic.
+  kSlowPhaseDrift,   ///< per-port offsets creep epoch over epoch
+  kRebootPhaseStep,  ///< reader reboot redraws its per-port offsets
+  kCheckpointCrash,  ///< process dies mid-checkpoint-write
 };
 
-inline constexpr std::size_t kNumFaultKinds = 8;
+inline constexpr std::size_t kNumFaultKinds = 11;
+/// The original transport/epoch-local taxonomy (everything before the
+/// state faults) — the set uniform() sweeps.
+inline constexpr std::size_t kNumTransportFaultKinds = 8;
 
 [[nodiscard]] std::string_view to_string(FaultKind kind) noexcept;
 
@@ -43,8 +51,18 @@ struct FaultRates {
   double phase_jump = 0.0;
   double stale_report = 0.0;
   double duplicate_report = 0.0;
+  /// State-fault knobs. slow_phase_drift is NOT a probability: it is
+  /// the drift RATE in rad/epoch (maximum per-element creep; 0 = off).
+  /// reboot_phase_step and checkpoint_crash are per-site probabilities
+  /// like the transport rates above.
+  double slow_phase_drift = 0.0;
+  double reboot_phase_step = 0.0;
+  double checkpoint_crash = 0.0;
 
-  /// Every class at the same rate (the stress suite's 10% sweeps).
+  /// Every TRANSPORT class at the same rate (the stress suite's 10%
+  /// sweeps). The state-fault knobs are left at 0 — slow_phase_drift is
+  /// a rad/epoch rate, not a probability, so sweeping it uniformly with
+  /// the others would silently change its meaning; set them explicitly.
   [[nodiscard]] static FaultRates uniform(double rate) noexcept;
 
   /// Only `kind` at `rate`, everything else clean (per-class sweeps).

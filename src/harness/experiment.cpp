@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <stdexcept>
 
 #include "obs/event_log.hpp"
 #include "obs/trace.hpp"
@@ -30,6 +31,32 @@ std::vector<std::size_t> nearest_tags(const sim::Scene& scene,
   });
   idx.resize(std::min(count, idx.size()));
   return idx;
+}
+
+std::vector<core::CalibrationMeasurement> anchor_measurements(
+    const sim::Scene& scene, std::size_t array_idx,
+    const rfid::RoAccessReport& report,
+    std::span<const std::size_t> anchor_tags) {
+  const auto& dep = scene.deployment();
+  const auto& array = dep.arrays.at(array_idx);
+  const std::size_t m = array.num_elements();
+  std::vector<core::CalibrationMeasurement> out;
+  for (const std::size_t t : anchor_tags) {
+    const rfid::Epc96& epc = dep.tags.at(t).epc;
+    for (const rfid::TagObservation& obs : report.observations) {
+      if (obs.epc != epc) continue;
+      core::CalibrationMeasurement meas;
+      try {
+        meas.snapshots = core::observation_to_snapshots(obs, m);
+      } catch (const std::invalid_argument&) {
+        continue;  // no complete round survived the faults this epoch
+      }
+      meas.los_angle = array.arrival_angle(dep.tags[t].position);
+      out.push_back(std::move(meas));
+      break;  // first usable observation of this anchor wins
+    }
+  }
+  return out;
 }
 
 namespace {

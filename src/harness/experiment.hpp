@@ -118,4 +118,17 @@ class ExperimentRunner {
                                                     std::size_t array_idx,
                                                     std::size_t count);
 
+/// Extract calibration measurements for known-LoS anchor tags from one
+/// decoded wire report — the per-epoch probe input of the recovery
+/// drift watchdog. For each anchor tag index whose EPC appears in the
+/// report, the observation is rebuilt into a snapshot matrix and paired
+/// with the tag's true LoS angle at this array (which the deployment
+/// knows: anchors are the same surveyed tags calibration used).
+/// Observations that cannot form a complete round are skipped, not
+/// thrown — faulted epochs must degrade the probe, not kill the loop.
+[[nodiscard]] std::vector<core::CalibrationMeasurement> anchor_measurements(
+    const sim::Scene& scene, std::size_t array_idx,
+    const rfid::RoAccessReport& report,
+    std::span<const std::size_t> anchor_tags);
+
 }  // namespace dwatch::harness

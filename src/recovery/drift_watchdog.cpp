@@ -1,0 +1,82 @@
+#include "recovery/drift_watchdog.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/event_log.hpp"
+#include "obs/metrics.hpp"
+
+namespace dwatch::recovery {
+
+DriftWatchdog::DriftWatchdog(std::size_t num_arrays,
+                             DriftWatchdogOptions options)
+    : options_(options), per_array_(num_arrays) {
+  if (num_arrays == 0) {
+    throw std::invalid_argument("DriftWatchdog: zero arrays");
+  }
+  if (options_.ewma_alpha <= 0.0 || options_.ewma_alpha > 1.0) {
+    throw std::invalid_argument("DriftWatchdog: ewma_alpha out of (0, 1]");
+  }
+}
+
+DriftState DriftWatchdog::observe(std::size_t array_idx, double residual) {
+  PerArray& a = per_array_.at(array_idx);
+  if (a.state == DriftState::kDrifting) return a.state;  // latched
+
+  ++a.epochs;
+  if (a.epochs <= options_.warmup_epochs) {
+    // Learning phase: seed the EWMA with a plain running mean so the
+    // first sample does not dominate.
+    a.ewma += (residual - a.ewma) / static_cast<double>(a.epochs);
+    a.state = a.epochs == options_.warmup_epochs ? DriftState::kHealthy
+                                                 : DriftState::kLearning;
+    return a.state;
+  }
+
+  // Scale-free exceedance above the learned healthy level.
+  const double scale = std::max(a.ewma, options_.min_scale);
+  const double z = (residual - a.ewma) / scale;
+  a.cusum = std::max(0.0, a.cusum + z - options_.cusum_slack);
+
+  if (a.cusum >= options_.cusum_threshold) {
+    a.state = DriftState::kDrifting;
+    if (obs::enabled()) {
+      obs::MetricsRegistry::global()
+          .counter("dwatch_recovery_drift_detections_total")
+          .inc();
+      obs::EventLog::global().emit(obs::Event("recovery.drift_detected")
+                                       .field("array", array_idx)
+                                       .field("residual", residual)
+                                       .field("healthy_level", a.ewma)
+                                       .field("cusum", a.cusum));
+    }
+    return a.state;
+  }
+
+  // Only a healthy residual may update the healthy reference —
+  // otherwise a slow drift drags its own baseline along and never
+  // accumulates enough exceedance to trip.
+  if (z <= options_.cusum_slack) {
+    a.ewma += options_.ewma_alpha * (residual - a.ewma);
+  }
+  a.state = DriftState::kHealthy;
+  return a.state;
+}
+
+DriftState DriftWatchdog::state(std::size_t array_idx) const {
+  return per_array_.at(array_idx).state;
+}
+
+double DriftWatchdog::healthy_level(std::size_t array_idx) const {
+  return per_array_.at(array_idx).ewma;
+}
+
+double DriftWatchdog::cusum(std::size_t array_idx) const {
+  return per_array_.at(array_idx).cusum;
+}
+
+void DriftWatchdog::reset(std::size_t array_idx) {
+  per_array_.at(array_idx) = PerArray{};
+}
+
+}  // namespace dwatch::recovery

@@ -1,0 +1,85 @@
+// Calibration-drift detection on known-LoS anchor tags.
+//
+// Section 4.1's wireless calibration leaves a residual
+// ‖a(θ_LoS)ᴴ Γ̂ᴴ U_N‖² ≈ 0 on any tag whose line-of-sight angle is
+// known: after de-rotating by the estimated phase offsets Γ̂, the LoS
+// steering vector must lie in the signal subspace. When the hardware's
+// true offsets creep away from Γ̂ (thermal drift, reader reboot), that
+// orthogonality degrades EVERY epoch — which makes the calibration
+// residual on a handful of fixed anchor tags a free, per-epoch health
+// probe of the calibration itself.
+//
+// The watchdog tracks the residual per array with an EWMA of the
+// healthy level plus a one-sided CUSUM on the normalized exceedance, so
+// a slow 0.1 rad/epoch creep accumulates to a detection within a few
+// epochs while a single noisy epoch does not trip it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dwatch::recovery {
+
+enum class DriftState : std::uint8_t {
+  kLearning = 0,  ///< still estimating the healthy residual level
+  kHealthy,
+  kDrifting,  ///< CUSUM crossed the threshold: recalibrate
+};
+
+struct DriftWatchdogOptions {
+  /// EWMA smoothing of the healthy residual level (only updated while
+  /// healthy, so a drifting residual cannot poison its own reference).
+  double ewma_alpha = 0.2;
+  /// CUSUM allowance: exceedances below `slack` standard units do not
+  /// accumulate (absorbs residual noise around the healthy level).
+  double cusum_slack = 0.5;
+  /// Detection threshold on the accumulated exceedance.
+  double cusum_threshold = 3.0;
+  /// Epochs spent learning the healthy level before detection arms.
+  std::size_t warmup_epochs = 2;
+  /// Normalization floor: residuals are compared RELATIVE to the
+  /// healthy mean, z = (r - mean) / max(mean, floor), so the detector
+  /// is scale-free across array geometries and snapshot counts.
+  double min_scale = 1e-9;
+};
+
+/// Per-array EWMA + CUSUM drift detector. Deliberately NOT checkpointed:
+/// after a restore it re-learns the healthy level in warmup_epochs —
+/// cheap, and immune to restoring a poisoned reference.
+class DriftWatchdog {
+ public:
+  explicit DriftWatchdog(std::size_t num_arrays,
+                         DriftWatchdogOptions options = {});
+
+  /// Feed one epoch's anchor residual for one array; returns the state
+  /// after the update. Transition to kDrifting latches until reset().
+  DriftState observe(std::size_t array_idx, double residual);
+
+  [[nodiscard]] DriftState state(std::size_t array_idx) const;
+  /// The learned healthy residual level (EWMA).
+  [[nodiscard]] double healthy_level(std::size_t array_idx) const;
+  /// Current accumulated CUSUM exceedance.
+  [[nodiscard]] double cusum(std::size_t array_idx) const;
+
+  /// Forget one array's history (after a calibration swap or rollback:
+  /// the residual scale has changed, re-learn from scratch).
+  void reset(std::size_t array_idx);
+
+  [[nodiscard]] std::size_t num_arrays() const noexcept {
+    return per_array_.size();
+  }
+
+ private:
+  struct PerArray {
+    double ewma = 0.0;
+    double cusum = 0.0;
+    std::size_t epochs = 0;
+    DriftState state = DriftState::kLearning;
+  };
+
+  DriftWatchdogOptions options_;
+  std::vector<PerArray> per_array_;
+};
+
+}  // namespace dwatch::recovery

@@ -1,0 +1,110 @@
+#include "recovery/recalibration.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "obs/event_log.hpp"
+#include "obs/metrics.hpp"
+
+namespace dwatch::recovery {
+
+RecalibrationManager::RecalibrationManager(
+    std::shared_ptr<core::ThreadPool> pool, RecalibrationOptions options)
+    : pool_(std::move(pool)), options_(options) {}
+
+bool RecalibrationManager::launch(
+    std::size_t array_idx, const core::WirelessCalibrator& calibrator,
+    std::vector<core::CalibrationMeasurement> measurements,
+    std::vector<double> incumbent) {
+  if (future_.valid()) return false;
+  const std::uint64_t gen = ++generation_;
+  const RecalibrationOptions options = options_;
+  // The task owns copies of everything mutable; `calibrator` is
+  // immutable and shared by pointer (the caller guarantees lifetime).
+  auto task = [array_idx, options, gen, cal = &calibrator,
+               measurements = std::move(measurements),
+               incumbent = std::move(incumbent)]() -> RecalibrationOutcome {
+    RecalibrationOutcome out;
+    out.array_idx = array_idx;
+    try {
+      const core::CalibrationProbe probe = cal->make_probe(measurements);
+      out.incumbent_residual = cal->residual(probe, incumbent);
+      // Fresh deterministic stream per (seed, array, generation): a
+      // second attempt on the same array explores a different GA
+      // population instead of re-finding the same basin.
+      rf::Rng rng(options.seed + array_idx * 1000003ULL + gen * 7919ULL);
+      core::CalibrationResult result = cal->calibrate(measurements, rng);
+      out.candidate_residual = cal->residual(probe, result.offsets);
+      out.evaluations = result.evaluations;
+      out.accepted = out.candidate_residual <
+                     options.acceptance_margin * out.incumbent_residual;
+      if (out.accepted) out.offsets = std::move(result.offsets);
+    } catch (const std::exception&) {
+      // Anchors too corrupted to even form a probe (all-fault epochs):
+      // treat exactly like a worse candidate — keep the incumbent.
+      out.accepted = false;
+    }
+    return out;
+  };
+
+  if (obs::enabled()) {
+    obs::MetricsRegistry::global()
+        .counter("dwatch_recovery_recalibrations_total")
+        .inc();
+    obs::EventLog::global().emit(obs::Event("recovery.recalibration_launched")
+                                     .field("array", array_idx)
+                                     .field("generation", gen)
+                                     .field("background", pool_ != nullptr));
+  }
+
+  if (pool_) {
+    auto promise = std::make_shared<std::promise<RecalibrationOutcome>>();
+    future_ = promise->get_future();
+    (void)pool_->submit([task = std::move(task), promise]() mutable {
+      try {
+        promise->set_value(task());
+      } catch (...) {
+        promise->set_exception(std::current_exception());
+      }
+    });
+  } else {
+    // Synchronous mode: run on this thread, park the result in the
+    // future so poll()/wait() behave identically to background mode.
+    std::promise<RecalibrationOutcome> promise;
+    future_ = promise.get_future();
+    promise.set_value(task());
+  }
+  return true;
+}
+
+std::optional<RecalibrationOutcome> RecalibrationManager::poll() {
+  if (!future_.valid()) return std::nullopt;
+  if (future_.wait_for(std::chrono::seconds(0)) !=
+      std::future_status::ready) {
+    return std::nullopt;
+  }
+  RecalibrationOutcome out = future_.get();
+  if (obs::enabled()) {
+    obs::EventLog::global().emit(
+        obs::Event(out.accepted ? "recovery.recalibration_accepted"
+                                : "recovery.recalibration_rolled_back")
+            .field("array", out.array_idx)
+            .field("incumbent_residual", out.incumbent_residual)
+            .field("candidate_residual", out.candidate_residual)
+            .field("evaluations", out.evaluations));
+    if (!out.accepted) {
+      obs::MetricsRegistry::global()
+          .counter("dwatch_recovery_recalibrations_rolled_back_total")
+          .inc();
+    }
+  }
+  return out;
+}
+
+std::optional<RecalibrationOutcome> RecalibrationManager::wait() {
+  if (!future_.valid()) return std::nullopt;
+  future_.wait();
+  return poll();
+}
+
+}  // namespace dwatch::recovery

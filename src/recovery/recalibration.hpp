@@ -1,0 +1,90 @@
+// Background recalibration: re-run the Section 4.1 hybrid GA+GD solve
+// off the fix path and hot-swap the result only when it beats the
+// incumbent.
+//
+// When the drift watchdog flags an array, the localization loop must
+// not stall for a multi-second optimizer run. RecalibrationManager
+// launches the solve on a worker (core::ThreadPool) against a COPY of
+// the anchor measurements; the fix path keeps using the incumbent Γ̂
+// until poll() observes the finished task and performs the swap on the
+// caller's thread — the pipeline itself is never touched concurrently.
+//
+// Acceptance is residual-based: the candidate offsets must score a
+// strictly better Eq. 11 residual than the incumbent on the SAME probe
+// (same anchor measurements). A solve that converged to a worse basin,
+// or ran against anchors corrupted by transport faults, is rolled back
+// and the incumbent stays — a bad recalibration must never make the
+// system worse than the drift it was meant to fix.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/calibration.hpp"
+#include "core/thread_pool.hpp"
+#include "rf/noise.hpp"
+
+namespace dwatch::recovery {
+
+struct RecalibrationOptions {
+  /// Accept the candidate only when
+  /// candidate_residual < acceptance_margin * incumbent_residual.
+  /// 1.0 = strictly better; < 1.0 demands a margin.
+  double acceptance_margin = 1.0;
+  /// Seed for the solver RNG. Each launch derives a fresh deterministic
+  /// stream from (seed, array, generation), so repeated recalibrations
+  /// of the same array explore different GA populations.
+  std::uint64_t seed = 0x5245'4341ULL;  // "RECA"
+};
+
+/// What one finished recalibration decided.
+struct RecalibrationOutcome {
+  std::size_t array_idx = 0;
+  bool accepted = false;
+  std::vector<double> offsets;  ///< candidate (valid when accepted)
+  double incumbent_residual = 0.0;
+  double candidate_residual = 0.0;
+  std::size_t evaluations = 0;
+};
+
+class RecalibrationManager {
+ public:
+  /// `pool` may be null: launches then run synchronously inside
+  /// launch() and poll() returns the outcome immediately after —
+  /// the mode deterministic tests use.
+  RecalibrationManager(std::shared_ptr<core::ThreadPool> pool,
+                       RecalibrationOptions options = {});
+
+  /// Start a recalibration for one array. `calibrator` must outlive the
+  /// task; `measurements` and `incumbent` are copied into it. Returns
+  /// false (and does nothing) when a task is already in flight —
+  /// recalibrations are serialized, the watchdog will still be tripped
+  /// next epoch.
+  bool launch(std::size_t array_idx,
+              const core::WirelessCalibrator& calibrator,
+              std::vector<core::CalibrationMeasurement> measurements,
+              std::vector<double> incumbent);
+
+  /// A launch is in flight and not yet collected.
+  [[nodiscard]] bool busy() const noexcept { return future_.valid(); }
+
+  /// Non-blocking collect: the finished outcome, or nullopt while the
+  /// solve is still running (or nothing was launched). The caller
+  /// performs the actual swap/rollback — on ITS thread.
+  [[nodiscard]] std::optional<RecalibrationOutcome> poll();
+
+  /// Blocking collect (tests, shutdown).
+  [[nodiscard]] std::optional<RecalibrationOutcome> wait();
+
+ private:
+  std::shared_ptr<core::ThreadPool> pool_;
+  RecalibrationOptions options_;
+  std::future<RecalibrationOutcome> future_;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace dwatch::recovery

@@ -1,0 +1,155 @@
+#include "recovery/self_healing.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/event_log.hpp"
+#include "obs/metrics.hpp"
+
+namespace dwatch::recovery {
+
+RecoveryCoordinator::RecoveryCoordinator(
+    core::DWatchPipeline& pipeline,
+    std::vector<core::WirelessCalibrator> calibrators, CheckpointStore store,
+    RecoveryOptions options)
+    : pipeline_(pipeline),
+      calibrators_(std::move(calibrators)),
+      store_(std::move(store)),
+      options_(options),
+      watchdog_(pipeline.num_arrays(), options.watchdog),
+      recalibration_(options.background ? pipeline.thread_pool() : nullptr,
+                     options.recalibration),
+      cooldown_until_(pipeline.num_arrays(), 0) {
+  if (calibrators_.size() != pipeline_.num_arrays()) {
+    throw std::invalid_argument(
+        "RecoveryCoordinator: one calibrator per array required");
+  }
+}
+
+Snapshot RecoveryCoordinator::build_snapshot(std::uint64_t epoch) const {
+  Snapshot snap;
+  snap.pipeline = pipeline_.export_state();
+  if (kalman_ != nullptr) snap.kalman = kalman_->state();
+  if (alpha_beta_ != nullptr) snap.alpha_beta = alpha_beta_->state();
+  if (assembler_ != nullptr) {
+    snap.quarantine = assembler_->quarantine_fingerprints();
+  }
+  snap.stats = stats_;
+  snap.epoch = epoch;
+  return snap;
+}
+
+void RecoveryCoordinator::apply_outcome(const RecalibrationOutcome& outcome,
+                                        std::uint64_t epoch,
+                                        std::vector<std::size_t>& invalidated) {
+  if (outcome.accepted) {
+    // Atomic from the fix path's perspective: both mutations happen
+    // here on the caller's thread, between epochs.
+    pipeline_.set_calibration(outcome.array_idx, outcome.offsets);
+    pipeline_.clear_baselines(outcome.array_idx);
+    ++stats_.recalibrations_accepted;
+    ++stats_.baselines_invalidated;
+    invalidated.push_back(outcome.array_idx);
+  } else {
+    ++stats_.recalibrations_rolled_back;
+    cooldown_until_[outcome.array_idx] =
+        epoch + options_.recalibration_cooldown;
+  }
+  // Either way the residual landscape changed (new Γ̂, or the drift is
+  // still in place and the detection already fired): re-learn.
+  watchdog_.reset(outcome.array_idx);
+}
+
+std::vector<std::size_t> RecoveryCoordinator::end_epoch(
+    std::uint64_t epoch,
+    std::span<const std::vector<core::CalibrationMeasurement>>
+        anchors_per_array,
+    const CheckpointStore::CrashFilter& crash) {
+  std::vector<std::size_t> invalidated;
+
+  // 1. Score the installed calibration on this epoch's anchors.
+  bool any_drifting = false;
+  const std::size_t n =
+      std::min(anchors_per_array.size(), pipeline_.num_arrays());
+  for (std::size_t a = 0; a < n; ++a) {
+    const auto& anchors = anchors_per_array[a];
+    const auto& incumbent = pipeline_.calibration(a);
+    if (anchors.empty() || !incumbent.has_value()) continue;
+    double score = 0.0;
+    try {
+      const core::CalibrationProbe probe =
+          calibrators_[a].make_probe(anchors);
+      score = calibrators_[a].residual(probe, *incumbent);
+    } catch (const std::exception&) {
+      continue;  // anchors too corrupted this epoch: no probe
+    }
+    if (obs::enabled()) {
+      obs::MetricsRegistry::global()
+          .gauge("dwatch_recovery_drift_residual")
+          .set(score);
+    }
+    const DriftState state = watchdog_.observe(a, score);
+    if (state != DriftState::kDrifting) continue;
+    any_drifting = true;
+    if (recalibration_.busy() || epoch < cooldown_until_[a]) continue;
+    ++stats_.recalibrations_triggered;
+    (void)recalibration_.launch(a, calibrators_[a], anchors, *incumbent);
+  }
+  if (any_drifting) ++stats_.drift_epochs;
+
+  // 2. Collect a finished recalibration (if any) and swap/rollback on
+  // this thread — the fix path never sees a half-installed Γ̂.
+  if (const auto outcome = recalibration_.poll()) {
+    apply_outcome(*outcome, epoch, invalidated);
+  }
+
+  // 3. Checkpoint cadence — after the swap, so the snapshot carries the
+  // calibration the next epoch will actually run with.
+  if (options_.checkpoint_every > 0 &&
+      (epoch + 1) % options_.checkpoint_every == 0) {
+    bool crashed = false;
+    CheckpointStore::CrashFilter filter;
+    if (crash) {
+      filter = [&crash, &crashed](std::size_t bytes) {
+        const auto cut = crash(bytes);
+        crashed = cut.has_value();
+        return cut;
+      };
+    }
+    if (store_.write(build_snapshot(epoch), filter)) {
+      ++stats_.checkpoints_written;
+      last_checkpoint_epoch_ = epoch;
+    } else if (crashed) {
+      ++stats_.checkpoint_crashes;
+    }
+  }
+  return invalidated;
+}
+
+RestoreError RecoveryCoordinator::restore() {
+  Snapshot snap;
+  const RestoreError err = store_.load(snap);
+  if (err != RestoreError::kNone) return err;
+  pipeline_.restore(snap.pipeline);
+  if (kalman_ != nullptr && snap.kalman.has_value()) {
+    kalman_->restore(*snap.kalman);
+  }
+  if (alpha_beta_ != nullptr && snap.alpha_beta.has_value()) {
+    alpha_beta_->restore(*snap.alpha_beta);
+  }
+  if (assembler_ != nullptr) assembler_->restore_quarantine(snap.quarantine);
+  stats_ = snap.stats;
+  ++stats_.restores;
+  last_checkpoint_epoch_ = snap.epoch;
+  return RestoreError::kNone;
+}
+
+void RecoveryCoordinator::drain() {
+  if (const auto outcome = recalibration_.wait()) {
+    std::vector<std::size_t> invalidated;
+    apply_outcome(*outcome, last_checkpoint_epoch_, invalidated);
+  }
+}
+
+}  // namespace dwatch::recovery

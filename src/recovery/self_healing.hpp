@@ -1,0 +1,135 @@
+// RecoveryCoordinator: the self-healing control loop over a
+// DWatchPipeline.
+//
+// Once per epoch (after the fix), the caller hands the coordinator the
+// epoch index plus this epoch's anchor-tag measurements per array, and
+// the coordinator:
+//
+//  1. scores each array's installed Γ̂ against the anchors (Eq. 11
+//     residual) and feeds the drift watchdog;
+//  2. on sustained drift, launches a background recalibration (on the
+//     pipeline's worker pool when available) — the fix path keeps the
+//     incumbent Γ̂ while the GA+GD solve runs;
+//  3. collects finished recalibrations on the CALLER's thread: an
+//     accepted candidate is atomically hot-swapped into the pipeline
+//     and the array's reference spectra are invalidated (they were
+//     captured under the superseded Γ̂); a worse candidate rolls back
+//     and starts a cooldown;
+//  4. writes a crash-safe checkpoint on its epoch cadence — AFTER any
+//     swap, so the snapshot always carries the live calibration.
+//
+// The return value lists arrays whose baselines were invalidated; the
+// caller re-captures reference spectra for them (the one step only the
+// deployment can do, since it needs empty-scene traffic).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/calibration.hpp"
+#include "core/kalman.hpp"
+#include "core/pipeline.hpp"
+#include "core/tracker.hpp"
+#include "recovery/checkpoint.hpp"
+#include "recovery/drift_watchdog.hpp"
+#include "recovery/recalibration.hpp"
+#include "rfid/report_stream.hpp"
+
+namespace dwatch::recovery {
+
+struct RecoveryOptions {
+  DriftWatchdogOptions watchdog;
+  RecalibrationOptions recalibration;
+  /// Write a checkpoint every N completed epochs (0 disables).
+  std::size_t checkpoint_every = 1;
+  /// Epochs to wait after a rolled-back recalibration before the same
+  /// array may trigger again (the anchors were probably corrupted; give
+  /// the transport time to recover).
+  std::size_t recalibration_cooldown = 2;
+  /// Run recalibrations on the pipeline's worker pool when it has one.
+  /// false = solve synchronously inside end_epoch() — slower epochs but
+  /// fully deterministic swap timing (what the tests use).
+  bool background = true;
+};
+
+class RecoveryCoordinator {
+ public:
+  /// `calibrators` must match the pipeline's arrays one-to-one (same
+  /// geometry used to build each array's steering vectors); throws
+  /// std::invalid_argument on a count mismatch. The pipeline reference
+  /// must outlive the coordinator.
+  RecoveryCoordinator(core::DWatchPipeline& pipeline,
+                      std::vector<core::WirelessCalibrator> calibrators,
+                      CheckpointStore store, RecoveryOptions options = {});
+
+  /// Optional state joined into checkpoints (non-owning; nullptr
+  /// detaches). Attach before the first end_epoch()/restore().
+  void attach_kalman(core::KalmanTracker* tracker) noexcept {
+    kalman_ = tracker;
+  }
+  void attach_tracker(core::AlphaBetaTracker* tracker) noexcept {
+    alpha_beta_ = tracker;
+  }
+  void attach_assembler(rfid::SnapshotAssembler* assembler) noexcept {
+    assembler_ = assembler;
+  }
+
+  /// The per-epoch healing pass (call after the epoch's fix).
+  /// `anchors_per_array[a]` holds this epoch's measurements of array
+  /// a's known-LoS anchor tags (empty = no probe this epoch, the
+  /// watchdog simply skips the array). `crash` is forwarded to the
+  /// checkpoint write (fault injection). Returns the arrays whose
+  /// reference spectra were invalidated by a calibration swap.
+  std::vector<std::size_t> end_epoch(
+      std::uint64_t epoch,
+      std::span<const std::vector<core::CalibrationMeasurement>>
+          anchors_per_array,
+      const CheckpointStore::CrashFilter& crash = nullptr);
+
+  /// Load the last committed snapshot and reinstall it into the
+  /// pipeline and every attached component. On any RestoreError the
+  /// pipeline is untouched (cold start). The watchdog always restarts
+  /// from scratch — it re-learns its healthy levels in a few epochs,
+  /// which is cheaper than risking a poisoned reference.
+  [[nodiscard]] RestoreError restore();
+
+  /// The epoch recorded in the last written/restored snapshot.
+  [[nodiscard]] std::uint64_t last_checkpoint_epoch() const noexcept {
+    return last_checkpoint_epoch_;
+  }
+
+  [[nodiscard]] const RecoveryStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const DriftWatchdog& watchdog() const noexcept {
+    return watchdog_;
+  }
+  [[nodiscard]] const CheckpointStore& store() const noexcept {
+    return store_;
+  }
+  /// Block until any in-flight recalibration lands (applies the
+  /// swap/rollback exactly as end_epoch() would). For shutdown/tests.
+  void drain();
+
+ private:
+  [[nodiscard]] Snapshot build_snapshot(std::uint64_t epoch) const;
+  void apply_outcome(const RecalibrationOutcome& outcome,
+                     std::uint64_t epoch,
+                     std::vector<std::size_t>& invalidated);
+
+  core::DWatchPipeline& pipeline_;
+  std::vector<core::WirelessCalibrator> calibrators_;
+  CheckpointStore store_;
+  RecoveryOptions options_;
+  DriftWatchdog watchdog_;
+  RecalibrationManager recalibration_;
+  RecoveryStats stats_;
+  core::KalmanTracker* kalman_ = nullptr;
+  core::AlphaBetaTracker* alpha_beta_ = nullptr;
+  rfid::SnapshotAssembler* assembler_ = nullptr;
+  /// Per-array: no new trigger before this epoch (rollback cooldown).
+  std::vector<std::uint64_t> cooldown_until_;
+  std::uint64_t last_checkpoint_epoch_ = 0;
+};
+
+}  // namespace dwatch::recovery

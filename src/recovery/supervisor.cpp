@@ -1,0 +1,134 @@
+#include "recovery/supervisor.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "obs/event_log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+
+namespace dwatch::recovery {
+
+std::map<std::string, std::uint64_t> default_stage_budgets() {
+  // Envelope numbers per stage (µs): generous multiples of the bench
+  // p99s in DESIGN.md's stage taxonomy, so only a genuinely sick stage
+  // trips.
+  return {
+      {"llrp.decode_report", 2'000},
+      {"report_stream.ingest", 2'000},
+      {"pmusic.power", 5'000},
+      {"pmusic.spectrum", 10'000},
+      {"music.spectrum", 10'000},
+      {"change.detect", 2'000},
+      {"pipeline.observe", 20'000},
+      {"pipeline.observe_batch", 100'000},
+      {"localize.grid", 50'000},
+      {"localize.hill_climb", 10'000},
+      {"localize.fix", 60'000},
+      {"calibration.solve", 5'000'000},
+  };
+}
+
+EpochSupervisor::EpochSupervisor(
+    std::map<std::string, std::uint64_t> budgets, Clock clock)
+    : budgets_(std::move(budgets)), clock_(std::move(clock)) {
+  if (!clock_) clock_ = [] { return obs::now_us(); };
+}
+
+EpochSupervisor::~EpochSupervisor() { reap(); }
+
+void EpochSupervisor::reap() {
+  if (worker_.joinable()) worker_.join();
+}
+
+void EpochSupervisor::begin_epoch(std::uint64_t epoch) {
+  epoch_ = epoch;
+  aborted_ = false;
+  current_stage_.clear();
+  ++stats_.epochs_supervised;
+}
+
+void EpochSupervisor::begin_stage(std::string_view stage) {
+  current_stage_.assign(stage);
+  stage_start_us_ = clock_();
+}
+
+bool EpochSupervisor::end_stage(std::string_view stage) {
+  const std::uint64_t elapsed = clock_() - stage_start_us_;
+  current_stage_.clear();
+  const auto it = budgets_.find(std::string(stage));
+  if (it != budgets_.end() && elapsed > it->second) {
+    note_overrun(stage, elapsed, it->second);
+  }
+  return !aborted_;
+}
+
+bool EpochSupervisor::run_guarded(std::string_view stage,
+                                  std::uint64_t budget_us,
+                                  const std::function<void()>& body) {
+  // A zombie from a previous timed-out stage must finish before we
+  // spend another thread (bounds resource use to one straggler).
+  reap();
+
+  struct GuardState {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+  };
+  auto state = std::make_shared<GuardState>();
+  worker_ = std::thread([body, state] {
+    body();
+    {
+      const std::lock_guard<std::mutex> lock(state->m);
+      state->done = true;
+    }
+    state->cv.notify_all();
+  });
+
+  std::unique_lock<std::mutex> lock(state->m);
+  const bool finished =
+      state->cv.wait_for(lock, std::chrono::microseconds(budget_us),
+                         [&state] { return state->done; });
+  lock.unlock();
+  if (finished) {
+    worker_.join();
+    return true;
+  }
+  // The stage is hung (or just overlong): abandon the epoch now, let
+  // the thread run to completion in the background and join it later.
+  note_overrun(stage, budget_us, budget_us);
+  return false;
+}
+
+void EpochSupervisor::note_overrun(std::string_view stage,
+                                   std::uint64_t elapsed_us,
+                                   std::uint64_t budget_us) {
+  ++stats_.stage_overruns;
+  if (obs::enabled()) {
+    obs::MetricsRegistry::global()
+        .counter("dwatch_recovery_stage_overruns_total")
+        .inc();
+    obs::EventLog::global().emit(obs::Event("recovery.stage_overrun")
+                                     .field("stage", stage)
+                                     .field("epoch", epoch_)
+                                     .field("elapsed_us", elapsed_us)
+                                     .field("budget_us", budget_us));
+  }
+  if (!aborted_) {
+    aborted_ = true;
+    ++stats_.epochs_aborted;
+    if (obs::enabled()) {
+      obs::MetricsRegistry::global()
+          .counter("dwatch_recovery_epochs_aborted_total")
+          .inc();
+      obs::EventLog::global().emit(obs::Event("recovery.epoch_aborted")
+                                       .field("epoch", epoch_)
+                                       .field("stage", stage));
+    }
+  }
+}
+
+}  // namespace dwatch::recovery

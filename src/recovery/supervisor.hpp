@@ -1,0 +1,102 @@
+// Epoch supervisor: per-stage deadline watchdog for the fix pipeline.
+//
+// A hung decode loop or a pathological optimizer run must cost ONE
+// epoch, not the deployment: fixes arrive every ~100 ms, so an epoch
+// that blows its time budget is worth less than the next epoch it is
+// delaying. The supervisor tracks each pipeline stage (the DESIGN.md
+// span taxonomy) against a time budget and declares the epoch aborted
+// on the first overrun; the driver loop then skips to the next epoch
+// with the pipeline state untouched.
+//
+// Two enforcement modes:
+//  * cooperative — begin_stage()/end_stage() bracket stages on the
+//    caller's thread and the overrun is detected at end_stage(). Cheap,
+//    deterministic, catches "overlong"; cannot catch "hung".
+//  * preemptive — run_guarded() executes a stage on a worker thread and
+//    gives up waiting at the deadline. Catches "hung": the epoch is
+//    abandoned while the stage still runs; the zombie is joined later
+//    (next guarded call or destructor) so no detached thread outlives
+//    the supervisor.
+//
+// The clock is injectable so tests drive deadlines deterministically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <thread>
+
+namespace dwatch::recovery {
+
+/// Per-stage time budgets [µs], keyed by span name. Derived from the
+/// DESIGN.md stage taxonomy's envelope numbers (generous multiples of
+/// the bench p99s, so a healthy run never trips).
+[[nodiscard]] std::map<std::string, std::uint64_t> default_stage_budgets();
+
+struct SupervisorStats {
+  std::size_t epochs_supervised = 0;
+  std::size_t stage_overruns = 0;
+  std::size_t epochs_aborted = 0;
+
+  bool operator==(const SupervisorStats&) const = default;
+};
+
+class EpochSupervisor {
+ public:
+  /// Microsecond monotonic clock; injectable for tests.
+  using Clock = std::function<std::uint64_t()>;
+
+  explicit EpochSupervisor(
+      std::map<std::string, std::uint64_t> budgets = default_stage_budgets(),
+      Clock clock = nullptr);
+  ~EpochSupervisor();
+
+  EpochSupervisor(const EpochSupervisor&) = delete;
+  EpochSupervisor& operator=(const EpochSupervisor&) = delete;
+
+  /// Arm supervision for a new epoch (clears the aborted flag).
+  void begin_epoch(std::uint64_t epoch);
+
+  /// Cooperative bracketing. end_stage() checks the elapsed time
+  /// against the stage's budget (stages without a budget entry are
+  /// unconstrained) and returns false — flagging the epoch aborted —
+  /// on overrun.
+  void begin_stage(std::string_view stage);
+  bool end_stage(std::string_view stage);
+
+  /// Preemptive guard: run `body` on a worker thread, wait at most
+  /// `budget_us`. On timeout the epoch is flagged aborted and false is
+  /// returned immediately; the still-running body is joined on the next
+  /// run_guarded()/destructor (it must be side-effect-free on pipeline
+  /// state or idempotent — observe() on a discarded epoch qualifies).
+  bool run_guarded(std::string_view stage, std::uint64_t budget_us,
+                   const std::function<void()>& body);
+
+  /// The current epoch blew a deadline; skip its fix.
+  [[nodiscard]] bool aborted() const noexcept { return aborted_; }
+  [[nodiscard]] const SupervisorStats& stats() const noexcept {
+    return stats_;
+  }
+  /// A previously guarded stage is still running (zombie not yet
+  /// joined).
+  [[nodiscard]] bool pending() const noexcept { return worker_.joinable(); }
+
+ private:
+  void note_overrun(std::string_view stage, std::uint64_t elapsed_us,
+                    std::uint64_t budget_us);
+  void reap();
+
+  std::map<std::string, std::uint64_t> budgets_;
+  Clock clock_;
+  SupervisorStats stats_;
+  std::uint64_t epoch_ = 0;
+  bool aborted_ = false;
+  std::string current_stage_;
+  std::uint64_t stage_start_us_ = 0;
+  std::thread worker_;
+};
+
+}  // namespace dwatch::recovery

@@ -148,4 +148,42 @@ std::vector<TagSnapshots> SnapshotAssembler::take_all_ready() {
 
 void SnapshotAssembler::clear() { tags_.clear(); }
 
+void SnapshotAssembler::on_reader_reset() {
+  // Everything per-tag is keyed to the dead connection: the dedupe
+  // fingerprints reference timestamps/rounds the rebooted reader will
+  // reuse, and the partial rounds would merge with unrelated same-
+  // numbered rounds from the new session. Lifetime stats survive.
+  tags_.clear();
+  if (dwatch::obs::enabled()) {
+    dwatch::obs::MetricsRegistry::global()
+        .counter("dwatch_reports_quarantine_resets_total")
+        .inc();
+    dwatch::obs::EventLog::global().emit(
+        dwatch::obs::Event("report_stream.quarantine_reset"));
+  }
+}
+
+std::vector<QuarantineEntry> SnapshotAssembler::quarantine_fingerprints()
+    const {
+  std::vector<QuarantineEntry> out;
+  for (const auto& [epc, tag] : tags_) {
+    if (tag.seen_reports.empty()) continue;
+    QuarantineEntry entry;
+    entry.epc = epc;
+    entry.fingerprints.assign(tag.seen_reports.begin(),
+                              tag.seen_reports.end());
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+void SnapshotAssembler::restore_quarantine(
+    std::span<const QuarantineEntry> entries) {
+  for (auto& [epc, tag] : tags_) tag.seen_reports.clear();
+  for (const QuarantineEntry& entry : entries) {
+    tags_[entry.epc].seen_reports.insert(entry.fingerprints.begin(),
+                                         entry.fingerprints.end());
+  }
+}
+
 }  // namespace dwatch::rfid

@@ -13,6 +13,7 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <span>
 #include <vector>
 
 #include "linalg/complex_matrix.hpp"
@@ -44,6 +45,14 @@ struct AssemblerStats {
   std::size_t samples_quarantined = 0;
 
   bool operator==(const AssemblerStats&) const = default;
+};
+
+/// One tag's dedupe-quarantine fingerprints, exported for
+/// checkpoint/restore so a restarted server still recognizes reader
+/// retransmissions of reports it ingested before the crash.
+struct QuarantineEntry {
+  Epc96 epc;
+  std::vector<std::uint64_t> fingerprints;  ///< sorted (set order)
 };
 
 /// Groups observations per EPC and builds snapshot matrices.
@@ -79,6 +88,22 @@ class SnapshotAssembler {
 
   /// Forget everything buffered for all tags.
   void clear();
+
+  /// Reconnect-after-reboot fix: a rebooted reader restarts its round
+  /// and timestamp counters and legitimately replays sequence numbers,
+  /// so the dedupe fingerprints of the PREVIOUS connection would
+  /// mass-quarantine its fresh reports as duplicates. Called from the
+  /// reconnect path (RobustSessionClient, alongside
+  /// ReaderSession::reset()): drops the quarantine watermark AND the
+  /// buffered partial rounds (their round numbers are about to be
+  /// reused), keeping the lifetime stats.
+  void on_reader_reset();
+
+  /// Export/reinstall the dedupe quarantine (checkpoint/restore). The
+  /// restore replaces all fingerprints but leaves buffered rounds
+  /// untouched.
+  [[nodiscard]] std::vector<QuarantineEntry> quarantine_fingerprints() const;
+  void restore_quarantine(std::span<const QuarantineEntry> entries);
 
   [[nodiscard]] std::size_t num_elements() const noexcept {
     return num_elements_;

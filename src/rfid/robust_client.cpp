@@ -148,6 +148,10 @@ bool RobustSessionClient::connect(const RoSpec& rospec) {
                                        .field("max", policy_.max_reconnects));
     }
     reconnect_();
+    // The new connection's reader restarts its sequence counters; the
+    // old connection's dedupe quarantine would mass-reject its replayed
+    // reports as duplicates (see SnapshotAssembler::on_reader_reset).
+    if (assembler_ != nullptr) assembler_->on_reader_reset();
     if (try_handshake(rospec)) return true;
   }
   return false;

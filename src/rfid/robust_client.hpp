@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "rfid/llrp_session.hpp"
+#include "rfid/report_stream.hpp"
 
 namespace dwatch::rfid {
 
@@ -73,6 +74,15 @@ class RobustSessionClient {
   RobustSessionClient(Transport transport, RetryPolicy policy = {},
                       ReconnectHook reconnect = nullptr);
 
+  /// Bind the data-plane assembler whose dedupe quarantine must be
+  /// dropped on every reconnect cycle: a rebooted reader legitimately
+  /// replays sequence numbers, and stale fingerprints from the previous
+  /// connection would mass-quarantine its fresh reports. The pointer is
+  /// not owned and must outlive the client (nullptr detaches).
+  void attach_assembler(SnapshotAssembler* assembler) noexcept {
+    assembler_ = assembler;
+  }
+
   /// One control request with retry + exponential backoff. Returns the
   /// decoded response, or nullopt when every attempt timed out or
   /// returned undecodable bytes.
@@ -107,6 +117,7 @@ class RobustSessionClient {
   Transport transport_;
   RetryPolicy policy_;
   ReconnectHook reconnect_;
+  SnapshotAssembler* assembler_ = nullptr;
   TransportStats stats_;
   std::uint32_t next_message_id_ = 1;
 };

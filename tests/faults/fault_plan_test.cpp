@@ -15,10 +15,16 @@ FaultSite site(std::uint64_t epoch, std::uint64_t array = 0,
   return FaultSite{epoch, array, tag, extra};
 }
 
-TEST(FaultRates, UniformSetsEveryKind) {
+TEST(FaultRates, UniformSetsEveryTransportKind) {
   const FaultRates r = FaultRates::uniform(0.25);
-  for (std::size_t k = 0; k < kNumFaultKinds; ++k) {
+  for (std::size_t k = 0; k < kNumTransportFaultKinds; ++k) {
     EXPECT_DOUBLE_EQ(r.rate(static_cast<FaultKind>(k)), 0.25);
+  }
+  // State faults are deliberately NOT swept by uniform():
+  // slow_phase_drift is a rad/epoch rate, not a probability, so
+  // including it would change its meaning mid-sweep. They default to 0.
+  for (std::size_t k = kNumTransportFaultKinds; k < kNumFaultKinds; ++k) {
+    EXPECT_DOUBLE_EQ(r.rate(static_cast<FaultKind>(k)), 0.0);
   }
 }
 

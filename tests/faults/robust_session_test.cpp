@@ -180,5 +180,41 @@ TEST(RobustSession, FaultPlanDrivenLinkIsDeterministic) {
   EXPECT_EQ(stats_a, stats_b);
 }
 
+TEST(RobustSession, ReconnectClearsAssemblerQuarantine) {
+  // Regression for the reboot-replay starvation: a reader that reboots
+  // restarts its sequence numbers, so after the control plane
+  // reconnects, byte-identical reports are legitimate fresh traffic.
+  // The reconnect path must clear the bound assembler's dedupe
+  // quarantine (alongside ReaderSession::reset()), or every replayed
+  // report is silently rejected as a duplicate.
+  SnapshotAssembler assembler(2, 2);
+  TagObservation obs;
+  obs.epc = Epc96::for_tag_index(1);
+  obs.first_seen_us = 42;
+  for (std::uint32_t r = 0; r < 2; ++r) {
+    for (std::uint16_t e = 1; e <= 2; ++e) {
+      obs.samples.push_back(
+          PhaseSample{e, r, static_cast<std::uint16_t>(e + r), -3000});
+    }
+  }
+  ASSERT_TRUE(assembler.ingest(obs));
+  ASSERT_FALSE(assembler.ingest(obs));  // pre-reboot retransmission
+
+  // Lost ADD_ROSPEC response => desync => the client heals with one
+  // full reconnect cycle (the same scenario a reader reboot produces).
+  ReaderSession session;
+  RobustSessionClient client(lossy_transport(session, [](std::size_t i) {
+    return i == 1 ? Loss::kResponseLost : Loss::kNone;
+  }), RetryPolicy{}, [&session] { session.reset(); });
+  client.attach_assembler(&assembler);
+  EXPECT_TRUE(client.connect(default_rospec()));
+  ASSERT_EQ(client.stats().reconnects, 1u);
+
+  // The rebooted reader replays the same bytes: accepted now.
+  EXPECT_TRUE(assembler.ingest(obs));
+  EXPECT_EQ(assembler.stats().reports_accepted, 2u);
+  EXPECT_EQ(assembler.stats().duplicate_reports_quarantined, 1u);
+}
+
 }  // namespace
 }  // namespace dwatch::rfid

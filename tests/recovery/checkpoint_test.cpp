@@ -1,0 +1,334 @@
+// Checkpoint codec + store tests: round-trip fidelity, atomicity under
+// mid-write crashes, fuzz-style rejection of truncated and bit-flipped
+// images, and binary format stability against a checked-in golden.
+//
+// Regenerating the golden after an INTENDED format change (bump
+// kCheckpointVersion first!):
+//   DWATCH_REGEN_GOLDEN=1 ./recovery_tests --gtest_filter='*Golden*'
+// then commit tests/recovery/golden/checkpoint_v1.bin.
+#include "recovery/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace dwatch::recovery {
+namespace {
+
+/// A representative snapshot exercising every optional branch: two
+/// arrays (one uncalibrated, one excluded), baselines, both trackers,
+/// quarantine entries, non-zero stats. Pure literals — reproducible
+/// bit-for-bit on every platform, which the golden test depends on.
+Snapshot make_snapshot() {
+  Snapshot snap;
+  snap.epoch = 41;
+
+  core::PipelineState& p = snap.pipeline;
+  p.watermark_us = 123456789;
+  p.calibration = {std::vector<double>{0.0, 0.25, -1.5, 3.0}, std::nullopt};
+  p.baselines.resize(2);
+  p.baselines[0].insert_or_assign(
+      rfid::Epc96::for_tag_index(7),
+      core::AngularSpectrum(std::vector<double>{0.1, 0.9, 0.4, 0.2, 0.05}));
+  p.baselines[0].insert_or_assign(
+      rfid::Epc96::for_tag_index(9),
+      core::AngularSpectrum(std::vector<double>{1.0, 0.5, 0.25}));
+  p.baselines[1].insert_or_assign(
+      rfid::Epc96::for_tag_index(3),
+      core::AngularSpectrum(std::vector<double>{0.0, -2.5, 7.75}));
+  p.excluded = {0, 1};
+  p.stats.baselines = 3;
+  p.stats.epochs = 42;
+  p.stats.observations = 840;
+  p.stats.observations_skipped = 4;
+  p.stats.drops_detected = 77;
+  p.stats.stale_observations = 2;
+  p.stats.low_snapshot_observations = 5;
+  p.stats.malformed_observations = 1;
+  p.stats.reports_dropped = 11;
+  p.stats.transport_retries = 9;
+  p.stats.transport_timeouts = 3;
+
+  core::KalmanState k;
+  k.x = {1.5, -0.25, 0.04, 0.01, 0.09};
+  k.y = {3.75, 0.5, 0.05, -0.02, 0.08};
+  k.initialized = true;
+  k.misses = 2;
+  snap.kalman = k;
+
+  core::AlphaBetaState ab;
+  ab.position = {2.5, 3.5};
+  ab.velocity = {-0.125, 0.0625};
+  ab.initialized = true;
+  ab.misses = 1;
+  snap.alpha_beta = ab;
+
+  snap.quarantine = {
+      {rfid::Epc96::for_tag_index(7), {0x1111222233334444ULL, 0xAAAAULL}},
+      {rfid::Epc96::for_tag_index(9), {0xDEADBEEFCAFEF00DULL}},
+  };
+
+  snap.stats.checkpoints_written = 40;
+  snap.stats.checkpoint_crashes = 2;
+  snap.stats.restores = 1;
+  snap.stats.recalibrations_triggered = 3;
+  snap.stats.recalibrations_accepted = 2;
+  snap.stats.recalibrations_rolled_back = 1;
+  snap.stats.baselines_invalidated = 2;
+  snap.stats.drift_epochs = 6;
+  snap.stats.epochs_aborted = 1;
+  return snap;
+}
+
+void expect_equal(const Snapshot& a, const Snapshot& b) {
+  EXPECT_EQ(a.epoch, b.epoch);
+  EXPECT_EQ(a.stats, b.stats);
+  EXPECT_EQ(a.pipeline.watermark_us, b.pipeline.watermark_us);
+  EXPECT_EQ(a.pipeline.stats, b.pipeline.stats);
+  EXPECT_EQ(a.pipeline.calibration, b.pipeline.calibration);
+  EXPECT_EQ(a.pipeline.excluded, b.pipeline.excluded);
+  ASSERT_EQ(a.pipeline.baselines.size(), b.pipeline.baselines.size());
+  for (std::size_t i = 0; i < a.pipeline.baselines.size(); ++i) {
+    const auto& ma = a.pipeline.baselines[i];
+    const auto& mb = b.pipeline.baselines[i];
+    ASSERT_EQ(ma.size(), mb.size());
+    for (const auto& [epc, spectrum] : ma) {
+      const auto it = mb.find(epc);
+      ASSERT_NE(it, mb.end());
+      EXPECT_EQ(spectrum.values(), it->second.values());
+    }
+  }
+  ASSERT_EQ(a.kalman.has_value(), b.kalman.has_value());
+  if (a.kalman) {
+    EXPECT_EQ(a.kalman->x.pos, b.kalman->x.pos);
+    EXPECT_EQ(a.kalman->x.vel, b.kalman->x.vel);
+    EXPECT_EQ(a.kalman->x.p_pp, b.kalman->x.p_pp);
+    EXPECT_EQ(a.kalman->x.p_pv, b.kalman->x.p_pv);
+    EXPECT_EQ(a.kalman->x.p_vv, b.kalman->x.p_vv);
+    EXPECT_EQ(a.kalman->y.pos, b.kalman->y.pos);
+    EXPECT_EQ(a.kalman->initialized, b.kalman->initialized);
+    EXPECT_EQ(a.kalman->misses, b.kalman->misses);
+  }
+  ASSERT_EQ(a.alpha_beta.has_value(), b.alpha_beta.has_value());
+  if (a.alpha_beta) {
+    EXPECT_EQ(a.alpha_beta->position, b.alpha_beta->position);
+    EXPECT_EQ(a.alpha_beta->velocity, b.alpha_beta->velocity);
+    EXPECT_EQ(a.alpha_beta->initialized, b.alpha_beta->initialized);
+    EXPECT_EQ(a.alpha_beta->misses, b.alpha_beta->misses);
+  }
+  ASSERT_EQ(a.quarantine.size(), b.quarantine.size());
+  for (std::size_t i = 0; i < a.quarantine.size(); ++i) {
+    EXPECT_EQ(a.quarantine[i].epc, b.quarantine[i].epc);
+    EXPECT_EQ(a.quarantine[i].fingerprints, b.quarantine[i].fingerprints);
+  }
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(CheckpointCodec, RoundTripsEverything) {
+  const Snapshot original = make_snapshot();
+  const std::vector<std::uint8_t> image = encode_snapshot(original);
+  Snapshot decoded;
+  ASSERT_EQ(decode_snapshot(image, decoded), RestoreError::kNone);
+  expect_equal(original, decoded);
+}
+
+TEST(CheckpointCodec, RoundTripsEmptySnapshot) {
+  Snapshot empty;  // no arrays, no trackers, nothing
+  const std::vector<std::uint8_t> image = encode_snapshot(empty);
+  Snapshot decoded;
+  ASSERT_EQ(decode_snapshot(image, decoded), RestoreError::kNone);
+  EXPECT_EQ(decoded.epoch, 0u);
+  EXPECT_FALSE(decoded.kalman.has_value());
+  EXPECT_FALSE(decoded.alpha_beta.has_value());
+  EXPECT_TRUE(decoded.quarantine.empty());
+  EXPECT_TRUE(decoded.pipeline.calibration.empty());
+}
+
+TEST(CheckpointCodec, EncodingIsDeterministic) {
+  EXPECT_EQ(encode_snapshot(make_snapshot()), encode_snapshot(make_snapshot()));
+}
+
+TEST(CheckpointCodec, RejectsBadMagic) {
+  std::vector<std::uint8_t> image = encode_snapshot(make_snapshot());
+  image[0] = 'X';
+  Snapshot out;
+  EXPECT_EQ(decode_snapshot(image, out), RestoreError::kBadMagic);
+}
+
+TEST(CheckpointCodec, RejectsVersionSkew) {
+  std::vector<std::uint8_t> image = encode_snapshot(make_snapshot());
+  image[4] = static_cast<std::uint8_t>(kCheckpointVersion + 1);
+  Snapshot out;
+  EXPECT_EQ(decode_snapshot(image, out), RestoreError::kBadVersion);
+}
+
+TEST(CheckpointCodec, RejectsTruncationAtEveryLength) {
+  // EVERY proper prefix must be rejected — the crash can land on any
+  // byte boundary, including inside the header, a section length field,
+  // or one byte before the end marker's CRC. The error must be
+  // kTruncated or kBadCrc (a cut inside a section makes its trailing
+  // "CRC" bytes garbage), never a successful decode.
+  const std::vector<std::uint8_t> image = encode_snapshot(make_snapshot());
+  for (std::size_t len = 0; len < image.size(); ++len) {
+    Snapshot out;
+    const RestoreError err = decode_snapshot(
+        std::span<const std::uint8_t>(image.data(), len), out);
+    EXPECT_NE(err, RestoreError::kNone) << "prefix of " << len << " decoded";
+    if (len >= 8) {
+      EXPECT_TRUE(err == RestoreError::kTruncated ||
+                  err == RestoreError::kBadCrc)
+          << "prefix " << len << ": " << to_string(err);
+    }
+  }
+}
+
+TEST(CheckpointCodec, RejectsEverySingleBitFlip) {
+  // Flip each bit of the image in turn: no flipped image may decode to
+  // a DIFFERENT snapshot without an error. (Flips in the magic/version
+  // give kBadMagic/kBadVersion; anywhere else the section CRC or the
+  // structural validation catches it. CRC16 guarantees detection of
+  // every single-bit error.)
+  const Snapshot original = make_snapshot();
+  std::vector<std::uint8_t> image = encode_snapshot(original);
+  for (std::size_t byte = 0; byte < image.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      image[byte] ^= static_cast<std::uint8_t>(1 << bit);
+      Snapshot out;
+      EXPECT_NE(decode_snapshot(image, out), RestoreError::kNone)
+          << "bit " << bit << " of byte " << byte << " flipped undetected";
+      image[byte] ^= static_cast<std::uint8_t>(1 << bit);
+    }
+  }
+}
+
+TEST(CheckpointCodec, RejectsTrailingJunk) {
+  std::vector<std::uint8_t> image = encode_snapshot(make_snapshot());
+  image.push_back(0x00);
+  Snapshot out;
+  EXPECT_NE(decode_snapshot(image, out), RestoreError::kNone);
+}
+
+TEST(CheckpointStore, MissingFileReportsMissing) {
+  const CheckpointStore store(temp_path("no_such_checkpoint.bin"));
+  Snapshot out;
+  EXPECT_EQ(store.load(out), RestoreError::kMissing);
+}
+
+TEST(CheckpointStore, WriteThenLoadRoundTrips) {
+  const std::string path = temp_path("checkpoint_roundtrip.bin");
+  std::remove(path.c_str());
+  CheckpointStore store(path);
+  const Snapshot original = make_snapshot();
+  ASSERT_TRUE(store.write(original));
+  Snapshot loaded;
+  ASSERT_EQ(store.load(loaded), RestoreError::kNone);
+  expect_equal(original, loaded);
+}
+
+TEST(CheckpointStore, MidWriteCrashLeavesPreviousSnapshotIntact) {
+  const std::string path = temp_path("checkpoint_atomic.bin");
+  std::remove(path.c_str());
+  CheckpointStore store(path);
+
+  Snapshot first = make_snapshot();
+  first.epoch = 10;
+  ASSERT_TRUE(store.write(first));
+
+  // Crash at every possible cut point of the second write: the
+  // committed snapshot must still load as `first` each time.
+  Snapshot second = make_snapshot();
+  second.epoch = 11;
+  const std::size_t image_size = encode_snapshot(second).size();
+  for (const std::size_t cut :
+       {std::size_t{0}, std::size_t{1}, std::size_t{7}, image_size / 2,
+        image_size - 1}) {
+    EXPECT_FALSE(store.write(
+        second, [cut](std::size_t) { return std::optional<std::size_t>(cut); }));
+    Snapshot loaded;
+    ASSERT_EQ(store.load(loaded), RestoreError::kNone);
+    EXPECT_EQ(loaded.epoch, 10u) << "crash at byte " << cut
+                                 << " clobbered the committed snapshot";
+  }
+
+  // The temp wreckage from the torn write must itself be rejected.
+  Snapshot wreck;
+  const CheckpointStore wreck_store(path + ".tmp");
+  EXPECT_NE(wreck_store.load(wreck), RestoreError::kNone);
+
+  // A clean retry commits normally.
+  ASSERT_TRUE(store.write(second));
+  Snapshot loaded;
+  ASSERT_EQ(store.load(loaded), RestoreError::kNone);
+  EXPECT_EQ(loaded.epoch, 11u);
+}
+
+TEST(CheckpointStore, CrashFilterSeesImageSize) {
+  const std::string path = temp_path("checkpoint_filter.bin");
+  std::remove(path.c_str());
+  CheckpointStore store(path);
+  const Snapshot snap = make_snapshot();
+  const std::size_t expected = encode_snapshot(snap).size();
+  std::size_t seen = 0;
+  ASSERT_TRUE(store.write(snap, [&seen](std::size_t bytes) {
+    seen = bytes;
+    return std::nullopt;  // don't actually crash
+  }));
+  EXPECT_EQ(seen, expected);
+}
+
+std::string golden_path() {
+  return std::string(DWATCH_RECOVERY_GOLDEN_DIR) + "/checkpoint_v1.bin";
+}
+
+TEST(CheckpointGolden, BinaryFormatIsStable) {
+  // The on-disk format is a compatibility promise: a snapshot written
+  // by an older build must restore in a newer one (within one format
+  // version). Byte-compare a freshly encoded canonical snapshot with
+  // the checked-in image; any codec change that alters the bytes must
+  // bump kCheckpointVersion and regenerate.
+  const std::vector<std::uint8_t> image = encode_snapshot(make_snapshot());
+  if (std::getenv("DWATCH_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path(), std::ios::binary);
+    out.write(reinterpret_cast<const char*>(image.data()),
+              static_cast<std::streamsize>(image.size()));
+    GTEST_SKIP() << "regenerated " << golden_path();
+  }
+  std::ifstream in(golden_path(), std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden " << golden_path()
+                         << " (regenerate with DWATCH_REGEN_GOLDEN=1)";
+  std::vector<std::uint8_t> golden(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  ASSERT_EQ(golden.size(), image.size()) << "image size changed";
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    ASSERT_EQ(golden[i], image[i]) << "byte " << i << " diverged";
+  }
+  // And the golden image itself still decodes to the canonical content.
+  Snapshot decoded;
+  ASSERT_EQ(decode_snapshot(golden, decoded), RestoreError::kNone);
+  expect_equal(make_snapshot(), decoded);
+}
+
+TEST(RestoreErrorNames, AllDistinct) {
+  const RestoreError all[] = {
+      RestoreError::kNone,      RestoreError::kMissing,
+      RestoreError::kBadMagic,  RestoreError::kBadVersion,
+      RestoreError::kTruncated, RestoreError::kBadCrc,
+      RestoreError::kMalformed};
+  for (std::size_t a = 0; a < std::size(all); ++a) {
+    EXPECT_FALSE(to_string(all[a]).empty());
+    for (std::size_t b = a + 1; b < std::size(all); ++b) {
+      EXPECT_NE(to_string(all[a]), to_string(all[b]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dwatch::recovery

@@ -1,0 +1,108 @@
+// EWMA + CUSUM drift detector unit tests.
+#include "recovery/drift_watchdog.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dwatch::recovery {
+namespace {
+
+TEST(DriftWatchdog, RejectsZeroArraysAndBadAlpha) {
+  EXPECT_THROW(DriftWatchdog(0), std::invalid_argument);
+  DriftWatchdogOptions bad;
+  bad.ewma_alpha = 0.0;
+  EXPECT_THROW(DriftWatchdog(1, bad), std::invalid_argument);
+  bad.ewma_alpha = 1.5;
+  EXPECT_THROW(DriftWatchdog(1, bad), std::invalid_argument);
+}
+
+TEST(DriftWatchdog, LearnsThenStaysHealthyOnStableResidual) {
+  DriftWatchdogOptions opt;
+  opt.warmup_epochs = 3;
+  DriftWatchdog dog(2, opt);
+  EXPECT_EQ(dog.observe(0, 0.010), DriftState::kLearning);
+  EXPECT_EQ(dog.observe(0, 0.012), DriftState::kLearning);
+  EXPECT_EQ(dog.observe(0, 0.011), DriftState::kHealthy);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(dog.observe(0, 0.010 + 0.002 * (i % 2)), DriftState::kHealthy);
+  }
+  EXPECT_NEAR(dog.healthy_level(0), 0.011, 0.002);
+  // Array 1 never fed: still learning.
+  EXPECT_EQ(dog.state(1), DriftState::kLearning);
+}
+
+TEST(DriftWatchdog, DetectsSustainedGrowth) {
+  DriftWatchdogOptions opt;
+  opt.warmup_epochs = 2;
+  opt.cusum_threshold = 3.0;
+  DriftWatchdog dog(1, opt);
+  (void)dog.observe(0, 0.010);
+  (void)dog.observe(0, 0.010);
+  // Residual grows ~50% per epoch (a 0.1 rad/epoch creep does worse):
+  // exceedances accumulate and trip within a handful of epochs.
+  double r = 0.015;
+  DriftState state = DriftState::kHealthy;
+  std::size_t epochs = 0;
+  while (state != DriftState::kDrifting && epochs < 20) {
+    state = dog.observe(0, r);
+    r *= 1.5;
+    ++epochs;
+  }
+  EXPECT_EQ(state, DriftState::kDrifting);
+  EXPECT_LT(epochs, 10u);
+  // Latches until reset.
+  EXPECT_EQ(dog.observe(0, 0.010), DriftState::kDrifting);
+  dog.reset(0);
+  EXPECT_EQ(dog.state(0), DriftState::kLearning);
+  EXPECT_EQ(dog.cusum(0), 0.0);
+}
+
+TEST(DriftWatchdog, SingleSpikeDoesNotTrip) {
+  DriftWatchdogOptions opt;
+  opt.warmup_epochs = 2;
+  opt.cusum_threshold = 3.0;
+  DriftWatchdog dog(1, opt);
+  (void)dog.observe(0, 0.010);
+  (void)dog.observe(0, 0.010);
+  // One 2.5x outlier epoch, then back to normal: the CUSUM absorbs it.
+  EXPECT_NE(dog.observe(0, 0.025), DriftState::kDrifting);
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_EQ(dog.observe(0, 0.010), DriftState::kHealthy);
+  }
+}
+
+TEST(DriftWatchdog, DriftingResidualDoesNotPoisonHealthyLevel) {
+  DriftWatchdogOptions opt;
+  opt.warmup_epochs = 2;
+  opt.cusum_threshold = 100.0;  // effectively never trips
+  DriftWatchdog dog(1, opt);
+  (void)dog.observe(0, 0.010);
+  (void)dog.observe(0, 0.010);
+  // Feed a steadily growing residual: the EWMA must NOT follow it up
+  // (only near-healthy samples update the reference).
+  double r = 0.02;
+  for (int i = 0; i < 20; ++i) {
+    (void)dog.observe(0, r);
+    r *= 1.3;
+  }
+  EXPECT_LT(dog.healthy_level(0), 0.012);
+  EXPECT_GT(dog.cusum(0), 0.0);
+}
+
+TEST(DriftWatchdog, PerArrayIndependence) {
+  DriftWatchdogOptions opt;
+  opt.warmup_epochs = 1;
+  DriftWatchdog dog(2, opt);
+  (void)dog.observe(0, 0.010);
+  (void)dog.observe(1, 0.010);
+  double r = 0.02;
+  while (dog.state(0) != DriftState::kDrifting) {
+    (void)dog.observe(0, r);
+    (void)dog.observe(1, 0.010);
+    r *= 1.5;
+  }
+  EXPECT_EQ(dog.state(0), DriftState::kDrifting);
+  EXPECT_EQ(dog.state(1), DriftState::kHealthy);
+}
+
+}  // namespace
+}  // namespace dwatch::recovery

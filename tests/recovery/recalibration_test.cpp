@@ -1,0 +1,165 @@
+// RecalibrationManager tests: residual-based acceptance, rollback of
+// worse candidates, background execution, and launch serialization.
+#include "recovery/recalibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rf/array.hpp"
+#include "rf/noise.hpp"
+#include "rf/snapshot.hpp"
+
+namespace dwatch::recovery {
+namespace {
+
+constexpr std::size_t kM = 8;
+
+std::vector<double> true_offsets() {
+  return {0.0, 0.7, -1.1, 2.0, 0.3, -0.6, 1.4, -2.2};
+}
+
+rf::PropagationPath plane_path(double theta_deg, double amp) {
+  rf::PropagationPath p;
+  p.kind = rf::PathKind::kDirect;
+  p.vertices = {{-10, 0, 1}, {0, 0, 1}};
+  p.length = 10.0;
+  p.aoa = rf::deg2rad(theta_deg);
+  p.gain = {amp, 0.0};
+  return p;
+}
+
+std::vector<core::CalibrationMeasurement> make_measurements(
+    std::size_t k, std::uint64_t seed) {
+  const rf::UniformLinearArray ula({0, 0, 1}, {1, 0}, kM);
+  rf::Rng rng(seed);
+  std::vector<core::CalibrationMeasurement> out;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double los_deg = 25.0 + 130.0 * static_cast<double>(i) /
+                                      std::max<std::size_t>(k - 1, 1);
+    const std::vector<rf::PropagationPath> paths{plane_path(los_deg, 0.02)};
+    rf::SnapshotOptions opts;
+    opts.num_snapshots = 24;
+    opts.noise_sigma = rf::noise_sigma_for_snr(paths, 1.0, 30.0);
+    opts.port_phase_offsets = true_offsets();
+    core::CalibrationMeasurement m;
+    m.snapshots = rf::synthesize_snapshots(ula, paths, {}, opts, rng);
+    m.los_angle = rf::deg2rad(los_deg);
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+core::WirelessCalibrator default_calibrator() {
+  return core::WirelessCalibrator(rf::kDefaultElementSpacing,
+                                  rf::kDefaultWavelength);
+}
+
+TEST(Recalibration, AcceptsWhenIncumbentHasDrifted) {
+  const core::WirelessCalibrator cal = default_calibrator();
+  const auto meas = make_measurements(6, 101);
+
+  // Incumbent = truth + a large per-element drift: its residual on
+  // fresh anchors is bad, so a clean re-solve must win and be accepted.
+  std::vector<double> drifted = true_offsets();
+  for (std::size_t i = 1; i < drifted.size(); ++i) {
+    drifted[i] += 0.8 * static_cast<double>(i);
+  }
+
+  RecalibrationManager mgr(nullptr);  // synchronous
+  ASSERT_TRUE(mgr.launch(0, cal, meas, drifted));
+  const auto outcome = mgr.poll();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->array_idx, 0u);
+  EXPECT_TRUE(outcome->accepted);
+  EXPECT_LT(outcome->candidate_residual, outcome->incumbent_residual);
+  ASSERT_EQ(outcome->offsets.size(), kM);
+  EXPECT_LT(core::mean_phase_error(outcome->offsets, true_offsets()), 0.1);
+  // Future consumed: nothing further to collect.
+  EXPECT_FALSE(mgr.busy());
+  EXPECT_FALSE(mgr.poll().has_value());
+}
+
+TEST(Recalibration, RollsBackWhenIncumbentIsAlreadyOptimal) {
+  const core::WirelessCalibrator cal = default_calibrator();
+  const auto meas = make_measurements(6, 103);
+
+  // Starve the optimizer so the candidate cannot beat a near-perfect
+  // incumbent: tiny GA population, no refinement.
+  core::CalibrationOptions starved;
+  starved.optimizer.ga.population = 4;
+  starved.optimizer.ga.generations = 1;
+  starved.optimizer.gd.max_iterations = 0;
+  const core::WirelessCalibrator weak(rf::kDefaultElementSpacing,
+                                      rf::kDefaultWavelength, starved);
+
+  RecalibrationManager mgr(nullptr);
+  ASSERT_TRUE(mgr.launch(0, weak, meas, true_offsets()));
+  const auto outcome = mgr.poll();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_FALSE(outcome->accepted);
+  EXPECT_TRUE(outcome->offsets.empty());
+  EXPECT_GE(outcome->candidate_residual,
+            outcome->incumbent_residual);  // why it was rolled back
+}
+
+TEST(Recalibration, MalformedAnchorsRollBackInsteadOfThrowing) {
+  const core::WirelessCalibrator cal = default_calibrator();
+  RecalibrationManager mgr(nullptr);
+  // Empty measurement set: make_probe throws inside the task; the
+  // manager must surface a rollback, not an exception.
+  ASSERT_TRUE(mgr.launch(2, cal, {}, true_offsets()));
+  const auto outcome = mgr.poll();
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_EQ(outcome->array_idx, 2u);
+  EXPECT_FALSE(outcome->accepted);
+}
+
+TEST(Recalibration, SerializesLaunches) {
+  const core::WirelessCalibrator cal = default_calibrator();
+  const auto meas = make_measurements(4, 107);
+  RecalibrationManager mgr(nullptr);
+  ASSERT_TRUE(mgr.launch(0, cal, meas, true_offsets()));
+  // Synchronous mode completes inside launch(), but the outcome is
+  // still pending collection — a second launch must be refused.
+  EXPECT_TRUE(mgr.busy());
+  EXPECT_FALSE(mgr.launch(1, cal, meas, true_offsets()));
+  EXPECT_TRUE(mgr.poll().has_value());
+  // Collected: relaunching is allowed again.
+  EXPECT_TRUE(mgr.launch(1, cal, meas, true_offsets()));
+  EXPECT_TRUE(mgr.wait().has_value());
+}
+
+TEST(Recalibration, BackgroundPoolMatchesSynchronousDecision) {
+  const core::WirelessCalibrator cal = default_calibrator();
+  const auto meas = make_measurements(6, 109);
+  std::vector<double> drifted = true_offsets();
+  for (std::size_t i = 1; i < drifted.size(); ++i) drifted[i] += 1.0;
+
+  RecalibrationManager sync_mgr(nullptr);
+  ASSERT_TRUE(sync_mgr.launch(0, cal, meas, drifted));
+  const auto sync_outcome = sync_mgr.poll();
+  ASSERT_TRUE(sync_outcome.has_value());
+
+  auto pool = std::make_shared<core::ThreadPool>(2);
+  RecalibrationManager bg_mgr(pool);
+  ASSERT_TRUE(bg_mgr.launch(0, cal, meas, drifted));
+  const auto bg_outcome = bg_mgr.wait();
+  ASSERT_TRUE(bg_outcome.has_value());
+
+  // Same seed derivation (array 0, generation 1) => identical solve.
+  EXPECT_EQ(bg_outcome->accepted, sync_outcome->accepted);
+  EXPECT_EQ(bg_outcome->offsets, sync_outcome->offsets);
+  EXPECT_EQ(bg_outcome->candidate_residual, sync_outcome->candidate_residual);
+  EXPECT_EQ(bg_outcome->incumbent_residual, sync_outcome->incumbent_residual);
+}
+
+TEST(Recalibration, PollWithoutLaunchIsEmpty) {
+  RecalibrationManager mgr(nullptr);
+  EXPECT_FALSE(mgr.busy());
+  EXPECT_FALSE(mgr.poll().has_value());
+  EXPECT_FALSE(mgr.wait().has_value());
+}
+
+}  // namespace
+}  // namespace dwatch::recovery

@@ -1,0 +1,586 @@
+// RecoveryCoordinator tests.
+//
+// Part 1 drives the coordinator on a small synthetic pipeline with
+// hand-made anchor measurements: trigger/accept, rollback + cooldown,
+// and checkpoint/restore of every attached component.
+//
+// Part 2 runs the acceptance criteria of the self-healing design on
+// the full sim chain:
+//   * under a 0.1 rad/epoch injected calibration creep, the median
+//     localization error WITH the watchdog stays within 2x the
+//     no-drift baseline, while the watchdog-disabled run degrades
+//     beyond it;
+//   * a run killed after epoch E (including a simulated mid-write
+//     checkpoint crash) restores from the latest valid snapshot and
+//     produces bit-identical fixes from there on.
+#include "recovery/self_healing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/kalman.hpp"
+#include "core/pipeline.hpp"
+#include "core/tracker.hpp"
+#include "faults/fault_injector.hpp"
+#include "harness/experiment.hpp"
+#include "rf/array.hpp"
+#include "rf/noise.hpp"
+#include "rf/snapshot.hpp"
+#include "sim/scene.hpp"
+
+namespace dwatch::recovery {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Part 1: synthetic-anchor coordinator unit tests.
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kM = 8;
+
+std::vector<double> true_offsets() {
+  return {0.0, 0.7, -1.1, 2.0, 0.3, -0.6, 1.4, -2.2};
+}
+
+rf::PropagationPath plane_path(double theta_deg, double amp) {
+  rf::PropagationPath p;
+  p.kind = rf::PathKind::kDirect;
+  p.vertices = {{-10, 0, 1}, {0, 0, 1}};
+  p.length = 10.0;
+  p.aoa = rf::deg2rad(theta_deg);
+  p.gain = {amp, 0.0};
+  return p;
+}
+
+/// Anchor measurements whose element phases carry `offsets` — the
+/// "installed hardware state" the watchdog probes against.
+std::vector<core::CalibrationMeasurement> make_anchors(
+    std::size_t k, std::uint64_t seed, const std::vector<double>& offsets) {
+  const rf::UniformLinearArray ula({0, 0, 1}, {1, 0}, kM);
+  rf::Rng rng(seed);
+  std::vector<core::CalibrationMeasurement> out;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double los_deg = 25.0 + 130.0 * static_cast<double>(i) /
+                                      std::max<std::size_t>(k - 1, 1);
+    const std::vector<rf::PropagationPath> paths{plane_path(los_deg, 0.02)};
+    rf::SnapshotOptions opts;
+    opts.num_snapshots = 24;
+    opts.noise_sigma = rf::noise_sigma_for_snr(paths, 1.0, 30.0);
+    opts.port_phase_offsets = offsets;
+    core::CalibrationMeasurement m;
+    m.snapshots = rf::synthesize_snapshots(ula, paths, {}, opts, rng);
+    m.los_angle = rf::deg2rad(los_deg);
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+/// Truth plus a per-element creep of `rad` radians (alternating sign,
+/// element 0 pinned — offsets are relative to the reference port).
+std::vector<double> drifted_offsets(double rad) {
+  std::vector<double> off = true_offsets();
+  for (std::size_t i = 1; i < off.size(); ++i) {
+    off[i] += (i % 2 == 0 ? rad : -rad);
+  }
+  return off;
+}
+
+core::DWatchPipeline make_unit_pipeline() {
+  std::vector<rf::UniformLinearArray> arrays{
+      rf::UniformLinearArray({3, 0, 1}, {1, 0}, kM)};
+  return core::DWatchPipeline(std::move(arrays),
+                              core::SearchBounds{{0, 0}, {6, 6}});
+}
+
+std::vector<core::WirelessCalibrator> make_unit_calibrators(
+    const core::DWatchPipeline&) {
+  return {core::WirelessCalibrator(rf::kDefaultElementSpacing,
+                                   rf::kDefaultWavelength)};
+}
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+TEST(RecoveryCoordinator, RejectsCalibratorCountMismatch) {
+  core::DWatchPipeline pipe = make_unit_pipeline();
+  EXPECT_THROW(RecoveryCoordinator(pipe, {}, CheckpointStore(temp_path("x"))),
+               std::invalid_argument);
+}
+
+TEST(RecoveryCoordinator, DriftTriggersRecalibrationAndHotSwap) {
+  core::DWatchPipeline pipe = make_unit_pipeline();
+  pipe.set_calibration(0, true_offsets());
+  // A baseline that must be invalidated by the swap.
+  pipe.add_baseline(0, rfid::Epc96::for_tag_index(3),
+                    make_anchors(1, 77, true_offsets())[0].snapshots);
+
+  RecoveryOptions opt;
+  opt.watchdog.warmup_epochs = 2;
+  opt.background = false;    // swap lands inside end_epoch()
+  opt.checkpoint_every = 0;  // no disk in this test
+  RecoveryCoordinator coord(pipe, make_unit_calibrators(pipe),
+                            CheckpointStore(temp_path("unused.bin")), opt);
+
+  // Healthy epochs: anchors match the installed offsets.
+  std::vector<std::vector<core::CalibrationMeasurement>> anchors(1);
+  for (std::uint64_t e = 0; e < 4; ++e) {
+    anchors[0] = make_anchors(5, 100 + e, true_offsets());
+    EXPECT_TRUE(coord.end_epoch(e, anchors).empty());
+  }
+  EXPECT_EQ(coord.watchdog().state(0), DriftState::kHealthy);
+  EXPECT_EQ(coord.stats().recalibrations_triggered, 0u);
+
+  // The hardware drifts: anchors now carry a large per-element creep
+  // the installed offsets no longer match. The residual jumps, the
+  // CUSUM trips, and the synchronous recalibration hot-swaps.
+  std::vector<std::size_t> invalidated;
+  std::uint64_t epoch = 4;
+  while (invalidated.empty() && epoch < 20) {
+    anchors[0] = make_anchors(5, 100 + epoch, drifted_offsets(0.9));
+    invalidated = coord.end_epoch(epoch, anchors);
+    ++epoch;
+  }
+  ASSERT_EQ(invalidated.size(), 1u);
+  EXPECT_EQ(invalidated[0], 0u);
+  EXPECT_EQ(coord.stats().recalibrations_triggered, 1u);
+  EXPECT_EQ(coord.stats().recalibrations_accepted, 1u);
+  EXPECT_EQ(coord.stats().recalibrations_rolled_back, 0u);
+  EXPECT_GT(coord.stats().drift_epochs, 0u);
+
+  // The swap installed offsets close to the drifted truth...
+  ASSERT_TRUE(pipe.calibration(0).has_value());
+  EXPECT_LT(core::mean_phase_error(*pipe.calibration(0), drifted_offsets(0.9)),
+            0.1);
+  // ...and dropped the superseded baselines.
+  EXPECT_TRUE(pipe.export_state().baselines[0].empty());
+  // The watchdog re-learns under the new calibration and reports
+  // healthy again on matching anchors.
+  for (std::uint64_t e = epoch; e < epoch + 4; ++e) {
+    anchors[0] = make_anchors(5, 100 + e, drifted_offsets(0.9));
+    EXPECT_TRUE(coord.end_epoch(e, anchors).empty());
+  }
+  EXPECT_EQ(coord.watchdog().state(0), DriftState::kHealthy);
+}
+
+TEST(RecoveryCoordinator, WorseCandidateRollsBackAndCoolsDown) {
+  core::DWatchPipeline pipe = make_unit_pipeline();
+  pipe.set_calibration(0, true_offsets());
+
+  RecoveryOptions opt;
+  opt.watchdog.warmup_epochs = 2;
+  opt.background = false;
+  opt.checkpoint_every = 0;
+  opt.recalibration_cooldown = 3;
+  // An impossible acceptance bar: every candidate rolls back.
+  opt.recalibration.acceptance_margin = 0.0;
+  RecoveryCoordinator coord(pipe, make_unit_calibrators(pipe),
+                            CheckpointStore(temp_path("unused2.bin")), opt);
+
+  std::vector<std::vector<core::CalibrationMeasurement>> anchors(1);
+  std::uint64_t epoch = 0;
+  for (; epoch < 3; ++epoch) {
+    anchors[0] = make_anchors(5, 300 + epoch, true_offsets());
+    (void)coord.end_epoch(epoch, anchors);
+  }
+  // Drift until the (rejected) recalibration fires.
+  while (coord.stats().recalibrations_triggered == 0 && epoch < 20) {
+    anchors[0] = make_anchors(5, 300 + epoch, drifted_offsets(0.9));
+    EXPECT_TRUE(coord.end_epoch(epoch, anchors).empty());
+    ++epoch;
+  }
+  EXPECT_EQ(coord.stats().recalibrations_triggered, 1u);
+  EXPECT_EQ(coord.stats().recalibrations_rolled_back, 1u);
+  EXPECT_EQ(coord.stats().recalibrations_accepted, 0u);
+  // The incumbent survived untouched.
+  ASSERT_TRUE(pipe.calibration(0).has_value());
+  EXPECT_EQ(*pipe.calibration(0), true_offsets());
+
+  // Cooldown: the drift is still there, the watchdog re-trips, but no
+  // new solve may launch before the cooldown expires. Re-learning takes
+  // warmup_epochs, so probe the epochs inside the cooldown window.
+  const std::uint64_t rollback_epoch = epoch - 1;
+  for (; epoch < rollback_epoch + opt.recalibration_cooldown; ++epoch) {
+    anchors[0] = make_anchors(5, 300 + epoch, drifted_offsets(0.9));
+    (void)coord.end_epoch(epoch, anchors);
+    EXPECT_EQ(coord.stats().recalibrations_triggered, 1u)
+        << "triggered during cooldown at epoch " << epoch;
+  }
+}
+
+TEST(RecoveryCoordinator, CheckpointsAndRestoresEveryAttachedComponent) {
+  const std::string path = temp_path("coordinator_roundtrip.bin");
+
+  core::DWatchPipeline pipe = make_unit_pipeline();
+  pipe.set_calibration(0, true_offsets());
+  pipe.add_baseline(0, rfid::Epc96::for_tag_index(7),
+                    make_anchors(1, 78, true_offsets())[0].snapshots);
+  pipe.begin_epoch(4242);
+
+  core::KalmanTracker kalman;
+  (void)kalman.update({1.0, 2.0});
+  (void)kalman.update({1.2, 2.3});
+  core::AlphaBetaTracker ab;
+  (void)ab.update({3.0, 4.0});
+
+  RecoveryOptions opt;
+  opt.background = false;
+  opt.checkpoint_every = 2;  // epochs 1, 3, ... (cadence on completion)
+  RecoveryCoordinator coord(pipe, make_unit_calibrators(pipe),
+                            CheckpointStore(path), opt);
+  coord.attach_kalman(&kalman);
+  coord.attach_tracker(&ab);
+
+  std::vector<std::vector<core::CalibrationMeasurement>> no_anchors(1);
+  (void)coord.end_epoch(0, no_anchors);
+  EXPECT_EQ(coord.stats().checkpoints_written, 0u);  // cadence: not yet
+  (void)coord.end_epoch(1, no_anchors);
+  EXPECT_EQ(coord.stats().checkpoints_written, 1u);
+  EXPECT_EQ(coord.last_checkpoint_epoch(), 1u);
+
+  // A different process comes up cold and restores.
+  core::DWatchPipeline fresh = make_unit_pipeline();
+  core::KalmanTracker kalman2;
+  core::AlphaBetaTracker ab2;
+  RecoveryCoordinator coord2(fresh, make_unit_calibrators(fresh),
+                             CheckpointStore(path), opt);
+  coord2.attach_kalman(&kalman2);
+  coord2.attach_tracker(&ab2);
+  ASSERT_EQ(coord2.restore(), RestoreError::kNone);
+
+  EXPECT_EQ(coord2.last_checkpoint_epoch(), 1u);
+  // A snapshot is serialized before its own write succeeds, so the
+  // restored counter is one behind the writer's view.
+  EXPECT_EQ(coord2.stats().checkpoints_written, 0u);
+  EXPECT_EQ(coord2.stats().restores, 1u);
+  ASSERT_TRUE(fresh.calibration(0).has_value());
+  EXPECT_EQ(*fresh.calibration(0), true_offsets());
+  const core::PipelineState state = fresh.export_state();
+  ASSERT_EQ(state.baselines[0].size(), 1u);
+  EXPECT_EQ(state.watermark_us, 4242u);
+  EXPECT_EQ(kalman2.state().x.pos, kalman.state().x.pos);
+  EXPECT_EQ(kalman2.state().y.vel, kalman.state().y.vel);
+  EXPECT_EQ(kalman2.initialized(), kalman.initialized());
+  EXPECT_EQ(ab2.state().position.x, ab.state().position.x);
+
+  // No snapshot on disk => kMissing, and the pipeline is untouched.
+  core::DWatchPipeline cold = make_unit_pipeline();
+  RecoveryCoordinator coord3(cold, make_unit_calibrators(cold),
+                             CheckpointStore(temp_path("nope.bin")), opt);
+  EXPECT_EQ(coord3.restore(), RestoreError::kMissing);
+  EXPECT_FALSE(cold.calibration(0).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Part 2: acceptance criteria on the full sim chain.
+// ---------------------------------------------------------------------------
+
+using faults::FaultInjector;
+using faults::FaultPlan;
+using faults::FaultRates;
+
+constexpr std::uint64_t kSceneSeed = 20160901;  // CoNEXT'16
+
+sim::Scene make_scene() {
+  rf::Rng rng(kSceneSeed);
+  sim::Deployment dep = sim::make_room_deployment(
+      sim::Environment::library(), sim::DeploymentOptions{}, rng);
+  return sim::Scene(std::move(dep), sim::CaptureOptions{}, rng);
+}
+
+core::DWatchPipeline make_chain_pipeline(const sim::Scene& scene) {
+  core::PipelineOptions opts;
+  opts.localizer.grid_step = 0.1;
+  const auto& env = scene.deployment().env;
+  return core::DWatchPipeline(
+      scene.deployment().arrays,
+      core::SearchBounds{{0.0, 0.0}, {env.width, env.depth}}, opts);
+}
+
+std::vector<core::WirelessCalibrator> make_chain_calibrators(
+    const sim::Scene& scene) {
+  std::vector<core::WirelessCalibrator> out;
+  for (const rf::UniformLinearArray& a : scene.deployment().arrays) {
+    out.emplace_back(a.spacing(), a.lambda());
+  }
+  return out;
+}
+
+rf::Vec2 target_at(std::size_t epoch) {
+  return {2.6 + 0.2 * static_cast<double>(epoch),
+          3.6 + 0.25 * static_cast<double>(epoch)};
+}
+
+struct ChainResult {
+  std::vector<double> errors;
+  std::vector<core::ConfidentEstimate> fixes;
+  RecoveryStats stats;
+
+  [[nodiscard]] double median_error() const {
+    std::vector<double> e = errors;
+    std::sort(e.begin(), e.end());
+    return e[e.size() / 2];
+  }
+
+  [[nodiscard]] std::string describe() const {
+    std::string s = "errors=[";
+    for (const double e : errors) s += std::to_string(e) + " ";
+    s += "] triggered=" + std::to_string(stats.recalibrations_triggered) +
+         " accepted=" + std::to_string(stats.recalibrations_accepted) +
+         " rolled_back=" + std::to_string(stats.recalibrations_rolled_back) +
+         " drift_epochs=" + std::to_string(stats.drift_epochs);
+    return s;
+  }
+};
+
+/// Capture an empty-scene report through the (drifting) injector and
+/// install it as array `a`'s reference spectra — what a deployment does
+/// after a calibration swap invalidates the old baselines.
+void recapture_baselines(const sim::Scene& scene, core::DWatchPipeline& pipe,
+                         FaultInjector& injector, std::size_t a,
+                         std::size_t epoch) {
+  rf::Rng rng(kSceneSeed + 900'000 + 1000 * (epoch + 1) + a);
+  rfid::RoAccessReport report =
+      scene.capture_report(a, {}, rng, static_cast<std::uint32_t>(epoch),
+                           /*first_seen_us=*/1000 * (epoch + 1) + 5);
+  injector.corrupt_report(report, epoch, a);
+  for (const rfid::TagObservation& obs : report.observations) {
+    pipe.add_baseline(a, obs);
+  }
+}
+
+/// The full self-healing chain: per epoch, capture -> inject drift ->
+/// observe -> fix -> (optionally) coordinator end_epoch with this
+/// epoch's anchor probes, re-capturing baselines for any array whose
+/// calibration was hot-swapped.
+ChainResult run_drift_chain(double drift_rate, bool with_watchdog,
+                            std::size_t num_epochs,
+                            const std::string& checkpoint_path) {
+  const sim::Scene scene = make_scene();
+  core::DWatchPipeline pipe = make_chain_pipeline(scene);
+  for (std::size_t a = 0; a < scene.num_arrays(); ++a) {
+    pipe.set_calibration(a, scene.reader(a).phase_offsets());
+  }
+
+  FaultRates rates;
+  rates.slow_phase_drift = drift_rate;
+  FaultInjector injector(FaultPlan(7, rates));
+
+  // Clean baselines before the drift sets in (epoch 0 is drift-free).
+  for (std::size_t a = 0; a < scene.num_arrays(); ++a) {
+    rf::Rng rng(kSceneSeed + 100 + a);
+    const rfid::RoAccessReport report =
+        scene.capture_report(a, {}, rng, 0, /*first_seen_us=*/1);
+    for (const rfid::TagObservation& obs : report.observations) {
+      pipe.add_baseline(a, obs);
+    }
+  }
+
+  RecoveryOptions opt;
+  // Sensitive detection: a 0.1 rad/epoch creep only raises the anchor
+  // residual a few percent per epoch at first, and with four arrays
+  // sharing one recalibration slot the last array heals several epochs
+  // after the first trip — so trip early.
+  opt.watchdog.warmup_epochs = 2;
+  opt.watchdog.cusum_slack = 0.1;
+  opt.watchdog.cusum_threshold = 1.0;
+  opt.background = false;  // deterministic swap timing
+  opt.checkpoint_every = with_watchdog ? 4 : 0;
+  opt.recalibration_cooldown = 1;
+  RecoveryCoordinator coord(pipe, make_chain_calibrators(scene),
+                            CheckpointStore(checkpoint_path), opt);
+
+  // Each array probes its 4 nearest tags as known-LoS anchors.
+  std::vector<std::vector<std::size_t>> anchor_tags;
+  for (std::size_t a = 0; a < scene.num_arrays(); ++a) {
+    anchor_tags.push_back(harness::nearest_tags(scene, a, 4));
+  }
+
+  ChainResult result;
+  for (std::size_t epoch = 0; epoch < num_epochs; ++epoch) {
+    const rf::Vec2 truth = target_at(epoch);
+    const sim::CylinderTarget targets[] = {sim::CylinderTarget::human(truth)};
+    const std::uint64_t watermark = 1000 * (epoch + 1);
+    pipe.begin_epoch(watermark);
+
+    std::vector<std::vector<core::CalibrationMeasurement>> anchors(
+        scene.num_arrays());
+    for (std::size_t a = 0; a < scene.num_arrays(); ++a) {
+      rf::Rng rng(kSceneSeed + 1000 * (epoch + 1) + a);
+      rfid::RoAccessReport report = scene.capture_report(
+          a, targets, rng, static_cast<std::uint32_t>(epoch),
+          /*first_seen_us=*/watermark + 10);
+      injector.corrupt_report(report, epoch, a);
+      for (const rfid::TagObservation& obs : report.observations) {
+        (void)pipe.observe(a, obs);
+      }
+      anchors[a] =
+          harness::anchor_measurements(scene, a, report, anchor_tags[a]);
+    }
+
+    const core::ConfidentEstimate fix =
+        pipe.localize_with_confidence(/*best_effort=*/true);
+    result.errors.push_back(rf::distance(fix.estimate.position, truth));
+    result.fixes.push_back(fix);
+
+    if (with_watchdog) {
+      for (const std::size_t a : coord.end_epoch(epoch, anchors)) {
+        recapture_baselines(scene, pipe, injector, a, epoch);
+      }
+    }
+  }
+  result.stats = coord.stats();
+  return result;
+}
+
+TEST(SelfHealing, WatchdogBoundsDriftErrorWhileDisabledDegrades) {
+  constexpr std::size_t kEpochs = 12;
+  constexpr double kDriftRate = 0.1;  // rad/epoch, the design point
+
+  const ChainResult clean = run_drift_chain(
+      0.0, false, kEpochs, temp_path("drift_clean.bin"));
+  const ChainResult healed = run_drift_chain(
+      kDriftRate, true, kEpochs, temp_path("drift_healed.bin"));
+  const ChainResult sick = run_drift_chain(
+      kDriftRate, false, kEpochs, temp_path("drift_sick.bin"));
+
+  // The watchdog actually did something: detections fired and at least
+  // one recalibration was accepted and swapped in.
+  EXPECT_GT(healed.stats.drift_epochs, 0u);
+  EXPECT_GT(healed.stats.recalibrations_triggered, 0u);
+  EXPECT_GT(healed.stats.recalibrations_accepted, 0u);
+  EXPECT_GT(healed.stats.checkpoints_written, 0u);
+
+  // Acceptance bound: healed stays within 2x of no-drift (plus the
+  // stress suite's quantization floor); disabled drifts past it.
+  const double bound = std::max(2.0 * clean.median_error(), 0.5);
+  EXPECT_LE(healed.median_error(), bound)
+      << "clean=" << clean.median_error() << "\nhealed: " << healed.describe()
+      << "\nsick:   " << sick.describe();
+  EXPECT_GT(sick.median_error(), bound)
+      << "clean=" << clean.median_error() << "\nhealed: " << healed.describe()
+      << "\nsick:   " << sick.describe();
+}
+
+/// Restore-equivalence fixture: the drift-free chain with a checkpoint
+/// every epoch, instrumented so a run can be killed at an epoch and a
+/// fresh process resumed from disk.
+struct ResumableChain {
+  sim::Scene scene = make_scene();
+  core::DWatchPipeline pipe = make_chain_pipeline(scene);
+  core::KalmanTracker kalman;
+  RecoveryCoordinator coord;
+
+  explicit ResumableChain(const std::string& path)
+      : coord(pipe, make_chain_calibrators(scene), CheckpointStore(path),
+              [] {
+                RecoveryOptions o;
+                o.background = false;
+                o.checkpoint_every = 1;
+                return o;
+              }()) {
+    coord.attach_kalman(&kalman);
+    for (std::size_t a = 0; a < scene.num_arrays(); ++a) {
+      pipe.set_calibration(a, scene.reader(a).phase_offsets());
+      rf::Rng rng(kSceneSeed + 100 + a);
+      const rfid::RoAccessReport report =
+          scene.capture_report(a, {}, rng, 0, 1);
+      for (const rfid::TagObservation& obs : report.observations) {
+        pipe.add_baseline(a, obs);
+      }
+    }
+  }
+
+  /// Runs one epoch; `crash` (if set) is forwarded to this epoch's
+  /// checkpoint write. Returns the fix and the smoothed track point.
+  std::pair<core::ConfidentEstimate, rf::Vec2> step(
+      std::size_t epoch, const CheckpointStore::CrashFilter& crash = nullptr) {
+    const rf::Vec2 truth = target_at(epoch);
+    const sim::CylinderTarget targets[] = {sim::CylinderTarget::human(truth)};
+    pipe.begin_epoch(1000 * (epoch + 1));
+    for (std::size_t a = 0; a < scene.num_arrays(); ++a) {
+      rf::Rng rng(kSceneSeed + 1000 * (epoch + 1) + a);
+      const rfid::RoAccessReport report = scene.capture_report(
+          a, targets, rng, static_cast<std::uint32_t>(epoch),
+          1000 * (epoch + 1) + 10);
+      for (const rfid::TagObservation& obs : report.observations) {
+        (void)pipe.observe(a, obs);
+      }
+    }
+    const core::ConfidentEstimate fix = pipe.localize_with_confidence(true);
+    const rf::Vec2 smoothed = kalman.update(fix.estimate.position);
+    std::vector<std::vector<core::CalibrationMeasurement>> no_anchors(
+        scene.num_arrays());
+    (void)coord.end_epoch(epoch, no_anchors, crash);
+    return {fix, smoothed};
+  }
+};
+
+TEST(SelfHealing, RestoreResumesBitIdenticalAfterMidWriteCrash) {
+  constexpr std::size_t kEpochs = 7;
+  constexpr std::size_t kCrashEpoch = 4;
+
+  // Reference: the run that never dies.
+  std::vector<core::ConfidentEstimate> ref_fixes;
+  std::vector<rf::Vec2> ref_track;
+  {
+    ResumableChain chain(temp_path("restore_ref.bin"));
+    for (std::size_t e = 0; e < kEpochs; ++e) {
+      auto [fix, smoothed] = chain.step(e);
+      ref_fixes.push_back(fix);
+      ref_track.push_back(smoothed);
+    }
+  }
+
+  // Victim: same chain, but epoch kCrashEpoch's checkpoint dies halfway
+  // through the write (half the image reaches disk, no rename), and the
+  // process is killed right after.
+  const std::string path = temp_path("restore_victim.bin");
+  {
+    ResumableChain chain(path);
+    for (std::size_t e = 0; e <= kCrashEpoch; ++e) {
+      CheckpointStore::CrashFilter crash;
+      if (e == kCrashEpoch) {
+        crash = [](std::size_t bytes) {
+          return std::optional<std::size_t>(bytes / 2);
+        };
+      }
+      (void)chain.step(e, crash);
+    }
+    EXPECT_EQ(chain.coord.stats().checkpoint_crashes, 1u);
+    // The latest VALID snapshot is the one before the crash.
+    EXPECT_EQ(chain.coord.last_checkpoint_epoch(), kCrashEpoch - 1);
+  }  // process dies here
+
+  // Reborn process: cold construction + restore, then resume the epoch
+  // after the last committed snapshot.
+  ResumableChain reborn(path);
+  // Wipe the warm-start state the constructor installed, proving the
+  // snapshot alone carries it. (A real cold start has neither.)
+  for (std::size_t a = 0; a < reborn.scene.num_arrays(); ++a) {
+    reborn.pipe.clear_baselines(a);
+  }
+  ASSERT_EQ(reborn.coord.restore(), RestoreError::kNone);
+  ASSERT_EQ(reborn.coord.last_checkpoint_epoch(), kCrashEpoch - 1);
+  EXPECT_EQ(reborn.coord.stats().restores, 1u);
+
+  for (std::size_t e = kCrashEpoch; e < kEpochs; ++e) {
+    auto [fix, smoothed] = reborn.step(e);
+    // Bit-identical to the run that never died.
+    EXPECT_EQ(fix.confidence, ref_fixes[e].confidence) << "epoch " << e;
+    EXPECT_EQ(fix.estimate.position.x, ref_fixes[e].estimate.position.x)
+        << "epoch " << e;
+    EXPECT_EQ(fix.estimate.position.y, ref_fixes[e].estimate.position.y)
+        << "epoch " << e;
+    EXPECT_EQ(fix.estimate.likelihood, ref_fixes[e].estimate.likelihood)
+        << "epoch " << e;
+    EXPECT_EQ(smoothed.x, ref_track[e].x) << "epoch " << e;
+    EXPECT_EQ(smoothed.y, ref_track[e].y) << "epoch " << e;
+  }
+}
+
+}  // namespace
+}  // namespace dwatch::recovery

@@ -1,0 +1,137 @@
+// EpochSupervisor tests: cooperative deadline accounting with a fake
+// clock, preemptive run_guarded() with real hung stages, and stats.
+#include "recovery/supervisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace dwatch::recovery {
+namespace {
+
+/// Manually advanced microsecond clock.
+struct FakeClock {
+  std::uint64_t now = 0;
+  EpochSupervisor::Clock fn() {
+    return [this] { return now; };
+  }
+};
+
+TEST(EpochSupervisor, DefaultBudgetsCoverTheStageTaxonomy) {
+  const auto budgets = default_stage_budgets();
+  for (const char* stage :
+       {"llrp.decode_report", "report_stream.ingest", "pmusic.spectrum",
+        "pipeline.observe", "pipeline.observe_batch", "localize.fix",
+        "calibration.solve"}) {
+    EXPECT_TRUE(budgets.contains(stage)) << stage;
+  }
+  // Sanity ordering: a full fix may take longer than any single stage
+  // below it, and calibration dwarfs everything.
+  EXPECT_GT(budgets.at("localize.fix"), budgets.at("localize.hill_climb"));
+  EXPECT_GT(budgets.at("calibration.solve"), budgets.at("localize.fix"));
+}
+
+TEST(EpochSupervisor, WithinBudgetStaysLive) {
+  FakeClock clock;
+  EpochSupervisor sup(default_stage_budgets(), clock.fn());
+  sup.begin_epoch(1);
+  sup.begin_stage("pipeline.observe");
+  clock.now += 19'000;  // budget is 20 ms
+  EXPECT_TRUE(sup.end_stage("pipeline.observe"));
+  EXPECT_FALSE(sup.aborted());
+  EXPECT_EQ(sup.stats().stage_overruns, 0u);
+}
+
+TEST(EpochSupervisor, OverrunAbortsTheEpoch) {
+  FakeClock clock;
+  EpochSupervisor sup(default_stage_budgets(), clock.fn());
+  sup.begin_epoch(1);
+  sup.begin_stage("pipeline.observe");
+  clock.now += 21'000;  // 1 ms over the 20 ms budget
+  EXPECT_FALSE(sup.end_stage("pipeline.observe"));
+  EXPECT_TRUE(sup.aborted());
+  EXPECT_EQ(sup.stats().stage_overruns, 1u);
+  EXPECT_EQ(sup.stats().epochs_aborted, 1u);
+
+  // A second overrun in the SAME epoch counts a new overrun but not a
+  // new aborted epoch.
+  sup.begin_stage("change.detect");
+  clock.now += 10'000;
+  EXPECT_FALSE(sup.end_stage("change.detect"));
+  EXPECT_EQ(sup.stats().stage_overruns, 2u);
+  EXPECT_EQ(sup.stats().epochs_aborted, 1u);
+
+  // The next epoch starts clean.
+  sup.begin_epoch(2);
+  EXPECT_FALSE(sup.aborted());
+  sup.begin_stage("pipeline.observe");
+  clock.now += 1'000;
+  EXPECT_TRUE(sup.end_stage("pipeline.observe"));
+  EXPECT_EQ(sup.stats().epochs_supervised, 2u);
+}
+
+TEST(EpochSupervisor, UnbudgetedStagesAreUnconstrained) {
+  FakeClock clock;
+  EpochSupervisor sup(default_stage_budgets(), clock.fn());
+  sup.begin_epoch(1);
+  sup.begin_stage("experiment.some_custom_stage");
+  clock.now += 60'000'000;  // a minute
+  EXPECT_TRUE(sup.end_stage("experiment.some_custom_stage"));
+  EXPECT_FALSE(sup.aborted());
+}
+
+TEST(EpochSupervisor, RunGuardedCompletesFastStages) {
+  EpochSupervisor sup;
+  sup.begin_epoch(1);
+  std::atomic<bool> ran{false};
+  EXPECT_TRUE(sup.run_guarded("pipeline.observe", 5'000'000,
+                              [&ran] { ran = true; }));
+  EXPECT_TRUE(ran.load());
+  EXPECT_FALSE(sup.aborted());
+  EXPECT_FALSE(sup.pending());
+}
+
+TEST(EpochSupervisor, RunGuardedAbandonsHungStageAndStaysLive) {
+  EpochSupervisor sup;
+  sup.begin_epoch(7);
+  std::atomic<bool> finished{false};
+  // The "hung" stage sleeps 200 ms against a 5 ms budget: the
+  // supervisor must give up at the deadline, flag the epoch, and leave
+  // the zombie running.
+  EXPECT_FALSE(sup.run_guarded("llrp.decode_report", 5'000, [&finished] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    finished = true;
+  }));
+  EXPECT_TRUE(sup.aborted());
+  EXPECT_EQ(sup.stats().epochs_aborted, 1u);
+  EXPECT_TRUE(sup.pending());
+  // The zombie had NOT finished when the supervisor returned.
+  // (It may finish any moment now; what matters is the supervisor did
+  // not block the 200 ms.)
+
+  // The pipeline stays live: the next epoch runs normally, and starting
+  // its first guarded stage reaps the zombie.
+  sup.begin_epoch(8);
+  EXPECT_TRUE(sup.run_guarded("llrp.decode_report", 5'000'000, [] {}));
+  EXPECT_TRUE(finished.load());  // zombie completed before reuse
+  EXPECT_FALSE(sup.pending());
+  EXPECT_FALSE(sup.aborted());
+}
+
+TEST(EpochSupervisor, DestructorReapsZombie) {
+  std::atomic<bool> finished{false};
+  {
+    EpochSupervisor sup;
+    sup.begin_epoch(1);
+    EXPECT_FALSE(sup.run_guarded("change.detect", 1'000, [&finished] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      finished = true;
+    }));
+  }  // destructor joins
+  EXPECT_TRUE(finished.load());
+}
+
+}  // namespace
+}  // namespace dwatch::recovery

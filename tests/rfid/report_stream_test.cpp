@@ -186,5 +186,78 @@ TEST(SnapshotAssembler, QuarantineCountersTrackRejectedSamples) {
   EXPECT_EQ(asm4.stats().samples_quarantined, 2u);
 }
 
+TEST(SnapshotAssembler, ReaderResetAcceptsReplayedSequenceNumbers) {
+  // Regression: a rebooted reader restarts its round/timestamp counters
+  // and resends byte-identical observations. Before the reconnect path
+  // cleared the quarantine, those fresh reads were mass-rejected as
+  // duplicates of the previous connection and the tag starved forever.
+  SnapshotAssembler asm4(2, 2);
+  TagObservation obs = full_observation(3, 2, 2);
+  obs.first_seen_us = 50;
+  EXPECT_TRUE(asm4.ingest(obs));
+  ASSERT_TRUE(asm4.take(Epc96::for_tag_index(3)).has_value());
+  // Same wire bytes again on the SAME connection: retransmission.
+  EXPECT_FALSE(asm4.ingest(obs));
+
+  asm4.on_reader_reset();
+
+  // Same wire bytes after the reboot: a genuinely new measurement.
+  EXPECT_TRUE(asm4.ingest(obs));
+  EXPECT_TRUE(asm4.take(Epc96::for_tag_index(3)).has_value());
+  // Lifetime stats survive the reset (2 accepted + 1 quarantined).
+  EXPECT_EQ(asm4.stats().reports_accepted, 2u);
+  EXPECT_EQ(asm4.stats().duplicate_reports_quarantined, 1u);
+}
+
+TEST(SnapshotAssembler, ReaderResetDropsPartialRounds) {
+  // Buffered incomplete rounds from before the reboot must go too: the
+  // restarted reader reuses their round numbers, and stitching its
+  // samples into pre-reboot columns would fabricate snapshots.
+  SnapshotAssembler asm4(2, 1);
+  TagObservation half;
+  half.epc = Epc96::for_tag_index(9);
+  half.samples.push_back(sample(1, 0));  // element 2 of round 0 missing
+  EXPECT_TRUE(asm4.ingest(half));
+
+  asm4.on_reader_reset();
+
+  TagObservation other_half;
+  other_half.epc = Epc96::for_tag_index(9);
+  other_half.samples.push_back(sample(2, 0));
+  EXPECT_TRUE(asm4.ingest(other_half));
+  // Round 0 holds only the post-reboot sample: still incomplete.
+  EXPECT_TRUE(asm4.ready_tags().empty());
+}
+
+TEST(SnapshotAssembler, QuarantineExportRestoreRoundTrips) {
+  SnapshotAssembler asm4(2, 2);
+  TagObservation obs = full_observation(6, 2, 2);
+  obs.first_seen_us = 99;
+  EXPECT_TRUE(asm4.ingest(obs));
+  TagObservation obs2 = full_observation(7, 2, 1);
+  obs2.first_seen_us = 100;
+  EXPECT_TRUE(asm4.ingest(obs2));
+
+  const std::vector<QuarantineEntry> exported =
+      asm4.quarantine_fingerprints();
+  ASSERT_EQ(exported.size(), 2u);
+
+  // A restarted server restores the fingerprints and still recognizes
+  // pre-crash retransmissions, without inheriting buffered rounds.
+  SnapshotAssembler fresh(2, 2);
+  fresh.restore_quarantine(exported);
+  EXPECT_FALSE(fresh.ingest(obs));
+  EXPECT_FALSE(fresh.ingest(obs2));
+  EXPECT_EQ(fresh.stats().duplicate_reports_quarantined, 2u);
+  EXPECT_TRUE(fresh.ready_tags().empty());
+  // And the restored quarantine exports identically.
+  const auto reexported = fresh.quarantine_fingerprints();
+  ASSERT_EQ(reexported.size(), exported.size());
+  for (std::size_t i = 0; i < exported.size(); ++i) {
+    EXPECT_EQ(reexported[i].epc, exported[i].epc);
+    EXPECT_EQ(reexported[i].fingerprints, exported[i].fingerprints);
+  }
+}
+
 }  // namespace
 }  // namespace dwatch::rfid
