@@ -1,0 +1,189 @@
+// Serving-layer throughput: fix latency through the zone-sharded
+// LocalizationService at 1 / 4 / 16 zones on the shared pool.
+//
+// Each iteration runs ONE fleet-wide epoch (every zone sealed, one
+// run_pending). items processed = fixes, so google-benchmark's
+// items_per_second is fix throughput; manual p50/p95/p99 counters give
+// the per-epoch wall-clock tail an operator budgets the serving loop
+// against. Report synthesis happens OUTSIDE the timed region — the
+// bench measures routing + scheduling + the pipeline hot path, not the
+// simulator.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "rf/noise.hpp"
+#include "rf/snapshot.hpp"
+#include "serve/service.hpp"
+
+namespace dwatch::serve {
+namespace {
+
+std::vector<rf::UniformLinearArray> zone_arrays() {
+  return {
+      rf::UniformLinearArray({3.5, 0.15, 1.25}, {1, 0}, 8),
+      rf::UniformLinearArray({0.15, 5.0, 1.25}, {0, 1}, 8),
+  };
+}
+
+core::SearchBounds zone_bounds() { return {{0.0, 0.0}, {7.0, 10.0}}; }
+
+linalg::CMatrix synth(const rf::UniformLinearArray& array, double angle_rad,
+                      double scale, std::uint64_t seed) {
+  rf::PropagationPath p;
+  p.kind = rf::PathKind::kDirect;
+  p.vertices = {{-10, 0, 1.25}, array.center()};
+  p.length = 10.0;
+  p.aoa = angle_rad;
+  p.gain = {0.01, 0.0};
+  const std::vector<rf::PropagationPath> paths{p};
+  rf::SnapshotOptions opts;
+  opts.num_snapshots = 16;
+  opts.noise_sigma = rf::noise_sigma_for_snr(paths, 1.0, 35.0);
+  rf::Rng rng(seed);
+  const std::vector<double> path_scale{scale};
+  return rf::synthesize_snapshots(array, paths, path_scale, opts, rng);
+}
+
+rfid::TagObservation wire_obs(const linalg::CMatrix& x,
+                              const rfid::Epc96& epc) {
+  rfid::TagObservation obs;
+  obs.epc = epc;
+  for (std::size_t n = 0; n < x.cols(); ++n) {
+    for (std::size_t m = 0; m < x.rows(); ++m) {
+      const auto [pq, rq] = rfid::quantize_sample(x(m, n));
+      obs.samples.push_back(rfid::PhaseSample{
+          static_cast<std::uint16_t>(m + 1), static_cast<std::uint32_t>(n),
+          pq, rq});
+    }
+  }
+  return obs;
+}
+
+rf::Vec2 zone_target(std::size_t zone) {
+  return {2.0 + 0.5 * static_cast<double>(zone % 8),
+          3.0 + 0.7 * static_cast<double>(zone % 8)};
+}
+
+/// Pre-synthesized traffic for one fleet: reports[rotation][zone][array].
+/// A small rotation of distinct epochs keeps the covariance inputs
+/// varied without timing the synthesizer.
+struct FleetTraffic {
+  std::vector<std::vector<std::vector<rfid::RoAccessReport>>> reports;
+};
+
+constexpr std::size_t kRotation = 4;
+
+FleetTraffic make_traffic(std::size_t zones) {
+  const auto arrays = zone_arrays();
+  FleetTraffic traffic;
+  traffic.reports.resize(kRotation);
+  for (std::size_t e = 0; e < kRotation; ++e) {
+    traffic.reports[e].resize(zones);
+    for (std::size_t z = 0; z < zones; ++z) {
+      for (std::size_t a = 0; a < arrays.size(); ++a) {
+        const double angle =
+            arrays[a].arrival_angle_planar(zone_target(z));
+        const std::uint64_t seed = 1000 * z + 10 * e + a + 1;
+        rfid::RoAccessReport report;
+        report.message_id = static_cast<std::uint32_t>(seed);
+        report.observations.push_back(wire_obs(
+            synth(arrays[a], angle, 0.2, seed),
+            rfid::Epc96::for_tag_index(
+                static_cast<std::uint32_t>(10 * (z % 8) + a + 1))));
+        traffic.reports[e][z].push_back(std::move(report));
+      }
+    }
+  }
+  return traffic;
+}
+
+std::unique_ptr<LocalizationService> make_service(std::size_t zones) {
+  ServiceOptions opts;
+  opts.num_workers = 0;  // hardware concurrency, the deployed shape
+  auto service = std::make_unique<LocalizationService>(opts);
+  const auto arrays = zone_arrays();
+  for (std::size_t z = 0; z < zones; ++z) {
+    ZoneConfig cfg;
+    cfg.name = "zone" + std::to_string(z);
+    cfg.arrays = arrays;
+    cfg.bounds = zone_bounds();
+    const std::size_t id = service->add_zone(std::move(cfg));
+    for (std::size_t a = 0; a < arrays.size(); ++a) {
+      const double angle = arrays[a].arrival_angle_planar(zone_target(z));
+      service->zone(id).pipeline().add_baseline(
+          a,
+          rfid::Epc96::for_tag_index(
+              static_cast<std::uint32_t>(10 * (z % 8) + a + 1)),
+          synth(arrays[a], angle, 1.0, 500 + 10 * z + a));
+      service->bind_reader(100 * (z + 1) + a, id, a);
+    }
+  }
+  return service;
+}
+
+/// Sorted-percentile counters over one wall-clock sample per iteration.
+void report_percentiles(benchmark::State& state, std::vector<double>& ms) {
+  if (ms.empty()) return;
+  std::sort(ms.begin(), ms.end());
+  const auto pct = [&ms](double q) {
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(ms.size() - 1) + 0.5);
+    return ms[std::min(idx, ms.size() - 1)];
+  };
+  state.counters["p50_ms"] = pct(0.50);
+  state.counters["p95_ms"] = pct(0.95);
+  state.counters["p99_ms"] = pct(0.99);
+}
+
+/// One fleet-wide epoch per iteration: seal every zone, route its
+/// reports, drain. The percentile counters are per-EPOCH wall clock —
+/// the serving loop's cadence budget at that fleet size.
+void BM_ServeFleetEpoch(benchmark::State& state) {
+  const auto zones = static_cast<std::size_t>(state.range(0));
+  const FleetTraffic traffic = make_traffic(zones);
+  const auto service = make_service(zones);
+
+  std::vector<double> ms;
+  ms.reserve(1024);
+  std::size_t rotation = 0;
+  for (auto _ : state) {
+    const auto& epoch = traffic.reports[rotation];
+    rotation = (rotation + 1) % kRotation;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t z = 0; z < zones; ++z) service->begin_epoch(z);
+    for (std::size_t z = 0; z < zones; ++z) {
+      for (std::size_t a = 0; a < epoch[z].size(); ++a) {
+        (void)service->router().route(100 * (z + 1) + a, epoch[z][a]);
+      }
+    }
+    const std::size_t processed = service->run_pending();
+    const auto t1 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(processed);
+    ms.push_back(std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  // items = fixes, so items_per_second is fleet fix throughput.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(zones));
+  report_percentiles(state, ms);
+  state.counters["zones"] =
+      benchmark::Counter(static_cast<double>(zones));
+}
+BENCHMARK(BM_ServeFleetEpoch)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace dwatch::serve
+
+BENCHMARK_MAIN();

@@ -5,9 +5,12 @@
 #   1. tier-1: configure + build + full ctest of the default tree;
 #   2. recovery: the self-healing label on the same tree (fast re-run,
 #      isolates a recovery regression from an unrelated tier-1 one);
-#   3. asan_check: fault + obs + recovery labels under ASan/UBSan;
-#   4. tsan_check: the concurrency label under TSan;
-#   5. obs_off_check: configure+build+test a DWATCH_OBS=OFF tree.
+#   3. bench trajectory: every bench_*_json target runs and its
+#      BENCH_*.json is staged at the repo root (committed per PR);
+#      a bench that emits no JSON fails the gate;
+#   4. asan_check: fault + obs + recovery labels under ASan/UBSan;
+#   5. tsan_check: the concurrency label under TSan;
+#   6. obs_off_check: configure+build+test a DWATCH_OBS=OFF tree.
 #
 # Usage: scripts/check.sh [jobs]   (default: nproc)
 set -euo pipefail
@@ -29,19 +32,40 @@ run ctest --test-dir build --output-on-failure
 # --- 2. recovery label, explicitly --------------------------------------
 run ctest --test-dir build -L recovery --output-on-failure
 
-# --- 3. AddressSanitizer tree: stress|obs|recovery ----------------------
+# --- 3. bench trajectory: run every bench_*_json, stage at repo root ----
+# Target discovery is from the build system itself, so a new
+# bench_X_json target joins the gate without touching this script.
+BENCH_TARGETS="$(cmake --build build --target help \
+  | grep -oE 'bench_[a-z0-9_]+_json' | sort -u)"
+if [ -z "${BENCH_TARGETS}" ]; then
+  echo "check.sh: no bench_*_json targets found" >&2
+  exit 1
+fi
+for target in ${BENCH_TARGETS}; do
+  json="BENCH_${target#bench_}"
+  json="${json%_json}.json"
+  rm -f "build/${json}"
+  run cmake --build build --target "${target}"
+  if [ ! -s "build/${json}" ]; then
+    echo "check.sh: ${target} emitted no JSON (build/${json} missing or empty)" >&2
+    exit 1
+  fi
+  run cp "build/${json}" "${json}"
+done
+
+# --- 4. AddressSanitizer tree: stress|obs|recovery ----------------------
 run cmake -S . -B build-asan -DDWATCH_SANITIZE=address \
   -DDWATCH_BUILD_BENCH=OFF -DDWATCH_BUILD_EXAMPLES=OFF
 run cmake --build build-asan --parallel "$JOBS"
 run cmake --build build-asan --target asan_check
 
-# --- 4. ThreadSanitizer tree: tsan label --------------------------------
+# --- 5. ThreadSanitizer tree: tsan label --------------------------------
 run cmake -S . -B build-tsan -DDWATCH_SANITIZE=thread \
   -DDWATCH_BUILD_BENCH=OFF -DDWATCH_BUILD_EXAMPLES=OFF
 run cmake --build build-tsan --parallel "$JOBS"
 run cmake --build build-tsan --target tsan_check
 
-# --- 5. uninstrumented tree must stay green -----------------------------
+# --- 6. uninstrumented tree must stay green -----------------------------
 run cmake --build build --target obs_off_check
 
 echo

@@ -1,12 +1,33 @@
 #include "core/localizer.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <stdexcept>
 
 #include "obs/trace.hpp"
 
 namespace dwatch::core {
+
+bool Localizer::candidate_order(const LocationEstimate& a,
+                                const LocationEstimate& b) noexcept {
+  if (a.likelihood != b.likelihood) return a.likelihood > b.likelihood;
+  if (a.position.y != b.position.y) return a.position.y < b.position.y;
+  return a.position.x < b.position.x;
+}
+
+LocationEstimate Localizer::select_max_likelihood(
+    std::span<const LocationEstimate> candidates) noexcept {
+  LocationEstimate best{};
+  bool have = false;
+  for (const LocationEstimate& c : candidates) {
+    if (!have || candidate_order(c, best)) {
+      best = c;
+      have = true;
+    }
+  }
+  return best;
+}
 
 Localizer::Localizer(std::vector<rf::UniformLinearArray> arrays,
                      SearchBounds bounds, LocalizerOptions options)
@@ -176,10 +197,7 @@ std::vector<LocationEstimate> Localizer::grid_candidates(
       }
     }
   }
-  std::sort(candidates.begin(), candidates.end(),
-            [](const LocationEstimate& a, const LocationEstimate& b) {
-              return a.likelihood > b.likelihood;
-            });
+  std::sort(candidates.begin(), candidates.end(), candidate_order);
   return candidates;
 }
 
@@ -231,11 +249,32 @@ std::vector<LocationEstimate> Localizer::hill_climb_candidates(
       if (!dup) candidates.push_back(LocationEstimate{p, l, 0, false});
     }
   }
-  std::sort(candidates.begin(), candidates.end(),
-            [](const LocationEstimate& a, const LocationEstimate& b) {
-              return a.likelihood > b.likelihood;
-            });
+  std::sort(candidates.begin(), candidates.end(), candidate_order);
   return candidates;
+}
+
+LocationEstimate Localizer::consensus_select(
+    std::vector<LocationEstimate> candidates,
+    std::span<const AngularEvidence> evidence, double norm,
+    std::size_t min_arrays) const {
+  // Rank by the total order BEFORE the cap: which 24 get scored must
+  // not depend on the order restarts (or a caller) produced them in.
+  std::sort(candidates.begin(), candidates.end(), candidate_order);
+  LocationEstimate best{};
+  const std::size_t limit = std::min(candidates.size(), kMaxCandidates);
+  for (std::size_t i = 0; i < limit; ++i) {
+    LocationEstimate c = candidates[i];
+    c.consensus = consensus_at(c.position, evidence, norm);
+    // Scanning in candidate_order means the first candidate at any
+    // consensus level is already the best-ranked one — a strict
+    // consensus improvement is the only reason to switch.
+    if (c.consensus > best.consensus ||
+        (c.consensus == best.consensus && c.likelihood > best.likelihood)) {
+      best = c;
+    }
+  }
+  best.valid = best.consensus >= min_arrays;
+  return best;
 }
 
 LocationEstimate Localizer::localize(
@@ -252,23 +291,15 @@ LocationEstimate Localizer::localize(
   std::vector<LocationEstimate> candidates =
       options_.hill_climbing ? hill_climb_candidates(evidence, norm)
                              : grid_candidates(evidence);
+  // Both producers promise candidate_order() — consensus_select would
+  // mask a violation by re-sorting, so check the contract here.
+  assert(std::is_sorted(candidates.begin(), candidates.end(),
+                        candidate_order));
 
   // Consensus selection (outlier rejection): among the likelihood peaks,
   // prefer the one the most arrays genuinely point at; candidates backed
   // by fewer than min_arrays arrays are not a valid fix at all.
-  LocationEstimate best{};
-  constexpr std::size_t kMaxCandidates = 24;
-  std::size_t considered = 0;
-  for (LocationEstimate& c : candidates) {
-    if (++considered > kMaxCandidates) break;
-    c.consensus = consensus_at(c.position, evidence, norm);
-    if (c.consensus > best.consensus ||
-        (c.consensus == best.consensus && c.likelihood > best.likelihood)) {
-      best = c;
-    }
-  }
-  best.valid = best.consensus >= min_arrays;
-  return best;
+  return consensus_select(std::move(candidates), evidence, norm, min_arrays);
 }
 
 LocationEstimate Localizer::localize_best_effort(
@@ -276,12 +307,19 @@ LocationEstimate Localizer::localize_best_effort(
   LocationEstimate est = localize(evidence);
   if (est.valid || est.likelihood > 0.0) return est;
   if (arrays_with_evidence(evidence) == 0) return est;  // nothing to go on
-  // No consensus candidate: fall back to the raw likelihood maximum.
-  const std::vector<LocationEstimate> candidates = grid_candidates(evidence);
-  if (!candidates.empty() && candidates.front().likelihood > 0.0) {
-    LocationEstimate best = candidates.front();
-    best.consensus =
-        consensus_at(best.position, evidence, global_drop_norm(evidence));
+  // No consensus candidate: fall back to the raw likelihood maximum,
+  // searched with the SAME mode the localizer is configured for (a
+  // hill-climbing deployment must not silently pay for — and answer
+  // from — an exhaustive grid), and selected by an explicit max scan
+  // rather than trusting the list head.
+  const double norm = global_drop_norm(evidence);
+  const std::vector<LocationEstimate> candidates =
+      options_.hill_climbing ? hill_climb_candidates(evidence, norm)
+                             : grid_candidates(evidence);
+  const LocationEstimate top = select_max_likelihood(candidates);
+  if (top.likelihood > 0.0) {
+    LocationEstimate best = top;
+    best.consensus = consensus_at(best.position, evidence, norm);
     best.valid = false;
     return best;
   }

@@ -151,6 +151,40 @@ class Localizer {
     pool_ = std::move(pool);
   }
 
+  /// Strict total order on candidates: likelihood descending, ties
+  /// broken by position (y ascending, then x ascending — the grid's
+  /// own scan order, so tied ridge peaks resolve exactly as the
+  /// exhaustive search always has). Because the tie-break depends only
+  /// on the candidate's VALUE, sorting by it is invariant under any
+  /// permutation of the input list — the property the localize()
+  /// candidate cap needs to be order-independent.
+  [[nodiscard]] static bool candidate_order(
+      const LocationEstimate& a, const LocationEstimate& b) noexcept;
+
+  /// The maximum candidate under candidate_order(), found by a full
+  /// scan — never assumes the list is sorted. Returns a default
+  /// (zero-likelihood) estimate for an empty list. Exposed for the
+  /// best-effort fallback's unsorted-candidate regression test.
+  [[nodiscard]] static LocationEstimate select_max_likelihood(
+      std::span<const LocationEstimate> candidates) noexcept;
+
+  /// Consensus selection over an arbitrary candidate list: re-sorts
+  /// into candidate_order(), caps at kMaxCandidates, scores each
+  /// survivor's consensus and picks the highest-consensus (then
+  /// highest-likelihood, then position tie-break) candidate. The
+  /// result is identical under any permutation of `candidates` —
+  /// asserted by the localizer permutation test. `min_arrays` is the
+  /// effective (K-of-N adjusted) validity threshold.
+  [[nodiscard]] LocationEstimate consensus_select(
+      std::vector<LocationEstimate> candidates,
+      std::span<const AngularEvidence> evidence, double norm,
+      std::size_t min_arrays) const;
+
+  /// Hard cap on how many candidates consensus selection scores per
+  /// fix; candidates are ranked by candidate_order() first, so the cap
+  /// always keeps the strongest ones regardless of production order.
+  static constexpr std::size_t kMaxCandidates = 24;
+
   /// Best single-target estimate. Invalid (valid == false) when fewer
   /// than min_arrays arrays support any candidate.
   [[nodiscard]] LocationEstimate localize(
@@ -190,9 +224,14 @@ class Localizer {
   [[nodiscard]] std::size_t consensus_at(
       rf::Vec2 point, std::span<const AngularEvidence> evidence,
       double norm) const;
-  /// Local maxima of the likelihood grid, strongest first.
+  /// Local maxima of the likelihood grid. Ordering contract (shared
+  /// with hill_climb_candidates): the returned list is sorted by
+  /// candidate_order() — strictly ranked even through likelihood ties,
+  /// so downstream caps and front() reads are deterministic.
   [[nodiscard]] std::vector<LocationEstimate> grid_candidates(
       std::span<const AngularEvidence> evidence) const;
+  /// Multi-start ascent candidates; same candidate_order() contract as
+  /// grid_candidates().
   [[nodiscard]] std::vector<LocationEstimate> hill_climb_candidates(
       std::span<const AngularEvidence> evidence, double norm) const;
 

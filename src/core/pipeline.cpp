@@ -437,9 +437,14 @@ std::size_t DWatchPipeline::observe(std::size_t array_idx,
 
 std::vector<AngularEvidence> DWatchPipeline::filtered_evidence() const {
   if (!options_.ghost_filtering) return evidence_;
-  // How many arrays each tag dropped at.
+  // How many USABLE arrays each tag dropped at. An excluded array's
+  // drops never reach localization, so they must not vote here either:
+  // counting them would let a dead array's garbage flip `multi_array`
+  // and make the filter reject a healthy array's only (uncorroborated)
+  // drop — exactly the K-of-N epochs where every drop matters.
   std::map<std::uint32_t, std::size_t> arrays_per_tag;
   for (const auto& e : evidence_) {
+    if (e.excluded) continue;
     std::set<std::uint32_t> tags_here;
     for (const PathDrop& d : e.drops) tags_here.insert(d.source_id);
     for (const std::uint32_t t : tags_here) ++arrays_per_tag[t];

@@ -290,6 +290,16 @@ class DWatchPipeline {
     return pool_;
   }
 
+  /// Serving-layer hook: replace the worker pool with an externally
+  /// owned (typically fleet-shared) one; nullptr reverts to fully
+  /// serial. Safe at any epoch boundary — results are bit-identical
+  /// for every pool size, per the observe_batch/likelihood_grid
+  /// determinism contract. The pool must outlive the pipeline.
+  void set_thread_pool(std::shared_ptr<ThreadPool> pool) noexcept {
+    pool_ = std::move(pool);
+    localizer_.set_thread_pool(pool_);
+  }
+
  private:
   [[nodiscard]] AngularSpectrum compute_omega(
       std::size_t array_idx, const linalg::CMatrix& snapshots) const;

@@ -6,6 +6,12 @@
 
 namespace dwatch::core {
 
+namespace {
+thread_local bool t_on_worker = false;
+}  // namespace
+
+bool ThreadPool::on_worker_thread() noexcept { return t_on_worker; }
+
 ThreadPool::ThreadPool(std::size_t num_workers) {
   if (num_workers == 0) {
     num_workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -39,6 +45,15 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  // Nested fan-out from a pooled task: run inline. Splitting here would
+  // park this worker in f.get() on chunks that need a free worker to
+  // run — when every worker nests, nothing is free and the pool
+  // deadlocks. Inline execution is bit-identical (callers own result
+  // placement; indices just run in ascending order on one thread).
+  if (on_worker_thread()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
   const std::size_t chunks = std::min(n, num_workers());
   if (chunks <= 1) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
@@ -74,6 +89,7 @@ void ThreadPool::parallel_for(std::size_t n,
 }
 
 void ThreadPool::worker_loop() {
+  t_on_worker = true;
   for (;;) {
     std::packaged_task<void()> task;
     {

@@ -43,6 +43,16 @@ class ThreadPool {
     return workers_.size();
   }
 
+  /// True when the calling thread is a pool worker (of ANY ThreadPool in
+  /// the process). parallel_for uses this to run nested fan-outs inline:
+  /// a pooled task that fans out again must not block a worker waiting
+  /// on chunks that can only run on the workers already occupied —
+  /// with every worker parked in that wait the pool deadlocks. The
+  /// serving layer relies on this when zone epochs (themselves pool
+  /// tasks) drive pipeline internals that parallel_for over the same
+  /// shared pool.
+  [[nodiscard]] static bool on_worker_thread() noexcept;
+
   /// Enqueue one task. The future rethrows any exception the task threw.
   std::future<void> submit(std::function<void()> task);
 

@@ -157,4 +157,9 @@ bool RobustSessionClient::connect(const RoSpec& rospec) {
   return false;
 }
 
+void RobustSessionClient::deliver_report(const RoAccessReport& report) {
+  ++reports_delivered_;
+  if (report_sink_) report_sink_(reader_id_, report);
+}
+
 }  // namespace dwatch::rfid

@@ -83,6 +83,31 @@ class RobustSessionClient {
     assembler_ = assembler;
   }
 
+  /// Serving-layer hook: decoded report stream, tagged with this
+  /// client's reader identity so a fleet router (serve::SessionRouter)
+  /// can demultiplex many sessions onto their zones.
+  using ReportSink =
+      std::function<void(std::uint64_t reader_id, const RoAccessReport&)>;
+
+  /// Stable identity of the reader behind this session (what the
+  /// router keys zone bindings on). Defaults to 0 = unassigned.
+  void set_reader_id(std::uint64_t id) noexcept { reader_id_ = id; }
+  [[nodiscard]] std::uint64_t reader_id() const noexcept {
+    return reader_id_;
+  }
+
+  /// Install/replace the report sink (nullptr detaches).
+  void set_report_sink(ReportSink sink) { report_sink_ = std::move(sink); }
+
+  /// Forward one decoded report to the sink, stamped with reader_id().
+  /// Counted even with no sink installed, so droppage is visible.
+  void deliver_report(const RoAccessReport& report);
+
+  /// Reports handed to deliver_report() over the client's lifetime.
+  [[nodiscard]] std::size_t reports_delivered() const noexcept {
+    return reports_delivered_;
+  }
+
   /// One control request with retry + exponential backoff. Returns the
   /// decoded response, or nullopt when every attempt timed out or
   /// returned undecodable bytes.
@@ -118,6 +143,9 @@ class RobustSessionClient {
   RetryPolicy policy_;
   ReconnectHook reconnect_;
   SnapshotAssembler* assembler_ = nullptr;
+  ReportSink report_sink_;
+  std::uint64_t reader_id_ = 0;
+  std::size_t reports_delivered_ = 0;
   TransportStats stats_;
   std::uint32_t next_message_id_ = 1;
 };

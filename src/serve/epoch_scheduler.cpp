@@ -1,0 +1,89 @@
+#include "serve/epoch_scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dwatch::serve {
+
+EpochScheduler::EpochScheduler(std::size_t num_zones,
+                               std::size_t max_queue_per_zone)
+    : queues_(num_zones),
+      max_queue_per_zone_(std::max<std::size_t>(1, max_queue_per_zone)) {}
+
+std::size_t EpochScheduler::add_zone() {
+  queues_.emplace_back();
+  return queues_.size() - 1;
+}
+
+std::size_t EpochScheduler::submit(PendingEpoch epoch) {
+  if (epoch.zone >= queues_.size()) {
+    throw std::out_of_range("serve::EpochScheduler: no such zone");
+  }
+  epoch.seq = next_seq_++;
+  ++submitted_;
+  auto& queue = queues_[epoch.zone];
+  std::size_t shed = 0;
+  if (queue.size() >= max_queue_per_zone_) {
+    // Shed the OLDEST epoch: under sustained overload every fix the
+    // zone does manage to run is then the freshest available, instead
+    // of the queue serving an ever-staler backlog.
+    ++shed_;
+    shed = 1;
+    if (shed_hook_) shed_hook_(queue.front());
+    queue.pop_front();
+  }
+  queue.push_back(std::move(epoch));
+  return shed;
+}
+
+std::size_t EpochScheduler::run_pending(core::ThreadPool* pool,
+                                        const Processor& processor) {
+  // Move the queues out first: the drain loop must see a stable batch
+  // even if a processor (against the contract) submits new epochs.
+  std::vector<std::deque<PendingEpoch>> batches(queues_.size());
+  std::vector<std::size_t> active;
+  for (std::size_t z = 0; z < queues_.size(); ++z) {
+    if (queues_[z].empty()) continue;
+    batches[z] = std::move(queues_[z]);
+    queues_[z].clear();
+    active.push_back(z);
+  }
+  if (active.empty()) return 0;
+
+  std::size_t count = 0;
+  for (const std::size_t z : active) count += batches[z].size();
+
+  const auto drain_zone = [&](std::size_t zone) {
+    auto& batch = batches[zone];
+    while (!batch.empty()) {
+      PendingEpoch epoch = std::move(batch.front());
+      batch.pop_front();
+      processor(std::move(epoch));
+    }
+  };
+
+  if (pool != nullptr && active.size() > 1) {
+    pool->parallel_for(active.size(),
+                       [&](std::size_t i) { drain_zone(active[i]); });
+  } else {
+    for (const std::size_t z : active) drain_zone(z);
+  }
+
+  processed_ += count;
+  return count;
+}
+
+std::size_t EpochScheduler::pending(std::size_t zone) const {
+  if (zone >= queues_.size()) {
+    throw std::out_of_range("serve::EpochScheduler: no such zone");
+  }
+  return queues_[zone].size();
+}
+
+std::size_t EpochScheduler::total_pending() const noexcept {
+  std::size_t total = 0;
+  for (const auto& q : queues_) total += q.size();
+  return total;
+}
+
+}  // namespace dwatch::serve

@@ -1,0 +1,115 @@
+// EpochScheduler: cross-zone epoch batching with bounded backpressure.
+//
+// Zones produce sealed epochs faster than the fix path can drain them
+// when the fleet is overloaded (16 zones sharing one pool, each epoch
+// a multi-tag P-MUSIC + likelihood-search bill). The scheduler sits
+// between sealing and fixing:
+//
+//  * per-zone FIFO queues with a hard depth cap — admission control is
+//    per zone, so one hot zone cannot starve the others' memory;
+//  * when a zone's queue is full, the OLDEST queued epoch is shed to
+//    admit the new one (fresh fixes are worth more than stale ones —
+//    the same newest-wins policy as the assembler's dedupe window) and
+//    the shed is counted, never silent;
+//  * run_pending() drains every queue in one pass: zones fan out
+//    across the shared ThreadPool, but ONE zone's epochs always run
+//    serially in submission order on a single task — that is what
+//    keeps each zone's fixes bit-identical to a standalone pipeline
+//    fed the same reports (the tests/serve determinism contract).
+//
+// The scheduler is intentionally obs-free: it does not know zone
+// names, so the LocalizationService (which does) emits the labelled
+// metrics/events around it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "core/calibration.hpp"
+#include "core/thread_pool.hpp"
+#include "rfid/llrp.hpp"
+
+namespace dwatch::serve {
+
+/// One sealed epoch waiting for its fix.
+struct PendingEpoch {
+  std::size_t zone = 0;
+  /// Service-wide submission sequence number (shed reporting).
+  std::uint64_t seq = 0;
+  std::uint64_t watermark_us = 0;
+  /// (array index, report) in arrival order.
+  std::vector<std::pair<std::size_t, rfid::RoAccessReport>> reports;
+  /// Per-array anchor-tag measurements for the recovery coordinator
+  /// (empty when the zone has no coordinator or no probe this epoch).
+  std::vector<std::vector<core::CalibrationMeasurement>> anchors;
+};
+
+class EpochScheduler {
+ public:
+  /// Runs one epoch to completion on the zone's pipeline. Called with
+  /// epochs of a given zone strictly in submission order, exactly once
+  /// each, never concurrently for the same zone.
+  using Processor = std::function<void(PendingEpoch&&)>;
+
+  /// Called (on the submitting thread) for every epoch shed by
+  /// admission control, before submit() returns.
+  using ShedHook = std::function<void(const PendingEpoch&)>;
+
+  /// `max_queue_per_zone` is clamped up to 1: a zone must always be
+  /// able to hold its newest epoch.
+  EpochScheduler(std::size_t num_zones, std::size_t max_queue_per_zone);
+
+  /// Append one (empty) zone queue; returns the new zone's index.
+  /// Mirrors ZoneRegistry::add_zone so the service can grow both in
+  /// lockstep.
+  std::size_t add_zone();
+
+  void set_shed_hook(ShedHook hook) { shed_hook_ = std::move(hook); }
+
+  /// Admit one sealed epoch (epoch.zone indexes the queues; throws
+  /// std::out_of_range on a bad zone). When the zone's queue is at
+  /// capacity the oldest queued epoch is dropped — counted, reported
+  /// through the shed hook — and the new one admitted. Returns the
+  /// number of epochs shed (0 or 1).
+  std::size_t submit(PendingEpoch epoch);
+
+  /// Drain every queue: each zone with pending epochs gets ONE task
+  /// that runs its epochs serially in FIFO order; distinct zones run
+  /// concurrently on `pool` (serially, in zone order, when pool is
+  /// null). Epochs submitted from inside `processor` (it shouldn't)
+  /// wait for the next call. Returns the number of epochs processed.
+  std::size_t run_pending(core::ThreadPool* pool, const Processor& processor);
+
+  [[nodiscard]] std::size_t num_zones() const noexcept {
+    return queues_.size();
+  }
+  [[nodiscard]] std::size_t max_queue_per_zone() const noexcept {
+    return max_queue_per_zone_;
+  }
+  /// Epochs currently queued for one zone / across all zones.
+  [[nodiscard]] std::size_t pending(std::size_t zone) const;
+  [[nodiscard]] std::size_t total_pending() const noexcept;
+
+  [[nodiscard]] std::uint64_t submitted_total() const noexcept {
+    return submitted_;
+  }
+  [[nodiscard]] std::uint64_t processed_total() const noexcept {
+    return processed_;
+  }
+  [[nodiscard]] std::uint64_t shed_total() const noexcept { return shed_; }
+
+ private:
+  std::vector<std::deque<PendingEpoch>> queues_;
+  std::size_t max_queue_per_zone_;
+  ShedHook shed_hook_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t processed_ = 0;
+  std::uint64_t shed_ = 0;
+};
+
+}  // namespace dwatch::serve

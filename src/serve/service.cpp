@@ -1,0 +1,207 @@
+#include "serve/service.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/event_log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+
+namespace dwatch::serve {
+
+namespace {
+
+[[nodiscard]] std::string zone_label(const std::string& name) {
+  return "zone=\"" + name + "\"";
+}
+
+[[nodiscard]] std::uint64_t steady_now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+LocalizationService::LocalizationService(ServiceOptions options)
+    : options_(options), scheduler_(0, options.max_queue_per_zone) {
+  if (options_.num_workers != 1) {
+    pool_ = std::make_shared<core::ThreadPool>(options_.num_workers);
+  }
+  registry_.set_thread_pool(pool_);
+  router_.set_sink([this](RouteTarget target,
+                          const rfid::RoAccessReport& report) {
+    add_report(target.zone, target.array, report);
+  });
+  scheduler_.set_shed_hook(
+      [this](const PendingEpoch& epoch) { note_shed(epoch); });
+}
+
+std::size_t LocalizationService::add_zone(ZoneConfig config) {
+  const std::size_t id = registry_.add_zone(std::move(config));
+  scheduler_.add_zone();
+  open_.emplace_back();
+  fixes_.emplace_back();
+  return id;
+}
+
+void LocalizationService::bind_reader(std::uint64_t reader_id,
+                                      std::size_t zone, std::size_t array) {
+  Zone& z = registry_.zone(zone);  // validates the zone id
+  if (array >= z.pipeline().num_arrays()) {
+    throw std::out_of_range("serve::LocalizationService: no such array");
+  }
+  router_.bind(reader_id, RouteTarget{zone, array});
+}
+
+void LocalizationService::attach_client(rfid::RobustSessionClient& client,
+                                        std::uint64_t reader_id,
+                                        std::size_t zone, std::size_t array) {
+  bind_reader(reader_id, zone, array);
+  router_.attach(client, reader_id);
+}
+
+void LocalizationService::begin_epoch(std::size_t zone,
+                                      std::uint64_t watermark_us) {
+  (void)registry_.zone(zone);  // validates the zone id
+  if (open_[zone].has_value()) (void)seal_epoch(zone);
+  PendingEpoch epoch;
+  epoch.zone = zone;
+  epoch.watermark_us = watermark_us;
+  open_[zone] = std::move(epoch);
+}
+
+void LocalizationService::add_report(std::size_t zone, std::size_t array,
+                                     const rfid::RoAccessReport& report) {
+  Zone& z = registry_.zone(zone);
+  if (array >= z.pipeline().num_arrays()) {
+    throw std::out_of_range("serve::LocalizationService: no such array");
+  }
+  if (!open_[zone].has_value()) {
+    throw std::logic_error(
+        "serve::LocalizationService: no open epoch for zone (begin_epoch "
+        "first)");
+  }
+  open_[zone]->reports.emplace_back(array, report);
+  ++z.serving_stats().reports_routed;
+}
+
+void LocalizationService::add_anchors(
+    std::size_t zone,
+    std::vector<std::vector<core::CalibrationMeasurement>> anchors) {
+  Zone& z = registry_.zone(zone);
+  if (anchors.size() != z.pipeline().num_arrays()) {
+    throw std::invalid_argument(
+        "serve::LocalizationService: anchors must match the zone's array "
+        "count");
+  }
+  if (!open_[zone].has_value()) {
+    throw std::logic_error(
+        "serve::LocalizationService: no open epoch for zone (begin_epoch "
+        "first)");
+  }
+  open_[zone]->anchors = std::move(anchors);
+}
+
+std::size_t LocalizationService::seal_epoch(std::size_t zone) {
+  Zone& z = registry_.zone(zone);
+  if (!open_[zone].has_value()) return 0;
+  PendingEpoch epoch = std::move(*open_[zone]);
+  open_[zone].reset();
+  ++z.serving_stats().epochs_submitted;
+  return scheduler_.submit(std::move(epoch));
+}
+
+std::size_t LocalizationService::run_pending() {
+  for (std::size_t z = 0; z < registry_.num_zones(); ++z) {
+    (void)seal_epoch(z);
+  }
+  return scheduler_.run_pending(
+      pool_.get(), [this](PendingEpoch&& epoch) {
+        process_epoch(std::move(epoch));
+      });
+}
+
+void LocalizationService::process_epoch(PendingEpoch&& epoch) {
+  DWATCH_SPAN("serve.zone_epoch");
+  Zone& z = registry_.zone(epoch.zone);
+  core::DWatchPipeline& pipeline = z.pipeline();
+
+  const std::uint64_t t0 = obs::enabled() ? steady_now_us() : 0;
+
+  // Exactly the standalone recipe: begin, observe in arrival order,
+  // fix. Anything fancier here would break the bit-identical-to-
+  // standalone contract the determinism test pins down.
+  pipeline.begin_epoch(epoch.watermark_us);
+  for (const auto& [array, report] : epoch.reports) {
+    for (const rfid::TagObservation& obs : report.observations) {
+      (void)pipeline.observe(array, obs);
+    }
+  }
+  const core::ConfidentEstimate fix =
+      pipeline.localize_with_confidence(z.best_effort());
+
+  ZoneServingStats& stats = z.serving_stats();
+  ++stats.epochs_processed;
+  if (fix.estimate.valid) ++stats.fixes_valid;
+  if (fix.confidence.degraded()) ++stats.fixes_degraded;
+  fixes_[epoch.zone].push_back(
+      ZoneFix{epoch.seq, epoch.watermark_us, fix});
+
+  if (recovery::RecoveryCoordinator* coordinator = z.coordinator()) {
+    std::vector<std::vector<core::CalibrationMeasurement>> anchors =
+        std::move(epoch.anchors);
+    anchors.resize(pipeline.num_arrays());
+    (void)coordinator->end_epoch(epoch.seq, anchors);
+  }
+
+  if (obs::enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    const std::string label = zone_label(z.name());
+    reg.counter("dwatch_serve_epochs_total", label).inc();
+    const auto bounds = obs::Histogram::default_latency_bounds_us();
+    reg.histogram("dwatch_serve_fix_latency_us", bounds, label)
+        .observe(static_cast<double>(steady_now_us() - t0));
+  }
+}
+
+void LocalizationService::note_shed(const PendingEpoch& epoch) {
+  Zone& z = registry_.zone(epoch.zone);
+  ++z.serving_stats().epochs_shed;
+  if (obs::enabled()) {
+    obs::MetricsRegistry::global()
+        .counter("dwatch_serve_shed_total", zone_label(z.name()))
+        .inc();
+    obs::EventLog::global().emit(obs::Event("serve.epoch_shed")
+                                     .field("zone", z.name())
+                                     .field("seq", epoch.seq)
+                                     .field("reports", epoch.reports.size()));
+  }
+}
+
+const std::vector<ZoneFix>& LocalizationService::fixes(
+    std::size_t zone) const {
+  (void)registry_.zone(zone);  // validates the zone id
+  return fixes_[zone];
+}
+
+ServiceStats LocalizationService::stats() const {
+  ServiceStats total;
+  total.zones = registry_.num_zones();
+  total.reports_unroutable = router_.reports_unroutable();
+  for (std::size_t z = 0; z < registry_.num_zones(); ++z) {
+    const ZoneServingStats& s = registry_.zone(z).serving_stats();
+    total.epochs_submitted += s.epochs_submitted;
+    total.epochs_processed += s.epochs_processed;
+    total.epochs_shed += s.epochs_shed;
+    total.reports_routed += s.reports_routed;
+    total.fixes_valid += s.fixes_valid;
+    total.fixes_degraded += s.fixes_degraded;
+  }
+  return total;
+}
+
+}  // namespace dwatch::serve

@@ -1,0 +1,165 @@
+// LocalizationService: the zone-sharded serving layer.
+//
+// Glues the serving pieces into one front door:
+//
+//   readers ──RobustSessionClient──▶ SessionRouter ──▶ open epochs
+//                                                        │ seal
+//                                                        ▼
+//            ZoneRegistry ◀── EpochScheduler (bounded, shedding)
+//                 │                  │ run_pending(shared pool)
+//                 ▼                  ▼
+//            per-zone DWatchPipeline fix + RecoveryCoordinator heal
+//
+// The caller (the deployment's serving loop) drives time: it begins
+// and seals epochs per zone, then calls run_pending() to batch every
+// sealed epoch across zones onto the shared ThreadPool. Everything
+// else — routing, admission control, per-zone obs labels — happens in
+// here.
+//
+// Determinism contract (asserted by tests/serve/service_test.cpp):
+// each zone's fixes are bit-identical to a standalone DWatchPipeline
+// fed the same reports in the same order, for EVERY pool worker count.
+// Two ingredients make that hold: a zone's epochs run serially in
+// submission order (EpochScheduler), and the pipeline itself is
+// bit-identical under any pool size (its own contract).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/calibration.hpp"
+#include "core/pipeline.hpp"
+#include "core/thread_pool.hpp"
+#include "rfid/llrp.hpp"
+#include "rfid/robust_client.hpp"
+#include "serve/epoch_scheduler.hpp"
+#include "serve/session_router.hpp"
+#include "serve/zone_registry.hpp"
+
+namespace dwatch::serve {
+
+struct ServiceOptions {
+  /// Workers in the fleet-shared pool: 0 = one per hardware thread,
+  /// 1 = fully serial (no pool — zones then also run serially).
+  std::size_t num_workers = 0;
+  /// Sealed epochs a zone may have queued before the oldest is shed.
+  std::size_t max_queue_per_zone = 4;
+};
+
+/// One completed fix, tagged with the epoch it came from.
+struct ZoneFix {
+  std::uint64_t seq = 0;           ///< service-wide submission sequence
+  std::uint64_t watermark_us = 0;  ///< the epoch's staleness watermark
+  core::ConfidentEstimate result;
+};
+
+/// Service-wide roll-up of the per-zone serving counters.
+struct ServiceStats {
+  std::size_t zones = 0;
+  std::size_t epochs_submitted = 0;
+  std::size_t epochs_processed = 0;
+  std::size_t epochs_shed = 0;
+  std::size_t reports_routed = 0;
+  std::size_t reports_unroutable = 0;
+  std::size_t fixes_valid = 0;
+  std::size_t fixes_degraded = 0;
+
+  bool operator==(const ServiceStats&) const = default;
+};
+
+class LocalizationService {
+ public:
+  explicit LocalizationService(ServiceOptions options = {});
+
+  /// Provision a zone; returns its id. Call before serving traffic
+  /// (zones added mid-flight only see epochs begun after the add).
+  std::size_t add_zone(ZoneConfig config);
+
+  [[nodiscard]] std::size_t num_zones() const noexcept {
+    return registry_.num_zones();
+  }
+  [[nodiscard]] Zone& zone(std::size_t id) { return registry_.zone(id); }
+  [[nodiscard]] const Zone& zone(std::size_t id) const {
+    return registry_.zone(id);
+  }
+  [[nodiscard]] SessionRouter& router() noexcept { return router_; }
+  [[nodiscard]] const EpochScheduler& scheduler() const noexcept {
+    return scheduler_;
+  }
+  /// Null when options.num_workers == 1.
+  [[nodiscard]] const std::shared_ptr<core::ThreadPool>& thread_pool()
+      const noexcept {
+    return pool_;
+  }
+
+  /// Bind a reader identity to (zone, array); reports routed through
+  /// the router then land in that zone's open epoch. Throws
+  /// std::out_of_range / std::invalid_argument on a bad slot.
+  void bind_reader(std::uint64_t reader_id, std::size_t zone,
+                   std::size_t array);
+
+  /// bind_reader + wire the client's ReportSink through the router.
+  void attach_client(rfid::RobustSessionClient& client,
+                     std::uint64_t reader_id, std::size_t zone,
+                     std::size_t array);
+
+  /// Open a new epoch for one zone. An already-open epoch is sealed
+  /// (submitted) first, so a fixed-cadence serving loop can just call
+  /// begin_epoch every tick. `watermark_us` is forwarded to the zone
+  /// pipeline's staleness rejection.
+  void begin_epoch(std::size_t zone, std::uint64_t watermark_us = 0);
+
+  /// Append one report to a zone's open epoch (throws std::logic_error
+  /// when no epoch is open — begin_epoch first). The router's sink
+  /// calls this; tests and replay drivers may call it directly.
+  void add_report(std::size_t zone, std::size_t array,
+                  const rfid::RoAccessReport& report);
+
+  /// Attach this epoch's anchor-tag measurements for the zone's
+  /// recovery coordinator (ignored when the zone has none).
+  /// `anchors_per_array` must match the zone's array count.
+  void add_anchors(
+      std::size_t zone,
+      std::vector<std::vector<core::CalibrationMeasurement>> anchors);
+
+  /// Seal the zone's open epoch: hand it to the scheduler (possibly
+  /// shedding the zone's oldest queued epoch). No-op when no epoch is
+  /// open. Returns the number of epochs shed by admission (0 or 1).
+  std::size_t seal_epoch(std::size_t zone);
+
+  /// Seal every open epoch, then drain the scheduler: zones fan out
+  /// across the shared pool, each zone's epochs run serially in order.
+  /// Completed fixes append to that zone's fixes(). Returns the number
+  /// of epochs processed.
+  std::size_t run_pending();
+
+  /// Every fix the zone has produced, in epoch order.
+  [[nodiscard]] const std::vector<ZoneFix>& fixes(std::size_t zone) const;
+
+  [[nodiscard]] const ZoneServingStats& zone_stats(std::size_t zone) const {
+    return registry_.zone(zone).serving_stats();
+  }
+  [[nodiscard]] ServiceStats stats() const;
+
+ private:
+  /// The scheduler's processor: runs one epoch on its zone's pipeline.
+  void process_epoch(PendingEpoch&& epoch);
+  void note_shed(const PendingEpoch& epoch);
+
+  ServiceOptions options_;
+  std::shared_ptr<core::ThreadPool> pool_;
+  ZoneRegistry registry_;
+  SessionRouter router_;
+  EpochScheduler scheduler_;
+  /// Per-zone epoch under construction (nullopt = none open).
+  std::vector<std::optional<PendingEpoch>> open_;
+  /// Per-zone completed fixes (each appended only by its own zone's
+  /// scheduler task — disjoint writes, no locking needed).
+  std::vector<std::vector<ZoneFix>> fixes_;
+};
+
+}  // namespace dwatch::serve

@@ -1,0 +1,65 @@
+#include "serve/session_router.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "obs/event_log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+
+namespace dwatch::serve {
+
+void SessionRouter::bind(std::uint64_t reader_id, RouteTarget target) {
+  if (reader_id == 0) {
+    throw std::invalid_argument(
+        "serve::SessionRouter: reader_id 0 is the unassigned sentinel");
+  }
+  bindings_[reader_id] = target;
+}
+
+void SessionRouter::unbind(std::uint64_t reader_id) {
+  bindings_.erase(reader_id);
+}
+
+std::optional<RouteTarget> SessionRouter::resolve(
+    std::uint64_t reader_id) const {
+  const auto it = bindings_.find(reader_id);
+  if (it == bindings_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<RouteTarget> SessionRouter::route(
+    std::uint64_t reader_id, const rfid::RoAccessReport& report) {
+  const auto target = resolve(reader_id);
+  if (!target.has_value() || !sink_) {
+    ++reports_unroutable_;
+    if (obs::enabled()) {
+      obs::MetricsRegistry::global()
+          .counter("dwatch_serve_unroutable_total")
+          .inc();
+      obs::EventLog::global().emit(obs::Event("serve.unroutable")
+                                       .field("reader_id", reader_id)
+                                       .field("message_id", report.message_id));
+    }
+    return std::nullopt;
+  }
+  ++reports_routed_;
+  if (obs::enabled()) {
+    obs::MetricsRegistry::global()
+        .counter("dwatch_serve_reports_routed_total")
+        .inc();
+  }
+  sink_(*target, report);
+  return target;
+}
+
+void SessionRouter::attach(rfid::RobustSessionClient& client,
+                           std::uint64_t reader_id) {
+  client.set_reader_id(reader_id);
+  client.set_report_sink(
+      [this](std::uint64_t id, const rfid::RoAccessReport& report) {
+        (void)route(id, report);
+      });
+}
+
+}  // namespace dwatch::serve

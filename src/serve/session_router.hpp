@@ -1,0 +1,83 @@
+// SessionRouter: demultiplexes many reader report streams onto zones.
+//
+// A fleet deployment runs one RobustSessionClient per physical reader,
+// and each reader belongs to exactly one (zone, array) slot — reader
+// identity IS the routing key. The router owns that binding table:
+// clients push decoded RoAccessReports through their ReportSink
+// (RobustSessionClient::deliver_report stamps the reader id), the
+// router resolves the id and forwards to whatever sink the service
+// installed. Unknown readers are counted, not thrown — a reader that
+// connects before its zone is provisioned (or after it is torn down)
+// must not take the serving loop down.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "rfid/llrp.hpp"
+#include "rfid/robust_client.hpp"
+
+namespace dwatch::serve {
+
+/// Where a reader's reports go: array `array` of zone `zone`.
+struct RouteTarget {
+  std::size_t zone = 0;
+  std::size_t array = 0;
+
+  bool operator==(const RouteTarget&) const = default;
+};
+
+class SessionRouter {
+ public:
+  /// Receives every successfully routed report, already resolved to its
+  /// (zone, array) slot.
+  using Sink = std::function<void(RouteTarget, const rfid::RoAccessReport&)>;
+
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  /// Bind (or re-bind — readers get re-cabled) a reader id to a slot.
+  /// Throws std::invalid_argument on reader_id == 0: that is the
+  /// RobustSessionClient "unassigned" sentinel, and routing it would
+  /// silently merge every unconfigured client into one zone.
+  void bind(std::uint64_t reader_id, RouteTarget target);
+
+  /// Remove a binding (no-op when absent). Subsequent reports from the
+  /// reader count as unroutable.
+  void unbind(std::uint64_t reader_id);
+
+  /// The slot a reader is bound to, if any.
+  [[nodiscard]] std::optional<RouteTarget> resolve(
+      std::uint64_t reader_id) const;
+
+  /// Route one report: resolve and forward to the sink. Returns the
+  /// target on success; nullopt (and counts unroutable) when the reader
+  /// is unbound or no sink is installed.
+  std::optional<RouteTarget> route(std::uint64_t reader_id,
+                                   const rfid::RoAccessReport& report);
+
+  /// Wire a client into the router: assigns `reader_id` to the client
+  /// and installs a ReportSink that calls route(). The client must not
+  /// outlive the router (the sink captures `this`).
+  void attach(rfid::RobustSessionClient& client, std::uint64_t reader_id);
+
+  [[nodiscard]] std::size_t num_bindings() const noexcept {
+    return bindings_.size();
+  }
+  [[nodiscard]] std::size_t reports_routed() const noexcept {
+    return reports_routed_;
+  }
+  [[nodiscard]] std::size_t reports_unroutable() const noexcept {
+    return reports_unroutable_;
+  }
+
+ private:
+  std::map<std::uint64_t, RouteTarget> bindings_;
+  Sink sink_;
+  std::size_t reports_routed_ = 0;
+  std::size_t reports_unroutable_ = 0;
+};
+
+}  // namespace dwatch::serve

@@ -1,0 +1,72 @@
+#include "serve/zone_registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dwatch::serve {
+
+Zone::Zone(std::size_t id, ZoneConfig config,
+           std::shared_ptr<core::ThreadPool> pool)
+    : id_(id),
+      name_(std::move(config.name)),
+      best_effort_(config.best_effort) {
+  if (name_.empty()) {
+    throw std::invalid_argument("serve::Zone: zone name must be non-empty");
+  }
+  if (!config.calibration.empty() &&
+      config.calibration.size() != config.arrays.size()) {
+    throw std::invalid_argument(
+        "serve::Zone: calibration count does not match array count");
+  }
+  if (!config.calibrators.empty() &&
+      config.calibrators.size() != config.arrays.size()) {
+    throw std::invalid_argument(
+        "serve::Zone: calibrator count does not match array count");
+  }
+
+  // The zone never owns workers: construct serial, then inject the
+  // fleet pool. Bit-identical either way (the pipeline's determinism
+  // contract), and it keeps a 64-zone process at one pool instead of
+  // 64 pools fighting the scheduler.
+  core::PipelineOptions options = config.pipeline;
+  options.num_workers = 1;
+  pipeline_ = std::make_unique<core::DWatchPipeline>(
+      std::move(config.arrays), config.bounds, options);
+  pipeline_->set_thread_pool(std::move(pool));
+
+  for (std::size_t a = 0; a < config.calibration.size(); ++a) {
+    if (!config.calibration[a].empty()) {
+      pipeline_->set_calibration(a, std::move(config.calibration[a]));
+    }
+  }
+
+  if (!config.calibrators.empty()) {
+    recovery::RecoveryOptions recovery = config.recovery;
+    if (config.checkpoint_path.empty()) recovery.checkpoint_every = 0;
+    coordinator_ = std::make_unique<recovery::RecoveryCoordinator>(
+        *pipeline_, std::move(config.calibrators),
+        recovery::CheckpointStore(config.checkpoint_path), recovery);
+  }
+}
+
+std::size_t ZoneRegistry::add_zone(ZoneConfig config) {
+  const std::size_t id = zones_.size();
+  zones_.push_back(std::make_unique<Zone>(id, std::move(config), pool_));
+  return id;
+}
+
+Zone& ZoneRegistry::zone(std::size_t id) {
+  if (id >= zones_.size()) {
+    throw std::out_of_range("serve::ZoneRegistry: no such zone");
+  }
+  return *zones_[id];
+}
+
+const Zone& ZoneRegistry::zone(std::size_t id) const {
+  if (id >= zones_.size()) {
+    throw std::out_of_range("serve::ZoneRegistry: no such zone");
+  }
+  return *zones_[id];
+}
+
+}  // namespace dwatch::serve

@@ -1,0 +1,135 @@
+// Zone registry: the per-zone state of a fleet deployment.
+//
+// The ROADMAP north star is one process serving MANY rooms ("zones") at
+// once — the paper itself evaluates three distinct environments
+// (office, corridor, table, §6), and a production deployment multiplies
+// that by every floor of every building. One zone is everything a
+// standalone deployment owns today: its arrays, its per-array phase
+// calibration, its DWatchPipeline, and (optionally) its
+// RecoveryCoordinator for self-healing. Zones are fully independent —
+// no shared mutable state besides the injected worker pool — which is
+// what lets the EpochScheduler run them in parallel while every zone's
+// fixes stay bit-identical to a standalone pipeline fed the same
+// reports (the tests/serve determinism contract).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/calibration.hpp"
+#include "core/pipeline.hpp"
+#include "core/thread_pool.hpp"
+#include "recovery/self_healing.hpp"
+#include "rf/array.hpp"
+
+namespace dwatch::serve {
+
+/// Everything needed to bring one zone up.
+struct ZoneConfig {
+  /// Metrics/event label for this zone (`zone="<name>"`). Keep it to
+  /// plain identifier characters — it is embedded into Prometheus
+  /// label lists verbatim.
+  std::string name;
+  std::vector<rf::UniformLinearArray> arrays;
+  core::SearchBounds bounds;
+  /// Pipeline knobs. `num_workers` is ignored: a zone pipeline never
+  /// spawns its own pool — the service injects the fleet-shared one
+  /// (results are bit-identical either way, the sharing just caps the
+  /// process at one pool instead of one per zone).
+  core::PipelineOptions pipeline;
+  /// Per-array calibration offsets installed at construction (empty =
+  /// uncalibrated; element count must match each array when present).
+  std::vector<std::vector<double>> calibration;
+  /// Use the always-report (Fig. 14) fix for this zone's epochs.
+  bool best_effort = true;
+  /// Non-empty enables self-healing: one WirelessCalibrator per array
+  /// (count must match) builds a RecoveryCoordinator around the zone's
+  /// pipeline.
+  std::vector<core::WirelessCalibrator> calibrators;
+  /// Checkpoint image path for the coordinator; empty disables
+  /// checkpointing (recovery.checkpoint_every is forced to 0).
+  std::string checkpoint_path;
+  recovery::RecoveryOptions recovery;
+};
+
+/// Per-zone serving counters (mutated only by the zone's own epoch
+/// task or by the serving thread between runs — never concurrently).
+struct ZoneServingStats {
+  std::size_t epochs_submitted = 0;
+  std::size_t epochs_processed = 0;
+  std::size_t epochs_shed = 0;       ///< dropped by backpressure, oldest first
+  std::size_t reports_routed = 0;    ///< reports folded into this zone's epochs
+  std::size_t fixes_valid = 0;       ///< consensus fixes
+  std::size_t fixes_degraded = 0;    ///< ConfidenceReport::degraded() fixes
+
+  bool operator==(const ZoneServingStats&) const = default;
+};
+
+/// One zone: pipeline + optional recovery, plus serving bookkeeping.
+class Zone {
+ public:
+  /// Validates the config (throws std::invalid_argument on a
+  /// calibration/calibrator count mismatch) and injects `pool` into
+  /// the pipeline (nullptr = serial zone).
+  Zone(std::size_t id, ZoneConfig config,
+       std::shared_ptr<core::ThreadPool> pool);
+
+  [[nodiscard]] std::size_t id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] bool best_effort() const noexcept { return best_effort_; }
+  [[nodiscard]] core::DWatchPipeline& pipeline() noexcept {
+    return *pipeline_;
+  }
+  [[nodiscard]] const core::DWatchPipeline& pipeline() const noexcept {
+    return *pipeline_;
+  }
+  /// Null when the zone was configured without calibrators.
+  [[nodiscard]] recovery::RecoveryCoordinator* coordinator() noexcept {
+    return coordinator_.get();
+  }
+
+  [[nodiscard]] ZoneServingStats& serving_stats() noexcept { return stats_; }
+  [[nodiscard]] const ZoneServingStats& serving_stats() const noexcept {
+    return stats_;
+  }
+
+ private:
+  std::size_t id_;
+  std::string name_;
+  bool best_effort_;
+  /// unique_ptr keeps Zone movable (DWatchPipeline holds a Localizer
+  /// with internal references and is not move-assignable).
+  std::unique_ptr<core::DWatchPipeline> pipeline_;
+  std::unique_ptr<recovery::RecoveryCoordinator> coordinator_;
+  ZoneServingStats stats_;
+};
+
+/// Owns the fleet's zones; zone ids are dense indices in add order.
+class ZoneRegistry {
+ public:
+  /// Install the pool handed to every subsequently added zone
+  /// (typically once, by the service, before any add_zone).
+  void set_thread_pool(std::shared_ptr<core::ThreadPool> pool) noexcept {
+    pool_ = std::move(pool);
+  }
+
+  /// Bring a zone up; returns its id. Throws std::invalid_argument on
+  /// a bad config (empty arrays, mismatched calibration/calibrators).
+  std::size_t add_zone(ZoneConfig config);
+
+  [[nodiscard]] std::size_t num_zones() const noexcept {
+    return zones_.size();
+  }
+  /// Throws std::out_of_range on a bad id.
+  [[nodiscard]] Zone& zone(std::size_t id);
+  [[nodiscard]] const Zone& zone(std::size_t id) const;
+
+ private:
+  std::shared_ptr<core::ThreadPool> pool_;
+  std::vector<std::unique_ptr<Zone>> zones_;
+};
+
+}  // namespace dwatch::serve

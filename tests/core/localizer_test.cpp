@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "rf/constants.hpp"
 
 namespace dwatch::core {
@@ -233,6 +236,105 @@ TEST(LocalizerMulti, ZeroTargetsRequested) {
   const Localizer loc = default_localizer();
   const auto ev = evidence_for(room_arrays(), {3.0, 4.0});
   EXPECT_TRUE(loc.localize_multi(ev, 0).empty());
+}
+
+TEST(Localizer, SelectMaxLikelihoodScansUnsortedCandidates) {
+  // Regression: the best-effort fallback used to read candidates.front()
+  // on the assumption the producer returned a sorted list. Feed an
+  // UNSORTED list with the true maximum buried at the back and assert
+  // the explicit max scan finds it anyway.
+  std::vector<LocationEstimate> candidates{
+      {{1.0, 1.0}, 0.4, 0, false},
+      {{2.0, 2.0}, 0.1, 0, false},
+      {{5.0, 9.0}, 0.7, 0, false},  // front() would have returned 0.4
+  };
+  const LocationEstimate top = Localizer::select_max_likelihood(candidates);
+  EXPECT_DOUBLE_EQ(top.likelihood, 0.7);
+  EXPECT_DOUBLE_EQ(top.position.x, 5.0);
+  EXPECT_DOUBLE_EQ(top.position.y, 9.0);
+  EXPECT_DOUBLE_EQ(Localizer::select_max_likelihood({}).likelihood, 0.0);
+}
+
+TEST(Localizer, CandidateOrderBreaksLikelihoodTiesByPosition) {
+  // The total order must rank strictly through likelihood ties (grid
+  // scan order: y, then x) — otherwise the kMaxCandidates cap would be
+  // permutation-dependent again.
+  const LocationEstimate a{{2.0, 3.0}, 0.5, 0, false};
+  const LocationEstimate b{{1.0, 4.0}, 0.5, 0, false};
+  const LocationEstimate c{{3.0, 3.0}, 0.5, 0, false};
+  EXPECT_TRUE(Localizer::candidate_order(a, b));   // y 3 < 4
+  EXPECT_FALSE(Localizer::candidate_order(b, a));
+  EXPECT_TRUE(Localizer::candidate_order(a, c));   // tie y, x 2 < 3
+  EXPECT_FALSE(Localizer::candidate_order(a, a));  // irreflexive
+}
+
+TEST(Localizer, BestEffortHonorsHillClimbingMode) {
+  // Regression: the no-consensus fallback always re-searched with the
+  // exhaustive grid even when the localizer was configured for hill
+  // climbing. Mode is detectable from the answer itself: grid
+  // candidates sit exactly on the 0.05 lattice, while hill-climb
+  // positions step by whole grid_steps from the seed lattice. In this
+  // room the x seeds (7 * (s + 0.5) / 4 = 0.875, 2.625, ...) are half a
+  // step off the grid, so a hill-climb answer can NEVER have an
+  // on-lattice x. (The y seeds happen to be grid multiples — 10 doesn't
+  // have that property — so only x discriminates the mode.)
+  LocalizerOptions opts;
+  opts.min_arrays = 3;  // 2-array evidence cannot reach consensus
+  opts.hill_climbing = true;
+  const Localizer loc = default_localizer(opts);
+  const rf::Vec2 target{3.0, 4.0};
+  const auto ev = evidence_for(room_arrays(), target, 2);
+  EXPECT_FALSE(loc.localize(ev).valid);
+
+  const LocationEstimate be = loc.localize_best_effort(ev);
+  EXPECT_FALSE(be.valid);
+  ASSERT_GT(be.likelihood, 0.0);
+  EXPECT_NEAR(rf::distance(be.position, target), 0.0, 0.3);
+  const auto off_lattice = [](double v) {
+    const double r = std::fmod(v, 0.05);
+    return std::min(r, 0.05 - r) > 0.01;
+  };
+  EXPECT_TRUE(off_lattice(be.position.x));
+}
+
+TEST(Localizer, ConsensusSelectionIsOrderIndependent) {
+  // Regression: the kMaxCandidates cap used to keep the FIRST 24
+  // candidates in production order, so a permutation of the same list
+  // could change which candidates were even scored. Bury the true
+  // (highest-likelihood, consensus-backed) candidate behind 30 decoys
+  // and check every rotation of the list selects the same fix.
+  const Localizer loc = default_localizer();
+  const rf::Vec2 target{3.0, 4.0};
+  const auto ev = evidence_for(room_arrays(), target);
+  const double norm = Localizer::global_drop_norm(ev);
+
+  std::vector<LocationEstimate> candidates;
+  for (std::size_t i = 0; i < 30; ++i) {  // > kMaxCandidates decoys
+    const rf::Vec2 p{0.5 + 0.1 * static_cast<double>(i), 9.5};
+    candidates.push_back(
+        {p, loc.likelihood_at(p, ev, norm), 0, false});
+  }
+  candidates.push_back(
+      {target, loc.likelihood_at(target, ev, norm), 0, false});
+
+  const LocationEstimate ref =
+      loc.consensus_select(candidates, ev, norm, loc.options().min_arrays);
+  ASSERT_TRUE(ref.valid);
+  EXPECT_NEAR(rf::distance(ref.position, target), 0.0, 1e-12);
+
+  for (std::size_t shift = 1; shift < candidates.size(); shift += 7) {
+    std::vector<LocationEstimate> rotated = candidates;
+    std::rotate(rotated.begin(),
+                rotated.begin() + static_cast<std::ptrdiff_t>(shift),
+                rotated.end());
+    const LocationEstimate got =
+        loc.consensus_select(rotated, ev, norm, loc.options().min_arrays);
+    EXPECT_DOUBLE_EQ(got.position.x, ref.position.x);
+    EXPECT_DOUBLE_EQ(got.position.y, ref.position.y);
+    EXPECT_DOUBLE_EQ(got.likelihood, ref.likelihood);
+    EXPECT_EQ(got.consensus, ref.consensus);
+    EXPECT_EQ(got.valid, ref.valid);
+  }
 }
 
 TEST(Localizer, GlobalDropNormIsMaxAbsoluteDrop) {

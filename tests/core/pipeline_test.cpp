@@ -192,6 +192,61 @@ TEST(Pipeline, FilteredEvidenceDropsMultiArraySingleTagGhost) {
   }
 }
 
+TEST(Pipeline, GhostFilterIgnoresExcludedArraysKOfN) {
+  // Regression: filtered_evidence() counted tags seen on EXCLUDED
+  // arrays in its per-tag array tally. A dead array's garbage drops
+  // then flipped `multi_array` true for a tag whose only other drop —
+  // at the one surviving healthy array, necessarily uncorroborated —
+  // got rejected as a ghost, turning a valid K-of-N fix invalid.
+  DWatchPipeline pipe(two_arrays(), bounds());
+  const auto arrays = two_arrays();
+  const auto tag = rfid::Epc96::for_tag_index(4);
+  const std::vector<double> a0{rf::deg2rad(40)};
+  const std::vector<double> a1{rf::deg2rad(110)};
+  const std::vector<double> amp{0.01};
+  pipe.add_baseline(0, tag, synth(arrays[0], a0, amp, {}, 31));
+  pipe.add_baseline(1, tag, synth(arrays[1], a1, amp, {}, 32));
+
+  pipe.set_array_health(0, false);  // reader 0 dead; reports still arrive
+  pipe.begin_epoch();
+  (void)pipe.observe(0, tag, synth(arrays[0], a0, amp, {0.2}, 33));
+  (void)pipe.observe(1, tag, synth(arrays[1], a1, amp, {0.2}, 34));
+  ASSERT_EQ(pipe.evidence()[1].drops.size(), 1u);
+
+  // The healthy array's only drop must survive: the tag is multi-array
+  // only if the excluded array is (wrongly) allowed to vote.
+  const auto filtered = pipe.filtered_evidence();
+  ASSERT_EQ(filtered[1].drops.size(), 1u);
+  EXPECT_EQ(filtered[1].drops[0].source_id, 4u);
+
+  // And the fix flips with it: 1 usable array, effective min_arrays 1
+  // (K-of-N), so the epoch localizes iff that drop survived the filter.
+  EXPECT_TRUE(pipe.localize().valid);
+}
+
+TEST(Pipeline, GhostFilterStillRejectsWhenBothArraysHealthy) {
+  // Companion to the K-of-N regression: the SAME traffic with both
+  // arrays healthy is the paper's Section 4.3 ghost pattern (one tag,
+  // two arrays, no corroboration) and must still be rejected.
+  DWatchPipeline pipe(two_arrays(), bounds());
+  const auto arrays = two_arrays();
+  const auto tag = rfid::Epc96::for_tag_index(4);
+  const std::vector<double> a0{rf::deg2rad(40)};
+  const std::vector<double> a1{rf::deg2rad(110)};
+  const std::vector<double> amp{0.01};
+  pipe.add_baseline(0, tag, synth(arrays[0], a0, amp, {}, 31));
+  pipe.add_baseline(1, tag, synth(arrays[1], a1, amp, {}, 32));
+
+  pipe.begin_epoch();
+  (void)pipe.observe(0, tag, synth(arrays[0], a0, amp, {0.2}, 33));
+  (void)pipe.observe(1, tag, synth(arrays[1], a1, amp, {0.2}, 34));
+
+  const auto filtered = pipe.filtered_evidence();
+  EXPECT_TRUE(filtered[0].drops.empty());
+  EXPECT_TRUE(filtered[1].drops.empty());
+  EXPECT_FALSE(pipe.localize().valid);
+}
+
 TEST(Pipeline, WireObservationPathWorks) {
   DWatchPipeline pipe(two_arrays(), bounds());
   const auto arrays = two_arrays();
