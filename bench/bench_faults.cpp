@@ -9,6 +9,8 @@
 // full-array fix it replaces.
 #include <benchmark/benchmark.h>
 
+#include "bench_reporter.hpp"
+
 #include <algorithm>
 #include <chrono>
 #include <filesystem>
@@ -315,4 +317,4 @@ BENCHMARK(BM_RecoveryCheckpointRestore)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DWATCH_BENCH_MAIN()

@@ -7,6 +7,8 @@
 // the DESIGN.md calls out.
 #include <benchmark/benchmark.h>
 
+#include "bench_reporter.hpp"
+
 #include "bench_util.hpp"
 #include "core/covariance.hpp"
 #include "core/pipeline.hpp"
@@ -232,4 +234,4 @@ BENCHMARK(BM_Gen2Inventory)->Arg(21)->Arg(47);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+DWATCH_BENCH_MAIN()

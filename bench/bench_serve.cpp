@@ -10,6 +10,8 @@
 // simulator.
 #include <benchmark/benchmark.h>
 
+#include "bench_reporter.hpp"
+
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -186,4 +188,4 @@ BENCHMARK(BM_ServeFleetEpoch)
 }  // namespace
 }  // namespace dwatch::serve
 
-BENCHMARK_MAIN();
+DWATCH_BENCH_MAIN()

@@ -5,12 +5,16 @@
 #   1. tier-1: configure + build + full ctest of the default tree;
 #   2. recovery: the self-healing label on the same tree (fast re-run,
 #      isolates a recovery regression from an unrelated tier-1 one);
-#   3. bench trajectory: every bench_*_json target runs and its
-#      BENCH_*.json is staged at the repo root (committed per PR);
-#      a bench that emits no JSON fails the gate;
+#   3. bench trajectory: a PINNED Release(+LTO) tree is configured just
+#      for benches, every bench_*_json target runs there, and its
+#      BENCH_*.json is staged at the repo root (committed per PR).
+#      A bench that emits no JSON fails the gate, and so does JSON whose
+#      context reports a debug build or active CPU frequency scaling —
+#      debug numbers must never enter the trajectory;
 #   4. asan_check: fault + obs + recovery labels under ASan/UBSan;
 #   5. tsan_check: the concurrency label under TSan;
-#   6. obs_off_check: configure+build+test a DWATCH_OBS=OFF tree.
+#   6. obs_off_check: configure+build+test a DWATCH_OBS=OFF tree;
+#   7. simd_off_check: configure+build+test a DWATCH_SIMD=OFF tree.
 #
 # Usage: scripts/check.sh [jobs]   (default: nproc)
 set -euo pipefail
@@ -32,10 +36,15 @@ run ctest --test-dir build --output-on-failure
 # --- 2. recovery label, explicitly --------------------------------------
 run ctest --test-dir build -L recovery --output-on-failure
 
-# --- 3. bench trajectory: run every bench_*_json, stage at repo root ----
+# --- 3. bench trajectory: pinned Release(+LTO) tree ---------------------
+# Benches run in their own tree so the trajectory numbers are always
+# optimized builds, whatever CMAKE_BUILD_TYPE the default tree uses.
 # Target discovery is from the build system itself, so a new
 # bench_X_json target joins the gate without touching this script.
-BENCH_TARGETS="$(cmake --build build --target help \
+run cmake -S . -B build-bench -DCMAKE_BUILD_TYPE=Release -DDWATCH_LTO=ON \
+  -DDWATCH_BUILD_TESTS=OFF -DDWATCH_BUILD_EXAMPLES=OFF
+run cmake --build build-bench --parallel "$JOBS"
+BENCH_TARGETS="$(cmake --build build-bench --target help \
   | grep -oE 'bench_[a-z0-9_]+_json' | sort -u)"
 if [ -z "${BENCH_TARGETS}" ]; then
   echo "check.sh: no bench_*_json targets found" >&2
@@ -44,13 +53,24 @@ fi
 for target in ${BENCH_TARGETS}; do
   json="BENCH_${target#bench_}"
   json="${json%_json}.json"
-  rm -f "build/${json}"
-  run cmake --build build --target "${target}"
-  if [ ! -s "build/${json}" ]; then
-    echo "check.sh: ${target} emitted no JSON (build/${json} missing or empty)" >&2
+  rm -f "build-bench/${json}"
+  run cmake --build build-bench --target "${target}"
+  if [ ! -s "build-bench/${json}" ]; then
+    echo "check.sh: ${target} emitted no JSON (build-bench/${json} missing or empty)" >&2
     exit 1
   fi
-  run cp "build/${json}" "${json}"
+  # Refuse to stage numbers from a debug build or a throttling CPU: the
+  # context block is stamped by bench_reporter.hpp from the binary's own
+  # build configuration, so these greps are authoritative.
+  if grep -q '"library_build_type": "debug"' "build-bench/${json}"; then
+    echo "check.sh: ${json} was produced by a DEBUG build; not staging" >&2
+    exit 1
+  fi
+  if grep -q '"cpu_scaling_enabled": true' "build-bench/${json}"; then
+    echo "check.sh: ${json} was produced with CPU frequency scaling on; not staging" >&2
+    exit 1
+  fi
+  run cp "build-bench/${json}" "${json}"
 done
 
 # --- 4. AddressSanitizer tree: stress|obs|recovery ----------------------
@@ -67,6 +87,9 @@ run cmake --build build-tsan --target tsan_check
 
 # --- 6. uninstrumented tree must stay green -----------------------------
 run cmake --build build --target obs_off_check
+
+# --- 7. scalar-only tree must stay green --------------------------------
+run cmake --build build --target simd_off_check
 
 echo
 echo "check.sh: all gates passed"

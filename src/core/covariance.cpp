@@ -2,11 +2,22 @@
 
 #include <stdexcept>
 
+#include "linalg/simd_kernels.hpp"
+#include "linalg/soa_complex.hpp"
+
 namespace dwatch::core {
 
 linalg::CMatrix sample_correlation(const linalg::CMatrix& x) {
   if (x.rows() == 0 || x.cols() == 0) {
     throw std::invalid_argument("sample_correlation: empty snapshot matrix");
+  }
+  namespace simd = linalg::simd;
+  if (simd::active_backend() != simd::Backend::kScalar) {
+    // Transposed SoA: snapshot k becomes a contiguous row, so the
+    // kernel vector-loads across array elements. Bit-identical to the
+    // scalar loop below (the parity contract in simd_kernels.hpp).
+    return simd::sample_correlation(
+        linalg::SplitComplexMatrix::from_matrix_transposed(x));
   }
   const std::size_t m = x.rows();
   const std::size_t n = x.cols();

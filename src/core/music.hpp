@@ -28,6 +28,16 @@ struct MusicOptions {
   std::size_t subarray = 0;
   /// Forward-backward (true) or forward-only smoothing.
   bool forward_backward = true;
+  /// 0 = dense EVD (the default, bit-stable legacy path). K > 0 caps
+  /// the signal-subspace rank and switches to the truncated eigensolver
+  /// (linalg/truncated_eig.hpp): only the top-K eigenpairs are
+  /// extracted and the spectrum denominator comes from the complement
+  /// identity ||U_N^H a||^2 = ||a||^2 - ||U_S^H a||^2. Acts as a
+  /// model-order cap exactly like SourceCountOptions::max_sources; the
+  /// estimator silently falls back to the dense path when K is too
+  /// close to the subarray size, when the iteration stalls, or when
+  /// the eigen-gap evidence suggests more than K sources.
+  std::size_t max_signal_rank = 0;
   SourceCountOptions source_count;
 };
 
@@ -35,9 +45,18 @@ struct MusicResult {
   AngularSpectrum spectrum;            ///< B(theta)
   std::size_t num_sources = 0;         ///< estimated P
   std::size_t subarray = 0;            ///< L actually used
-  std::vector<double> eigenvalues;     ///< of the (smoothed) correlation
-  linalg::CMatrix noise_subspace;      ///< U_N, L x (L - P)
+  /// Of the (smoothed) correlation. On the truncated path entries past
+  /// the extracted rank are a synthetic uniform tail reconstructed
+  /// from the trace (their SUM is exact; the split is not).
+  std::vector<double> eigenvalues;
+  /// U_N, L x (L - P). EMPTY when `truncated` — the truncated solver
+  /// never forms the noise basis (that is the point); callers needing
+  /// U_N explicitly must run with max_signal_rank = 0.
+  linalg::CMatrix noise_subspace;
   linalg::CMatrix signal_subspace;     ///< U_S, L x P
+  /// True when the spectrum came from the truncated eigensolver via
+  /// the complement identity rather than a dense EVD.
+  bool truncated = false;
 };
 
 /// MUSIC estimator bound to one array geometry.
@@ -72,6 +91,20 @@ class MusicEstimator {
       const linalg::CMatrix& noise_subspace) const;
 
  private:
+  /// Truncated-EVD estimate (options_.max_signal_rank > 0). Returns
+  /// false — leaving `out` untouched — whenever the dense path should
+  /// run instead: rank too close to L, iteration stalled, or the
+  /// solver already fell back internally.
+  bool try_truncated_estimate(const linalg::CMatrix& smoothed,
+                              std::size_t num_snapshots,
+                              MusicResult& out) const;
+
+  /// B(theta) from the SIGNAL subspace via the complement identity
+  /// ||U_N^H a||^2 = ||a||^2 - ||U_S^H a||^2 (manifold column norms
+  /// are cached, so U_N is never formed).
+  [[nodiscard]] AngularSpectrum complement_spectrum(
+      const linalg::CMatrix& signal_subspace) const;
+
   double spacing_;
   double lambda_;
   MusicOptions options_;

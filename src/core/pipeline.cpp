@@ -7,6 +7,7 @@
 #include <tuple>
 #include <utility>
 
+#include "linalg/simd_kernels.hpp"
 #include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -104,6 +105,9 @@ DWatchPipeline::DWatchPipeline(std::vector<rf::UniformLinearArray> arrays,
   for (const auto& array : arrays_) {
     pmusic_.emplace_back(array.spacing(), array.lambda(), options_.pmusic);
   }
+  // Record which kernel path will serve this pipeline's fixes (gauge
+  // dwatch_simd_backend + one simd.dispatch event; no-op with obs off).
+  linalg::simd::publish_backend();
   const std::size_t workers =
       options_.num_workers == 0
           ? std::max<std::size_t>(1, std::thread::hardware_concurrency())

@@ -25,6 +25,8 @@ SteeringManifold::SteeringManifold(std::size_t elements, double spacing,
       matrix_(m, i) = a[m];
     }
   }
+  soa_ = linalg::SplitComplexMatrix::from_matrix(matrix_);
+  column_norms_ = linalg::column_squared_norms(matrix_);
 }
 
 SteeringCache& SteeringCache::instance() {

@@ -22,9 +22,11 @@
 #include <memory>
 #include <mutex>
 #include <tuple>
+#include <vector>
 
 #include "core/spectrum.hpp"
 #include "linalg/complex_matrix.hpp"
+#include "linalg/soa_complex.hpp"
 
 namespace dwatch::core {
 
@@ -51,6 +53,20 @@ class SteeringManifold {
     return matrix_;
   }
 
+  /// The same manifold in split re/im (SoA) layout for the SIMD
+  /// kernels; built once alongside matrix(), identical values.
+  [[nodiscard]] const linalg::SplitComplexMatrix& soa() const noexcept {
+    return soa_;
+  }
+
+  /// ||a(theta_i)||^2 per grid column, precomputed with the scalar
+  /// oracle. The truncated-EVD spectrum path subtracts the signal
+  /// projection from these (complement identity) instead of forming
+  /// the noise subspace.
+  [[nodiscard]] const std::vector<double>& column_norms() const noexcept {
+    return column_norms_;
+  }
+
   /// Grid angle of column i (identical to AngularSpectrum::theta_at for
   /// a spectrum of the same size).
   [[nodiscard]] double theta_at(std::size_t i) const noexcept {
@@ -62,6 +78,8 @@ class SteeringManifold {
   double spacing_;
   double lambda_;
   linalg::CMatrix matrix_;
+  linalg::SplitComplexMatrix soa_;
+  std::vector<double> column_norms_;
 };
 
 /// Process-wide cache of steering manifolds keyed by

@@ -1,0 +1,151 @@
+// AVX2 kernels: 4 double lanes = 4 independent grid columns (or 4
+// covariance columns) per vector.
+//
+// Parity discipline (see simd_kernels.hpp): every lane replays the
+// scalar accumulation order of the matching *_lanes function in
+// simd_detail.hpp — the vector ops are plain mul/add/sub in the same
+// sequence, never FMA (AVX2 does not imply the FMA ISA and none of the
+// _mm256_fmadd_* intrinsics appear here), so each lane's rounding is
+// identical to the scalar oracle's. Odd tails (< 4 lanes) run the
+// shared *_lanes code.
+//
+// Functions carry __attribute__((target("avx2"))) instead of a
+// per-file -mavx2 flag so nothing outside them can silently pick up
+// AVX2 codegen; dispatch guards every call behind avx2_available().
+#include "linalg/simd_detail.hpp"
+
+#if DWATCH_SIMD_X86
+
+#include <immintrin.h>
+
+namespace dwatch::linalg::simd::detail {
+
+bool avx2_available() noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+__attribute__((target("avx2"))) void batched_quadratic_form_avx2(
+    const CMatrix& r, const SplitComplexMatrix& a, double* out) {
+  const std::size_t m = r.rows();
+  const std::size_t g_total = a.cols();
+  const std::size_t g_vec = g_total / 4 * 4;
+  for (std::size_t g = 0; g < g_vec; g += 4) {
+    __m256d quad_re = _mm256_setzero_pd();
+    for (std::size_t row = 0; row < m; ++row) {
+      __m256d y_re = _mm256_setzero_pd();
+      __m256d y_im = _mm256_setzero_pd();
+      for (std::size_t col = 0; col < m; ++col) {
+        const __m256d rr = _mm256_set1_pd(r(row, col).real());
+        const __m256d ri = _mm256_set1_pd(r(row, col).imag());
+        const __m256d ar = _mm256_loadu_pd(a.re_row(col) + g);
+        const __m256d ai = _mm256_loadu_pd(a.im_row(col) + g);
+        y_re = _mm256_add_pd(
+            y_re, _mm256_sub_pd(_mm256_mul_pd(rr, ar), _mm256_mul_pd(ri, ai)));
+        y_im = _mm256_add_pd(
+            y_im, _mm256_add_pd(_mm256_mul_pd(rr, ai), _mm256_mul_pd(ri, ar)));
+      }
+      const __m256d cr = _mm256_loadu_pd(a.re_row(row) + g);
+      const __m256d ci = _mm256_loadu_pd(a.im_row(row) + g);
+      // quad.real() is all the oracle returns; skip the imaginary
+      // accumulator entirely (it feeds nothing).
+      quad_re = _mm256_add_pd(
+          quad_re,
+          _mm256_add_pd(_mm256_mul_pd(cr, y_re), _mm256_mul_pd(ci, y_im)));
+    }
+    _mm256_storeu_pd(out + g, quad_re);
+  }
+  batched_quadratic_form_lanes(r, a, g_vec, g_total, out);
+}
+
+__attribute__((target("avx2"))) void matmul_hermitian_left_avx2(
+    const CMatrix& u, const SplitComplexMatrix& c, SplitComplexMatrix& out) {
+  // Runs whole vectors across the PADDED width: padding columns are
+  // zero in `c` and accumulate exact zeros in `out`, which to_matrix()
+  // and column_squared_norms() never read. Stride is a multiple of 4,
+  // so there is no tail.
+  const std::size_t width = c.stride();
+  for (std::size_t k = 0; k < u.rows(); ++k) {
+    const double* c_re = c.re_row(k);
+    const double* c_im = c.im_row(k);
+    for (std::size_t p = 0; p < u.cols(); ++p) {
+      const double ur_s = u(k, p).real();
+      const double ui_s = u(k, p).imag();
+      if (ur_s == 0.0 && ui_s == 0.0) continue;  // oracle's zero-skip
+      const __m256d ur = _mm256_set1_pd(ur_s);
+      const __m256d ui = _mm256_set1_pd(ui_s);
+      double* o_re = out.re_row(p);
+      double* o_im = out.im_row(p);
+      for (std::size_t g = 0; g < width; g += 4) {
+        const __m256d cr = _mm256_loadu_pd(c_re + g);
+        const __m256d ci = _mm256_loadu_pd(c_im + g);
+        const __m256d acc_re = _mm256_add_pd(
+            _mm256_loadu_pd(o_re + g),
+            _mm256_add_pd(_mm256_mul_pd(ur, cr), _mm256_mul_pd(ui, ci)));
+        const __m256d acc_im = _mm256_add_pd(
+            _mm256_loadu_pd(o_im + g),
+            _mm256_sub_pd(_mm256_mul_pd(ur, ci), _mm256_mul_pd(ui, cr)));
+        _mm256_storeu_pd(o_re + g, acc_re);
+        _mm256_storeu_pd(o_im + g, acc_im);
+      }
+    }
+  }
+}
+
+__attribute__((target("avx2"))) void column_squared_norms_avx2(
+    const SplitComplexMatrix& a, double* out) {
+  const std::size_t g_total = a.cols();
+  const std::size_t g_vec = g_total / 4 * 4;
+  for (std::size_t g = 0; g < g_vec; g += 4) {
+    __m256d acc = _mm256_setzero_pd();
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+      const __m256d re = _mm256_loadu_pd(a.re_row(r) + g);
+      const __m256d im = _mm256_loadu_pd(a.im_row(r) + g);
+      acc = _mm256_add_pd(
+          acc, _mm256_add_pd(_mm256_mul_pd(re, re), _mm256_mul_pd(im, im)));
+    }
+    _mm256_storeu_pd(out + g, acc);
+  }
+  column_squared_norms_lanes(a, g_vec, g_total, out);
+}
+
+__attribute__((target("avx2"))) void sample_correlation_avx2(
+    const SplitComplexMatrix& xt, CMatrix& out) {
+  const std::size_t n = xt.rows();
+  const std::size_t m = xt.cols();
+  const std::size_t j_vec = m / 4 * 4;
+  const __m256d n_d = _mm256_set1_pd(static_cast<double>(n));
+  alignas(32) double t_re[4];
+  alignas(32) double t_im[4];
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < j_vec; j += 4) {
+      __m256d s_re = _mm256_setzero_pd();
+      __m256d s_im = _mm256_setzero_pd();
+      for (std::size_t k = 0; k < n; ++k) {
+        const __m256d xa = _mm256_set1_pd(xt.re_row(k)[i]);
+        const __m256d xb = _mm256_set1_pd(xt.im_row(k)[i]);
+        const __m256d wc = _mm256_loadu_pd(xt.re_row(k) + j);
+        const __m256d wd = _mm256_loadu_pd(xt.im_row(k) + j);
+        s_re = _mm256_add_pd(
+            s_re,
+            _mm256_add_pd(_mm256_mul_pd(xa, wc), _mm256_mul_pd(xb, wd)));
+        s_im = _mm256_add_pd(
+            s_im,
+            _mm256_sub_pd(_mm256_mul_pd(xb, wc), _mm256_mul_pd(xa, wd)));
+      }
+      _mm256_store_pd(t_re, _mm256_div_pd(s_re, n_d));
+      _mm256_store_pd(t_im, _mm256_div_pd(s_im, n_d));
+      for (std::size_t l = 0; l < 4; ++l) {
+        out(i, j + l) = Complex{t_re[l], t_im[l]};
+      }
+    }
+  }
+  sample_correlation_lanes(xt, j_vec, m, out);
+}
+
+}  // namespace dwatch::linalg::simd::detail
+
+#endif  // DWATCH_SIMD_X86

@@ -1,0 +1,126 @@
+// NEON kernels: 2 double lanes per float64x2_t vector, same lane
+// discipline as simd_avx2.cpp (plain vmul/vadd/vsub, no vfma — the
+// linalg target's -ffp-contract=off also stops the compiler fusing
+// them), tails via the shared *_lanes scalar code.
+//
+// AArch64 makes NEON mandatory, so there is no runtime capability
+// probe; the build-time guard is the whole gate.
+#include "linalg/simd_detail.hpp"
+
+#if DWATCH_SIMD_NEON
+
+#include <arm_neon.h>
+
+namespace dwatch::linalg::simd::detail {
+
+void batched_quadratic_form_neon(const CMatrix& r, const SplitComplexMatrix& a,
+                                 double* out) {
+  const std::size_t m = r.rows();
+  const std::size_t g_total = a.cols();
+  const std::size_t g_vec = g_total / 2 * 2;
+  for (std::size_t g = 0; g < g_vec; g += 2) {
+    float64x2_t quad_re = vdupq_n_f64(0.0);
+    for (std::size_t row = 0; row < m; ++row) {
+      float64x2_t y_re = vdupq_n_f64(0.0);
+      float64x2_t y_im = vdupq_n_f64(0.0);
+      for (std::size_t col = 0; col < m; ++col) {
+        const float64x2_t rr = vdupq_n_f64(r(row, col).real());
+        const float64x2_t ri = vdupq_n_f64(r(row, col).imag());
+        const float64x2_t ar = vld1q_f64(a.re_row(col) + g);
+        const float64x2_t ai = vld1q_f64(a.im_row(col) + g);
+        y_re = vaddq_f64(y_re,
+                         vsubq_f64(vmulq_f64(rr, ar), vmulq_f64(ri, ai)));
+        y_im = vaddq_f64(y_im,
+                         vaddq_f64(vmulq_f64(rr, ai), vmulq_f64(ri, ar)));
+      }
+      const float64x2_t cr = vld1q_f64(a.re_row(row) + g);
+      const float64x2_t ci = vld1q_f64(a.im_row(row) + g);
+      quad_re = vaddq_f64(
+          quad_re, vaddq_f64(vmulq_f64(cr, y_re), vmulq_f64(ci, y_im)));
+    }
+    vst1q_f64(out + g, quad_re);
+  }
+  batched_quadratic_form_lanes(r, a, g_vec, g_total, out);
+}
+
+void matmul_hermitian_left_neon(const CMatrix& u, const SplitComplexMatrix& c,
+                                SplitComplexMatrix& out) {
+  // Full padded width, no tail (stride is a multiple of 2); padding
+  // stays exactly zero. See the AVX2 twin for the rationale.
+  const std::size_t width = c.stride();
+  for (std::size_t k = 0; k < u.rows(); ++k) {
+    const double* c_re = c.re_row(k);
+    const double* c_im = c.im_row(k);
+    for (std::size_t p = 0; p < u.cols(); ++p) {
+      const double ur_s = u(k, p).real();
+      const double ui_s = u(k, p).imag();
+      if (ur_s == 0.0 && ui_s == 0.0) continue;  // oracle's zero-skip
+      const float64x2_t ur = vdupq_n_f64(ur_s);
+      const float64x2_t ui = vdupq_n_f64(ui_s);
+      double* o_re = out.re_row(p);
+      double* o_im = out.im_row(p);
+      for (std::size_t g = 0; g < width; g += 2) {
+        const float64x2_t cr = vld1q_f64(c_re + g);
+        const float64x2_t ci = vld1q_f64(c_im + g);
+        const float64x2_t acc_re =
+            vaddq_f64(vld1q_f64(o_re + g),
+                      vaddq_f64(vmulq_f64(ur, cr), vmulq_f64(ui, ci)));
+        const float64x2_t acc_im =
+            vaddq_f64(vld1q_f64(o_im + g),
+                      vsubq_f64(vmulq_f64(ur, ci), vmulq_f64(ui, cr)));
+        vst1q_f64(o_re + g, acc_re);
+        vst1q_f64(o_im + g, acc_im);
+      }
+    }
+  }
+}
+
+void column_squared_norms_neon(const SplitComplexMatrix& a, double* out) {
+  const std::size_t g_total = a.cols();
+  const std::size_t g_vec = g_total / 2 * 2;
+  for (std::size_t g = 0; g < g_vec; g += 2) {
+    float64x2_t acc = vdupq_n_f64(0.0);
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+      const float64x2_t re = vld1q_f64(a.re_row(r) + g);
+      const float64x2_t im = vld1q_f64(a.im_row(r) + g);
+      acc = vaddq_f64(acc, vaddq_f64(vmulq_f64(re, re), vmulq_f64(im, im)));
+    }
+    vst1q_f64(out + g, acc);
+  }
+  column_squared_norms_lanes(a, g_vec, g_total, out);
+}
+
+void sample_correlation_neon(const SplitComplexMatrix& xt, CMatrix& out) {
+  const std::size_t n = xt.rows();
+  const std::size_t m = xt.cols();
+  const std::size_t j_vec = m / 2 * 2;
+  const float64x2_t n_d = vdupq_n_f64(static_cast<double>(n));
+  double t_re[2];
+  double t_im[2];
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < j_vec; j += 2) {
+      float64x2_t s_re = vdupq_n_f64(0.0);
+      float64x2_t s_im = vdupq_n_f64(0.0);
+      for (std::size_t k = 0; k < n; ++k) {
+        const float64x2_t xa = vdupq_n_f64(xt.re_row(k)[i]);
+        const float64x2_t xb = vdupq_n_f64(xt.im_row(k)[i]);
+        const float64x2_t wc = vld1q_f64(xt.re_row(k) + j);
+        const float64x2_t wd = vld1q_f64(xt.im_row(k) + j);
+        s_re = vaddq_f64(s_re,
+                         vaddq_f64(vmulq_f64(xa, wc), vmulq_f64(xb, wd)));
+        s_im = vaddq_f64(s_im,
+                         vsubq_f64(vmulq_f64(xb, wc), vmulq_f64(xa, wd)));
+      }
+      vst1q_f64(t_re, vdivq_f64(s_re, n_d));
+      vst1q_f64(t_im, vdivq_f64(s_im, n_d));
+      for (std::size_t l = 0; l < 2; ++l) {
+        out(i, j + l) = Complex{t_re[l], t_im[l]};
+      }
+    }
+  }
+  sample_correlation_lanes(xt, j_vec, m, out);
+}
+
+}  // namespace dwatch::linalg::simd::detail
+
+#endif  // DWATCH_SIMD_NEON

@@ -1,0 +1,58 @@
+#include "linalg/soa_complex.hpp"
+
+namespace dwatch::linalg {
+
+namespace {
+
+std::size_t padded(std::size_t cols) {
+  const std::size_t pad = SplitComplexMatrix::kPadDoubles;
+  return (cols + pad - 1) / pad * pad;
+}
+
+}  // namespace
+
+SplitComplexMatrix::SplitComplexMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows),
+      cols_(cols),
+      stride_(cols == 0 ? 0 : padded(cols)),
+      re_(rows * stride_, 0.0),
+      im_(rows * stride_, 0.0) {}
+
+SplitComplexMatrix SplitComplexMatrix::from_matrix(const CMatrix& m) {
+  SplitComplexMatrix out(m.rows(), m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    double* re = out.re_row(r);
+    double* im = out.im_row(r);
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      re[c] = m(r, c).real();
+      im[c] = m(r, c).imag();
+    }
+  }
+  return out;
+}
+
+SplitComplexMatrix SplitComplexMatrix::from_matrix_transposed(
+    const CMatrix& m) {
+  SplitComplexMatrix out(m.cols(), m.rows());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      out.re_row(c)[r] = m(r, c).real();
+      out.im_row(c)[r] = m(r, c).imag();
+    }
+  }
+  return out;
+}
+
+CMatrix SplitComplexMatrix::to_matrix() const {
+  CMatrix out(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* re = re_row(r);
+    const double* im = im_row(r);
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out(r, c) = Complex{re[c], im[c]};
+    }
+  }
+  return out;
+}
+
+}  // namespace dwatch::linalg

@@ -1,0 +1,169 @@
+#include "linalg/truncated_eig.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dwatch::linalg {
+
+namespace {
+
+/// Deterministic, seed-free start basis: phases from a fixed irrational
+/// stride so columns are generically non-orthogonal to any eigenvector
+/// and two runs (or two hosts) produce identical results.
+CMatrix deterministic_start(std::size_t n, std::size_t k) {
+  CMatrix v(n, k);
+  for (std::size_t j = 0; j < k; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double phase = 0.61803398874989484820 *
+                               static_cast<double>((i + 1) * (j + 2)) +
+                           0.1 * static_cast<double>(j);
+      v(i, j) = Complex{std::cos(phase), std::sin(phase)};
+    }
+  }
+  return v;
+}
+
+/// In-place modified Gram-Schmidt on the columns of v. A column that
+/// collapses below `floor` (linear dependence) is replaced by a
+/// deterministic unit vector re-orthogonalized against the previous
+/// columns, so the basis never degenerates mid-iteration.
+void orthonormalize(CMatrix& v, double floor) {
+  const std::size_t n = v.rows();
+  const std::size_t k = v.cols();
+  for (std::size_t j = 0; j < k; ++j) {
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      for (std::size_t prev = 0; prev < j; ++prev) {
+        Complex dot{};
+        for (std::size_t i = 0; i < n; ++i) {
+          dot += std::conj(v(i, prev)) * v(i, j);
+        }
+        for (std::size_t i = 0; i < n; ++i) v(i, j) -= dot * v(i, prev);
+      }
+      double norm_sq = 0.0;
+      for (std::size_t i = 0; i < n; ++i) norm_sq += std::norm(v(i, j));
+      const double norm = std::sqrt(norm_sq);
+      if (norm > floor) {
+        const double inv = 1.0 / norm;
+        for (std::size_t i = 0; i < n; ++i) v(i, j) *= inv;
+        break;
+      }
+      // Re-seed: unit basis vector e_{j mod n} is orthogonal-enough to
+      // restart from; the retry pass re-orthogonalizes it.
+      for (std::size_t i = 0; i < n; ++i) v(i, j) = Complex{};
+      v(j % n, j) = Complex{1.0, 0.0};
+    }
+  }
+}
+
+TruncatedEigResult dense_fallback(const CMatrix& a, std::size_t k) {
+  const EigenDecomposition dense = hermitian_eig(a);
+  TruncatedEigResult result;
+  result.eigenvalues.assign(dense.eigenvalues.begin(),
+                            dense.eigenvalues.begin() +
+                                static_cast<std::ptrdiff_t>(k));
+  result.eigenvectors = dense.eigenvectors.block(0, 0, a.rows(), k);
+  result.converged = true;
+  result.used_dense_fallback = true;
+  result.trace = a.trace().real();
+  return result;
+}
+
+}  // namespace
+
+TruncatedEigResult truncated_hermitian_eig(const CMatrix& a,
+                                           const TruncatedEigOptions& options) {
+  if (a.rows() != a.cols() || a.rows() == 0) {
+    throw std::invalid_argument("truncated_hermitian_eig: not square");
+  }
+  if (!a.is_hermitian(1e-8)) {
+    throw std::invalid_argument("truncated_hermitian_eig: not Hermitian");
+  }
+  if (options.rank == 0) {
+    throw std::invalid_argument("truncated_hermitian_eig: rank == 0");
+  }
+  const std::size_t n = a.rows();
+  const std::size_t k = std::min(options.rank, n);
+
+  // Iteration only pays off (and only converges robustly) for K well
+  // below N: at K >= N-1 the K x K Ritz solve is already nearly the
+  // full problem, so run the dense solver outright.
+  if (k + 1 >= n) return dense_fallback(a, k);
+
+  const double scale = a.frobenius_norm();
+  TruncatedEigResult result;
+  result.trace = a.trace().real();
+  if (scale == 0.0) {
+    // Zero matrix: any orthonormal set is an eigenbasis.
+    CMatrix v = deterministic_start(n, k);
+    orthonormalize(v, 1e-300);
+    result.eigenvalues.assign(k, 0.0);
+    result.eigenvectors = v;
+    result.converged = true;
+    return result;
+  }
+  const double residual_budget = options.tolerance * scale;
+
+  CMatrix v = deterministic_start(n, k);
+  orthonormalize(v, 1e-12);
+
+  for (std::size_t iter = 1; iter <= options.max_iterations; ++iter) {
+    result.iterations = iter;
+    const CMatrix av = a * v;
+
+    // Rayleigh-Ritz on span(v): B = V^H (A V), symmetrized because the
+    // Jacobi solver insists on exact-enough Hermitian input.
+    CMatrix b = matmul_hermitian_left(v, av);
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = i; j < k; ++j) {
+        const Complex mean =
+            0.5 * (b(i, j) + std::conj(b(j, i)));
+        b(i, j) = mean;
+        b(j, i) = std::conj(mean);
+      }
+    }
+    const EigenDecomposition ritz = hermitian_eig(b);
+
+    const CMatrix u = v * ritz.eigenvectors;       // Ritz vectors
+    const CMatrix au = av * ritz.eigenvectors;     // A * Ritz vectors
+    double worst = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      double res_sq = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        res_sq += std::norm(au(i, j) - ritz.eigenvalues[j] * u(i, j));
+      }
+      worst = std::max(worst, std::sqrt(res_sq));
+    }
+    if (worst <= residual_budget) {
+      result.eigenvalues = ritz.eigenvalues;
+      result.eigenvectors = u;
+      result.converged = true;
+      return result;
+    }
+
+    // Power step: advance the subspace along A and re-orthonormalize.
+    // au spans A * span(v) (eigenvector rotation is unitary), saving a
+    // second full product.
+    v = au;
+    orthonormalize(v, 1e-12);
+  }
+
+  // Stalled: hand back the best subspace found, flagged unconverged so
+  // the caller can fall back to dense.
+  const CMatrix av = a * v;
+  CMatrix b = matmul_hermitian_left(v, av);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i; j < k; ++j) {
+      const Complex mean = 0.5 * (b(i, j) + std::conj(b(j, i)));
+      b(i, j) = mean;
+      b(j, i) = std::conj(mean);
+    }
+  }
+  const EigenDecomposition ritz = hermitian_eig(b);
+  result.eigenvalues = ritz.eigenvalues;
+  result.eigenvectors = v * ritz.eigenvectors;
+  result.converged = false;
+  return result;
+}
+
+}  // namespace dwatch::linalg

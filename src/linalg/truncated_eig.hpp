@@ -1,0 +1,67 @@
+// Truncated Hermitian eigensolver: top-K eigenpairs by subspace
+// (simultaneous) iteration with Rayleigh-Ritz extraction.
+//
+// P-MUSIC only needs the K dominant eigenvectors of the smoothed
+// correlation matrix — K is the signal-path count (1..3 in the paper's
+// scenes) while the full Jacobi EVD pays for all L eigenpairs per
+// (array, tag) estimate. Subspace iteration runs one L x L by L x K
+// product per step plus a K x K dense solve, so for K << L it
+// amortizes far below a Jacobi sweep; the MUSIC spectrum then comes
+// from the COMPLEMENT identity ||U_N^H a||^2 = ||a||^2 - ||U_S^H a||^2
+// without ever forming the noise basis.
+//
+// This is an approximation with an escape hatch, not a replacement:
+// when K is close to L (no savings, weaker convergence) or the
+// iteration stalls (tiny spectral gap), callers get
+// `used_dense_fallback` / `converged == false` and are expected to run
+// the dense path — music.cpp does exactly that, so accuracy never
+// degrades silently.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/complex_matrix.hpp"
+#include "linalg/hermitian_eig.hpp"
+
+namespace dwatch::linalg {
+
+struct TruncatedEigOptions {
+  /// Number of dominant eigenpairs to extract (K). Clamped to n; 0
+  /// throws std::invalid_argument.
+  std::size_t rank = 2;
+  /// Converged when every Ritz residual ||A u - theta u||_2 falls below
+  /// `tolerance * ||A||_F`.
+  double tolerance = 1e-10;
+  /// Iteration cap; hitting it returns converged == false (no throw —
+  /// the caller chooses dense fallback or acceptance).
+  std::size_t max_iterations = 200;
+};
+
+struct TruncatedEigResult {
+  /// Top-K eigenvalues, DESCENDING (same convention as hermitian_eig).
+  std::vector<double> eigenvalues;
+  /// n x K orthonormal eigenvector columns, column i pairs with
+  /// eigenvalues[i].
+  CMatrix eigenvectors;
+  /// Every residual met tolerance (always true on the dense fallback).
+  bool converged = false;
+  /// rank was too close to n for iteration to pay off, so the dense
+  /// Jacobi solver ran and the top-K slice of its output is returned.
+  bool used_dense_fallback = false;
+  /// Subspace iterations performed (0 on the dense fallback).
+  std::size_t iterations = 0;
+  /// Re(trace(A)) — callers reconstruct the noise floor from it:
+  /// sum of the (n - K) discarded eigenvalues == trace - sum(top K).
+  double trace = 0.0;
+};
+
+/// Top-K eigenpairs of a Hermitian matrix.
+///
+/// Throws std::invalid_argument if `a` is not square, not Hermitian
+/// within 1e-8, or options.rank == 0. Rank >= n - 1 silently runs the
+/// dense solver (used_dense_fallback).
+[[nodiscard]] TruncatedEigResult truncated_hermitian_eig(
+    const CMatrix& a, const TruncatedEigOptions& options = {});
+
+}  // namespace dwatch::linalg

@@ -1,0 +1,163 @@
+// Truncated-vs-dense agreement on the golden-spectrum fixtures: with
+// MusicOptions::max_signal_rank set, the truncated eigensolver path
+// must reproduce the dense estimate — same source count, spectra equal
+// to a tight relative tolerance — on the exact scenes the goldens pin.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "core/music.hpp"
+#include "core/pmusic.hpp"
+#include "linalg/complex_matrix.hpp"
+#include "rf/constants.hpp"
+
+namespace dwatch::core {
+namespace {
+
+constexpr double kSpacing = 0.163;
+constexpr double kLambda = 2.0 * kSpacing;
+
+/// Same generator as golden_spectrum_test.cpp (kept in sync by the
+/// shared-seed spot check below producing identical estimates).
+struct Lcg {
+  std::uint64_t state;
+  explicit Lcg(std::uint64_t seed) : state(seed) {}
+  double uniform() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<double>(state >> 11) * 0x1.0p-53;
+  }
+};
+
+linalg::CMatrix golden_snapshots(std::size_t num_elements,
+                                 std::uint64_t seed) {
+  const double thetas[2] = {0.7, 1.9};
+  const double amplitudes[2] = {1.0, 0.45};
+  const std::size_t num_snapshots = 16;
+  Lcg lcg(seed);
+  linalg::CMatrix x(num_elements, num_snapshots);
+  for (std::size_t n = 0; n < num_snapshots; ++n) {
+    const double symbol_phase = rf::kTwoPi * lcg.uniform();
+    for (std::size_t m = 0; m < num_elements; ++m) {
+      std::complex<double> v{0.0, 0.0};
+      for (int k = 0; k < 2; ++k) {
+        const double steer = rf::kTwoPi * kSpacing *
+                             static_cast<double>(m) * std::cos(thetas[k]) /
+                             kLambda;
+        v += amplitudes[k] *
+             std::complex<double>(std::cos(steer + symbol_phase),
+                                  std::sin(steer + symbol_phase));
+      }
+      v += std::complex<double>(1e-3 * (lcg.uniform() - 0.5),
+                                1e-3 * (lcg.uniform() - 0.5));
+      x(m, n) = v;
+    }
+  }
+  return x;
+}
+
+double worst_relative_drift(const AngularSpectrum& a,
+                            const AngularSpectrum& b) {
+  EXPECT_EQ(a.size(), b.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst,
+                     std::abs(a[i] - b[i]) / std::max(std::abs(b[i]), 1.0));
+  }
+  return worst;
+}
+
+TEST(TruncatedMusic, SmallArrayFallsBackToDense) {
+  // m = 4 -> subarray l = 3; with K = 2 the truncated path bails
+  // (k + 1 >= l) and the result must be the dense one, bit for bit.
+  MusicOptions truncated_opts;
+  truncated_opts.max_signal_rank = 2;
+  const MusicEstimator dense(kSpacing, kLambda);
+  const MusicEstimator capped(kSpacing, kLambda, truncated_opts);
+  const linalg::CMatrix x = golden_snapshots(4, 0xD0A0 + 4);
+
+  const MusicResult d = dense.estimate(x);
+  const MusicResult t = capped.estimate(x);
+  EXPECT_FALSE(t.truncated);
+  EXPECT_EQ(t.num_sources, d.num_sources);
+  ASSERT_EQ(t.spectrum.size(), d.spectrum.size());
+  for (std::size_t i = 0; i < t.spectrum.size(); ++i) {
+    EXPECT_EQ(t.spectrum[i], d.spectrum[i]) << "i=" << i;
+  }
+}
+
+TEST(TruncatedMusic, EightElementGoldenSceneAgreesWithDense) {
+  // m = 8 -> subarray l = 6, K = 2: genuinely truncated.
+  MusicOptions truncated_opts;
+  truncated_opts.max_signal_rank = 2;
+  const MusicEstimator dense(kSpacing, kLambda);
+  const MusicEstimator capped(kSpacing, kLambda, truncated_opts);
+  const linalg::CMatrix x = golden_snapshots(8, 0xD0A0 + 8);
+
+  const MusicResult d = dense.estimate(x);
+  const MusicResult t = capped.estimate(x);
+  ASSERT_TRUE(t.truncated);
+  EXPECT_EQ(t.num_sources, d.num_sources);
+  EXPECT_EQ(t.subarray, d.subarray);
+
+  // The top-K eigenvalues are the dense ones (to solver tolerance) and
+  // the synthetic tail conserves the trace.
+  ASSERT_EQ(t.eigenvalues.size(), d.eigenvalues.size());
+  for (std::size_t j = 0; j < t.num_sources; ++j) {
+    EXPECT_NEAR(t.eigenvalues[j], d.eigenvalues[j],
+                1e-7 * std::abs(d.eigenvalues[0]))
+        << "j=" << j;
+  }
+  double t_sum = 0.0;
+  double d_sum = 0.0;
+  for (std::size_t j = 0; j < t.eigenvalues.size(); ++j) {
+    t_sum += t.eigenvalues[j];
+    d_sum += d.eigenvalues[j];
+  }
+  EXPECT_NEAR(t_sum, d_sum, 1e-6 * std::abs(d_sum));
+
+  // The truncated path never forms the noise subspace...
+  EXPECT_EQ(t.noise_subspace.rows(), 0u);
+  // ...yet the complement-identity spectrum matches the dense one.
+  EXPECT_LE(worst_relative_drift(t.spectrum, d.spectrum), 1e-6);
+}
+
+TEST(TruncatedMusic, PMusicOmegaAgreesUnderTruncation) {
+  PMusicOptions truncated_opts;
+  truncated_opts.music.max_signal_rank = 2;
+  const PMusicEstimator dense(kSpacing, kLambda);
+  const PMusicEstimator capped(kSpacing, kLambda, truncated_opts);
+  const linalg::CMatrix x = golden_snapshots(8, 0xD0A0 + 8);
+
+  const PMusicResult d = dense.estimate(x);
+  const PMusicResult t = capped.estimate(x);
+  ASSERT_TRUE(t.music.truncated);
+  EXPECT_LE(worst_relative_drift(t.omega, d.omega), 1e-6);
+  EXPECT_LE(worst_relative_drift(t.power, d.power), 1e-12);  // same PB path
+}
+
+TEST(TruncatedMusic, RankOneCapLimitsSourceCount) {
+  MusicOptions opts;
+  opts.max_signal_rank = 1;
+  const MusicEstimator capped(kSpacing, kLambda, opts);
+  const MusicResult t = capped.estimate(golden_snapshots(8, 0xD0A0 + 8));
+  ASSERT_TRUE(t.truncated);
+  EXPECT_LE(t.num_sources, 1u);
+  EXPECT_EQ(t.signal_subspace.cols(), t.num_sources);
+}
+
+TEST(TruncatedMusic, EigenvalueListStaysDescending) {
+  MusicOptions opts;
+  opts.max_signal_rank = 2;
+  const MusicEstimator capped(kSpacing, kLambda, opts);
+  const MusicResult t = capped.estimate(golden_snapshots(8, 0xD0A0 + 8));
+  ASSERT_TRUE(t.truncated);
+  for (std::size_t j = 1; j < t.eigenvalues.size(); ++j) {
+    EXPECT_GE(t.eigenvalues[j - 1], t.eigenvalues[j]) << "j=" << j;
+  }
+}
+
+}  // namespace
+}  // namespace dwatch::core

@@ -159,11 +159,15 @@ TEST(GhostDegraded, ExclusionStalenessAndGhostFilterInOneEpoch) {
   // ghost filter ran twice — the explicit filtered_evidence() above and
   // again inside localize_with_confidence() — and every run re-emits
   // its rejections (each fix really did reject them): 2 runs x 1 drop
-  // per healthy array.
+  // per healthy array. Emission sites are compiled out in a
+  // DWATCH_OBS=OFF tree, so only check them when obs is compiled in;
+  // the pipeline-level assertions above cover both configurations.
+#if DWATCH_OBS_ENABLED
   const auto lines = obs::EventLog::global().snapshot();
   EXPECT_EQ(count_events(lines, "pipeline.ghost_rejected"), 4u);
   EXPECT_EQ(count_events(lines, "pipeline.stale_observation"), 1u);
   EXPECT_EQ(count_events(lines, "pipeline.array_excluded"), 1u);
+#endif
 
   obs::set_enabled(false);
 }

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "linalg/complex_matrix.hpp"
+#include "linalg/soa_complex.hpp"
+
+namespace dwatch::linalg {
+namespace {
+
+/// Deterministic fill so round-trip comparisons are exact.
+CMatrix pattern(std::size_t rows, std::size_t cols) {
+  CMatrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m(r, c) = Complex{static_cast<double>(r * 1000 + c) + 0.25,
+                        -static_cast<double>(c * 1000 + r) - 0.5};
+    }
+  }
+  return m;
+}
+
+TEST(SplitComplexMatrix, DefaultIsEmpty) {
+  const SplitComplexMatrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_EQ(m.stride(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(SplitComplexMatrix, StrideIsPaddedMultiple) {
+  for (const std::size_t cols : {1u, 2u, 7u, 8u, 9u, 361u}) {
+    const SplitComplexMatrix m(3, cols);
+    EXPECT_GE(m.stride(), cols);
+    EXPECT_EQ(m.stride() % SplitComplexMatrix::kPadDoubles, 0u);
+    EXPECT_LT(m.stride() - cols, SplitComplexMatrix::kPadDoubles);
+  }
+}
+
+TEST(SplitComplexMatrix, EveryRowIsAligned) {
+  const SplitComplexMatrix m(9, 361);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const auto re_addr = reinterpret_cast<std::uintptr_t>(m.re_row(r));
+    const auto im_addr = reinterpret_cast<std::uintptr_t>(m.im_row(r));
+    EXPECT_EQ(re_addr % SplitComplexMatrix::kAlignment, 0u) << "row " << r;
+    EXPECT_EQ(im_addr % SplitComplexMatrix::kAlignment, 0u) << "row " << r;
+  }
+}
+
+TEST(SplitComplexMatrix, PaddingIsZero) {
+  const CMatrix src = pattern(4, 5);
+  const SplitComplexMatrix m = SplitComplexMatrix::from_matrix(src);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = m.cols(); c < m.stride(); ++c) {
+      EXPECT_EQ(m.re_row(r)[c], 0.0) << r << "," << c;
+      EXPECT_EQ(m.im_row(r)[c], 0.0) << r << "," << c;
+    }
+  }
+}
+
+TEST(SplitComplexMatrix, RoundTripIsExact) {
+  for (const auto& [rows, cols] :
+       {std::pair<std::size_t, std::size_t>{1, 1},
+        {3, 7},
+        {8, 361},
+        {16, 4},
+        {33, 31}}) {
+    const CMatrix src = pattern(rows, cols);
+    const SplitComplexMatrix soa = SplitComplexMatrix::from_matrix(src);
+    ASSERT_EQ(soa.rows(), rows);
+    ASSERT_EQ(soa.cols(), cols);
+    const CMatrix back = soa.to_matrix();
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        EXPECT_EQ(back(r, c), src(r, c));
+        EXPECT_EQ(soa.at(r, c), src(r, c));
+      }
+    }
+  }
+}
+
+TEST(SplitComplexMatrix, TransposedAdapterFlipsIndices) {
+  const CMatrix src = pattern(5, 9);  // e.g. M x N snapshots
+  const SplitComplexMatrix t = SplitComplexMatrix::from_matrix_transposed(src);
+  ASSERT_EQ(t.rows(), src.cols());
+  ASSERT_EQ(t.cols(), src.rows());
+  for (std::size_t r = 0; r < src.rows(); ++r) {
+    for (std::size_t c = 0; c < src.cols(); ++c) {
+      EXPECT_EQ(t.at(c, r), src(r, c));
+    }
+  }
+}
+
+TEST(SplitComplexMatrix, SetWritesBothPlanes) {
+  SplitComplexMatrix m(2, 3);
+  m.set(1, 2, Complex{3.5, -4.5});
+  EXPECT_EQ(m.at(1, 2), (Complex{3.5, -4.5}));
+  EXPECT_EQ(m.re_row(1)[2], 3.5);
+  EXPECT_EQ(m.im_row(1)[2], -4.5);
+}
+
+}  // namespace
+}  // namespace dwatch::linalg

@@ -1,0 +1,223 @@
+#include "linalg/truncated_eig.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/complex_matrix.hpp"
+#include "linalg/hermitian_eig.hpp"
+
+namespace dwatch::linalg {
+namespace {
+
+constexpr double kTol = 1e-8;
+
+/// Dense Hermitian PSD matrix with a known, well-separated spectrum:
+/// A = V diag(values) V^H for a deterministic unitary-ish V obtained by
+/// orthonormalizing a fixed complex matrix.
+CMatrix spectrum_matrix(const std::vector<double>& values) {
+  const std::size_t n = values.size();
+  // Deterministic basis seed, then Gram-Schmidt.
+  CMatrix v(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double phase = 0.7548776662466927 * static_cast<double>(
+                               (i + 2) * (j + 3)) +
+                           0.01 * static_cast<double>(i);
+      v(i, j) = Complex{std::cos(phase), std::sin(phase)};
+    }
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t prev = 0; prev < j; ++prev) {
+      Complex dot{};
+      for (std::size_t i = 0; i < n; ++i) dot += std::conj(v(i, prev)) * v(i, j);
+      for (std::size_t i = 0; i < n; ++i) v(i, j) -= dot * v(i, prev);
+    }
+    double norm_sq = 0.0;
+    for (std::size_t i = 0; i < n; ++i) norm_sq += std::norm(v(i, j));
+    const double inv = 1.0 / std::sqrt(norm_sq);
+    for (std::size_t i = 0; i < n; ++i) v(i, j) *= inv;
+  }
+  CMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      Complex sum{};
+      for (std::size_t k = 0; k < n; ++k) {
+        sum += v(i, k) * values[k] * std::conj(v(j, k));
+      }
+      a(i, j) = sum;
+    }
+  }
+  // Exact Hermitian symmetrization kills rounding asymmetry.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const Complex mean = 0.5 * (a(i, j) + std::conj(a(j, i)));
+      a(i, j) = mean;
+      a(j, i) = std::conj(mean);
+    }
+  }
+  return a;
+}
+
+/// |<u, w>| for unit vectors — 1 means same direction up to phase.
+double alignment(const CMatrix& u, std::size_t uc, const CMatrix& w,
+                 std::size_t wc) {
+  Complex dot{};
+  for (std::size_t i = 0; i < u.rows(); ++i) {
+    dot += std::conj(u(i, uc)) * w(i, wc);
+  }
+  return std::abs(dot);
+}
+
+TEST(TruncatedEig, DiagonalTopKExact) {
+  CMatrix a(6, 6);
+  const double diag[] = {9.0, 4.0, 1.0, 0.5, 0.2, 0.1};
+  for (std::size_t i = 0; i < 6; ++i) a(i, i) = Complex{diag[i], 0.0};
+
+  TruncatedEigOptions opt;
+  opt.rank = 2;
+  const TruncatedEigResult r = truncated_hermitian_eig(a, opt);
+  ASSERT_TRUE(r.converged);
+  EXPECT_FALSE(r.used_dense_fallback);
+  ASSERT_EQ(r.eigenvalues.size(), 2u);
+  EXPECT_NEAR(r.eigenvalues[0], 9.0, kTol);
+  EXPECT_NEAR(r.eigenvalues[1], 4.0, kTol);
+  EXPECT_NEAR(r.trace, 14.8, 1e-12);
+  // Eigenvectors align with e0 / e1.
+  EXPECT_NEAR(std::abs(r.eigenvectors(0, 0)), 1.0, 1e-6);
+  EXPECT_NEAR(std::abs(r.eigenvectors(1, 1)), 1.0, 1e-6);
+}
+
+TEST(TruncatedEig, AgreesWithDenseOnSeparatedSpectrum) {
+  const std::vector<double> values = {9.0, 4.0, 1.0, 0.5, 0.2, 0.1};
+  const CMatrix a = spectrum_matrix(values);
+  const EigenDecomposition dense = hermitian_eig(a);
+
+  for (const std::size_t k : {1u, 2u, 3u}) {
+    TruncatedEigOptions opt;
+    opt.rank = k;
+    const TruncatedEigResult r = truncated_hermitian_eig(a, opt);
+    ASSERT_TRUE(r.converged) << "k=" << k;
+    EXPECT_FALSE(r.used_dense_fallback) << "k=" << k;
+    ASSERT_EQ(r.eigenvalues.size(), k);
+    for (std::size_t j = 0; j < k; ++j) {
+      EXPECT_NEAR(r.eigenvalues[j], dense.eigenvalues[j], 1e-7)
+          << "k=" << k << " j=" << j;
+      EXPECT_NEAR(alignment(r.eigenvectors, j, dense.eigenvectors, j), 1.0,
+                  1e-6)
+          << "k=" << k << " j=" << j;
+    }
+  }
+}
+
+TEST(TruncatedEig, RitzVectorsAreOrthonormal) {
+  const CMatrix a = spectrum_matrix({9.0, 4.0, 1.0, 0.5, 0.2, 0.1});
+  TruncatedEigOptions opt;
+  opt.rank = 3;
+  const TruncatedEigResult r = truncated_hermitian_eig(a, opt);
+  ASSERT_TRUE(r.converged);
+  for (std::size_t p = 0; p < 3; ++p) {
+    for (std::size_t q = 0; q < 3; ++q) {
+      Complex dot{};
+      for (std::size_t i = 0; i < a.rows(); ++i) {
+        dot += std::conj(r.eigenvectors(i, p)) * r.eigenvectors(i, q);
+      }
+      EXPECT_NEAR(std::abs(dot), p == q ? 1.0 : 0.0, 1e-8)
+          << "(" << p << "," << q << ")";
+    }
+  }
+}
+
+TEST(TruncatedEig, RankNearDimensionUsesDenseFallback) {
+  const CMatrix a = spectrum_matrix({5.0, 3.0, 2.0, 1.0});
+  for (const std::size_t k : {3u, 4u}) {  // k + 1 >= n = 4
+    TruncatedEigOptions opt;
+    opt.rank = k;
+    const TruncatedEigResult r = truncated_hermitian_eig(a, opt);
+    ASSERT_TRUE(r.converged);
+    EXPECT_TRUE(r.used_dense_fallback) << "k=" << k;
+    ASSERT_EQ(r.eigenvalues.size(), k);
+    EXPECT_NEAR(r.eigenvalues[0], 5.0, 1e-8);
+  }
+}
+
+TEST(TruncatedEig, RankLargerThanDimensionIsClamped) {
+  const CMatrix a = spectrum_matrix({5.0, 3.0, 2.0});
+  TruncatedEigOptions opt;
+  opt.rank = 64;
+  const TruncatedEigResult r = truncated_hermitian_eig(a, opt);
+  ASSERT_TRUE(r.converged);
+  EXPECT_TRUE(r.used_dense_fallback);
+  EXPECT_EQ(r.eigenvalues.size(), 3u);
+}
+
+TEST(TruncatedEig, IdentityConvergesImmediately) {
+  CMatrix a(8, 8);
+  for (std::size_t i = 0; i < 8; ++i) a(i, i) = Complex{1.0, 0.0};
+  TruncatedEigOptions opt;
+  opt.rank = 2;
+  const TruncatedEigResult r = truncated_hermitian_eig(a, opt);
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 1u);
+  EXPECT_NEAR(r.eigenvalues[0], 1.0, kTol);
+  EXPECT_NEAR(r.eigenvalues[1], 1.0, kTol);
+}
+
+TEST(TruncatedEig, ZeroMatrixConverges) {
+  const CMatrix a(5, 5);
+  TruncatedEigOptions opt;
+  opt.rank = 2;
+  const TruncatedEigResult r = truncated_hermitian_eig(a, opt);
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.eigenvalues, (std::vector<double>{0.0, 0.0}));
+  EXPECT_EQ(r.trace, 0.0);
+}
+
+TEST(TruncatedEig, StallReportsUnconverged) {
+  const CMatrix a = spectrum_matrix({9.0, 8.999, 1.0, 0.5, 0.2, 0.1});
+  TruncatedEigOptions opt;
+  opt.rank = 1;
+  opt.tolerance = 0.0;     // unreachable residual budget
+  opt.max_iterations = 1;  // no room to iterate either
+  const TruncatedEigResult r = truncated_hermitian_eig(a, opt);
+  EXPECT_FALSE(r.converged);
+  EXPECT_FALSE(r.used_dense_fallback);
+  ASSERT_EQ(r.eigenvalues.size(), 1u);
+  // Even the stalled estimate is a Rayleigh quotient of A: bounded by
+  // the extreme eigenvalues.
+  EXPECT_GE(r.eigenvalues[0], 0.1 - kTol);
+  EXPECT_LE(r.eigenvalues[0], 9.0 + kTol);
+}
+
+TEST(TruncatedEig, InvalidInputsThrow) {
+  EXPECT_THROW((void)truncated_hermitian_eig(CMatrix(2, 3)),
+               std::invalid_argument);
+  EXPECT_THROW((void)truncated_hermitian_eig(CMatrix(0, 0)),
+               std::invalid_argument);
+
+  CMatrix not_hermitian(3, 3);
+  not_hermitian(0, 1) = Complex{1.0, 0.0};
+  not_hermitian(1, 0) = Complex{5.0, 0.0};
+  EXPECT_THROW((void)truncated_hermitian_eig(not_hermitian),
+               std::invalid_argument);
+
+  CMatrix ok(3, 3);
+  ok(0, 0) = Complex{1.0, 0.0};
+  TruncatedEigOptions zero_rank;
+  zero_rank.rank = 0;
+  EXPECT_THROW((void)truncated_hermitian_eig(ok, zero_rank),
+               std::invalid_argument);
+}
+
+TEST(TruncatedEig, TraceMatchesInput) {
+  const CMatrix a = spectrum_matrix({6.0, 2.0, 1.0, 0.5, 0.25});
+  TruncatedEigOptions opt;
+  opt.rank = 2;
+  const TruncatedEigResult r = truncated_hermitian_eig(a, opt);
+  EXPECT_NEAR(r.trace, 9.75, 1e-9);
+}
+
+}  // namespace
+}  // namespace dwatch::linalg
