@@ -1,0 +1,61 @@
+// Scenario-suite trajectory: every registered scenario driven once per
+// iteration through the full sim -> wire -> service -> tracker stack.
+//
+// One benchmark per scenario, pinned to a single iteration (a scenario
+// IS the repeatable unit — everything inside derives from its seed).
+// The counters carry the compliance metrics into BENCH_scenarios.json:
+// per-scenario fix/tracked RMSE, match rate, and the runner's own
+// per-epoch p50/p99 wall clock, so the per-PR trajectory records both
+// accuracy and serving-loop latency for every room/mode family.
+#include <benchmark/benchmark.h>
+
+#include "bench_reporter.hpp"
+
+#include <string>
+
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+
+namespace dwatch::scenario {
+namespace {
+
+void run_scenario(benchmark::State& state, const ScenarioSpec& spec) {
+  RunnerConfig config;
+  config.keep_records = false;
+  ScenarioRunner runner(config);
+  ScenarioMetrics metrics;
+  bool pass = false;
+  for (auto _ : state) {
+    const ScenarioResult result = runner.run(spec);
+    metrics = result.metrics;
+    pass = result.outcome == Outcome::kPass;
+    benchmark::DoNotOptimize(metrics.epochs);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(metrics.epochs));
+  state.counters["fix_rmse_m"] = metrics.fix_rmse;
+  state.counters["tracked_rmse_m"] = metrics.rmse;
+  state.counters["match_rate"] = metrics.match_rate;
+  state.counters["epoch_p50_us"] = metrics.p50_epoch_us;
+  state.counters["epoch_p99_us"] = metrics.p99_epoch_us;
+  state.counters["pass"] = pass ? 1.0 : 0.0;
+}
+
+const int kRegistered = [] {
+  for (const ScenarioSpec& spec : all_scenarios()) {
+    benchmark::RegisterBenchmark(
+        ("BM_Scenario/" + spec.name).c_str(),
+        [spec](benchmark::State& state) { run_scenario(state, spec); })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond)
+        ->MeasureProcessCPUTime()
+        ->UseRealTime();
+  }
+  return 0;
+}();
+
+}  // namespace
+}  // namespace dwatch::scenario
+
+DWATCH_BENCH_MAIN()

@@ -1,0 +1,60 @@
+// Scenario walkthrough: replay the registry's fist-tracking case and
+// print the tracked position against ground truth, epoch by epoch.
+//
+//   $ ./scenario_walkthrough [scenario_name]
+//
+// Defaults to table_fist_letter (§6.8 letter tracing). Any registry
+// name works — see `all_scenarios()` in src/scenario/registry.hpp.
+#include <cstdio>
+#include <string>
+
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dwatch;
+
+  const std::string name = argc > 1 ? argv[1] : "table_fist_letter";
+  const scenario::ScenarioSpec* spec = scenario::find_scenario(name);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "unknown scenario '%s'; registry has:\n",
+                 name.c_str());
+    for (const scenario::ScenarioSpec& s : scenario::all_scenarios()) {
+      std::fprintf(stderr, "  %-28s %s\n", s.name.c_str(),
+                   s.description.c_str());
+    }
+    return 2;
+  }
+
+  std::printf("scenario : %s\n", spec->name.c_str());
+  std::printf("about    : %s\n", spec->description.c_str());
+
+  scenario::ScenarioRunner runner;
+  const scenario::ScenarioResult result = runner.run(*spec);
+
+  std::printf("\n  t[s]   truth (x, y)      tracked (x, y)    err[m]\n");
+  for (const scenario::EpochRecord& rec : result.records) {
+    if (rec.truth.empty()) continue;
+    const rf::Vec2 truth = rec.truth.front();
+    if (rec.tracked.empty()) {
+      std::printf("  %4.1f   (%5.2f, %5.2f)   (  --- ,  --- )      ---\n",
+                  rec.t, truth.x, truth.y);
+      continue;
+    }
+    const rf::Vec2 got = rec.tracked.front();
+    std::printf("  %4.1f   (%5.2f, %5.2f)   (%5.2f, %5.2f)    %5.3f\n",
+                rec.t, truth.x, truth.y, got.x, got.y,
+                rf::distance(got, truth));
+  }
+
+  const scenario::ScenarioMetrics& m = result.metrics;
+  std::printf("\noutcome  : %s (%s)\n", scenario::to_string(result.outcome),
+              result.detail.c_str());
+  std::printf("epochs   : %zu (%zu scored, %zu valid fixes, %zu rss)\n",
+              m.epochs, m.scored_epochs, m.valid_fixes, m.rss_epochs);
+  std::printf("error    : rmse %.3f m, mean %.3f m, max %.3f m (budget %.2f)\n",
+              m.rmse, m.mean_error, m.max_error, spec->budget.rmse_m);
+  std::printf("latency  : p50 %.0f us, p99 %.0f us per epoch\n",
+              m.p50_epoch_us, m.p99_epoch_us);
+  return result.outcome == scenario::Outcome::kPass ? 0 : 1;
+}

@@ -5,6 +5,7 @@
 #   1. tier-1: configure + build + full ctest of the default tree;
 #   2. recovery: the self-healing label on the same tree (fast re-run,
 #      isolates a recovery regression from an unrelated tier-1 one);
+#      then the scenario label (the compliance suite) the same way;
 #   3. bench trajectory: a PINNED Release(+LTO) tree is configured just
 #      for benches, every bench_*_json target runs there, and its
 #      BENCH_*.json is staged at the repo root (committed per PR).
@@ -35,6 +36,11 @@ run ctest --test-dir build --output-on-failure
 
 # --- 2. recovery label, explicitly --------------------------------------
 run ctest --test-dir build -L recovery --output-on-failure
+
+# --- 2b. scenario compliance suite, explicitly ---------------------------
+# Every registered scenario through the full stack; isolates a scenario
+# regression from an unrelated tier-1 one.
+run ctest --test-dir build -L scenario --output-on-failure
 
 # --- 3. bench trajectory: pinned Release(+LTO) tree ---------------------
 # Benches run in their own tree so the trajectory numbers are always

@@ -1,6 +1,7 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
+#include <complex>
 #include <numeric>
 #include <set>
 #include <stdexcept>
@@ -48,6 +49,27 @@ struct PipelineCounters {
     return counters;
   }
 };
+
+/// Plan-view array centers for the RSS localizer.
+std::vector<rf::Vec2> array_centers_xy(
+    const std::vector<rf::UniformLinearArray>& arrays) {
+  std::vector<rf::Vec2> centers;
+  centers.reserve(arrays.size());
+  for (const auto& array : arrays) centers.push_back(array.center().xy());
+  return centers;
+}
+
+/// Mean per-sample power of a snapshot matrix (the RSS observable).
+double mean_power(const linalg::CMatrix& x) {
+  if (x.rows() == 0 || x.cols() == 0) return 0.0;
+  double total = 0.0;
+  for (std::size_t n = 0; n < x.cols(); ++n) {
+    for (std::size_t m = 0; m < x.rows(); ++m) {
+      total += std::norm(x(m, n));
+    }
+  }
+  return total / static_cast<double>(x.rows() * x.cols());
+}
 
 }  // namespace
 
@@ -97,9 +119,12 @@ DWatchPipeline::DWatchPipeline(std::vector<rf::UniformLinearArray> arrays,
     : arrays_(std::move(arrays)),
       options_(options),
       localizer_(arrays_, bounds, options.localizer),
+      rss_localizer_(array_centers_xy(arrays_), bounds,
+                     options.localizer.grid_step, options.rss_only),
       detector_(options.change),
       calibration_(arrays_.size()),
       baselines_(arrays_.size()),
+      rss_baselines_(arrays_.size()),
       evidence_(arrays_.size()) {
   pmusic_.reserve(arrays_.size());
   for (const auto& array : arrays_) {
@@ -142,6 +167,53 @@ const std::optional<std::vector<double>>& DWatchPipeline::calibration(
 void DWatchPipeline::clear_baselines(std::size_t array_idx) {
   check_array(array_idx);
   baselines_[array_idx].clear();
+  rss_baselines_[array_idx].clear();
+}
+
+void DWatchPipeline::set_tag_position(const rfid::Epc96& epc,
+                                      rf::Vec2 position) {
+  tag_positions_[epc] = position;
+}
+
+double DWatchPipeline::phase_health() const noexcept {
+  return epoch_.coherence_count == 0
+             ? 1.0
+             : epoch_.coherence_sum /
+                   static_cast<double>(epoch_.coherence_count);
+}
+
+bool DWatchPipeline::rss_active() const noexcept {
+  if (options_.rss_only.force) return true;
+  if (options_.rss_only.auto_health_threshold <= 0.0) return false;
+  return epoch_.coherence_count > 0 &&
+         phase_health() < options_.rss_only.auto_health_threshold;
+}
+
+void DWatchPipeline::accumulate_rss(std::size_t array_idx,
+                                    const rfid::Epc96& epc, double coherence,
+                                    double online_power) {
+  epoch_.coherence_sum += coherence;
+  ++epoch_.coherence_count;
+  const auto pos = tag_positions_.find(epc);
+  if (pos == tag_positions_.end()) return;
+  const auto base = rss_baselines_[array_idx].find(epc);
+  if (base == rss_baselines_[array_idx].end() || base->second <= 0.0) return;
+  const double drop = 1.0 - online_power / base->second;
+  if (drop <= 0.0) return;
+  epoch_.rss_links.push_back(RssLink{
+      .array_idx = array_idx,
+      .tag_position = pos->second,
+      .drop_fraction = std::min(drop, 1.0),
+  });
+}
+
+std::vector<std::uint8_t> DWatchPipeline::excluded_flags() const {
+  std::vector<std::uint8_t> flags;
+  flags.reserve(evidence_.size());
+  for (const AngularEvidence& e : evidence_) {
+    flags.push_back(e.excluded ? 1 : 0);
+  }
+  return flags;
 }
 
 PipelineState DWatchPipeline::export_state() const {
@@ -171,6 +243,12 @@ void DWatchPipeline::restore(const PipelineState& state) {
   }
   calibration_ = state.calibration;
   baselines_ = state.baselines;
+  // The RSS fallback's references are not checkpointed (frozen DWCP v1
+  // layout): drop any in-memory remnants so a restored pipeline never
+  // pairs old link powers with the reinstalled spectral baselines. The
+  // phase path is bit-identical; RSS re-arms on the next re-baseline.
+  rss_baselines_.assign(arrays_.size(), {});
+  tag_positions_.clear();
   for (std::size_t a = 0; a < arrays_.size(); ++a) {
     evidence_[a].drops.clear();
     evidence_[a].excluded = state.excluded[a] != 0;
@@ -213,6 +291,9 @@ void DWatchPipeline::add_baseline(std::size_t array_idx,
   auto [it, inserted] = baselines_[array_idx].insert_or_assign(
       epc, compute_omega(array_idx, snapshots));
   if (inserted) ++stats_.baselines;
+  // Calibration is phase-only, so the uncorrected magnitudes double as
+  // the RSS fallback's per-link reference power.
+  rss_baselines_[array_idx].insert_or_assign(epc, mean_power(snapshots));
 }
 
 void DWatchPipeline::add_baseline(std::size_t array_idx,
@@ -314,6 +395,8 @@ std::size_t DWatchPipeline::observe(std::size_t array_idx,
       PipelineCounters::get().low_snapshot_observations.inc();
     }
   }
+  accumulate_rss(array_idx, epc, phase_coherence(snapshots),
+                 mean_power(snapshots));
   std::vector<PathDrop> drops =
       detect_drops(array_idx, epc, it->second, snapshots);
   stats_.drops_detected += drops.size();
@@ -348,6 +431,8 @@ std::size_t DWatchPipeline::observe_batch(
   struct ItemResult {
     bool has_baseline = false;
     std::vector<PathDrop> drops;
+    double coherence = 0.0;
+    double online_power = 0.0;
   };
   std::vector<ItemResult> results(batch.size());
   const auto process = [&](std::size_t slot) {
@@ -355,6 +440,8 @@ std::size_t DWatchPipeline::observe_batch(
     const auto it = baselines_[item.array_idx].find(item.epc);
     if (it == baselines_[item.array_idx].end()) return;
     results[slot].has_baseline = true;
+    results[slot].coherence = phase_coherence(item.snapshots);
+    results[slot].online_power = mean_power(item.snapshots);
     results[slot].drops =
         detect_drops(item.array_idx, item.epc, it->second, item.snapshots);
   };
@@ -385,6 +472,9 @@ std::size_t DWatchPipeline::observe_batch(
         PipelineCounters::get().low_snapshot_observations.inc();
       }
     }
+    // Same call site the serial observe() loop hits, in the same sorted
+    // order, so RSS links and phase health are bit-identical too.
+    accumulate_rss(item.array_idx, item.epc, r.coherence, r.online_power);
     stats_.drops_detected += r.drops.size();
     epoch_.drops_detected += r.drops.size();
     if (obs::enabled()) {
@@ -492,6 +582,9 @@ std::vector<AngularEvidence> DWatchPipeline::filtered_evidence() const {
 }
 
 LocationEstimate DWatchPipeline::localize() const {
+  if (rss_active()) {
+    return rss_localizer_.localize(epoch_.rss_links, excluded_flags());
+  }
   return localizer_.localize(filtered_evidence());
 }
 
@@ -514,6 +607,8 @@ ConfidenceReport DWatchPipeline::confidence_report() const {
   r.reports_dropped = epoch_.reports_dropped;
   r.transport_retries = epoch_.transport_retries;
   r.transport_timeouts = epoch_.transport_timeouts;
+  r.rss_mode = rss_active();
+  r.phase_health = phase_health();
   if (obs::enabled()) {
     auto& reg = obs::MetricsRegistry::global();
     reg.gauge("dwatch_pipeline_arrays_excluded")
@@ -549,18 +644,29 @@ ConfidentEstimate DWatchPipeline::localize_with_confidence(
             .field("reports_dropped", c.reports_dropped)
             .field("transport_retries", c.transport_retries)
             .field("transport_timeouts", c.transport_timeouts)
+            .field("rss_mode", c.rss_mode)
+            .field("phase_health", c.phase_health)
             .field("degraded", c.degraded()));
   }
   return out;
 }
 
 LocationEstimate DWatchPipeline::localize_best_effort() const {
+  if (rss_active()) {
+    return rss_localizer_.localize_best_effort(epoch_.rss_links,
+                                               excluded_flags());
+  }
   return localizer_.localize_best_effort(filtered_evidence());
 }
 
 std::vector<LocationEstimate> DWatchPipeline::localize_multi(
     std::size_t max_targets, double min_separation,
     double relative_floor) const {
+  if (rss_active()) {
+    return rss_localizer_.localize_multi(epoch_.rss_links, excluded_flags(),
+                                         max_targets, min_separation,
+                                         relative_floor);
+  }
   return localizer_.localize_multi(filtered_evidence(), max_targets,
                                    min_separation, relative_floor);
 }
@@ -574,6 +680,10 @@ TriangulationResult DWatchPipeline::triangulate(double cluster_radius) const {
 }
 
 LikelihoodGrid DWatchPipeline::likelihood_grid() const {
+  if (rss_active()) {
+    return rss_localizer_.likelihood_grid(epoch_.rss_links,
+                                          excluded_flags());
+  }
   return localizer_.likelihood_grid(filtered_evidence());
 }
 

@@ -28,6 +28,7 @@
 #include "core/change_detector.hpp"
 #include "core/localizer.hpp"
 #include "core/pmusic.hpp"
+#include "core/rss.hpp"
 #include "core/thread_pool.hpp"
 #include "core/triangulate.hpp"
 #include "linalg/complex_matrix.hpp"
@@ -66,6 +67,9 @@ struct PipelineOptions {
   /// workers. Results are bit-identical for every setting.
   std::size_t num_workers = 1;
   DegradedModeOptions degraded;
+  /// RSS-only degraded localization (see core/rss.hpp). Inert by
+  /// default; requires surveyed tag positions (set_tag_position).
+  RssOnlyOptions rss_only;
 };
 
 /// One (array, tag) online snapshot matrix queued for a batch epoch.
@@ -136,12 +140,17 @@ struct ConfidenceReport {
   std::size_t reports_dropped = 0;   ///< lost/quarantined upstream
   std::size_t transport_retries = 0;
   std::size_t transport_timeouts = 0;
+  /// This fix came from the RSS-only fallback, not the phase path.
+  bool rss_mode = false;
+  /// Mean inter-element phase coherence of this epoch's observations
+  /// (1.0 when no observations carried phase-health information).
+  double phase_health = 1.0;
 
   /// Anything at all went wrong on the way to this fix.
   [[nodiscard]] bool degraded() const noexcept {
     return arrays_excluded > 0 || stale_observations > 0 ||
            low_snapshot_observations > 0 || malformed_observations > 0 ||
-           reports_dropped > 0 || transport_timeouts > 0;
+           reports_dropped > 0 || transport_timeouts > 0 || rss_mode;
   }
   bool operator==(const ConfidenceReport&) const = default;
 };
@@ -188,7 +197,33 @@ class DWatchPipeline {
   /// (no baseline) until re-capture.
   void clear_baselines(std::size_t array_idx);
 
-  /// Snapshot every long-lived field for checkpointing.
+  /// RSS-only fallback prerequisite: install the surveyed position of a
+  /// tag (the phase path never needs this; the RSS path measures drop
+  /// magnitude along tag-array line segments, so it does). Links of
+  /// tags without a position are silently unusable for RSS.
+  void set_tag_position(const rfid::Epc96& epc, rf::Vec2 position);
+
+  /// Mean inter-element phase coherence of this epoch's observations
+  /// (1.0 until an observation with phase content arrives). ~1 on
+  /// healthy hardware, ~1/sqrt(num_snapshots) on scrambled phase.
+  [[nodiscard]] double phase_health() const noexcept;
+
+  /// True iff localization calls will take the RSS-only path this
+  /// epoch: rss_only.force is set, or auto_health_threshold > 0 and the
+  /// epoch's phase_health() has fallen below it.
+  [[nodiscard]] bool rss_active() const noexcept;
+
+  /// The RSS link evidence accumulated this epoch (inspection/tests).
+  [[nodiscard]] const std::vector<RssLink>& rss_links() const noexcept {
+    return epoch_.rss_links;
+  }
+
+  /// Snapshot every long-lived field for checkpointing. NOTE: the RSS
+  /// fallback's reference state (tag positions, per-link baseline
+  /// powers) is deliberately NOT part of PipelineState — the DWCP v1
+  /// layout is frozen by the checkpoint golden. A restored pipeline's
+  /// phase path is bit-identical; its RSS fallback re-arms on the next
+  /// set_tag_position/add_baseline pass.
   [[nodiscard]] PipelineState export_state() const;
 
   /// Reinstall a previously exported state. The pipeline must have been
@@ -314,15 +349,27 @@ class DWatchPipeline {
       const linalg::CMatrix& snapshots) const;
   void check_array(std::size_t array_idx) const;
 
+  /// Per-epoch RSS bookkeeping for one observation with a stored
+  /// baseline: coherence sampling plus (when the tag is surveyed and a
+  /// baseline power exists) the link drop. Shared by observe() and the
+  /// observe_batch() serial merge so both orders are bit-identical.
+  void accumulate_rss(std::size_t array_idx, const rfid::Epc96& epc,
+                      double coherence, double online_power);
+  [[nodiscard]] std::vector<std::uint8_t> excluded_flags() const;
+
   std::vector<rf::UniformLinearArray> arrays_;
   PipelineOptions options_;
   Localizer localizer_;
+  RssLocalizer rss_localizer_;
   SpectrumChangeDetector detector_;
   /// One estimator per array, built once (estimators are immutable and
   /// shared by all workers).
   std::vector<PMusicEstimator> pmusic_;
   std::vector<std::optional<std::vector<double>>> calibration_;
   std::vector<std::map<rfid::Epc96, AngularSpectrum>> baselines_;
+  /// RSS fallback reference state (NOT checkpointed; see export_state).
+  std::vector<std::map<rfid::Epc96, double>> rss_baselines_;
+  std::map<rfid::Epc96, rf::Vec2> tag_positions_;
   std::vector<AngularEvidence> evidence_;
   PipelineStats stats_;
   std::shared_ptr<ThreadPool> pool_;
@@ -338,6 +385,10 @@ class DWatchPipeline {
     std::size_t reports_dropped = 0;
     std::size_t transport_retries = 0;
     std::size_t transport_timeouts = 0;
+    /// RSS fallback: per-epoch link evidence + phase-health average.
+    std::vector<RssLink> rss_links;
+    double coherence_sum = 0.0;
+    std::size_t coherence_count = 0;
   };
   EpochState epoch_;
 };

@@ -1,0 +1,110 @@
+#include "scenario/assignment.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace dwatch::scenario {
+
+std::vector<std::size_t> min_cost_assignment(
+    const std::vector<std::vector<double>>& cost) {
+  const std::size_t n = cost.size();
+  if (n == 0) return {};
+  const std::size_t m = cost[0].size();
+  if (m < n) {
+    throw std::invalid_argument(
+        "min_cost_assignment: need rows <= cols (transpose first)");
+  }
+  for (const auto& row : cost) {
+    if (row.size() != m) {
+      throw std::invalid_argument("min_cost_assignment: ragged matrix");
+    }
+  }
+
+  // Hungarian algorithm with potentials, 1-based sentinel arrays.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> u(n + 1, 0.0);   // row potentials
+  std::vector<double> v(m + 1, 0.0);   // column potentials
+  std::vector<std::size_t> match(m + 1, 0);  // match[c] = row owning c
+  std::vector<std::size_t> way(m + 1, 0);
+
+  for (std::size_t r = 1; r <= n; ++r) {
+    match[0] = r;
+    std::size_t col0 = 0;
+    std::vector<double> minv(m + 1, kInf);
+    std::vector<char> used(m + 1, 0);
+    do {
+      used[col0] = 1;
+      const std::size_t row0 = match[col0];
+      double delta = kInf;
+      std::size_t col1 = 0;
+      for (std::size_t c = 1; c <= m; ++c) {
+        if (used[c]) continue;
+        const double reduced = cost[row0 - 1][c - 1] - u[row0] - v[c];
+        if (reduced < minv[c]) {
+          minv[c] = reduced;
+          way[c] = col0;
+        }
+        if (minv[c] < delta) {
+          delta = minv[c];
+          col1 = c;
+        }
+      }
+      for (std::size_t c = 0; c <= m; ++c) {
+        if (used[c]) {
+          u[match[c]] += delta;
+          v[c] -= delta;
+        } else {
+          minv[c] -= delta;
+        }
+      }
+      col0 = col1;
+    } while (match[col0] != 0);
+    // Augment along the alternating path.
+    do {
+      const std::size_t col1 = way[col0];
+      match[col0] = match[col1];
+      col0 = col1;
+    } while (col0 != 0);
+  }
+
+  std::vector<std::size_t> assignment(n, 0);
+  for (std::size_t c = 1; c <= m; ++c) {
+    if (match[c] != 0) assignment[match[c] - 1] = c - 1;
+  }
+  return assignment;
+}
+
+double assignment_cost(const std::vector<std::vector<double>>& cost,
+                       const std::vector<std::size_t>& assignment) {
+  double total = 0.0;
+  for (std::size_t r = 0; r < assignment.size(); ++r) {
+    total += cost[r][assignment[r]];
+  }
+  return total;
+}
+
+std::vector<double> matched_errors(const std::vector<rf::Vec2>& estimates,
+                                   const std::vector<rf::Vec2>& truths) {
+  if (estimates.empty() || truths.empty()) return {};
+  // Rows = the smaller set so the solver's rows <= cols precondition
+  // always holds; each matched pair's distance is symmetric anyway.
+  const bool est_rows = estimates.size() <= truths.size();
+  const auto& rows = est_rows ? estimates : truths;
+  const auto& cols = est_rows ? truths : estimates;
+  std::vector<std::vector<double>> cost(rows.size(),
+                                        std::vector<double>(cols.size()));
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t c = 0; c < cols.size(); ++c) {
+      cost[r][c] = rf::distance(rows[r], cols[c]);
+    }
+  }
+  const std::vector<std::size_t> assignment = min_cost_assignment(cost);
+  std::vector<double> errors;
+  errors.reserve(rows.size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    errors.push_back(cost[r][assignment[r]]);
+  }
+  return errors;
+}
+
+}  // namespace dwatch::scenario

@@ -1,0 +1,37 @@
+// Min-cost bipartite assignment (Hungarian algorithm, O(n^3)).
+//
+// Multi-target scoring needs estimates matched to ground-truth targets
+// before errors mean anything: greedy nearest-neighbour matching can
+// double-count one estimate and charge a perfectly-localized pair for a
+// swap. The potentials formulation here handles rectangular problems
+// (rows <= cols) directly.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rf/geometry.hpp"
+
+namespace dwatch::scenario {
+
+/// Minimum-cost assignment of rows to distinct columns. `cost[r][c]` is
+/// the cost of giving row r column c; requires rows <= cols and a
+/// rectangular matrix (throws std::invalid_argument otherwise). Returns
+/// assignment[r] = the column matched to row r.
+[[nodiscard]] std::vector<std::size_t> min_cost_assignment(
+    const std::vector<std::vector<double>>& cost);
+
+/// Total cost of an assignment produced by min_cost_assignment.
+[[nodiscard]] double assignment_cost(
+    const std::vector<std::vector<double>>& cost,
+    const std::vector<std::size_t>& assignment);
+
+/// Convenience for scenario scoring: match estimates to truths by
+/// Euclidean distance (the smaller side becomes the rows) and return
+/// the per-matched-pair distances. min(n_est, n_truth) pairs come back;
+/// unmatched members of the larger side are simply uncovered.
+[[nodiscard]] std::vector<double> matched_errors(
+    const std::vector<rf::Vec2>& estimates,
+    const std::vector<rf::Vec2>& truths);
+
+}  // namespace dwatch::scenario

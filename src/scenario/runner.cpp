@@ -1,0 +1,342 @@
+#include "scenario/runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <optional>
+#include <stdexcept>
+
+#include "rfid/llrp.hpp"
+#include "scenario/assignment.hpp"
+
+namespace dwatch::scenario {
+
+namespace {
+
+/// Percentile of an (unsorted) sample set; nearest-rank on a copy.
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(samples.size() - 1));
+  return samples[idx];
+}
+
+/// Replace every sample's phase with uniform junk, keeping magnitudes:
+/// the broken-LO condition the RSS fallback exists for.
+void scramble_phase(rfid::RoAccessReport& report, rf::Rng& rng) {
+  for (rfid::TagObservation& obs : report.observations) {
+    for (rfid::PhaseSample& s : obs.samples) {
+      s.phase_q = static_cast<std::uint16_t>(rng.uniform_int(0, 65535));
+    }
+  }
+}
+
+/// True iff every target in the spec is a human (controls whether the
+/// §6.2 width allowance applies to matched errors).
+bool all_human(const ScenarioSpec& spec) {
+  return std::all_of(spec.targets.begin(), spec.targets.end(),
+                     [](const TargetSpec& t) {
+                       return t.kind == TargetKind::kHuman;
+                     });
+}
+
+}  // namespace
+
+const char* to_string(Outcome outcome) noexcept {
+  switch (outcome) {
+    case Outcome::kPass:
+      return "PASS";
+    case Outcome::kFail:
+      return "FAIL";
+    case Outcome::kSkip:
+      return "SKIP";
+    case Outcome::kPerf:
+      return "PERF";
+  }
+  return "UNKNOWN";
+}
+
+void TrackBank::configure(std::size_t num_tracks,
+                          const core::KalmanOptions& options) {
+  const bool same_shape = configured_ && tracks_.size() == num_tracks &&
+                          options_.dt == options.dt &&
+                          options_.process_accel == options.process_accel &&
+                          options_.measurement_sigma ==
+                              options.measurement_sigma &&
+                          options_.gate_sigmas == options.gate_sigmas &&
+                          options_.max_coast == options.max_coast;
+  if (same_shape) return;  // keep live state; reset() is the episode cut
+  options_ = options;
+  tracks_.clear();
+  tracks_.reserve(num_tracks);
+  for (std::size_t i = 0; i < num_tracks; ++i) {
+    tracks_.emplace_back(options_);
+  }
+  configured_ = true;
+}
+
+void TrackBank::reset() {
+  for (core::KalmanTracker& t : tracks_) t.reset();
+}
+
+std::vector<rf::Vec2> TrackBank::step(std::vector<rf::Vec2> measurements) {
+  if (measurements.size() > tracks_.size()) {
+    measurements.resize(tracks_.size());
+  }
+  std::vector<char> updated(tracks_.size(), 0);
+  if (!measurements.empty()) {
+    // Cost rows = measurements (<= tracks): distance to the track's
+    // current position; uninitialized tracks sit at a flat high cost
+    // (slightly increasing in index) so leftovers adopt them in
+    // deterministic index order.
+    std::vector<std::vector<double>> cost(
+        measurements.size(), std::vector<double>(tracks_.size()));
+    for (std::size_t r = 0; r < measurements.size(); ++r) {
+      for (std::size_t c = 0; c < tracks_.size(); ++c) {
+        cost[r][c] = tracks_[c].initialized()
+                         ? rf::distance(measurements[r],
+                                        tracks_[c].position())
+                         : 1000.0 + 0.001 * static_cast<double>(c);
+      }
+    }
+    const std::vector<std::size_t> assignment = min_cost_assignment(cost);
+    for (std::size_t r = 0; r < measurements.size(); ++r) {
+      const std::size_t c = assignment[r];
+      (void)tracks_[c].update(measurements[r]);
+      updated[c] = 1;
+    }
+  }
+  std::vector<rf::Vec2> positions;
+  for (std::size_t c = 0; c < tracks_.size(); ++c) {
+    if (!updated[c] && tracks_[c].initialized()) {
+      (void)tracks_[c].coast();
+    }
+    if (tracks_[c].initialized()) {
+      positions.push_back(tracks_[c].position());
+    }
+  }
+  return positions;
+}
+
+ScenarioRunner::ScenarioRunner(RunnerConfig config)
+    : config_(std::move(config)) {}
+
+ScenarioResult ScenarioRunner::run(const ScenarioSpec& spec) {
+  ScenarioResult result;
+  result.name = spec.name;
+
+  const bool wants_rss =
+      spec.rss.force || spec.rss.auto_health_threshold > 0.0;
+  if (wants_rss && !spec.survey_tags) {
+    result.outcome = Outcome::kSkip;
+    result.detail = "RSS scenario without surveyed tag positions";
+    return result;
+  }
+
+  std::optional<CompiledScenario> compiled_opt;
+  try {
+    compiled_opt.emplace(compile(spec));
+  } catch (const std::invalid_argument& e) {
+    result.outcome = Outcome::kSkip;
+    result.detail = e.what();
+    return result;
+  }
+  CompiledScenario& compiled = *compiled_opt;
+
+  const sim::Scene& scene = compiled.scene;
+  rf::Rng capture_rng(spec.seed * 7919u + 17);
+  rf::Rng chaos_rng(spec.seed * 104729u + 5);
+
+  // --- serving layer: one zone, the scenario's whole deployment ------
+  serve::ServiceOptions sopts;
+  sopts.num_workers = config_.service_workers;
+  serve::LocalizationService service(sopts);
+
+  serve::ZoneConfig zc;
+  zc.name = spec.name;
+  zc.arrays = scene.deployment().arrays;
+  zc.bounds = core::SearchBounds{
+      {0.0, 0.0},
+      {scene.deployment().env.width, scene.deployment().env.depth}};
+  zc.pipeline.localizer.grid_step =
+      spec.room == RoomPreset::kTable ? 0.02 : 0.05;
+  zc.pipeline.rss_only = spec.rss;
+  for (std::size_t a = 0; a < scene.num_arrays(); ++a) {
+    zc.calibration.push_back(scene.reader(a).phase_offsets());
+  }
+  zc.best_effort = true;
+  const std::size_t zone = service.add_zone(std::move(zc));
+  core::DWatchPipeline& pipeline = service.zone(zone).pipeline();
+
+  if (spec.survey_tags) {
+    for (const rfid::Tag& tag : scene.deployment().tags) {
+      pipeline.set_tag_position(tag.epc, tag.position.xy());
+    }
+  }
+
+  // --- baselines through the wire (empty scene) ----------------------
+  for (std::size_t a = 0; a < scene.num_arrays(); ++a) {
+    const rfid::RoAccessReport report = scene.capture_report(
+        a, {}, capture_rng, static_cast<std::uint32_t>(a + 1));
+    const std::vector<std::uint8_t> bytes = rfid::encode(report);
+    rfid::LlrpStreamDecoder decoder;
+    decoder.feed(bytes);
+    const auto decoded = decoder.next_report();
+    if (!decoded) continue;
+    for (const rfid::TagObservation& obs : decoded->observations) {
+      pipeline.add_baseline(a, obs);
+    }
+  }
+
+  // --- online epochs --------------------------------------------------
+  core::KalmanOptions kopts = config_.kalman;
+  kopts.dt = spec.epoch_dt;
+  bank_.configure(spec.targets.size(), kopts);
+  bank_.reset();  // the episode boundary: no state from a previous case
+
+  const bool multi = spec.targets.size() > 1;
+  const bool use_allowance = spec.budget.human_allowance && all_human(spec);
+  const double allowance = use_allowance ? 0.18 : 0.0;
+
+  std::vector<double> epoch_times;
+  std::vector<double> tracked_errors;
+  std::vector<double> fix_errors;
+  double match_rate_sum = 0.0;
+  std::size_t match_rate_epochs = 0;
+  ScenarioMetrics& m = result.metrics;
+
+  std::uint32_t message_id = 1000;
+  for (std::size_t k = 0; k < compiled.frames.size(); ++k) {
+    const Frame& frame = compiled.frames[k];
+    const auto t0 = std::chrono::steady_clock::now();
+
+    service.begin_epoch(zone, frame.watermark_us);
+    for (std::size_t a = 0; a < scene.num_arrays(); ++a) {
+      rfid::RoAccessReport report =
+          scene.capture_report(a, frame.targets, capture_rng, ++message_id,
+                               frame.watermark_us);
+      if (spec.phase_fault == PhaseFault::kScramble) {
+        scramble_phase(report, chaos_rng);
+      }
+      const std::vector<std::uint8_t> bytes = rfid::encode(report);
+      rfid::LlrpStreamDecoder decoder;
+      decoder.feed(bytes);
+      const auto decoded = decoder.next_report();
+      if (decoded) service.add_report(zone, a, *decoded);
+    }
+    service.seal_epoch(zone);
+    service.run_pending();
+
+    const auto t1 = std::chrono::steady_clock::now();
+    const double epoch_us =
+        std::chrono::duration<double, std::micro>(t1 - t0).count();
+    epoch_times.push_back(epoch_us);
+
+    const serve::ZoneFix fix = service.fixes(zone).back();
+    ++m.epochs;
+    if (fix.result.estimate.valid) ++m.valid_fixes;
+    if (fix.result.confidence.rss_mode) ++m.rss_epochs;
+
+    // Per-epoch estimates: the service fix for single-target cases,
+    // the still-warm zone pipeline's multi-target peaks otherwise
+    // (run_pending leaves the epoch's evidence in place).
+    std::vector<core::LocationEstimate> estimates;
+    if (multi) {
+      estimates = pipeline.localize_multi(spec.targets.size(), 0.25);
+    } else if (fix.result.estimate.likelihood > 0.0) {
+      estimates.push_back(fix.result.estimate);
+    }
+    std::vector<rf::Vec2> measurements;
+    for (const core::LocationEstimate& e : estimates) {
+      measurements.push_back(e.position);
+    }
+    const std::vector<rf::Vec2> tracked = bank_.step(std::move(measurements));
+
+    if (k >= config_.warmup_epochs) {
+      // Hungarian pairs within the gate are matches; pairs beyond it
+      // are coverage failures and stay out of the error statistics.
+      std::size_t matched = 0;
+      for (const double e : matched_errors(tracked, frame.truth)) {
+        if (e > config_.match_gate_m) continue;
+        ++matched;
+        tracked_errors.push_back(std::max(0.0, e - allowance));
+      }
+      if (matched > 0) ++m.scored_epochs;
+      std::vector<rf::Vec2> raw;
+      for (const core::LocationEstimate& e : estimates) {
+        raw.push_back(e.position);
+      }
+      for (const double e : matched_errors(raw, frame.truth)) {
+        if (e > config_.match_gate_m) continue;
+        fix_errors.push_back(std::max(0.0, e - allowance));
+      }
+      match_rate_sum += frame.truth.empty()
+                            ? 0.0
+                            : static_cast<double>(matched) /
+                                  static_cast<double>(frame.truth.size());
+      ++match_rate_epochs;
+    }
+
+    if (config_.keep_records) {
+      EpochRecord rec;
+      rec.t = frame.t;
+      rec.truth = frame.truth;
+      rec.fix = fix;
+      rec.estimates = estimates;
+      rec.tracked = tracked;
+      rec.epoch_us = epoch_us;
+      result.records.push_back(std::move(rec));
+    }
+  }
+
+  // --- metrics + outcome ----------------------------------------------
+  const auto rms = [](const std::vector<double>& v) {
+    if (v.empty()) return 0.0;
+    double sq = 0.0;
+    for (const double e : v) sq += e * e;
+    return std::sqrt(sq / static_cast<double>(v.size()));
+  };
+  m.rmse = rms(tracked_errors);
+  m.fix_rmse = rms(fix_errors);
+  if (!tracked_errors.empty()) {
+    double sum = 0.0;
+    double worst = 0.0;
+    for (const double e : tracked_errors) {
+      sum += e;
+      worst = std::max(worst, e);
+    }
+    m.mean_error = sum / static_cast<double>(tracked_errors.size());
+    m.max_error = worst;
+  }
+  m.match_rate = match_rate_epochs == 0
+                     ? 0.0
+                     : match_rate_sum /
+                           static_cast<double>(match_rate_epochs);
+  m.p50_epoch_us = percentile(epoch_times, 0.5);
+  m.p99_epoch_us = percentile(epoch_times, 0.99);
+
+  if (m.scored_epochs == 0) {
+    result.outcome = Outcome::kFail;
+    result.detail = "no tracked fixes survived to be scored";
+  } else if (m.rmse > spec.budget.rmse_m) {
+    result.outcome = Outcome::kFail;
+    result.detail = "tracked RMSE " + std::to_string(m.rmse) +
+                    " m over budget " + std::to_string(spec.budget.rmse_m);
+  } else if (m.match_rate < spec.budget.min_match_rate) {
+    result.outcome = Outcome::kFail;
+    result.detail = "match rate " + std::to_string(m.match_rate) +
+                    " below " + std::to_string(spec.budget.min_match_rate);
+  } else if (config_.perf_budget_us > 0.0 &&
+             m.p99_epoch_us > config_.perf_budget_us) {
+    result.outcome = Outcome::kPerf;
+    result.detail = "p99 epoch " + std::to_string(m.p99_epoch_us) +
+                    " us over budget";
+  } else {
+    result.outcome = Outcome::kPass;
+    result.detail = "within budget";
+  }
+  return result;
+}
+
+}  // namespace dwatch::scenario

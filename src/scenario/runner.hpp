@@ -1,0 +1,145 @@
+// Scenario runner: drives a compiled scenario through the FULL stack —
+// sim capture -> LLRP wire framing -> LocalizationService (zone
+// pipeline + scheduler) -> multi-target Kalman track bank — and scores
+// the result against the spec's error budget with per-case
+// pass/fail/skip/perf outcomes (the filter-test-bench idiom).
+//
+// Determinism: everything derives from ScenarioSpec::seed; the service
+// runs its zone serially per epoch and the pipeline is bit-identical
+// for every worker count, so two runs of the same spec produce
+// byte-equal fix sequences (asserted by tests/scenario).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/kalman.hpp"
+#include "core/localizer.hpp"
+#include "scenario/spec.hpp"
+#include "serve/service.hpp"
+
+namespace dwatch::scenario {
+
+/// Per-case outcome, most severe wins.
+enum class Outcome : std::uint8_t {
+  kPass,
+  kFail,  ///< error budget blown or no usable fixes
+  kSkip,  ///< scenario not runnable as specified
+  kPerf,  ///< correct but over the perf budget
+};
+
+[[nodiscard]] const char* to_string(Outcome outcome) noexcept;
+
+/// One serving epoch's artefacts.
+struct EpochRecord {
+  double t = 0.0;
+  std::vector<rf::Vec2> truth;
+  /// The zone fix the service produced for this epoch.
+  serve::ZoneFix fix;
+  /// Multi-target estimates (single-target scenarios: one entry
+  /// mirroring the fix).
+  std::vector<core::LocationEstimate> estimates;
+  /// Positions of initialized tracks after this epoch.
+  std::vector<rf::Vec2> tracked;
+  double epoch_us = 0.0;  ///< wall time of capture+wire+serve
+};
+
+struct ScenarioMetrics {
+  std::size_t epochs = 0;         ///< total serving epochs
+  std::size_t scored_epochs = 0;  ///< epochs past warmup with a match
+  std::size_t valid_fixes = 0;    ///< consensus fixes from the service
+  std::size_t rss_epochs = 0;     ///< fixes taken on the RSS-only path
+  double rmse = 0.0;        ///< tracked-vs-truth RMSE over matched pairs
+  double mean_error = 0.0;
+  double max_error = 0.0;
+  double fix_rmse = 0.0;    ///< raw (untracked) estimate-vs-truth RMSE
+  double match_rate = 0.0;  ///< matched truths / truths, averaged
+  double p50_epoch_us = 0.0;
+  double p99_epoch_us = 0.0;
+};
+
+struct ScenarioResult {
+  std::string name;
+  Outcome outcome = Outcome::kSkip;
+  std::string detail;  ///< human-readable reason for the outcome
+  ScenarioMetrics metrics;
+  std::vector<EpochRecord> records;  ///< empty if keep_records is off
+};
+
+/// A bank of per-target Kalman trackers with Hungarian data
+/// association. The bank OUTLIVES individual scenario episodes (the
+/// compliance runner reuses one bank across its whole case list), so
+/// reset() between episodes is load-bearing: without it, track state
+/// from the previous scenario leaks into the next one's first fixes.
+class TrackBank {
+ public:
+  /// Resize/retune the bank. Existing tracker STATE survives when the
+  /// shape and options already match — reset() is the episode boundary,
+  /// not configure().
+  void configure(std::size_t num_tracks, const core::KalmanOptions& options);
+
+  /// Clear every track (fresh episode).
+  void reset();
+
+  [[nodiscard]] std::size_t size() const noexcept { return tracks_.size(); }
+  [[nodiscard]] const core::KalmanTracker& track(std::size_t i) const {
+    return tracks_.at(i);
+  }
+
+  /// Feed one epoch of position measurements: measurements are matched
+  /// to tracks by min-cost assignment on distance to the predicted
+  /// track positions (uninitialized tracks adopt leftovers
+  /// deterministically), matched tracks update, unmatched tracks coast.
+  /// Returns the post-update position of every INITIALIZED track.
+  std::vector<rf::Vec2> step(std::vector<rf::Vec2> measurements);
+
+ private:
+  std::vector<core::KalmanTracker> tracks_;
+  core::KalmanOptions options_;
+  bool configured_ = false;
+};
+
+struct RunnerConfig {
+  /// Epochs at the start excluded from scoring (tracker warm-up).
+  std::size_t warmup_epochs = 2;
+  /// Hungarian pairs farther apart than this [m] count as UNMATCHED
+  /// (they lower match_rate instead of polluting the RMSE) — a ghost
+  /// track sitting meters away is a coverage failure, not a 5 m error.
+  double match_gate_m = 0.75;
+  /// p99 epoch budget [us]; 0 disables the perf gate (compliance tests
+  /// keep it off — wall time is not deterministic).
+  double perf_budget_us = 0.0;
+  /// Keep per-epoch records in the result (examples/benches want them;
+  /// large sweeps can turn them off).
+  bool keep_records = true;
+  /// Worker threads for the LocalizationService pool (1 = serial).
+  /// Results are bit-identical for every setting.
+  std::size_t service_workers = 1;
+  /// Tracker tuning; dt is overridden by each spec's epoch_dt. Wider
+  /// than the core defaults: raw fixes carry occasional meter-level
+  /// outliers, and a 4-sigma gate on a 0.15 m sigma locks the filter
+  /// onto a runaway velocity after one bad init (it then rejects every
+  /// good measurement while it coasts away).
+  core::KalmanOptions kalman{.measurement_sigma = 0.25, .gate_sigmas = 6.0};
+};
+
+/// Runs scenarios; owns the TrackBank shared across episodes.
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(RunnerConfig config = {});
+
+  [[nodiscard]] const RunnerConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Compile + drive + score one scenario.
+  [[nodiscard]] ScenarioResult run(const ScenarioSpec& spec);
+
+ private:
+  RunnerConfig config_;
+  TrackBank bank_;
+};
+
+}  // namespace dwatch::scenario

@@ -1,0 +1,107 @@
+#include "scenario/spec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dwatch::scenario {
+
+namespace {
+
+sim::CylinderTarget make_target(const TargetSpec& spec, rf::Vec2 position,
+                                RoomPreset room) {
+  switch (spec.kind) {
+    case TargetKind::kHuman:
+      return sim::CylinderTarget::human(
+          position, spec.label.empty() ? "human" : spec.label);
+    case TargetKind::kBottle:
+      return sim::CylinderTarget::bottle(
+          position,
+          room == RoomPreset::kTable ? sim::Environment::kTableHeight : 0.75,
+          spec.label.empty() ? "bottle" : spec.label);
+    case TargetKind::kFist:
+      return sim::CylinderTarget::fist(
+          position, spec.fist_z, spec.label.empty() ? "fist" : spec.label);
+  }
+  throw std::invalid_argument("make_target: unknown TargetKind");
+}
+
+}  // namespace
+
+sim::Environment make_environment(RoomPreset room) {
+  switch (room) {
+    case RoomPreset::kLibrary:
+      return sim::Environment::library();
+    case RoomPreset::kLaboratory:
+      return sim::Environment::laboratory();
+    case RoomPreset::kHall:
+      return sim::Environment::hall();
+    case RoomPreset::kTable:
+      return sim::Environment::table_area();
+  }
+  throw std::invalid_argument("make_environment: unknown RoomPreset");
+}
+
+CompiledScenario compile(const ScenarioSpec& spec) {
+  if (spec.name.empty()) {
+    throw std::invalid_argument("compile: scenario needs a name");
+  }
+  if (spec.targets.empty()) {
+    throw std::invalid_argument("compile: scenario needs >= 1 target");
+  }
+  if (spec.epoch_dt <= 0.0) {
+    throw std::invalid_argument("compile: epoch_dt must be > 0");
+  }
+
+  // Deployment and reader hardware derive from the seed alone.
+  rf::Rng deploy_rng(spec.seed * 2654435761u + 1);
+  rf::Rng hardware_rng(spec.seed * 40503u + 2);
+
+  sim::Deployment deployment;
+  if (spec.room == RoomPreset::kTable) {
+    deployment = sim::make_table_deployment(
+        spec.num_tags, spec.antennas_per_array, deploy_rng);
+  } else {
+    sim::DeploymentOptions dopt;
+    dopt.num_arrays = spec.num_arrays;
+    dopt.num_tags = spec.num_tags;
+    dopt.antennas_per_array = spec.antennas_per_array;
+    deployment = sim::make_room_deployment(make_environment(spec.room), dopt,
+                                           deploy_rng);
+  }
+
+  sim::CaptureOptions capture;
+  capture.blockage_model = spec.blockage;
+
+  // Frame count: run until every trajectory has finished (plus settle
+  // time), never fewer than min_epochs.
+  double horizon = spec.extra_time;
+  for (const TargetSpec& t : spec.targets) {
+    horizon = std::max(horizon, t.trajectory.duration() + spec.extra_time);
+  }
+  std::size_t num_frames = static_cast<std::size_t>(
+                               std::ceil(horizon / spec.epoch_dt)) +
+                           1;
+  num_frames = std::max(num_frames, spec.min_epochs);
+
+  CompiledScenario compiled{
+      spec, sim::Scene(std::move(deployment), capture, hardware_rng), {}};
+  compiled.frames.reserve(num_frames);
+  for (std::size_t k = 0; k < num_frames; ++k) {
+    Frame frame;
+    frame.t = static_cast<double>(k) * spec.epoch_dt;
+    // Watermarks start past 0 so staleness rejection stays armed from
+    // the very first epoch.
+    frame.watermark_us =
+        1'000'000 + static_cast<std::uint64_t>(frame.t * 1e6);
+    for (const TargetSpec& t : spec.targets) {
+      const rf::Vec2 p = t.trajectory.position_at(frame.t);
+      frame.targets.push_back(make_target(t, p, spec.room));
+      frame.truth.push_back(p);
+    }
+    compiled.frames.push_back(std::move(frame));
+  }
+  return compiled;
+}
+
+}  // namespace dwatch::scenario

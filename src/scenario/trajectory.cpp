@@ -1,0 +1,50 @@
+#include "scenario/trajectory.hpp"
+
+#include <stdexcept>
+
+namespace dwatch::scenario {
+
+Trajectory::Trajectory(std::vector<Waypoint> waypoints)
+    : waypoints_(std::move(waypoints)) {
+  if (waypoints_.empty()) {
+    throw std::invalid_argument("Trajectory: no waypoints");
+  }
+  arrival_.reserve(waypoints_.size());
+  arrival_.push_back(0.0);
+  for (std::size_t i = 0; i + 1 < waypoints_.size(); ++i) {
+    const double len =
+        rf::distance(waypoints_[i].position, waypoints_[i + 1].position);
+    double leg_time = 0.0;
+    if (len > 0.0) {
+      if (waypoints_[i].speed_mps <= 0.0) {
+        throw std::invalid_argument(
+            "Trajectory: non-positive speed on a moving segment");
+      }
+      leg_time = len / waypoints_[i].speed_mps;
+    }
+    arrival_.push_back(arrival_.back() + leg_time);
+  }
+  duration_ = arrival_.back();
+}
+
+Trajectory Trajectory::stationary(rf::Vec2 position) {
+  return Trajectory({Waypoint{position, 0.0}});
+}
+
+rf::Vec2 Trajectory::position_at(double t) const {
+  if (t <= 0.0 || waypoints_.size() == 1) {
+    return waypoints_.front().position;
+  }
+  if (t >= duration_) return waypoints_.back().position;
+  // Find the segment containing t; arrival_ is nondecreasing.
+  std::size_t seg = 0;
+  while (seg + 1 < arrival_.size() && arrival_[seg + 1] < t) ++seg;
+  const double span = arrival_[seg + 1] - arrival_[seg];
+  if (span <= 0.0) return waypoints_[seg + 1].position;
+  const double frac = (t - arrival_[seg]) / span;
+  const rf::Vec2 a = waypoints_[seg].position;
+  const rf::Vec2 b = waypoints_[seg + 1].position;
+  return a + (b - a) * frac;
+}
+
+}  // namespace dwatch::scenario

@@ -1,0 +1,50 @@
+// Waypoint trajectories with per-segment speeds.
+//
+// A trajectory is a polyline in the floor plane: the target departs
+// waypoint i toward waypoint i+1 at waypoint i's `speed_mps`, so an
+// L-shaped walk can slow into the corner and accelerate out of it.
+// Sampling is exact (piecewise-linear in time) and clamps to the
+// endpoints, which makes a single-waypoint trajectory a static target.
+#pragma once
+
+#include <vector>
+
+#include "rf/geometry.hpp"
+
+namespace dwatch::scenario {
+
+/// One corner of a walk. `speed_mps` is the speed of the SEGMENT
+/// LEAVING this waypoint (ignored on the last waypoint).
+struct Waypoint {
+  rf::Vec2 position;
+  double speed_mps = 1.0;
+};
+
+class Trajectory {
+ public:
+  /// Throws std::invalid_argument on an empty waypoint list or a
+  /// non-positive speed on a segment of nonzero length.
+  explicit Trajectory(std::vector<Waypoint> waypoints);
+
+  /// A target that never moves.
+  [[nodiscard]] static Trajectory stationary(rf::Vec2 position);
+
+  /// Total walk time [s]; 0 for a stationary trajectory.
+  [[nodiscard]] double duration() const noexcept { return duration_; }
+
+  [[nodiscard]] const std::vector<Waypoint>& waypoints() const noexcept {
+    return waypoints_;
+  }
+
+  /// Position at time t [s]; clamped to the first/last waypoint outside
+  /// [0, duration()].
+  [[nodiscard]] rf::Vec2 position_at(double t) const;
+
+ private:
+  std::vector<Waypoint> waypoints_;
+  /// arrival_[i]: time the target reaches waypoint i (arrival_[0] = 0).
+  std::vector<double> arrival_;
+  double duration_ = 0.0;
+};
+
+}  // namespace dwatch::scenario

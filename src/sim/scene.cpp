@@ -159,8 +159,14 @@ linalg::CMatrix Scene::capture(std::size_t array_idx, std::size_t tag_idx,
                                std::span<const CylinderTarget> targets,
                                rf::Rng& rng) const {
   const auto& pth = paths(array_idx, tag_idx);
+  BlockageOptions blockage;
+  blockage.model = options_.blockage_model;
+  blockage.residual_amplitude = options_.blockage_residual;
+  blockage.lambda =
+      rf::wavelength(deployment_.arrays[array_idx].carrier_hz());
+  blockage.max_loss_db = options_.blockage_max_loss_db;
   const std::vector<double> scales =
-      blocking_scales(pth, targets, options_.blockage_residual);
+      blocking_amplitudes(pth, targets, blockage);
 
   rf::SnapshotOptions snap;
   snap.num_snapshots = options_.num_snapshots;

@@ -67,6 +67,12 @@ struct CaptureOptions {
   rf::LinkBudget link;
   /// Human blockage at UHF costs ~10-20 dB; 0.18 amplitude ~ -15 dB.
   double blockage_residual = 0.18;
+  /// Attenuation profile for blocked legs. kBinary (the default) keeps
+  /// existing goldens bit-identical; kFresnel applies the EM-body-shaped
+  /// knife-edge model sized by each array's carrier wavelength.
+  BlockageModel blockage_model = BlockageModel::kBinary;
+  /// kFresnel only: per-leg shadow-depth cap [dB].
+  double blockage_max_loss_db = 30.0;
   /// Keep only dominant paths: the paper's model assumes <= 5 dominant
   /// indoor paths per link (Section 4.1); an 8-element array cannot
   /// resolve more coherent arrivals anyway.

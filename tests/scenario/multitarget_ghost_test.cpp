@@ -1,0 +1,156 @@
+// Multi-target ghost-filter interaction (full simulation): two humans
+// standing in one zone must not suppress EACH OTHER's true-bearing
+// drops. The Section 4.3 filter rejects a drop only when it is
+// uncorroborated at its array while the tag dropped at >= 2 arrays — a
+// second real body corroborates its own bearing, so every
+// pipeline.ghost_rejected event must point AWAY from both true
+// bearings.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "obs/event_log.hpp"
+#include "obs/obs.hpp"
+#include "rfid/llrp.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/spec.hpp"
+#include "sim/scene.hpp"
+
+namespace dwatch::scenario {
+namespace {
+
+/// Pull a numeric field out of one JSON event line.
+double json_number(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return NAN;
+  return std::stod(line.substr(at + needle.size()));
+}
+
+struct GhostRejection {
+  std::size_t array = 0;
+  double theta_rad = 0.0;
+};
+
+std::vector<GhostRejection> ghost_rejections(
+    const std::vector<std::string>& lines) {
+  std::vector<GhostRejection> out;
+  for (const std::string& line : lines) {
+    if (line.find("\"type\":\"pipeline.ghost_rejected\"") ==
+        std::string::npos) {
+      continue;
+    }
+    GhostRejection r;
+    r.array = static_cast<std::size_t>(json_number(line, "array"));
+    r.theta_rad = json_number(line, "theta_rad");
+    out.push_back(r);
+  }
+  return out;
+}
+
+TEST(MultiTargetGhostTest, TwoHumansDoNotSuppressEachOthersTrueBearings) {
+  const ScenarioSpec* spec = find_scenario("library_two_humans");
+  ASSERT_NE(spec, nullptr);
+  ASSERT_EQ(spec->targets.size(), 2u);
+  const CompiledScenario compiled = compile(*spec);
+  const sim::Scene& scene = compiled.scene;
+
+  core::PipelineOptions popts;
+  popts.localizer.grid_step = 0.05;
+  core::DWatchPipeline pipeline(
+      scene.deployment().arrays,
+      core::SearchBounds{{0.0, 0.0},
+                         {scene.deployment().env.width,
+                          scene.deployment().env.depth}},
+      popts);
+  for (std::size_t a = 0; a < scene.num_arrays(); ++a) {
+    pipeline.set_calibration(a, scene.reader(a).phase_offsets());
+  }
+
+  rf::Rng rng(spec->seed * 7919u + 17);
+  for (std::size_t a = 0; a < scene.num_arrays(); ++a) {
+    const rfid::RoAccessReport baseline = scene.capture_report(a, {}, rng);
+    for (const rfid::TagObservation& obs : baseline.observations) {
+      pipeline.add_baseline(a, obs);
+    }
+  }
+
+  obs::set_enabled(true);
+  obs::EventLog::global().clear();
+
+  const Frame& frame = compiled.frames.back();
+  pipeline.begin_epoch(frame.watermark_us);
+  for (std::size_t a = 0; a < scene.num_arrays(); ++a) {
+    const rfid::RoAccessReport report = scene.capture_report(
+        a, frame.targets, rng, static_cast<std::uint32_t>(a + 100),
+        frame.watermark_us);
+    for (const rfid::TagObservation& obs : report.observations) {
+      pipeline.observe(a, obs);
+    }
+  }
+
+  // filtered_evidence() runs the Section 4.3 rejection and emits one
+  // event per discarded drop.
+  const auto filtered = pipeline.filtered_evidence();
+  ASSERT_EQ(filtered.size(), scene.num_arrays());
+
+  const double tol = 2.0 * popts.localizer.kernel_sigma;
+  const auto& arrays = scene.deployment().arrays;
+
+  // Both bodies must keep true-bearing evidence at >= 2 arrays each —
+  // the filter may trim ghosts, never a corroborated real bearing.
+  for (std::size_t target = 0; target < frame.truth.size(); ++target) {
+    std::size_t arrays_with_true_bearing = 0;
+    for (std::size_t a = 0; a < filtered.size(); ++a) {
+      const double truth_theta =
+          arrays[a].arrival_angle_planar(frame.truth[target]);
+      for (const core::PathDrop& d : filtered[a].drops) {
+        if (std::abs(d.theta - truth_theta) <= tol) {
+          ++arrays_with_true_bearing;
+          break;
+        }
+      }
+    }
+    EXPECT_GE(arrays_with_true_bearing, 2u)
+        << "target " << target << " lost its true bearing to the filter";
+  }
+
+#if DWATCH_OBS_ENABLED
+  // No rejection event may sit within the corroboration tolerance of
+  // EITHER human's true bearing at its array: a second real target is
+  // not a ghost.
+  const auto rejections =
+      ghost_rejections(obs::EventLog::global().snapshot());
+  for (const GhostRejection& r : rejections) {
+    ASSERT_LT(r.array, arrays.size());
+    for (std::size_t target = 0; target < frame.truth.size(); ++target) {
+      const double truth_theta =
+          arrays[r.array].arrival_angle_planar(frame.truth[target]);
+      EXPECT_GT(std::abs(r.theta_rad - truth_theta), tol)
+          << "array " << r.array << " rejected target " << target
+          << "'s true bearing as a ghost";
+    }
+  }
+#endif
+
+  // And the epoch still localizes: every reported hit is near SOME
+  // true body (the repo's standing multi-target contract).
+  const auto hits = pipeline.localize_multi(2, 0.25);
+  ASSERT_GE(hits.size(), 1u);
+  for (const core::LocationEstimate& hit : hits) {
+    double best = 1e9;
+    for (const rf::Vec2& t : frame.truth) {
+      best = std::min(best, rf::distance(hit.position, t));
+    }
+    EXPECT_LT(best, 0.75);
+  }
+
+  obs::set_enabled(false);
+}
+
+}  // namespace
+}  // namespace dwatch::scenario

@@ -1,0 +1,142 @@
+// RSS-only degraded mode through the scenario engine: the phase-health
+// gate, the forced path, and the unit behaviour of phase_coherence and
+// the RTI-style RssLocalizer the fallback is built from.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/rss.hpp"
+#include "linalg/complex_matrix.hpp"
+#include "rf/noise.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+
+namespace dwatch::scenario {
+namespace {
+
+// ----------------------------------------------------- phase_coherence
+
+linalg::CMatrix coherent_snapshots(std::size_t elements, std::size_t rounds) {
+  linalg::CMatrix x(elements, rounds);
+  for (std::size_t m = 0; m < elements; ++m) {
+    for (std::size_t n = 0; n < rounds; ++n) {
+      x(m, n) = std::polar(1.0, 0.3 * static_cast<double>(m));
+    }
+  }
+  return x;
+}
+
+TEST(PhaseCoherenceTest, HealthyHardwareScoresNearOne) {
+  const double score = core::phase_coherence(coherent_snapshots(8, 16));
+  EXPECT_NEAR(score, 1.0, 1e-9);
+}
+
+TEST(PhaseCoherenceTest, ScrambledPhaseScoresLow) {
+  rf::Rng rng(99);
+  linalg::CMatrix x(8, 64);
+  for (std::size_t m = 0; m < 8; ++m) {
+    for (std::size_t n = 0; n < 64; ++n) {
+      x(m, n) = std::polar(1.0, rng.uniform(0.0, 2.0 * 3.14159265358979));
+    }
+  }
+  const double score = core::phase_coherence(x);
+  // Random phase walks shrink the circular mean toward 1/sqrt(N).
+  EXPECT_LT(score, 0.5);
+}
+
+TEST(PhaseCoherenceTest, SingleElementIsTriviallyCoherent) {
+  EXPECT_DOUBLE_EQ(core::phase_coherence(coherent_snapshots(1, 16)), 1.0);
+}
+
+// -------------------------------------------------------- RssLocalizer
+
+TEST(RssLocalizerTest, TwoCrossingShadowedLinksPinTheBody) {
+  // Array 0 at (0,5) hears tag (10,5); array 1 at (5,0) hears tag
+  // (5,10). A body at (5,5) stands on both links, so both report a
+  // drop and the evidence product peaks at the crossing.
+  const std::vector<rf::Vec2> centers{{0.0, 5.0}, {5.0, 0.0}};
+  const core::SearchBounds bounds{{0.0, 0.0}, {10.0, 10.0}};
+  core::RssLocalizer localizer(centers, bounds, 0.25);
+  const std::vector<core::RssLink> links{
+      {0, {10.0, 5.0}, 0.5},
+      {1, {5.0, 10.0}, 0.5},
+  };
+  const std::vector<std::uint8_t> excluded(centers.size(), 0);
+  const core::LocationEstimate estimate = localizer.localize(links, excluded);
+  EXPECT_TRUE(estimate.valid);
+  EXPECT_NEAR(estimate.position.x, 5.0, 0.5);
+  EXPECT_NEAR(estimate.position.y, 5.0, 0.5);
+}
+
+TEST(RssLocalizerTest, ThrowsOnEmptyCentersOrDegenerateBounds) {
+  const core::SearchBounds bounds{{0.0, 0.0}, {10.0, 10.0}};
+  EXPECT_THROW(core::RssLocalizer({}, bounds, 0.25), std::invalid_argument);
+  EXPECT_THROW(core::RssLocalizer({{1.0, 1.0}}, {{5.0, 5.0}, {5.0, 5.0}},
+                                  0.25),
+               std::invalid_argument);
+}
+
+// --------------------------------------------- the scenario-level gate
+
+TEST(RssScenarioTest, ForcedModeTakesEveryFixOnTheRssPath) {
+  const ScenarioSpec* spec = find_scenario("library_rss_forced");
+  ASSERT_NE(spec, nullptr);
+  ScenarioRunner runner;
+  const ScenarioResult result = runner.run(*spec);
+  EXPECT_EQ(result.outcome, Outcome::kPass) << result.detail;
+  EXPECT_EQ(result.metrics.rss_epochs, result.metrics.epochs);
+  for (const EpochRecord& rec : result.records) {
+    EXPECT_TRUE(rec.fix.result.confidence.rss_mode);
+  }
+}
+
+TEST(RssScenarioTest, ScrambledPhaseTripsTheAutoFallback) {
+  const ScenarioSpec* spec = find_scenario("hall_rss_auto_scramble");
+  ASSERT_NE(spec, nullptr);
+  ScenarioRunner runner;
+  const ScenarioResult result = runner.run(*spec);
+  EXPECT_EQ(result.outcome, Outcome::kPass) << result.detail;
+  // Every epoch's phases are scrambled, so every fix falls back.
+  EXPECT_EQ(result.metrics.rss_epochs, result.metrics.epochs);
+  for (const EpochRecord& rec : result.records) {
+    EXPECT_TRUE(rec.fix.result.confidence.rss_mode);
+    EXPECT_LT(rec.fix.result.confidence.phase_health,
+              spec->rss.auto_health_threshold);
+  }
+}
+
+TEST(RssScenarioTest, HealthyPhaseNeverFallsBack) {
+  const ScenarioSpec* spec = find_scenario("library_static_human");
+  ASSERT_NE(spec, nullptr);
+  ScenarioRunner runner;
+  const ScenarioResult result = runner.run(*spec);
+  EXPECT_EQ(result.metrics.rss_epochs, 0u);
+  for (const EpochRecord& rec : result.records) {
+    EXPECT_FALSE(rec.fix.result.confidence.rss_mode);
+    EXPECT_GT(rec.fix.result.confidence.phase_health, 0.8);
+  }
+}
+
+TEST(RssScenarioTest, ScrambleWithoutFallbackStaysOnPhasePath) {
+  // Negative control: the same scrambled hall, but with the RSS options
+  // left inert. The pipeline must NOT silently switch paths.
+  const ScenarioSpec* base = find_scenario("hall_rss_auto_scramble");
+  ASSERT_NE(base, nullptr);
+  ScenarioSpec spec = *base;
+  spec.name = "hall_scramble_no_fallback";
+  spec.rss = core::RssOnlyOptions{};
+  spec.budget.rmse_m = 100.0;  // outcome is not the point here
+  ScenarioRunner runner;
+  const ScenarioResult result = runner.run(spec);
+  EXPECT_EQ(result.metrics.rss_epochs, 0u);
+  for (const EpochRecord& rec : result.records) {
+    EXPECT_FALSE(rec.fix.result.confidence.rss_mode);
+  }
+}
+
+}  // namespace
+}  // namespace dwatch::scenario

@@ -1,0 +1,300 @@
+// Unit tests for the scenario DSL building blocks: waypoint
+// trajectories, the Hungarian assignment used for multi-target scoring,
+// the spec compiler, and the scenario registry's coverage guarantees.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "scenario/assignment.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/spec.hpp"
+#include "scenario/trajectory.hpp"
+
+namespace dwatch::scenario {
+namespace {
+
+// ---------------------------------------------------------------- trajectory
+
+TEST(TrajectoryTest, StationaryNeverMoves) {
+  const Trajectory t = Trajectory::stationary({1.5, 2.5});
+  EXPECT_DOUBLE_EQ(t.duration(), 0.0);
+  for (const double time : {-3.0, 0.0, 0.7, 100.0}) {
+    const rf::Vec2 p = t.position_at(time);
+    EXPECT_DOUBLE_EQ(p.x, 1.5);
+    EXPECT_DOUBLE_EQ(p.y, 2.5);
+  }
+}
+
+TEST(TrajectoryTest, PiecewiseLinearWithPerSegmentSpeeds) {
+  // 4 m at 1 m/s, then 3 m at 2 m/s: arrivals at t=4 and t=5.5.
+  const Trajectory t({{{0.0, 0.0}, 1.0}, {{4.0, 0.0}, 2.0}, {{4.0, 3.0}, 1.0}});
+  EXPECT_DOUBLE_EQ(t.duration(), 5.5);
+
+  const rf::Vec2 mid0 = t.position_at(2.0);
+  EXPECT_NEAR(mid0.x, 2.0, 1e-12);
+  EXPECT_NEAR(mid0.y, 0.0, 1e-12);
+
+  const rf::Vec2 corner = t.position_at(4.0);
+  EXPECT_NEAR(corner.x, 4.0, 1e-12);
+  EXPECT_NEAR(corner.y, 0.0, 1e-12);
+
+  const rf::Vec2 mid1 = t.position_at(4.75);
+  EXPECT_NEAR(mid1.x, 4.0, 1e-12);
+  EXPECT_NEAR(mid1.y, 1.5, 1e-12);
+}
+
+TEST(TrajectoryTest, ClampsOutsideTheWalk) {
+  const Trajectory t({{{1.0, 1.0}, 1.0}, {{2.0, 1.0}, 1.0}});
+  const rf::Vec2 before = t.position_at(-1.0);
+  EXPECT_DOUBLE_EQ(before.x, 1.0);
+  const rf::Vec2 after = t.position_at(99.0);
+  EXPECT_DOUBLE_EQ(after.x, 2.0);
+}
+
+TEST(TrajectoryTest, ThrowsOnEmptyWaypoints) {
+  EXPECT_THROW(Trajectory({}), std::invalid_argument);
+}
+
+TEST(TrajectoryTest, ThrowsOnNonPositiveSpeedOverNonzeroSegment) {
+  EXPECT_THROW(Trajectory({{{0.0, 0.0}, 0.0}, {{1.0, 0.0}, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(Trajectory({{{0.0, 0.0}, -2.0}, {{1.0, 0.0}, 1.0}}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- assignment
+
+TEST(AssignmentTest, BeatsGreedyMatching) {
+  // Greedy row-by-row picks (0->0, 1->1, 2->2) = 1 + 4 + 1 = 6; the
+  // optimum swaps the first two rows for a total of 4.
+  const std::vector<std::vector<double>> cost{
+      {1.0, 2.0, 3.0}, {1.0, 4.0, 5.0}, {9.0, 9.0, 1.0}};
+  const auto assignment = min_cost_assignment(cost);
+  ASSERT_EQ(assignment.size(), 3u);
+  EXPECT_EQ(assignment[0], 1u);
+  EXPECT_EQ(assignment[1], 0u);
+  EXPECT_EQ(assignment[2], 2u);
+  EXPECT_DOUBLE_EQ(assignment_cost(cost, assignment), 4.0);
+}
+
+TEST(AssignmentTest, RectangularRowsLessThanColumns) {
+  const std::vector<std::vector<double>> cost{{5.0, 1.0, 7.0},
+                                              {1.0, 6.0, 8.0}};
+  const auto assignment = min_cost_assignment(cost);
+  ASSERT_EQ(assignment.size(), 2u);
+  EXPECT_EQ(assignment[0], 1u);
+  EXPECT_EQ(assignment[1], 0u);
+  // Columns must be distinct.
+  EXPECT_NE(assignment[0], assignment[1]);
+}
+
+TEST(AssignmentTest, ThrowsOnMoreRowsThanColumns) {
+  const std::vector<std::vector<double>> cost{{1.0}, {2.0}, {3.0}};
+  EXPECT_THROW(min_cost_assignment(cost), std::invalid_argument);
+}
+
+TEST(AssignmentTest, ThrowsOnRaggedMatrix) {
+  const std::vector<std::vector<double>> cost{{1.0, 2.0}, {3.0}};
+  EXPECT_THROW(min_cost_assignment(cost), std::invalid_argument);
+}
+
+TEST(AssignmentTest, MatchedErrorsResolvesTheSwap) {
+  // Greedy nearest-neighbour would double-count (0,0); the Hungarian
+  // match pairs each estimate with its own truth for zero total error.
+  const std::vector<rf::Vec2> estimates{{0.0, 0.0}, {5.0, 5.0}};
+  const std::vector<rf::Vec2> truths{{5.0, 5.0}, {0.0, 0.0}};
+  const auto errors = matched_errors(estimates, truths);
+  ASSERT_EQ(errors.size(), 2u);
+  EXPECT_NEAR(errors[0], 0.0, 1e-12);
+  EXPECT_NEAR(errors[1], 0.0, 1e-12);
+}
+
+TEST(AssignmentTest, MatchedErrorsWithFewerEstimatesThanTruths) {
+  const std::vector<rf::Vec2> estimates{{1.0, 0.0}};
+  const std::vector<rf::Vec2> truths{{0.0, 0.0}, {10.0, 10.0}};
+  const auto errors = matched_errors(estimates, truths);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NEAR(errors[0], 1.0, 1e-12);
+}
+
+// ------------------------------------------------------------------ compile
+
+ScenarioSpec tiny_static_spec() {
+  ScenarioSpec s;
+  s.name = "unit_static";
+  s.room = RoomPreset::kLibrary;
+  s.seed = 7;
+  TargetSpec t;
+  t.kind = TargetKind::kHuman;
+  t.trajectory = Trajectory::stationary({3.0, 4.0});
+  s.targets = {t};
+  return s;
+}
+
+TEST(CompileTest, RoomPresetsMatchThePaperDimensions) {
+  const sim::Environment lib = make_environment(RoomPreset::kLibrary);
+  EXPECT_DOUBLE_EQ(lib.width, 7.0);
+  EXPECT_DOUBLE_EQ(lib.depth, 10.0);
+  const sim::Environment lab = make_environment(RoomPreset::kLaboratory);
+  EXPECT_DOUBLE_EQ(lab.width, 9.0);
+  EXPECT_DOUBLE_EQ(lab.depth, 12.0);
+  const sim::Environment hall = make_environment(RoomPreset::kHall);
+  EXPECT_DOUBLE_EQ(hall.width, 7.2);
+  EXPECT_DOUBLE_EQ(hall.depth, 10.4);
+  const sim::Environment table = make_environment(RoomPreset::kTable);
+  EXPECT_DOUBLE_EQ(table.width, 2.0);
+  EXPECT_DOUBLE_EQ(table.depth, 2.0);
+}
+
+TEST(CompileTest, StaticScenarioStillGetsMinEpochs) {
+  ScenarioSpec s = tiny_static_spec();
+  s.min_epochs = 8;
+  const CompiledScenario c = compile(s);
+  EXPECT_GE(c.frames.size(), 8u);
+  for (std::size_t i = 0; i < c.frames.size(); ++i) {
+    EXPECT_NEAR(c.frames[i].t, static_cast<double>(i) * s.epoch_dt, 1e-12);
+    ASSERT_EQ(c.frames[i].truth.size(), 1u);
+    EXPECT_DOUBLE_EQ(c.frames[i].truth[0].x, 3.0);
+    EXPECT_DOUBLE_EQ(c.frames[i].truth[0].y, 4.0);
+  }
+}
+
+TEST(CompileTest, WatermarksAreMonotonicReaderClock) {
+  const CompiledScenario c = compile(tiny_static_spec());
+  std::uint64_t prev = 0;
+  for (const Frame& f : c.frames) {
+    EXPECT_GT(f.watermark_us, prev);
+    prev = f.watermark_us;
+  }
+}
+
+TEST(CompileTest, TruthFollowsTheTrajectory) {
+  ScenarioSpec s = tiny_static_spec();
+  s.name = "unit_walk";
+  const Trajectory walk({{{1.0, 1.0}, 1.0}, {{5.0, 1.0}, 1.0}});
+  s.targets[0].trajectory = walk;
+  const CompiledScenario c = compile(s);
+  // Horizon covers the 4 s walk at 0.4 s cadence.
+  ASSERT_GE(c.frames.size(), 11u);
+  for (const Frame& f : c.frames) {
+    ASSERT_EQ(f.truth.size(), 1u);
+    const rf::Vec2 want = walk.position_at(f.t);
+    EXPECT_NEAR(f.truth[0].x, want.x, 1e-12);
+    EXPECT_NEAR(f.truth[0].y, want.y, 1e-12);
+    // The frame's sim target is placed at the same plan position.
+    ASSERT_EQ(f.targets.size(), 1u);
+    EXPECT_NEAR(f.targets[0].position.x, want.x, 1e-12);
+  }
+}
+
+TEST(CompileTest, DeterministicForAFixedSeed) {
+  const ScenarioSpec s = tiny_static_spec();
+  const CompiledScenario a = compile(s);
+  const CompiledScenario b = compile(s);
+  ASSERT_EQ(a.frames.size(), b.frames.size());
+  ASSERT_EQ(a.scene.num_tags(), b.scene.num_tags());
+  for (std::size_t i = 0; i < a.scene.deployment().tags.size(); ++i) {
+    const rf::Vec3& ta = a.scene.deployment().tags[i].position;
+    const rf::Vec3& tb = b.scene.deployment().tags[i].position;
+    EXPECT_DOUBLE_EQ(ta.x, tb.x);
+    EXPECT_DOUBLE_EQ(ta.y, tb.y);
+    EXPECT_DOUBLE_EQ(ta.z, tb.z);
+  }
+}
+
+TEST(CompileTest, DifferentSeedsMoveTheTags) {
+  ScenarioSpec s = tiny_static_spec();
+  const CompiledScenario a = compile(s);
+  s.seed = 8;
+  const CompiledScenario b = compile(s);
+  bool any_differ = false;
+  for (std::size_t i = 0; i < a.scene.deployment().tags.size(); ++i) {
+    if (a.scene.deployment().tags[i].position.x !=
+        b.scene.deployment().tags[i].position.x) {
+      any_differ = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(CompileTest, ThrowsOnEmptyNameOrNoTargets) {
+  ScenarioSpec unnamed = tiny_static_spec();
+  unnamed.name.clear();
+  EXPECT_THROW(compile(unnamed), std::invalid_argument);
+
+  ScenarioSpec empty = tiny_static_spec();
+  empty.targets.clear();
+  EXPECT_THROW(compile(empty), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- registry
+
+bool is_moving(const ScenarioSpec& s) {
+  return std::any_of(s.targets.begin(), s.targets.end(),
+                     [](const TargetSpec& t) {
+                       return t.trajectory.duration() > 0.0;
+                     });
+}
+
+bool wants_rss(const ScenarioSpec& s) {
+  return s.rss.force || s.rss.auto_health_threshold > 0.0;
+}
+
+TEST(RegistryTest, CoversEveryRequiredFamily) {
+  const auto& specs = all_scenarios();
+  EXPECT_GE(specs.size(), 10u);
+
+  std::size_t multi = 0;
+  std::size_t moving = 0;
+  std::size_t fist = 0;
+  std::size_t rss = 0;
+  for (const ScenarioSpec& s : specs) {
+    if (s.targets.size() >= 2) ++multi;
+    if (is_moving(s)) ++moving;
+    if (std::any_of(s.targets.begin(), s.targets.end(),
+                    [](const TargetSpec& t) {
+                      return t.kind == TargetKind::kFist;
+                    })) {
+      ++fist;
+    }
+    if (wants_rss(s)) ++rss;
+  }
+  EXPECT_GE(multi, 2u);
+  EXPECT_GE(moving, 2u);
+  EXPECT_GE(fist, 1u);
+  EXPECT_GE(rss, 1u);
+  // The adversarial-geometry family is named, not structural.
+  EXPECT_NE(find_scenario("laboratory_collinear"), nullptr);
+  EXPECT_NE(find_scenario("library_wall_hugger"), nullptr);
+}
+
+TEST(RegistryTest, NamesAreUniqueAndCompilable) {
+  std::set<std::string> names;
+  for (const ScenarioSpec& s : all_scenarios()) {
+    EXPECT_TRUE(names.insert(s.name).second) << "duplicate name " << s.name;
+    EXPECT_FALSE(s.description.empty()) << s.name;
+    EXPECT_NO_THROW((void)compile(s)) << s.name;
+  }
+}
+
+TEST(RegistryTest, EveryRssScenarioSurveysItsTags) {
+  for (const ScenarioSpec& s : all_scenarios()) {
+    if (wants_rss(s)) {
+      EXPECT_TRUE(s.survey_tags) << s.name << " would be skipped";
+    }
+  }
+}
+
+TEST(RegistryTest, FindScenarioByName) {
+  const ScenarioSpec* spec = find_scenario("library_static_human");
+  ASSERT_NE(spec, nullptr);
+  EXPECT_EQ(spec->name, "library_static_human");
+  EXPECT_EQ(find_scenario("no_such_scenario"), nullptr);
+}
+
+}  // namespace
+}  // namespace dwatch::scenario

@@ -1,0 +1,149 @@
+// Regression suite for the cross-episode tracker leak: the compliance
+// runner reuses ONE TrackBank across its whole case list, so reset()
+// between episodes is load-bearing. Without it, Kalman state from the
+// previous scenario leaks into the next one's first fixes.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "core/kalman.hpp"
+#include "rf/geometry.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+#include "scenario/trajectory.hpp"
+
+namespace dwatch::scenario {
+namespace {
+
+core::KalmanOptions unit_options() {
+  core::KalmanOptions o;
+  o.dt = 0.4;
+  o.measurement_sigma = 0.25;
+  o.gate_sigmas = 6.0;
+  return o;
+}
+
+TEST(TrackBankTest, AdoptsMeasurementsAndTracks) {
+  TrackBank bank;
+  bank.configure(2, unit_options());
+  bank.reset();
+  const auto tracked = bank.step({{1.0, 1.0}, {5.0, 5.0}});
+  ASSERT_EQ(tracked.size(), 2u);
+  // First accepted measurement initializes each track exactly there.
+  EXPECT_DOUBLE_EQ(tracked[0].x, 1.0);
+  EXPECT_DOUBLE_EQ(tracked[1].x, 5.0);
+}
+
+TEST(TrackBankTest, ResetClearsEveryTrack) {
+  TrackBank bank;
+  bank.configure(1, unit_options());
+  bank.reset();
+  (void)bank.step({{2.0, 2.0}});
+  ASSERT_TRUE(bank.track(0).initialized());
+  bank.reset();
+  EXPECT_FALSE(bank.track(0).initialized());
+  EXPECT_EQ(bank.size(), 1u);
+}
+
+TEST(TrackBankTest, ConfigureWithSameShapeKeepsLiveState) {
+  TrackBank bank;
+  bank.configure(1, unit_options());
+  bank.reset();
+  (void)bank.step({{2.0, 3.0}});
+  ASSERT_TRUE(bank.track(0).initialized());
+  // Same shape + options: configure() is NOT the episode boundary.
+  bank.configure(1, unit_options());
+  EXPECT_TRUE(bank.track(0).initialized());
+  EXPECT_DOUBLE_EQ(bank.track(0).position().x, 2.0);
+  // Different tuning rebuilds the bank from scratch.
+  core::KalmanOptions retuned = unit_options();
+  retuned.measurement_sigma = 0.5;
+  bank.configure(1, retuned);
+  EXPECT_FALSE(bank.track(0).initialized());
+}
+
+TEST(TrackBankTest, StaleStateLeaksWithoutReset) {
+  // Episode A parks a confident track at (1, 1). Episode B's target is
+  // across the room at (8, 9). Without reset() the stale track eats the
+  // first measurements through its innovation gate (or drags the
+  // estimate), so the bank does NOT sit at (8, 9) after one epoch.
+  TrackBank leaky;
+  leaky.configure(1, unit_options());
+  leaky.reset();
+  for (int i = 0; i < 6; ++i) (void)leaky.step({{1.0, 1.0}});
+
+  TrackBank fresh;
+  fresh.configure(1, unit_options());
+  fresh.reset();
+
+  const auto leaked = leaky.step({{8.0, 9.0}});
+  const auto clean = fresh.step({{8.0, 9.0}});
+  ASSERT_EQ(clean.size(), 1u);
+  EXPECT_DOUBLE_EQ(clean[0].x, 8.0);
+  EXPECT_DOUBLE_EQ(clean[0].y, 9.0);
+  ASSERT_EQ(leaked.size(), 1u);
+  const double leak_error = rf::distance(leaked[0], {8.0, 9.0});
+  EXPECT_GT(leak_error, 0.5) << "stale track should not snap to the new "
+                                "episode's first measurement";
+  // reset() is exactly the cure: afterwards the same bank matches the
+  // fresh one bit for bit.
+  leaky.reset();
+  const auto cured = leaky.step({{8.0, 9.0}});
+  ASSERT_EQ(cured.size(), 1u);
+  EXPECT_DOUBLE_EQ(cured[0].x, clean[0].x);
+  EXPECT_DOUBLE_EQ(cured[0].y, clean[0].y);
+}
+
+// The end-to-end regression: a runner that has already played one
+// scenario must produce BIT-IDENTICAL results for the next scenario
+// compared to a fresh runner. This is what bank_.reset() at the top of
+// ScenarioRunner::run buys; remove it and this test fails on the first
+// post-warmup epoch.
+TEST(TrackerResetRegression, BackToBackEpisodesMatchFreshRuns) {
+  ScenarioSpec first;
+  first.name = "episode_a";
+  first.room = RoomPreset::kTable;
+  first.num_tags = 10;
+  first.seed = 201;
+  first.min_epochs = 5;
+  TargetSpec bottle_a;
+  bottle_a.kind = TargetKind::kBottle;
+  bottle_a.trajectory = Trajectory::stationary({0.5, 0.5});
+  first.targets = {bottle_a};
+  first.budget.human_allowance = false;
+
+  ScenarioSpec second = first;
+  second.name = "episode_b";
+  second.seed = 202;
+  second.targets[0].trajectory = Trajectory::stationary({1.5, 1.4});
+
+  // Shared runner: episode A then episode B on one TrackBank.
+  ScenarioRunner shared;
+  (void)shared.run(first);
+  const ScenarioResult replay = shared.run(second);
+
+  // Fresh runner: only episode B.
+  ScenarioRunner isolated;
+  const ScenarioResult clean = isolated.run(second);
+
+  ASSERT_EQ(replay.records.size(), clean.records.size());
+  ASSERT_FALSE(clean.records.empty());
+  for (std::size_t i = 0; i < clean.records.size(); ++i) {
+    EXPECT_EQ(replay.records[i].fix.result.estimate.position.x,
+              clean.records[i].fix.result.estimate.position.x);
+    EXPECT_EQ(replay.records[i].fix.result.estimate.position.y,
+              clean.records[i].fix.result.estimate.position.y);
+    ASSERT_EQ(replay.records[i].tracked.size(),
+              clean.records[i].tracked.size());
+    for (std::size_t t = 0; t < clean.records[i].tracked.size(); ++t) {
+      EXPECT_EQ(replay.records[i].tracked[t].x,
+                clean.records[i].tracked[t].x);
+      EXPECT_EQ(replay.records[i].tracked[t].y,
+                clean.records[i].tracked[t].y);
+    }
+  }
+  EXPECT_EQ(replay.metrics.rmse, clean.metrics.rmse);
+}
+
+}  // namespace
+}  // namespace dwatch::scenario

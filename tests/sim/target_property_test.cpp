@@ -1,0 +1,311 @@
+// Property/edge-case suite for the path-blocking geometry and the two
+// attenuation models: tangent rays, zero-length segments, z-slab
+// boundaries, grazing radii, true-angle bookkeeping on multi-leg
+// paths, and the Fresnel knife-edge profile's invariants (with the
+// legacy binary model as a bit-identical oracle).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "rf/constants.hpp"
+#include "rf/path.hpp"
+#include "sim/target.hpp"
+
+namespace dwatch::sim {
+namespace {
+
+CylinderTarget cylinder(rf::Vec2 at, double radius, double z_lo,
+                        double z_hi) {
+  CylinderTarget t;
+  t.position = at;
+  t.radius = radius;
+  t.z_lo = z_lo;
+  t.z_hi = z_hi;
+  return t;
+}
+
+// ------------------------------------------------------ blocks_segment
+
+TEST(BlocksSegmentTest, TangentRayCounts) {
+  // Horizontal ray grazing the cylinder exactly at its radius: the
+  // discriminant is zero, which the geometry counts as a hit.
+  const CylinderTarget t = cylinder({0.0, 0.0}, 0.5, 0.0, 2.0);
+  EXPECT_TRUE(t.blocks_segment({-5.0, 0.5, 1.0}, {5.0, 0.5, 1.0}));
+  // Nudged just outside the radius: clear.
+  EXPECT_FALSE(t.blocks_segment({-5.0, 0.5 + 1e-6, 1.0},
+                                {5.0, 0.5 + 1e-6, 1.0}));
+  // Through the centre, unambiguous.
+  EXPECT_TRUE(t.blocks_segment({-5.0, 0.0, 1.0}, {5.0, 0.0, 1.0}));
+}
+
+TEST(BlocksSegmentTest, SegmentEndingAtTheSurfaceHits) {
+  const CylinderTarget t = cylinder({0.0, 0.0}, 0.5, 0.0, 2.0);
+  // The segment stops exactly on the cylinder wall.
+  EXPECT_TRUE(t.blocks_segment({-5.0, 0.0, 1.0}, {-0.5, 0.0, 1.0}));
+  // Stops 1 mm short: clear.
+  EXPECT_FALSE(t.blocks_segment({-5.0, 0.0, 1.0}, {-0.501, 0.0, 1.0}));
+}
+
+TEST(BlocksSegmentTest, ZeroLengthSegmentIsAPointTest) {
+  const CylinderTarget t = cylinder({0.0, 0.0}, 0.5, 0.0, 2.0);
+  EXPECT_TRUE(t.blocks_segment({0.1, 0.1, 1.0}, {0.1, 0.1, 1.0}));
+  // Exactly on the wall counts as inside.
+  EXPECT_TRUE(t.blocks_segment({0.5, 0.0, 1.0}, {0.5, 0.0, 1.0}));
+  EXPECT_FALSE(t.blocks_segment({0.6, 0.0, 1.0}, {0.6, 0.0, 1.0}));
+  // A point above the slab is clear even inside the plan-view disc.
+  EXPECT_FALSE(t.blocks_segment({0.0, 0.0, 3.0}, {0.0, 0.0, 3.0}));
+}
+
+TEST(BlocksSegmentTest, ZSlabBoundariesAreInclusive) {
+  const CylinderTarget t = cylinder({0.0, 0.0}, 0.5, 0.0, 1.7);
+  // Grazing the top face exactly.
+  EXPECT_TRUE(t.blocks_segment({-5.0, 0.0, 1.7}, {5.0, 0.0, 1.7}));
+  // Just above the top face.
+  EXPECT_FALSE(t.blocks_segment({-5.0, 0.0, 1.700001}, {5.0, 0.0, 1.700001}));
+  // Sloped segment that only dips into the slab near one end.
+  EXPECT_TRUE(t.blocks_segment({-1.0, 0.0, 2.5}, {1.0, 0.0, 1.0}));
+  // Entirely below a table-mounted target's slab.
+  const CylinderTarget bottle = cylinder({0.0, 0.0}, 0.04, 0.75, 0.97);
+  EXPECT_FALSE(bottle.blocks_segment({-5.0, 0.0, 0.2}, {5.0, 0.0, 0.2}));
+}
+
+TEST(BlocksSegmentTest, MissesOutsideThePlanFootprint) {
+  const CylinderTarget t = CylinderTarget::human({2.0, 2.0});
+  // Passes well clear in plan view at body height.
+  EXPECT_FALSE(t.blocks_segment({0.0, 0.0, 1.0}, {4.0, 0.0, 1.0}));
+  EXPECT_TRUE(t.blocks_segment({0.0, 2.0, 1.0}, {4.0, 2.0, 1.0}));
+}
+
+// ----------------------------------------------- true-angle bookkeeping
+
+rf::PropagationPath two_leg_path() {
+  rf::PropagationPath p;
+  p.kind = rf::PathKind::kWall;
+  // tag -> wall bounce -> array.
+  p.vertices = {{0.0, 0.0, 1.0}, {4.0, 4.0, 1.0}, {8.0, 0.0, 1.0}};
+  p.length = 2.0 * std::sqrt(32.0);
+  p.aoa = 1.0;
+  p.gain = {0.02, 0.0};
+  return p;
+}
+
+TEST(TrueAngleTest, OnlyTheFinalLegGivesTheTrueAngle) {
+  const rf::PropagationPath p = two_leg_path();
+  ASSERT_EQ(p.num_legs(), 2u);
+  EXPECT_FALSE(p.blocking_gives_true_angle(0));
+  EXPECT_TRUE(p.blocking_gives_true_angle(1));
+
+  rf::PropagationPath direct;
+  direct.vertices = {{0.0, 0.0, 1.0}, {8.0, 0.0, 1.0}};
+  EXPECT_TRUE(direct.blocking_gives_true_angle(0));
+}
+
+TEST(TrueAngleTest, EvaluateBlockingReportsTheBlockedLeg) {
+  const rf::PropagationPath p = two_leg_path();
+  // Body on the FIRST leg only (midpoint of tag->wall).
+  const std::vector<CylinderTarget> on_first{
+      CylinderTarget::human({2.0, 2.0})};
+  const BlockingResult r1 = evaluate_blocking(p, on_first, 0.25);
+  ASSERT_TRUE(r1.blocked);
+  EXPECT_EQ(r1.first_blocked_leg, 0u);
+  EXPECT_FALSE(r1.gives_true_angle);
+  EXPECT_DOUBLE_EQ(r1.amplitude_scale, 0.25);
+
+  // Body on the FINAL leg only (midpoint of wall->array).
+  const std::vector<CylinderTarget> on_final{
+      CylinderTarget::human({6.0, 2.0})};
+  const BlockingResult r2 = evaluate_blocking(p, on_final, 0.25);
+  ASSERT_TRUE(r2.blocked);
+  EXPECT_EQ(r2.first_blocked_leg, 1u);
+  EXPECT_TRUE(r2.gives_true_angle);
+
+  // Bodies on both legs: residual applies once per blocked leg.
+  std::vector<CylinderTarget> both = on_first;
+  both.push_back(on_final[0]);
+  const BlockingResult r3 = evaluate_blocking(p, both, 0.25);
+  ASSERT_TRUE(r3.blocked);
+  EXPECT_EQ(r3.first_blocked_leg, 0u);
+  EXPECT_FALSE(r3.gives_true_angle);
+  EXPECT_DOUBLE_EQ(r3.amplitude_scale, 0.25 * 0.25);
+}
+
+TEST(TrueAngleTest, LegacyRejectsResidualOutsideUnitInterval) {
+  const rf::PropagationPath p = two_leg_path();
+  const std::vector<CylinderTarget> targets{CylinderTarget::human({2.0, 2.0})};
+  EXPECT_THROW((void)evaluate_blocking(p, targets, -0.1),
+               std::invalid_argument);
+  EXPECT_THROW((void)evaluate_blocking(p, targets, 1.5),
+               std::invalid_argument);
+}
+
+// --------------------------------------------------------- Fresnel model
+
+TEST(FresnelTest, BinaryOptionsReproduceTheLegacyOracleBitForBit) {
+  const rf::PropagationPath p = two_leg_path();
+  const std::vector<CylinderTarget> targets{
+      CylinderTarget::human({2.0, 2.0}), CylinderTarget::human({6.0, 2.0})};
+  for (const double residual : {0.1, 0.25, 0.7}) {
+    const BlockingResult legacy = evaluate_blocking(p, targets, residual);
+    BlockageOptions opts;
+    opts.model = BlockageModel::kBinary;
+    opts.residual_amplitude = residual;
+    const BlockingResult routed = evaluate_blocking(p, targets, opts);
+    EXPECT_EQ(legacy.blocked, routed.blocked);
+    EXPECT_EQ(legacy.first_blocked_leg, routed.first_blocked_leg);
+    EXPECT_EQ(legacy.target_index, routed.target_index);
+    EXPECT_EQ(legacy.amplitude_scale, routed.amplitude_scale);
+    EXPECT_EQ(legacy.gives_true_angle, routed.gives_true_angle);
+  }
+}
+
+TEST(FresnelTest, ClearPathKeepsUnitAmplitude) {
+  const CylinderTarget t = CylinderTarget::human({2.0, 5.0});
+  const double amp = fresnel_leg_amplitude(t, {0.0, 0.0, 1.0},
+                                           {4.0, 0.0, 1.0},
+                                           rf::kDefaultWavelength);
+  EXPECT_DOUBLE_EQ(amp, 1.0);
+}
+
+TEST(FresnelTest, AmplitudeIsMonotoneInMissDistance) {
+  // Slide the body away from the line of sight: the shadow must only
+  // get shallower, with no jump at the geometric edge.
+  const rf::Vec3 a{0.0, 0.0, 1.0};
+  const rf::Vec3 b{8.0, 0.0, 1.0};
+  double prev = 0.0;
+  for (const double miss : {0.0, 0.1, 0.2, 0.3, 0.5, 0.8, 1.2}) {
+    const CylinderTarget t = CylinderTarget::human({4.0, miss});
+    const double amp =
+        fresnel_leg_amplitude(t, a, b, rf::kDefaultWavelength);
+    EXPECT_GT(amp, 0.0);
+    EXPECT_LE(amp, 1.0);
+    EXPECT_GE(amp, prev);
+    prev = amp;
+  }
+  // Far enough out the leg clears the first Fresnel zone entirely.
+  const CylinderTarget far_body = CylinderTarget::human({4.0, 3.0});
+  EXPECT_DOUBLE_EQ(
+      fresnel_leg_amplitude(far_body, a, b, rf::kDefaultWavelength), 1.0);
+}
+
+TEST(FresnelTest, LossIsCappedAtMaxLossDb) {
+  const rf::Vec3 a{0.0, 0.0, 1.0};
+  const rf::Vec3 b{8.0, 0.0, 1.0};
+  // A grossly oversized blocker saturates the knife-edge formula.
+  const CylinderTarget wall = cylinder({4.0, 0.0}, 1.5, 0.0, 2.0);
+  const double amp =
+      fresnel_leg_amplitude(wall, a, b, rf::kDefaultWavelength, 30.0);
+  EXPECT_GE(amp, std::pow(10.0, -30.0 / 20.0) - 1e-12);
+  const double relaxed =
+      fresnel_leg_amplitude(wall, a, b, rf::kDefaultWavelength, 40.0);
+  EXPECT_LE(relaxed, amp);
+}
+
+TEST(FresnelTest, WiderBodiesShadowDeeper) {
+  const rf::Vec3 a{0.0, 0.0, 1.0};
+  const rf::Vec3 b{8.0, 0.0, 1.0};
+  const double human = fresnel_leg_amplitude(
+      CylinderTarget::human({4.0, 0.0}), a, b, rf::kDefaultWavelength);
+  const double fist = fresnel_leg_amplitude(
+      CylinderTarget::fist({4.0, 0.0}, 1.0), a, b, rf::kDefaultWavelength);
+  EXPECT_LT(human, fist);
+}
+
+TEST(FresnelTest, ShorterWavelengthsShadowDeeper) {
+  // A smaller Fresnel zone makes the same body a relatively larger
+  // obstacle, so the loss grows as the wavelength shrinks.
+  const rf::Vec3 a{0.0, 0.0, 1.0};
+  const rf::Vec3 b{8.0, 0.0, 1.0};
+  const CylinderTarget t = CylinderTarget::human({4.0, 0.1});
+  const double uhf = fresnel_leg_amplitude(t, a, b, 0.327);
+  const double microwave = fresnel_leg_amplitude(t, a, b, 0.06);
+  EXPECT_LT(microwave, uhf);
+}
+
+TEST(FresnelTest, ThrowsOnNonPositiveWavelength) {
+  const CylinderTarget t = CylinderTarget::human({1.0, 0.0});
+  EXPECT_THROW(
+      (void)fresnel_leg_amplitude(t, {0.0, 0.0, 1.0}, {2.0, 0.0, 1.0}, 0.0),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)fresnel_leg_amplitude(t, {0.0, 0.0, 1.0}, {2.0, 0.0, 1.0}, -0.3),
+      std::invalid_argument);
+}
+
+TEST(FresnelTest, LegAboveTheBodyIsClear) {
+  const CylinderTarget t = CylinderTarget::human({4.0, 0.0});
+  const double amp = fresnel_leg_amplitude(t, {0.0, 0.0, 2.5},
+                                           {8.0, 0.0, 2.5},
+                                           rf::kDefaultWavelength);
+  EXPECT_DOUBLE_EQ(amp, 1.0);
+}
+
+TEST(FresnelTest, CompoundsAcrossTargetsAndMatchesThePerLegProduct) {
+  // Unlike kBinary (break at the first blocker), kFresnel multiplies
+  // every target's per-leg amplitude, so two bodies shade deeper than
+  // either alone.
+  rf::PropagationPath direct;
+  direct.kind = rf::PathKind::kDirect;
+  direct.vertices = {{0.0, 0.0, 1.0}, {8.0, 0.0, 1.0}};
+  direct.length = 8.0;
+
+  const CylinderTarget near_body = CylinderTarget::human({2.5, 0.0});
+  const CylinderTarget far_body = CylinderTarget::human({5.5, 0.0});
+
+  BlockageOptions opts;
+  opts.model = BlockageModel::kFresnel;
+
+  const BlockingResult solo =
+      evaluate_blocking(direct, std::vector<CylinderTarget>{near_body}, opts);
+  const BlockingResult pair = evaluate_blocking(
+      direct, std::vector<CylinderTarget>{near_body, far_body}, opts);
+  ASSERT_TRUE(solo.blocked);
+  ASSERT_TRUE(pair.blocked);
+  EXPECT_LT(pair.amplitude_scale, solo.amplitude_scale);
+
+  const double a1 = fresnel_leg_amplitude(
+      near_body, direct.vertices[0], direct.vertices[1],
+      rf::kDefaultWavelength);
+  const double a2 = fresnel_leg_amplitude(
+      far_body, direct.vertices[0], direct.vertices[1],
+      rf::kDefaultWavelength);
+  EXPECT_NEAR(pair.amplitude_scale, a1 * a2, 1e-12);
+  EXPECT_TRUE(pair.gives_true_angle);  // direct path
+}
+
+TEST(FresnelTest, GrazingBodyAttenuatesWithoutCountingAsBlocked) {
+  // A body hovering at the edge of the first Fresnel zone shaves a
+  // fraction of a dB: the amplitude moves but the drop-bookkeeping
+  // threshold (~1 dB) keeps `blocked` false.
+  rf::PropagationPath direct;
+  direct.kind = rf::PathKind::kDirect;
+  direct.vertices = {{0.0, 0.0, 1.0}, {8.0, 0.0, 1.0}};
+  direct.length = 8.0;
+
+  BlockageOptions opts;
+  opts.model = BlockageModel::kFresnel;
+
+  // Find a miss distance whose amplitude lands in (0.89, 1).
+  double graze_miss = -1.0;
+  for (double miss = 0.3; miss < 1.5; miss += 0.01) {
+    const double amp = fresnel_leg_amplitude(
+        CylinderTarget::human({4.0, miss}), direct.vertices[0],
+        direct.vertices[1], rf::kDefaultWavelength);
+    if (amp > 0.9 && amp < 0.999) {
+      graze_miss = miss;
+      break;
+    }
+  }
+  ASSERT_GT(graze_miss, 0.0) << "no grazing geometry found";
+  const BlockingResult grazing = evaluate_blocking(
+      direct,
+      std::vector<CylinderTarget>{CylinderTarget::human({4.0, graze_miss})},
+      opts);
+  EXPECT_FALSE(grazing.blocked);
+  EXPECT_LT(grazing.amplitude_scale, 1.0);
+  EXPECT_GT(grazing.amplitude_scale, 0.89);
+}
+
+}  // namespace
+}  // namespace dwatch::sim
