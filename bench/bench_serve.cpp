@@ -20,9 +20,14 @@
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "obs/obs.hpp"
 #include "rf/noise.hpp"
 #include "rf/snapshot.hpp"
 #include "serve/service.hpp"
+
+#if DWATCH_OBS_ENABLED
+#include "telemetry/slo.hpp"
+#endif
 
 namespace dwatch::serve {
 namespace {
@@ -184,6 +189,107 @@ BENCHMARK(BM_ServeFleetEpoch)
     ->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()
     ->UseRealTime();
+
+#if DWATCH_OBS_ENABLED
+/// The SLO-report arm: the 16-zone fleet under deliberate overload
+/// (3 sealed epochs per zone into a queue of 2, so every zone sheds
+/// one epoch per iteration) with an SloTracker fed from the epoch and
+/// shed observers INSIDE the timed region. items_per_second is still
+/// fix throughput, so comparing against BM_ServeFleetEpoch/16 prices
+/// the per-epoch SLO accounting; the exported counters are the error
+/// budgets an operator would read off /slo after the storm.
+void BM_ServeSloOverload(benchmark::State& state) {
+  const auto zones = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kBurst = 3;  // sealed epochs per zone per iter
+  const FleetTraffic traffic = make_traffic(zones);
+
+  ServiceOptions opts;
+  opts.num_workers = 0;
+  opts.max_queue_per_zone = 2;
+  auto service = std::make_unique<LocalizationService>(opts);
+  const auto arrays = zone_arrays();
+  for (std::size_t z = 0; z < zones; ++z) {
+    ZoneConfig cfg;
+    cfg.name = "zone" + std::to_string(z);
+    cfg.arrays = arrays;
+    cfg.bounds = zone_bounds();
+    const std::size_t id = service->add_zone(std::move(cfg));
+    for (std::size_t a = 0; a < arrays.size(); ++a) {
+      const double angle = arrays[a].arrival_angle_planar(zone_target(z));
+      service->zone(id).pipeline().add_baseline(
+          a,
+          rfid::Epc96::for_tag_index(
+              static_cast<std::uint32_t>(10 * (z % 8) + a + 1)),
+          synth(arrays[a], angle, 1.0, 500 + 10 * z + a));
+      service->bind_reader(100 * (z + 1) + a, id, a);
+    }
+  }
+
+  telemetry::SloConfig slo_config;
+  // Wall-clock latency is the bench's own measurement; keep it out of
+  // the tracker's verdicts so the counters reflect the shed storm.
+  slo_config.fix_latency_budget_us = 60'000'000;
+  telemetry::SloTracker tracker(slo_config);
+  service->set_epoch_observer([&tracker](const EpochObservation& o) {
+    tracker.observe_fix(o.zone, o.fix_latency_us, !o.fix_valid);
+  });
+  service->set_shed_observer(
+      [&tracker](std::size_t zone, std::uint64_t) {
+        tracker.observe_shed(zone);
+      });
+
+  std::size_t rotation = 0;
+  for (auto _ : state) {
+    std::size_t processed = 0;
+    for (std::size_t burst = 0; burst < kBurst; ++burst) {
+      const auto& epoch = traffic.reports[rotation];
+      rotation = (rotation + 1) % kRotation;
+      for (std::size_t z = 0; z < zones; ++z) {
+        service->begin_epoch(z);
+        for (std::size_t a = 0; a < epoch[z].size(); ++a) {
+          (void)service->router().route(100 * (z + 1) + a, epoch[z][a]);
+        }
+      }
+    }
+    processed = service->run_pending();
+    benchmark::DoNotOptimize(processed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(zones) *
+                          static_cast<std::int64_t>(kBurst - 1));
+
+  // Error-budget roll-up across the fleet, as /slo would report it.
+  double shed_budget_min = 1.0;
+  double shed_burn_fast_max = 0.0;
+  double shed_burn_slow_max = 0.0;
+  for (std::size_t z = 0; z < zones; ++z) {
+    shed_budget_min = std::min(
+        shed_budget_min,
+        tracker.budget_remaining(z, telemetry::SloObjective::kShed));
+    shed_burn_fast_max =
+        std::max(shed_burn_fast_max,
+                 tracker.fast_burn(z, telemetry::SloObjective::kShed));
+    shed_burn_slow_max =
+        std::max(shed_burn_slow_max,
+                 tracker.slow_burn(z, telemetry::SloObjective::kShed));
+  }
+  state.counters["zones"] = benchmark::Counter(static_cast<double>(zones));
+  state.counters["shed_budget_min"] = shed_budget_min;
+  state.counters["shed_burn_fast_max"] = shed_burn_fast_max;
+  state.counters["shed_burn_slow_max"] = shed_burn_slow_max;
+  const ServiceStats stats = service->stats();
+  state.counters["shed_fraction"] =
+      stats.epochs_submitted == 0
+          ? 0.0
+          : static_cast<double>(stats.epochs_shed) /
+                static_cast<double>(stats.epochs_submitted);
+}
+BENCHMARK(BM_ServeSloOverload)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+#endif  // DWATCH_OBS_ENABLED
 
 }  // namespace
 }  // namespace dwatch::serve

@@ -1,0 +1,306 @@
+// Telemetry plane walkthrough: a serving fleet with its operations
+// door open.
+//
+//   1. build a two-zone LocalizationService (same fleet recipe as
+//      serve_fleet) and attach a TelemetryPlane: epoch observers feed
+//      the SLO tracker and flight recorder, the HTTP server exposes
+//      /metrics, /healthz, /slo, /events, /trace and /dump;
+//   2. drive serving traffic, including a deliberate overload burst so
+//      the shed objective burns visibly;
+//   3. scrape every endpoint over a REAL loopback socket and print a
+//      short operations summary.
+//
+// Modes (both used by scripts/check.sh):
+//   (default)                demo: serve, scrape itself, print summary
+//   --selfcheck              same, but quiet and STRICT: every endpoint
+//                            must answer with the right status and
+//                            strictly valid JSON; non-zero exit on any
+//                            violation (this is the CI gate)
+//   --serve-seconds N        keep serving/scrapable for N seconds after
+//                            the traffic, so an external curl can probe
+//   --port-file PATH         write the bound port to PATH once listening
+//   --port P                 bind a fixed port instead of an ephemeral
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "obs/event_log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "rf/noise.hpp"
+#include "rf/snapshot.hpp"
+#include "serve/service.hpp"
+#include "telemetry/http_client.hpp"
+#include "telemetry/json_check.hpp"
+#include "telemetry/plane.hpp"
+
+namespace {
+
+using namespace dwatch;
+
+std::vector<rf::UniformLinearArray> zone_arrays() {
+  return {
+      rf::UniformLinearArray({3.5, 0.15, 1.25}, {1, 0}, 8),
+      rf::UniformLinearArray({0.15, 5.0, 1.25}, {0, 1}, 8),
+  };
+}
+
+rf::Vec2 zone_target(std::size_t zone) {
+  return {2.0 + 0.5 * static_cast<double>(zone),
+          3.0 + 0.7 * static_cast<double>(zone)};
+}
+
+linalg::CMatrix synth(const rf::UniformLinearArray& array, double angle_rad,
+                      double scale, std::uint64_t seed) {
+  rf::PropagationPath p;
+  p.kind = rf::PathKind::kDirect;
+  p.vertices = {{-10, 0, 1.25}, array.center()};
+  p.length = 10.0;
+  p.aoa = angle_rad;
+  p.gain = {0.01, 0.0};
+  const std::vector<rf::PropagationPath> paths{p};
+  rf::SnapshotOptions opts;
+  opts.num_snapshots = 16;
+  opts.noise_sigma = rf::noise_sigma_for_snr(paths, 1.0, 35.0);
+  rf::Rng rng(seed);
+  const std::vector<double> path_scale{scale};
+  return rf::synthesize_snapshots(array, paths, path_scale, opts, rng);
+}
+
+rfid::TagObservation wire_obs(const linalg::CMatrix& x,
+                              const rfid::Epc96& epc) {
+  rfid::TagObservation obs;
+  obs.epc = epc;
+  for (std::size_t n = 0; n < x.cols(); ++n) {
+    for (std::size_t m = 0; m < x.rows(); ++m) {
+      const auto [pq, rq] = rfid::quantize_sample(x(m, n));
+      obs.samples.push_back(rfid::PhaseSample{
+          static_cast<std::uint16_t>(m + 1), static_cast<std::uint32_t>(n),
+          pq, rq});
+    }
+  }
+  return obs;
+}
+
+rfid::RoAccessReport epoch_report(std::size_t zone, std::size_t array,
+                                  std::uint64_t epoch) {
+  const auto arrays = zone_arrays();
+  const double angle = arrays[array].arrival_angle_planar(zone_target(zone));
+  const std::uint64_t seed = 1000 * zone + 10 * epoch + array + 1;
+  rfid::RoAccessReport report;
+  report.message_id = static_cast<std::uint32_t>(seed);
+  report.observations.push_back(
+      wire_obs(synth(arrays[array], angle, 0.2, seed),
+               rfid::Epc96::for_tag_index(
+                   static_cast<std::uint32_t>(10 * zone + array + 1))));
+  return report;
+}
+
+constexpr std::size_t kZones = 2;
+
+serve::LocalizationService make_fleet() {
+  serve::ServiceOptions opts;
+  opts.num_workers = 2;
+  opts.max_queue_per_zone = 2;
+  serve::LocalizationService service(opts);
+  for (std::size_t z = 0; z < kZones; ++z) {
+    serve::ZoneConfig cfg;
+    cfg.name = "zone" + std::to_string(z);
+    cfg.arrays = zone_arrays();
+    cfg.bounds = core::SearchBounds{{0.0, 0.0}, {7.0, 10.0}};
+    const std::size_t id = service.add_zone(std::move(cfg));
+    for (std::size_t a = 0; a < 2; ++a) {
+      const double angle =
+          zone_arrays()[a].arrival_angle_planar(zone_target(z));
+      service.zone(id).pipeline().add_baseline(
+          a,
+          rfid::Epc96::for_tag_index(
+              static_cast<std::uint32_t>(10 * z + a + 1)),
+          synth(zone_arrays()[a], angle, 1.0, 500 + 10 * z + a));
+    }
+  }
+  return service;
+}
+
+void drive_traffic(serve::LocalizationService& service) {
+  // Four clean epochs per zone...
+  for (std::uint64_t e = 0; e < 4; ++e) {
+    for (std::size_t z = 0; z < kZones; ++z) {
+      service.begin_epoch(z);
+      for (std::size_t a = 0; a < 2; ++a) {
+        service.add_report(z, a, epoch_report(z, a, e));
+      }
+    }
+    (void)service.run_pending();
+  }
+  // ...then an overload burst on zone 0: 5 sealed epochs into a queue
+  // of 2 sheds the 3 oldest — the shed SLO objective burns, /healthz
+  // and /slo show it.
+  for (std::uint64_t e = 4; e < 9; ++e) {
+    service.begin_epoch(0);
+    service.add_report(0, 0, epoch_report(0, 0, e));
+  }
+  (void)service.run_pending();
+}
+
+struct Check {
+  int failures = 0;
+  bool quiet = false;
+
+  void expect(bool ok, const char* what) {
+    if (!ok) {
+      ++failures;
+      std::fprintf(stderr, "telemetry_endpoint: FAIL %s\n", what);
+    } else if (!quiet) {
+      std::printf("  ok: %s\n", what);
+    }
+  }
+};
+
+/// Scrape every endpoint of the plane and verify the contract the
+/// docs promise: right statuses, right shapes, strictly valid JSON.
+int scrape_all(std::uint16_t port, bool quiet) {
+  using telemetry::http_fetch;
+  Check check;
+  check.quiet = quiet;
+  std::string error;
+
+  telemetry::HttpResult r = http_fetch(port, "GET", "/metrics");
+  check.expect(r.ok && r.status == 200, "/metrics answers 200");
+  check.expect(r.body.find("# TYPE dwatch_serve_fix_latency_us histogram") !=
+                   std::string::npos,
+               "/metrics carries the fix-latency histogram");
+  check.expect(
+      r.body.find("dwatch_slo_budget_remaining") != std::string::npos,
+      "/metrics carries the SLO budget gauges");
+
+  r = http_fetch(port, "GET", "/metrics.json");
+  check.expect(r.ok && r.status == 200, "/metrics.json answers 200");
+  check.expect(telemetry::json_valid(r.body, &error),
+               "/metrics.json is strictly valid JSON");
+
+  r = http_fetch(port, "GET", "/healthz");
+  check.expect(r.ok && (r.status == 200 || r.status == 503),
+               "/healthz answers 200 or 503");
+  check.expect(telemetry::json_valid(r.body, &error),
+               "/healthz is strictly valid JSON");
+  const std::string healthz = r.body;
+
+  r = http_fetch(port, "GET", "/slo");
+  check.expect(r.ok && r.status == 200, "/slo answers 200");
+  check.expect(telemetry::json_valid(r.body, &error),
+               "/slo is strictly valid JSON");
+  check.expect(r.body.find("\"objective\":\"shed\"") != std::string::npos,
+               "/slo tracks the shed objective");
+
+  r = http_fetch(port, "GET", "/events?n=20");
+  check.expect(r.ok && r.status == 200, "/events answers 200");
+  check.expect(telemetry::json_lines_valid(r.body, &error),
+               "/events is valid JSON Lines");
+
+  r = http_fetch(port, "GET", "/trace");
+  check.expect(r.ok && r.status == 200, "/trace answers 200");
+  check.expect(telemetry::json_valid(r.body, &error),
+               "/trace is strictly valid JSON");
+
+  r = http_fetch(port, "POST", "/dump?trigger=selfcheck");
+  check.expect(r.ok && r.status == 200, "POST /dump answers 200");
+  check.expect(telemetry::json_valid(r.body, &error),
+               "dump bundle is strictly valid JSON");
+  check.expect(r.body.find("\"trigger\":\"selfcheck\"") != std::string::npos,
+               "dump bundle names its trigger");
+
+  r = http_fetch(port, "GET", "/no-such-endpoint");
+  check.expect(r.ok && r.status == 404, "unknown path answers 404");
+
+  if (!quiet) {
+    std::printf("healthz: %s\n", healthz.c_str());
+  }
+  return check.failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool selfcheck = false;
+  long serve_seconds = 0;
+  const char* port_file = nullptr;
+  std::uint16_t port = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--selfcheck") == 0) {
+      selfcheck = true;
+    } else if (std::strcmp(argv[i], "--serve-seconds") == 0 && i + 1 < argc) {
+      serve_seconds = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--port-file") == 0 && i + 1 < argc) {
+      port_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--selfcheck] [--serve-seconds N] "
+                   "[--port-file PATH] [--port P]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  obs::set_enabled(true);
+
+  serve::LocalizationService service = make_fleet();
+  telemetry::TelemetryOptions options;
+  // Keep wall-clock latency out of the demo's health verdict: the
+  // deterministic shed burst is the story here.
+  options.slo.fix_latency_budget_us = 60'000'000;
+  telemetry::TelemetryPlane plane(options);
+  plane.attach(service);
+  plane.start(port);
+  if (!selfcheck) {
+    std::printf("telemetry plane listening on 127.0.0.1:%u\n",
+                static_cast<unsigned>(plane.port()));
+  }
+  if (port_file != nullptr) {
+    std::FILE* f = std::fopen(port_file, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "telemetry_endpoint: cannot write %s\n",
+                   port_file);
+      return 2;
+    }
+    std::fprintf(f, "%u\n", static_cast<unsigned>(plane.port()));
+    std::fclose(f);
+  }
+
+  drive_traffic(service);
+
+  const int failures = scrape_all(plane.port(), selfcheck);
+
+  if (serve_seconds > 0) {
+    if (!selfcheck) {
+      std::printf("serving for %lds (curl me: /metrics /healthz /slo)...\n",
+                  serve_seconds);
+    }
+    std::this_thread::sleep_for(std::chrono::seconds(serve_seconds));
+  }
+
+  plane.stop();
+  obs::set_enabled(false);
+  if (failures != 0) {
+    std::fprintf(stderr, "telemetry_endpoint: %d check(s) failed\n",
+                 failures);
+    return 1;
+  }
+  if (!selfcheck) {
+    const serve::ServiceStats stats = service.stats();
+    std::printf(
+        "fleet: processed=%zu shed=%zu; scrapes served=%llu; all endpoint "
+        "checks passed\n",
+        stats.epochs_processed, stats.epochs_shed,
+        static_cast<unsigned long long>(plane.server().requests_served()));
+  }
+  return 0;
+}

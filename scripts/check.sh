@@ -12,10 +12,14 @@
 #      A bench that emits no JSON fails the gate, and so does JSON whose
 #      context reports a debug build or active CPU frequency scaling —
 #      debug numbers must never enter the trajectory;
-#   4. asan_check: fault + obs + recovery labels under ASan/UBSan;
-#   5. tsan_check: the concurrency label under TSan;
-#   6. obs_off_check: configure+build+test a DWATCH_OBS=OFF tree;
-#   7. simd_off_check: configure+build+test a DWATCH_SIMD=OFF tree.
+#   4. telemetry endpoint: the example self-scrapes every endpoint over
+#      a real socket (strict JSON validation), then an external curl
+#      scrapes /metrics and /healthz from outside the process — any
+#      non-200 or invalid body fails the gate;
+#   5. asan_check: fault + obs + recovery labels under ASan/UBSan;
+#   6. tsan_check: the concurrency label under TSan;
+#   7. obs_off_check: configure+build+test a DWATCH_OBS=OFF tree;
+#   8. simd_off_check: configure+build+test a DWATCH_SIMD=OFF tree.
 #
 # Usage: scripts/check.sh [jobs]   (default: nproc)
 set -euo pipefail
@@ -79,22 +83,55 @@ for target in ${BENCH_TARGETS}; do
   run cp "build-bench/${json}" "${json}"
 done
 
-# --- 4. AddressSanitizer tree: stress|obs|recovery ----------------------
+# --- 4. telemetry endpoint: self-scrape, then an external curl ----------
+# The example's --selfcheck mode is the strict gate (real loopback
+# socket, strict JSON validation, non-zero exit on any violation).
+run ./build/examples/telemetry_endpoint --selfcheck
+# Then prove an EXTERNAL client sees the same thing: serve for a few
+# seconds and curl /metrics and /healthz from outside the process.
+PORT_FILE="$(mktemp)"
+./build/examples/telemetry_endpoint --selfcheck --serve-seconds 5 \
+  --port-file "${PORT_FILE}" &
+TELEMETRY_PID=$!
+for _ in $(seq 1 50); do
+  [ -s "${PORT_FILE}" ] && break
+  sleep 0.1
+done
+TELEMETRY_PORT="$(cat "${PORT_FILE}")"
+if [ -z "${TELEMETRY_PORT}" ]; then
+  echo "check.sh: telemetry endpoint never wrote its port" >&2
+  kill "${TELEMETRY_PID}" 2>/dev/null || true
+  exit 1
+fi
+echo "==> curl 127.0.0.1:${TELEMETRY_PORT}/metrics + /healthz"
+curl -fsS "http://127.0.0.1:${TELEMETRY_PORT}/metrics" \
+  | grep -q '^dwatch_slo_budget_remaining' \
+  || { echo "check.sh: /metrics scrape missing SLO gauges" >&2; exit 1; }
+HEALTHZ_CODE="$(curl -s -o /dev/null -w '%{http_code}' \
+  "http://127.0.0.1:${TELEMETRY_PORT}/healthz")"
+case "${HEALTHZ_CODE}" in
+  200|503) ;;  # both are well-formed health verdicts
+  *) echo "check.sh: /healthz answered ${HEALTHZ_CODE}" >&2; exit 1 ;;
+esac
+wait "${TELEMETRY_PID}"
+rm -f "${PORT_FILE}"
+
+# --- 5. AddressSanitizer tree: stress|obs|recovery ----------------------
 run cmake -S . -B build-asan -DDWATCH_SANITIZE=address \
   -DDWATCH_BUILD_BENCH=OFF -DDWATCH_BUILD_EXAMPLES=OFF
 run cmake --build build-asan --parallel "$JOBS"
 run cmake --build build-asan --target asan_check
 
-# --- 5. ThreadSanitizer tree: tsan label --------------------------------
+# --- 6. ThreadSanitizer tree: tsan label --------------------------------
 run cmake -S . -B build-tsan -DDWATCH_SANITIZE=thread \
   -DDWATCH_BUILD_BENCH=OFF -DDWATCH_BUILD_EXAMPLES=OFF
 run cmake --build build-tsan --parallel "$JOBS"
 run cmake --build build-tsan --target tsan_check
 
-# --- 6. uninstrumented tree must stay green -----------------------------
+# --- 7. uninstrumented tree must stay green -----------------------------
 run cmake --build build --target obs_off_check
 
-# --- 7. scalar-only tree must stay green --------------------------------
+# --- 8. scalar-only tree must stay green --------------------------------
 run cmake --build build --target simd_off_check
 
 echo

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace dwatch::obs {
 
 void append_json_escaped(std::string& out, std::string_view s) {
@@ -120,20 +122,40 @@ Event& Event::field_bytes(std::string_view key,
 
 std::string Event::line() const { return buf_ + '}'; }
 
-EventLog::EventLog(std::size_t capacity)
-    : capacity_(capacity == 0 ? 1 : capacity) {}
+namespace {
+
+/// One cached reference: registration locks once, steady-state drop
+/// accounting is a relaxed atomic add (same discipline as every other
+/// instrumentation site).
+Counter& events_dropped_counter() {
+  static Counter& counter =
+      MetricsRegistry::global().counter("dwatch_obs_events_dropped_total");
+  return counter;
+}
+
+}  // namespace
+
+EventLog::EventLog(std::size_t capacity, bool mirror_drops)
+    : capacity_(capacity == 0 ? 1 : capacity), mirror_drops_(mirror_drops) {}
 
 EventLog& EventLog::global() {
-  static EventLog log;
+  static EventLog log(65536, /*mirror_drops=*/true);
   return log;
 }
 
 void EventLog::set_capacity(std::size_t capacity) {
-  std::lock_guard lock(mutex_);
-  capacity_ = capacity == 0 ? 1 : capacity;
-  while (lines_.size() > capacity_) {
-    lines_.pop_front();
-    ++dropped_;
+  std::uint64_t overwritten = 0;
+  {
+    std::lock_guard lock(mutex_);
+    capacity_ = capacity == 0 ? 1 : capacity;
+    while (lines_.size() > capacity_) {
+      lines_.pop_front();
+      ++dropped_;
+      ++overwritten;
+    }
+  }
+  if (overwritten > 0 && mirror_drops_) {
+    events_dropped_counter().inc(overwritten);
   }
 }
 
@@ -145,12 +167,19 @@ std::size_t EventLog::capacity() const {
 void EventLog::emit(const Event& event) { emit_line(event.line()); }
 
 void EventLog::emit_line(std::string line) {
-  std::lock_guard lock(mutex_);
-  if (lines_.size() == capacity_) {
-    lines_.pop_front();
-    ++dropped_;
+  bool overwrote = false;
+  {
+    std::lock_guard lock(mutex_);
+    if (lines_.size() == capacity_) {
+      lines_.pop_front();
+      ++dropped_;
+      overwrote = true;
+    }
+    lines_.push_back(std::move(line));
   }
-  lines_.push_back(std::move(line));
+  // Outside the ring lock: the registry has its own locking and the
+  // counter is a relaxed atomic — no nested lock order to maintain.
+  if (overwrote && mirror_drops_) events_dropped_counter().inc();
 }
 
 std::size_t EventLog::size() const {

@@ -80,7 +80,12 @@ class Event {
 /// Bounded, thread-safe JSON Lines buffer.
 class EventLog {
  public:
-  explicit EventLog(std::size_t capacity = 65536);
+  /// `mirror_drops` additionally counts every ring overwrite into the
+  /// global metric `dwatch_obs_events_dropped_total` — silent event
+  /// loss under overload must be visible to a scraper, not only to
+  /// callers polling dropped(). Only the global() instance mirrors;
+  /// ad-hoc logs in tests stay out of the process-wide counter.
+  explicit EventLog(std::size_t capacity = 65536, bool mirror_drops = false);
 
   [[nodiscard]] static EventLog& global();
 
@@ -108,6 +113,7 @@ class EventLog {
   std::deque<std::string> lines_;
   std::size_t capacity_;
   std::uint64_t dropped_ = 0;
+  bool mirror_drops_ = false;
 };
 
 }  // namespace dwatch::obs

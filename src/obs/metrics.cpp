@@ -1,5 +1,7 @@
 #include "obs/metrics.hpp"
 
+#include "obs/event_log.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <mutex>
@@ -23,6 +25,17 @@ void write_number(std::ostream& os, double v) {
   tmp.precision(12);
   tmp << v;
   os << tmp.str();
+}
+
+/// Series keys carry pre-rendered label lists with raw double quotes
+/// (`name{k="v"}`); as JSON object keys they must be escaped or the
+/// /metrics.json document is invalid the moment a labelled series
+/// exists (the telemetry endpoint test scrapes and strictly validates).
+void write_json_key(std::ostream& os, const std::string& key) {
+  std::string escaped;
+  escaped.reserve(key.size() + 8);
+  append_json_escaped(escaped, key);
+  os << '"' << escaped << '"';
 }
 
 }  // namespace
@@ -130,6 +143,33 @@ std::vector<double> Histogram::default_latency_bounds_us() {
   // 1, 2, 4, ... 2^23 µs (~8.4 s): covers sub-µs stages up to a whole
   // multi-second calibration solve in 24 buckets.
   return exponential_bounds(1.0, 2.0, 24);
+}
+
+std::vector<double> Histogram::log_linear_bounds(double first, double last,
+                                                 std::size_t steps_per_decade) {
+  if (!(first > 0.0) || !(last > first) || steps_per_decade == 0) {
+    throw std::invalid_argument("log_linear_bounds: bad parameters");
+  }
+  std::vector<double> bounds;
+  for (double decade = first; decade < last; decade *= 10.0) {
+    const double step = decade * 9.0 / static_cast<double>(steps_per_decade);
+    for (std::size_t i = 0; i < steps_per_decade; ++i) {
+      const double b = decade + static_cast<double>(i) * step;
+      if (b >= last) break;
+      bounds.push_back(b);
+    }
+  }
+  bounds.push_back(last);
+  return bounds;
+}
+
+std::vector<double> Histogram::stage_latency_bounds_us() {
+  // 1..9, 10..90, ... 1e6..9e6, 1e7 µs: 64 bounds. Post-SIMD kernels
+  // finish in 3–30 µs in a Release build — the doubling buckets put
+  // that whole range into two buckets and p99 interpolation collapses;
+  // nine linear steps per decade keep single-µs resolution at the low
+  // end while still reaching 10 s for calibration solves.
+  return log_linear_bounds(1.0, 1e7, 9);
 }
 
 MetricsRegistry& MetricsRegistry::global() {
@@ -283,14 +323,16 @@ void MetricsRegistry::write_json(std::ostream& os) const {
   for (const auto& [key, entry] : counters_) {
     if (!first) os << ',';
     first = false;
-    os << '"' << key << "\":" << entry.second->value();
+    write_json_key(os, key);
+    os << ':' << entry.second->value();
   }
   os << "},\"gauges\":{";
   first = true;
   for (const auto& [key, entry] : gauges_) {
     if (!first) os << ',';
     first = false;
-    os << '"' << key << "\":";
+    write_json_key(os, key);
+    os << ':';
     write_number(os, entry.second->value());
   }
   os << "},\"histograms\":{";
@@ -299,7 +341,8 @@ void MetricsRegistry::write_json(std::ostream& os) const {
     const Histogram& h = *entry.second;
     if (!first) os << ',';
     first = false;
-    os << '"' << key << "\":{\"count\":" << h.count() << ",\"sum\":";
+    write_json_key(os, key);
+    os << ":{\"count\":" << h.count() << ",\"sum\":";
     write_number(os, h.sum());
     os << ",\"p50\":";
     write_number(os, h.percentile(50.0));

@@ -99,6 +99,21 @@ class Histogram {
       double first, double factor, std::size_t count);
   /// Default latency buckets: 1 µs .. ~8.4 s, doubling (24 bounds).
   [[nodiscard]] static std::vector<double> default_latency_bounds_us();
+  /// Log-linear bounds: each decade [d, 10d) starting at `first` is cut
+  /// into `steps_per_decade` equal linear steps, ending exactly at
+  /// `last` (which is always the final bound). With steps_per_decade=9
+  /// and first=1: 1,2,..,9,10,20,..,90,100,... — doubling buckets lose
+  /// all p99 resolution once a Release-built stage runs in single-digit
+  /// microseconds (everything lands in 1–2 buckets); linear low-decade
+  /// steps keep percentile interpolation honest there. Throws
+  /// std::invalid_argument unless 0 < first < last and steps >= 1.
+  [[nodiscard]] static std::vector<double> log_linear_bounds(
+      double first, double last, std::size_t steps_per_decade);
+  /// Stage/fix latency buckets: log-linear 1 µs .. 10 s, 9 steps per
+  /// decade (64 bounds). The canonical bounds for
+  /// `dwatch_stage_latency_us` and `dwatch_serve_fix_latency_us` —
+  /// every registration site must use THESE (first registration wins).
+  [[nodiscard]] static std::vector<double> stage_latency_bounds_us();
 
  private:
   std::vector<double> bounds_;

@@ -122,7 +122,7 @@ Span::~Span() {
   // never inside per-sample loops, so the allocation is off the inner
   // hot path.
   static const std::vector<double> bounds =
-      Histogram::default_latency_bounds_us();
+      Histogram::stage_latency_bounds_us();
   std::string labels = "stage=\"";
   labels += name_;
   labels += '"';

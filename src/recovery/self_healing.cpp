@@ -58,7 +58,16 @@ void RecoveryCoordinator::apply_outcome(const RecalibrationOutcome& outcome,
   }
   // Either way the residual landscape changed (new Γ̂, or the drift is
   // still in place and the detection already fired): re-learn.
+  const DriftState before = watchdog_.state(outcome.array_idx);
   watchdog_.reset(outcome.array_idx);
+  notify_state_change(outcome.array_idx, before);
+}
+
+void RecoveryCoordinator::notify_state_change(std::size_t array_idx,
+                                              DriftState before) const {
+  if (!state_hook_) return;
+  const DriftState now = watchdog_.state(array_idx);
+  if (now != before) state_hook_(array_idx, before, now);
 }
 
 std::vector<std::size_t> RecoveryCoordinator::end_epoch(
@@ -89,7 +98,9 @@ std::vector<std::size_t> RecoveryCoordinator::end_epoch(
           .gauge("dwatch_recovery_drift_residual")
           .set(score);
     }
+    const DriftState before = watchdog_.state(a);
     const DriftState state = watchdog_.observe(a, score);
+    notify_state_change(a, before);
     if (state != DriftState::kDrifting) continue;
     any_drifting = true;
     if (recalibration_.busy() || epoch < cooldown_until_[a]) continue;

@@ -25,6 +25,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -63,6 +64,18 @@ class RecoveryCoordinator {
   RecoveryCoordinator(core::DWatchPipeline& pipeline,
                       std::vector<core::WirelessCalibrator> calibrators,
                       CheckpointStore store, RecoveryOptions options = {});
+
+  /// Called whenever an array's drift-watchdog state changes (the
+  /// observe path in end_epoch, and the forced re-learn after a
+  /// swap/rollback). Runs on whatever thread drove the transition —
+  /// end_epoch's caller — so a thread-safe consumer is required when
+  /// epochs run on a pool. The telemetry plane uses this as a
+  /// flight-recorder dump trigger.
+  using StateChangeHook = std::function<void(
+      std::size_t array_idx, DriftState from, DriftState to)>;
+  void set_state_change_hook(StateChangeHook hook) {
+    state_hook_ = std::move(hook);
+  }
 
   /// Optional state joined into checkpoints (non-owning; nullptr
   /// detaches). Attach before the first end_epoch()/restore().
@@ -116,6 +129,9 @@ class RecoveryCoordinator {
   void apply_outcome(const RecalibrationOutcome& outcome,
                      std::uint64_t epoch,
                      std::vector<std::size_t>& invalidated);
+  /// Fire state_hook_ when the watchdog state of `array_idx` no longer
+  /// equals `before` (captured by the caller before the mutation).
+  void notify_state_change(std::size_t array_idx, DriftState before) const;
 
   core::DWatchPipeline& pipeline_;
   std::vector<core::WirelessCalibrator> calibrators_;
@@ -124,6 +140,7 @@ class RecoveryCoordinator {
   DriftWatchdog watchdog_;
   RecalibrationManager recalibration_;
   RecoveryStats stats_;
+  StateChangeHook state_hook_;
   core::KalmanTracker* kalman_ = nullptr;
   core::AlphaBetaTracker* alpha_beta_ = nullptr;
   rfid::SnapshotAssembler* assembler_ = nullptr;

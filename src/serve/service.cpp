@@ -130,7 +130,8 @@ void LocalizationService::process_epoch(PendingEpoch&& epoch) {
   Zone& z = registry_.zone(epoch.zone);
   core::DWatchPipeline& pipeline = z.pipeline();
 
-  const std::uint64_t t0 = obs::enabled() ? steady_now_us() : 0;
+  const bool timed = obs::enabled() || static_cast<bool>(epoch_observer_);
+  const std::uint64_t t0 = timed ? steady_now_us() : 0;
 
   // Exactly the standalone recipe: begin, observe in arrival order,
   // fix. Anything fancier here would break the bit-identical-to-
@@ -151,20 +152,48 @@ void LocalizationService::process_epoch(PendingEpoch&& epoch) {
   fixes_[epoch.zone].push_back(
       ZoneFix{epoch.seq, epoch.watermark_us, fix});
 
-  if (recovery::RecoveryCoordinator* coordinator = z.coordinator()) {
+  recovery::RecoveryCoordinator* coordinator = z.coordinator();
+  if (coordinator != nullptr) {
     std::vector<std::vector<core::CalibrationMeasurement>> anchors =
         std::move(epoch.anchors);
     anchors.resize(pipeline.num_arrays());
     (void)coordinator->end_epoch(epoch.seq, anchors);
   }
 
+  const std::uint64_t latency_us = timed ? steady_now_us() - t0 : 0;
   if (obs::enabled()) {
     auto& reg = obs::MetricsRegistry::global();
     const std::string label = zone_label(z.name());
     reg.counter("dwatch_serve_epochs_total", label).inc();
-    const auto bounds = obs::Histogram::default_latency_bounds_us();
+    const auto bounds = obs::Histogram::stage_latency_bounds_us();
     reg.histogram("dwatch_serve_fix_latency_us", bounds, label)
-        .observe(static_cast<double>(steady_now_us() - t0));
+        .observe(static_cast<double>(latency_us));
+  }
+
+  if (epoch_observer_) {
+    // Built HERE, on the zone's task thread: stats / watchdog /
+    // coordinator reads race with nothing, and the observer gets one
+    // self-contained value it can hand across threads.
+    EpochObservation observation;
+    observation.zone = epoch.zone;
+    observation.seq = epoch.seq;
+    observation.watermark_us = epoch.watermark_us;
+    observation.fix_latency_us = latency_us;
+    observation.reports = epoch.reports.size();
+    observation.fix_valid = fix.estimate.valid;
+    observation.fix_degraded = fix.confidence.degraded();
+    observation.confidence = fix.confidence;
+    observation.stats = stats;
+    if (coordinator != nullptr) {
+      const recovery::DriftWatchdog& watchdog = coordinator->watchdog();
+      observation.drift_states.reserve(watchdog.num_arrays());
+      for (std::size_t a = 0; a < watchdog.num_arrays(); ++a) {
+        observation.drift_states.push_back(
+            static_cast<std::uint8_t>(watchdog.state(a)));
+      }
+      observation.recovery = coordinator->stats();
+    }
+    epoch_observer_(observation);
   }
 }
 
@@ -180,6 +209,7 @@ void LocalizationService::note_shed(const PendingEpoch& epoch) {
                                      .field("seq", epoch.seq)
                                      .field("reports", epoch.reports.size()));
   }
+  if (shed_observer_) shed_observer_(epoch.zone, epoch.seq);
 }
 
 const std::vector<ZoneFix>& LocalizationService::fixes(

@@ -57,6 +57,31 @@ struct ZoneFix {
   core::ConfidentEstimate result;
 };
 
+/// Everything the telemetry plane needs to know about one processed
+/// epoch, captured on the zone's own task thread (so coordinator /
+/// stats reads race with nothing). Purely observational: installing an
+/// observer can never change a fix.
+struct EpochObservation {
+  std::size_t zone = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t watermark_us = 0;
+  /// Wall-clock fix latency. The ONLY non-deterministic field — SLO
+  /// latency budgets consume it; deterministic consumers (the flight
+  /// recorder) must ignore it.
+  std::uint64_t fix_latency_us = 0;
+  std::size_t reports = 0;  ///< reports folded into this epoch
+  bool fix_valid = false;
+  bool fix_degraded = false;
+  core::ConfidenceReport confidence;
+  /// Cumulative serving counters after this epoch.
+  ZoneServingStats stats;
+  /// Per-array recovery::DriftState (empty when the zone has no
+  /// coordinator).
+  std::vector<std::uint8_t> drift_states;
+  /// Coordinator lifetime stats (zero-initialized when no coordinator).
+  recovery::RecoveryStats recovery;
+};
+
 /// Service-wide roll-up of the per-zone serving counters.
 struct ServiceStats {
   std::size_t zones = 0;
@@ -137,6 +162,21 @@ class LocalizationService {
   /// of epochs processed.
   std::size_t run_pending();
 
+  /// Telemetry taps. The epoch observer runs on the zone's scheduler
+  /// task (distinct zones may call it CONCURRENTLY — it must be
+  /// thread-safe; one zone's calls are always serial, in epoch order).
+  /// The shed observer runs on the sealing thread. Both are purely
+  /// observational: fixes are bit-identical with or without them.
+  using EpochObserver = std::function<void(const EpochObservation&)>;
+  using ShedObserver =
+      std::function<void(std::size_t zone, std::uint64_t seq)>;
+  void set_epoch_observer(EpochObserver observer) {
+    epoch_observer_ = std::move(observer);
+  }
+  void set_shed_observer(ShedObserver observer) {
+    shed_observer_ = std::move(observer);
+  }
+
   /// Every fix the zone has produced, in epoch order.
   [[nodiscard]] const std::vector<ZoneFix>& fixes(std::size_t zone) const;
 
@@ -152,6 +192,8 @@ class LocalizationService {
 
   ServiceOptions options_;
   std::shared_ptr<core::ThreadPool> pool_;
+  EpochObserver epoch_observer_;
+  ShedObserver shed_observer_;
   ZoneRegistry registry_;
   SessionRouter router_;
   EpochScheduler scheduler_;

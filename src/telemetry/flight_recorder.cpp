@@ -1,0 +1,213 @@
+#include "telemetry/flight_recorder.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/event_log.hpp"
+
+namespace dwatch::telemetry {
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  const int n = std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out.append(buf, static_cast<std::size_t>(n));
+}
+
+void append_kv(std::string& out, const char* key, std::uint64_t value,
+               bool first = false) {
+  if (!first) out += ',';
+  out += '"';
+  out += key;
+  out += "\":";
+  out += std::to_string(value);
+}
+
+void append_confidence(std::string& out, const core::ConfidenceReport& c) {
+  out += "{\"arrays_total\":";
+  out += std::to_string(c.arrays_total);
+  append_kv(out, "arrays_with_evidence", c.arrays_with_evidence);
+  append_kv(out, "arrays_excluded", c.arrays_excluded);
+  append_kv(out, "observations", c.observations);
+  append_kv(out, "observations_skipped", c.observations_skipped);
+  append_kv(out, "stale_observations", c.stale_observations);
+  append_kv(out, "low_snapshot_observations", c.low_snapshot_observations);
+  append_kv(out, "malformed_observations", c.malformed_observations);
+  append_kv(out, "drops_detected", c.drops_detected);
+  append_kv(out, "reports_dropped", c.reports_dropped);
+  append_kv(out, "transport_retries", c.transport_retries);
+  append_kv(out, "transport_timeouts", c.transport_timeouts);
+  out += ",\"rss_mode\":";
+  out += c.rss_mode ? "true" : "false";
+  out += ",\"phase_health\":";
+  append_double(out, c.phase_health);
+  out += '}';
+}
+
+void append_stats(std::string& out, const serve::ZoneServingStats& s) {
+  out += "{\"epochs_submitted\":";
+  out += std::to_string(s.epochs_submitted);
+  append_kv(out, "epochs_processed", s.epochs_processed);
+  append_kv(out, "epochs_shed", s.epochs_shed);
+  append_kv(out, "reports_routed", s.reports_routed);
+  append_kv(out, "fixes_valid", s.fixes_valid);
+  append_kv(out, "fixes_degraded", s.fixes_degraded);
+  out += '}';
+}
+
+void append_recovery(std::string& out, const recovery::RecoveryStats& r) {
+  out += "{\"checkpoints_written\":";
+  out += std::to_string(r.checkpoints_written);
+  append_kv(out, "checkpoint_crashes", r.checkpoint_crashes);
+  append_kv(out, "restores", r.restores);
+  append_kv(out, "recalibrations_triggered", r.recalibrations_triggered);
+  append_kv(out, "recalibrations_accepted", r.recalibrations_accepted);
+  append_kv(out, "recalibrations_rolled_back", r.recalibrations_rolled_back);
+  append_kv(out, "baselines_invalidated", r.baselines_invalidated);
+  append_kv(out, "drift_epochs", r.drift_epochs);
+  append_kv(out, "epochs_aborted", r.epochs_aborted);
+  out += '}';
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t ring_epochs)
+    : ring_epochs_(ring_epochs) {
+  if (ring_epochs_ == 0) {
+    throw std::invalid_argument("FlightRecorder: ring_epochs must be >= 1");
+  }
+}
+
+void FlightRecorder::push_locked(std::size_t zone, EpochSnapshot snapshot) {
+  auto& ring = zones_[zone];
+  if (ring.epochs.size() == ring_epochs_) ring.epochs.pop_front();
+  ring.epochs.push_back(std::move(snapshot));
+  ++ring.total_recorded;
+}
+
+void FlightRecorder::record(const serve::EpochObservation& observation) {
+  EpochSnapshot snapshot;
+  snapshot.seq = observation.seq;
+  snapshot.watermark_us = observation.watermark_us;
+  snapshot.shed = false;
+  snapshot.reports = observation.reports;
+  snapshot.fix_valid = observation.fix_valid;
+  snapshot.fix_degraded = observation.fix_degraded;
+  snapshot.confidence = observation.confidence;
+  snapshot.stats = observation.stats;
+  snapshot.drift_states = observation.drift_states;
+  snapshot.recovery = observation.recovery;
+  std::lock_guard lock(mutex_);
+  push_locked(observation.zone, std::move(snapshot));
+}
+
+void FlightRecorder::record_shed(std::size_t zone, std::uint64_t seq) {
+  EpochSnapshot snapshot;
+  snapshot.seq = seq;
+  snapshot.shed = true;
+  std::lock_guard lock(mutex_);
+  push_locked(zone, std::move(snapshot));
+}
+
+void FlightRecorder::record_drift_transition(std::size_t zone,
+                                             std::size_t array_idx,
+                                             std::uint8_t from,
+                                             std::uint8_t to) {
+  std::lock_guard lock(mutex_);
+  auto& ring = zones_[zone];
+  if (ring.drift_log.size() == ring_epochs_) ring.drift_log.pop_front();
+  ring.drift_log.push_back(
+      DriftTransition{ring.total_recorded, array_idx, from, to});
+}
+
+std::size_t FlightRecorder::buffered(std::size_t zone) const {
+  std::lock_guard lock(mutex_);
+  const auto it = zones_.find(zone);
+  return it == zones_.end() ? 0 : it->second.epochs.size();
+}
+
+std::uint64_t FlightRecorder::dumps() const {
+  std::lock_guard lock(mutex_);
+  return dump_seq_;
+}
+
+void FlightRecorder::write_dump(std::ostream& os, std::string_view trigger) {
+  std::string out;
+  out.reserve(16 * 1024);
+  std::lock_guard lock(mutex_);
+  ++dump_seq_;
+  out += "{\"trigger\":\"";
+  obs::append_json_escaped(out, trigger);
+  out += "\",\"dump_seq\":";
+  out += std::to_string(dump_seq_);
+  out += ",\"ring_epochs\":";
+  out += std::to_string(ring_epochs_);
+  out += ",\"zones\":[";
+  bool first_zone = true;
+  for (const auto& [zone, ring] : zones_) {
+    if (!first_zone) out += ',';
+    first_zone = false;
+    out += "{\"zone\":";
+    out += std::to_string(zone);
+    out += ",\"total_recorded\":";
+    out += std::to_string(ring.total_recorded);
+    out += ",\"epochs\":[";
+    bool first_epoch = true;
+    for (const auto& e : ring.epochs) {
+      if (!first_epoch) out += ',';
+      first_epoch = false;
+      out += "{\"seq\":";
+      out += std::to_string(e.seq);
+      out += ",\"shed\":";
+      out += e.shed ? "true" : "false";
+      if (e.shed) {
+        out += '}';
+        continue;
+      }
+      append_kv(out, "watermark_us", e.watermark_us);
+      append_kv(out, "reports", e.reports);
+      out += ",\"fix_valid\":";
+      out += e.fix_valid ? "true" : "false";
+      out += ",\"fix_degraded\":";
+      out += e.fix_degraded ? "true" : "false";
+      out += ",\"confidence\":";
+      append_confidence(out, e.confidence);
+      out += ",\"stats\":";
+      append_stats(out, e.stats);
+      out += ",\"drift_states\":[";
+      for (std::size_t i = 0; i < e.drift_states.size(); ++i) {
+        if (i != 0) out += ',';
+        out += std::to_string(static_cast<unsigned>(e.drift_states[i]));
+      }
+      out += "],\"recovery\":";
+      append_recovery(out, e.recovery);
+      out += '}';
+    }
+    out += "],\"drift_transitions\":[";
+    bool first_transition = true;
+    for (const auto& t : ring.drift_log) {
+      if (!first_transition) out += ',';
+      first_transition = false;
+      out += "{\"at_epoch\":";
+      out += std::to_string(t.at_epoch);
+      append_kv(out, "array", t.array_idx);
+      append_kv(out, "from", t.from);
+      append_kv(out, "to", t.to);
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += "]}";
+  os << out;
+}
+
+std::string FlightRecorder::dump(std::string_view trigger) {
+  std::ostringstream os;
+  write_dump(os, trigger);
+  return os.str();
+}
+
+}  // namespace dwatch::telemetry

@@ -1,0 +1,93 @@
+// Dump-on-trigger flight recorder: bounded per-zone rings of epoch
+// snapshots that cost almost nothing while everything is healthy, and
+// become a post-mortem bundle the moment something is not.
+//
+// Determinism contract: a snapshot holds ONLY deterministic facts about
+// an epoch (seq, watermark, confidence, cumulative counters, drift
+// states) — never wall-clock latency. Two identical runs therefore
+// produce byte-for-byte identical dump() bodies, which is what makes a
+// bundle diffable against a known-good run; the test suite enforces
+// this. The only run-varying field is the trigger string and dump_seq
+// the CALLER passes into context at dump time.
+//
+// Triggers (wired by TelemetryPlane): SLO fast-burn alerts, scheduler
+// sheds, drift-watchdog state changes, and manual POST /dump.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/service.hpp"
+
+namespace dwatch::telemetry {
+
+class FlightRecorder {
+ public:
+  /// `ring_epochs`: snapshots retained per zone (oldest overwritten).
+  explicit FlightRecorder(std::size_t ring_epochs = 64);
+
+  /// Record one processed epoch (called from the zone's task thread —
+  /// concurrent across zones, serial within one).
+  void record(const serve::EpochObservation& observation);
+  /// Record a shed epoch (no observation exists for it).
+  void record_shed(std::size_t zone, std::uint64_t seq);
+  /// Record a drift-watchdog transition for `zone`'s array `array_idx`.
+  void record_drift_transition(std::size_t zone, std::size_t array_idx,
+                               std::uint8_t from, std::uint8_t to);
+
+  [[nodiscard]] std::size_t ring_epochs() const noexcept {
+    return ring_epochs_;
+  }
+  /// Epochs currently buffered for `zone` (<= ring_epochs).
+  [[nodiscard]] std::size_t buffered(std::size_t zone) const;
+  /// Dumps taken so far.
+  [[nodiscard]] std::uint64_t dumps() const;
+
+  /// Serialize the full bundle as one deterministic JSON object:
+  /// {"trigger":...,"dump_seq":N,"zones":[...]} with zones sorted by id
+  /// and epochs oldest-to-newest. Does not clear the rings — a dump is
+  /// a read, not a drain.
+  void write_dump(std::ostream& os, std::string_view trigger);
+  [[nodiscard]] std::string dump(std::string_view trigger);
+
+ private:
+  struct DriftTransition {
+    std::uint64_t at_epoch = 0;  ///< zone epochs recorded when it fired
+    std::size_t array_idx = 0;
+    std::uint8_t from = 0;
+    std::uint8_t to = 0;
+  };
+  struct EpochSnapshot {
+    std::uint64_t seq = 0;
+    std::uint64_t watermark_us = 0;
+    bool shed = false;
+    std::size_t reports = 0;
+    bool fix_valid = false;
+    bool fix_degraded = false;
+    core::ConfidenceReport confidence;
+    serve::ZoneServingStats stats;
+    std::vector<std::uint8_t> drift_states;
+    recovery::RecoveryStats recovery;
+  };
+  struct ZoneRing {
+    std::deque<EpochSnapshot> epochs;       ///< bounded by ring_epochs_
+    std::deque<DriftTransition> drift_log;  ///< bounded by ring_epochs_
+    std::uint64_t total_recorded = 0;
+  };
+
+  void push_locked(std::size_t zone, EpochSnapshot snapshot);
+
+  const std::size_t ring_epochs_;
+  mutable std::mutex mutex_;
+  std::map<std::size_t, ZoneRing> zones_;
+  std::uint64_t dump_seq_ = 0;
+};
+
+}  // namespace dwatch::telemetry

@@ -1,0 +1,116 @@
+#include "telemetry/http_client.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace dwatch::telemetry {
+
+HttpResult http_fetch(std::uint16_t port, std::string_view method,
+                      std::string_view path, std::string_view body) {
+  HttpResult result;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return result;
+
+  timeval tv{};
+  tv.tv_sec = 5;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return result;
+  }
+
+  std::string request;
+  request.reserve(128 + body.size());
+  request.append(method);
+  request += ' ';
+  request.append(path);
+  request += " HTTP/1.0\r\nHost: 127.0.0.1\r\nContent-Length: ";
+  request += std::to_string(body.size());
+  request += "\r\nConnection: close\r\n\r\n";
+  request.append(body);
+  std::size_t off = 0;
+  while (off < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + off, request.size() - off,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) {
+      ::close(fd);
+      return result;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  // "HTTP/1.0 200 OK\r\n...headers...\r\n\r\nbody"
+  const std::size_t sp = raw.find(' ');
+  const std::size_t header_end = raw.find("\r\n\r\n");
+  if (sp == std::string::npos || header_end == std::string::npos ||
+      sp + 4 > raw.size()) {
+    return result;
+  }
+  result.status = 0;
+  for (std::size_t i = sp + 1; i < raw.size() && raw[i] >= '0' &&
+                               raw[i] <= '9';
+       ++i) {
+    result.status = result.status * 10 + (raw[i] - '0');
+  }
+  if (result.status == 0) return result;
+
+  static constexpr std::string_view kCt = "content-type:";
+  const std::string_view head = std::string_view(raw).substr(0, header_end);
+  for (std::size_t pos = 0; pos < head.size();) {
+    std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    std::string_view hline = head.substr(pos, eol - pos);
+    if (hline.size() > kCt.size()) {
+      bool match = true;
+      for (std::size_t i = 0; i < kCt.size(); ++i) {
+        const char c = hline[i];
+        const char lower =
+            (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+        if (lower != kCt[i]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        std::string_view value = hline.substr(kCt.size());
+        while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+          value.remove_prefix(1);
+        }
+        result.content_type = std::string(value);
+      }
+    }
+    pos = eol + 2;
+    if (eol == head.size()) break;
+  }
+
+  result.body = raw.substr(header_end + 4);
+  result.ok = true;
+  return result;
+}
+
+}  // namespace dwatch::telemetry

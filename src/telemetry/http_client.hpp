@@ -1,0 +1,31 @@
+// Minimal loopback HTTP/1.0 client: one blocking request/response per
+// call. This exists so the golden scrape tests and the example's
+// --selfcheck mode exercise the REAL socket path (connect → request →
+// parse status → read close-delimited body) without depending on curl
+// being installed in the build environment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dwatch::telemetry {
+
+struct HttpResult {
+  /// False when the TCP connection or the status line failed; `status`
+  /// and `body` are meaningless then.
+  bool ok = false;
+  int status = 0;
+  std::string content_type;
+  std::string body;
+};
+
+/// Blocking fetch of http://127.0.0.1:`port``path`. `path` may carry a
+/// query string. The response body is read to EOF (the server closes
+/// after each response).
+[[nodiscard]] HttpResult http_fetch(std::uint16_t port,
+                                    std::string_view method,
+                                    std::string_view path,
+                                    std::string_view body = {});
+
+}  // namespace dwatch::telemetry

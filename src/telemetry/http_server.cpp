@@ -1,0 +1,262 @@
+#include "telemetry/http_server.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+namespace dwatch::telemetry {
+
+namespace {
+
+constexpr std::size_t kMaxHeadBytes = 64 * 1024;
+constexpr std::size_t kMaxBodyBytes = 1024 * 1024;
+
+[[nodiscard]] const char* reason_phrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+/// Case-insensitive scan of the raw header block for `Content-Length`.
+[[nodiscard]] std::size_t content_length(std::string_view head) {
+  static constexpr std::string_view kKey = "content-length:";
+  for (std::size_t pos = 0; pos < head.size();) {
+    std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    const std::string_view line = head.substr(pos, eol - pos);
+    if (line.size() > kKey.size()) {
+      bool match = true;
+      for (std::size_t i = 0; i < kKey.size(); ++i) {
+        const char c = line[i];
+        const char lower =
+            (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+        if (lower != kKey[i]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        std::size_t value = 0;
+        for (std::size_t i = kKey.size(); i < line.size(); ++i) {
+          const char c = line[i];
+          if (c == ' ' || c == '\t') continue;
+          if (c < '0' || c > '9') return value;
+          value = value * 10 + static_cast<std::size_t>(c - '0');
+          if (value > kMaxBodyBytes) return kMaxBodyBytes + 1;
+        }
+        return value;
+      }
+    }
+    pos = eol + 2;
+    if (eol == head.size()) break;
+  }
+  return 0;
+}
+
+void send_all(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) return;  // peer gone; a scrape retry is the recovery
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+std::string query_param(std::string_view query, std::string_view key,
+                        std::string_view fallback) {
+  for (std::size_t pos = 0; pos < query.size();) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string_view::npos) amp = query.size();
+    const std::string_view pair = query.substr(pos, amp - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key &&
+        eq + 1 < pair.size()) {
+      return std::string(pair.substr(eq + 1));
+    }
+    pos = amp + 1;
+  }
+  return std::string(fallback);
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::handle(std::string method, std::string path,
+                        Handler handler) {
+  if (running()) {
+    throw std::logic_error(
+        "telemetry::HttpServer: routes are fixed once started");
+  }
+  routes_[{std::move(method), std::move(path)}] = std::move(handler);
+}
+
+void HttpServer::start(std::uint16_t port) {
+  if (running()) {
+    throw std::logic_error("telemetry::HttpServer: already running");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::system_error(errno, std::generic_category(),
+                            "telemetry::HttpServer: socket");
+  }
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::system_error(err, std::generic_category(),
+                            "telemetry::HttpServer: bind 127.0.0.1");
+  }
+  if (::listen(fd, 16) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::system_error(err, std::generic_category(),
+                            "telemetry::HttpServer: listen");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::system_error(err, std::generic_category(),
+                            "telemetry::HttpServer: getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { accept_loop(); });
+}
+
+void HttpServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  // shutdown() on the listening socket makes the blocked accept()
+  // return with an error on Linux — the portable-enough way to kick
+  // the loop without a self-connect.
+  (void)::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void HttpServer::accept_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // shutdown() or a fatal socket error: loop is done
+    }
+    // A stalled client times out instead of wedging the (single)
+    // accept thread. 5 s is generous for a loopback scrape.
+    timeval tv{};
+    tv.tv_sec = 5;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    serve_connection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpServer::serve_connection(int fd) {
+  std::string head;
+  head.reserve(1024);
+  std::size_t header_end = std::string::npos;
+  char buf[4096];
+  while (head.size() < kMaxHeadBytes) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return;
+    head.append(buf, static_cast<std::size_t>(n));
+    header_end = head.find("\r\n\r\n");
+    if (header_end != std::string::npos) break;
+  }
+  if (header_end == std::string::npos) return;
+
+  // Request line: METHOD SP PATH[?QUERY] SP VERSION.
+  const std::size_t line_end = head.find("\r\n");
+  const std::string_view line = std::string_view(head).substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+  HttpResponse response;
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    response = HttpResponse{400, "text/plain; charset=utf-8",
+                            "malformed request line\n"};
+  } else {
+    HttpRequest request;
+    request.method = std::string(line.substr(0, sp1));
+    std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::size_t qmark = target.find('?');
+    if (qmark != std::string_view::npos) {
+      request.query = std::string(target.substr(qmark + 1));
+      target = target.substr(0, qmark);
+    }
+    request.path = std::string(target);
+
+    const std::size_t want =
+        content_length(std::string_view(head).substr(0, header_end));
+    if (want > kMaxBodyBytes) {
+      response = HttpResponse{400, "text/plain; charset=utf-8",
+                              "body too large\n"};
+    } else {
+      request.body = head.substr(header_end + 4);
+      while (request.body.size() < want) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0) break;
+        request.body.append(buf, static_cast<std::size_t>(n));
+      }
+      const auto it = routes_.find({request.method, request.path});
+      if (it == routes_.end()) {
+        response = HttpResponse{404, "text/plain; charset=utf-8",
+                                "no such endpoint\n"};
+      } else {
+        response = it->second(request);
+      }
+    }
+  }
+
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  std::string out = "HTTP/1.0 ";
+  out += std::to_string(response.status);
+  out += ' ';
+  out += reason_phrase(response.status);
+  out += "\r\nContent-Type: ";
+  out += response.content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(response.body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += response.body;
+  send_all(fd, out);
+}
+
+}  // namespace dwatch::telemetry

@@ -1,0 +1,104 @@
+// Embedded scrape endpoint: a deliberately tiny TCP/HTTP 1.0 server.
+//
+// The telemetry plane needs exactly one network capability: let an
+// external scraper GET a handful of read-only documents (and POST one
+// trigger) from the serving process. That justifies nothing fancier
+// than POSIX sockets and a single blocking accept loop on a dedicated
+// thread:
+//
+//  * HTTP/1.0, Connection: close — one request per connection, no
+//    keep-alive state machine, response framed by Content-Length;
+//  * loopback only (binds 127.0.0.1) — an ops sidecar or SSH tunnel
+//    re-exports it; the fix path never trusts this socket for input;
+//  * handlers are registered BEFORE start() and never mutated after,
+//    so the accept thread reads the route table without locking
+//    (TSan-verified by the telemetry concurrency test);
+//  * slow or hostile clients cannot wedge the loop forever: reads are
+//    capped (64 KiB head, 1 MiB body) and carry a socket timeout.
+//
+// This is the first network surface of ROADMAP item 2's wire split;
+// the LLRP ingest frontier will be a separate, async door — telemetry
+// stays on its own port and thread so a scrape can never contend with
+// ingest.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+
+namespace dwatch::telemetry {
+
+/// One parsed request, just enough for routing: `GET /events?n=10`
+/// yields method="GET", path="/events", query="n=10".
+struct HttpRequest {
+  std::string method;
+  std::string path;
+  std::string query;
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Returns the value of `key` in an urlencoded query string, or
+/// `fallback` when absent/empty (no %-decoding: telemetry queries are
+/// plain integers).
+[[nodiscard]] std::string query_param(std::string_view query,
+                                      std::string_view key,
+                                      std::string_view fallback = {});
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer() = default;
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Register `handler` for exact (method, path). Must be called before
+  /// start(); throws std::logic_error afterwards (the accept thread
+  /// reads the table unlocked).
+  void handle(std::string method, std::string path, Handler handler);
+
+  /// Bind 127.0.0.1:`port` (0 = kernel-assigned, see port()) and start
+  /// the accept thread. Throws std::system_error on socket failures and
+  /// std::logic_error when already running.
+  void start(std::uint16_t port = 0);
+
+  /// Stop the accept loop and join the thread. Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+  /// The bound port (the kernel's pick when start(0)); 0 when never
+  /// started.
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  /// Requests served since start (including 404s).
+  [[nodiscard]] std::uint64_t requests_served() const noexcept {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  std::map<std::pair<std::string, std::string>, Handler> routes_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace dwatch::telemetry

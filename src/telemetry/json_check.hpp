@@ -1,0 +1,25 @@
+// Strict RFC 8259 JSON validator (recursive descent, no DOM). The
+// telemetry endpoints hand-render their JSON for determinism; this is
+// the independent checker that keeps them honest — the endpoint tests
+// and scripts/check.sh's scrape stage reject any body it refuses.
+// Strictness over permissiveness: no trailing commas, no comments, no
+// bare NaN/Infinity, exactly one top-level value, nothing after it.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace dwatch::telemetry {
+
+/// True when `text` is one complete, valid JSON value (with optional
+/// surrounding ASCII whitespace). On failure `error`, when non-null,
+/// receives a short reason with a byte offset.
+[[nodiscard]] bool json_valid(std::string_view text,
+                              std::string* error = nullptr);
+
+/// Every non-empty line must be one valid JSON value (the /events
+/// JSON-Lines contract).
+[[nodiscard]] bool json_lines_valid(std::string_view text,
+                                    std::string* error = nullptr);
+
+}  // namespace dwatch::telemetry

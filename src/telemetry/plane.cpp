@@ -1,0 +1,263 @@
+#include "telemetry/plane.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/event_log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "recovery/drift_watchdog.hpp"
+#include "recovery/self_healing.hpp"
+
+namespace dwatch::telemetry {
+
+namespace {
+
+constexpr const char* kTextPlain = "text/plain; charset=utf-8";
+constexpr const char* kJson = "application/json";
+/// The content type Prometheus scrapers negotiate for text format.
+constexpr const char* kPrometheus = "text/plain; version=0.0.4; charset=utf-8";
+
+/// RMSE proxy for the quality objective: an epoch breaches when it
+/// produced no usable fix, fell back to the RSS-only path (paper §6
+/// shows roughly 3x the phase-path error), or its inter-element phase
+/// coherence collapsed below 0.5.
+[[nodiscard]] bool quality_breach(const serve::EpochObservation& o) {
+  return !o.fix_valid || o.confidence.rss_mode ||
+         o.confidence.phase_health < 0.5;
+}
+
+}  // namespace
+
+TelemetryPlane::TelemetryPlane(TelemetryOptions options)
+    : options_(options),
+      slo_(options.slo),
+      recorder_(options.recorder_ring_epochs) {
+  slo_.set_burn_alert_hook(
+      [this](std::size_t zone, SloObjective objective, double burn) {
+        (void)burn;
+        if (options_.dump_on_fast_burn) {
+          auto_dump("slo.fast_burn zone=" + std::to_string(zone) +
+                    " objective=" + to_string(objective));
+        }
+      });
+  install_routes();
+}
+
+TelemetryPlane::~TelemetryPlane() { stop(); }
+
+void TelemetryPlane::attach(serve::LocalizationService& service) {
+  service.set_epoch_observer(
+      [this](const serve::EpochObservation& o) { on_epoch(o); });
+  service.set_shed_observer(
+      [this](std::size_t zone, std::uint64_t seq) { on_shed(zone, seq); });
+  for (std::size_t z = 0; z < service.num_zones(); ++z) {
+    recovery::RecoveryCoordinator* coordinator = service.zone(z).coordinator();
+    if (coordinator == nullptr) continue;
+    coordinator->set_state_change_hook(
+        [this, z](std::size_t array_idx, recovery::DriftState from,
+                  recovery::DriftState to) {
+          on_drift(z, array_idx, static_cast<std::uint8_t>(from),
+                   static_cast<std::uint8_t>(to));
+        });
+  }
+}
+
+void TelemetryPlane::start(std::uint16_t port) { server_.start(port); }
+
+void TelemetryPlane::stop() { server_.stop(); }
+
+void TelemetryPlane::on_epoch(const serve::EpochObservation& observation) {
+  // Record BEFORE the SLO observe so a fast-burn dump triggered by this
+  // very epoch already contains it.
+  recorder_.record(observation);
+  {
+    std::lock_guard lock(mutex_);
+    auto& zone = health_[observation.zone];
+    ++zone.epochs;
+    zone.last_seq = observation.seq;
+    zone.last_fix_valid = observation.fix_valid;
+    zone.last_fix_degraded = observation.fix_degraded;
+    zone.drift_states = observation.drift_states;
+  }
+  slo_.observe_fix(observation.zone, observation.fix_latency_us,
+                   quality_breach(observation));
+}
+
+void TelemetryPlane::on_shed(std::size_t zone, std::uint64_t seq) {
+  recorder_.record_shed(zone, seq);
+  {
+    std::lock_guard lock(mutex_);
+    auto& state = health_[zone];
+    ++state.sheds;
+    state.last_seq = seq;
+  }
+  slo_.observe_shed(zone);
+  if (options_.dump_on_shed) {
+    auto_dump("shed zone=" + std::to_string(zone));
+  }
+}
+
+void TelemetryPlane::on_drift(std::size_t zone, std::size_t array_idx,
+                              std::uint8_t from, std::uint8_t to) {
+  recorder_.record_drift_transition(zone, array_idx, from, to);
+  if (options_.dump_on_drift &&
+      to == static_cast<std::uint8_t>(recovery::DriftState::kDrifting)) {
+    auto_dump("drift zone=" + std::to_string(zone) +
+              " array=" + std::to_string(array_idx));
+  }
+}
+
+void TelemetryPlane::auto_dump(const std::string& trigger) {
+  {
+    std::lock_guard lock(mutex_);
+    if (auto_dumps_ >= options_.auto_dump_limit) return;
+    ++auto_dumps_;
+  }
+  store_dump(recorder_.dump(trigger));
+}
+
+std::string TelemetryPlane::trigger_dump(std::string_view trigger) {
+  std::string bundle = recorder_.dump(trigger);
+  store_dump(bundle);
+  return bundle;
+}
+
+void TelemetryPlane::store_dump(std::string bundle) {
+  std::lock_guard lock(mutex_);
+  if (options_.max_stored_dumps == 0) return;
+  while (dumps_.size() >= options_.max_stored_dumps) dumps_.pop_front();
+  dumps_.push_back(std::move(bundle));
+}
+
+std::size_t TelemetryPlane::stored_dumps() const {
+  std::lock_guard lock(mutex_);
+  return dumps_.size();
+}
+
+std::string TelemetryPlane::last_dump() const {
+  std::lock_guard lock(mutex_);
+  return dumps_.empty() ? std::string() : dumps_.back();
+}
+
+TelemetryPlane::HealthReport TelemetryPlane::health() const {
+  HealthReport report;
+  std::string zones_json;
+  {
+    std::lock_guard lock(mutex_);
+    bool first = true;
+    for (const auto& [zone, state] : health_) {
+      const bool drifting = std::any_of(
+          state.drift_states.begin(), state.drift_states.end(),
+          [](std::uint8_t s) {
+            return s == static_cast<std::uint8_t>(
+                            recovery::DriftState::kDrifting);
+          });
+      bool latched = false;
+      for (std::size_t o = 0; o < kNumSloObjectives; ++o) {
+        if (slo_.alert_latched(zone, static_cast<SloObjective>(o))) {
+          latched = true;
+          break;
+        }
+      }
+      const bool healthy = !drifting && !latched;
+      report.healthy = report.healthy && healthy;
+      if (!first) zones_json += ',';
+      first = false;
+      zones_json += "{\"zone\":";
+      zones_json += std::to_string(zone);
+      zones_json += ",\"healthy\":";
+      zones_json += healthy ? "true" : "false";
+      zones_json += ",\"epochs\":";
+      zones_json += std::to_string(state.epochs);
+      zones_json += ",\"sheds\":";
+      zones_json += std::to_string(state.sheds);
+      zones_json += ",\"last_seq\":";
+      zones_json += std::to_string(state.last_seq);
+      zones_json += ",\"last_fix_valid\":";
+      zones_json += state.last_fix_valid ? "true" : "false";
+      zones_json += ",\"last_fix_degraded\":";
+      zones_json += state.last_fix_degraded ? "true" : "false";
+      zones_json += ",\"drifting_array\":";
+      zones_json += drifting ? "true" : "false";
+      zones_json += ",\"slo_alert_latched\":";
+      zones_json += latched ? "true" : "false";
+      zones_json += '}';
+    }
+  }
+  report.json = "{\"status\":\"";
+  report.json += report.healthy ? "ok" : "degraded";
+  report.json += "\",\"zones\":[";
+  report.json += zones_json;
+  report.json += "]}";
+  return report;
+}
+
+void TelemetryPlane::install_routes() {
+  server_.handle("GET", "/", [](const HttpRequest&) {
+    return HttpResponse{200, kTextPlain,
+                        "dwatch telemetry\n"
+                        "  GET  /metrics       Prometheus text\n"
+                        "  GET  /metrics.json  registry as JSON\n"
+                        "  GET  /healthz       200 ok / 503 degraded\n"
+                        "  GET  /slo           burn rates + budgets\n"
+                        "  GET  /events        event tail (?n=)\n"
+                        "  GET  /trace         Chrome trace JSON\n"
+                        "  POST /dump          flight-recorder dump\n"
+                        "  GET  /dump/last     last stored bundle\n"};
+  });
+  server_.handle("GET", "/metrics", [](const HttpRequest&) {
+    return HttpResponse{200, kPrometheus,
+                        obs::MetricsRegistry::global().prometheus_text()};
+  });
+  server_.handle("GET", "/metrics.json", [](const HttpRequest&) {
+    return HttpResponse{200, kJson,
+                        obs::MetricsRegistry::global().json_text()};
+  });
+  server_.handle("GET", "/healthz", [this](const HttpRequest&) {
+    const HealthReport report = health();
+    return HttpResponse{report.healthy ? 200 : 503, kJson, report.json};
+  });
+  server_.handle("GET", "/slo", [this](const HttpRequest&) {
+    return HttpResponse{200, kJson, slo_.json_text()};
+  });
+  server_.handle("GET", "/events", [this](const HttpRequest& request) {
+    std::size_t n = options_.events_tail_default;
+    const std::string raw = query_param(request.query, "n", "");
+    if (!raw.empty()) {
+      n = 0;
+      for (const char c : raw) {
+        if (c < '0' || c > '9') {
+          return HttpResponse{400, kTextPlain, "bad n\n"};
+        }
+        n = n * 10 + static_cast<std::size_t>(c - '0');
+      }
+    }
+    const std::vector<std::string> lines = obs::EventLog::global().snapshot();
+    const std::size_t start = lines.size() > n ? lines.size() - n : 0;
+    std::string body;
+    for (std::size_t i = start; i < lines.size(); ++i) {
+      body += lines[i];
+      body += '\n';
+    }
+    return HttpResponse{200, "application/x-ndjson", std::move(body)};
+  });
+  server_.handle("GET", "/trace", [](const HttpRequest&) {
+    return HttpResponse{200, kJson,
+                        obs::TraceRecorder::global().chrome_json()};
+  });
+  server_.handle("POST", "/dump", [this](const HttpRequest& request) {
+    const std::string trigger =
+        query_param(request.query, "trigger", "manual");
+    return HttpResponse{200, kJson, trigger_dump(trigger)};
+  });
+  server_.handle("GET", "/dump/last", [this](const HttpRequest&) {
+    std::string bundle = last_dump();
+    if (bundle.empty()) {
+      return HttpResponse{404, kTextPlain, "no dump stored\n"};
+    }
+    return HttpResponse{200, kJson, std::move(bundle)};
+  });
+}
+
+}  // namespace dwatch::telemetry

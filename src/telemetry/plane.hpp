@@ -1,0 +1,125 @@
+// TelemetryPlane: the operations front door for a serving fleet.
+//
+// Owns the scrape server, the SLO tracker and the flight recorder, and
+// wires them into a LocalizationService through the serve/recovery
+// observer hooks — strictly one-directional: telemetry observes serve,
+// serve never calls telemetry by name (the whole directory compiles out
+// under -DDWATCH_OBS=OFF and serve must not notice).
+//
+// Endpoints (HTTP/1.0, Connection: close, loopback only):
+//   GET  /              tiny plain-text index
+//   GET  /metrics       Prometheus text exposition
+//   GET  /metrics.json  the same registry as one JSON object
+//   GET  /healthz       aggregated fleet health; 200 ok / 503 degraded
+//   GET  /slo           per-zone burn rates + budget remaining (JSON)
+//   GET  /events        EventLog tail as JSON Lines (?n=, default 100)
+//   GET  /trace         Chrome trace JSON of the span ring
+//   POST /dump          trigger a flight-recorder dump, returns bundle
+//   GET  /dump/last     most recent stored bundle (404 when none)
+//
+// Health policy: a zone is unhealthy while any of its arrays sits in
+// DriftState::kDrifting or any SLO fast-burn alert is latched for it.
+// /healthz answers 503 whenever at least one attached zone is
+// unhealthy — the shape a load balancer or k8s probe expects.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/service.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/http_server.hpp"
+#include "telemetry/slo.hpp"
+
+namespace dwatch::telemetry {
+
+struct TelemetryOptions {
+  SloConfig slo;
+  /// Epoch snapshots retained per zone in the flight recorder.
+  std::size_t recorder_ring_epochs = 64;
+  /// Auto-dump triggers. Sheds are routine under deliberate overload,
+  /// so they default to off; turn on for incident forensics.
+  bool dump_on_fast_burn = true;
+  bool dump_on_drift = true;
+  bool dump_on_shed = false;
+  /// Bundles kept for /dump/last (oldest evicted).
+  std::size_t max_stored_dumps = 4;
+  /// Auto triggers stop dumping after this many bundles — a stuck
+  /// fast-burn must not turn the recorder into a CPU sink. Manual
+  /// POST /dump is never limited.
+  std::size_t auto_dump_limit = 16;
+  /// Default /events tail length when ?n= is absent.
+  std::size_t events_tail_default = 100;
+};
+
+class TelemetryPlane {
+ public:
+  explicit TelemetryPlane(TelemetryOptions options = {});
+  ~TelemetryPlane();
+
+  TelemetryPlane(const TelemetryPlane&) = delete;
+  TelemetryPlane& operator=(const TelemetryPlane&) = delete;
+
+  /// Install the epoch/shed observers on `service` and the drift
+  /// state-change hook on every zone coordinator. Call AFTER all
+  /// add_zone calls and BEFORE serving traffic (the hooks are plain
+  /// std::functions, unsynchronized against concurrent install).
+  /// `service` must outlive this plane.
+  void attach(serve::LocalizationService& service);
+
+  /// Bind + serve on 127.0.0.1:`port` (0 = ephemeral; read port()).
+  void start(std::uint16_t port = 0);
+  void stop();
+  [[nodiscard]] bool running() const noexcept { return server_.running(); }
+  [[nodiscard]] std::uint16_t port() const noexcept { return server_.port(); }
+
+  [[nodiscard]] SloTracker& slo() noexcept { return slo_; }
+  [[nodiscard]] FlightRecorder& recorder() noexcept { return recorder_; }
+  [[nodiscard]] HttpServer& server() noexcept { return server_; }
+
+  struct HealthReport {
+    bool healthy = true;
+    std::string json;  ///< the /healthz body
+  };
+  [[nodiscard]] HealthReport health() const;
+
+  /// Manual dump (same path as POST /dump): stored and returned.
+  std::string trigger_dump(std::string_view trigger);
+  [[nodiscard]] std::size_t stored_dumps() const;
+  /// Empty when no bundle has been stored yet.
+  [[nodiscard]] std::string last_dump() const;
+
+ private:
+  struct ZoneHealth {
+    std::uint64_t epochs = 0;
+    std::uint64_t sheds = 0;
+    std::uint64_t last_seq = 0;
+    bool last_fix_valid = false;
+    bool last_fix_degraded = false;
+    std::vector<std::uint8_t> drift_states;
+  };
+
+  void on_epoch(const serve::EpochObservation& observation);
+  void on_shed(std::size_t zone, std::uint64_t seq);
+  void on_drift(std::size_t zone, std::size_t array_idx, std::uint8_t from,
+                std::uint8_t to);
+  void auto_dump(const std::string& trigger);
+  void store_dump(std::string bundle);
+  void install_routes();
+
+  TelemetryOptions options_;
+  SloTracker slo_;
+  FlightRecorder recorder_;
+  HttpServer server_;
+  mutable std::mutex mutex_;  ///< health mirror + stored dumps
+  std::map<std::size_t, ZoneHealth> health_;
+  std::deque<std::string> dumps_;
+  std::uint64_t auto_dumps_ = 0;
+};
+
+}  // namespace dwatch::telemetry

@@ -1,0 +1,312 @@
+#include "telemetry/slo.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/event_log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+
+namespace dwatch::telemetry {
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  const int n = std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out.append(buf, static_cast<std::size_t>(n));
+}
+
+[[nodiscard]] obs::Gauge& slo_gauge(const char* name, std::size_t zone,
+                                    SloObjective objective,
+                                    const char* window) {
+  std::string labels = "zone=\"" + std::to_string(zone) + "\",objective=\"";
+  labels += to_string(objective);
+  labels += '"';
+  if (window != nullptr) {
+    labels += ",window=\"";
+    labels += window;
+    labels += '"';
+  }
+  return obs::MetricsRegistry::global().gauge(name, labels);
+}
+
+}  // namespace
+
+const char* to_string(SloObjective objective) noexcept {
+  switch (objective) {
+    case SloObjective::kLatency:
+      return "latency";
+    case SloObjective::kShed:
+      return "shed";
+    case SloObjective::kQuality:
+      return "quality";
+  }
+  return "unknown";
+}
+
+double SloConfig::error_budget(SloObjective objective) const noexcept {
+  switch (objective) {
+    case SloObjective::kLatency:
+      return latency_error_budget;
+    case SloObjective::kShed:
+      return shed_error_budget;
+    case SloObjective::kQuality:
+      return quality_error_budget;
+  }
+  return 1.0;
+}
+
+SloTracker::SloTracker(SloConfig config) : config_(config) {
+  if (config_.fast_window_epochs == 0 ||
+      config_.slow_window_epochs < config_.fast_window_epochs ||
+      config_.budget_period_epochs == 0) {
+    throw std::invalid_argument("SloTracker: bad window configuration");
+  }
+  for (const auto objective :
+       {SloObjective::kLatency, SloObjective::kShed, SloObjective::kQuality}) {
+    if (!(config_.error_budget(objective) > 0.0)) {
+      throw std::invalid_argument("SloTracker: error budgets must be > 0");
+    }
+  }
+}
+
+void SloTracker::set_burn_alert_hook(BurnAlertHook hook) {
+  std::lock_guard lock(mutex_);
+  alert_hook_ = std::move(hook);
+}
+
+SloTracker::ZoneState& SloTracker::zone_state_locked(std::size_t zone) {
+  auto [it, inserted] = zones_.try_emplace(zone);
+  if (inserted) {
+    for (std::size_t o = 0; o < kNumSloObjectives; ++o) {
+      auto& state = it->second.objectives[o];
+      state.ring.assign(config_.slow_window_epochs, 0);
+      const auto objective = static_cast<SloObjective>(o);
+      state.budget_gauge =
+          &slo_gauge("dwatch_slo_budget_remaining", zone, objective, nullptr);
+      state.fast_gauge =
+          &slo_gauge("dwatch_slo_burn_rate", zone, objective, "fast");
+      state.slow_gauge =
+          &slo_gauge("dwatch_slo_burn_rate", zone, objective, "slow");
+      state.budget_gauge->set(1.0);
+    }
+  }
+  return it->second;
+}
+
+double SloTracker::window_burn_locked(const ObjectiveState& state,
+                                      SloObjective objective,
+                                      std::size_t window) const {
+  const std::size_t n = std::min(window, state.filled);
+  if (n == 0) return 0.0;
+  // The ring's `head` is one past the newest entry; walk back n slots.
+  std::size_t bad = 0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    const std::size_t idx =
+        (state.head + state.ring.size() - i) % state.ring.size();
+    bad += state.ring[idx];
+  }
+  const double fraction = static_cast<double>(bad) / static_cast<double>(n);
+  return fraction / config_.error_budget(objective);
+}
+
+double SloTracker::budget_remaining_locked(const ObjectiveState& state,
+                                           SloObjective objective) const {
+  const double allowed = config_.error_budget(objective) *
+                         static_cast<double>(config_.budget_period_epochs);
+  const double remaining =
+      1.0 - static_cast<double>(state.period_bad) / allowed;
+  return std::clamp(remaining, 0.0, 1.0);
+}
+
+void SloTracker::record_locked(
+    std::size_t zone, SloObjective objective, bool bad,
+    std::vector<std::pair<SloObjective, double>>* alerts) {
+  auto& state =
+      zone_state_locked(zone).objectives[static_cast<std::size_t>(objective)];
+  if (state.period_epochs >= config_.budget_period_epochs) {
+    state.period_epochs = 0;
+    state.period_bad = 0;
+  }
+  state.ring[state.head] = bad ? 1 : 0;
+  state.head = (state.head + 1) % state.ring.size();
+  state.filled = std::min(state.filled + 1, state.ring.size());
+  ++state.period_epochs;
+  if (bad) ++state.period_bad;
+
+  const double fast =
+      window_burn_locked(state, objective, config_.fast_window_epochs);
+  const double slow =
+      window_burn_locked(state, objective, config_.slow_window_epochs);
+  state.fast_gauge->set(fast);
+  state.slow_gauge->set(slow);
+  state.budget_gauge->set(budget_remaining_locked(state, objective));
+
+  if (state.latched) {
+    if (fast < 1.0) state.latched = false;
+  } else if (fast >= config_.fast_burn_alert) {
+    state.latched = true;
+    alerts->emplace_back(objective, fast);
+  }
+}
+
+void SloTracker::observe_fix(std::size_t zone, std::uint64_t fix_latency_us,
+                             bool quality_breach) {
+  std::vector<std::pair<SloObjective, double>> alerts;
+  BurnAlertHook hook;
+  {
+    std::lock_guard lock(mutex_);
+    record_locked(zone, SloObjective::kLatency,
+                  fix_latency_us > config_.fix_latency_budget_us, &alerts);
+    record_locked(zone, SloObjective::kShed, false, &alerts);
+    record_locked(zone, SloObjective::kQuality, quality_breach, &alerts);
+    if (!alerts.empty()) hook = alert_hook_;
+  }
+  for (const auto& [objective, burn] : alerts) {
+    if (obs::enabled()) {
+      obs::EventLog::global().emit(obs::Event("slo.burn")
+                                       .field("zone", zone)
+                                       .field("objective", to_string(objective))
+                                       .field("fast_burn", burn));
+    }
+    if (hook) hook(zone, objective, burn);
+  }
+}
+
+void SloTracker::observe_shed(std::size_t zone) {
+  std::vector<std::pair<SloObjective, double>> alerts;
+  BurnAlertHook hook;
+  {
+    std::lock_guard lock(mutex_);
+    record_locked(zone, SloObjective::kShed, true, &alerts);
+    if (!alerts.empty()) hook = alert_hook_;
+  }
+  for (const auto& [objective, burn] : alerts) {
+    if (obs::enabled()) {
+      obs::EventLog::global().emit(obs::Event("slo.burn")
+                                       .field("zone", zone)
+                                       .field("objective", to_string(objective))
+                                       .field("fast_burn", burn));
+    }
+    if (hook) hook(zone, objective, burn);
+  }
+}
+
+double SloTracker::fast_burn(std::size_t zone, SloObjective objective) const {
+  std::lock_guard lock(mutex_);
+  const auto it = zones_.find(zone);
+  if (it == zones_.end()) return 0.0;
+  return window_burn_locked(
+      it->second.objectives[static_cast<std::size_t>(objective)], objective,
+      config_.fast_window_epochs);
+}
+
+double SloTracker::slow_burn(std::size_t zone, SloObjective objective) const {
+  std::lock_guard lock(mutex_);
+  const auto it = zones_.find(zone);
+  if (it == zones_.end()) return 0.0;
+  return window_burn_locked(
+      it->second.objectives[static_cast<std::size_t>(objective)], objective,
+      config_.slow_window_epochs);
+}
+
+double SloTracker::budget_remaining(std::size_t zone,
+                                    SloObjective objective) const {
+  std::lock_guard lock(mutex_);
+  const auto it = zones_.find(zone);
+  if (it == zones_.end()) return 1.0;
+  return budget_remaining_locked(
+      it->second.objectives[static_cast<std::size_t>(objective)], objective);
+}
+
+std::uint64_t SloTracker::period_epochs(std::size_t zone,
+                                        SloObjective objective) const {
+  std::lock_guard lock(mutex_);
+  const auto it = zones_.find(zone);
+  if (it == zones_.end()) return 0;
+  return it->second.objectives[static_cast<std::size_t>(objective)]
+      .period_epochs;
+}
+
+bool SloTracker::alert_latched(std::size_t zone,
+                               SloObjective objective) const {
+  std::lock_guard lock(mutex_);
+  const auto it = zones_.find(zone);
+  if (it == zones_.end()) return false;
+  return it->second.objectives[static_cast<std::size_t>(objective)].latched;
+}
+
+std::vector<std::size_t> SloTracker::zones() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::size_t> out;
+  out.reserve(zones_.size());
+  for (const auto& [zone, state] : zones_) out.push_back(zone);
+  return out;
+}
+
+void SloTracker::write_json(std::ostream& os) const {
+  std::string out;
+  out += "{\"config\":{\"fix_latency_budget_us\":";
+  out += std::to_string(config_.fix_latency_budget_us);
+  out += ",\"fast_window_epochs\":";
+  out += std::to_string(config_.fast_window_epochs);
+  out += ",\"slow_window_epochs\":";
+  out += std::to_string(config_.slow_window_epochs);
+  out += ",\"budget_period_epochs\":";
+  out += std::to_string(config_.budget_period_epochs);
+  out += ",\"fast_burn_alert\":";
+  append_double(out, config_.fast_burn_alert);
+  out += "},\"zones\":[";
+  {
+    std::lock_guard lock(mutex_);
+    bool first_zone = true;
+    for (const auto& [zone, state] : zones_) {
+      if (!first_zone) out += ',';
+      first_zone = false;
+      out += "{\"zone\":";
+      out += std::to_string(zone);
+      out += ",\"objectives\":[";
+      for (std::size_t o = 0; o < kNumSloObjectives; ++o) {
+        const auto objective = static_cast<SloObjective>(o);
+        const auto& obj = state.objectives[o];
+        if (o != 0) out += ',';
+        out += "{\"objective\":\"";
+        out += to_string(objective);
+        out += "\",\"error_budget\":";
+        append_double(out, config_.error_budget(objective));
+        out += ",\"fast_burn\":";
+        append_double(out,
+                      window_burn_locked(obj, objective,
+                                         config_.fast_window_epochs));
+        out += ",\"slow_burn\":";
+        append_double(out,
+                      window_burn_locked(obj, objective,
+                                         config_.slow_window_epochs));
+        out += ",\"budget_remaining\":";
+        append_double(out, budget_remaining_locked(obj, objective));
+        out += ",\"period_epochs\":";
+        out += std::to_string(obj.period_epochs);
+        out += ",\"period_bad\":";
+        out += std::to_string(obj.period_bad);
+        out += ",\"alert_latched\":";
+        out += obj.latched ? "true" : "false";
+        out += '}';
+      }
+      out += "]}";
+    }
+  }
+  out += "]}";
+  os << out;
+}
+
+std::string SloTracker::json_text() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+}  // namespace dwatch::telemetry

@@ -1,0 +1,140 @@
+// Per-zone SLO error budgets with multi-window burn rates.
+//
+// The clock is EPOCHS, not wall time: every observe_fix/observe_shed
+// call advances the calling zone's objective clocks by one. That keeps
+// the tracker deterministic under test (inject epochs, assert budgets)
+// and matches how the serving plane actually experiences load — a zone
+// that processes no epochs burns no budget.
+//
+// Three objectives per zone:
+//   latency  — fix latency exceeded `fix_latency_budget_us`
+//   shed     — the epoch was shed by the scheduler instead of fixed
+//   quality  — RMSE proxy breached (invalid fix / RSS-only fallback /
+//              collapsed phase health), decided by the caller
+//
+// Burn rate over a window = bad-fraction / error-budget, so 1.0 means
+// "spending exactly the allowed rate"; the fast (5-epoch) and slow
+// (60-epoch) windows implement the classic multi-window policy: the
+// fast window catches a sudden regression, the slow window stops a
+// single bad epoch from paging. A fast-burn alert latches per
+// (zone, objective) until the fast window recovers below 1.0.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dwatch::obs {
+class Gauge;
+}  // namespace dwatch::obs
+
+namespace dwatch::telemetry {
+
+enum class SloObjective : std::uint8_t {
+  kLatency = 0,
+  kShed = 1,
+  kQuality = 2,
+};
+inline constexpr std::size_t kNumSloObjectives = 3;
+
+[[nodiscard]] const char* to_string(SloObjective objective) noexcept;
+
+struct SloConfig {
+  std::uint64_t fix_latency_budget_us = 50'000;
+  /// Allowed bad-epoch fraction per objective.
+  double latency_error_budget = 0.01;
+  double shed_error_budget = 0.05;
+  double quality_error_budget = 0.05;
+  std::size_t fast_window_epochs = 5;
+  std::size_t slow_window_epochs = 60;
+  /// Budget period: the error budget refills after this many epochs.
+  std::size_t budget_period_epochs = 720;
+  /// Fast-window burn rate at which the alert hook fires (latched).
+  double fast_burn_alert = 2.0;
+
+  [[nodiscard]] double error_budget(SloObjective objective) const noexcept;
+};
+
+class SloTracker {
+ public:
+  /// Fired (outside the tracker lock, on the observing zone's thread)
+  /// when a zone/objective fast-window burn first crosses
+  /// `fast_burn_alert`; latched until the fast burn recovers below 1.0.
+  using BurnAlertHook =
+      std::function<void(std::size_t zone, SloObjective objective,
+                         double fast_burn)>;
+
+  explicit SloTracker(SloConfig config = {});
+
+  void set_burn_alert_hook(BurnAlertHook hook);
+
+  /// One fixed epoch for `zone`: advances latency/quality/shed clocks
+  /// (the fix counts as a good shed-objective epoch).
+  void observe_fix(std::size_t zone, std::uint64_t fix_latency_us,
+                   bool quality_breach);
+  /// One shed epoch for `zone`: advances only the shed clock.
+  void observe_shed(std::size_t zone);
+
+  [[nodiscard]] const SloConfig& config() const noexcept { return config_; }
+
+  /// Bad-fraction / error-budget over the fast or slow window; 0 until
+  /// the zone has observed at least one epoch for the objective.
+  [[nodiscard]] double fast_burn(std::size_t zone,
+                                 SloObjective objective) const;
+  [[nodiscard]] double slow_burn(std::size_t zone,
+                                 SloObjective objective) const;
+  /// Fraction of the period's error budget still unspent, in [0, 1].
+  /// Monotonically non-increasing within a budget period; refills to
+  /// 1.0 when the period rolls over.
+  [[nodiscard]] double budget_remaining(std::size_t zone,
+                                        SloObjective objective) const;
+  /// Objective epochs observed for `zone` in the current budget period.
+  [[nodiscard]] std::uint64_t period_epochs(std::size_t zone,
+                                            SloObjective objective) const;
+  [[nodiscard]] bool alert_latched(std::size_t zone,
+                                   SloObjective objective) const;
+  /// Zones that have observed at least one epoch, ascending.
+  [[nodiscard]] std::vector<std::size_t> zones() const;
+
+  /// Deterministic JSON: {"config":{...},"zones":[...]} sorted by zone
+  /// id, objectives in enum order. Feeds GET /slo.
+  void write_json(std::ostream& os) const;
+  [[nodiscard]] std::string json_text() const;
+
+ private:
+  struct ObjectiveState {
+    std::vector<std::uint8_t> ring;  ///< bad flags, slow-window capacity
+    std::size_t head = 0;            ///< next write position
+    std::size_t filled = 0;
+    std::uint64_t period_epochs = 0;
+    std::uint64_t period_bad = 0;
+    bool latched = false;
+    obs::Gauge* budget_gauge = nullptr;
+    obs::Gauge* fast_gauge = nullptr;
+    obs::Gauge* slow_gauge = nullptr;
+  };
+  struct ZoneState {
+    ObjectiveState objectives[kNumSloObjectives];
+  };
+
+  void record_locked(std::size_t zone, SloObjective objective, bool bad,
+                     std::vector<std::pair<SloObjective, double>>* alerts);
+  [[nodiscard]] ZoneState& zone_state_locked(std::size_t zone);
+  [[nodiscard]] double window_burn_locked(const ObjectiveState& state,
+                                          SloObjective objective,
+                                          std::size_t window) const;
+  [[nodiscard]] double budget_remaining_locked(const ObjectiveState& state,
+                                               SloObjective objective) const;
+
+  const SloConfig config_;
+  mutable std::mutex mutex_;
+  std::map<std::size_t, ZoneState> zones_;
+  BurnAlertHook alert_hook_;
+};
+
+}  // namespace dwatch::telemetry

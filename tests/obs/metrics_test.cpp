@@ -93,6 +93,37 @@ TEST(Histogram, ExponentialBounds) {
   EXPECT_EQ(Histogram::default_latency_bounds_us().size(), 24u);
 }
 
+TEST(Histogram, LogLinearBounds) {
+  // One decade, 9 steps: the linear grid 1..9 plus the terminal bound.
+  EXPECT_EQ(Histogram::log_linear_bounds(1.0, 10.0, 9),
+            (std::vector<double>{1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0,
+                                 10.0}));
+  // Two decades, 3 steps each: 1,4,7 then 10,40,70, terminal 100.
+  EXPECT_EQ(Histogram::log_linear_bounds(1.0, 100.0, 3),
+            (std::vector<double>{1.0, 4.0, 7.0, 10.0, 40.0, 70.0, 100.0}));
+  // `last` inside a decade truncates that decade's grid.
+  EXPECT_EQ(Histogram::log_linear_bounds(1.0, 50.0, 3),
+            (std::vector<double>{1.0, 4.0, 7.0, 10.0, 40.0, 50.0}));
+  EXPECT_THROW(Histogram::log_linear_bounds(0.0, 10.0, 9),
+               std::invalid_argument);
+  EXPECT_THROW(Histogram::log_linear_bounds(10.0, 10.0, 9),
+               std::invalid_argument);
+  EXPECT_THROW(Histogram::log_linear_bounds(1.0, 10.0, 0),
+               std::invalid_argument);
+
+  const std::vector<double> stage = Histogram::stage_latency_bounds_us();
+  ASSERT_EQ(stage.size(), 64u);
+  EXPECT_DOUBLE_EQ(stage.front(), 1.0);
+  EXPECT_DOUBLE_EQ(stage.back(), 1e7);
+  // Strictly increasing (the Histogram constructor requires it; a
+  // Release-built stage in the single-digit µs range must land across
+  // several buckets, not one).
+  for (std::size_t i = 1; i < stage.size(); ++i) {
+    EXPECT_LT(stage[i - 1], stage[i]);
+  }
+  EXPECT_NO_THROW((void)Histogram{stage});
+}
+
 TEST(MetricsRegistry, SameSeriesReturnsSameObject) {
   MetricsRegistry reg;
   Counter& a = reg.counter("dwatch_x_total");

@@ -122,7 +122,7 @@ TEST(Span, NestingDepthAndCompletionOrder) {
 TEST(Span, FeedsStageLatencyHistogram) {
   set_enabled(true);
   const Histogram& h = MetricsRegistry::global().histogram(
-      "dwatch_stage_latency_us", Histogram::default_latency_bounds_us(),
+      "dwatch_stage_latency_us", Histogram::stage_latency_bounds_us(),
       "stage=\"trace_test.metered\"");
   const std::uint64_t before = h.count();
   { DWATCH_SPAN("trace_test.metered"); }

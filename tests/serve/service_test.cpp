@@ -259,6 +259,23 @@ TEST(ServeBackpressure, SixteenZoneOverloadShedsOldestBounded) {
     if (line.find("serve.epoch_shed") != std::string::npos) ++shed_events;
   }
   EXPECT_EQ(shed_events, kShedPerZone * kFleet);
+
+  // Ring overwrites surface as a scrapeable counter
+  // (dwatch_obs_events_dropped_total), not only via the in-process
+  // dropped() accessor: shrink the global ring so further emits must
+  // overwrite, then count the overflow.
+  obs::Counter& dropped =
+      obs::MetricsRegistry::global().counter("dwatch_obs_events_dropped_total");
+  const std::uint64_t dropped_before = dropped.value();
+  obs::EventLog::global().clear();
+  obs::EventLog::global().set_capacity(4);
+  for (int i = 0; i < 10; ++i) {
+    obs::EventLog::global().emit(
+        obs::Event("serve.test_overflow").field("i", i));
+  }
+  EXPECT_EQ(dropped.value(), dropped_before + 6);
+  EXPECT_EQ(obs::EventLog::global().size(), 4u);
+  obs::EventLog::global().set_capacity(65536);
 #endif
 
   obs::set_enabled(false);

@@ -1,0 +1,116 @@
+// Flight-recorder tests. The load-bearing property is DETERMINISM: two
+// identical serial runs must produce byte-for-byte identical dump
+// bundles, because a post-mortem that diffs cleanly against a
+// known-good run is the whole point of recording deterministic facts
+// (and why EpochObservation::fix_latency_us is explicitly excluded).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/json_check.hpp"
+#include "tests/telemetry/fleet_fixture.hpp"
+
+namespace dwatch::telemetry {
+namespace {
+
+serve::EpochObservation fake_observation(std::size_t zone,
+                                         std::uint64_t seq) {
+  serve::EpochObservation o;
+  o.zone = zone;
+  o.seq = seq;
+  o.watermark_us = 10 * seq;
+  o.fix_latency_us = 123456789;  // must never appear in a dump
+  o.reports = 2;
+  o.fix_valid = true;
+  o.confidence.arrays_total = 2;
+  o.confidence.arrays_with_evidence = 2;
+  o.stats.epochs_processed = seq;
+  o.drift_states = {1, 1};
+  return o;
+}
+
+TEST(FlightRecorder, RejectsZeroRing) {
+  EXPECT_THROW(FlightRecorder{0}, std::invalid_argument);
+}
+
+TEST(FlightRecorder, RingIsBoundedPerZone) {
+  FlightRecorder recorder(4);
+  for (std::uint64_t s = 1; s <= 10; ++s) {
+    recorder.record(fake_observation(0, s));
+  }
+  recorder.record(fake_observation(1, 99));
+  EXPECT_EQ(recorder.buffered(0), 4u);
+  EXPECT_EQ(recorder.buffered(1), 1u);
+  const std::string dump = recorder.dump("test");
+  // Oldest epochs were overwritten: seq 7 survives, seq 6 does not.
+  EXPECT_NE(dump.find("\"seq\":7"), std::string::npos);
+  EXPECT_EQ(dump.find("\"seq\":6,"), std::string::npos);
+  EXPECT_NE(dump.find("\"total_recorded\":10"), std::string::npos);
+}
+
+TEST(FlightRecorder, DumpExcludesWallClockLatency) {
+  FlightRecorder recorder(8);
+  recorder.record(fake_observation(0, 1));
+  const std::string dump = recorder.dump("test");
+  EXPECT_EQ(dump.find("123456789"), std::string::npos);
+  EXPECT_EQ(dump.find("latency"), std::string::npos);
+}
+
+TEST(FlightRecorder, DumpIsStrictlyValidJson) {
+  FlightRecorder recorder(8);
+  recorder.record(fake_observation(0, 1));
+  recorder.record_shed(0, 2);
+  recorder.record_drift_transition(0, 1, 1, 2);
+  recorder.record(fake_observation(3, 7));
+  const std::string dump = recorder.dump("quote\"and\\backslash");
+  std::string error;
+  EXPECT_TRUE(json_valid(dump, &error)) << error << "\n" << dump;
+  EXPECT_NE(dump.find("\"shed\":true"), std::string::npos);
+  // Two snapshots (the fix and the shed) preceded the transition.
+  EXPECT_NE(dump.find("\"drift_transitions\":[{\"at_epoch\":2"),
+            std::string::npos);
+  // Zones sorted by id.
+  EXPECT_LT(dump.find("\"zone\":0"), dump.find("\"zone\":3"));
+}
+
+TEST(FlightRecorder, DumpSeqAdvancesButRingsAreNotDrained) {
+  FlightRecorder recorder(8);
+  recorder.record(fake_observation(0, 1));
+  const std::string first = recorder.dump("t");
+  const std::string second = recorder.dump("t");
+  EXPECT_EQ(recorder.dumps(), 2u);
+  EXPECT_NE(first.find("\"dump_seq\":1"), std::string::npos);
+  EXPECT_NE(second.find("\"dump_seq\":2"), std::string::npos);
+  EXPECT_EQ(recorder.buffered(0), 1u);  // a dump is a read, not a drain
+}
+
+/// Drive the shared fleet fixture serially and dump after every run.
+std::string run_and_dump() {
+  serve::LocalizationService service =
+      testing::make_fleet(/*zones=*/2, /*num_workers=*/1);
+  FlightRecorder recorder(16);
+  service.set_epoch_observer(
+      [&](const serve::EpochObservation& o) { recorder.record(o); });
+  service.set_shed_observer([&](std::size_t zone, std::uint64_t seq) {
+    recorder.record_shed(zone, seq);
+  });
+  testing::drive_epochs(service, /*zones=*/2, /*epochs=*/4);
+  return recorder.dump("determinism");
+}
+
+TEST(FlightRecorder, DumpIsByteIdenticalAcrossIdenticalRuns) {
+  const std::string first = run_and_dump();
+  const std::string second = run_and_dump();
+  EXPECT_EQ(first, second);
+  std::string error;
+  EXPECT_TRUE(json_valid(first, &error)) << error;
+  // The bundle really carries serving traffic, not empty rings.
+  EXPECT_NE(first.find("\"fix_valid\":true"), std::string::npos);
+  EXPECT_NE(first.find("\"epochs_processed\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dwatch::telemetry

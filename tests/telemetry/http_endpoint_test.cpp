@@ -1,0 +1,271 @@
+// Telemetry endpoint tests: every scrape goes over a REAL loopback
+// socket (http_fetch), not by calling handlers directly — the accept
+// loop, request parsing, Content-Length framing and connection-close
+// semantics are part of what is under test. The concurrency case runs
+// under the `telemetry-stress-tsan` label, so the accept loop must be
+// TSan-clean against live serving traffic.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/event_log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "telemetry/http_client.hpp"
+#include "telemetry/http_server.hpp"
+#include "telemetry/json_check.hpp"
+#include "telemetry/plane.hpp"
+#include "tests/telemetry/fleet_fixture.hpp"
+
+namespace dwatch::telemetry {
+namespace {
+
+TEST(JsonCheck, AcceptsValidRejectsInvalid) {
+  EXPECT_TRUE(json_valid("{}"));
+  EXPECT_TRUE(json_valid(" [1, -2.5e3, \"a\\u00ff\", true, null] "));
+  EXPECT_TRUE(json_valid("{\"k\":{\"n\":[{},{}]}}"));
+  std::string error;
+  EXPECT_FALSE(json_valid("", &error));
+  EXPECT_FALSE(json_valid("{", &error));
+  EXPECT_FALSE(json_valid("{\"a\":1,}", &error));  // trailing comma
+  EXPECT_FALSE(json_valid("[1] extra", &error));
+  EXPECT_FALSE(json_valid("NaN", &error));
+  EXPECT_FALSE(json_valid("{'a':1}", &error));  // single quotes
+  EXPECT_FALSE(json_valid("01", &error));       // leading zero
+  EXPECT_FALSE(json_valid("\"\x01\"", &error));  // raw control byte
+  // Depth cap, not stack exhaustion.
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(json_valid(deep, &error));
+  EXPECT_NE(error.find("deep"), std::string::npos);
+
+  EXPECT_TRUE(json_lines_valid("{\"a\":1}\n{\"b\":2}\n"));
+  EXPECT_FALSE(json_lines_valid("{\"a\":1}\nnot json\n", &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+}
+
+TEST(HttpServer, QueryParam) {
+  EXPECT_EQ(query_param("n=10&x=y", "n", "5"), "10");
+  EXPECT_EQ(query_param("n=10&x=y", "x", ""), "y");
+  EXPECT_EQ(query_param("n=10", "missing", "fallback"), "fallback");
+  EXPECT_EQ(query_param("", "n", "7"), "7");
+  EXPECT_EQ(query_param("n=", "n", "7"), "7");  // empty value -> fallback
+}
+
+TEST(HttpServer, RoutesFixedAfterStartAndRestartable) {
+  HttpServer server;
+  server.handle("GET", "/ping", [](const HttpRequest&) {
+    return HttpResponse{200, "text/plain; charset=utf-8", "pong\n"};
+  });
+  server.start(0);
+  ASSERT_TRUE(server.running());
+  ASSERT_NE(server.port(), 0);
+  EXPECT_THROW(
+      server.handle("GET", "/late", [](const HttpRequest&) {
+        return HttpResponse{};
+      }),
+      std::logic_error);
+  EXPECT_THROW(server.start(0), std::logic_error);
+
+  HttpResult r = http_fetch(server.port(), "GET", "/ping");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.body, "pong\n");
+
+  r = http_fetch(server.port(), "GET", "/nope");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 404);
+
+  r = http_fetch(server.port(), "POST", "/ping");  // method is routed too
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 404);
+
+  server.stop();
+  EXPECT_FALSE(server.running());
+  server.stop();  // idempotent
+
+  // A stopped server can be started again (new port is fine).
+  server.start(0);
+  r = http_fetch(server.port(), "GET", "/ping");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 200);
+  server.stop();
+}
+
+TEST(HttpServer, EchoesPostBody) {
+  HttpServer server;
+  server.handle("POST", "/echo", [](const HttpRequest& request) {
+    return HttpResponse{200, "text/plain; charset=utf-8", request.body};
+  });
+  server.start(0);
+  const std::string payload(10000, 'x');
+  const HttpResult r = http_fetch(server.port(), "POST", "/echo", payload);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.body, payload);
+  server.stop();
+}
+
+/// Plane over a live 2-zone fleet: the golden scrape set.
+TEST(TelemetryPlane, GoldenScrapes) {
+  obs::set_enabled(true);
+  obs::MetricsRegistry::global().reset();
+  obs::EventLog::global().clear();
+
+  serve::LocalizationService service =
+      testing::make_fleet(/*zones=*/2, /*num_workers=*/1);
+  // A Debug-built fix can take arbitrarily long; this test asserts the
+  // HEALTHY scrape shapes, so keep the latency objective out of play.
+  TelemetryOptions options;
+  options.slo.fix_latency_budget_us = 60'000'000;
+  TelemetryPlane plane(options);
+  plane.attach(service);
+  plane.start(0);
+  testing::drive_epochs(service, /*zones=*/2, /*epochs=*/3);
+
+  // /metrics: Prometheus text with the serve + SLO series present.
+  HttpResult r = http_fetch(plane.port(), "GET", "/metrics");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.content_type.find("version=0.0.4"), std::string::npos);
+  EXPECT_NE(r.body.find("# TYPE dwatch_serve_fix_latency_us histogram"),
+            std::string::npos);
+  EXPECT_NE(r.body.find("dwatch_slo_budget_remaining{zone=\"0\","
+                        "objective=\"latency\"}"),
+            std::string::npos);
+  EXPECT_NE(r.body.find("dwatch_slo_burn_rate{zone=\"1\","
+                        "objective=\"shed\",window=\"fast\"}"),
+            std::string::npos);
+
+  // /metrics.json: strictly valid JSON.
+  r = http_fetch(plane.port(), "GET", "/metrics.json");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 200);
+  std::string error;
+  EXPECT_TRUE(json_valid(r.body, &error)) << error;
+
+  // /slo: valid JSON naming both zones.
+  r = http_fetch(plane.port(), "GET", "/slo");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 200);
+  EXPECT_TRUE(json_valid(r.body, &error)) << error;
+  EXPECT_NE(r.body.find("\"zone\":0"), std::string::npos);
+  EXPECT_NE(r.body.find("\"zone\":1"), std::string::npos);
+
+  // /healthz: healthy fleet -> 200 ok.
+  r = http_fetch(plane.port(), "GET", "/healthz");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 200);
+  EXPECT_TRUE(json_valid(r.body, &error)) << error;
+  EXPECT_NE(r.body.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(r.body.find("\"last_fix_valid\":true"), std::string::npos);
+
+  // /events: JSON Lines, ?n= caps the tail.
+  r = http_fetch(plane.port(), "GET", "/events?n=2");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 200);
+  EXPECT_TRUE(json_lines_valid(r.body, &error)) << error;
+  r = http_fetch(plane.port(), "GET", "/events?n=bogus");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 400);
+
+  // /trace: valid JSON.
+  r = http_fetch(plane.port(), "GET", "/trace");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 200);
+  EXPECT_TRUE(json_valid(r.body, &error)) << error;
+
+  // POST /dump returns the bundle; /dump/last replays the same bytes.
+  r = http_fetch(plane.port(), "POST", "/dump?trigger=test");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 200);
+  EXPECT_TRUE(json_valid(r.body, &error)) << error;
+  EXPECT_NE(r.body.find("\"trigger\":\"test\""), std::string::npos);
+  const HttpResult last = http_fetch(plane.port(), "GET", "/dump/last");
+  ASSERT_TRUE(last.ok);
+  EXPECT_EQ(last.status, 200);
+  EXPECT_EQ(last.body, r.body);
+
+  // The index names every endpoint.
+  r = http_fetch(plane.port(), "GET", "/");
+  ASSERT_TRUE(r.ok);
+  EXPECT_NE(r.body.find("/healthz"), std::string::npos);
+
+  plane.stop();
+  obs::set_enabled(false);
+}
+
+TEST(TelemetryPlane, HealthzGoes503WhenSloAlertLatches) {
+  obs::set_enabled(true);
+  obs::MetricsRegistry::global().reset();
+
+  // No baselines -> every fix is invalid -> quality objective burns at
+  // (1/1)/0.05 = 20 >= 2 and latches from the first epoch on.
+  serve::LocalizationService service =
+      testing::make_fleet(/*zones=*/1, /*num_workers=*/1,
+                          /*with_baselines=*/false);
+  TelemetryPlane plane;
+  plane.attach(service);
+  plane.start(0);
+  testing::drive_epochs(service, /*zones=*/1, /*epochs=*/2);
+
+  EXPECT_TRUE(plane.slo().alert_latched(0, SloObjective::kQuality));
+  const HttpResult r = http_fetch(plane.port(), "GET", "/healthz");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 503);
+  EXPECT_NE(r.body.find("\"status\":\"degraded\""), std::string::npos);
+  EXPECT_NE(r.body.find("\"slo_alert_latched\":true"), std::string::npos);
+
+  // The fast-burn auto trigger stored a post-mortem bundle.
+  EXPECT_GE(plane.stored_dumps(), 1u);
+  std::string error;
+  EXPECT_TRUE(json_valid(plane.last_dump(), &error)) << error;
+
+  plane.stop();
+  obs::set_enabled(false);
+}
+
+/// TSan target: concurrent scrapers against a live fleet. Zones run on
+/// pool workers (observer called concurrently across zones) while four
+/// client threads hammer every endpoint.
+TEST(TelemetryConcurrency, ScrapesRaceFreeAgainstServingTraffic) {
+  obs::set_enabled(true);
+  obs::MetricsRegistry::global().reset();
+  obs::EventLog::global().clear();
+
+  serve::LocalizationService service =
+      testing::make_fleet(/*zones=*/3, /*num_workers=*/4);
+  TelemetryPlane plane;
+  plane.attach(service);
+  plane.start(0);
+
+  std::vector<std::thread> scrapers;
+  for (int t = 0; t < 4; ++t) {
+    scrapers.emplace_back([port = plane.port(), t] {
+      const char* paths[] = {"/metrics", "/healthz", "/slo", "/events",
+                             "/metrics.json"};
+      for (int i = 0; i < 20; ++i) {
+        const HttpResult r =
+            http_fetch(port, "GET", paths[(t + i) % 5]);
+        EXPECT_TRUE(r.ok);
+        EXPECT_TRUE(r.status == 200 || r.status == 503);
+      }
+    });
+  }
+  testing::drive_epochs(service, /*zones=*/3, /*epochs=*/6);
+  for (std::thread& s : scrapers) s.join();
+
+  const HttpResult r = http_fetch(plane.port(), "GET", "/healthz");
+  ASSERT_TRUE(r.ok);
+  EXPECT_GE(plane.server().requests_served(), 81u);
+
+  plane.stop();
+  obs::set_enabled(false);
+}
+
+}  // namespace
+}  // namespace dwatch::telemetry

@@ -1,0 +1,170 @@
+// SloTracker property tests. The tracker's clock is injectable by
+// construction — every observe_fix/observe_shed IS one epoch tick — so
+// these tests drive exact epoch sequences and assert exact burn rates,
+// budget trajectories and latch behaviour with no wall time anywhere.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "telemetry/json_check.hpp"
+#include "telemetry/slo.hpp"
+
+namespace dwatch::telemetry {
+namespace {
+
+SloConfig tiny_config() {
+  SloConfig cfg;
+  cfg.fix_latency_budget_us = 1000;
+  cfg.latency_error_budget = 0.1;
+  cfg.shed_error_budget = 0.2;
+  cfg.quality_error_budget = 0.5;
+  cfg.fast_window_epochs = 4;
+  cfg.slow_window_epochs = 8;
+  cfg.budget_period_epochs = 20;
+  cfg.fast_burn_alert = 2.0;
+  return cfg;
+}
+
+TEST(SloConfig, Validation) {
+  SloConfig cfg = tiny_config();
+  cfg.fast_window_epochs = 0;
+  EXPECT_THROW(SloTracker{cfg}, std::invalid_argument);
+  cfg = tiny_config();
+  cfg.slow_window_epochs = cfg.fast_window_epochs - 1;
+  EXPECT_THROW(SloTracker{cfg}, std::invalid_argument);
+  cfg = tiny_config();
+  cfg.budget_period_epochs = 0;
+  EXPECT_THROW(SloTracker{cfg}, std::invalid_argument);
+  cfg = tiny_config();
+  cfg.latency_error_budget = 0.0;
+  EXPECT_THROW(SloTracker{cfg}, std::invalid_argument);
+}
+
+TEST(SloTracker, UnseenZoneIsClean) {
+  SloTracker slo(tiny_config());
+  EXPECT_DOUBLE_EQ(slo.fast_burn(7, SloObjective::kLatency), 0.0);
+  EXPECT_DOUBLE_EQ(slo.budget_remaining(7, SloObjective::kShed), 1.0);
+  EXPECT_EQ(slo.period_epochs(7, SloObjective::kQuality), 0u);
+  EXPECT_FALSE(slo.alert_latched(7, SloObjective::kLatency));
+  EXPECT_TRUE(slo.zones().empty());
+}
+
+TEST(SloTracker, BurnRateIsBadFractionOverErrorBudget) {
+  SloTracker slo(tiny_config());
+  // 3 good epochs then 1 over-budget: fast window (4) holds 1 bad.
+  for (int i = 0; i < 3; ++i) slo.observe_fix(0, 10, false);
+  slo.observe_fix(0, 5000, false);
+  // latency: (1/4) / 0.1 = 2.5; quality untouched: 0.
+  EXPECT_DOUBLE_EQ(slo.fast_burn(0, SloObjective::kLatency), 2.5);
+  EXPECT_DOUBLE_EQ(slo.fast_burn(0, SloObjective::kQuality), 0.0);
+  // shed: every fix is a good shed-epoch.
+  EXPECT_DOUBLE_EQ(slo.fast_burn(0, SloObjective::kShed), 0.0);
+  // slow window holds all 4 epochs so far: (1/4) / 0.1 = 2.5 as well.
+  EXPECT_DOUBLE_EQ(slo.slow_burn(0, SloObjective::kLatency), 2.5);
+  // 4 more good epochs push the bad one out of the fast window but it
+  // stays in the slow one: fast 0, slow (1/8)/0.1 = 1.25.
+  for (int i = 0; i < 4; ++i) slo.observe_fix(0, 10, false);
+  EXPECT_DOUBLE_EQ(slo.fast_burn(0, SloObjective::kLatency), 0.0);
+  EXPECT_DOUBLE_EQ(slo.slow_burn(0, SloObjective::kLatency), 1.25);
+}
+
+TEST(SloTracker, ShedEpochsBurnOnlyTheShedObjective) {
+  SloTracker slo(tiny_config());
+  slo.observe_shed(3);
+  slo.observe_shed(3);
+  // shed: (2/2) / 0.2 = 5; latency/quality saw no epochs at all.
+  EXPECT_DOUBLE_EQ(slo.fast_burn(3, SloObjective::kShed), 5.0);
+  EXPECT_EQ(slo.period_epochs(3, SloObjective::kLatency), 0u);
+  EXPECT_EQ(slo.period_epochs(3, SloObjective::kShed), 2u);
+}
+
+TEST(SloTracker, BudgetMonotonicallyNonIncreasingWithinPeriod) {
+  SloTracker slo(tiny_config());
+  double prev = slo.budget_remaining(0, SloObjective::kLatency);
+  EXPECT_DOUBLE_EQ(prev, 1.0);
+  // A mixed good/bad sequence that stays inside one budget period.
+  for (std::uint64_t e = 0; e < 20; ++e) {
+    const bool bad = (e % 3) == 1;
+    slo.observe_fix(0, bad ? 9999 : 1, false);
+    const double now = slo.budget_remaining(0, SloObjective::kLatency);
+    EXPECT_LE(now, prev);
+    EXPECT_GE(now, 0.0);
+    prev = now;
+  }
+  // 20 epochs, 7 bad, allowed = 0.1 * 20 = 2: overspent, clamped at 0.
+  EXPECT_DOUBLE_EQ(prev, 0.0);
+}
+
+TEST(SloTracker, BudgetRefillsWhenThePeriodRollsOver) {
+  SloTracker slo(tiny_config());
+  // Burn the whole period (all 20 epochs bad).
+  for (int e = 0; e < 20; ++e) slo.observe_fix(0, 9999, false);
+  EXPECT_DOUBLE_EQ(slo.budget_remaining(0, SloObjective::kLatency), 0.0);
+  EXPECT_EQ(slo.period_epochs(0, SloObjective::kLatency), 20u);
+  // Epoch 21 starts a fresh period: one good epoch, full budget back.
+  slo.observe_fix(0, 1, false);
+  EXPECT_EQ(slo.period_epochs(0, SloObjective::kLatency), 1u);
+  EXPECT_DOUBLE_EQ(slo.budget_remaining(0, SloObjective::kLatency), 1.0);
+}
+
+TEST(SloTracker, FastBurnAlertLatchesAndRecovers) {
+  SloTracker slo(tiny_config());
+  std::vector<std::pair<std::size_t, SloObjective>> alerts;
+  slo.set_burn_alert_hook(
+      [&](std::size_t zone, SloObjective objective, double burn) {
+        EXPECT_GE(burn, 2.0);
+        alerts.emplace_back(zone, objective);
+      });
+  // One bad epoch in an empty window: (1/1)/0.1 = 10 >= 2 -> alert.
+  slo.observe_fix(5, 9999, false);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].first, 5u);
+  EXPECT_EQ(alerts[0].second, SloObjective::kLatency);
+  EXPECT_TRUE(slo.alert_latched(5, SloObjective::kLatency));
+  // More bad epochs while latched: no re-fire.
+  slo.observe_fix(5, 9999, false);
+  EXPECT_EQ(alerts.size(), 1u);
+  // Recovery: good epochs push the fast burn below 1.0 -> unlatch...
+  for (int i = 0; i < 4; ++i) slo.observe_fix(5, 1, false);
+  EXPECT_FALSE(slo.alert_latched(5, SloObjective::kLatency));
+  // ...and the next breach fires again.
+  slo.observe_fix(5, 9999, false);
+  EXPECT_EQ(alerts.size(), 2u);
+}
+
+TEST(SloTracker, QualityObjectiveTracksBreachFlag) {
+  SloTracker slo(tiny_config());
+  slo.observe_fix(0, 1, true);
+  // (1/1) / 0.5 = 2.
+  EXPECT_DOUBLE_EQ(slo.fast_burn(0, SloObjective::kQuality), 2.0);
+  EXPECT_DOUBLE_EQ(slo.fast_burn(0, SloObjective::kLatency), 0.0);
+}
+
+TEST(SloTracker, ZonesAreIndependent) {
+  SloTracker slo(tiny_config());
+  slo.observe_fix(0, 9999, false);
+  slo.observe_fix(1, 1, false);
+  EXPECT_GT(slo.fast_burn(0, SloObjective::kLatency), 0.0);
+  EXPECT_DOUBLE_EQ(slo.fast_burn(1, SloObjective::kLatency), 0.0);
+  EXPECT_EQ(slo.zones(), (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(SloTracker, JsonReportIsValidAndDeterministic) {
+  SloTracker slo(tiny_config());
+  slo.observe_fix(1, 9999, true);
+  slo.observe_shed(0);
+  const std::string json = slo.json_text();
+  std::string error;
+  EXPECT_TRUE(json_valid(json, &error)) << error << "\n" << json;
+  // Same state, same bytes.
+  EXPECT_EQ(json, slo.json_text());
+  // Zones sorted ascending regardless of observation order.
+  EXPECT_LT(json.find("\"zone\":0"), json.find("\"zone\":1"));
+  EXPECT_NE(json.find("\"objective\":\"latency\""), std::string::npos);
+  EXPECT_NE(json.find("\"budget_remaining\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dwatch::telemetry
