@@ -1,0 +1,339 @@
+// Fleet overload sweep: the admission-control brownout ladder under an
+// open-loop load storm, measured end to end through the REAL feedback
+// loop (service -> telemetry SLO tracker -> BudgetProvider -> admission
+// tier -> service).
+//
+// BM_FleetOverload runs a 1024-zone fleet for 16 serving ticks at each
+// offered-load point of {0.5, 1, 2, 4, 8}x steady-state capacity
+// (~1M synthetic reports across the sweep), with mixed traffic classes
+// (every 4th zone bulk, anchor calibration epochs on every 16th zone)
+// and the telemetry plane attached so sheds burn the shed-SLO budget
+// and the burn drives the tier. Exported per point:
+//
+//   p50/p95/p99_ms      per-tick serving latency under that load
+//   shed_rate_<class>   sheds / submissions for bulk and tracking
+//   widened / rejected  brownout absorption + typed ingest refusals
+//   tier_final/tier_max brownout ladder position reached
+//
+// Two invariants are enforced with exit(1), not just reported, so a
+// CI run of this binary is itself a gate:
+//   - anchor-class epochs are NEVER shed, at any offered load;
+//   - below capacity (x10 < 10) the controller must stay at tier 0.
+//
+// BM_FleetSmoke is the same harness at 64 zones / 8 ticks / 4x — small
+// enough for scripts/check.sh to run on every verification pass.
+//
+// The SLO clock is epochs, not wall time, and the load schedule is
+// integer (bench_overload.hpp), so tier trajectories and every exported
+// counter except the latency percentiles are run-to-run deterministic.
+#include <benchmark/benchmark.h>
+
+#include "bench_overload.hpp"
+#include "bench_reporter.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/calibration.hpp"
+#include "core/pipeline.hpp"
+#include "rf/noise.hpp"
+#include "rf/snapshot.hpp"
+#include "serve/service.hpp"
+#include "telemetry/plane.hpp"
+
+namespace dwatch::serve {
+namespace {
+
+// Deliberately small per-zone DSP (4-element arrays, 8 snapshots, a
+// coarse grid): the sweep measures the SERVING layer's behavior under
+// overload across thousands of zones, and a cheap fix is what lets one
+// process host that many zones in a bench run at all.
+std::vector<rf::UniformLinearArray> zone_arrays() {
+  return {
+      rf::UniformLinearArray({2.0, 0.1, 1.2}, {1, 0}, 4),
+      rf::UniformLinearArray({0.1, 3.0, 1.2}, {0, 1}, 4),
+  };
+}
+
+core::SearchBounds zone_bounds() { return {{0.0, 0.0}, {4.0, 4.0}}; }
+
+/// Zones share geometry across kShapes equivalence classes so traffic
+/// and baselines are synthesized once per shape, not once per zone.
+constexpr std::size_t kShapes = 8;
+constexpr std::size_t kRotation = 4;
+constexpr std::size_t kArrays = 2;
+
+rf::Vec2 shape_target(std::size_t shape) {
+  return {1.0 + 0.3 * static_cast<double>(shape),
+          1.4 + 0.25 * static_cast<double>(shape)};
+}
+
+linalg::CMatrix synth(const rf::UniformLinearArray& array, double angle_rad,
+                      double scale, std::uint64_t seed) {
+  rf::PropagationPath p;
+  p.kind = rf::PathKind::kDirect;
+  p.vertices = {{-10, 0, 1.2}, array.center()};
+  p.length = 10.0;
+  p.aoa = angle_rad;
+  p.gain = {0.01, 0.0};
+  const std::vector<rf::PropagationPath> paths{p};
+  rf::SnapshotOptions opts;
+  opts.num_snapshots = 8;
+  opts.noise_sigma = rf::noise_sigma_for_snr(paths, 1.0, 35.0);
+  rf::Rng rng(seed);
+  const std::vector<double> path_scale{scale};
+  return rf::synthesize_snapshots(array, paths, path_scale, opts, rng);
+}
+
+rfid::TagObservation wire_obs(const linalg::CMatrix& x,
+                              const rfid::Epc96& epc) {
+  rfid::TagObservation obs;
+  obs.epc = epc;
+  for (std::size_t n = 0; n < x.cols(); ++n) {
+    for (std::size_t m = 0; m < x.rows(); ++m) {
+      const auto [pq, rq] = rfid::quantize_sample(x(m, n));
+      obs.samples.push_back(rfid::PhaseSample{
+          static_cast<std::uint16_t>(m + 1), static_cast<std::uint32_t>(n),
+          pq, rq});
+    }
+  }
+  return obs;
+}
+
+/// reports[rotation][shape][array]: every zone of a shape routes the
+/// same pre-synthesized report bytes, rotated across kRotation epochs.
+struct FleetTraffic {
+  std::vector<std::vector<std::vector<rfid::RoAccessReport>>> reports;
+};
+
+FleetTraffic make_traffic() {
+  const auto arrays = zone_arrays();
+  FleetTraffic traffic;
+  traffic.reports.resize(kRotation);
+  for (std::size_t e = 0; e < kRotation; ++e) {
+    traffic.reports[e].resize(kShapes);
+    for (std::size_t s = 0; s < kShapes; ++s) {
+      for (std::size_t a = 0; a < arrays.size(); ++a) {
+        const double angle = arrays[a].arrival_angle_planar(shape_target(s));
+        const std::uint64_t seed = 1000 * s + 10 * e + a + 1;
+        rfid::RoAccessReport report;
+        report.message_id = static_cast<std::uint32_t>(seed);
+        report.observations.push_back(wire_obs(
+            synth(arrays[a], angle, 0.2, seed),
+            rfid::Epc96::for_tag_index(
+                static_cast<std::uint32_t>(10 * s + a + 1))));
+        traffic.reports[e][s].push_back(std::move(report));
+      }
+    }
+  }
+  return traffic;
+}
+
+/// One tiny calibration measurement per array, per shape — enough to
+/// make an epoch anchor-class (the never-shed guarantee under test).
+std::vector<std::vector<std::vector<core::CalibrationMeasurement>>>
+make_anchor_sets() {
+  const auto arrays = zone_arrays();
+  std::vector<std::vector<std::vector<core::CalibrationMeasurement>>> sets(
+      kShapes);
+  for (std::size_t s = 0; s < kShapes; ++s) {
+    sets[s].resize(kArrays);
+    for (std::size_t a = 0; a < arrays.size(); ++a) {
+      const double angle = arrays[a].arrival_angle_planar(shape_target(s));
+      core::CalibrationMeasurement m;
+      m.snapshots = synth(arrays[a], angle, 1.0, 9000 + 10 * s + a);
+      m.los_angle = angle;
+      sets[s][a].push_back(std::move(m));
+    }
+  }
+  return sets;
+}
+
+constexpr std::size_t kCapacityPerTick = 2;  // == max_queue_per_zone
+
+std::unique_ptr<LocalizationService> make_service(std::size_t zones) {
+  ServiceOptions opts;
+  opts.num_workers = 0;  // hardware concurrency, the deployed shape
+  opts.max_queue_per_zone = kCapacityPerTick;
+  auto service = std::make_unique<LocalizationService>(opts);
+  const auto arrays = zone_arrays();
+  for (std::size_t z = 0; z < zones; ++z) {
+    const std::size_t shape = z % kShapes;
+    ZoneConfig cfg;
+    cfg.name = "zone" + std::to_string(z);
+    cfg.arrays = arrays;
+    cfg.bounds = zone_bounds();
+    cfg.pipeline.localizer.grid_step = 0.5;
+    // Every 4th zone is bulk (analytics replay); the rest are live
+    // tracking. Anchor class is earned per-epoch by carrying anchors.
+    cfg.traffic_class =
+        (z % 4 == 3) ? TrafficClass::kBulk : TrafficClass::kTracking;
+    const std::size_t id = service->add_zone(std::move(cfg));
+    for (std::size_t a = 0; a < arrays.size(); ++a) {
+      const double angle = arrays[a].arrival_angle_planar(shape_target(shape));
+      service->zone(id).pipeline().add_baseline(
+          a,
+          rfid::Epc96::for_tag_index(
+              static_cast<std::uint32_t>(10 * shape + a + 1)),
+          synth(arrays[a], angle, 1.0, 500 + 10 * shape + a));
+      service->bind_reader(100 * (z + 1) + a, id, a);
+    }
+  }
+  return service;
+}
+
+void report_percentiles(benchmark::State& state, std::vector<double>& ms) {
+  if (ms.empty()) return;
+  std::sort(ms.begin(), ms.end());
+  const auto pct = [&ms](double q) {
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(ms.size() - 1) + 0.5);
+    return ms[std::min(idx, ms.size() - 1)];
+  };
+  state.counters["p50_ms"] = pct(0.50);
+  state.counters["p95_ms"] = pct(0.95);
+  state.counters["p99_ms"] = pct(0.99);
+}
+
+[[nodiscard]] double shed_rate(const ServiceStats& stats, TrafficClass cls) {
+  const auto i = static_cast<std::size_t>(cls);
+  const std::uint64_t offered =
+      stats.submitted_by_class[i] + stats.shed_by_class[i];
+  return offered == 0 ? 0.0
+                      : static_cast<double>(stats.shed_by_class[i]) /
+                            static_cast<double>(offered);
+}
+
+/// The harness proper: `ticks` serving ticks at `x10` tenths of
+/// capacity, per-tick latency sampled, the full stats roll-up exported,
+/// and the two hard invariants enforced with exit(1).
+void run_fleet(benchmark::State& state, std::size_t zones, std::size_t ticks,
+               std::uint64_t x10) {
+  const FleetTraffic traffic = make_traffic();
+  const auto anchors = make_anchor_sets();
+  auto service = make_service(zones);
+
+  telemetry::TelemetryOptions topts;
+  topts.recorder_ring_epochs = 8;
+  // The storm is deliberate: burn/shed dumps would just spin the
+  // recorder. Tier escalations still dump (that path is under test).
+  topts.dump_on_fast_burn = false;
+  topts.dump_on_drift = false;
+  topts.dump_on_shed = false;
+  telemetry::TelemetryPlane plane(topts);
+  plane.attach(*service);
+
+  std::vector<double> tick_ms;
+  tick_ms.reserve(ticks);
+  std::uint64_t offered_epochs = 0;
+  auto tier_max = BrownoutTier::kNormal;
+
+  for (auto _ : state) {
+    for (std::uint64_t tick = 0; tick < ticks; ++tick) {
+      const std::uint64_t offered = bench::offered_epochs_this_tick(
+          kCapacityPerTick, x10, tick);
+      const auto t0 = std::chrono::steady_clock::now();
+      for (std::uint64_t e = 0; e < offered; ++e) {
+        const auto& rot = traffic.reports[(tick + e) % kRotation];
+        for (std::size_t z = 0; z < zones; ++z) {
+          service->begin_epoch(z);
+          const std::size_t shape = z % kShapes;
+          for (std::size_t a = 0; a < rot[shape].size(); ++a) {
+            (void)service->router().route(100 * (z + 1) + a, rot[shape][a]);
+          }
+          // Calibration cadence: every 16th zone anchors every 3rd
+          // tick — the traffic class that must survive every tier.
+          if (e == 0 && z % 16 == 0 && tick % 3 == 0) {
+            service->add_anchors(z, anchors[shape]);
+          }
+        }
+        offered_epochs += zones;
+      }
+      const std::size_t processed = service->run_pending();
+      benchmark::DoNotOptimize(processed);
+      const auto t1 = std::chrono::steady_clock::now();
+      tick_ms.push_back(
+          std::chrono::duration<double, std::milli>(t1 - t0).count());
+      tier_max = std::max(tier_max, service->admission().tier());
+    }
+  }
+
+  const ServiceStats stats = service->stats();
+  const auto anchor_shed =
+      stats.shed_by_class[static_cast<std::size_t>(TrafficClass::kAnchor)];
+  if (anchor_shed != 0) {
+    std::fprintf(stderr,
+                 "bench_fleet: %llu anchor-class epochs shed at load "
+                 "x10=%llu — the never-shed guarantee is broken\n",
+                 static_cast<unsigned long long>(anchor_shed),
+                 static_cast<unsigned long long>(x10));
+    std::exit(1);
+  }
+  if (x10 < 10 && tier_max != BrownoutTier::kNormal) {
+    std::fprintf(stderr,
+                 "bench_fleet: brownout tier %u reached below capacity "
+                 "(x10=%llu) — admission must be inert under nominal load\n",
+                 static_cast<unsigned>(tier_max),
+                 static_cast<unsigned long long>(x10));
+    std::exit(1);
+  }
+
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(stats.epochs_processed));
+  report_percentiles(state, tick_ms);
+  state.counters["zones"] = static_cast<double>(zones);
+  state.counters["load_x10"] = static_cast<double>(x10);
+  state.counters["offered_epochs"] = static_cast<double>(offered_epochs);
+  state.counters["processed"] = static_cast<double>(stats.epochs_processed);
+  state.counters["widened"] = static_cast<double>(stats.epochs_widened);
+  state.counters["rejected"] = static_cast<double>(stats.epochs_rejected);
+  state.counters["shed_total"] = static_cast<double>(stats.epochs_shed);
+  state.counters["shed_anchor"] = static_cast<double>(anchor_shed);
+  state.counters["shed_rate_tracking"] =
+      shed_rate(stats, TrafficClass::kTracking);
+  state.counters["shed_rate_bulk"] = shed_rate(stats, TrafficClass::kBulk);
+  state.counters["tier_final"] =
+      static_cast<double>(static_cast<unsigned>(stats.brownout_tier));
+  state.counters["tier_max"] =
+      static_cast<double>(static_cast<unsigned>(tier_max));
+  state.counters["tier_dumps"] = static_cast<double>(plane.stored_dumps());
+}
+
+/// The sweep: 1024 zones x 16 ticks per point, 0.5x to 8x capacity —
+/// about a million offered reports across the five points.
+void BM_FleetOverload(benchmark::State& state) {
+  run_fleet(state, 1024, 16, static_cast<std::uint64_t>(state.range(0)));
+}
+BENCHMARK(BM_FleetOverload)
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(20)
+    ->Arg(40)
+    ->Arg(80)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+/// The check.sh gate: same harness, 64 zones x 8 ticks at 4x. Small
+/// enough for every verification pass; fails the build on anchor shed.
+void BM_FleetSmoke(benchmark::State& state) {
+  run_fleet(state, 64, 8, 40);
+}
+BENCHMARK(BM_FleetSmoke)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace dwatch::serve
+
+DWATCH_BENCH_MAIN()

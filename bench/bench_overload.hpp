@@ -1,0 +1,31 @@
+// The ONE open-loop overload knob shared by every serving bench.
+//
+// bench_fleet (the admission-control sweep) and bench_serve's
+// BM_ServeSloOverload arm must offer load the same way or their numbers
+// stop being comparable: both express offered load as a multiplier of
+// steady-state capacity in TENTHS (x10 = 15 means 1.5x), and both
+// spread fractional multipliers across ticks with the same integer
+// Bresenham schedule. Open-loop means the generator never slows down
+// when the service browns out — exactly the shape of a real ingest
+// storm, and the only shape that exercises shedding at all.
+#pragma once
+
+#include <cstdint>
+
+namespace dwatch::bench {
+
+/// Epochs to OFFER one zone on tick `tick` when the service can drain
+/// `capacity_per_tick` epochs per zone per tick and the sweep point is
+/// `x10` tenths of capacity. Pure integer arithmetic: summing over
+/// ticks 0..T-1 yields floor(T * capacity * x10 / 10) exactly, so a
+/// 0.5x point offers an epoch every other tick instead of rounding to
+/// zero or one, and every binary using this schedule offers the same
+/// deterministic sequence for a given (capacity, x10).
+[[nodiscard]] constexpr std::uint64_t offered_epochs_this_tick(
+    std::uint64_t capacity_per_tick, std::uint64_t x10,
+    std::uint64_t tick) noexcept {
+  return (tick + 1) * capacity_per_tick * x10 / 10 -
+         tick * capacity_per_tick * x10 / 10;
+}
+
+}  // namespace dwatch::bench

@@ -10,6 +10,7 @@
 // simulator.
 #include <benchmark/benchmark.h>
 
+#include "bench_overload.hpp"
 #include "bench_reporter.hpp"
 
 #include <algorithm>
@@ -192,15 +193,18 @@ BENCHMARK(BM_ServeFleetEpoch)
 
 #if DWATCH_OBS_ENABLED
 /// The SLO-report arm: the 16-zone fleet under deliberate overload
-/// (3 sealed epochs per zone into a queue of 2, so every zone sheds
-/// one epoch per iteration) with an SloTracker fed from the epoch and
-/// shed observers INSIDE the timed region. items_per_second is still
-/// fix throughput, so comparing against BM_ServeFleetEpoch/16 prices
-/// the per-epoch SLO accounting; the exported counters are the error
-/// budgets an operator would read off /slo after the storm.
+/// with an SloTracker fed from the epoch and shed observers INSIDE the
+/// timed region. Offered load comes from the SAME open-loop knob as
+/// bench_fleet (bench_overload.hpp): range(1) is the multiplier in
+/// tenths of capacity, so Args({16, 15}) offers 1.5x — three sealed
+/// epochs per zone into a queue of two, one shed per zone per
+/// iteration, the historical shape of this arm. items_per_second is
+/// still fix throughput, so comparing against BM_ServeFleetEpoch/16
+/// prices the per-epoch SLO accounting; the exported counters are the
+/// error budgets an operator would read off /slo after the storm.
 void BM_ServeSloOverload(benchmark::State& state) {
   const auto zones = static_cast<std::size_t>(state.range(0));
-  constexpr std::size_t kBurst = 3;  // sealed epochs per zone per iter
+  const auto overload_x10 = static_cast<std::uint64_t>(state.range(1));
   const FleetTraffic traffic = make_traffic(zones);
 
   ServiceOptions opts;
@@ -239,9 +243,14 @@ void BM_ServeSloOverload(benchmark::State& state) {
       });
 
   std::size_t rotation = 0;
+  std::uint64_t tick = 0;
+  std::uint64_t total_processed = 0;
   for (auto _ : state) {
-    std::size_t processed = 0;
-    for (std::size_t burst = 0; burst < kBurst; ++burst) {
+    // One iteration = one serving tick of the shared open-loop
+    // schedule (every burst epoch offered, then one drain).
+    const std::uint64_t burst = bench::offered_epochs_this_tick(
+        opts.max_queue_per_zone, overload_x10, tick++);
+    for (std::uint64_t b = 0; b < burst; ++b) {
       const auto& epoch = traffic.reports[rotation];
       rotation = (rotation + 1) % kRotation;
       for (std::size_t z = 0; z < zones; ++z) {
@@ -251,12 +260,11 @@ void BM_ServeSloOverload(benchmark::State& state) {
         }
       }
     }
-    processed = service->run_pending();
+    const std::size_t processed = service->run_pending();
+    total_processed += processed;
     benchmark::DoNotOptimize(processed);
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(zones) *
-                          static_cast<std::int64_t>(kBurst - 1));
+  state.SetItemsProcessed(static_cast<std::int64_t>(total_processed));
 
   // Error-budget roll-up across the fleet, as /slo would report it.
   double shed_budget_min = 1.0;
@@ -274,6 +282,8 @@ void BM_ServeSloOverload(benchmark::State& state) {
                  tracker.slow_burn(z, telemetry::SloObjective::kShed));
   }
   state.counters["zones"] = benchmark::Counter(static_cast<double>(zones));
+  state.counters["overload_x10"] =
+      benchmark::Counter(static_cast<double>(overload_x10));
   state.counters["shed_budget_min"] = shed_budget_min;
   state.counters["shed_burn_fast_max"] = shed_burn_fast_max;
   state.counters["shed_burn_slow_max"] = shed_burn_slow_max;
@@ -285,7 +295,7 @@ void BM_ServeSloOverload(benchmark::State& state) {
                 static_cast<double>(stats.epochs_submitted);
 }
 BENCHMARK(BM_ServeSloOverload)
-    ->Arg(16)
+    ->Args({16, 15})
     ->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()
     ->UseRealTime();

@@ -25,6 +25,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -104,21 +105,23 @@ rfid::RoAccessReport epoch_report(std::size_t zone, std::size_t array,
 
 constexpr std::size_t kZones = 2;
 
-serve::LocalizationService make_fleet() {
+// Heap-allocated: the service owns mutexes (scheduler + admission
+// controller) and is therefore immovable.
+std::unique_ptr<serve::LocalizationService> make_fleet() {
   serve::ServiceOptions opts;
   opts.num_workers = 2;
   opts.max_queue_per_zone = 2;
-  serve::LocalizationService service(opts);
+  auto service = std::make_unique<serve::LocalizationService>(opts);
   for (std::size_t z = 0; z < kZones; ++z) {
     serve::ZoneConfig cfg;
     cfg.name = "zone" + std::to_string(z);
     cfg.arrays = zone_arrays();
     cfg.bounds = core::SearchBounds{{0.0, 0.0}, {7.0, 10.0}};
-    const std::size_t id = service.add_zone(std::move(cfg));
+    const std::size_t id = service->add_zone(std::move(cfg));
     for (std::size_t a = 0; a < 2; ++a) {
       const double angle =
           zone_arrays()[a].arrival_angle_planar(zone_target(z));
-      service.zone(id).pipeline().add_baseline(
+      service->zone(id).pipeline().add_baseline(
           a,
           rfid::Epc96::for_tag_index(
               static_cast<std::uint32_t>(10 * z + a + 1)),
@@ -252,7 +255,8 @@ int main(int argc, char** argv) {
 
   obs::set_enabled(true);
 
-  serve::LocalizationService service = make_fleet();
+  const auto fleet = make_fleet();
+  serve::LocalizationService& service = *fleet;
   telemetry::TelemetryOptions options;
   // Keep wall-clock latency out of the demo's health verdict: the
   // deterministic shed burst is the story here.

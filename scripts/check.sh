@@ -83,6 +83,19 @@ for target in ${BENCH_TARGETS}; do
   run cp "build-bench/${json}" "${json}"
 done
 
+# --- 3b. fleet overload smoke: anchors survive a 4x storm ---------------
+# One seeded 64-zone / 4x-capacity pass through the admission
+# controller (~seconds, already-built Release tree). The binary itself
+# exits non-zero if ANY anchor-class epoch was shed or the tier ladder
+# misbehaves below capacity — the invariant the brownout design hangs
+# on, checked on every merge, not just when the full sweep is rerun.
+if [ -x build-bench/bench/bench_fleet ]; then
+  run ./build-bench/bench/bench_fleet --benchmark_filter=BM_FleetSmoke
+else
+  echo "check.sh: bench_fleet missing from the bench tree" >&2
+  exit 1
+fi
+
 # --- 4. telemetry endpoint: self-scrape, then an external curl ----------
 # The example's --selfcheck mode is the strict gate (real loopback
 # socket, strict JSON validation, non-zero exit on any violation).

@@ -44,6 +44,13 @@ Localizer::Localizer(std::vector<rf::UniformLinearArray> arrays,
   inv_2s2_ = 1.0 / (2.0 * options_.kernel_sigma * options_.kernel_sigma);
 }
 
+double Localizer::effective_grid_step() const noexcept {
+  // Stride 1 returns the configured step VERBATIM (no arithmetic) so
+  // the un-browned path is bit-identical by construction.
+  if (grid_stride_ == 1) return options_.grid_step;
+  return options_.grid_step * static_cast<double>(grid_stride_);
+}
+
 double Localizer::global_drop_norm(
     std::span<const AngularEvidence> evidence) {
   double norm = 0.0;
@@ -207,7 +214,7 @@ std::vector<LocationEstimate> Localizer::hill_climb_candidates(
   // Multi-start: coarse seed lattice, then 8-neighbour ascent on the
   // fine grid (the paper's hill climbing). Produces one candidate per
   // distinct basin reached.
-  const double step = options_.grid_step;
+  const double step = effective_grid_step();
   const std::size_t starts =
       std::max<std::size_t>(options_.hill_climb_starts, 4);
   const auto per_side = static_cast<std::size_t>(
@@ -360,7 +367,7 @@ LikelihoodGrid Localizer::likelihood_grid(
   DWATCH_SPAN("localize.grid");
   LikelihoodGrid grid;
   grid.origin = bounds_.min;
-  grid.step = options_.grid_step;
+  grid.step = effective_grid_step();
   grid.nx = static_cast<std::size_t>(
                 std::floor((bounds_.max.x - bounds_.min.x) / grid.step)) +
             1;

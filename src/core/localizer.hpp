@@ -151,6 +151,21 @@ class Localizer {
     pool_ = std::move(pool);
   }
 
+  /// Brownout knob: multiply the configured grid_step by `stride`
+  /// (clamped up to 1) for every subsequent search — grid, hill climb,
+  /// and candidate dedupe all use the widened step, so a stride-2
+  /// search costs ~1/4 of the probes. Stride 1 restores the EXACT
+  /// construction-time behaviour (effective step is computed as
+  /// step * stride, so stride 1 is bit-identical, not merely close).
+  void set_grid_stride(std::size_t stride) noexcept {
+    grid_stride_ = stride < 1 ? 1 : stride;
+  }
+  [[nodiscard]] std::size_t grid_stride() const noexcept {
+    return grid_stride_;
+  }
+  /// options().grid_step * grid_stride() — the step every search uses.
+  [[nodiscard]] double effective_grid_step() const noexcept;
+
   /// Strict total order on candidates: likelihood descending, ties
   /// broken by position (y ascending, then x ascending — the grid's
   /// own scan order, so tied ridge peaks resolve exactly as the
@@ -238,6 +253,9 @@ class Localizer {
   std::vector<rf::UniformLinearArray> arrays_;
   SearchBounds bounds_;
   LocalizerOptions options_;
+  /// Runtime grid coarsening multiplier (brownout tier 2); 1 = exact
+  /// configured resolution.
+  std::size_t grid_stride_ = 1;
   /// Precomputed Gaussian kernel reciprocal 1/(2 sigma^2), fixed per
   /// localizer since kernel_sigma is set at construction.
   double inv_2s2_ = 0.0;

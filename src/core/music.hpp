@@ -69,6 +69,14 @@ class MusicEstimator {
     return options_;
   }
 
+  /// Brownout knob: retarget MusicOptions::max_signal_rank at runtime
+  /// (0 restores the dense EVD path). The option is read per estimate()
+  /// call, so this takes effect on the next estimate with no other
+  /// state to invalidate.
+  void set_max_signal_rank(std::size_t rank) noexcept {
+    options_.max_signal_rank = rank;
+  }
+
   /// Full MUSIC from an M x N snapshot matrix.
   [[nodiscard]] MusicResult estimate(const linalg::CMatrix& snapshots) const;
 

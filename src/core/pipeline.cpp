@@ -143,6 +143,23 @@ DWatchPipeline::DWatchPipeline(std::vector<rf::UniformLinearArray> arrays,
   }
 }
 
+void DWatchPipeline::set_brownout(const BrownoutProfile& profile) {
+  brownout_ = profile;
+  if (brownout_.grid_stride < 1) brownout_.grid_stride = 1;
+  localizer_.set_grid_stride(brownout_.grid_stride);
+  // Effective rank: 0 in the profile keeps the configured rank; both
+  // set -> the smaller (coarser, cheaper) one wins. Clearing the
+  // profile therefore restores the configured value exactly.
+  const std::size_t configured = options_.pmusic.music.max_signal_rank;
+  std::size_t effective = configured;
+  if (brownout_.max_signal_rank > 0) {
+    effective = configured == 0
+                    ? brownout_.max_signal_rank
+                    : std::min(configured, brownout_.max_signal_rank);
+  }
+  for (auto& estimator : pmusic_) estimator.set_max_signal_rank(effective);
+}
+
 void DWatchPipeline::check_array(std::size_t array_idx) const {
   if (array_idx >= arrays_.size()) {
     throw std::out_of_range("DWatchPipeline: bad array index");

@@ -72,6 +72,23 @@ struct PipelineOptions {
   RssOnlyOptions rss_only;
 };
 
+/// Runtime coarsening profile for overload brownout (the serving
+/// layer's admission tier 2). The default profile is EXACTLY the
+/// configured pipeline: grid_stride 1 leaves the localizer step
+/// untouched and max_signal_rank 0 keeps each estimator's configured
+/// rank, so applying and later clearing a profile restores
+/// bit-identical fixes.
+struct BrownoutProfile {
+  /// Likelihood-grid step multiplier (clamped up to 1 on apply).
+  std::size_t grid_stride = 1;
+  /// Forced truncated-EVD signal rank; 0 keeps the configured
+  /// MusicOptions::max_signal_rank. When both the profile and the
+  /// configuration specify a rank the SMALLER (coarser) one wins.
+  std::size_t max_signal_rank = 0;
+
+  bool operator==(const BrownoutProfile&) const = default;
+};
+
 /// One (array, tag) online snapshot matrix queued for a batch epoch.
 struct BatchObservation {
   std::size_t array_idx = 0;
@@ -335,6 +352,18 @@ class DWatchPipeline {
     localizer_.set_thread_pool(pool_);
   }
 
+  /// Serving-layer brownout hook: apply (or clear, with a default
+  /// profile) runtime coarsening — localizer grid stride + truncated
+  /// P-MUSIC rank cap. Call only at an epoch boundary on the thread
+  /// that drives the pipeline (it retunes the estimators the workers
+  /// share). set_brownout({}) restores the configured estimators
+  /// exactly; subsequent fixes are bit-identical to a pipeline that
+  /// was never coarsened.
+  void set_brownout(const BrownoutProfile& profile);
+  [[nodiscard]] const BrownoutProfile& brownout() const noexcept {
+    return brownout_;
+  }
+
  private:
   [[nodiscard]] AngularSpectrum compute_omega(
       std::size_t array_idx, const linalg::CMatrix& snapshots) const;
@@ -373,6 +402,8 @@ class DWatchPipeline {
   std::vector<AngularEvidence> evidence_;
   PipelineStats stats_;
   std::shared_ptr<ThreadPool> pool_;
+  /// Active brownout coarsening (default = configured behaviour).
+  BrownoutProfile brownout_;
   /// Per-epoch degraded-mode state (reset by begin_epoch).
   struct EpochState {
     std::uint64_t watermark_us = 0;

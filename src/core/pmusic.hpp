@@ -47,6 +47,14 @@ class PMusicEstimator {
     return options_;
   }
 
+  /// Brownout knob: forwards to the inner MusicEstimator (see
+  /// MusicEstimator::set_max_signal_rank). Kept in sync on options_ so
+  /// options().music.max_signal_rank reflects the active value.
+  void set_max_signal_rank(std::size_t rank) noexcept {
+    options_.music.max_signal_rank = rank;
+    music_.set_max_signal_rank(rank);
+  }
+
   /// Full P-MUSIC from an M x N snapshot matrix.
   [[nodiscard]] PMusicResult estimate(const linalg::CMatrix& snapshots) const;
 

@@ -1,0 +1,199 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace dwatch::serve {
+
+const char* to_string(TrafficClass cls) noexcept {
+  switch (cls) {
+    case TrafficClass::kAnchor:
+      return "anchor";
+    case TrafficClass::kTracking:
+      return "tracking";
+    case TrafficClass::kBulk:
+      return "bulk";
+  }
+  return "unknown";
+}
+
+const char* to_string(BrownoutTier tier) noexcept {
+  switch (tier) {
+    case BrownoutTier::kNormal:
+      return "normal";
+    case BrownoutTier::kWidenEpochs:
+      return "widen_epochs";
+    case BrownoutTier::kCoarsen:
+      return "coarsen";
+    case BrownoutTier::kShedBulk:
+      return "shed_bulk";
+    case BrownoutTier::kRejectBulk:
+      return "reject_bulk";
+  }
+  return "unknown";
+}
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(std::move(options)) {
+  double prev = 0.0;
+  for (double threshold : options_.escalate_pressure) {
+    if (threshold <= 0.0 || threshold < prev) {
+      throw std::invalid_argument(
+          "AdmissionOptions::escalate_pressure must be positive and "
+          "non-decreasing");
+    }
+    prev = threshold;
+  }
+  if (options_.deescalate_ratio <= 0.0 || options_.deescalate_ratio >= 1.0) {
+    throw std::invalid_argument(
+        "AdmissionOptions::deescalate_ratio must be in (0, 1)");
+  }
+  if (options_.hold_down_evals == 0) {
+    throw std::invalid_argument(
+        "AdmissionOptions::hold_down_evals must be >= 1");
+  }
+}
+
+void AdmissionController::set_budget_provider(const BudgetProvider* provider) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  provider_ = provider;
+}
+
+void AdmissionController::set_tier_change_hook(TierChangeHook hook) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  tier_hook_ = std::move(hook);
+}
+
+void AdmissionController::set_zone_class(std::size_t zone, TrafficClass cls) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (zone >= zone_classes_.size()) {
+    zone_classes_.resize(zone + 1, TrafficClass::kTracking);
+  }
+  zone_classes_[zone] = cls;
+}
+
+TrafficClass AdmissionController::zone_class(std::size_t zone) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return zone < zone_classes_.size() ? zone_classes_[zone]
+                                     : TrafficClass::kTracking;
+}
+
+TrafficClass AdmissionController::classify(std::size_t zone,
+                                           bool has_anchors) const {
+  if (has_anchors) return TrafficClass::kAnchor;
+  return zone_class(zone);
+}
+
+double AdmissionController::release_threshold_locked() const {
+  if (tier_ == BrownoutTier::kNormal) return 0.0;
+  const std::size_t idx = static_cast<std::size_t>(tier_) - 1;
+  return options_.escalate_pressure[idx] * options_.deescalate_ratio;
+}
+
+BrownoutTier AdmissionController::evaluate(std::size_t num_zones) {
+  TierChangeHook hook_copy;
+  BrownoutTier from;
+  BrownoutTier to;
+  double pressure = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++evaluations_;
+    if (provider_ != nullptr) {
+      for (std::size_t zone = 0; zone < num_zones; ++zone) {
+        const BudgetSignal signal = provider_->zone_budget(zone);
+        double zone_pressure = signal.fast_burn;
+        // A latched alert means an objective already crossed the page
+        // threshold; the slow burn then keeps the pressure from
+        // collapsing the instant the fast window drains.
+        if (signal.alert_latched) {
+          zone_pressure = std::max(zone_pressure, signal.slow_burn);
+        }
+        if (signal.budget_remaining <= 0.0) {
+          zone_pressure *= options_.exhausted_budget_boost;
+        }
+        pressure = std::max(pressure, zone_pressure);
+      }
+    }
+    last_pressure_ = pressure;
+
+    from = tier_;
+    to = tier_;
+    const std::size_t tier_idx = static_cast<std::size_t>(tier_);
+    if (tier_idx + 1 < kNumBrownoutTiers &&
+        pressure >= options_.escalate_pressure[tier_idx]) {
+      to = static_cast<BrownoutTier>(tier_idx + 1);
+      calm_evals_ = 0;
+    } else if (tier_idx > 0 && pressure < release_threshold_locked()) {
+      if (++calm_evals_ >= options_.hold_down_evals) {
+        to = static_cast<BrownoutTier>(tier_idx - 1);
+        calm_evals_ = 0;
+      }
+    } else {
+      calm_evals_ = 0;
+    }
+    tier_ = to;
+    if (to != from) hook_copy = tier_hook_;
+  }
+  if (hook_copy) hook_copy(from, to, pressure);
+  return to;
+}
+
+BrownoutTier AdmissionController::tier() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tier_;
+}
+
+double AdmissionController::last_pressure() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_pressure_;
+}
+
+AdmissionDecision AdmissionController::decide(TrafficClass cls) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  AdmissionDecision decision;
+  decision.traffic_class = cls;
+  decision.tier = tier_;
+  decision.admitted = !(cls == TrafficClass::kBulk &&
+                        tier_ >= BrownoutTier::kRejectBulk);
+  const std::size_t idx = static_cast<std::size_t>(cls);
+  if (decision.admitted) {
+    ++admitted_[idx];
+  } else {
+    ++rejected_[idx];
+  }
+  return decision;
+}
+
+std::size_t AdmissionController::epoch_widen_factor() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (tier_ < BrownoutTier::kWidenEpochs) return 1;
+  return std::max<std::size_t>(1, options_.widen_factor);
+}
+
+bool AdmissionController::coarsen_active() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tier_ >= BrownoutTier::kCoarsen;
+}
+
+bool AdmissionController::shed_bulk_backlog_active() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tier_ >= BrownoutTier::kShedBulk;
+}
+
+std::uint64_t AdmissionController::admitted_total(TrafficClass cls) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return admitted_[static_cast<std::size_t>(cls)];
+}
+
+std::uint64_t AdmissionController::rejected_total(TrafficClass cls) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rejected_[static_cast<std::size_t>(cls)];
+}
+
+std::uint64_t AdmissionController::evaluations() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evaluations_;
+}
+
+}  // namespace dwatch::serve

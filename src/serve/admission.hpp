@@ -1,0 +1,212 @@
+// AdmissionController: SLO-budget-driven overload protection with
+// graceful brownout.
+//
+// Sits between the SessionRouter (traffic arriving) and the
+// EpochScheduler (epochs queued for fixing). When the fleet's SLO
+// budgets say the serving plane is falling behind, the right degraded
+// behaviour is COARSER fixes, not dropped ones (the multipath-as-
+// information tracking literature makes the same call): the controller
+// therefore degrades in explicit ordered tiers, cheapest first —
+//
+//   tier 0  kNormal       admit everything, full resolution
+//   tier 1  kWidenEpochs  batch `widen_factor` serving ticks into one
+//                         sealed epoch (fewer fixes, each better fed)
+//   tier 2  kCoarsen      + coarsen the likelihood grid and force
+//                         truncated (max_signal_rank) P-MUSIC
+//   tier 3  kShedBulk     + shed queued BULK-class epochs oldest-first
+//   tier 4  kRejectBulk   + reject bulk at ingest with a typed
+//                         AdmissionDecision (never even queued)
+//
+// Traffic is classified into priority classes: anchor/calibration
+// traffic (the epochs that keep the §5 calibration and the drift
+// watchdog alive) outranks tracking traffic, which outranks bulk
+// replay/survey traffic. Anchor-class epochs are NEVER shed or
+// rejected at any tier — losing them would poison the very recovery
+// machinery that ends the overload.
+//
+// The budget signal comes through the BudgetProvider interface below:
+// serve stays UNLINKED from telemetry (this whole header compiles with
+// zero obs/telemetry includes); the telemetry plane implements the
+// interface over its SloTracker and installs itself at attach() time.
+// With no provider installed the controller reads zero pressure and
+// stays at tier 0 — a fleet without telemetry behaves exactly as
+// before this module existed.
+//
+// Tier transitions are hysteretic so the controller cannot flap:
+// escalation is immediate (one tier per evaluate() while the pressure
+// exceeds that tier's threshold — overload response must be fast), but
+// de-escalation requires the pressure to sit below the CURRENT tier's
+// release threshold (escalate * deescalate_ratio) for
+// `hold_down_evals` consecutive evaluations, and steps down one tier
+// at a time.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace dwatch::serve {
+
+/// Priority classes, highest first. The numeric order IS the shed
+/// order's inverse: on overflow the scheduler sheds the largest enum
+/// value present, and kAnchor is never a victim.
+enum class TrafficClass : std::uint8_t {
+  kAnchor = 0,    ///< anchor-tag / calibration probes — never shed
+  kTracking = 1,  ///< live localization traffic (the default)
+  kBulk = 2,      ///< replay / survey / backfill — first against the wall
+};
+inline constexpr std::size_t kNumTrafficClasses = 3;
+
+[[nodiscard]] const char* to_string(TrafficClass cls) noexcept;
+
+/// Ordered brownout tiers; see the file comment for semantics.
+enum class BrownoutTier : std::uint8_t {
+  kNormal = 0,
+  kWidenEpochs = 1,
+  kCoarsen = 2,
+  kShedBulk = 3,
+  kRejectBulk = 4,
+};
+inline constexpr std::size_t kNumBrownoutTiers = 5;
+
+[[nodiscard]] const char* to_string(BrownoutTier tier) noexcept;
+
+/// What the budget provider knows about one zone, already rolled up
+/// across its objectives (worst case): burn rates are normalized so
+/// 1.0 means "spending the error budget exactly at the allowed rate".
+struct BudgetSignal {
+  double budget_remaining = 1.0;  ///< min across objectives, [0, 1]
+  double fast_burn = 0.0;         ///< max across objectives
+  double slow_burn = 0.0;         ///< max across objectives
+  bool alert_latched = false;     ///< any objective's fast-burn latch
+};
+
+/// The seam between serve and telemetry: the plane implements this over
+/// its SloTracker; serve only ever sees the interface. Implementations
+/// must be safe to call from the serving thread while the telemetry
+/// observers are firing (the SloTracker already is).
+class BudgetProvider {
+ public:
+  virtual ~BudgetProvider() = default;
+  [[nodiscard]] virtual BudgetSignal zone_budget(std::size_t zone) const = 0;
+};
+
+/// The typed verdict for one sealed epoch. `sheds` is filled in by the
+/// service after the scheduler ran (an admitted epoch can still force a
+/// lower-class victim out of its zone's queue).
+struct AdmissionDecision {
+  bool admitted = true;
+  TrafficClass traffic_class = TrafficClass::kTracking;
+  BrownoutTier tier = BrownoutTier::kNormal;
+  std::size_t sheds = 0;
+
+  bool operator==(const AdmissionDecision&) const = default;
+};
+
+struct AdmissionOptions {
+  /// Fleet pressure needed to ESCALATE into tier (index + 1): index 0
+  /// gates kNormal -> kWidenEpochs, index 3 gates kShedBulk ->
+  /// kRejectBulk. Must be positive and non-decreasing.
+  std::array<double, kNumBrownoutTiers - 1> escalate_pressure{2.0, 3.0, 4.0,
+                                                              6.0};
+  /// De-escalation threshold as a fraction of the CURRENT tier's
+  /// escalation threshold; the band between them is the hysteresis
+  /// dead zone. Must be in (0, 1).
+  double deescalate_ratio = 0.5;
+  /// Consecutive evaluate() calls the pressure must spend below the
+  /// release threshold before stepping down ONE tier.
+  std::size_t hold_down_evals = 3;
+  /// Serving ticks batched into one sealed epoch at tier >= 1
+  /// (clamped up to 1; 1 disables widening).
+  std::size_t widen_factor = 2;
+  /// Likelihood-grid step multiplier at tier >= 2.
+  std::size_t coarse_grid_stride = 2;
+  /// Forced truncated P-MUSIC signal rank at tier >= 2 (0 keeps each
+  /// pipeline's configured rank).
+  std::size_t coarse_max_signal_rank = 2;
+  /// A zone whose budget is fully exhausted counts double: pressure is
+  /// scaled by this factor when budget_remaining reaches 0.
+  double exhausted_budget_boost = 2.0;
+};
+
+/// The controller proper. Single-writer: evaluate()/decide()/classify()
+/// run on the serving thread; tier() and the counters may be read from
+/// any thread (the telemetry scrape path does).
+class AdmissionController {
+ public:
+  /// Fired (on the evaluating thread, outside the controller lock) on
+  /// every tier transition. `pressure` is the fleet pressure that drove
+  /// the move.
+  using TierChangeHook = std::function<void(
+      BrownoutTier from, BrownoutTier to, double pressure)>;
+
+  /// Throws std::invalid_argument on a non-monotone threshold ladder,
+  /// deescalate_ratio outside (0, 1), or hold_down_evals == 0.
+  explicit AdmissionController(AdmissionOptions options = {});
+
+  [[nodiscard]] const AdmissionOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Install the budget signal source (non-owning; nullptr detaches —
+  /// the controller then reads zero pressure and decays to tier 0).
+  void set_budget_provider(const BudgetProvider* provider);
+
+  void set_tier_change_hook(TierChangeHook hook);
+
+  /// Default class for epochs of `zone` that carry no anchors
+  /// (unregistered zones default to kTracking).
+  void set_zone_class(std::size_t zone, TrafficClass cls);
+  [[nodiscard]] TrafficClass zone_class(std::size_t zone) const;
+
+  /// An epoch carrying anchor measurements is calibration traffic no
+  /// matter what its zone defaults to.
+  [[nodiscard]] TrafficClass classify(std::size_t zone,
+                                      bool has_anchors) const;
+
+  /// One control step: poll the provider across `num_zones` zones,
+  /// fold the per-zone signals into the fleet pressure, and move the
+  /// tier (at most one step, hysteresis applied). Returns the active
+  /// tier after the step. Call once per serving tick, BEFORE sealing.
+  BrownoutTier evaluate(std::size_t num_zones);
+
+  [[nodiscard]] BrownoutTier tier() const;
+  /// The fleet pressure computed by the last evaluate() (0 before any).
+  [[nodiscard]] double last_pressure() const;
+
+  /// The ingest verdict for one sealed epoch of `cls` at the current
+  /// tier. Only bulk traffic is ever refused, and only at kRejectBulk.
+  [[nodiscard]] AdmissionDecision decide(TrafficClass cls);
+
+  /// Serving ticks to batch per sealed epoch at the current tier
+  /// (1 below kWidenEpochs).
+  [[nodiscard]] std::size_t epoch_widen_factor() const;
+  /// True at kCoarsen and above.
+  [[nodiscard]] bool coarsen_active() const;
+  /// True at kShedBulk and above.
+  [[nodiscard]] bool shed_bulk_backlog_active() const;
+
+  [[nodiscard]] std::uint64_t admitted_total(TrafficClass cls) const;
+  [[nodiscard]] std::uint64_t rejected_total(TrafficClass cls) const;
+  [[nodiscard]] std::uint64_t evaluations() const;
+
+ private:
+  [[nodiscard]] double release_threshold_locked() const;
+
+  const AdmissionOptions options_;
+  mutable std::mutex mutex_;
+  const BudgetProvider* provider_ = nullptr;  // guarded by mutex_
+  TierChangeHook tier_hook_;                  // guarded by mutex_
+  std::vector<TrafficClass> zone_classes_;    // guarded by mutex_
+  BrownoutTier tier_ = BrownoutTier::kNormal;
+  double last_pressure_ = 0.0;
+  std::size_t calm_evals_ = 0;  ///< consecutive below-release evals
+  std::uint64_t evaluations_ = 0;
+  std::array<std::uint64_t, kNumTrafficClasses> admitted_{};
+  std::array<std::uint64_t, kNumTrafficClasses> rejected_{};
+};
+
+}  // namespace dwatch::serve

@@ -7,31 +7,45 @@
 //
 //  * per-zone FIFO queues with a hard depth cap — admission control is
 //    per zone, so one hot zone cannot starve the others' memory;
-//  * when a zone's queue is full, the OLDEST queued epoch is shed to
-//    admit the new one (fresh fixes are worth more than stale ones —
-//    the same newest-wins policy as the assembler's dedupe window) and
-//    the shed is counted, never silent;
+//  * when a zone's queue is full a victim is shed to admit the new
+//    epoch, chosen class-aware: anchor/calibration epochs are NEVER
+//    victims, the lowest-priority class present goes first, and within
+//    a class the OLDEST epoch goes (fresh fixes are worth more than
+//    stale ones — the same newest-wins policy as the assembler's
+//    dedupe window). The incoming epoch itself is a candidate: a bulk
+//    epoch arriving at a queue full of tracking traffic sheds itself.
+//    A queue of nothing but anchors admits over the cap rather than
+//    drop calibration. Every shed is counted, never silent;
 //  * run_pending() drains every queue in one pass: zones fan out
 //    across the shared ThreadPool, but ONE zone's epochs always run
 //    serially in submission order on a single task — that is what
 //    keeps each zone's fixes bit-identical to a standalone pipeline
 //    fed the same reports (the tests/serve determinism contract).
 //
+// Queues and counters are guarded by a mutex (the telemetry scrape
+// thread reads pending()/shed_total() while the serving thread
+// submits), and the shed hook is ALWAYS invoked outside that lock: a
+// hook that scrapes metrics, re-enters the scheduler's accessors, or
+// even submits must not deadlock.
+//
 // The scheduler is intentionally obs-free: it does not know zone
 // names, so the LocalizationService (which does) emits the labelled
 // metrics/events around it.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "core/calibration.hpp"
 #include "core/thread_pool.hpp"
 #include "rfid/llrp.hpp"
+#include "serve/admission.hpp"
 
 namespace dwatch::serve {
 
@@ -41,6 +55,8 @@ struct PendingEpoch {
   /// Service-wide submission sequence number (shed reporting).
   std::uint64_t seq = 0;
   std::uint64_t watermark_us = 0;
+  /// Shed/reject priority; kAnchor epochs are never victims.
+  TrafficClass traffic_class = TrafficClass::kTracking;
   /// (array index, report) in arrival order.
   std::vector<std::pair<std::size_t, rfid::RoAccessReport>> reports;
   /// Per-array anchor-tag measurements for the recovery coordinator
@@ -55,8 +71,9 @@ class EpochScheduler {
   /// each, never concurrently for the same zone.
   using Processor = std::function<void(PendingEpoch&&)>;
 
-  /// Called (on the submitting thread) for every epoch shed by
-  /// admission control, before submit() returns.
+  /// Called (on the submitting thread, OUTSIDE the scheduler lock) for
+  /// every epoch shed by backpressure or purged by brownout, before
+  /// submit()/purge_class() returns.
   using ShedHook = std::function<void(const PendingEpoch&)>;
 
   /// `max_queue_per_zone` is clamped up to 1: a zone must always be
@@ -68,14 +85,20 @@ class EpochScheduler {
   /// lockstep.
   std::size_t add_zone();
 
-  void set_shed_hook(ShedHook hook) { shed_hook_ = std::move(hook); }
+  void set_shed_hook(ShedHook hook);
 
   /// Admit one sealed epoch (epoch.zone indexes the queues; throws
   /// std::out_of_range on a bad zone). When the zone's queue is at
-  /// capacity the oldest queued epoch is dropped — counted, reported
-  /// through the shed hook — and the new one admitted. Returns the
-  /// number of epochs shed (0 or 1).
+  /// capacity one victim is shed — class-aware, see the file comment —
+  /// counted, and reported through the shed hook. Returns the number
+  /// of epochs shed (0 or 1; the victim may be the incoming epoch).
   std::size_t submit(PendingEpoch epoch);
+
+  /// Drop every queued epoch of exactly `cls` across all zones,
+  /// oldest-first per zone, reporting each through the shed hook
+  /// (outside the lock). The brownout kShedBulk tier calls this with
+  /// kBulk before draining. Returns the number purged.
+  std::size_t purge_class(TrafficClass cls);
 
   /// Drain every queue: each zone with pending epochs gets ONE task
   /// that runs its epochs serially in FIFO order; distinct zones run
@@ -84,32 +107,31 @@ class EpochScheduler {
   /// wait for the next call. Returns the number of epochs processed.
   std::size_t run_pending(core::ThreadPool* pool, const Processor& processor);
 
-  [[nodiscard]] std::size_t num_zones() const noexcept {
-    return queues_.size();
-  }
+  [[nodiscard]] std::size_t num_zones() const;
   [[nodiscard]] std::size_t max_queue_per_zone() const noexcept {
     return max_queue_per_zone_;
   }
   /// Epochs currently queued for one zone / across all zones.
   [[nodiscard]] std::size_t pending(std::size_t zone) const;
-  [[nodiscard]] std::size_t total_pending() const noexcept;
+  [[nodiscard]] std::size_t total_pending() const;
 
-  [[nodiscard]] std::uint64_t submitted_total() const noexcept {
-    return submitted_;
-  }
-  [[nodiscard]] std::uint64_t processed_total() const noexcept {
-    return processed_;
-  }
-  [[nodiscard]] std::uint64_t shed_total() const noexcept { return shed_; }
+  [[nodiscard]] std::uint64_t submitted_total() const;
+  [[nodiscard]] std::uint64_t processed_total() const;
+  [[nodiscard]] std::uint64_t shed_total() const;
+  [[nodiscard]] std::uint64_t submitted_by_class(TrafficClass cls) const;
+  [[nodiscard]] std::uint64_t shed_by_class(TrafficClass cls) const;
 
  private:
-  std::vector<std::deque<PendingEpoch>> queues_;
+  mutable std::mutex mutex_;
+  std::vector<std::deque<PendingEpoch>> queues_;  // guarded by mutex_
   std::size_t max_queue_per_zone_;
-  ShedHook shed_hook_;
+  ShedHook shed_hook_;  // guarded by mutex_ (copied out before invoking)
   std::uint64_t next_seq_ = 0;
   std::uint64_t submitted_ = 0;
   std::uint64_t processed_ = 0;
   std::uint64_t shed_ = 0;
+  std::array<std::uint64_t, kNumTrafficClasses> submitted_by_class_{};
+  std::array<std::uint64_t, kNumTrafficClasses> shed_by_class_{};
 };
 
 }  // namespace dwatch::serve

@@ -27,7 +27,9 @@ namespace {
 }  // namespace
 
 LocalizationService::LocalizationService(ServiceOptions options)
-    : options_(options), scheduler_(0, options.max_queue_per_zone) {
+    : options_(options),
+      scheduler_(0, options.max_queue_per_zone),
+      admission_(options.admission) {
   if (options_.num_workers != 1) {
     pool_ = std::make_shared<core::ThreadPool>(options_.num_workers);
   }
@@ -41,9 +43,12 @@ LocalizationService::LocalizationService(ServiceOptions options)
 }
 
 std::size_t LocalizationService::add_zone(ZoneConfig config) {
+  const TrafficClass cls = config.traffic_class;
   const std::size_t id = registry_.add_zone(std::move(config));
   scheduler_.add_zone();
+  admission_.set_zone_class(id, cls);
   open_.emplace_back();
+  open_begins_.push_back(0);
   fixes_.emplace_back();
   return id;
 }
@@ -66,12 +71,34 @@ void LocalizationService::attach_client(rfid::RobustSessionClient& client,
 
 void LocalizationService::begin_epoch(std::size_t zone,
                                       std::uint64_t watermark_us) {
-  (void)registry_.zone(zone);  // validates the zone id
-  if (open_[zone].has_value()) (void)seal_epoch(zone);
+  Zone& z = registry_.zone(zone);  // validates the zone id
+  if (open_[zone].has_value()) {
+    // Brownout tier 1+: absorb this tick into the open epoch instead
+    // of sealing, up to widen_factor ticks per seal. The epoch keeps
+    // its FIRST tick's watermark — a later watermark would turn the
+    // earlier ticks' reports stale inside their own epoch. An epoch
+    // that already carries anchors seals on schedule: widening must
+    // never delay the calibration cadence.
+    const std::size_t widen =
+        options_.admission_control ? admission_.epoch_widen_factor() : 1;
+    if (widen > 1 && open_[zone]->anchors.empty() &&
+        open_begins_[zone] < widen) {
+      ++open_begins_[zone];
+      ++z.serving_stats().epochs_widened;
+      if (obs::enabled()) {
+        obs::MetricsRegistry::global()
+            .counter("dwatch_admission_widened_total", zone_label(z.name()))
+            .inc();
+      }
+      return;
+    }
+    (void)seal_epoch(zone);
+  }
   PendingEpoch epoch;
   epoch.zone = zone;
   epoch.watermark_us = watermark_us;
   open_[zone] = std::move(epoch);
+  open_begins_[zone] = 1;
 }
 
 void LocalizationService::add_report(std::size_t zone, std::size_t array,
@@ -106,16 +133,58 @@ void LocalizationService::add_anchors(
   open_[zone]->anchors = std::move(anchors);
 }
 
-std::size_t LocalizationService::seal_epoch(std::size_t zone) {
+AdmissionDecision LocalizationService::seal_epoch(std::size_t zone) {
   Zone& z = registry_.zone(zone);
-  if (!open_[zone].has_value()) return 0;
+  AdmissionDecision decision;
+  if (!open_[zone].has_value()) return decision;
   PendingEpoch epoch = std::move(*open_[zone]);
   open_[zone].reset();
+  open_begins_[zone] = 0;
+  epoch.traffic_class = admission_.classify(zone, !epoch.anchors.empty());
+  decision.traffic_class = epoch.traffic_class;
+  decision.tier = admission_.tier();
+  if (options_.admission_control) {
+    decision = admission_.decide(epoch.traffic_class);
+    if (obs::enabled()) {
+      obs::MetricsRegistry::global()
+          .counter(decision.admitted ? "dwatch_admission_admitted_total"
+                                     : "dwatch_admission_rejected_total",
+                   std::string("class=\"") +
+                       to_string(epoch.traffic_class) + "\"")
+          .inc();
+    }
+    if (!decision.admitted) {
+      // Tier 4: the epoch is refused at ingest — typed, counted, never
+      // queued. Distinct from a shed: its reports were never eligible
+      // for a fix, so the shed observer does not fire.
+      ++z.serving_stats().epochs_rejected;
+      if (obs::enabled()) {
+        obs::EventLog::global().emit(
+            obs::Event("serve.epoch_rejected")
+                .field("zone", z.name())
+                .field("class", to_string(epoch.traffic_class))
+                .field("reports", epoch.reports.size()));
+      }
+      return decision;
+    }
+  }
   ++z.serving_stats().epochs_submitted;
-  return scheduler_.submit(std::move(epoch));
+  decision.sheds = scheduler_.submit(std::move(epoch));
+  return decision;
 }
 
 std::size_t LocalizationService::run_pending() {
+  if (options_.admission_control) {
+    const BrownoutTier before = admission_.tier();
+    const BrownoutTier after = admission_.evaluate(registry_.num_zones());
+    if (after != before) apply_brownout(before, after);
+    if (admission_.shed_bulk_backlog_active()) {
+      // Tier 3: drop the queued bulk backlog (oldest-first per zone)
+      // before sealing this tick's epochs, so the capacity freed goes
+      // to tracking/anchor traffic immediately.
+      (void)scheduler_.purge_class(TrafficClass::kBulk);
+    }
+  }
   for (std::size_t z = 0; z < registry_.num_zones(); ++z) {
     (void)seal_epoch(z);
   }
@@ -123,6 +192,31 @@ std::size_t LocalizationService::run_pending() {
       pool_.get(), [this](PendingEpoch&& epoch) {
         process_epoch(std::move(epoch));
       });
+}
+
+void LocalizationService::apply_brownout(BrownoutTier from, BrownoutTier to) {
+  const bool was_coarse = from >= BrownoutTier::kCoarsen;
+  const bool now_coarse = to >= BrownoutTier::kCoarsen;
+  if (was_coarse != now_coarse) {
+    core::BrownoutProfile profile;  // defaults = configured behaviour
+    if (now_coarse) {
+      profile.grid_stride = options_.admission.coarse_grid_stride;
+      profile.max_signal_rank = options_.admission.coarse_max_signal_rank;
+    }
+    for (std::size_t z = 0; z < registry_.num_zones(); ++z) {
+      registry_.zone(z).pipeline().set_brownout(profile);
+    }
+  }
+  if (obs::enabled()) {
+    obs::MetricsRegistry::global()
+        .gauge("dwatch_admission_brownout_tier")
+        .set(static_cast<double>(to));
+    obs::EventLog::global().emit(
+        obs::Event("serve.brownout_tier")
+            .field("from", to_string(from))
+            .field("to", to_string(to))
+            .field("pressure", admission_.last_pressure()));
+  }
 }
 
 void LocalizationService::process_epoch(PendingEpoch&& epoch) {
@@ -204,9 +298,16 @@ void LocalizationService::note_shed(const PendingEpoch& epoch) {
     obs::MetricsRegistry::global()
         .counter("dwatch_serve_shed_total", zone_label(z.name()))
         .inc();
+    obs::MetricsRegistry::global()
+        .counter("dwatch_admission_shed_total",
+                 std::string("class=\"") + to_string(epoch.traffic_class) +
+                     "\"")
+        .inc();
     obs::EventLog::global().emit(obs::Event("serve.epoch_shed")
                                      .field("zone", z.name())
                                      .field("seq", epoch.seq)
+                                     .field("class",
+                                            to_string(epoch.traffic_class))
                                      .field("reports", epoch.reports.size()));
   }
   if (shed_observer_) shed_observer_(epoch.zone, epoch.seq);
@@ -227,10 +328,18 @@ ServiceStats LocalizationService::stats() const {
     total.epochs_submitted += s.epochs_submitted;
     total.epochs_processed += s.epochs_processed;
     total.epochs_shed += s.epochs_shed;
+    total.epochs_widened += s.epochs_widened;
+    total.epochs_rejected += s.epochs_rejected;
     total.reports_routed += s.reports_routed;
     total.fixes_valid += s.fixes_valid;
     total.fixes_degraded += s.fixes_degraded;
   }
+  for (std::size_t c = 0; c < kNumTrafficClasses; ++c) {
+    const auto cls = static_cast<TrafficClass>(c);
+    total.submitted_by_class[c] = scheduler_.submitted_by_class(cls);
+    total.shed_by_class[c] = scheduler_.shed_by_class(cls);
+  }
+  total.brownout_tier = admission_.tier();
   return total;
 }
 

@@ -24,6 +24,7 @@
 // bit-identical under any pool size (its own contract).
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -36,6 +37,7 @@
 #include "core/thread_pool.hpp"
 #include "rfid/llrp.hpp"
 #include "rfid/robust_client.hpp"
+#include "serve/admission.hpp"
 #include "serve/epoch_scheduler.hpp"
 #include "serve/session_router.hpp"
 #include "serve/zone_registry.hpp"
@@ -46,8 +48,15 @@ struct ServiceOptions {
   /// Workers in the fleet-shared pool: 0 = one per hardware thread,
   /// 1 = fully serial (no pool — zones then also run serially).
   std::size_t num_workers = 0;
-  /// Sealed epochs a zone may have queued before the oldest is shed.
+  /// Sealed epochs a zone may have queued before a victim is shed.
   std::size_t max_queue_per_zone = 4;
+  /// Consult the AdmissionController each run_pending() and apply its
+  /// brownout tier (widening / coarsening / bulk shedding / bulk
+  /// rejection). Off = the pre-admission serving loop, byte for byte.
+  /// Note that even ON, the controller stays at tier 0 (and every fix
+  /// is bit-identical to OFF) until a BudgetProvider reports pressure.
+  bool admission_control = true;
+  AdmissionOptions admission;
 };
 
 /// One completed fix, tagged with the epoch it came from.
@@ -88,10 +97,19 @@ struct ServiceStats {
   std::size_t epochs_submitted = 0;
   std::size_t epochs_processed = 0;
   std::size_t epochs_shed = 0;
+  std::size_t epochs_widened = 0;   ///< ticks absorbed by brownout widening
+  std::size_t epochs_rejected = 0;  ///< refused at ingest (kRejectBulk)
   std::size_t reports_routed = 0;
   std::size_t reports_unroutable = 0;
   std::size_t fixes_valid = 0;
   std::size_t fixes_degraded = 0;
+  /// Scheduler per-class admission/shed counters (indexed by
+  /// TrafficClass; anchor-class sheds MUST stay 0 — asserted by the
+  /// admission suite and the bench_fleet smoke gate).
+  std::array<std::uint64_t, kNumTrafficClasses> submitted_by_class{};
+  std::array<std::uint64_t, kNumTrafficClasses> shed_by_class{};
+  /// Active brownout tier at roll-up time.
+  BrownoutTier brownout_tier = BrownoutTier::kNormal;
 
   bool operator==(const ServiceStats&) const = default;
 };
@@ -115,6 +133,17 @@ class LocalizationService {
   [[nodiscard]] const EpochScheduler& scheduler() const noexcept {
     return scheduler_;
   }
+  [[nodiscard]] AdmissionController& admission() noexcept {
+    return admission_;
+  }
+  [[nodiscard]] const AdmissionController& admission() const noexcept {
+    return admission_;
+  }
+  /// Install the SLO budget source consulted by run_pending()'s
+  /// admission evaluation (non-owning; typically the telemetry plane).
+  void set_budget_provider(const BudgetProvider* provider) {
+    admission_.set_budget_provider(provider);
+  }
   /// Null when options.num_workers == 1.
   [[nodiscard]] const std::shared_ptr<core::ThreadPool>& thread_pool()
       const noexcept {
@@ -133,9 +162,15 @@ class LocalizationService {
                      std::size_t array);
 
   /// Open a new epoch for one zone. An already-open epoch is sealed
-  /// (submitted) first, so a fixed-cadence serving loop can just call
-  /// begin_epoch every tick. `watermark_us` is forwarded to the zone
-  /// pipeline's staleness rejection.
+  /// (submitted) first — UNLESS brownout widening is active, in which
+  /// case up to widen_factor consecutive ticks are absorbed into the
+  /// open epoch (more reports per seal, fewer fixes; the epoch keeps
+  /// its FIRST tick's watermark so none of its reports turn stale).
+  /// An epoch carrying anchors is never widened: calibration cadence
+  /// is part of the anchor-traffic-never-degrades guarantee. A
+  /// fixed-cadence serving loop can just call begin_epoch every tick.
+  /// `watermark_us` is forwarded to the zone pipeline's staleness
+  /// rejection.
   void begin_epoch(std::size_t zone, std::uint64_t watermark_us = 0);
 
   /// Append one report to a zone's open epoch (throws std::logic_error
@@ -151,15 +186,21 @@ class LocalizationService {
       std::size_t zone,
       std::vector<std::vector<core::CalibrationMeasurement>> anchors);
 
-  /// Seal the zone's open epoch: hand it to the scheduler (possibly
-  /// shedding the zone's oldest queued epoch). No-op when no epoch is
-  /// open. Returns the number of epochs shed by admission (0 or 1).
-  std::size_t seal_epoch(std::size_t zone);
+  /// Seal the zone's open epoch: classify it (anchor presence, then
+  /// the zone's configured class), consult admission, and hand it to
+  /// the scheduler (possibly shedding a lower-class victim). At
+  /// kRejectBulk a bulk epoch is refused here — typed, counted, never
+  /// queued. No-op (default decision) when no epoch is open. The
+  /// returned decision carries the class, the active tier, and the
+  /// number of epochs shed by backpressure (0 or 1).
+  AdmissionDecision seal_epoch(std::size_t zone);
 
-  /// Seal every open epoch, then drain the scheduler: zones fan out
-  /// across the shared pool, each zone's epochs run serially in order.
-  /// Completed fixes append to that zone's fixes(). Returns the number
-  /// of epochs processed.
+  /// One serving tick: evaluate admission (move the brownout tier,
+  /// apply/clear pipeline coarsening, purge bulk backlog at
+  /// kShedBulk+), seal every open epoch, then drain the scheduler:
+  /// zones fan out across the shared pool, each zone's epochs run
+  /// serially in order. Completed fixes append to that zone's
+  /// fixes(). Returns the number of epochs processed.
   std::size_t run_pending();
 
   /// Telemetry taps. The epoch observer runs on the zone's scheduler
@@ -189,6 +230,10 @@ class LocalizationService {
   /// The scheduler's processor: runs one epoch on its zone's pipeline.
   void process_epoch(PendingEpoch&& epoch);
   void note_shed(const PendingEpoch& epoch);
+  /// Tier-transition side effects: apply/clear the coarsening profile
+  /// on every zone pipeline when crossing the kCoarsen boundary, set
+  /// the brownout gauge, emit the tier event.
+  void apply_brownout(BrownoutTier from, BrownoutTier to);
 
   ServiceOptions options_;
   std::shared_ptr<core::ThreadPool> pool_;
@@ -197,8 +242,12 @@ class LocalizationService {
   ZoneRegistry registry_;
   SessionRouter router_;
   EpochScheduler scheduler_;
+  AdmissionController admission_;
   /// Per-zone epoch under construction (nullopt = none open).
   std::vector<std::optional<PendingEpoch>> open_;
+  /// Serving ticks absorbed into each zone's open epoch (brownout
+  /// widening); equals 1 right after a fresh begin_epoch.
+  std::vector<std::size_t> open_begins_;
   /// Per-zone completed fixes (each appended only by its own zone's
   /// scheduler task — disjoint writes, no locking needed).
   std::vector<std::vector<ZoneFix>> fixes_;

@@ -1,6 +1,7 @@
 #include "serve/session_router.hpp"
 
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "obs/event_log.hpp"
@@ -15,10 +16,11 @@ void SessionRouter::bind(std::uint64_t reader_id, RouteTarget target) {
         "serve::SessionRouter: reader_id 0 is the unassigned sentinel");
   }
   bindings_[reader_id] = target;
+  draining_.erase(reader_id);
 }
 
 void SessionRouter::unbind(std::uint64_t reader_id) {
-  bindings_.erase(reader_id);
+  if (bindings_.erase(reader_id) > 0) draining_.insert(reader_id);
 }
 
 std::optional<RouteTarget> SessionRouter::resolve(
@@ -33,13 +35,19 @@ std::optional<RouteTarget> SessionRouter::route(
   const auto target = resolve(reader_id);
   if (!target.has_value() || !sink_) {
     ++reports_unroutable_;
+    const bool draining =
+        !target.has_value() && draining_.count(reader_id) > 0;
+    if (draining) ++reports_unroutable_draining_;
+    const char* reason = draining ? "draining" : "unknown";
     if (obs::enabled()) {
       obs::MetricsRegistry::global()
-          .counter("dwatch_serve_unroutable_total")
+          .counter("dwatch_serve_unroutable_total",
+                   std::string("reason=\"") + reason + "\"")
           .inc();
       obs::EventLog::global().emit(obs::Event("serve.unroutable")
                                        .field("reader_id", reader_id)
-                                       .field("message_id", report.message_id));
+                                       .field("message_id", report.message_id)
+                                       .field("reason", reason));
     }
     return std::nullopt;
   }

@@ -9,6 +9,14 @@
 // installed. Unknown readers are counted, not thrown — a reader that
 // connects before its zone is provisioned (or after it is torn down)
 // must not take the serving loop down.
+//
+// Deregistration is not instantaneous from the reader's point of view:
+// reports already in flight when unbind() runs still arrive afterwards.
+// Those are a different operational signal than a never-provisioned
+// reader, so the router remembers every unbound id and counts its
+// late reports under reason="draining" (vs reason="unknown") — the
+// distinction that separates "zone teardown racing its readers"
+// from "mis-cabled fleet".
 #pragma once
 
 #include <cstddef>
@@ -16,6 +24,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <set>
 
 #include "rfid/llrp.hpp"
 #include "rfid/robust_client.hpp"
@@ -45,7 +54,9 @@ class SessionRouter {
   void bind(std::uint64_t reader_id, RouteTarget target);
 
   /// Remove a binding (no-op when absent). Subsequent reports from the
-  /// reader count as unroutable.
+  /// reader count as unroutable with reason="draining" — the reader was
+  /// provisioned once, so its late reports are a teardown race, not a
+  /// configuration error. A later bind() clears the draining mark.
   void unbind(std::uint64_t reader_id);
 
   /// The slot a reader is bound to, if any.
@@ -72,12 +83,19 @@ class SessionRouter {
   [[nodiscard]] std::size_t reports_unroutable() const noexcept {
     return reports_unroutable_;
   }
+  /// Subset of reports_unroutable() from readers that WERE bound and
+  /// have since been unbound (zone mid-deregistration).
+  [[nodiscard]] std::size_t reports_unroutable_draining() const noexcept {
+    return reports_unroutable_draining_;
+  }
 
  private:
   std::map<std::uint64_t, RouteTarget> bindings_;
+  std::set<std::uint64_t> draining_;  ///< ids unbound at least once
   Sink sink_;
   std::size_t reports_routed_ = 0;
   std::size_t reports_unroutable_ = 0;
+  std::size_t reports_unroutable_draining_ = 0;
 };
 
 }  // namespace dwatch::serve

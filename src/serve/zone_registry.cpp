@@ -9,7 +9,8 @@ Zone::Zone(std::size_t id, ZoneConfig config,
            std::shared_ptr<core::ThreadPool> pool)
     : id_(id),
       name_(std::move(config.name)),
-      best_effort_(config.best_effort) {
+      best_effort_(config.best_effort),
+      traffic_class_(config.traffic_class) {
   if (name_.empty()) {
     throw std::invalid_argument("serve::Zone: zone name must be non-empty");
   }

@@ -24,6 +24,7 @@
 #include "core/thread_pool.hpp"
 #include "recovery/self_healing.hpp"
 #include "rf/array.hpp"
+#include "serve/admission.hpp"
 
 namespace dwatch::serve {
 
@@ -53,6 +54,10 @@ struct ZoneConfig {
   /// checkpointing (recovery.checkpoint_every is forced to 0).
   std::string checkpoint_path;
   recovery::RecoveryOptions recovery;
+  /// Admission priority of this zone's anchor-less epochs (an epoch
+  /// carrying anchors is always kAnchor). Bulk zones are the first to
+  /// brown out; see serve/admission.hpp.
+  TrafficClass traffic_class = TrafficClass::kTracking;
 };
 
 /// Per-zone serving counters (mutated only by the zone's own epoch
@@ -60,7 +65,9 @@ struct ZoneConfig {
 struct ZoneServingStats {
   std::size_t epochs_submitted = 0;
   std::size_t epochs_processed = 0;
-  std::size_t epochs_shed = 0;       ///< dropped by backpressure, oldest first
+  std::size_t epochs_shed = 0;       ///< dropped by backpressure/brownout
+  std::size_t epochs_widened = 0;    ///< ticks absorbed into a wider epoch
+  std::size_t epochs_rejected = 0;   ///< refused at ingest (kRejectBulk)
   std::size_t reports_routed = 0;    ///< reports folded into this zone's epochs
   std::size_t fixes_valid = 0;       ///< consensus fixes
   std::size_t fixes_degraded = 0;    ///< ConfidenceReport::degraded() fixes
@@ -80,6 +87,9 @@ class Zone {
   [[nodiscard]] std::size_t id() const noexcept { return id_; }
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] bool best_effort() const noexcept { return best_effort_; }
+  [[nodiscard]] TrafficClass traffic_class() const noexcept {
+    return traffic_class_;
+  }
   [[nodiscard]] core::DWatchPipeline& pipeline() noexcept {
     return *pipeline_;
   }
@@ -100,6 +110,7 @@ class Zone {
   std::size_t id_;
   std::string name_;
   bool best_effort_;
+  TrafficClass traffic_class_;
   /// unique_ptr keeps Zone movable (DWatchPipeline holds a Localizer
   /// with internal references and is not move-assignable).
   std::unique_ptr<core::DWatchPipeline> pipeline_;

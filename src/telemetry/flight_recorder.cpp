@@ -52,6 +52,8 @@ void append_stats(std::string& out, const serve::ZoneServingStats& s) {
   out += std::to_string(s.epochs_submitted);
   append_kv(out, "epochs_processed", s.epochs_processed);
   append_kv(out, "epochs_shed", s.epochs_shed);
+  append_kv(out, "epochs_widened", s.epochs_widened);
+  append_kv(out, "epochs_rejected", s.epochs_rejected);
   append_kv(out, "reports_routed", s.reports_routed);
   append_kv(out, "fixes_valid", s.fixes_valid);
   append_kv(out, "fixes_degraded", s.fixes_degraded);
@@ -121,6 +123,14 @@ void FlightRecorder::record_drift_transition(std::size_t zone,
   if (ring.drift_log.size() == ring_epochs_) ring.drift_log.pop_front();
   ring.drift_log.push_back(
       DriftTransition{ring.total_recorded, array_idx, from, to});
+}
+
+void FlightRecorder::record_tier_transition(std::uint8_t from,
+                                            std::uint8_t to) {
+  std::lock_guard lock(mutex_);
+  if (tier_log_.size() == ring_epochs_) tier_log_.pop_front();
+  tier_log_.push_back(TierTransition{tier_transitions_recorded_, from, to});
+  ++tier_transitions_recorded_;
 }
 
 std::size_t FlightRecorder::buffered(std::size_t zone) const {
@@ -199,6 +209,17 @@ void FlightRecorder::write_dump(std::ostream& os, std::string_view trigger) {
       out += '}';
     }
     out += "]}";
+  }
+  out += "],\"tier_transitions\":[";
+  bool first_tier = true;
+  for (const auto& t : tier_log_) {
+    if (!first_tier) out += ',';
+    first_tier = false;
+    out += "{\"ordinal\":";
+    out += std::to_string(t.ordinal);
+    append_kv(out, "from", t.from);
+    append_kv(out, "to", t.to);
+    out += '}';
   }
   out += "]}";
   os << out;

@@ -41,6 +41,10 @@ class FlightRecorder {
   /// Record a drift-watchdog transition for `zone`'s array `array_idx`.
   void record_drift_transition(std::size_t zone, std::size_t array_idx,
                                std::uint8_t from, std::uint8_t to);
+  /// Record a fleet-wide admission brownout tier move (values are
+  /// serve::BrownoutTier). Fleet-level, not per-zone: the controller
+  /// runs one tier for the whole service. Bounded like the zone rings.
+  void record_tier_transition(std::uint8_t from, std::uint8_t to);
 
   [[nodiscard]] std::size_t ring_epochs() const noexcept {
     return ring_epochs_;
@@ -61,6 +65,11 @@ class FlightRecorder {
   struct DriftTransition {
     std::uint64_t at_epoch = 0;  ///< zone epochs recorded when it fired
     std::size_t array_idx = 0;
+    std::uint8_t from = 0;
+    std::uint8_t to = 0;
+  };
+  struct TierTransition {
+    std::uint64_t ordinal = 0;  ///< tier moves recorded before this one
     std::uint8_t from = 0;
     std::uint8_t to = 0;
   };
@@ -87,6 +96,9 @@ class FlightRecorder {
   const std::size_t ring_epochs_;
   mutable std::mutex mutex_;
   std::map<std::size_t, ZoneRing> zones_;
+  /// Fleet-level brownout tier moves (bounded by ring_epochs_).
+  std::deque<TierTransition> tier_log_;
+  std::uint64_t tier_transitions_recorded_ = 0;
   std::uint64_t dump_seq_ = 0;
 };
 

@@ -47,10 +47,18 @@ TelemetryPlane::TelemetryPlane(TelemetryOptions options)
 TelemetryPlane::~TelemetryPlane() { stop(); }
 
 void TelemetryPlane::attach(serve::LocalizationService& service) {
+  service_ = &service;
   service.set_epoch_observer(
       [this](const serve::EpochObservation& o) { on_epoch(o); });
   service.set_shed_observer(
       [this](std::size_t zone, std::uint64_t seq) { on_shed(zone, seq); });
+  // Close the SLO feedback loop: the service's admission controller
+  // polls this plane's budgets, and its tier moves land in the flight
+  // recorder (dumping on every escalation).
+  service.set_budget_provider(this);
+  service.admission().set_tier_change_hook(
+      [this](serve::BrownoutTier from, serve::BrownoutTier to,
+             double /*pressure*/) { on_tier_change(from, to); });
   for (std::size_t z = 0; z < service.num_zones(); ++z) {
     recovery::RecoveryCoordinator* coordinator = service.zone(z).coordinator();
     if (coordinator == nullptr) continue;
@@ -106,6 +114,40 @@ void TelemetryPlane::on_drift(std::size_t zone, std::size_t array_idx,
     auto_dump("drift zone=" + std::to_string(zone) +
               " array=" + std::to_string(array_idx));
   }
+}
+
+void TelemetryPlane::on_tier_change(serve::BrownoutTier from,
+                                    serve::BrownoutTier to) {
+  recorder_.record_tier_transition(static_cast<std::uint8_t>(from),
+                                   static_cast<std::uint8_t>(to));
+  // The trigger string is fully deterministic (tier names only — no
+  // pressure float, no timestamps) so two identical runs produce
+  // byte-identical escalation bundles.
+  if (options_.dump_on_tier_escalation && to > from) {
+    auto_dump(std::string("admission.tier from=") + serve::to_string(from) +
+              " to=" + serve::to_string(to));
+  }
+}
+
+serve::BudgetSignal TelemetryPlane::zone_budget(std::size_t zone) const {
+  serve::BudgetSignal signal;
+  for (std::size_t o = 0; o < kNumSloObjectives; ++o) {
+    const auto objective = static_cast<SloObjective>(o);
+    signal.budget_remaining = std::min(
+        signal.budget_remaining, slo_.budget_remaining(zone, objective));
+    signal.fast_burn =
+        std::max(signal.fast_burn, slo_.fast_burn(zone, objective));
+    signal.slow_burn =
+        std::max(signal.slow_burn, slo_.slow_burn(zone, objective));
+    signal.alert_latched =
+        signal.alert_latched || slo_.alert_latched(zone, objective);
+  }
+  return signal;
+}
+
+serve::BrownoutTier TelemetryPlane::active_tier() const {
+  return service_ == nullptr ? serve::BrownoutTier::kNormal
+                             : service_->admission().tier();
 }
 
 void TelemetryPlane::auto_dump(const std::string& trigger) {
@@ -185,8 +227,13 @@ TelemetryPlane::HealthReport TelemetryPlane::health() const {
       zones_json += '}';
     }
   }
+  const serve::BrownoutTier tier = active_tier();
   report.json = "{\"status\":\"";
   report.json += report.healthy ? "ok" : "degraded";
+  report.json += "\",\"brownout_tier\":";
+  report.json += std::to_string(static_cast<unsigned>(tier));
+  report.json += ",\"brownout_tier_name\":\"";
+  report.json += serve::to_string(tier);
   report.json += "\",\"zones\":[";
   report.json += zones_json;
   report.json += "]}";
@@ -219,7 +266,18 @@ void TelemetryPlane::install_routes() {
     return HttpResponse{report.healthy ? 200 : 503, kJson, report.json};
   });
   server_.handle("GET", "/slo", [this](const HttpRequest&) {
-    return HttpResponse{200, kJson, slo_.json_text()};
+    // Splice the live brownout tier in right after the opening brace so
+    // operators see the admission response next to the burn rates that
+    // drive it.
+    std::string body = slo_.json_text();
+    const serve::BrownoutTier tier = active_tier();
+    std::string prefix = "\"brownout_tier\":";
+    prefix += std::to_string(static_cast<unsigned>(tier));
+    prefix += ",\"brownout_tier_name\":\"";
+    prefix += serve::to_string(tier);
+    prefix += "\",";
+    body.insert(1, prefix);
+    return HttpResponse{200, kJson, std::move(body)};
   });
   server_.handle("GET", "/events", [this](const HttpRequest& request) {
     std::size_t n = options_.events_tail_default;

@@ -47,6 +47,10 @@ struct TelemetryOptions {
   bool dump_on_fast_burn = true;
   bool dump_on_drift = true;
   bool dump_on_shed = false;
+  /// Dump a bundle every time the admission controller ESCALATES its
+  /// brownout tier (de-escalations are recorded but don't dump: the
+  /// interesting forensics are on the way up).
+  bool dump_on_tier_escalation = true;
   /// Bundles kept for /dump/last (oldest evicted).
   std::size_t max_stored_dumps = 4;
   /// Auto triggers stop dumping after this many bundles — a stuck
@@ -57,20 +61,30 @@ struct TelemetryOptions {
   std::size_t events_tail_default = 100;
 };
 
-class TelemetryPlane {
+class TelemetryPlane : public serve::BudgetProvider {
  public:
   explicit TelemetryPlane(TelemetryOptions options = {});
-  ~TelemetryPlane();
+  ~TelemetryPlane() override;
 
   TelemetryPlane(const TelemetryPlane&) = delete;
   TelemetryPlane& operator=(const TelemetryPlane&) = delete;
 
-  /// Install the epoch/shed observers on `service` and the drift
-  /// state-change hook on every zone coordinator. Call AFTER all
-  /// add_zone calls and BEFORE serving traffic (the hooks are plain
-  /// std::functions, unsynchronized against concurrent install).
-  /// `service` must outlive this plane.
+  /// Install the epoch/shed observers on `service`, the drift
+  /// state-change hook on every zone coordinator, the admission
+  /// tier-change hook, and this plane as the service's BudgetProvider
+  /// (closing the SLO feedback loop: burn rates observed here drive
+  /// the service's brownout tier). Call AFTER all add_zone calls and
+  /// BEFORE serving traffic (the hooks are plain std::functions,
+  /// unsynchronized against concurrent install). `service` must
+  /// outlive this plane.
   void attach(serve::LocalizationService& service);
+
+  /// serve::BudgetProvider: one zone's SLO signals rolled up across
+  /// the three objectives, worst case (min budget remaining, max burn,
+  /// any latch). Safe from the serving thread while observers fire —
+  /// the SloTracker is internally locked.
+  [[nodiscard]] serve::BudgetSignal zone_budget(
+      std::size_t zone) const override;
 
   /// Bind + serve on 127.0.0.1:`port` (0 = ephemeral; read port()).
   void start(std::uint16_t port = 0);
@@ -108,14 +122,21 @@ class TelemetryPlane {
   void on_shed(std::size_t zone, std::uint64_t seq);
   void on_drift(std::size_t zone, std::size_t array_idx, std::uint8_t from,
                 std::uint8_t to);
+  void on_tier_change(serve::BrownoutTier from, serve::BrownoutTier to);
   void auto_dump(const std::string& trigger);
   void store_dump(std::string bundle);
   void install_routes();
+  /// The attached service's active brownout tier (kNormal when no
+  /// service is attached).
+  [[nodiscard]] serve::BrownoutTier active_tier() const;
 
   TelemetryOptions options_;
   SloTracker slo_;
   FlightRecorder recorder_;
   HttpServer server_;
+  /// Set by attach(); read by the scrape handlers for the brownout
+  /// tier. The service outlives the plane per the attach() contract.
+  serve::LocalizationService* service_ = nullptr;
   mutable std::mutex mutex_;  ///< health mirror + stored dumps
   std::map<std::size_t, ZoneHealth> health_;
   std::deque<std::string> dumps_;

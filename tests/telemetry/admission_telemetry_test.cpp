@@ -1,0 +1,150 @@
+// The serve <-> telemetry feedback loop. TelemetryPlane is the
+// BudgetProvider the admission controller reads, so burn observed HERE
+// drives brownout tiers THERE — these tests close the loop end to end:
+// SLO burn escalates the service tier, the tier shows up on /healthz
+// and /slo, every escalation stores a flight-recorder bundle, and the
+// bundles are byte-identical across identical runs.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "obs/event_log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "serve/admission.hpp"
+#include "telemetry/http_client.hpp"
+#include "telemetry/json_check.hpp"
+#include "telemetry/plane.hpp"
+#include "tests/telemetry/fleet_fixture.hpp"
+
+namespace dwatch::telemetry {
+namespace {
+
+TEST(AdmissionTelemetry, ZoneBudgetIsTheWorstCaseAcrossObjectives) {
+  TelemetryPlane plane;
+  // Latency blown (budget 0.01 -> burn 100, latches), quality clean:
+  // the rollup must carry the WORST objective, not an average.
+  plane.slo().observe_fix(0, /*fix_latency_us=*/10'000'000,
+                          /*quality_breach=*/false);
+  const serve::BudgetSignal signal = plane.zone_budget(0);
+  EXPECT_DOUBLE_EQ(signal.fast_burn,
+                   plane.slo().fast_burn(0, SloObjective::kLatency));
+  EXPECT_GT(signal.fast_burn, 2.0);
+  EXPECT_DOUBLE_EQ(signal.slow_burn,
+                   plane.slo().slow_burn(0, SloObjective::kLatency));
+  EXPECT_DOUBLE_EQ(
+      signal.budget_remaining,
+      plane.slo().budget_remaining(0, SloObjective::kLatency));
+  EXPECT_LT(signal.budget_remaining, 1.0);
+  EXPECT_TRUE(signal.alert_latched);
+
+  // A zone the tracker has never seen reports the neutral signal.
+  const serve::BudgetSignal idle = plane.zone_budget(99);
+  EXPECT_DOUBLE_EQ(idle.budget_remaining, 1.0);
+  EXPECT_DOUBLE_EQ(idle.fast_burn, 0.0);
+  EXPECT_FALSE(idle.alert_latched);
+}
+
+TEST(AdmissionTelemetry, SloBurnDrivesTheServiceTierThroughAttach) {
+  obs::set_enabled(true);
+  obs::MetricsRegistry::global().reset();
+  obs::EventLog::global().clear();
+
+  // No baselines -> every fix breaches quality -> burn (1/1)/0.05 = 20,
+  // far above the whole {2,3,4,6} ladder.
+  const auto fleet = testing::make_fleet(/*zones=*/1, /*num_workers=*/1,
+                                         /*with_baselines=*/false);
+  serve::LocalizationService& service = *fleet;
+  TelemetryOptions options;
+  options.dump_on_fast_burn = false;  // isolate the tier trigger
+  TelemetryPlane plane(options);
+  plane.attach(service);
+
+  // run_pending evaluates BEFORE processing, so the first tick sees a
+  // clean budget; each subsequent tick climbs exactly one tier.
+  testing::drive_epochs(service, /*zones=*/1, /*epochs=*/3);
+  EXPECT_EQ(service.admission().tier(), serve::BrownoutTier::kCoarsen);
+  testing::drive_epochs(service, /*zones=*/1, /*epochs=*/2);
+  EXPECT_EQ(service.admission().tier(), serve::BrownoutTier::kRejectBulk);
+
+  // Every escalation stored a bundle, newest trigger names the move.
+  EXPECT_EQ(plane.stored_dumps(), 4u);
+  EXPECT_NE(plane.last_dump().find(
+                "\"trigger\":\"admission.tier from=shed_bulk "
+                "to=reject_bulk\""),
+            std::string::npos);
+
+  obs::set_enabled(false);
+}
+
+TEST(AdmissionTelemetry, EndpointsExposeTheBrownoutTier) {
+  obs::set_enabled(true);
+  obs::MetricsRegistry::global().reset();
+
+  const auto fleet = testing::make_fleet(/*zones=*/1, /*num_workers=*/1,
+                                         /*with_baselines=*/false);
+  serve::LocalizationService& service = *fleet;
+  TelemetryPlane plane;
+  plane.attach(service);
+  plane.start(0);
+  testing::drive_epochs(service, /*zones=*/1, /*epochs=*/2);
+  ASSERT_EQ(service.admission().tier(), serve::BrownoutTier::kWidenEpochs);
+
+  std::string error;
+  HttpResult r = http_fetch(plane.port(), "GET", "/healthz");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 503);  // quality latch
+  EXPECT_TRUE(json_valid(r.body, &error)) << error;
+  EXPECT_NE(r.body.find("\"brownout_tier\":1"), std::string::npos);
+  EXPECT_NE(r.body.find("\"brownout_tier_name\":\"widen_epochs\""),
+            std::string::npos);
+
+  r = http_fetch(plane.port(), "GET", "/slo");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 200);
+  EXPECT_TRUE(json_valid(r.body, &error)) << error;
+  EXPECT_NE(r.body.find("\"brownout_tier\":1"), std::string::npos);
+
+  // The obs gauge mirrors the controller.
+  EXPECT_NE(http_fetch(plane.port(), "GET", "/metrics")
+                .body.find("dwatch_admission_brownout_tier 1"),
+            std::string::npos);
+
+  plane.stop();
+  obs::set_enabled(false);
+}
+
+/// One deterministic degraded run; returns the newest escalation dump.
+std::string run_and_dump_escalations() {
+  const auto fleet = testing::make_fleet(/*zones=*/1, /*num_workers=*/1,
+                                         /*with_baselines=*/false);
+  serve::LocalizationService& service = *fleet;
+  TelemetryOptions options;
+  options.dump_on_fast_burn = false;
+  options.dump_on_drift = false;
+  options.dump_on_shed = false;
+  options.recorder_ring_epochs = 16;
+  TelemetryPlane plane(options);
+  plane.attach(service);
+  testing::drive_epochs(service, /*zones=*/1, /*epochs=*/4);
+  return plane.last_dump();
+}
+
+TEST(AdmissionTelemetry, TierEscalationDumpsAreByteIdentical) {
+  const std::string first = run_and_dump_escalations();
+  const std::string second = run_and_dump_escalations();
+  EXPECT_EQ(first, second);
+  std::string error;
+  EXPECT_TRUE(json_valid(first, &error)) << error;
+  // The bundle records the whole ladder so far, in order, with no
+  // wall-clock anywhere near it.
+  EXPECT_NE(first.find("\"tier_transitions\":[{\"ordinal\":0,\"from\":0,"
+                       "\"to\":1},{\"ordinal\":1,\"from\":1,\"to\":2},"
+                       "{\"ordinal\":2,\"from\":2,\"to\":3}"),
+            std::string::npos);
+  EXPECT_EQ(first.find("latency"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dwatch::telemetry

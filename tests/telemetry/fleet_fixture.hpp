@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -97,15 +98,17 @@ inline serve::ZoneConfig zone_config(std::size_t zone) {
 /// Build a `zones`-zone service with baselines installed. `num_workers`
 /// = 1 keeps epoch processing fully serial (the determinism tests need
 /// that: observer callbacks then arrive in one fixed global order).
-inline serve::LocalizationService make_fleet(
+/// Heap-allocated: the service owns mutexes (scheduler + admission)
+/// and is therefore immovable.
+inline std::unique_ptr<serve::LocalizationService> make_fleet(
     std::size_t zones, std::size_t num_workers,
     bool with_baselines = true) {
   serve::ServiceOptions opts;
   opts.num_workers = num_workers;
-  serve::LocalizationService service(opts);
+  auto service = std::make_unique<serve::LocalizationService>(opts);
   for (std::size_t z = 0; z < zones; ++z) {
-    const std::size_t id = service.add_zone(zone_config(z));
-    if (with_baselines) install_baselines(service.zone(id).pipeline(), z);
+    const std::size_t id = service->add_zone(zone_config(z));
+    if (with_baselines) install_baselines(service->zone(id).pipeline(), z);
   }
   return service;
 }

@@ -89,8 +89,8 @@ TEST(FlightRecorder, DumpSeqAdvancesButRingsAreNotDrained) {
 
 /// Drive the shared fleet fixture serially and dump after every run.
 std::string run_and_dump() {
-  serve::LocalizationService service =
-      testing::make_fleet(/*zones=*/2, /*num_workers=*/1);
+  const auto fleet = testing::make_fleet(/*zones=*/2, /*num_workers=*/1);
+  serve::LocalizationService& service = *fleet;
   FlightRecorder recorder(16);
   service.set_epoch_observer(
       [&](const serve::EpochObservation& o) { recorder.record(o); });

@@ -116,8 +116,8 @@ TEST(TelemetryPlane, GoldenScrapes) {
   obs::MetricsRegistry::global().reset();
   obs::EventLog::global().clear();
 
-  serve::LocalizationService service =
-      testing::make_fleet(/*zones=*/2, /*num_workers=*/1);
+  const auto fleet = testing::make_fleet(/*zones=*/2, /*num_workers=*/1);
+  serve::LocalizationService& service = *fleet;
   // A Debug-built fix can take arbitrarily long; this test asserts the
   // HEALTHY scrape shapes, so keep the latency objective out of play.
   TelemetryOptions options;
@@ -205,9 +205,9 @@ TEST(TelemetryPlane, HealthzGoes503WhenSloAlertLatches) {
 
   // No baselines -> every fix is invalid -> quality objective burns at
   // (1/1)/0.05 = 20 >= 2 and latches from the first epoch on.
-  serve::LocalizationService service =
-      testing::make_fleet(/*zones=*/1, /*num_workers=*/1,
-                          /*with_baselines=*/false);
+  const auto fleet = testing::make_fleet(/*zones=*/1, /*num_workers=*/1,
+                                         /*with_baselines=*/false);
+  serve::LocalizationService& service = *fleet;
   TelemetryPlane plane;
   plane.attach(service);
   plane.start(0);
@@ -237,8 +237,8 @@ TEST(TelemetryConcurrency, ScrapesRaceFreeAgainstServingTraffic) {
   obs::MetricsRegistry::global().reset();
   obs::EventLog::global().clear();
 
-  serve::LocalizationService service =
-      testing::make_fleet(/*zones=*/3, /*num_workers=*/4);
+  const auto fleet = testing::make_fleet(/*zones=*/3, /*num_workers=*/4);
+  serve::LocalizationService& service = *fleet;
   TelemetryPlane plane;
   plane.attach(service);
   plane.start(0);

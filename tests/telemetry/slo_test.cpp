@@ -134,6 +134,37 @@ TEST(SloTracker, FastBurnAlertLatchesAndRecovers) {
   EXPECT_EQ(alerts.size(), 2u);
 }
 
+TEST(SloTracker, PeriodRolloverRefillsBudgetWithoutClearingTheLatch) {
+  // Budget refill and alert recovery are DIFFERENT signals: the budget
+  // answers "may we spend again", the latch answers "is the regression
+  // over". A period boundary must refill the former without touching
+  // the latter — otherwise every rollover masks an ongoing incident.
+  SloTracker slo(tiny_config());
+  for (int e = 0; e < 20; ++e) slo.observe_fix(0, 9999, false);
+  ASSERT_TRUE(slo.alert_latched(0, SloObjective::kLatency));
+  ASSERT_DOUBLE_EQ(slo.budget_remaining(0, SloObjective::kLatency), 0.0);
+
+  // Epoch 21 is good and opens a fresh period: the budget snaps back
+  // to 1.0 but the fast window still holds 3 bad epochs (burn 7.5), so
+  // the latch MUST hold.
+  slo.observe_fix(0, 1, false);
+  EXPECT_DOUBLE_EQ(slo.budget_remaining(0, SloObjective::kLatency), 1.0);
+  EXPECT_DOUBLE_EQ(slo.fast_burn(0, SloObjective::kLatency), 7.5);
+  EXPECT_TRUE(slo.alert_latched(0, SloObjective::kLatency));
+
+  // Two more good epochs: burn 2.5 is still >= 1.0 -> still latched.
+  slo.observe_fix(0, 1, false);
+  slo.observe_fix(0, 1, false);
+  EXPECT_DOUBLE_EQ(slo.fast_burn(0, SloObjective::kLatency), 2.5);
+  EXPECT_TRUE(slo.alert_latched(0, SloObjective::kLatency));
+
+  // Only when the fast window itself drains below 1.0 does the latch
+  // release — the burn recovery gates it, never the refill.
+  slo.observe_fix(0, 1, false);
+  EXPECT_DOUBLE_EQ(slo.fast_burn(0, SloObjective::kLatency), 0.0);
+  EXPECT_FALSE(slo.alert_latched(0, SloObjective::kLatency));
+}
+
 TEST(SloTracker, QualityObjectiveTracksBreachFlag) {
   SloTracker slo(tiny_config());
   slo.observe_fix(0, 1, true);
