@@ -5,7 +5,9 @@
 #   1. tier-1: configure + build + full ctest of the default tree;
 #   2. recovery: the self-healing label on the same tree (fast re-run,
 #      isolates a recovery regression from an unrelated tier-1 one);
-#      then the scenario label (the compliance suite) the same way;
+#      then the scenario label (the compliance suite) the same way,
+#      then the streaming label (incremental-vs-batch parity + early
+#      sealing through the serve layer);
 #   3. bench trajectory: a PINNED Release(+LTO) tree is configured just
 #      for benches, every bench_*_json target runs there, and its
 #      BENCH_*.json is staged at the repo root (committed per PR).
@@ -46,6 +48,13 @@ run ctest --test-dir build -L recovery --output-on-failure
 # regression from an unrelated tier-1 one.
 run ctest --test-dir build -L scenario --output-on-failure
 
+# --- 2c. streaming parity suite, explicitly ------------------------------
+# The incremental spectral path against the batch oracle over every
+# registered scenario, plus the early-seal serve tests. The label is
+# hyphenated (streaming-stress-tsan) so the same binaries also join the
+# stress and tsan gates; -L matches on substrings of the label list.
+run ctest --test-dir build -L streaming --output-on-failure
+
 # --- 3. bench trajectory: pinned Release(+LTO) tree ---------------------
 # Benches run in their own tree so the trajectory numbers are always
 # optimized builds, whatever CMAKE_BUILD_TYPE the default tree uses.
@@ -82,6 +91,19 @@ for target in ${BENCH_TARGETS}; do
   fi
   run cp "build-bench/${json}" "${json}"
 done
+
+# The streaming bench is ALSO a gate binary (it exits 1 on a violated
+# invariant), but belt-and-braces: refuse to merge a BENCH_streaming.json
+# whose counters admit a TTFF or scaling regression, even one produced
+# by hand outside this script.
+if grep -Eq '"ttff_regressed":\s*[1-9]' BENCH_streaming.json; then
+  echo "check.sh: BENCH_streaming.json reports early-seal TTFF >= epoch-boundary TTFF" >&2
+  exit 1
+fi
+if grep -Eq '"scaling_regressed":\s*[1-9]' BENCH_streaming.json; then
+  echo "check.sh: BENCH_streaming.json reports super-linear fleet-epoch scaling" >&2
+  exit 1
+fi
 
 # --- 3b. fleet overload smoke: anchors survive a 4x storm ---------------
 # One seeded 64-zone / 4x-capacity pass through the admission

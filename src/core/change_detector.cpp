@@ -13,14 +13,28 @@ SpectrumChangeDetector::SpectrumChangeDetector(ChangeDetectorOptions options)
     throw std::invalid_argument(
         "SpectrumChangeDetector: min_drop_fraction outside [0,1]");
   }
+  if (!(options_.angle_window >= 0.0)) {  // also rejects NaN
+    throw std::invalid_argument(
+        "SpectrumChangeDetector: angle_window must be >= 0");
+  }
 }
 
 double SpectrumChangeDetector::windowed_power(const AngularSpectrum& spectrum,
                                               double theta) const {
-  const std::size_t lo = spectrum.index_of(theta - options_.angle_window);
-  const std::size_t hi = spectrum.index_of(theta + options_.angle_window);
+  // Clamp the window onto the grid and keep the bounds ordered whatever
+  // index_of returns for off-grid angles. The bin nearest theta is
+  // ALWAYS part of the window: an empty window would leave `best` at
+  // 0.0 and report a healthy edge-of-grid baseline peak as a spurious
+  // full drop (drop_fraction == 1.0).
+  std::size_t lo = spectrum.index_of(theta - options_.angle_window);
+  std::size_t hi = spectrum.index_of(theta + options_.angle_window);
+  if (lo > hi) std::swap(lo, hi);
+  const std::size_t center = spectrum.index_of(theta);
+  lo = std::min(lo, center);
+  hi = std::max(hi, center);
+  hi = std::min(hi, spectrum.size() - 1);
   double best = 0.0;
-  for (std::size_t i = lo; i <= hi && i < spectrum.size(); ++i) {
+  for (std::size_t i = lo; i <= hi; ++i) {
     best = std::max(best, spectrum[i]);
   }
   return best;

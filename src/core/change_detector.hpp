@@ -62,7 +62,10 @@ class SpectrumChangeDetector {
   [[nodiscard]] std::vector<PathDrop> detect(
       const AngularSpectrum& baseline, const AngularSpectrum& online) const;
 
-  /// Max power in `spectrum` within +/- angle_window of theta.
+  /// Max power in `spectrum` within +/- angle_window of theta. The
+  /// window is clamped to the grid and always contains the bin nearest
+  /// theta, so an edge-of-grid peak reads its own power rather than an
+  /// empty-window 0.0.
   [[nodiscard]] double windowed_power(const AngularSpectrum& spectrum,
                                       double theta) const;
 

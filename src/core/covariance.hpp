@@ -32,6 +32,14 @@ namespace dwatch::core {
 
 /// Default subarray size for M elements: enough subarrays to decorrelate
 /// the <= 5 dominant indoor paths while keeping aperture (paper §4.1).
+/// Edge contract (tested in tests/core/covariance_test.cpp): M >= 3
+/// returns a smoothable L in [2, M]; M == 2 returns 2 == M, which the
+/// MUSIC path treats as "no smoothing" (L == M skips the smoother, so
+/// forward_smooth's L >= 2 requirement is never violated); M == 1
+/// returns 1, which forward_smooth — and every spectral consumer —
+/// REJECTS by throwing: a single element has no angular aperture.
+/// DWatchPipeline enforces M >= 2 per array at construction for this
+/// reason.
 [[nodiscard]] std::size_t default_subarray(std::size_t num_elements) noexcept;
 
 }  // namespace dwatch::core

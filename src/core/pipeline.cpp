@@ -1,6 +1,7 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <complex>
 #include <numeric>
 #include <set>
@@ -126,10 +127,21 @@ DWatchPipeline::DWatchPipeline(std::vector<rf::UniformLinearArray> arrays,
       baselines_(arrays_.size()),
       rss_baselines_(arrays_.size()),
       evidence_(arrays_.size()) {
+  // A single-element array has no angular aperture: default_subarray(1)
+  // returns 1 and every spectral consumer downstream throws. Reject at
+  // construction so the contract surfaces here, not mid-epoch.
+  for (const auto& array : arrays_) {
+    if (array.num_elements() < 2) {
+      throw std::invalid_argument(
+          "DWatchPipeline: arrays need >= 2 elements");
+    }
+  }
   pmusic_.reserve(arrays_.size());
   for (const auto& array : arrays_) {
     pmusic_.emplace_back(array.spacing(), array.lambda(), options_.pmusic);
   }
+  streams_.resize(arrays_.size());
+  stream_reports_.resize(arrays_.size(), 0);
   // Record which kernel path will serve this pipeline's fixes (gauge
   // dwatch_simd_backend + one simd.dispatch event; no-op with obs off).
   linalg::simd::publish_backend();
@@ -273,6 +285,15 @@ void DWatchPipeline::restore(const PipelineState& state) {
   stats_ = state.stats;
   epoch_ = EpochState{};
   epoch_.watermark_us = state.watermark_us;
+  max_seen_us_ = state.watermark_us;
+  // Streaming state is in-memory only (the DWCP v1 layout is frozen):
+  // drop accumulated covariances and tracked bases; trackers rebuild
+  // from the dense oracle on the first post-restore observation.
+  for (auto& per_array : streams_) per_array.clear();
+  std::fill(stream_reports_.begin(), stream_reports_.end(), 0);
+  last_estimate_ = LocationEstimate{};
+  stable_checks_ = 0;
+  converged_ = false;
 }
 
 AngularSpectrum DWatchPipeline::compute_omega(
@@ -323,8 +344,29 @@ void DWatchPipeline::add_baseline(std::size_t array_idx,
 
 void DWatchPipeline::begin_epoch(std::uint64_t watermark_us) {
   for (auto& e : evidence_) e.drops.clear();  // health flags persist
+  // Default watermark: carry the highest timestamp accepted so far. A
+  // caller that never supplies watermarks (0) used to run with stale
+  // rejection silently disabled — the `watermark_us > 0` guard in the
+  // staleness gate never fired — so retransmissions of a previous
+  // epoch's reports polluted the new epoch. Explicit watermarks (the
+  // serving layer's widen-epoch path keeps the FIRST one) still win.
+  if (watermark_us == 0 && options_.degraded.reject_stale) {
+    watermark_us = max_seen_us_;
+  }
   epoch_ = EpochState{};
   epoch_.watermark_us = watermark_us;
+  // Streaming per-epoch state: covariances restart (the epoch is the
+  // averaging window); trackers keep their basis across epochs — the
+  // warm start is the point of tracking.
+  if (options_.streaming.enabled) {
+    for (auto& per_array : streams_) {
+      for (auto& [epc, stream] : per_array) stream.cov.reset();
+    }
+  }
+  std::fill(stream_reports_.begin(), stream_reports_.end(), 0);
+  last_estimate_ = LocationEstimate{};
+  stable_checks_ = 0;
+  converged_ = false;
   ++stats_.epochs;
   if (obs::enabled()) PipelineCounters::get().epochs.inc();
 }
@@ -390,6 +432,123 @@ std::vector<PathDrop> DWatchPipeline::detect_drops(
   return drops;
 }
 
+std::vector<PathDrop> DWatchPipeline::detect_drops_streaming(
+    std::size_t array_idx, const rfid::Epc96& epc,
+    const AngularSpectrum& baseline, const linalg::CMatrix& snapshots) {
+  DWATCH_SPAN("pipeline.streaming_observe");
+  const auto& array = arrays_[array_idx];
+  if (snapshots.rows() != array.num_elements()) {
+    throw std::invalid_argument("DWatchPipeline: snapshot row mismatch");
+  }
+  linalg::CMatrix x = snapshots;
+  if (calibration_[array_idx]) {
+    apply_phase_correction(x, *calibration_[array_idx]);
+  }
+
+  const std::size_t m = array.num_elements();
+  auto [it, inserted] = streams_[array_idx].try_emplace(
+      epc, StreamState{IncrementalCovariance(m),
+                       SubspaceTracker(options_.streaming.tracker)});
+  StreamState& stream = it->second;
+  stream.cov.accumulate(x);
+  ++stream_reports_[array_idx];
+  streaming_stats_.rank1_updates += x.cols();
+
+  // The EPOCH-accumulated correlation, not this report's: every new
+  // report sharpens the spectrum instead of standing alone, which is
+  // why the drops below REPLACE the tag's earlier evidence.
+  const linalg::CMatrix r = stream.cov.correlation();
+  // Mirror the batch smoothing choice (music.cpp): subarray 0 resolves
+  // to the default; L == M skips the smoother.
+  std::size_t l = options_.pmusic.music.subarray;
+  if (l == 0) l = default_subarray(m);
+  const linalg::CMatrix smoothed = l == m ? r : forward_backward_smooth(r, l);
+  const SubspaceUpdateResult upd = stream.tracker.update(smoothed);
+  if (upd.reset) ++streaming_stats_.tracker_resets;
+
+  // Full Omega = PB(R) * Nor(B) from the TRACKED basis — no dense EVD
+  // on the warm path. This is the streamed spectral product (parity
+  // contract vs the batch EVD lives in the tracker tests).
+  PMusicResult pm = pmusic_[array_idx].compose(
+      r, pmusic_[array_idx].music().estimate_from_subspace(
+             stream.tracker.subspace(), stream.tracker.eigenvalues(),
+             stream.tracker.trace(), stream.cov.num_snapshots()));
+  ++streaming_stats_.streamed_spectra;
+
+  // Drop detection mirrors the batch contract EXACTLY: the online
+  // power at the baseline peaks is read from the beamforming spectrum
+  // PB, never from Omega. Nor(B) < 1 wherever the ONLINE MUSIC peaks
+  // have shifted away from a baseline peak, so reading Omega there
+  // manufactures phantom drops out of model-order jitter — with thin
+  // evidence (few tags) those phantoms outvote the real drops and the
+  // likelihood argmax pins at the grid edge.
+  std::vector<PathDrop> drops = detector_.detect(baseline, pm.power);
+  // Degraded widening keys on the ACCUMULATED snapshot count: once the
+  // epoch has gathered enough columns for this tag, its angle is as
+  // trustworthy as a batch spectrum over the same data.
+  const bool low_snapshots =
+      stream.cov.num_snapshots() < options_.degraded.min_snapshots;
+  for (PathDrop& d : drops) {
+    d.source_id = epc.serial();
+    if (low_snapshots) d.sigma_scale = options_.degraded.sigma_widen;
+  }
+  return drops;
+}
+
+void DWatchPipeline::check_convergence() {
+  if (!options_.streaming.early_seal || converged_) return;
+  // Every healthy array must have (a) contributed min_reports streamed
+  // observations and (b) at least one drop on file. One array's
+  // evidence alone gives a likelihood ridge whose argmax can pin
+  // spuriously, and an array that has BARELY reported can stabilize a
+  // partial-evidence ghost (collinear deployments are the worst case:
+  // the mirror ambiguity only resolves with the late array's tags).
+  for (std::size_t a = 0; a < evidence_.size(); ++a) {
+    if (evidence_[a].excluded) continue;
+    if (stream_reports_[a] < options_.streaming.min_reports) return;
+    if (evidence_[a].drops.empty()) return;
+  }
+  ++streaming_stats_.convergence_checks;
+  // The stability probe runs on a COARSE grid (see StreamingOptions):
+  // only the seal-time fix needs full resolution. Never undercut an
+  // active brownout stride.
+  const std::size_t prev_stride = localizer_.grid_stride();
+  localizer_.set_grid_stride(std::max<std::size_t>(
+      {1, prev_stride, options_.streaming.convergence_grid_stride}));
+  const LocationEstimate est = localize_best_effort();
+  localizer_.set_grid_stride(prev_stride);
+  if (!est.valid) {
+    stable_checks_ = 0;
+    last_estimate_ = est;
+    return;
+  }
+  bool stable = false;
+  if (last_estimate_.valid) {
+    const double dx = est.position.x - last_estimate_.position.x;
+    const double dy = est.position.y - last_estimate_.position.y;
+    const double denom = std::max(std::abs(last_estimate_.likelihood), 1e-12);
+    const double rel =
+        std::abs(est.likelihood - last_estimate_.likelihood) / denom;
+    stable = std::sqrt(dx * dx + dy * dy) <=
+                 options_.streaming.position_tolerance_m &&
+             rel <= options_.streaming.likelihood_tolerance;
+  }
+  stable_checks_ = stable ? stable_checks_ + 1 : 0;
+  last_estimate_ = est;
+  if (stable_checks_ >= options_.streaming.convergence_window) {
+    converged_ = true;
+    ++streaming_stats_.early_seals;
+    if (obs::enabled()) {
+      obs::EventLog::global().emit(
+          obs::Event("pipeline.early_seal")
+              .field("observations", epoch_.observations)
+              .field("x", est.position.x)
+              .field("y", est.position.y)
+              .field("likelihood", est.likelihood));
+    }
+  }
+}
+
 std::size_t DWatchPipeline::observe(std::size_t array_idx,
                                     const rfid::Epc96& epc,
                                     const linalg::CMatrix& snapshots) {
@@ -414,15 +573,28 @@ std::size_t DWatchPipeline::observe(std::size_t array_idx,
   }
   accumulate_rss(array_idx, epc, phase_coherence(snapshots),
                  mean_power(snapshots));
+  const bool streaming = options_.streaming.enabled;
+  if (streaming && converged_) {
+    ++streaming_stats_.post_convergence_observations;
+  }
   std::vector<PathDrop> drops =
-      detect_drops(array_idx, epc, it->second, snapshots);
+      streaming ? detect_drops_streaming(array_idx, epc, it->second, snapshots)
+                : detect_drops(array_idx, epc, it->second, snapshots);
   stats_.drops_detected += drops.size();
   epoch_.drops_detected += drops.size();
   if (obs::enabled()) {
     PipelineCounters::get().drops_detected.inc(drops.size());
   }
   auto& sink = evidence_[array_idx].drops;
+  if (streaming) {
+    // The streamed spectrum covers ALL of this tag's snapshots so far,
+    // so its drops supersede — not add to — the tag's earlier evidence.
+    std::erase_if(sink, [&](const PathDrop& d) {
+      return d.source_id == epc.serial();
+    });
+  }
   sink.insert(sink.end(), drops.begin(), drops.end());
+  if (streaming) check_convergence();
   return drops.size();
 }
 
@@ -441,6 +613,18 @@ std::size_t DWatchPipeline::observe_batch(
                      return std::tie(batch[a].array_idx, batch[a].epc) <
                             std::tie(batch[b].array_idx, batch[b].epc);
                    });
+
+  if (options_.streaming.enabled) {
+    // The streaming path is stateful per (array, tag) — fanning it out
+    // would race on the incremental covariances. Honour the documented
+    // "observe() in sorted order" contract by literally running it.
+    std::size_t total = 0;
+    for (const std::size_t idx : order) {
+      const BatchObservation& item = batch[idx];
+      total += observe(item.array_idx, item.epc, item.snapshots);
+    }
+    return total;
+  }
 
   // Fan the spectra out: every slot is written by exactly one task, all
   // shared pipeline state (arrays, calibration, baselines, estimators)
@@ -524,6 +708,9 @@ std::size_t DWatchPipeline::observe(std::size_t array_idx,
     }
     return 0;
   }
+  // Track the frontier of accepted timestamps: begin_epoch(0) carries
+  // it forward as the next epoch's default watermark.
+  if (obs.first_seen_us > max_seen_us_) max_seen_us_ = obs.first_seen_us;
   linalg::CMatrix snapshots;
   try {
     snapshots =

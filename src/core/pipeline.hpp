@@ -29,6 +29,7 @@
 #include "core/localizer.hpp"
 #include "core/pmusic.hpp"
 #include "core/rss.hpp"
+#include "core/streaming.hpp"
 #include "core/thread_pool.hpp"
 #include "core/triangulate.hpp"
 #include "linalg/complex_matrix.hpp"
@@ -55,6 +56,61 @@ struct DegradedModeOptions {
   bool reject_stale = true;
 };
 
+/// Streaming spectral mode (DESIGN.md §16). Off by default: the batch
+/// path stays byte-for-byte what it was. When enabled, each observe()
+/// folds its snapshots into a per-(array, tag) IncrementalCovariance,
+/// the P-MUSIC signal subspace is TRACKED across epochs
+/// (SubspaceTracker; dense EVD only on divergence/reset), and the
+/// epoch can seal EARLY: once the likelihood argmax has been stable
+/// for `convergence_window` consecutive checks the pipeline flags
+/// early_fix_ready() so the serving layer can emit the fix mid-epoch.
+struct StreamingOptions {
+  bool enabled = false;
+  /// Subspace tracker configuration (rank, refinement, divergence).
+  SubspaceTrackerOptions tracker;
+  /// Early sealing on likelihood-grid convergence. Disable to keep the
+  /// incremental covariance/tracking path without mid-epoch fixes
+  /// (e.g. multi-target zones, where late evidence can still split the
+  /// likelihood mass).
+  bool early_seal = true;
+  /// No convergence checks until EVERY healthy array has streamed at
+  /// least this many observations this epoch. Per-array (not fleet
+  /// total): sealing on a backlog where one array has barely reported
+  /// is how partial-evidence ghosts get promoted to early fixes.
+  std::size_t min_reports = 4;
+  /// Consecutive stable checks required to declare convergence.
+  std::size_t convergence_window = 3;
+  /// Position delta between consecutive best-effort fixes below which
+  /// a check counts as stable [m].
+  double position_tolerance_m = 0.05;
+  /// Relative likelihood delta bound for a stable check.
+  double likelihood_tolerance = 0.02;
+  /// Grid stride for the convergence-check localization (the stability
+  /// probe), NOT for the sealed fix — that is always computed at full
+  /// resolution. A stride of s makes each mid-backlog probe ~s^2
+  /// cheaper; stability on the coarse grid means the argmax keeps
+  /// choosing the same cell, which is strictly harder to jitter than
+  /// the full-resolution argmax. Without this, per-observation probes
+  /// cost as much as the spectral work early sealing tries to beat,
+  /// and TTFF stops dropping.
+  std::size_t convergence_grid_stride = 4;
+};
+
+/// Lifetime counters of the streaming path (NOT part of the frozen
+/// DWCP v1 PipelineState — in-memory only, like the RSS references).
+struct StreamingStats {
+  std::size_t rank1_updates = 0;    ///< snapshot columns accumulated
+  std::size_t streamed_spectra = 0; ///< online spectra via tracked basis
+  std::size_t tracker_resets = 0;   ///< dense-oracle fallbacks
+  std::size_t convergence_checks = 0;
+  std::size_t early_seals = 0;      ///< epochs declared converged
+  /// Observations that arrived after the epoch converged (the serving
+  /// layer normally stops feeding; these count the ones fed anyway).
+  std::size_t post_convergence_observations = 0;
+
+  bool operator==(const StreamingStats&) const = default;
+};
+
 struct PipelineOptions {
   PMusicOptions pmusic;
   ChangeDetectorOptions change;
@@ -70,6 +126,8 @@ struct PipelineOptions {
   /// RSS-only degraded localization (see core/rss.hpp). Inert by
   /// default; requires surveyed tag positions (set_tag_position).
   RssOnlyOptions rss_only;
+  /// Incremental spectral path + early sealing (inert by default).
+  StreamingOptions streaming;
 };
 
 /// Runtime coarsening profile for overload brownout (the serving
@@ -195,6 +253,11 @@ class DWatchPipeline {
     return arrays_.size();
   }
   [[nodiscard]] const PipelineStats& stats() const noexcept { return stats_; }
+  /// Streaming-path lifetime counters (all zero unless streaming mode
+  /// is enabled; never checkpointed).
+  [[nodiscard]] const StreamingStats& streaming_stats() const noexcept {
+    return streaming_stats_;
+  }
   [[nodiscard]] const Localizer& localizer() const noexcept {
     return localizer_;
   }
@@ -282,6 +345,17 @@ class DWatchPipeline {
                       const linalg::CMatrix& snapshots);
 
   std::size_t observe(std::size_t array_idx, const rfid::TagObservation& obs);
+
+  /// Streaming mode only: true once this epoch's likelihood grid has
+  /// converged (stable best-effort argmax + bounded likelihood delta
+  /// over `convergence_window` consecutive observations, with evidence
+  /// from EVERY healthy array). The serving layer may then seal the
+  /// epoch early and emit the fix without waiting for the remaining
+  /// reports. Always false when streaming/early_seal is off; reset by
+  /// begin_epoch().
+  [[nodiscard]] bool early_fix_ready() const noexcept {
+    return converged_;
+  }
 
   /// Step 3, batched: process many (array, tag) snapshots for the
   /// current epoch, fanning the per-tag P-MUSIC spectra across the
@@ -386,6 +460,17 @@ class DWatchPipeline {
                       double coherence, double online_power);
   [[nodiscard]] std::vector<std::uint8_t> excluded_flags() const;
 
+  /// Streaming-mode detection for one observation: fold the calibrated
+  /// snapshots into the (array, tag) incremental covariance, refresh the
+  /// tracked subspace, and detect drops on the full Omega spectrum of
+  /// the ACCUMULATED covariance. Non-const (mutates the stream state).
+  [[nodiscard]] std::vector<PathDrop> detect_drops_streaming(
+      std::size_t array_idx, const rfid::Epc96& epc,
+      const AngularSpectrum& baseline, const linalg::CMatrix& snapshots);
+  /// Run one convergence check after a streaming observation; flips
+  /// converged_ once the fix has been stable long enough.
+  void check_convergence();
+
   std::vector<rf::UniformLinearArray> arrays_;
   PipelineOptions options_;
   Localizer localizer_;
@@ -422,6 +507,28 @@ class DWatchPipeline {
     std::size_t coherence_count = 0;
   };
   EpochState epoch_;
+
+  /// Streaming-path state (empty / inert unless options_.streaming is
+  /// enabled). Covariances reset per epoch; trackers persist across
+  /// epochs (that is the point of tracking) and are invalidated by
+  /// restore().
+  struct StreamState {
+    IncrementalCovariance cov;
+    SubspaceTracker tracker;
+  };
+  std::vector<std::map<rfid::Epc96, StreamState>> streams_;
+  /// Streamed observations per array this epoch (convergence gating).
+  std::vector<std::size_t> stream_reports_;
+  StreamingStats streaming_stats_;
+  /// Convergence detection for the current epoch.
+  LocationEstimate last_estimate_;
+  std::size_t stable_checks_ = 0;
+  bool converged_ = false;
+  /// Max first_seen_us accepted so far; carried into the next epoch as
+  /// the default watermark when begin_epoch(0) is called with staleness
+  /// rejection on (in-memory only, NOT checkpointed beyond the regular
+  /// watermark field).
+  std::uint64_t max_seen_us_ = 0;
 };
 
 }  // namespace dwatch::core

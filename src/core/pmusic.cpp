@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "core/steering_cache.hpp"
@@ -53,10 +54,19 @@ AngularSpectrum PMusicEstimator::power_spectrum(
 PMusicResult PMusicEstimator::estimate(
     const linalg::CMatrix& snapshots) const {
   DWATCH_SPAN("pmusic.spectrum");
-  const linalg::CMatrix r = sample_correlation(snapshots);
+  return estimate_from_correlation(sample_correlation(snapshots),
+                                   snapshots.cols());
+}
 
+PMusicResult PMusicEstimator::estimate_from_correlation(
+    const linalg::CMatrix& r, std::size_t num_snapshots) const {
+  return compose(r, music_.estimate_from_correlation(r, num_snapshots));
+}
+
+PMusicResult PMusicEstimator::compose(const linalg::CMatrix& r,
+                                      MusicResult music) const {
   PMusicResult result;
-  result.music = music_.estimate_from_correlation(r, snapshots.cols());
+  result.music = std::move(music);
   result.power = power_spectrum(r);
   result.music_nor = normalize_peaks(result.music.spectrum, options_.peaks);
 

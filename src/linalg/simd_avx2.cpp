@@ -146,6 +146,38 @@ __attribute__((target("avx2"))) void sample_correlation_avx2(
   sample_correlation_lanes(xt, j_vec, m, out);
 }
 
+__attribute__((target("avx2"))) void accumulate_outer_products_avx2(
+    const SplitComplexMatrix& xt, SplitComplexMatrix& acc) {
+  const std::size_t n = xt.rows();
+  const std::size_t m = xt.cols();
+  const std::size_t j_vec = m / 4 * 4;
+  for (std::size_t i = 0; i < m; ++i) {
+    double* a_re = acc.re_row(i);
+    double* a_im = acc.im_row(i);
+    for (std::size_t j = 0; j < j_vec; j += 4) {
+      // Resume the partial sums from the accumulator; the k-chain below
+      // is sample_correlation_avx2's, minus the trailing divide.
+      __m256d s_re = _mm256_loadu_pd(a_re + j);
+      __m256d s_im = _mm256_loadu_pd(a_im + j);
+      for (std::size_t k = 0; k < n; ++k) {
+        const __m256d xa = _mm256_set1_pd(xt.re_row(k)[i]);
+        const __m256d xb = _mm256_set1_pd(xt.im_row(k)[i]);
+        const __m256d wc = _mm256_loadu_pd(xt.re_row(k) + j);
+        const __m256d wd = _mm256_loadu_pd(xt.im_row(k) + j);
+        s_re = _mm256_add_pd(
+            s_re,
+            _mm256_add_pd(_mm256_mul_pd(xa, wc), _mm256_mul_pd(xb, wd)));
+        s_im = _mm256_add_pd(
+            s_im,
+            _mm256_sub_pd(_mm256_mul_pd(xb, wc), _mm256_mul_pd(xa, wd)));
+      }
+      _mm256_storeu_pd(a_re + j, s_re);
+      _mm256_storeu_pd(a_im + j, s_im);
+    }
+  }
+  accumulate_outer_products_lanes(xt, j_vec, m, acc);
+}
+
 }  // namespace dwatch::linalg::simd::detail
 
 #endif  // DWATCH_SIMD_X86

@@ -155,6 +155,39 @@ inline void sample_correlation_lanes(const SplitComplexMatrix& xt,
   }
 }
 
+/// acc(i, j) += sum_k x(i,k) * conj(x(j,k)) for j in [j0, j1), all i —
+/// the streaming covariance update. Identical inner k-chain (ascending,
+/// same mul/add/sub order) as sample_correlation_lanes, but the partial
+/// sum RESUMES from the accumulator and there is no trailing divide:
+/// chaining calls chunk-by-chunk therefore extends the exact addition
+/// chain the batch kernel would produce over the concatenated
+/// snapshots, and one divide at read time reproduces its bits.
+inline void accumulate_outer_products_lanes(const SplitComplexMatrix& xt,
+                                            std::size_t j0, std::size_t j1,
+                                            SplitComplexMatrix& acc) {
+  const std::size_t n = xt.rows();
+  const std::size_t m = xt.cols();
+  for (std::size_t i = 0; i < m; ++i) {
+    double* a_re = acc.re_row(i);
+    double* a_im = acc.im_row(i);
+    for (std::size_t j = j0; j < j1; ++j) {
+      double s_re = a_re[j];
+      double s_im = a_im[j];
+      for (std::size_t k = 0; k < n; ++k) {
+        const double a = xt.re_row(k)[i];
+        const double b = xt.im_row(k)[i];
+        const double c = xt.re_row(k)[j];
+        const double d = xt.im_row(k)[j];
+        // x * conj(w), same decomposition as sample_correlation_lanes.
+        s_re += a * c + b * d;
+        s_im += b * c - a * d;
+      }
+      a_re[j] = s_re;
+      a_im[j] = s_im;
+    }
+  }
+}
+
 // ---- per-architecture entry points ----
 // Defined only in their own TU; dispatch guards calls with the macros
 // above. Each writes the same bits as the lane functions.
@@ -167,6 +200,8 @@ void matmul_hermitian_left_avx2(const CMatrix& u, const SplitComplexMatrix& c,
                                 SplitComplexMatrix& out);
 void column_squared_norms_avx2(const SplitComplexMatrix& a, double* out);
 void sample_correlation_avx2(const SplitComplexMatrix& xt, CMatrix& out);
+void accumulate_outer_products_avx2(const SplitComplexMatrix& xt,
+                                    SplitComplexMatrix& acc);
 #endif
 
 #if DWATCH_SIMD_NEON
@@ -176,6 +211,8 @@ void matmul_hermitian_left_neon(const CMatrix& u, const SplitComplexMatrix& c,
                                 SplitComplexMatrix& out);
 void column_squared_norms_neon(const SplitComplexMatrix& a, double* out);
 void sample_correlation_neon(const SplitComplexMatrix& xt, CMatrix& out);
+void accumulate_outer_products_neon(const SplitComplexMatrix& xt,
+                                    SplitComplexMatrix& acc);
 #endif
 
 }  // namespace dwatch::linalg::simd::detail

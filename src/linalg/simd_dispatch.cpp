@@ -229,4 +229,31 @@ CMatrix sample_correlation(const SplitComplexMatrix& xt) {
   }
 }
 
+void accumulate_outer_products(const SplitComplexMatrix& xt,
+                               SplitComplexMatrix& acc) {
+  if (xt.rows() == 0 || xt.cols() == 0) {
+    throw std::invalid_argument(
+        "accumulate_outer_products: empty snapshot chunk");
+  }
+  if (acc.rows() != xt.cols() || acc.cols() != xt.cols()) {
+    throw std::invalid_argument(
+        "accumulate_outer_products: accumulator shape mismatch");
+  }
+  switch (active_backend()) {
+#if DWATCH_SIMD_X86
+    case Backend::kAvx2:
+      detail::accumulate_outer_products_avx2(xt, acc);
+      return;
+#endif
+#if DWATCH_SIMD_NEON
+    case Backend::kNeon:
+      detail::accumulate_outer_products_neon(xt, acc);
+      return;
+#endif
+    default:
+      detail::accumulate_outer_products_lanes(xt, 0, xt.cols(), acc);
+      return;
+  }
+}
+
 }  // namespace dwatch::linalg::simd

@@ -95,6 +95,18 @@ void publish_backend();
 /// matrix.
 [[nodiscard]] CMatrix sample_correlation(const SplitComplexMatrix& xt);
 
+/// acc += X X^H from a TRANSPOSED SoA snapshot chunk (rows = snapshots,
+/// cols = elements) — the streaming rank-N covariance update behind
+/// core::IncrementalCovariance. No divide happens here: the reader
+/// divides the accumulated sum by the total snapshot count once, so
+/// feeding chunks one at a time extends the exact addition chain
+/// sample_correlation() would produce over the concatenated snapshots
+/// and the final correlation is bit-identical to the batch kernel's.
+/// Throws std::invalid_argument on an empty chunk or when `acc` is not
+/// square with side == xt.cols().
+void accumulate_outer_products(const SplitComplexMatrix& xt,
+                               SplitComplexMatrix& acc);
+
 namespace detail {
 /// Pure parser for the DWATCH_SIMD environment value (exposed for unit
 /// tests; the memoized active_backend() consults it once). nullptr /

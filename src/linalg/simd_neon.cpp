@@ -121,6 +121,36 @@ void sample_correlation_neon(const SplitComplexMatrix& xt, CMatrix& out) {
   sample_correlation_lanes(xt, j_vec, m, out);
 }
 
+void accumulate_outer_products_neon(const SplitComplexMatrix& xt,
+                                    SplitComplexMatrix& acc) {
+  const std::size_t n = xt.rows();
+  const std::size_t m = xt.cols();
+  const std::size_t j_vec = m / 2 * 2;
+  for (std::size_t i = 0; i < m; ++i) {
+    double* a_re = acc.re_row(i);
+    double* a_im = acc.im_row(i);
+    for (std::size_t j = 0; j < j_vec; j += 2) {
+      // Resume the partial sums from the accumulator; the k-chain below
+      // is sample_correlation_neon's, minus the trailing divide.
+      float64x2_t s_re = vld1q_f64(a_re + j);
+      float64x2_t s_im = vld1q_f64(a_im + j);
+      for (std::size_t k = 0; k < n; ++k) {
+        const float64x2_t xa = vdupq_n_f64(xt.re_row(k)[i]);
+        const float64x2_t xb = vdupq_n_f64(xt.im_row(k)[i]);
+        const float64x2_t wc = vld1q_f64(xt.re_row(k) + j);
+        const float64x2_t wd = vld1q_f64(xt.im_row(k) + j);
+        s_re = vaddq_f64(s_re,
+                         vaddq_f64(vmulq_f64(xa, wc), vmulq_f64(xb, wd)));
+        s_im = vaddq_f64(s_im,
+                         vsubq_f64(vmulq_f64(xb, wc), vmulq_f64(xa, wd)));
+      }
+      vst1q_f64(a_re + j, s_re);
+      vst1q_f64(a_im + j, s_im);
+    }
+  }
+  accumulate_outer_products_lanes(xt, j_vec, m, acc);
+}
+
 }  // namespace dwatch::linalg::simd::detail
 
 #endif  // DWATCH_SIMD_NEON

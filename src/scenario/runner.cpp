@@ -153,6 +153,8 @@ ScenarioResult ScenarioRunner::run(const ScenarioSpec& spec) {
   sopts.num_workers = config_.service_workers;
   serve::LocalizationService service(sopts);
 
+  const bool multi = spec.targets.size() > 1;
+
   serve::ZoneConfig zc;
   zc.name = spec.name;
   zc.arrays = scene.deployment().arrays;
@@ -162,6 +164,11 @@ ScenarioResult ScenarioRunner::run(const ScenarioSpec& spec) {
   zc.pipeline.localizer.grid_step =
       spec.room == RoomPreset::kTable ? 0.02 : 0.05;
   zc.pipeline.rss_only = spec.rss;
+  zc.pipeline.streaming = config_.streaming;
+  // Early sealing truncates the evidence backlog once ONE likelihood
+  // peak stabilizes — fine for a single target, fatal for the
+  // secondary peaks multi-target localization feeds on.
+  if (multi) zc.pipeline.streaming.early_seal = false;
   for (std::size_t a = 0; a < scene.num_arrays(); ++a) {
     zc.calibration.push_back(scene.reader(a).phase_offsets());
   }
@@ -195,7 +202,6 @@ ScenarioResult ScenarioRunner::run(const ScenarioSpec& spec) {
   bank_.configure(spec.targets.size(), kopts);
   bank_.reset();  // the episode boundary: no state from a previous case
 
-  const bool multi = spec.targets.size() > 1;
   const bool use_allowance = spec.budget.human_allowance && all_human(spec);
   const double allowance = use_allowance ? 0.18 : 0.0;
 
@@ -205,6 +211,25 @@ ScenarioResult ScenarioRunner::run(const ScenarioSpec& spec) {
   double match_rate_sum = 0.0;
   std::size_t match_rate_epochs = 0;
   ScenarioMetrics& m = result.metrics;
+
+  // Streaming: converged fixes reach the track bank MID-EPOCH, on the
+  // zone's task inside run_pending(), instead of after the serving tick
+  // returns. With service_workers == 1 the observer runs synchronously
+  // on this thread, so the bank sees exactly one step per epoch either
+  // way (the frame loop skips its own step when the observer already
+  // took it).
+  std::optional<std::vector<rf::Vec2>> early_tracked;
+  if (config_.streaming.enabled && config_.streaming.early_seal && !multi &&
+      config_.service_workers == 1) {
+    service.set_early_fix_observer(
+        [this, &early_tracked](std::size_t, const serve::ZoneFix& zone_fix) {
+          std::vector<rf::Vec2> measurements;
+          if (zone_fix.result.estimate.likelihood > 0.0) {
+            measurements.push_back(zone_fix.result.estimate.position);
+          }
+          early_tracked = bank_.step(std::move(measurements));
+        });
+  }
 
   std::uint32_t message_id = 1000;
   for (std::size_t k = 0; k < compiled.frames.size(); ++k) {
@@ -251,7 +276,13 @@ ScenarioResult ScenarioRunner::run(const ScenarioSpec& spec) {
     for (const core::LocationEstimate& e : estimates) {
       measurements.push_back(e.position);
     }
-    const std::vector<rf::Vec2> tracked = bank_.step(std::move(measurements));
+    std::vector<rf::Vec2> tracked;
+    if (early_tracked.has_value()) {
+      tracked = std::move(*early_tracked);  // stepped mid-epoch already
+      early_tracked.reset();
+    } else {
+      tracked = bank_.step(std::move(measurements));
+    }
 
     if (k >= config_.warmup_epochs) {
       // Hungarian pairs within the gate are matches; pairs beyond it
@@ -315,6 +346,7 @@ ScenarioResult ScenarioRunner::run(const ScenarioSpec& spec) {
                            static_cast<double>(match_rate_epochs);
   m.p50_epoch_us = percentile(epoch_times, 0.5);
   m.p99_epoch_us = percentile(epoch_times, 0.99);
+  m.early_seals = service.zone_stats(zone).epochs_early_sealed;
 
   if (m.scored_epochs == 0) {
     result.outcome = Outcome::kFail;

@@ -58,6 +58,9 @@ struct ScenarioMetrics {
   double match_rate = 0.0;  ///< matched truths / truths, averaged
   double p50_epoch_us = 0.0;
   double p99_epoch_us = 0.0;
+  /// Streaming mode: epochs whose fix was emitted before the report
+  /// backlog was exhausted (always 0 with streaming off).
+  std::size_t early_seals = 0;
 };
 
 struct ScenarioResult {
@@ -117,6 +120,13 @@ struct RunnerConfig {
   /// Worker threads for the LocalizationService pool (1 = serial).
   /// Results are bit-identical for every setting.
   std::size_t service_workers = 1;
+  /// Streaming spectral path for the zone pipeline (off = the batch
+  /// path, byte for byte). Early sealing is forced OFF for
+  /// multi-target specs: truncating the backlog on single-peak
+  /// convergence would starve the secondary peaks the multi-target
+  /// localizer needs. Early fixes stream into the TrackBank mid-epoch
+  /// via the service's early-fix observer.
+  core::StreamingOptions streaming;
   /// Tracker tuning; dt is overridden by each spec's epoch_dt. Wider
   /// than the core defaults: raw fixes carry occasional meter-level
   /// outliers, and a 4-sigma gate on a 0.15 m sigma locks the filter

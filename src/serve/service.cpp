@@ -224,27 +224,67 @@ void LocalizationService::process_epoch(PendingEpoch&& epoch) {
   Zone& z = registry_.zone(epoch.zone);
   core::DWatchPipeline& pipeline = z.pipeline();
 
-  const bool timed = obs::enabled() || static_cast<bool>(epoch_observer_);
+  const bool timed = obs::enabled() || static_cast<bool>(epoch_observer_) ||
+                     static_cast<bool>(early_fix_observer_);
   const std::uint64_t t0 = timed ? steady_now_us() : 0;
 
   // Exactly the standalone recipe: begin, observe in arrival order,
   // fix. Anything fancier here would break the bit-identical-to-
-  // standalone contract the determinism test pins down.
+  // standalone contract the determinism test pins down. In streaming
+  // mode the pipeline may declare likelihood convergence mid-backlog
+  // (early_fix_ready); the remaining reports are skipped and the fix
+  // exists that much sooner — which is also exactly what a standalone
+  // streaming pipeline fed the same reports would do.
   pipeline.begin_epoch(epoch.watermark_us);
+  std::size_t reports_fed = 0;
   for (const auto& [array, report] : epoch.reports) {
+    if (pipeline.early_fix_ready()) break;
+    ++reports_fed;
     for (const rfid::TagObservation& obs : report.observations) {
       (void)pipeline.observe(array, obs);
+      if (pipeline.early_fix_ready()) break;
     }
   }
   const core::ConfidentEstimate fix =
       pipeline.localize_with_confidence(z.best_effort());
+  const bool early = pipeline.early_fix_ready();
+  const std::size_t reports_skipped =
+      early ? epoch.reports.size() - reports_fed : 0;
+  const std::uint64_t ttff_us = timed ? steady_now_us() - t0 : 0;
 
   ZoneServingStats& stats = z.serving_stats();
   ++stats.epochs_processed;
   if (fix.estimate.valid) ++stats.fixes_valid;
   if (fix.confidence.degraded()) ++stats.fixes_degraded;
-  fixes_[epoch.zone].push_back(
-      ZoneFix{epoch.seq, epoch.watermark_us, fix});
+  if (early) {
+    ++stats.epochs_early_sealed;
+    stats.reports_skipped_early += reports_skipped;
+  }
+  fixes_[epoch.zone].push_back(ZoneFix{epoch.seq, epoch.watermark_us, fix,
+                                       early, ttff_us, reports_skipped});
+  if (early && early_fix_observer_) {
+    // Fired HERE, on the zone's task thread, before run_pending
+    // returns: the whole point of early sealing is that a consumer
+    // sees the fix without waiting out the epoch.
+    early_fix_observer_(epoch.zone, fixes_[epoch.zone].back());
+  }
+  if (obs::enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    const std::string label = zone_label(z.name());
+    reg.histogram("dwatch_serve_ttff_us",
+                  obs::Histogram::stage_latency_bounds_us(), label)
+        .observe(static_cast<double>(ttff_us));
+    if (early) {
+      reg.counter("dwatch_serve_early_seal_total", label).inc();
+      obs::EventLog::global().emit(
+          obs::Event("serve.early_seal")
+              .field("zone", z.name())
+              .field("seq", epoch.seq)
+              .field("reports_fed", reports_fed)
+              .field("reports_skipped", reports_skipped)
+              .field("ttff_us", ttff_us));
+    }
+  }
 
   recovery::RecoveryCoordinator* coordinator = z.coordinator();
   if (coordinator != nullptr) {

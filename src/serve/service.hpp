@@ -64,6 +64,16 @@ struct ZoneFix {
   std::uint64_t seq = 0;           ///< service-wide submission sequence
   std::uint64_t watermark_us = 0;  ///< the epoch's staleness watermark
   core::ConfidentEstimate result;
+  // Appended after `result` so existing ZoneFix{seq, wm, fix}
+  // aggregate initializations keep compiling.
+  /// Streaming mode: the fix was emitted on likelihood convergence
+  /// before the epoch's report backlog was exhausted.
+  bool early = false;
+  /// Wall-clock time from epoch start to the fix being available
+  /// (time-to-first-fix; 0 when neither obs nor an observer timed it).
+  std::uint64_t ttff_us = 0;
+  /// Reports left unprocessed by the early seal (0 on a full epoch).
+  std::size_t reports_skipped = 0;
 };
 
 /// Everything the telemetry plane needs to know about one processed
@@ -217,6 +227,17 @@ class LocalizationService {
   void set_shed_observer(ShedObserver observer) {
     shed_observer_ = std::move(observer);
   }
+  /// Early-seal tap: fires on the zone's scheduler task the moment a
+  /// streaming epoch converges and its fix exists — BEFORE run_pending
+  /// returns — so a tracker can consume mid-epoch fixes with epoch
+  /// latency out of the loop. Same thread-safety contract as the epoch
+  /// observer (distinct zones may call it concurrently). The same fix
+  /// still lands in fixes() with early = true.
+  using EarlyFixObserver =
+      std::function<void(std::size_t zone, const ZoneFix&)>;
+  void set_early_fix_observer(EarlyFixObserver observer) {
+    early_fix_observer_ = std::move(observer);
+  }
 
   /// Every fix the zone has produced, in epoch order.
   [[nodiscard]] const std::vector<ZoneFix>& fixes(std::size_t zone) const;
@@ -239,6 +260,7 @@ class LocalizationService {
   std::shared_ptr<core::ThreadPool> pool_;
   EpochObserver epoch_observer_;
   ShedObserver shed_observer_;
+  EarlyFixObserver early_fix_observer_;
   ZoneRegistry registry_;
   SessionRouter router_;
   EpochScheduler scheduler_;

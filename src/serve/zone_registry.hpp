@@ -71,6 +71,10 @@ struct ZoneServingStats {
   std::size_t reports_routed = 0;    ///< reports folded into this zone's epochs
   std::size_t fixes_valid = 0;       ///< consensus fixes
   std::size_t fixes_degraded = 0;    ///< ConfidenceReport::degraded() fixes
+  /// Streaming mode: epochs whose fix was emitted before the report
+  /// backlog was exhausted, and the reports those epochs never fed.
+  std::size_t epochs_early_sealed = 0;
+  std::size_t reports_skipped_early = 0;
 
   bool operator==(const ZoneServingStats&) const = default;
 };

@@ -123,5 +123,68 @@ TEST_P(DropFractionSweep, FractionMatchesResidual) {
 INSTANTIATE_TEST_SUITE_P(Residuals, DropFractionSweep,
                          ::testing::Values(0.1, 0.25, 0.5, 0.7, 0.9));
 
+TEST(ChangeDetector, NegativeAngleWindowThrows) {
+  ChangeDetectorOptions bad;
+  bad.angle_window = -0.01;
+  EXPECT_THROW(SpectrumChangeDetector{bad}, std::invalid_argument);
+  bad.angle_window = std::nan("");
+  EXPECT_THROW(SpectrumChangeDetector{bad}, std::invalid_argument);
+}
+
+TEST(ChangeDetector, WindowedPowerAtGridStart) {
+  // Regression: the window at theta = 0 extends below the grid; it must
+  // clamp, not vanish — the first bin always participates.
+  const SpectrumChangeDetector det;
+  AngularSpectrum s(361);
+  s[0] = 2.0;
+  s[1] = 1.0;
+  EXPECT_DOUBLE_EQ(det.windowed_power(s, 0.0), 2.0);
+  // Off-grid angles clamp to the nearest bin instead of reading 0.
+  EXPECT_DOUBLE_EQ(det.windowed_power(s, -0.5), 2.0);
+}
+
+TEST(ChangeDetector, WindowedPowerAtGridEnd) {
+  const SpectrumChangeDetector det;
+  AngularSpectrum s(361);
+  s[360] = 3.0;
+  s[359] = 1.0;
+  EXPECT_DOUBLE_EQ(det.windowed_power(s, s.theta_at(360)), 3.0);
+  EXPECT_DOUBLE_EQ(det.windowed_power(s, 4.0), 3.0);  // beyond pi clamps
+}
+
+TEST(ChangeDetector, ZeroWindowReadsTheNearestBin) {
+  // angle_window = 0 degenerates to a single bin, never an empty range.
+  ChangeDetectorOptions opts;
+  opts.angle_window = 0.0;
+  const SpectrumChangeDetector det(opts);
+  AngularSpectrum s(361);
+  s[0] = 2.0;
+  s[360] = 3.0;
+  EXPECT_DOUBLE_EQ(det.windowed_power(s, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(det.windowed_power(s, s.theta_at(360)), 3.0);
+}
+
+TEST(ChangeDetector, HealthyEdgeOfGridPeaksAreNotSpuriousDrops) {
+  // Regression for the empty-window bug: an UNCHANGED baseline peak
+  // hugging either end of the grid must not read an empty online
+  // window (0.0) and masquerade as a full drop (drop_fraction = 1.0).
+  const SpectrumChangeDetector det;
+  const AngularSpectrum base = gaussians({{0.02, 2.0}, {3.12, 1.5}});
+  EXPECT_TRUE(det.detect(base, base).empty());
+}
+
+TEST(ChangeDetector, EdgeOfGridDropsStillDetected) {
+  // The clamp must not blind the detector to GENUINE edge drops.
+  const SpectrumChangeDetector det;
+  const AngularSpectrum base = gaussians({{0.02, 2.0}, {3.12, 1.5}});
+  const AngularSpectrum online = gaussians({{0.02, 0.1}, {3.12, 0.1}});
+  const auto drops = det.detect(base, online);
+  EXPECT_EQ(drops.size(), 2u);
+  for (const PathDrop& d : drops) {
+    EXPECT_GE(d.drop_fraction, 0.9);
+    EXPECT_GT(d.online_power, 0.0);  // read the clamped window, not 0
+  }
+}
+
 }  // namespace
 }  // namespace dwatch::core

@@ -115,5 +115,52 @@ TEST(DefaultSubarray, SensibleForCommonSizes) {
   EXPECT_EQ(default_subarray(2), 2u);
 }
 
+TEST(DefaultSubarray, TinyArrayEdgeContract) {
+  // The documented M <= 3 edges: M == 3 still yields a smoothable L;
+  // M == 2 yields L == M (the "skip smoothing" sentinel the MUSIC path
+  // honours); M == 1 yields 1, which every smoother call REJECTS.
+  EXPECT_EQ(default_subarray(3), 2u);
+  EXPECT_EQ(default_subarray(2), 2u);
+  EXPECT_EQ(default_subarray(1), 1u);
+}
+
+TEST(Smoothing, DefaultSubarrayEndToEndForTinyArrays) {
+  rf::SnapshotOptions opts;
+  opts.num_snapshots = 32;
+  opts.noise_sigma = 1e-3;
+
+  const std::vector<rf::PropagationPath> paths{plane_path(55, 1.0)};
+
+  // M == 3: the default L = 2 goes through forward_backward_smooth.
+  const rf::UniformLinearArray ula3({0, 0, 1}, {1, 0}, 3);
+  rf::Rng rng3(7);
+  const linalg::CMatrix r3 = sample_correlation(
+      rf::synthesize_snapshots(ula3, paths, {}, opts, rng3));
+  const linalg::CMatrix s3 =
+      forward_backward_smooth(r3, default_subarray(3));
+  EXPECT_EQ(s3.rows(), 2u);
+  EXPECT_TRUE(s3.is_hermitian(1e-10));
+
+  // M == 2: L == M == 2 is legal for the smoother too (one subarray;
+  // forward averaging is the identity) — no throw either way.
+  const rf::UniformLinearArray ula2({0, 0, 1}, {1, 0}, 2);
+  rf::Rng rng2(8);
+  const linalg::CMatrix r2 = sample_correlation(
+      rf::synthesize_snapshots(ula2, paths, {}, opts, rng2));
+  const linalg::CMatrix s2 =
+      forward_backward_smooth(r2, default_subarray(2));
+  EXPECT_EQ(s2.rows(), 2u);
+
+  // M == 1: no angular aperture. default_subarray(1) == 1 sits BELOW
+  // the smoother's L >= 2 floor, and the contract is to throw — this is
+  // why DWatchPipeline (and UniformLinearArray itself) refuse M < 2.
+  linalg::CMatrix r1(1, 1);
+  r1(0, 0) = 1.0;
+  EXPECT_THROW((void)forward_smooth(r1, default_subarray(1)),
+               std::invalid_argument);
+  EXPECT_THROW((void)forward_backward_smooth(r1, default_subarray(1)),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace dwatch::core

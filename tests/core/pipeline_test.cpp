@@ -283,5 +283,25 @@ TEST(Pipeline, WireObservationPathWorks) {
   EXPECT_EQ(pipe.observe(0, online_obs), 1u);
 }
 
+TEST(Pipeline, TwoElementArraysRunEndToEnd) {
+  // The smallest legal deployment: M = 2 per array. default_subarray(2)
+  // returns L == M, the MUSIC path skips smoothing, and the whole
+  // observe/localize recipe runs without tripping the smoother's
+  // L >= 2 contract (the documented tiny-array edge).
+  const std::vector<rf::UniformLinearArray> arrays{
+      rf::UniformLinearArray({3.5, 0.15, 1.25}, {1, 0}, 2),
+      rf::UniformLinearArray({0.15, 5.0, 1.25}, {0, 1}, 2),
+  };
+  DWatchPipeline pipe(arrays, bounds(), {});
+  const auto epc = rfid::Epc96::for_tag_index(1);
+  pipe.add_baseline(0, epc, synth(arrays[0], {1.0}, {1.0}, {}, 31));
+  pipe.add_baseline(1, epc, synth(arrays[1], {1.6}, {1.0}, {}, 32));
+  pipe.begin_epoch();
+  (void)pipe.observe(0, epc, synth(arrays[0], {1.0}, {1.0}, {0.2}, 33));
+  (void)pipe.observe(1, epc, synth(arrays[1], {1.6}, {1.0}, {0.2}, 34));
+  EXPECT_EQ(pipe.stats().observations, 2u);
+  (void)pipe.localize_best_effort();  // must not throw
+}
+
 }  // namespace
 }  // namespace dwatch::core

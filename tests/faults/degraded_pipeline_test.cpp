@@ -200,11 +200,49 @@ TEST(DegradedPipeline, StaleObservationsRejectedByWatermark) {
   (void)pipe.observe(0, obs);
   EXPECT_EQ(pipe.confidence_report().observations, 1u);
 
-  // Watermark 0 disables the gate entirely.
+  // begin_epoch(0) no longer disables the gate: the previous epoch's
+  // max accepted timestamp (1500) carries forward as the default
+  // watermark, so a replay of a pre-epoch report is still rejected.
   pipe.begin_epoch(0);
   obs.first_seen_us = 1;
   (void)pipe.observe(0, obs);
-  EXPECT_EQ(pipe.confidence_report().stale_observations, 0u);
+  EXPECT_EQ(pipe.confidence_report().stale_observations, 1u);
+  // At or past the carried watermark is fresh again.
+  obs.first_seen_us = 1500;
+  (void)pipe.observe(0, obs);
+  EXPECT_EQ(pipe.confidence_report().observations, 1u);
+}
+
+TEST(DegradedPipeline, DefaultWatermarkCarryRespectsOptOut) {
+  // reject_stale = false keeps BOTH the gate and the carry off: a
+  // pipeline explicitly opted out never quarantines, whatever history.
+  PipelineOptions opts = tight_options();
+  opts.degraded.reject_stale = false;
+  DWatchPipeline pipe(room_arrays(), room_bounds(), opts);
+  const auto arrays = room_arrays();
+  const rf::Vec3 tag_pos{3.0, 4.0, 1.2};
+  const auto epc = rfid::Epc96::for_tag_index(1);
+  pipe.add_baseline(0, epc, link_snapshots(arrays[0], tag_pos, 1.0, 12, 42));
+
+  const linalg::CMatrix x = link_snapshots(arrays[0], tag_pos, 0.4, 12, 43);
+  rfid::TagObservation obs;
+  obs.epc = epc;
+  for (std::size_t n = 0; n < x.cols(); ++n) {
+    for (std::size_t m = 0; m < x.rows(); ++m) {
+      const auto [pq, rq] = rfid::quantize_sample(x(m, n));
+      obs.samples.push_back(rfid::PhaseSample{
+          static_cast<std::uint16_t>(m + 1), static_cast<std::uint32_t>(n),
+          pq, rq});
+    }
+  }
+  pipe.begin_epoch(0);
+  obs.first_seen_us = 1500;
+  (void)pipe.observe(0, obs);
+  pipe.begin_epoch(0);
+  obs.first_seen_us = 1;  // would be stale under the carried watermark
+  (void)pipe.observe(0, obs);
+  EXPECT_EQ(pipe.stats().stale_observations, 0u);
+  EXPECT_EQ(pipe.confidence_report().observations, 1u);
 }
 
 TEST(DegradedPipeline, LowSnapshotObservationsWidenTheKernel) {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "linalg/complex_matrix.hpp"
+#include "linalg/simd_detail.hpp"
 #include "linalg/simd_kernels.hpp"
 #include "linalg/soa_complex.hpp"
 #include "obs/event_log.hpp"
@@ -196,6 +197,78 @@ TEST(SimdKernels, SampleCorrelationMatchesOracleBitForBit) {
   }
 }
 
+TEST(SimdKernels, AccumulateOuterProductsMatchesLanesOracleBitForBit) {
+  for (const std::size_t m : kElementCounts) {
+    for (const std::size_t n : {1u, 3u, 16u, 33u}) {
+      const CMatrix x = random_matrix(m, n, 0x5A0 + m * 1000 + n);
+      const SplitComplexMatrix xt =
+          SplitComplexMatrix::from_matrix_transposed(x);
+      // Oracle: the shared scalar lanes kernel, resumed from a non-zero
+      // accumulator (the chaining case the incremental covariance uses).
+      SplitComplexMatrix oracle(m, m);
+      detail::accumulate_outer_products_lanes(xt, 0, m, oracle);
+      detail::accumulate_outer_products_lanes(xt, 0, m, oracle);
+      for (const Backend backend : backends_under_test()) {
+        const ScopedBackend scope(backend);
+        SplitComplexMatrix acc(m, m);
+        accumulate_outer_products(xt, acc);
+        accumulate_outer_products(xt, acc);
+        for (std::size_t i = 0; i < m; ++i) {
+          for (std::size_t j = 0; j < m; ++j) {
+            EXPECT_TRUE(same_bits(acc.at(i, j).real(), oracle.at(i, j).real()))
+                << "backend=" << backend_name(backend) << " m=" << m
+                << " n=" << n << " (" << i << "," << j << ") re";
+            EXPECT_TRUE(same_bits(acc.at(i, j).imag(), oracle.at(i, j).imag()))
+                << "backend=" << backend_name(backend) << " m=" << m
+                << " n=" << n << " (" << i << "," << j << ") im";
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, ChunkedAccumulationMatchesBatchSampleCorrelation) {
+  // The streaming contract: accumulating a snapshot stream chunk by
+  // chunk and dividing at the end is BIT-IDENTICAL to the batch
+  // sample_correlation over the concatenated matrix — the inner
+  // k-ascending addition chain is simply resumed across chunks.
+  for (const std::size_t m : {2u, 4u, 7u, 8u}) {
+    const std::size_t chunks[] = {5, 1, 8, 3};
+    std::size_t total = 0;
+    for (const std::size_t c : chunks) total += c;
+    const CMatrix all = random_matrix(m, total, 0xC0FFEE + m);
+    for (const Backend backend : backends_under_test()) {
+      const ScopedBackend scope(backend);
+      const CMatrix batch =
+          sample_correlation(SplitComplexMatrix::from_matrix_transposed(all));
+      SplitComplexMatrix acc(m, m);
+      std::size_t col = 0;
+      for (const std::size_t c : chunks) {
+        CMatrix chunk(m, c);
+        for (std::size_t j = 0; j < c; ++j) {
+          for (std::size_t i = 0; i < m; ++i) chunk(i, j) = all(i, col + j);
+        }
+        col += c;
+        accumulate_outer_products(
+            SplitComplexMatrix::from_matrix_transposed(chunk), acc);
+      }
+      for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < m; ++j) {
+          const Complex streamed =
+              acc.at(i, j) / static_cast<double>(total);
+          EXPECT_TRUE(same_bits(streamed.real(), batch(i, j).real()))
+              << "backend=" << backend_name(backend) << " m=" << m << " ("
+              << i << "," << j << ") re";
+          EXPECT_TRUE(same_bits(streamed.imag(), batch(i, j).imag()))
+              << "backend=" << backend_name(backend) << " m=" << m << " ("
+              << i << "," << j << ") im";
+        }
+      }
+    }
+  }
+}
+
 TEST(SimdKernels, DimensionMismatchesThrowLikeTheOracle) {
   const CMatrix r = random_matrix(4, 4, 1);
   const CMatrix bad = random_matrix(3, 5, 2);
@@ -205,6 +278,14 @@ TEST(SimdKernels, DimensionMismatchesThrowLikeTheOracle) {
   EXPECT_THROW((void)matmul_hermitian_left(r, bad_soa),
                std::invalid_argument);
   EXPECT_THROW((void)sample_correlation(SplitComplexMatrix{}),
+               std::invalid_argument);
+  SplitComplexMatrix acc(4, 4);
+  EXPECT_THROW((void)accumulate_outer_products(SplitComplexMatrix{}, acc),
+               std::invalid_argument);
+  SplitComplexMatrix wrong(3, 3);
+  const CMatrix x4 = random_matrix(4, 6, 9);
+  EXPECT_THROW((void)accumulate_outer_products(
+                   SplitComplexMatrix::from_matrix_transposed(x4), wrong),
                std::invalid_argument);
 }
 
